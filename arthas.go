@@ -1,0 +1,292 @@
+// Package arthas is the public face of this repository: a from-scratch Go
+// reproduction of "Understanding and Dealing with Hard Faults in Persistent
+// Memory Systems" (Choi, Burns, Huang — EuroSys 2021).
+//
+// Arthas recovers persistent-memory systems from *hard faults*: bad values
+// that were persisted and therefore survive restart, turning classically
+// "soft" bugs (races, overflows, bit flips, leaks) into recurring failures.
+// The toolchain (paper Figure 4) is:
+//
+//	analyzer   — static analysis of the target program: PM-variable
+//	             identification, trace instrumentation (GUIDs), and an
+//	             inter-procedural Program Dependence Graph
+//	checkpoint — fine-grained versioning of PM updates at the program's own
+//	             persistence granularity and timing
+//	detector   — failure monitoring with cross-restart similarity heuristics
+//	reactor    — backward slicing of the fault instruction(s), mapping slice
+//	             nodes through the dynamic PM address trace to checkpoint
+//	             sequence numbers, and revert+re-execute until healthy
+//
+// Target programs are written in PML, a small C-like language whose
+// runtime provides simulated persistent memory with PMDK-like semantics
+// (pmalloc/persist/txbegin/txcommit/setroot; stores are volatile until
+// persisted; crashes drop unflushed stores). See DESIGN.md for the full
+// substitution map from the paper's C/LLVM/Optane stack to this one.
+//
+// The smallest useful loop:
+//
+//	inst, _ := arthas.New("demo", demoSource, arthas.Config{})
+//	inst.Call("put", 1, 42)
+//	if _, trap := inst.Call("get", 1); trap != nil {
+//	    inst.Observe(trap)                    // detector: is it hard?
+//	    rep, _ := inst.Mitigate(func() *arthas.Trap {
+//	        inst.Restart()
+//	        _, t := inst.Call("get", 1)
+//	        return t
+//	    })
+//	    fmt.Println(rep.Recovered)
+//	}
+package arthas
+
+import (
+	"fmt"
+	"io"
+
+	"arthas/internal/analysis"
+	"arthas/internal/checkpoint"
+	"arthas/internal/detector"
+	"arthas/internal/ir"
+	"arthas/internal/pmem"
+	"arthas/internal/reactor"
+	"arthas/internal/trace"
+	"arthas/internal/vm"
+)
+
+// Re-exported core types, so callers need only this package.
+type (
+	// Trap describes a failed PML execution (fault instruction + stack).
+	Trap = vm.Trap
+	// Report summarizes a mitigation run.
+	Report = reactor.Report
+	// LeakReport summarizes a leak mitigation (§4.7).
+	LeakReport = reactor.LeakReport
+	// Signature is a detector failure signature (§4.3).
+	Signature = detector.Signature
+	// Mode selects purge vs rollback reversion (§4.4).
+	Mode = reactor.Mode
+)
+
+// Reversion modes.
+const (
+	ModePurge    = reactor.ModePurge
+	ModeRollback = reactor.ModeRollback
+)
+
+// Trap kinds (vm package re-exports).
+const (
+	TrapSegfault = vm.TrapSegfault
+	TrapAssert   = vm.TrapAssert
+	TrapUserFail = vm.TrapUserFail
+	TrapHang     = vm.TrapStepLimit
+	TrapDeadlock = vm.TrapDeadlock
+	TrapPMFull   = vm.TrapPMOutOfSpace
+)
+
+// Config tunes an Instance.
+type Config struct {
+	// PoolWords sizes the simulated PM pool (default 1<<16 words).
+	PoolWords int
+	// MaxVersions per checkpoint entry (paper default 3).
+	MaxVersions int
+	// StepLimit per call: the hang-detection budget (default 5M).
+	StepLimit int64
+	// RecoverFn names the annotated recovery entry point run by Restart
+	// (optional; use recover_begin()/recover_end() inside it to enable
+	// leak mitigation).
+	RecoverFn string
+	// Reactor configures the mitigation strategy (defaults to purge-first
+	// with rollback fallback, one-by-one reversion).
+	Reactor reactor.Config
+}
+
+// Instance is a PML system deployed under the full Arthas toolchain:
+// compiled, analyzed, instrumented, checkpointed, traced, and monitored.
+type Instance struct {
+	Name string
+	// Exposed components for advanced use and experiments.
+	Module   *ir.Module
+	Analysis *analysis.Result
+	Pool     *pmem.Pool
+	Log      *checkpoint.Log
+	Trace    *trace.Trace
+	Machine  *vm.Machine
+	Detector *detector.Detector
+
+	cfg      Config
+	lastTrap *Trap
+}
+
+// New compiles source, runs the static analyzer (instrumenting the module
+// with trace GUIDs), creates a pool with the checkpoint log attached, and
+// boots the VM.
+func New(name, source string, cfg Config) (*Instance, error) {
+	return build(name, source, cfg, nil)
+}
+
+// Open is New against an existing pool file (the pmem_map_file analogue):
+// the durable image is reloaded, so the program's recovery path — not its
+// init path — should run next. The checkpoint log starts empty, exactly as
+// after a real restart of the paper's toolchain: history before the reopen
+// is not revertible, history after is.
+func Open(name, source string, cfg Config, poolFile io.Reader) (*Instance, error) {
+	pool, err := pmem.ReadPool(poolFile)
+	if err != nil {
+		return nil, fmt.Errorf("arthas: %w", err)
+	}
+	return build(name, source, cfg, pool)
+}
+
+// SavePool writes the durable image to w; reopen with Open. Unpersisted
+// stores do not travel (crash semantics).
+func (i *Instance) SavePool(w io.Writer) error {
+	_, err := i.Pool.WriteTo(w)
+	return err
+}
+
+func build(name, source string, cfg Config, pool *pmem.Pool) (*Instance, error) {
+	if cfg.PoolWords == 0 {
+		cfg.PoolWords = 1 << 16
+	}
+	if cfg.StepLimit == 0 {
+		cfg.StepLimit = 5_000_000
+	}
+	if cfg.Reactor.MaxAttempts == 0 {
+		cfg.Reactor = reactor.DefaultConfig()
+	}
+	mod, err := ir.CompileSource(name, source)
+	if err != nil {
+		return nil, fmt.Errorf("arthas: %w", err)
+	}
+	if pool == nil {
+		pool = pmem.New(cfg.PoolWords)
+	}
+	inst := &Instance{
+		Name:     name,
+		Module:   mod,
+		Analysis: analysis.Analyze(mod),
+		Pool:     pool,
+		Log:      checkpoint.NewLog(cfg.MaxVersions),
+		Trace:    trace.New(),
+		Detector: detector.New(),
+		cfg:      cfg,
+	}
+	inst.Pool.SetHooks(inst.Log.Hooks())
+	inst.boot()
+	return inst, nil
+}
+
+func (i *Instance) boot() {
+	i.Machine = vm.New(i.Module, i.Pool, vm.Config{StepLimit: i.cfg.StepLimit})
+	i.Machine.TraceSink = i.Trace.Record
+	i.Machine.TraceReadSink = i.Trace.RecordRead
+}
+
+// Call invokes a PML function with int64 arguments.
+func (i *Instance) Call(fn string, args ...int64) (int64, *Trap) {
+	return i.Machine.Call(fn, args...)
+}
+
+// Restart simulates process kill + restart: unpersisted stores are lost,
+// volatile state is dropped, and the configured recovery function runs.
+func (i *Instance) Restart() *Trap {
+	i.Pool.Crash()
+	i.boot()
+	if i.cfg.RecoverFn != "" {
+		if _, trap := i.Machine.Call(i.cfg.RecoverFn); trap != nil {
+			return trap
+		}
+	}
+	return nil
+}
+
+// Observe feeds a failure to the detector; it returns the signature and
+// whether a similar failure was already seen (a suspected hard fault).
+func (i *Instance) Observe(trap *Trap) (Signature, bool) {
+	i.lastTrap = trap
+	return i.Detector.Observe(trap)
+}
+
+// LastTrap returns the most recently observed failure.
+func (i *Instance) LastTrap() *Trap { return i.lastTrap }
+
+// Mitigate runs the reactor workflow (slice → candidates → revert →
+// re-execute) for the most recently observed failure. reexec must restart
+// the system and reproduce the failing operation, returning nil when the
+// system is healthy — the paper's re-execution script.
+func (i *Instance) Mitigate(reexec func() *Trap) (*Report, error) {
+	if i.lastTrap == nil {
+		return nil, fmt.Errorf("arthas: no observed failure; call Observe first")
+	}
+	ctx := &reactor.Context{
+		Analysis:  i.Analysis,
+		Trace:     i.Trace,
+		Log:       i.Log,
+		Pool:      i.Pool,
+		Fault:     i.lastTrap.Instr,
+		AddrFault: i.lastTrap.Kind == vm.TrapSegfault,
+		ReExec:    reexec,
+	}
+	return reactor.Mitigate(i.cfg.Reactor, ctx), nil
+}
+
+// MitigateWithFaults is Mitigate with explicit fault instructions, for
+// failures (data loss, wrong results) that have no trapping instruction.
+// Typically the fault instructions are the result returns of the serving
+// function; use RetInstrs to locate them.
+func (i *Instance) MitigateWithFaults(faults []*ir.Instr, reexec func() *Trap) (*Report, error) {
+	ctx := &reactor.Context{
+		Analysis: i.Analysis,
+		Trace:    i.Trace,
+		Log:      i.Log,
+		Pool:     i.Pool,
+		Faults:   faults,
+		ReExec:   reexec,
+	}
+	return reactor.Mitigate(i.cfg.Reactor, ctx), nil
+}
+
+// RetInstrs returns the return instructions of a PML function — the default
+// fault instructions for wrong-result failures.
+func (i *Instance) RetInstrs(fn string) []*ir.Instr {
+	f := i.Module.Func(fn)
+	if f == nil {
+		return nil
+	}
+	var out []*ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpRet {
+			out = append(out, in)
+		}
+	})
+	return out
+}
+
+// MitigateLeak runs the §4.7 leak workflow: restart, record the annotated
+// recovery function's PM access set, diff it against the checkpoint log's
+// live allocations, and free the unreachable blocks.
+func (i *Instance) MitigateLeak() (*LeakReport, error) {
+	if i.cfg.RecoverFn == "" {
+		return nil, fmt.Errorf("arthas: leak mitigation needs Config.RecoverFn (annotated with recover_begin/recover_end)")
+	}
+	if trap := i.Restart(); trap != nil {
+		return nil, fmt.Errorf("arthas: recovery failed: %v", trap)
+	}
+	return reactor.MitigateLeak(i.Pool, i.Log, i.Machine.RecoveryAccess, nil), nil
+}
+
+// LeakSuspected reports whether PM usage crossed the detector's threshold.
+func (i *Instance) LeakSuspected() bool { return i.Detector.CheckLeak(i.Pool) }
+
+// InjectBitFlip flips one bit of a durable PM word — the paper's hardware-
+// fault model (§2.4).
+func (i *Instance) InjectBitFlip(addr uint64, bit uint) error {
+	return i.Pool.InjectBitFlip(addr, bit, true)
+}
+
+// Stats summarizes the instance for logs.
+func (i *Instance) Stats() string {
+	st := i.Analysis.Stats()
+	return fmt.Sprintf("%s: %d funcs, %d instrs (%d PM), %d PDG edges; pool %d/%d words live; %d checkpointed updates; %d trace events",
+		i.Name, st.Functions, st.Instructions, st.PMInstrs, st.PDGEdges,
+		i.Pool.LiveWords(), i.Pool.Words(), i.Log.TotalVersions(), i.Trace.Len())
+}

@@ -1,0 +1,346 @@
+package arthas
+
+// One benchmark per table and figure of the paper's evaluation. Each bench
+// regenerates its experiment and reports the headline quantities through
+// b.ReportMetric, so `go test -bench=. -benchmem` reproduces the entire
+// evaluation (see EXPERIMENTS.md for the paper-vs-measured record).
+//
+// The recoverability matrix (Tables 3-5, Figures 8/9/11) is computed once
+// and shared across its benchmarks: the matrix IS the experiment; the
+// per-bench work is extracting and rendering each artifact.
+
+import (
+	"sync"
+	"testing"
+
+	"arthas/internal/experiments"
+	"arthas/internal/faults"
+	"arthas/internal/study"
+)
+
+var (
+	matrixOnce sync.Once
+	matrixVal  *experiments.Matrix
+	matrixErr  error
+)
+
+func sharedMatrix(b *testing.B) *experiments.Matrix {
+	b.Helper()
+	matrixOnce.Do(func() {
+		matrixVal, matrixErr = experiments.RunMatrix(experiments.MatrixConfig{Seeds: 10})
+	})
+	if matrixErr != nil {
+		b.Fatal(matrixErr)
+	}
+	return matrixVal
+}
+
+// --- Empirical study (paper §2) ---
+
+func BenchmarkTable1Study(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(study.BySystem()) == 0 {
+			b.Fatal("empty study")
+		}
+	}
+	b.ReportMetric(float64(len(study.Dataset())), "bugs")
+}
+
+func BenchmarkFig2RootCauses(b *testing.B) {
+	var logicPct float64
+	for i := 0; i < b.N; i++ {
+		for _, c := range study.ByRootCause() {
+			if c.Label == "Logic Error" {
+				logicPct = c.Pct
+			}
+		}
+	}
+	b.ReportMetric(logicPct, "logic-error-pct")
+}
+
+func BenchmarkFig3Consequences(b *testing.B) {
+	var crashPct float64
+	for i := 0; i < b.N; i++ {
+		for _, c := range study.ByConsequence() {
+			if c.Label == "Repeated Crash" {
+				crashPct = c.Pct
+			}
+		}
+	}
+	b.ReportMetric(crashPct, "repeated-crash-pct")
+}
+
+// --- Fault dataset (paper Table 2) ---
+
+func BenchmarkTable2Faults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(faults.All()) != 12 {
+			b.Fatal("fault registry broken")
+		}
+	}
+}
+
+// --- Recoverability matrix (paper §6.2-§6.4) ---
+
+func BenchmarkTable3Recoverability(b *testing.B) {
+	m := sharedMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Table3()
+	}
+	arthasWins, criuWins, arckptWins := 0, 0, 0
+	for _, c := range m.Cases {
+		if c.Arthas.Recovered {
+			arthasWins++
+		}
+		if ok, total := c.PmCRIUSuccesses(); ok == total && ok > 0 {
+			criuWins++
+		}
+		if c.ArCkpt.Recovered {
+			arckptWins++
+		}
+	}
+	b.ReportMetric(float64(arthasWins), "arthas-recovered")
+	b.ReportMetric(float64(criuWins), "pmcriu-deterministic")
+	b.ReportMetric(float64(arckptWins), "arckpt-recovered")
+}
+
+func BenchmarkTable4Consistency(b *testing.B) {
+	m := sharedMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Table4()
+	}
+	consistent := 0
+	for _, c := range m.Cases {
+		if c.ArthasRollback.Recovered && c.ArthasRollback.Consistent == nil {
+			consistent++
+		}
+	}
+	b.ReportMetric(float64(consistent), "rollback-consistent")
+}
+
+func BenchmarkTable5Attempts(b *testing.B) {
+	m := sharedMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Table5()
+	}
+	var attempts []int
+	for _, c := range m.Cases {
+		attempts = append(attempts, c.Arthas.Attempts)
+	}
+	b.ReportMetric(float64(median(attempts)), "arthas-median-attempts")
+}
+
+func BenchmarkFig8MitigationTime(b *testing.B) {
+	m := sharedMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Fig8()
+	}
+	var sum float64
+	for _, c := range m.Cases {
+		sum += float64(c.Arthas.MitigationTime.Microseconds()) / 1000
+	}
+	b.ReportMetric(sum/float64(len(m.Cases)), "arthas-mean-ms")
+}
+
+func BenchmarkFig9DataLoss(b *testing.B) {
+	m := sharedMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Fig9()
+	}
+	var aSum, pSum float64
+	var n int
+	for _, c := range m.Cases {
+		for _, o := range c.PmCRIU {
+			if o.Recovered {
+				aSum += c.Arthas.DataLossPct
+				pSum += o.DataLossPct
+				n++
+				break
+			}
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(aSum/float64(n), "arthas-loss-pct")
+		b.ReportMetric(pSum/float64(n), "pmcriu-loss-pct")
+	}
+}
+
+func BenchmarkFig11PurgeVsRollback(b *testing.B) {
+	m := sharedMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Fig11()
+	}
+	var pg, rb float64
+	var n int
+	for _, c := range m.Cases {
+		if c.Meta.IsLeak {
+			continue
+		}
+		pg += c.Arthas.DataLossPct
+		rb += c.ArthasRollback.DataLossPct
+		n++
+	}
+	b.ReportMetric(pg/float64(n), "purge-loss-pct")
+	b.ReportMetric(rb/float64(n), "rollback-loss-pct")
+}
+
+// --- Reversion strategies (paper §6.5) ---
+
+var (
+	batchOnce sync.Once
+	batchVal  *experiments.BatchResults
+	batchErr  error
+)
+
+func sharedBatch(b *testing.B) *experiments.BatchResults {
+	b.Helper()
+	batchOnce.Do(func() {
+		batchVal, batchErr = experiments.RunBatchComparison(faults.RunConfig{})
+	})
+	if batchErr != nil {
+		b.Fatal(batchErr)
+	}
+	return batchVal
+}
+
+func BenchmarkFig10BatchTime(b *testing.B) {
+	br := sharedBatch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = br.Fig10()
+	}
+	var one, five float64
+	for i := range br.OneByOne {
+		one += float64(br.OneByOne[i].Attempts)
+		five += float64(br.Batch5[i].Attempts)
+	}
+	b.ReportMetric(one, "one-by-one-attempts")
+	b.ReportMetric(five, "batch5-attempts")
+}
+
+func BenchmarkTable6BatchDiscards(b *testing.B) {
+	br := sharedBatch(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = br.Table6()
+	}
+	var one, five int
+	for i := range br.OneByOne {
+		one += br.OneByOne[i].Reverted
+		five += br.Batch5[i].Reverted
+	}
+	b.ReportMetric(float64(one), "one-by-one-items")
+	b.ReportMetric(float64(five), "batch5-items")
+}
+
+// --- Detection alternatives (paper §6.6, Table 7) ---
+
+func BenchmarkTable7Detection(b *testing.B) {
+	detected := 0
+	for i := 0; i < b.N; i++ {
+		detected = 0
+		for _, bd := range faults.All() {
+			inv, _, err := faults.RunDetectionAlternatives(bd, faults.RunConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if inv {
+				detected++
+			}
+		}
+	}
+	b.ReportMetric(float64(detected), "invariant-detected")
+}
+
+// --- Runtime overhead (paper §6.7) ---
+
+var (
+	overheadOnce sync.Once
+	overheadVal  *experiments.OverheadResults
+	overheadErr  error
+)
+
+func sharedOverhead(b *testing.B) *experiments.OverheadResults {
+	b.Helper()
+	overheadOnce.Do(func() {
+		overheadVal, overheadErr = experiments.MeasureOverhead(
+			experiments.OverheadConfig{YCSBOps: 30_000, InsertOps: 30_000},
+			[]experiments.Variant{
+				experiments.Vanilla, experiments.WithArthas,
+				experiments.WithCheckpoint, experiments.WithInstr,
+				experiments.WithPmCRIU,
+			})
+	})
+	if overheadErr != nil {
+		b.Fatal(overheadErr)
+	}
+	return overheadVal
+}
+
+func BenchmarkFig12Overhead(b *testing.B) {
+	res := sharedOverhead(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = res.Fig12()
+	}
+	var rel float64
+	for _, sys := range experiments.OverheadSystems {
+		rel += res.Relative(sys, experiments.WithArthas)
+	}
+	b.ReportMetric(rel/float64(len(experiments.OverheadSystems)), "arthas-rel-throughput")
+}
+
+func BenchmarkTable8OverheadSplit(b *testing.B) {
+	res := sharedOverhead(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = res.Table8()
+	}
+	var ck, in float64
+	for _, sys := range experiments.OverheadSystems {
+		ck += res.Relative(sys, experiments.WithCheckpoint)
+		in += res.Relative(sys, experiments.WithInstr)
+	}
+	n := float64(len(experiments.OverheadSystems))
+	b.ReportMetric(ck/n, "checkpoint-rel")
+	b.ReportMetric(in/n, "instr-rel")
+}
+
+// --- Static analysis (paper §6.8, Table 9) ---
+
+func BenchmarkTable9StaticAnalysis(b *testing.B) {
+	var ts []experiments.StaticTiming
+	var err error
+	for i := 0; i < b.N; i++ {
+		ts, err = experiments.MeasureStatic()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var analysisUS, sliceUS float64
+	for _, t := range ts {
+		analysisUS += float64(t.Analysis.Microseconds())
+		sliceUS += float64(t.Slicing.Microseconds())
+	}
+	b.ReportMetric(analysisUS/float64(len(ts)), "mean-analysis-us")
+	b.ReportMetric(sliceUS/float64(len(ts)), "mean-slice-us")
+}
+
+func median(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}

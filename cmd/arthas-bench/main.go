@@ -1,0 +1,119 @@
+// Command arthas-bench regenerates the paper's tables and figures from the
+// reproduced systems, faults, and solutions.
+//
+// Usage:
+//
+//	arthas-bench [-exp NAME] [-ops N] [-ycsb N] [-inserts N] [-seeds N]
+//
+//	-exp    which experiment to run (default "all"):
+//	        table1 fig2 fig3 types table2          (study + dataset)
+//	        table3 table4 table5 fig8 fig9 fig11   (recoverability matrix)
+//	        fig10 table6                           (batch vs one-by-one)
+//	        table7                                 (invariants/checksums)
+//	        fig12 table8                           (runtime overhead)
+//	        table9                                 (static analysis)
+//	        all                                    (everything)
+//
+// Absolute numbers differ from the paper (the substrate is a simulator on
+// logical time); the shapes are what reproduce. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"arthas/internal/experiments"
+	"arthas/internal/faults"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	ops := flag.Int("ops", 0, "fault-case workload operations (0 = defaults)")
+	ycsb := flag.Int("ycsb", 100_000, "YCSB ops for overhead runs")
+	inserts := flag.Int("inserts", 100_000, "insert ops for overhead runs")
+	seeds := flag.Int("seeds", 10, "seeds for probabilistic pmCRIU cases")
+	flag.Parse()
+
+	mcfg := experiments.MatrixConfig{Seeds: *seeds}
+	mcfg.Run.WorkloadOps = *ops
+	ocfg := experiments.OverheadConfig{YCSBOps: *ycsb, InsertOps: *inserts}
+
+	needMatrix := map[string]bool{
+		"table3": true, "table4": true, "table5": true,
+		"fig8": true, "fig9": true, "fig11": true,
+	}
+
+	switch {
+	case *exp == "all":
+		text, err := experiments.FullReport(experiments.FullConfig{
+			Matrix: mcfg, Overhead: ocfg,
+		})
+		check(err)
+		fmt.Print(text)
+	case *exp == "table1":
+		fmt.Print(experiments.Table1())
+	case *exp == "fig2":
+		fmt.Print(experiments.Fig2())
+	case *exp == "fig3":
+		fmt.Print(experiments.Fig3())
+	case *exp == "types":
+		fmt.Print(experiments.PropagationTypes())
+	case *exp == "table2":
+		fmt.Print(experiments.Table2())
+	case needMatrix[*exp]:
+		m, err := experiments.RunMatrix(mcfg)
+		check(err)
+		switch *exp {
+		case "table3":
+			fmt.Print(m.Table3())
+		case "table4":
+			fmt.Print(m.Table4())
+		case "table5":
+			fmt.Print(m.Table5())
+		case "fig8":
+			fmt.Print(m.Fig8())
+		case "fig9":
+			fmt.Print(m.Fig9())
+		case "fig11":
+			fmt.Print(m.Fig11())
+		}
+	case *exp == "fig10" || *exp == "table6":
+		br, err := experiments.RunBatchComparison(faults.RunConfig{})
+		check(err)
+		if *exp == "fig10" {
+			fmt.Print(br.Fig10())
+		} else {
+			fmt.Print(br.Table6())
+		}
+	case *exp == "table7":
+		text, err := experiments.Table7(faults.RunConfig{})
+		check(err)
+		fmt.Print(text)
+	case *exp == "fig12" || *exp == "table8":
+		res, err := experiments.MeasureOverhead(ocfg, []experiments.Variant{
+			experiments.Vanilla, experiments.WithArthas,
+			experiments.WithCheckpoint, experiments.WithInstr, experiments.WithPmCRIU,
+		})
+		check(err)
+		if *exp == "fig12" {
+			fmt.Print(res.Fig12())
+		} else {
+			fmt.Print(res.Table8())
+		}
+	case *exp == "table9":
+		ts, err := experiments.MeasureStatic()
+		check(err)
+		fmt.Print(experiments.Table9(ts))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

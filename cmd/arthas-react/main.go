@@ -1,0 +1,85 @@
+// Command arthas-react runs one of the twelve evaluated hard-fault cases
+// end-to-end: deploy the target system, run the workload, trigger the bug,
+// confirm it recurs across restart, and mitigate it with the chosen
+// solution (Arthas, pmCRIU, or ArCkpt).
+//
+// Usage:
+//
+//	arthas-react [-solution arthas|pmcriu|arckpt] [-mode purge|rollback]
+//	             [-ops N] [-batch N] f1..f12
+//
+// Example:
+//
+//	arthas-react -solution arthas f6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"arthas/internal/faults"
+	"arthas/internal/reactor"
+)
+
+func main() {
+	solution := flag.String("solution", "arthas", "mitigation solution: arthas, pmcriu, arckpt")
+	mode := flag.String("mode", "purge", "arthas reversion mode: purge or rollback")
+	ops := flag.Int("ops", 0, "workload operations (0 = case default)")
+	batch := flag.Int("batch", 1, "sequence numbers reverted per re-execution")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: arthas-react [-solution S] [-mode M] [-ops N] f1..f12")
+		os.Exit(2)
+	}
+	b, err := faults.ByID(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("case %s: %s — %s (%s)\n", b.ID, b.System, b.Fault, b.Consequence)
+
+	cfg := faults.RunConfig{WorkloadOps: *ops}
+	cfg.Reactor = reactor.DefaultConfig()
+	cfg.Reactor.Batch = *batch
+	if *mode == "rollback" {
+		cfg.Reactor.Mode = reactor.ModeRollback
+	}
+
+	var out *faults.Outcome
+	switch *solution {
+	case "arthas":
+		out, err = faults.RunArthas(b, cfg)
+	case "pmcriu":
+		out, err = faults.RunPmCRIU(b, cfg)
+	case "arckpt":
+		out, err = faults.RunArCkpt(b, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown solution %q\n", *solution)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("hard fault confirmed: %v\n", out.HardFault)
+	if out.Recovered {
+		fmt.Printf("RECOVERED by %s in %d attempt(s), %v\n", out.Solution, out.Attempts, out.MitigationTime)
+	} else {
+		fmt.Printf("NOT RECOVERED by %s after %d attempt(s) (timed out: %v)\n", out.Solution, out.Attempts, out.TimedOut)
+	}
+	if out.Meta.IsLeak {
+		fmt.Printf("leaked blocks freed: %d\n", out.Freed)
+	} else {
+		fmt.Printf("discarded: %d checkpointed updates (%.3f%% of all recorded)\n",
+			out.RevertedItems, out.DataLossPct)
+	}
+	if out.Consistent != nil {
+		fmt.Printf("post-recovery consistency: VIOLATED: %v\n", out.Consistent)
+	} else if out.Recovered {
+		fmt.Println("post-recovery consistency: ok")
+	}
+	if !out.Recovered {
+		os.Exit(1)
+	}
+}

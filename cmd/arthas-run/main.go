@@ -1,0 +1,81 @@
+// Command arthas-run deploys a PML program under the full Arthas runtime
+// (checkpoint log + address trace) and executes a script of requests,
+// reporting traps, checkpoint activity, and pool usage.
+//
+// Usage:
+//
+//	arthas-run [-recover FN] [-pool WORDS] file.pml "call args; call args; ..."
+//
+// Script statements are semicolon-separated function calls with integer
+// arguments, plus the pseudo-ops "restart" (crash + restart) and "stats".
+//
+// Example:
+//
+//	arthas-run demo.pml "init_; put 1 42; get 1; restart; get 1; stats"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"arthas"
+)
+
+func main() {
+	recoverFn := flag.String("recover", "", "recovery function run on restart")
+	pool := flag.Int("pool", 1<<16, "pool size in words")
+	poolFile := flag.String("poolfile", "", "image file: reopened if it exists, saved on exit (durable state AND mitigation history persist across invocations)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, `usage: arthas-run [-recover FN] [-pool WORDS] [-poolfile F] file.pml "init_; put 1 2; get 1"`)
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := arthas.Config{PoolWords: *pool, RecoverFn: *recoverFn}
+
+	var inst *arthas.Instance
+	if *poolFile != "" {
+		if f, ferr := os.Open(*poolFile); ferr == nil {
+			inst, err = arthas.OpenImage(flag.Arg(0), string(src), cfg, f)
+			f.Close()
+			if err == nil {
+				fmt.Printf("reopened image %s\n", *poolFile)
+			}
+		}
+	}
+	if inst == nil && err == nil {
+		inst, err = arthas.New(flag.Arg(0), string(src), cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	lines, scriptErr := inst.RunScript(flag.Arg(1))
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+
+	if *poolFile != "" {
+		f, ferr := os.Create(*poolFile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		if err := inst.SaveImage(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("saved image %s\n", *poolFile)
+	}
+	if scriptErr != nil {
+		fmt.Fprintln(os.Stderr, scriptErr)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+// Command pmlc compiles and inspects PML programs.
+//
+// Usage:
+//
+//	pmlc [-dump] [-fmt] [-stats] file.pml
+//
+//	-dump   print the compiled IR listing
+//	-fmt    pretty-print the parsed source
+//	-stats  print module statistics
+//
+// With no flags, pmlc type-checks and verifies the program silently
+// (exit status reports success).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"arthas/internal/ir"
+	"arthas/internal/pml"
+)
+
+func main() {
+	dump := flag.Bool("dump", false, "print the compiled IR listing")
+	format := flag.Bool("fmt", false, "pretty-print the parsed source")
+	stats := flag.Bool("stats", false, "print module statistics")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pmlc [-dump] [-fmt] [-stats] file.pml")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	prog, err := pml.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if *format {
+		fmt.Print(pml.Print(prog))
+	}
+
+	mod, err := ir.Compile(path, prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if *dump {
+		fmt.Print(ir.Print(mod))
+	}
+	if *stats {
+		instrs := 0
+		for _, f := range mod.Funcs {
+			instrs += f.NumInstrs
+		}
+		fmt.Printf("%s: %d globals, %d functions, %d IR instructions\n",
+			path, len(mod.Globals), len(mod.Funcs), instrs)
+	}
+}

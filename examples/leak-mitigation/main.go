@@ -1,0 +1,165 @@
+// leak-mitigation: the PMEMKV asynchronous-lazy-free pattern (paper §4.7).
+//
+// Deletes unlink a node from the index immediately and hand the free to a
+// background worker. A crash before the worker runs leaks the node — in
+// persistent memory, forever. The fault instruction (the PM usage monitor
+// firing) is disconnected from the root cause, so slicing does not apply;
+// instead Arthas diffs the checkpoint log's live allocations against the
+// addresses the annotated recovery function touches, and frees the rest.
+//
+// Run: go run ./examples/leak-mitigation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"arthas"
+)
+
+const source = `
+// root: 0 TAB  1 NBUCKET  2 NKEYS
+// node: 0 KEY  1 VALUE  2 HNEXT
+fn init_() {
+    var root = pmalloc(4);
+    var tab = pmalloc(32);
+    root[0] = tab;
+    root[1] = 32;
+    root[2] = 0;
+    persist(root, 3);
+    persist(tab, 32);
+    setroot(0, root);
+    return 0;
+}
+
+fn put(k, v) {
+    var root = getroot(0);
+    var n = pmalloc(3);
+    n[0] = k;
+    n[1] = v;
+    var tab = root[0];
+    var b = k % root[1];
+    n[2] = tab[b];
+    persist(n, 3);
+    tab[b] = n;
+    persist(tab + b, 1);
+    root[2] = root[2] + 1;
+    persist(root + 2, 1);
+    return 0;
+}
+
+fn get(k) {
+    var root = getroot(0);
+    var tab = root[0];
+    var n = tab[k % root[1]];
+    while (n != 0) {
+        if (n[0] == k) {
+            return n[1];
+        }
+        n = n[2];
+    }
+    return -1;
+}
+
+// The async worker frees the node... eventually.
+fn free_worker(n) {
+    yield();
+    pfree(n);
+    return 0;
+}
+
+// del unlinks immediately and schedules the free (the f12 pattern).
+fn del(k) {
+    var root = getroot(0);
+    var tab = root[0];
+    var b = k % root[1];
+    var n = tab[b];
+    var prev = 0;
+    while (n != 0) {
+        if (n[0] == k) {
+            if (prev == 0) {
+                tab[b] = n[2];
+                persist(tab + b, 1);
+            } else {
+                prev[2] = n[2];
+                persist(prev + 2, 1);
+            }
+            root[2] = root[2] - 1;
+            persist(root + 2, 1);
+            spawn free_worker(n);
+            return 1;
+        }
+        prev = n;
+        n = n[2];
+    }
+    return 0;
+}
+
+// The annotated recovery function touches every node reachable from the
+// index — exactly the set leak mitigation must NOT free.
+fn recover_() {
+    recover_begin();
+    var root = getroot(0);
+    var tab = root[0];
+    var limit = root[2] + root[2] + 8;
+    var seen = 0;
+    var b = 0;
+    while (b < root[1]) {
+        var n = tab[b];
+        while (n != 0 && seen <= limit) {
+            var v = n[1];
+            seen = seen + 1;
+            n = n[2];
+        }
+        b = b + 1;
+    }
+    recover_end();
+    return seen;
+}
+`
+
+func main() {
+	inst, err := arthas.New("pmkv", source, arthas.Config{
+		PoolWords: 4096,
+		RecoverFn: "recover_",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	call := func(fn string, args ...int64) int64 {
+		v, trap := inst.Call(fn, args...)
+		if trap != nil {
+			log.Fatalf("%s: %v", fn, trap)
+		}
+		return v
+	}
+	call("init_")
+
+	// Churn: insert and delete; every delete's free worker dies in a
+	// crash before running.
+	for k := int64(1); k <= 120; k++ {
+		call("put", k, k*7)
+		if k > 20 {
+			call("del", k-20)
+		}
+		if k%25 == 0 {
+			inst.Restart() // kills pending free workers: nodes leak
+		}
+	}
+	fmt.Printf("after churn: %d/%d pool words live, leak suspected: %v\n",
+		inst.Pool.LiveWords(), inst.Pool.Words(), inst.LeakSuspected())
+
+	rep, err := inst.MitigateLeak()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("leak mitigation freed %d blocks (%d words)\n", len(rep.FreedAddr), rep.FreedWords)
+	fmt.Printf("after mitigation: %d/%d pool words live, leak suspected: %v\n",
+		inst.Pool.LiveWords(), inst.Pool.Words(), inst.LeakSuspected())
+
+	// Live keys are untouched.
+	fmt.Println("key 110 =", call("get", 110))
+	fmt.Println("key 101 =", call("get", 101))
+	// Deleted keys stay deleted.
+	fmt.Println("key 50 (deleted) =", call("get", 50))
+}

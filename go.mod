@@ -1,0 +1,3 @@
+module arthas
+
+go 1.22

@@ -1,0 +1,81 @@
+package arthas
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"arthas/internal/checkpoint"
+	"arthas/internal/pmem"
+	"arthas/internal/trace"
+)
+
+// A full Arthas image bundles the pool's durable state with the durable
+// metadata the toolchain keeps alongside it: the checkpoint log (which the
+// paper stores IN persistent memory, §4.2) and the PM address trace (a file
+// that outlives the process, §4.1/§5). Reopening an image restores full
+// mitigation power — reversion history recorded before the save remains
+// usable, exactly as after a real restart of the paper's deployment.
+//
+// SavePool/Open (pool-only) model a bare pool file instead: durable data
+// travels but history does not.
+
+const (
+	imageMagic   uint64 = 0x41525448_494D4731 // "ARTH IMG1"
+	imageVersion uint64 = 1
+)
+
+// SaveImage writes pool + checkpoint log + trace.
+func (i *Instance) SaveImage(w io.Writer) error {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], imageMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], imageVersion)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := i.Pool.WriteTo(w); err != nil {
+		return fmt.Errorf("arthas: saving pool: %w", err)
+	}
+	if _, err := i.Log.WriteTo(w); err != nil {
+		return fmt.Errorf("arthas: saving checkpoint log: %w", err)
+	}
+	if _, err := i.Trace.WriteTo(w); err != nil {
+		return fmt.Errorf("arthas: saving trace: %w", err)
+	}
+	return nil
+}
+
+// OpenImage reopens a full image saved by SaveImage.
+func OpenImage(name, source string, cfg Config, r io.Reader) (*Instance, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("arthas: reading image: %w", err)
+	}
+	if binary.LittleEndian.Uint64(hdr[0:]) != imageMagic {
+		return nil, fmt.Errorf("arthas: not an image file")
+	}
+	if v := binary.LittleEndian.Uint64(hdr[8:]); v != imageVersion {
+		return nil, fmt.Errorf("arthas: image version %d, want %d", v, imageVersion)
+	}
+	pool, err := pmem.ReadPool(r)
+	if err != nil {
+		return nil, fmt.Errorf("arthas: %w", err)
+	}
+	log, err := checkpoint.ReadLog(r)
+	if err != nil {
+		return nil, fmt.Errorf("arthas: %w", err)
+	}
+	tr, err := trace.ReadTrace(r)
+	if err != nil {
+		return nil, fmt.Errorf("arthas: %w", err)
+	}
+	inst, err := build(name, source, cfg, pool)
+	if err != nil {
+		return nil, err
+	}
+	inst.Log = log
+	inst.Trace = tr
+	inst.Pool.SetHooks(inst.Log.Hooks())
+	inst.boot() // rebind trace sinks to the restored trace
+	return inst, nil
+}

@@ -1,0 +1,560 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"arthas/internal/ir"
+)
+
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	mod, err := ir.CompileSource("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return Analyze(mod)
+}
+
+// findInstr returns the first instruction in fn matching pred.
+func findInstr(t *testing.T, mod *ir.Module, fn string, pred func(*ir.Instr) bool) *ir.Instr {
+	t.Helper()
+	var out *ir.Instr
+	mod.Func(fn).Instrs(func(in *ir.Instr) {
+		if out == nil && pred(in) {
+			out = in
+		}
+	})
+	if out == nil {
+		t.Fatalf("no matching instruction in %s", fn)
+	}
+	return out
+}
+
+func TestPMSeedsIdentified(t *testing.T) {
+	res := analyze(t, `
+fn f() {
+    var p = pmalloc(4);   // PM
+    var v = valloc(4);    // volatile
+    p[0] = 1;             // PM store -> GUID
+    v[0] = 2;             // volatile store -> no GUID
+    persist(p, 1);
+    return 0;
+}`)
+	f := res.Mod.Func("f")
+	var pmStores, volStores int
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op != ir.OpStore {
+			return
+		}
+		if in.GUID != 0 {
+			pmStores++
+		} else {
+			volStores++
+		}
+	})
+	if pmStores != 1 || volStores != 1 {
+		t.Fatalf("pmStores=%d volStores=%d, want 1/1", pmStores, volStores)
+	}
+}
+
+func TestPMClosureThroughPointerArith(t *testing.T) {
+	res := analyze(t, `
+fn f(i) {
+    var p = pmalloc(16);
+    var q = p + 4;     // derived PM pointer
+    q[i] = 9;          // must be recognized as a PM store
+    return 0;
+}`)
+	store := findInstr(t, res.Mod, "f", func(in *ir.Instr) bool { return in.Op == ir.OpStore })
+	if store.GUID == 0 {
+		t.Fatal("store through derived pointer not instrumented")
+	}
+}
+
+func TestPMClosureAcrossCalls(t *testing.T) {
+	res := analyze(t, `
+fn helper(x) {
+    x[0] = 5;  // x may be PM (passed from f)
+    return 0;
+}
+fn f() {
+    var p = pmalloc(2);
+    helper(p);
+    return 0;
+}`)
+	store := findInstr(t, res.Mod, "helper", func(in *ir.Instr) bool { return in.Op == ir.OpStore })
+	if store.GUID == 0 {
+		t.Fatal("PM argument not propagated into callee")
+	}
+}
+
+func TestPMClosureThroughGlobals(t *testing.T) {
+	res := analyze(t, `
+var gptr;
+fn setup() { gptr = pmalloc(2); return 0; }
+fn write(v) { gptr[0] = v; return 0; }`)
+	store := findInstr(t, res.Mod, "write", func(in *ir.Instr) bool { return in.Op == ir.OpStore })
+	if store.GUID == 0 {
+		t.Fatal("PM pointer through global not recognized")
+	}
+}
+
+func TestPMClosureThroughLoads(t *testing.T) {
+	res := analyze(t, `
+fn f() {
+    var p = pmalloc(2);
+    var q = pmalloc(2);
+    p[0] = q;          // persistent pointer stored in PM
+    persist(p, 1);
+    var r = p[0];      // loading it back yields a PM pointer
+    r[1] = 7;          // PM store
+    return 0;
+}`)
+	var stores []*ir.Instr
+	res.Mod.Func("f").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore {
+			stores = append(stores, in)
+		}
+	})
+	if len(stores) != 2 {
+		t.Fatalf("stores = %d", len(stores))
+	}
+	for i, st := range stores {
+		if st.GUID == 0 {
+			t.Fatalf("store %d not instrumented", i)
+		}
+	}
+}
+
+func TestGetrootIsSeed(t *testing.T) {
+	res := analyze(t, `
+fn f() {
+    var p = getroot(0);
+    p[0] = 3;
+    return 0;
+}`)
+	store := findInstr(t, res.Mod, "f", func(in *ir.Instr) bool { return in.Op == ir.OpStore })
+	if store.GUID == 0 {
+		t.Fatal("getroot result not treated as PM seed")
+	}
+}
+
+func TestGUIDsDenseAndMapped(t *testing.T) {
+	res := analyze(t, `
+fn f() {
+    var p = pmalloc(4);
+    p[0] = 1;
+    p[1] = 2;
+    persist(p, 2);
+    pfree(p);
+    return 0;
+}`)
+	if len(res.GUIDs) == 0 {
+		t.Fatal("no GUIDs assigned")
+	}
+	for i, gi := range res.GUIDs {
+		if gi.GUID != i+1 {
+			t.Fatalf("GUIDs not dense: %d at %d", gi.GUID, i)
+		}
+		if res.InstrByGUID(gi.GUID) == nil {
+			t.Fatalf("GUID %d not resolvable", gi.GUID)
+		}
+	}
+	if FormatGUIDMap(res.GUIDs) == "" {
+		t.Fatal("empty GUID map rendering")
+	}
+}
+
+func TestPointsToDistinguishesSites(t *testing.T) {
+	res := analyze(t, `
+fn f() {
+    var a = pmalloc(2);
+    var b = pmalloc(2);
+    a[0] = 1;
+    b[0] = 2;
+    return 0;
+}`)
+	f := res.Mod.Func("f")
+	var stores []*ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore {
+			stores = append(stores, in)
+		}
+	})
+	if res.PT.MayAlias(f, stores[0], f, stores[1]) {
+		t.Fatal("stores to distinct allocation sites reported as aliasing")
+	}
+}
+
+func TestPointsToFieldSensitivity(t *testing.T) {
+	res := analyze(t, `
+fn f() {
+    var a = pmalloc(4);
+    a[0] = 1;
+    a[1] = 2;
+    return 0;
+}`)
+	f := res.Mod.Func("f")
+	var stores []*ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore {
+			stores = append(stores, in)
+		}
+	})
+	if res.PT.MayAlias(f, stores[0], f, stores[1]) {
+		t.Fatal("constant fields 0 and 1 of same object reported aliasing")
+	}
+}
+
+func TestPointsToDynamicOffsetAliasesAll(t *testing.T) {
+	res := analyze(t, `
+fn f(i) {
+    var a = pmalloc(4);
+    a[i] = 1;   // dynamic offset
+    a[2] = 2;   // constant field
+    return 0;
+}`)
+	f := res.Mod.Func("f")
+	var stores []*ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore {
+			stores = append(stores, in)
+		}
+	})
+	if !res.PT.MayAlias(f, stores[0], f, stores[1]) {
+		t.Fatal("dynamic-offset store must may-alias constant fields of same object")
+	}
+}
+
+func TestPointsToThroughRoot(t *testing.T) {
+	res := analyze(t, `
+fn setup() {
+    var p = pmalloc(2);
+    setroot(0, p);
+    return 0;
+}
+fn use() {
+    var q = getroot(0);
+    q[0] = 1;
+    return 0;
+}`)
+	setupStoreObj := findInstr(t, res.Mod, "setup", func(in *ir.Instr) bool { return in.Op == ir.OpPmalloc })
+	useF := res.Mod.Func("use")
+	store := findInstr(t, res.Mod, "use", func(in *ir.Instr) bool { return in.Op == ir.OpStore })
+	objs := res.PT.PointsToObjects(useF, store.Args[0])
+	found := false
+	for _, o := range objs {
+		if o == setupStoreObj {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("getroot result does not point to the object stored via setroot")
+	}
+}
+
+func TestDataDependenceChain(t *testing.T) {
+	res := analyze(t, `
+fn f(a) {
+    var x = a + 1;
+    var y = x * 2;
+    return y;
+}`)
+	f := res.Mod.Func("f")
+	ret := findInstr(t, res.Mod, "f", func(in *ir.Instr) bool { return in.Op == ir.OpRet })
+	slice := res.PDG.BackwardSlice(ret)
+	// The slice must include the add and mul.
+	var mul, add *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpBin && ir.BinOp(in.Imm) == ir.Mul {
+			mul = in
+		}
+		if in.Op == ir.OpBin && ir.BinOp(in.Imm) == ir.Add {
+			add = in
+		}
+	})
+	if !slice.Contains(mul) || !slice.Contains(add) {
+		t.Fatal("backward slice missing arithmetic chain")
+	}
+}
+
+func TestControlDependence(t *testing.T) {
+	res := analyze(t, `
+fn f(c) {
+    var r = 0;
+    if (c > 0) {
+        r = 1;
+    }
+    return r;
+}`)
+	f := res.Mod.Func("f")
+	// The store r=1 (a Mov) inside the if must be control-dependent on the br.
+	var movIn *ir.Instr
+	var br *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpBr {
+			br = in
+		}
+	})
+	// Find the const 1 -> mov pattern inside the then-block.
+	thenBlock := f.Blocks[br.Target]
+	for _, in := range thenBlock.Instrs {
+		if in.Op == ir.OpMov || in.Op == ir.OpConst {
+			movIn = in
+			break
+		}
+	}
+	if movIn == nil {
+		t.Fatal("no instruction in then block")
+	}
+	deps := res.PDG.CtrlPreds[movIn]
+	found := false
+	for _, d := range deps {
+		if d == br {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("then-block instruction not control-dependent on branch (deps=%v)", deps)
+	}
+}
+
+func TestLoopSelfControlDependence(t *testing.T) {
+	res := analyze(t, `
+fn f(n) {
+    var i = 0;
+    while (i < n) {
+        i = i + 1;
+    }
+    return i;
+}`)
+	f := res.Mod.Func("f")
+	var br *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpBr {
+			br = in
+		}
+	})
+	// Loop body instructions are control-dependent on the loop branch.
+	body := f.Blocks[br.Target]
+	dep := false
+	for _, in := range body.Instrs {
+		for _, d := range res.PDG.CtrlPreds[in] {
+			if d == br {
+				dep = true
+			}
+		}
+	}
+	if !dep {
+		t.Fatal("loop body not control-dependent on loop condition")
+	}
+}
+
+func TestMemoryDependenceEdge(t *testing.T) {
+	res := analyze(t, `
+fn f() {
+    var p = pmalloc(2);
+    p[0] = 42;        // store
+    var v = p[0];     // load must depend on the store
+    return v;
+}`)
+	f := res.Mod.Func("f")
+	store := findInstr(t, res.Mod, "f", func(in *ir.Instr) bool { return in.Op == ir.OpStore })
+	load := findInstr(t, res.Mod, "f", func(in *ir.Instr) bool { return in.Op == ir.OpLoad })
+	found := false
+	for _, d := range res.PDG.MemPreds[load] {
+		if d == store {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no store->load memory dependence edge")
+	}
+	_ = f
+}
+
+func TestInterproceduralSliceThroughCall(t *testing.T) {
+	res := analyze(t, `
+fn produce() {
+    var p = pmalloc(2);
+    p[0] = 13;       // root cause write
+    persist(p, 1);
+    setroot(0, p);
+    return p;
+}
+fn consume() {
+    var p = getroot(0);
+    var v = p[0];
+    assert(v != 13); // fault here
+    return v;
+}`)
+	fault := findInstr(t, res.Mod, "consume", func(in *ir.Instr) bool { return in.Op == ir.OpAssert })
+	slice := res.PDG.BackwardSlice(fault)
+	rootWrite := findInstr(t, res.Mod, "produce", func(in *ir.Instr) bool { return in.Op == ir.OpStore })
+	if !slice.Contains(rootWrite) {
+		t.Fatal("backward slice does not cross functions to the root-cause store")
+	}
+	pm := slice.PMSlice()
+	if len(pm.Nodes) == 0 {
+		t.Fatal("PM slice empty")
+	}
+	for _, n := range pm.Nodes {
+		if n.Instr.GUID == 0 {
+			t.Fatal("PM slice contains untraced instruction")
+		}
+	}
+}
+
+func TestSliceOrderedByDistance(t *testing.T) {
+	res := analyze(t, `
+fn f(a) {
+    var x = a + 1;
+    var y = x + 1;
+    var z = y + 1;
+    return z;
+}`)
+	ret := findInstr(t, res.Mod, "f", func(in *ir.Instr) bool { return in.Op == ir.OpRet })
+	slice := res.PDG.BackwardSlice(ret)
+	for i := 1; i < len(slice.Nodes); i++ {
+		if slice.Nodes[i].Dist < slice.Nodes[i-1].Dist {
+			t.Fatal("slice not ordered by distance")
+		}
+	}
+	capped := slice.MaxDist(1)
+	for _, n := range capped.Nodes {
+		if n.Dist > 1 {
+			t.Fatal("MaxDist cap not applied")
+		}
+	}
+}
+
+func TestForwardSlice(t *testing.T) {
+	res := analyze(t, `
+fn f(a) {
+    var x = a + 1;
+    var y = x * 2;
+    var z = a - 1;
+    return y + z;
+}`)
+	f := res.Mod.Func("f")
+	var add *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpBin && ir.BinOp(in.Imm) == ir.Add && add == nil {
+			add = in
+		}
+	})
+	fwd := res.PDG.ForwardSlice([]*ir.Instr{add})
+	var mul *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpBin && ir.BinOp(in.Imm) == ir.Mul {
+			mul = in
+		}
+	})
+	if !fwd[mul] {
+		t.Fatal("forward slice missing downstream multiply")
+	}
+}
+
+func TestPMWriteClassification(t *testing.T) {
+	res := analyze(t, `
+fn f() {
+    var p = pmalloc(2);
+    p[0] = 1;          // write
+    var v = p[0];      // read: PM instr but not a write
+    persist(p, 1);     // write
+    return v;
+}`)
+	f := res.Mod.Func("f")
+	load := findInstr(t, res.Mod, "f", func(in *ir.Instr) bool { return in.Op == ir.OpLoad })
+	store := findInstr(t, res.Mod, "f", func(in *ir.Instr) bool { return in.Op == ir.OpStore })
+	if res.IsPMWrite(f, load) {
+		t.Fatal("load classified as PM write")
+	}
+	if !res.IsPMWrite(f, store) {
+		t.Fatal("store not classified as PM write")
+	}
+	if load.GUID == 0 {
+		t.Fatal("PM load should still be traced (it is a PM instruction)")
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	res := analyze(t, `
+fn g() { return 1; }
+fn f() {
+    var p = pmalloc(2);
+    p[0] = g();
+    persist(p, 1);
+    return 0;
+}`)
+	s := res.Stats()
+	if s.Functions != 2 || s.Instructions == 0 || s.PMInstrs == 0 || s.PDGEdges == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// Property: the PM slice is always a subset of the full slice, and slicing
+// never includes instructions from functions that are unreachable from the
+// fault via the dependence+call-site relation... at minimum, every slice
+// contains its own fault instruction and is deterministic.
+func TestPropSliceDeterministicAndContainsFault(t *testing.T) {
+	res := analyze(t, `
+var g1;
+var g2;
+fn mix(a, b) {
+    var t = a ^ b;
+    g1 = t;
+    return t + g2;
+}
+fn stepper(n) {
+    var i = 0;
+    var acc = 0;
+    while (i < n) {
+        acc = mix(acc, i);
+        i = i + 1;
+    }
+    return acc;
+}
+fn store(v) {
+    var p = pmalloc(4);
+    p[0] = v;
+    persist(p, 1);
+    setroot(0, p);
+    return 0;
+}
+fn driver(n) {
+    var v = stepper(n);
+    store(v);
+    return v;
+}`)
+	var faults []*ir.Instr
+	for _, f := range res.Mod.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			if in.Op == ir.OpStore || in.Op == ir.OpRet {
+				faults = append(faults, in)
+			}
+		})
+	}
+	check := func(idx uint8) bool {
+		fault := faults[int(idx)%len(faults)]
+		s1 := res.PDG.BackwardSlice(fault)
+		s2 := res.PDG.BackwardSlice(fault)
+		if len(s1.Nodes) != len(s2.Nodes) {
+			return false
+		}
+		for i := range s1.Nodes {
+			if s1.Nodes[i].Instr != s2.Nodes[i].Instr {
+				return false
+			}
+		}
+		if !s1.Contains(fault) {
+			return false
+		}
+		pm := s1.PMSlice()
+		return len(pm.Nodes) <= len(s1.Nodes)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import "math/bits"
+
+// bitset is a dense bit vector used by the dataflow fixpoints.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// orWith ORs o into b, reporting whether b changed.
+func (b bitset) orWith(o bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// andNot clears every bit of k from b.
+func (b bitset) andNot(k bitset) {
+	for i := range b {
+		b[i] &^= k[i]
+	}
+}
+
+func (b bitset) copyFrom(o bitset) { copy(b, o) }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// forEach calls f for every set bit index.
+func (b bitset) forEach(f func(i int)) {
+	for w, word := range b {
+		for word != 0 {
+			i := w*64 + bits.TrailingZeros64(word)
+			f(i)
+			word &= word - 1
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"fmt"
+
+	"arthas/internal/ir"
+)
+
+// The Program Dependence Graph (paper §4.1, "Constructing Program
+// Dependence Graph"). Nodes are IR instructions; edges are data
+// dependencies (register def-use, global flow, memory store→load via the
+// alias analysis, call argument/return binding) and control dependencies
+// (from post-dominance frontiers). The graph is inter-procedural.
+
+// PDG is the assembled dependence graph for one module.
+type PDG struct {
+	Mod *ir.Module
+
+	// FnOf maps every instruction to its containing function.
+	FnOf map[*ir.Instr]*ir.Function
+
+	// DataPreds / DataSuccs: register, global, and call/return dataflow.
+	// x depends-on y ⇔ y ∈ DataPreds[x].
+	DataPreds map[*ir.Instr][]*ir.Instr
+	DataSuccs map[*ir.Instr][]*ir.Instr
+
+	// MemPreds / MemSuccs: store→load dependence through may-aliasing
+	// memory. Kept separate from register flow so the slicer can skip the
+	// fault instruction's own memory dependence for address faults: a
+	// segfaulting load crashes because of its *pointer*, not because of
+	// what the memory location contains.
+	MemPreds map[*ir.Instr][]*ir.Instr
+	MemSuccs map[*ir.Instr][]*ir.Instr
+
+	// CtrlPreds: branch instructions x is control-dependent on.
+	CtrlPreds map[*ir.Instr][]*ir.Instr
+	CtrlSuccs map[*ir.Instr][]*ir.Instr
+
+	// CallSitesOf lists the call/spawn instructions targeting a function.
+	CallSitesOf map[string][]*ir.Instr
+
+	numEdges int
+}
+
+// NumEdges returns the total dependence edge count (diagnostics, Table 9).
+func (g *PDG) NumEdges() int { return g.numEdges }
+
+// NumNodes returns the instruction count across the module.
+func (g *PDG) NumNodes() int { return len(g.FnOf) }
+
+func (g *PDG) addData(from, to *ir.Instr) {
+	g.DataPreds[to] = append(g.DataPreds[to], from)
+	g.DataSuccs[from] = append(g.DataSuccs[from], to)
+	g.numEdges++
+}
+
+func (g *PDG) addMem(store, load *ir.Instr) {
+	g.MemPreds[load] = append(g.MemPreds[load], store)
+	g.MemSuccs[store] = append(g.MemSuccs[store], load)
+	g.numEdges++
+}
+
+func (g *PDG) addCtrl(branch, dependent *ir.Instr) {
+	g.CtrlPreds[dependent] = append(g.CtrlPreds[dependent], branch)
+	g.CtrlSuccs[branch] = append(g.CtrlSuccs[branch], dependent)
+	g.numEdges++
+}
+
+// buildPDG assembles the graph.
+func buildPDG(mod *ir.Module, pt *PointsTo) *PDG {
+	g := &PDG{
+		Mod:         mod,
+		FnOf:        map[*ir.Instr]*ir.Function{},
+		DataPreds:   map[*ir.Instr][]*ir.Instr{},
+		DataSuccs:   map[*ir.Instr][]*ir.Instr{},
+		MemPreds:    map[*ir.Instr][]*ir.Instr{},
+		MemSuccs:    map[*ir.Instr][]*ir.Instr{},
+		CtrlPreds:   map[*ir.Instr][]*ir.Instr{},
+		CtrlSuccs:   map[*ir.Instr][]*ir.Instr{},
+		CallSitesOf: map[string][]*ir.Instr{},
+	}
+	for _, f := range mod.Funcs {
+		f := f
+		f.Instrs(func(in *ir.Instr) { g.FnOf[in] = f })
+	}
+
+	// 1. Register def-use, per function, with inter-procedural binding.
+	for _, f := range mod.Funcs {
+		du := computeDefUse(f)
+		for use, defs := range du.useDefs {
+			for _, d := range defs {
+				if d.instr != nil {
+					g.addData(d.instr, use)
+					continue
+				}
+				// Synthetic parameter def: bind to every call site's
+				// argument i — the call instruction is the dependence
+				// source (its own args already link to their defs).
+				for _, site := range callSites(mod, f.Name) {
+					g.addData(site, use)
+				}
+			}
+		}
+	}
+
+	// 2. Return-value flow: ret in callee -> call instruction.
+	for _, f := range mod.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			if in.Op != ir.OpCall || !in.HasDst() {
+				return
+			}
+			callee := mod.Func(in.Callee)
+			if callee == nil {
+				return
+			}
+			callee.Instrs(func(r *ir.Instr) {
+				if r.Op == ir.OpRet {
+					g.addData(r, in)
+				}
+			})
+		})
+	}
+
+	// 3. Global flow (flow-insensitive inter-procedural def-use).
+	gstores := map[int][]*ir.Instr{}
+	gloads := map[int][]*ir.Instr{}
+	for _, f := range mod.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			switch in.Op {
+			case ir.OpGlobStore:
+				gstores[int(in.Imm)] = append(gstores[int(in.Imm)], in)
+			case ir.OpGlobLoad:
+				gloads[int(in.Imm)] = append(gloads[int(in.Imm)], in)
+			}
+		})
+	}
+	for gi, loads := range gloads {
+		for _, ld := range loads {
+			for _, st := range gstores[gi] {
+				g.addData(st, ld)
+			}
+		}
+	}
+
+	// 4. Memory dependence: store → load through may-alias.
+	var stores, loads []*ir.Instr
+	for _, f := range mod.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			switch in.Op {
+			case ir.OpStore:
+				stores = append(stores, in)
+			case ir.OpLoad:
+				loads = append(loads, in)
+			}
+		})
+	}
+	for _, ld := range loads {
+		for _, st := range stores {
+			if pt.MayAlias(g.FnOf[st], st, g.FnOf[ld], ld) {
+				g.addMem(st, ld)
+			}
+		}
+	}
+
+	// 5. Control dependence (intra-procedural; call-site dependence is
+	// applied by the slicer).
+	for _, f := range mod.Funcs {
+		deps := controlDeps(f)
+		for bi, branches := range deps {
+			for _, in := range f.Blocks[bi].Instrs {
+				for _, br := range branches {
+					if br != in {
+						g.addCtrl(br, in)
+					}
+				}
+			}
+		}
+	}
+
+	// 6. Call-site index.
+	for _, f := range mod.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			if in.Op == ir.OpCall || in.Op == ir.OpSpawn {
+				g.CallSitesOf[in.Callee] = append(g.CallSitesOf[in.Callee], in)
+			}
+		})
+	}
+	return g
+}
+
+func callSites(mod *ir.Module, name string) []*ir.Instr {
+	var sites []*ir.Instr
+	for _, f := range mod.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			if (in.Op == ir.OpCall || in.Op == ir.OpSpawn) && in.Callee == name {
+				sites = append(sites, in)
+			}
+		})
+	}
+	return sites
+}
+
+// Describe renders a node for logs and debugging.
+func (g *PDG) Describe(in *ir.Instr) string {
+	f := g.FnOf[in]
+	name := "?"
+	if f != nil {
+		name = f.Name
+	}
+	return fmt.Sprintf("%s: %s", name, ir.FormatInstr(f, in))
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"fmt"
+
+	"arthas/internal/ir"
+	"arthas/internal/pml"
+)
+
+// PM variable identification and trace instrumentation (paper §4.1).
+//
+// Seeds are the results of the PM allocation/entry APIs (pmalloc, getroot —
+// the pmemobj_create/pmemobj_direct analogues). The closure propagates over
+// def-use chains: moves, arithmetic (pointer offsets), loads from PM
+// pointers, stores into globals, and inter-procedural argument/return
+// binding. Every instruction that creates or accesses persistent memory
+// through a PM variable becomes a "PM instruction" and is assigned a GUID;
+// the VM emits <GUID, address> trace events for those (the instrumented
+// tracing API calls of the paper).
+
+// GUIDInfo is one entry of the static metadata file mapping GUIDs to their
+// source location and instruction (the paper's <GUID, source_location,
+// instruction> records).
+type GUIDInfo struct {
+	GUID  int
+	Fn    string
+	Pos   pml.Pos
+	Instr string
+	Op    ir.Op
+}
+
+// pmClosure computes the set of PM registers per function (plus PM globals)
+// by fixpoint over def-use and call edges, then returns the PM instruction
+// set: instructions whose memory effect may touch PM.
+type pmClosure struct {
+	mod     *ir.Module
+	pt      *PointsTo
+	pmRegs  map[varKey]bool
+	pmGlobs map[int]bool
+}
+
+func computePMVars(mod *ir.Module, pt *PointsTo) *pmClosure {
+	c := &pmClosure{mod: mod, pt: pt, pmRegs: map[varKey]bool{}, pmGlobs: map[int]bool{}}
+
+	mark := func(f *ir.Function, r int) bool {
+		k := varKey{f, r}
+		if c.pmRegs[k] {
+			return false
+		}
+		c.pmRegs[k] = true
+		return true
+	}
+
+	// Seeds.
+	for _, f := range mod.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			if in.Op == ir.OpPmalloc || in.Op == ir.OpGetRoot || in.Op == ir.OpPmRealloc {
+				mark(f, in.Dst)
+			}
+		})
+	}
+
+	// Closure.
+	changed := true
+	for changed {
+		changed = false
+		for _, f := range mod.Funcs {
+			f.Instrs(func(in *ir.Instr) {
+				switch in.Op {
+				case ir.OpMov, ir.OpBin, ir.OpUn:
+					for _, a := range in.Args {
+						if c.pmRegs[varKey{f, a}] && mark(f, in.Dst) {
+							changed = true
+						}
+					}
+				case ir.OpLoad:
+					// A value loaded through a PM pointer may itself be a
+					// PM pointer (linked persistent structures).
+					if c.pmRegs[varKey{f, in.Args[0]}] && mark(f, in.Dst) {
+						changed = true
+					}
+				case ir.OpGlobStore:
+					if c.pmRegs[varKey{f, in.Args[0]}] && !c.pmGlobs[int(in.Imm)] {
+						c.pmGlobs[int(in.Imm)] = true
+						changed = true
+					}
+				case ir.OpGlobLoad:
+					if c.pmGlobs[int(in.Imm)] && mark(f, in.Dst) {
+						changed = true
+					}
+				case ir.OpCall, ir.OpSpawn:
+					callee := mod.Func(in.Callee)
+					if callee == nil {
+						return
+					}
+					for i, a := range in.Args {
+						if c.pmRegs[varKey{f, a}] && mark(callee, i) {
+							changed = true
+						}
+					}
+					if in.Op == ir.OpCall && in.HasDst() {
+						callee.Instrs(func(r *ir.Instr) {
+							if r.Op == ir.OpRet && len(r.Args) == 1 &&
+								c.pmRegs[varKey{callee, r.Args[0]}] && mark(f, in.Dst) {
+								changed = true
+							}
+						})
+					}
+				}
+			})
+		}
+	}
+	return c
+}
+
+// isPMReg reports whether register r of f may hold a PM address, combining
+// the def-use closure with the pointer analysis.
+func (c *pmClosure) isPMReg(f *ir.Function, r int) bool {
+	return c.pmRegs[varKey{f, r}] || c.pt.MayPointToPM(f, r)
+}
+
+// isPMInstr reports whether in creates or accesses persistent memory.
+func (c *pmClosure) isPMInstr(f *ir.Function, in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpPmalloc, ir.OpGetRoot, ir.OpSetRoot, ir.OpPfree, ir.OpPersist,
+		ir.OpFlush, ir.OpFence, ir.OpTxBegin, ir.OpTxCommit, ir.OpPmSize,
+		ir.OpPmRealloc:
+		return true
+	case ir.OpStore, ir.OpLoad:
+		return c.isPMReg(f, in.Args[0])
+	}
+	return false
+}
+
+// isPMWrite reports whether in may modify persistent state — the
+// instructions whose trace events the reactor joins with checkpoint entries.
+func (c *pmClosure) isPMWrite(f *ir.Function, in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpPmalloc, ir.OpSetRoot, ir.OpPfree, ir.OpPersist, ir.OpFlush, ir.OpFence,
+		ir.OpPmRealloc:
+		return true
+	case ir.OpStore:
+		return c.isPMReg(f, in.Args[0])
+	}
+	return false
+}
+
+// instrument assigns GUIDs to all PM instructions and returns the metadata
+// table. GUIDs start at 1 (0 means "not traced").
+func instrument(mod *ir.Module, c *pmClosure) []GUIDInfo {
+	var infos []GUIDInfo
+	next := 1
+	for _, f := range mod.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			if !c.isPMInstr(f, in) {
+				return
+			}
+			in.GUID = next
+			infos = append(infos, GUIDInfo{
+				GUID:  next,
+				Fn:    f.Name,
+				Pos:   in.Pos,
+				Instr: ir.FormatInstr(f, in),
+				Op:    in.Op,
+			})
+			next++
+		})
+	}
+	return infos
+}
+
+// FormatGUIDMap renders the metadata table the way the paper's analyzer
+// writes its mapping file.
+func FormatGUIDMap(infos []GUIDInfo) string {
+	s := ""
+	for _, gi := range infos {
+		s += fmt.Sprintf("%d\t%s\t%v\t%s\n", gi.GUID, gi.Fn, gi.Pos, gi.Instr)
+	}
+	return s
+}

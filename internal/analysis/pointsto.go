@@ -1,0 +1,308 @@
+package analysis
+
+import (
+	"arthas/internal/ir"
+)
+
+// Inter-procedural inclusion-based (Andersen-style) pointer analysis.
+//
+// Abstract objects are allocation sites (every pmalloc/valloc instruction)
+// plus one pseudo-object for the pool's root-slot table. Pointer variables
+// are (function, register) pairs and module globals. The heap is modeled
+// per-object (fields collapsed for the points-to relation itself;
+// field-sensitivity is recovered at alias-query time from the instructions'
+// constant offsets — see MayAlias).
+//
+// Constraints:
+//
+//	a = pmalloc/valloc     pts(a) ⊇ {site}
+//	a = getroot(k)         pts(a) ⊇ heap(rootObj)
+//	setroot(k, b)          heap(rootObj) ⊇ pts(b)
+//	a = b (mov)            pts(a) ⊇ pts(b)
+//	a = b op c (bin)       pts(a) ⊇ pts(b) ∪ pts(c)   (pointer arithmetic)
+//	a = load [b+off]       pts(a) ⊇ heap(o) for o ∈ pts(b)
+//	store [b+off], c       heap(o) ⊇ pts(c) for o ∈ pts(b)
+//	call r = f(..b..)      pts(param_i(f)) ⊇ pts(b); pts(r) ⊇ pts(ret(f))
+//	g = b / a = g          via a pts set per global
+type PointsTo struct {
+	mod *ir.Module
+
+	// Object identities.
+	objs      []*ir.Instr // index -> allocation instruction (nil for rootObj)
+	objOf     map[*ir.Instr]int
+	rootObj   int
+	pmObjSet  bitset // objects that live in persistent memory
+	numVars   int
+	varOf     map[varKey]int
+	globalVar []int // global index -> var id
+
+	// Solver state.
+	pts      []bitset   // var -> object set
+	heap     []bitset   // obj -> object set (what its fields may point to)
+	copyEdge [][]int    // var -> vars that include it
+	loadUses [][]loadC  // var (base) -> load constraints
+	storeUse [][]storeC // var (base) -> store constraints
+}
+
+type varKey struct {
+	fn  *ir.Function // nil for globals
+	reg int          // register index, or global index when fn == nil
+}
+
+type loadC struct{ dst int }
+type storeC struct{ src int }
+
+// buildPointsTo constructs and solves the constraint system for a module.
+func buildPointsTo(mod *ir.Module) *PointsTo {
+	pt := &PointsTo{
+		mod:   mod,
+		objOf: map[*ir.Instr]int{},
+		varOf: map[varKey]int{},
+	}
+	// rootObj is object 0.
+	pt.rootObj = 0
+	pt.objs = append(pt.objs, nil)
+
+	for _, f := range mod.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			if in.Op == ir.OpPmalloc || in.Op == ir.OpValloc || in.Op == ir.OpPmRealloc {
+				pt.objOf[in] = len(pt.objs)
+				pt.objs = append(pt.objs, in)
+			}
+		})
+	}
+	pt.pmObjSet = newBitset(len(pt.objs))
+	pt.pmObjSet.set(pt.rootObj)
+	for in, id := range pt.objOf {
+		if in.Op == ir.OpPmalloc || in.Op == ir.OpPmRealloc {
+			pt.pmObjSet.set(id)
+		}
+	}
+
+	// Variable ids.
+	pt.globalVar = make([]int, len(mod.Globals))
+	for gi := range mod.Globals {
+		pt.globalVar[gi] = pt.varID(varKey{nil, gi})
+	}
+	for _, f := range mod.Funcs {
+		for r := 0; r < f.NumRegs; r++ {
+			pt.varID(varKey{f, r})
+		}
+	}
+	pt.numVars = len(pt.pts)
+
+	pt.copyEdge = make([][]int, pt.numVars)
+	pt.loadUses = make([][]loadC, pt.numVars)
+	pt.storeUse = make([][]storeC, pt.numVars)
+	pt.heap = make([]bitset, len(pt.objs))
+	for i := range pt.heap {
+		pt.heap[i] = newBitset(len(pt.objs))
+	}
+
+	pt.collectConstraints()
+	pt.solve()
+	return pt
+}
+
+func (pt *PointsTo) varID(k varKey) int {
+	if id, ok := pt.varOf[k]; ok {
+		return id
+	}
+	id := len(pt.pts)
+	pt.varOf[k] = id
+	pt.pts = append(pt.pts, newBitset(len(pt.objs)))
+	return id
+}
+
+func (pt *PointsTo) regVar(f *ir.Function, r int) int { return pt.varOf[varKey{f, r}] }
+
+func (pt *PointsTo) collectConstraints() {
+	addCopy := func(from, to int) { pt.copyEdge[from] = append(pt.copyEdge[from], to) }
+
+	for _, f := range pt.mod.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			switch in.Op {
+			case ir.OpPmalloc, ir.OpValloc, ir.OpPmRealloc:
+				pt.pts[pt.regVar(f, in.Dst)].set(pt.objOf[in])
+				if in.Op == ir.OpPmRealloc {
+					// The new block inherits the old block's contents:
+					// heap(new) ⊇ heap(anything the old pointer reached).
+					base := pt.regVar(f, in.Args[0])
+					pt.loadUses[base] = append(pt.loadUses[base],
+						loadC{dst: pt.regVar(f, in.Dst)})
+				}
+			case ir.OpMov:
+				addCopy(pt.regVar(f, in.Args[0]), pt.regVar(f, in.Dst))
+			case ir.OpBin:
+				// Pointer arithmetic may flow through either operand.
+				addCopy(pt.regVar(f, in.Args[0]), pt.regVar(f, in.Dst))
+				addCopy(pt.regVar(f, in.Args[1]), pt.regVar(f, in.Dst))
+			case ir.OpLoad:
+				base := pt.regVar(f, in.Args[0])
+				pt.loadUses[base] = append(pt.loadUses[base], loadC{dst: pt.regVar(f, in.Dst)})
+			case ir.OpStore:
+				base := pt.regVar(f, in.Args[0])
+				pt.storeUse[base] = append(pt.storeUse[base], storeC{src: pt.regVar(f, in.Args[1])})
+			case ir.OpGlobLoad:
+				addCopy(pt.globalVar[in.Imm], pt.regVar(f, in.Dst))
+			case ir.OpGlobStore:
+				addCopy(pt.regVar(f, in.Args[0]), pt.globalVar[in.Imm])
+			case ir.OpGetRoot:
+				// Treated as a load from rootObj: dst ⊇ heap(rootObj).
+				// Model with a synthetic variable that points at rootObj.
+				rv := pt.syntheticRootVar()
+				pt.loadUses[rv] = append(pt.loadUses[rv], loadC{dst: pt.regVar(f, in.Dst)})
+			case ir.OpSetRoot:
+				rv := pt.syntheticRootVar()
+				pt.storeUse[rv] = append(pt.storeUse[rv], storeC{src: pt.regVar(f, in.Args[1])})
+			case ir.OpCall, ir.OpSpawn:
+				callee := pt.mod.Func(in.Callee)
+				if callee == nil {
+					return
+				}
+				for i, a := range in.Args {
+					addCopy(pt.regVar(f, a), pt.regVar(callee, i))
+				}
+				if in.Op == ir.OpCall && in.HasDst() {
+					// Return flow: every ret arg of callee copies to dst.
+					callee.Instrs(func(r *ir.Instr) {
+						if r.Op == ir.OpRet && len(r.Args) == 1 {
+							addCopy(pt.regVar(callee, r.Args[0]), pt.regVar(f, in.Dst))
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// syntheticRootVar returns a variable whose points-to set is exactly
+// {rootObj}, used to express getroot/setroot as loads/stores on rootObj.
+func (pt *PointsTo) syntheticRootVar() int {
+	k := varKey{nil, -1}
+	if id, ok := pt.varOf[k]; ok {
+		return id
+	}
+	id := len(pt.pts)
+	pt.varOf[k] = id
+	b := newBitset(len(pt.objs))
+	b.set(pt.rootObj)
+	pt.pts = append(pt.pts, b)
+	pt.copyEdge = append(pt.copyEdge, nil)
+	pt.loadUses = append(pt.loadUses, nil)
+	pt.storeUse = append(pt.storeUse, nil)
+	pt.numVars++
+	return id
+}
+
+// solve runs the inclusion fixpoint to convergence.
+func (pt *PointsTo) solve() {
+	changed := true
+	for changed {
+		changed = false
+		// Copy edges.
+		for from, tos := range pt.copyEdge {
+			for _, to := range tos {
+				if pt.pts[to].orWith(pt.pts[from]) {
+					changed = true
+				}
+			}
+		}
+		// Load/store constraints.
+		for base := range pt.pts {
+			if len(pt.loadUses[base]) == 0 && len(pt.storeUse[base]) == 0 {
+				continue
+			}
+			var objs []int
+			pt.pts[base].forEach(func(o int) { objs = append(objs, o) })
+			for _, lc := range pt.loadUses[base] {
+				for _, o := range objs {
+					if pt.pts[lc.dst].orWith(pt.heap[o]) {
+						changed = true
+					}
+				}
+			}
+			for _, sc := range pt.storeUse[base] {
+				for _, o := range objs {
+					if pt.heap[o].orWith(pt.pts[sc.src]) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// PointsToObjects returns the allocation sites register r of f may point at.
+func (pt *PointsTo) PointsToObjects(f *ir.Function, r int) []*ir.Instr {
+	var out []*ir.Instr
+	id, ok := pt.varOf[varKey{f, r}]
+	if !ok {
+		return nil
+	}
+	pt.pts[id].forEach(func(o int) {
+		out = append(out, pt.objs[o]) // nil = rootObj
+	})
+	return out
+}
+
+// MayPointToPM reports whether register r of f may hold a PM address.
+func (pt *PointsTo) MayPointToPM(f *ir.Function, r int) bool {
+	id, ok := pt.varOf[varKey{f, r}]
+	if !ok {
+		return false
+	}
+	found := false
+	pt.pts[id].forEach(func(o int) {
+		if pt.pmObjSet.has(o) {
+			found = true
+		}
+	})
+	return found
+}
+
+// objsOfBase returns the abstract object ids the base register may address.
+func (pt *PointsTo) objsOfBase(f *ir.Function, r int) bitset {
+	id, ok := pt.varOf[varKey{f, r}]
+	if !ok {
+		return newBitset(len(pt.objs))
+	}
+	return pt.pts[id]
+}
+
+// MayAlias reports whether a store and a load/store may touch the same word.
+// Both instructions must be memory ops (their Args[0] is the base address
+// register). Field sensitivity: when both accesses use folded constant
+// offsets off the same base object, differing offsets cannot alias; an
+// access whose address was computed dynamically (base register defined by
+// arithmetic) conservatively aliases every offset of its objects.
+func (pt *PointsTo) MayAlias(fa *ir.Function, a *ir.Instr, fb *ir.Function, b *ir.Instr) bool {
+	oa := pt.objsOfBase(fa, a.Args[0])
+	ob := pt.objsOfBase(fb, b.Args[0])
+	overlap := false
+	oa.forEach(func(i int) {
+		if ob.has(i) {
+			overlap = true
+		}
+	})
+	if !overlap {
+		return false
+	}
+	if dynamicAddress(fa, a) || dynamicAddress(fb, b) {
+		return true
+	}
+	return a.Off == b.Off
+}
+
+// dynamicAddress reports whether the access's base register may itself be a
+// computed (base+index) address, in which case its Off is not the true field.
+func dynamicAddress(f *ir.Function, in *ir.Instr) bool {
+	base := in.Args[0]
+	dyn := false
+	f.Instrs(func(d *ir.Instr) {
+		if d.HasDst() && d.Dst == base && d.Op == ir.OpBin {
+			dyn = true
+		}
+	})
+	return dyn
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import "arthas/internal/ir"
+
+// Post-dominance and control dependence (Ferrante/Ottenstein/Warren).
+//
+// Control dependence is computed per function: for every CFG edge A→B where
+// B does not post-dominate A, every block from B up the post-dominator tree
+// (until, exclusively, A's immediate post-dominator) is control-dependent on
+// A's terminating branch. Blocks in infinite loops never reach the virtual
+// exit; they post-dominate nothing, and the walk guards against that.
+
+// postDoms computes the post-dominator sets of every block, using a virtual
+// exit node indexed len(blocks) that every return block precedes.
+func postDoms(f *ir.Function) []bitset {
+	nb := len(f.Blocks)
+	exit := nb
+	n := nb + 1
+
+	// Reverse-CFG predecessors = forward successors (+ exit after rets).
+	succs := make([][]int, n)
+	for bi, b := range f.Blocks {
+		succs[bi] = b.Succs()
+		if t := b.Terminator(); t != nil && t.Op == ir.OpRet {
+			succs[bi] = []int{exit}
+		}
+	}
+
+	pdom := make([]bitset, n)
+	for i := 0; i < n; i++ {
+		pdom[i] = newBitset(n)
+		if i == exit {
+			pdom[i].set(exit)
+		} else {
+			// Start full; refine down.
+			for j := 0; j < n; j++ {
+				pdom[i].set(j)
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := nb - 1; i >= 0; i-- {
+			if len(succs[i]) == 0 {
+				// No path to exit (e.g. guaranteed-trap block): keep full.
+				continue
+			}
+			meet := pdom[succs[i][0]].clone()
+			for _, s := range succs[i][1:] {
+				for w := range meet {
+					meet[w] &= pdom[s][w]
+				}
+			}
+			meet.set(i)
+			same := true
+			for w := range meet {
+				if meet[w] != pdom[i][w] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				pdom[i] = meet
+				changed = true
+			}
+		}
+	}
+	return pdom
+}
+
+// immediatePostDom derives the ipdom of each block from the pdom sets.
+// Returns -1 when undefined (exit, or unreachable-from-exit blocks).
+func immediatePostDom(f *ir.Function, pdom []bitset) []int {
+	nb := len(f.Blocks)
+	n := nb + 1
+	ipdom := make([]int, n)
+	for i := range ipdom {
+		ipdom[i] = -1
+	}
+	for i := 0; i < nb; i++ {
+		// Strict post-dominators of i.
+		var strict []int
+		pdom[i].forEach(func(j int) {
+			if j != i {
+				strict = append(strict, j)
+			}
+		})
+		// The ipdom is the strict post-dominator that is post-dominated by
+		// every other strict post-dominator.
+		for _, c := range strict {
+			isIPDom := true
+			for _, o := range strict {
+				if o != c && !pdom[c].has(o) {
+					isIPDom = false
+					break
+				}
+			}
+			if isIPDom {
+				ipdom[i] = c
+				break
+			}
+		}
+	}
+	return ipdom
+}
+
+// controlDeps returns, for each block, the branch instructions it is
+// control-dependent on.
+func controlDeps(f *ir.Function) map[int][]*ir.Instr {
+	pdom := postDoms(f)
+	ipdom := immediatePostDom(f, pdom)
+	deps := map[int][]*ir.Instr{}
+
+	for _, a := range f.Blocks {
+		t := a.Terminator()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		for _, b := range a.Succs() {
+			if pdom[a.Index].has(b) {
+				// b post-dominates a: taking this edge is inevitable, so
+				// nothing on it is control-dependent on the branch.
+				continue
+			}
+			// Walk b up the post-dominator tree until ipdom(a), marking
+			// each visited block control-dependent on a's branch. Loops
+			// make the walk pass through a itself (self-dependence).
+			stop := ipdom[a.Index]
+			cur := b
+			for steps := 0; cur != -1 && cur != stop && steps <= len(f.Blocks)+1; steps++ {
+				if cur < len(f.Blocks) {
+					deps[cur] = append(deps[cur], t)
+				}
+				cur = ipdom[cur]
+			}
+		}
+	}
+	return deps
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import "arthas/internal/ir"
+
+// Reaching definitions and register def-use chains, computed per function.
+//
+// The IR is a non-SSA register machine, so def-use chains come from a
+// classic reaching-definitions fixpoint: a definition site is any
+// instruction with a destination register, plus one synthetic definition
+// per parameter (representing the value flowing in from call sites).
+
+// defSite is one definition of a register.
+type defSite struct {
+	instr *ir.Instr // nil for the synthetic parameter definition
+	reg   int
+	param int // parameter index when instr == nil
+}
+
+// regDefUse holds the per-function def-use results.
+type regDefUse struct {
+	fn   *ir.Function
+	defs []defSite
+	// useDefs maps an instruction to the definition sites that may reach
+	// each of its register uses (merged over all uses).
+	useDefs map[*ir.Instr][]defSite
+}
+
+// computeDefUse runs reaching definitions over f and records, for every
+// instruction, which definitions reach its uses.
+func computeDefUse(f *ir.Function) *regDefUse {
+	r := &regDefUse{fn: f, useDefs: map[*ir.Instr][]defSite{}}
+
+	// Enumerate definition sites. Synthetic parameter defs come first.
+	defsOfReg := make([][]int, f.NumRegs) // reg -> def indices
+	for p := 0; p < f.NumParams; p++ {
+		r.defs = append(r.defs, defSite{instr: nil, reg: p, param: p})
+		defsOfReg[p] = append(defsOfReg[p], p)
+	}
+	f.Instrs(func(in *ir.Instr) {
+		if in.HasDst() {
+			idx := len(r.defs)
+			r.defs = append(r.defs, defSite{instr: in, reg: in.Dst})
+			defsOfReg[in.Dst] = append(defsOfReg[in.Dst], idx)
+		}
+	})
+	nd := len(r.defs)
+
+	// gen/kill per block.
+	nb := len(f.Blocks)
+	gen := make([]bitset, nb)
+	kill := make([]bitset, nb)
+	for bi, b := range f.Blocks {
+		gen[bi] = newBitset(nd)
+		kill[bi] = newBitset(nd)
+		for _, in := range b.Instrs {
+			if !in.HasDst() {
+				continue
+			}
+			// This def kills all other defs of the register...
+			for _, d := range defsOfReg[in.Dst] {
+				kill[bi].set(d)
+				gen[bi].clear(d)
+			}
+			// ...and generates itself.
+			for _, d := range defsOfReg[in.Dst] {
+				if r.defs[d].instr == in {
+					gen[bi].set(d)
+					kill[bi].clear(d)
+				}
+			}
+		}
+	}
+
+	// IN/OUT fixpoint. Entry IN holds the synthetic parameter defs.
+	in := make([]bitset, nb)
+	out := make([]bitset, nb)
+	for bi := range f.Blocks {
+		in[bi] = newBitset(nd)
+		out[bi] = newBitset(nd)
+	}
+	for p := 0; p < f.NumParams; p++ {
+		in[0].set(p)
+	}
+	preds := ir.Preds(f)
+	changed := true
+	for changed {
+		changed = false
+		for bi := range f.Blocks {
+			if bi != 0 {
+				merged := newBitset(nd)
+				for _, p := range preds[bi] {
+					merged.orWith(out[p])
+				}
+				if bi == 0 {
+					for p := 0; p < f.NumParams; p++ {
+						merged.set(p)
+					}
+				}
+				in[bi].copyFrom(merged)
+			}
+			o := in[bi].clone()
+			o.andNot(kill[bi])
+			o.orWith(gen[bi])
+			if out[bi].orWith(o) {
+				changed = true
+			}
+		}
+	}
+
+	// Walk each block tracking current reaching defs to resolve uses.
+	for bi, b := range f.Blocks {
+		cur := in[bi].clone()
+		for _, instr := range b.Instrs {
+			for _, useReg := range instr.Args {
+				for _, d := range defsOfReg[useReg] {
+					if cur.has(d) {
+						r.useDefs[instr] = append(r.useDefs[instr], r.defs[d])
+					}
+				}
+			}
+			if instr.HasDst() {
+				for _, d := range defsOfReg[instr.Dst] {
+					cur.clear(d)
+					if r.defs[d].instr == instr {
+						cur.set(d)
+					}
+				}
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"sort"
+
+	"arthas/internal/ir"
+)
+
+// Backward program slicing (paper §4.5): "The reactor first computes the
+// backward slices of the fault instruction based on the PDG. A backward
+// slice for an instruction A includes all instructions that may affect the
+// values in A. We only retain instructions that have persistent variables
+// operands."
+
+// SliceNode is one instruction in a slice, with its BFS distance from the
+// fault instruction (used by distance-capping policies).
+type SliceNode struct {
+	Instr *ir.Instr
+	Fn    *ir.Function
+	Dist  int
+}
+
+// Slice is an ordered backward slice (closest dependencies first).
+type Slice struct {
+	Fault *ir.Instr
+	Nodes []SliceNode
+}
+
+// GUIDs returns the traced PM instructions in the slice, nearest first.
+func (s *Slice) GUIDs() []int {
+	var out []int
+	for _, n := range s.Nodes {
+		if n.Instr.GUID != 0 {
+			out = append(out, n.Instr.GUID)
+		}
+	}
+	return out
+}
+
+// SliceOpts tunes backward slicing.
+type SliceOpts struct {
+	// AddrFault indicates the fault is an invalid-address trap at the
+	// fault instruction (segfault on a load/store/free). In that case the
+	// slice follows the fault node's register (address) dependencies but
+	// NOT its memory dependence: the crash is caused by the bad pointer,
+	// not by the contents of the location it failed to access. All other
+	// nodes follow memory dependence normally.
+	AddrFault bool
+}
+
+// BackwardSlice computes the backward slice of fault over the PDG with
+// default options.
+func (g *PDG) BackwardSlice(fault *ir.Instr) *Slice {
+	return g.BackwardSliceOpts(fault, SliceOpts{})
+}
+
+// BackwardSliceOpts computes the backward slice of fault over the PDG,
+// following data, memory, and control predecessor edges, plus the call-site
+// rule: reaching any instruction of a function pulls in that function's
+// call sites (inter-procedural control dependence).
+func (g *PDG) BackwardSliceOpts(fault *ir.Instr, opts SliceOpts) *Slice {
+	type qe struct {
+		in   *ir.Instr
+		dist int
+	}
+	seen := map[*ir.Instr]int{fault: 0}
+	queue := []qe{{fault, 0}}
+	fnPulled := map[*ir.Function]bool{}
+
+	push := func(in *ir.Instr, dist int) {
+		if _, ok := seen[in]; ok {
+			return
+		}
+		seen[in] = dist
+		queue = append(queue, qe{in, dist})
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range g.DataPreds[cur.in] {
+			push(p, cur.dist+1)
+		}
+		if !(opts.AddrFault && cur.in == fault) {
+			for _, p := range g.MemPreds[cur.in] {
+				push(p, cur.dist+1)
+			}
+		}
+		for _, p := range g.CtrlPreds[cur.in] {
+			push(p, cur.dist+1)
+		}
+		// Call-site rule: the first time the slice enters a function,
+		// include its call sites (the fault can only be reached through
+		// them), at distance+1.
+		if f := g.FnOf[cur.in]; f != nil && !fnPulled[f] {
+			fnPulled[f] = true
+			for _, site := range g.CallSitesOf[f.Name] {
+				push(site, cur.dist+1)
+			}
+		}
+	}
+
+	s := &Slice{Fault: fault}
+	for in, d := range seen {
+		s.Nodes = append(s.Nodes, SliceNode{Instr: in, Fn: g.FnOf[in], Dist: d})
+	}
+	// Order: nearest first; ties by function name then instruction ID for
+	// determinism.
+	sort.Slice(s.Nodes, func(i, j int) bool {
+		a, b := s.Nodes[i], s.Nodes[j]
+		if a.Dist != b.Dist {
+			return a.Dist < b.Dist
+		}
+		an, bn := "", ""
+		if a.Fn != nil {
+			an = a.Fn.Name
+		}
+		if b.Fn != nil {
+			bn = b.Fn.Name
+		}
+		if an != bn {
+			return an < bn
+		}
+		return a.Instr.ID < b.Instr.ID
+	})
+	return s
+}
+
+// PMSlice filters a slice down to nodes whose instructions touch PM (have a
+// GUID), i.e. the paper's "retain instructions that have persistent
+// variable operands".
+func (s *Slice) PMSlice() *Slice {
+	out := &Slice{Fault: s.Fault}
+	for _, n := range s.Nodes {
+		if n.Instr.GUID != 0 {
+			out.Nodes = append(out.Nodes, n)
+		}
+	}
+	return out
+}
+
+// MaxDist caps a slice at a maximum distance from the fault (the "more
+// complex policy function" of §4.5).
+func (s *Slice) MaxDist(d int) *Slice {
+	out := &Slice{Fault: s.Fault}
+	for _, n := range s.Nodes {
+		if n.Dist <= d {
+			out.Nodes = append(out.Nodes, n)
+		}
+	}
+	return out
+}
+
+// Contains reports whether the slice includes the instruction.
+func (s *Slice) Contains(in *ir.Instr) bool {
+	for _, n := range s.Nodes {
+		if n.Instr == in {
+			return true
+		}
+	}
+	return false
+}
+
+// ForwardSlice computes the forward closure from a set of instructions over
+// data edges — used by the purge mode's second pass, which re-purges states
+// influenced by a reverted update (paper §4.4).
+func (g *PDG) ForwardSlice(from []*ir.Instr) map[*ir.Instr]bool {
+	seen := map[*ir.Instr]bool{}
+	queue := append([]*ir.Instr(nil), from...)
+	for _, in := range from {
+		seen[in] = true
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, s := range g.DataSuccs[cur] {
+			if !seen[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+		for _, s := range g.MemSuccs[cur] {
+			if !seen[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,138 @@
+// Package baseline implements the two comparison solutions of the paper's
+// evaluation (§6.1):
+//
+//   - pmCRIU: the CRIU process-checkpointing approach enhanced to snapshot
+//     PM pools — coarse-grained, periodic, point-in-time images, rolled
+//     back newest-first until the failure disappears.
+//   - ArCkpt: Arthas's fine-grained checkpoint log but with the analyzer
+//     disabled — reversion follows strict time order (newest sequence
+//     number first), one entry per re-execution, with no dependency
+//     guidance. It recovers immediate-crash bugs cheaply and times out on
+//     everything whose root cause is buried in history.
+package baseline
+
+import (
+	"time"
+
+	"arthas/internal/checkpoint"
+	"arthas/internal/pmem"
+	"arthas/internal/vm"
+)
+
+// Report summarizes a baseline mitigation.
+type Report struct {
+	Recovered bool
+	Attempts  int
+	// SnapshotsBack, for pmCRIU, counts how many snapshots were unwound.
+	SnapshotsBack int
+	// RevertedVersions, for ArCkpt, counts discarded checkpoint versions.
+	RevertedVersions int
+	// DiscardedWords measures durable words that differ between the
+	// pre-mitigation pool and the restored state (pmCRIU's coarse loss).
+	DiscardedWords int
+	Duration       time.Duration
+	TimedOut       bool
+}
+
+// PmCRIU takes whole-pool snapshots every Interval logical operations.
+type PmCRIU struct {
+	Pool *pmem.Pool
+	// Interval is the number of Tick operations between snapshots
+	// (the paper dumps an image every minute).
+	Interval uint64
+
+	ops   uint64
+	snaps []*pmem.Snapshot
+}
+
+// NewPmCRIU wires the baseline to a pool.
+func NewPmCRIU(pool *pmem.Pool, interval uint64) *PmCRIU {
+	if interval == 0 {
+		interval = 1000
+	}
+	return &PmCRIU{Pool: pool, Interval: interval}
+}
+
+// Tick advances logical time by n operations, snapshotting when due.
+func (c *PmCRIU) Tick(n uint64) {
+	before := c.ops / c.Interval
+	c.ops += n
+	if c.ops/c.Interval != before {
+		c.SnapshotNow()
+	}
+}
+
+// SnapshotNow forces an immediate snapshot.
+func (c *PmCRIU) SnapshotNow() {
+	c.snaps = append(c.snaps, c.Pool.TakeSnapshot(c.ops))
+}
+
+// Snapshots returns how many snapshots have been taken.
+func (c *PmCRIU) Snapshots() int { return len(c.snaps) }
+
+// Mitigate restores snapshots newest-first, re-executing after each, until
+// the system is healthy or snapshots run out. reexec restarts the target
+// and probes the failure; nil means healthy.
+func (c *PmCRIU) Mitigate(reexec func() *vm.Trap) *Report {
+	start := time.Now()
+	rep := &Report{}
+	defer func() { rep.Duration = time.Since(start) }()
+
+	failedState := c.Pool.TakeSnapshot(c.ops) // for loss measurement
+	for i := len(c.snaps) - 1; i >= 0; i-- {
+		rep.Attempts++
+		rep.SnapshotsBack = len(c.snaps) - i
+		if err := c.Pool.RestoreSnapshot(c.snaps[i]); err != nil {
+			continue
+		}
+		if trap := reexec(); trap == nil {
+			rep.Recovered = true
+			rep.DiscardedWords = c.Pool.DiffWords(failedState)
+			return rep
+		}
+	}
+	rep.TimedOut = true
+	return rep
+}
+
+// ArCkptConfig bounds the ArCkpt baseline.
+type ArCkptConfig struct {
+	// MaxAttempts is the re-execution budget (the paper's 10-minute
+	// timeout analogue). Default 64.
+	MaxAttempts int
+}
+
+// MitigateArCkpt reverts checkpoint entries strictly newest-first, one per
+// re-execution, with no dependency analysis.
+func MitigateArCkpt(pool *pmem.Pool, log *checkpoint.Log, reexec func() *vm.Trap,
+	cfg ArCkptConfig) *Report {
+
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 64
+	}
+	start := time.Now()
+	startReverted := log.RevertedVersions()
+	rep := &Report{}
+	defer func() {
+		rep.Duration = time.Since(start)
+		rep.RevertedVersions = int(log.RevertedVersions() - startReverted)
+	}()
+
+	seqs := log.AllSeqs()
+	for i := len(seqs) - 1; i >= 0; i-- {
+		if rep.Attempts >= cfg.MaxAttempts {
+			rep.TimedOut = true
+			return rep
+		}
+		if _, err := log.Revert(pool, seqs[i]); err != nil {
+			continue
+		}
+		rep.Attempts++
+		if trap := reexec(); trap == nil {
+			rep.Recovered = true
+			return rep
+		}
+	}
+	rep.TimedOut = true
+	return rep
+}

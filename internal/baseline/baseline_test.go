@@ -1,0 +1,215 @@
+package baseline
+
+import (
+	"testing"
+
+	"arthas/internal/checkpoint"
+	"arthas/internal/ir"
+	"arthas/internal/pmem"
+	"arthas/internal/vm"
+)
+
+// counterSys: a root counter plus a poison flag; poisoning persists a bad
+// flag that makes check() fail.
+const counterSys = `
+fn init_() {
+    var root = pmalloc(4);
+    root[0] = 0;  // counter
+    persist(root, 1);
+    root[1] = 0;  // poison flag, persisted per-field so it is versioned
+    persist(root + 1, 1);
+    setroot(0, root);
+    return 0;
+}
+fn bump() {
+    var root = getroot(0);
+    root[0] = root[0] + 1;
+    persist(root, 1);
+    return root[0];
+}
+fn poison() {
+    var root = getroot(0);
+    root[1] = 1;
+    persist(root + 1, 1);
+    return 0;
+}
+fn check() {
+    var root = getroot(0);
+    assert(root[1] == 0);
+    return root[0];
+}
+// append_ persists a fresh item per call: each produces a distinct
+// checkpoint entry, mimicking a KV store ingesting new keys.
+fn append_(v) {
+    var item = pmalloc(2);
+    item[0] = v;
+    persist(item, 1);
+    return 0;
+}
+`
+
+type deployment struct {
+	mod  *ir.Module
+	pool *pmem.Pool
+	log  *checkpoint.Log
+	m    *vm.Machine
+}
+
+func deploy(t *testing.T, withLog bool) *deployment {
+	t.Helper()
+	mod, err := ir.CompileSource("counter", counterSys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &deployment{mod: mod, pool: pmem.New(1 << 12)}
+	if withLog {
+		d.log = checkpoint.NewLog(3)
+		d.pool.SetHooks(d.log.Hooks())
+	}
+	d.m = vm.New(mod, d.pool, vm.Config{})
+	return d
+}
+
+func (d *deployment) restart() {
+	d.pool.Crash()
+	d.m = vm.New(d.mod, d.pool, vm.Config{})
+}
+
+func (d *deployment) probe() *vm.Trap {
+	d.restart()
+	_, trap := d.m.Call("check")
+	return trap
+}
+
+func TestPmCRIUSnapshotCadence(t *testing.T) {
+	d := deploy(t, false)
+	c := NewPmCRIU(d.pool, 10)
+	for i := 0; i < 35; i++ {
+		c.Tick(1)
+	}
+	if c.Snapshots() != 3 {
+		t.Fatalf("snapshots = %d, want 3", c.Snapshots())
+	}
+}
+
+func TestPmCRIURecoversWhenSnapshotPredatesBug(t *testing.T) {
+	d := deploy(t, false)
+	c := NewPmCRIU(d.pool, 10)
+	d.m.Call("init_")
+	for i := 0; i < 20; i++ {
+		d.m.Call("bump")
+		c.Tick(1)
+	}
+	// Bug strikes after the snapshots.
+	d.m.Call("poison")
+	if d.probe() == nil {
+		t.Fatal("poison did not break the system")
+	}
+	rep := c.Mitigate(d.probe)
+	if !rep.Recovered {
+		t.Fatalf("pmCRIU failed: %+v", rep)
+	}
+	// Coarse rollback: the counter lost progress back to the snapshot.
+	d.restart()
+	v, trap := d.m.Call("check")
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if v != 20 {
+		t.Logf("counter after restore = %d (snapshot-granularity loss)", v)
+	}
+	if v > 20 {
+		t.Fatalf("counter too high after restore: %d", v)
+	}
+}
+
+func TestPmCRIUFailsWhenBugPrecedesFirstSnapshot(t *testing.T) {
+	// The paper's probabilistic cases (f5, f8): the bug triggers before
+	// the first snapshot, so every image contains the bad state.
+	d := deploy(t, false)
+	c := NewPmCRIU(d.pool, 10)
+	d.m.Call("init_")
+	d.m.Call("poison") // bug first...
+	for i := 0; i < 20; i++ {
+		d.m.Call("bump")
+		c.Tick(1) // ...snapshots all capture the poisoned pool
+	}
+	rep := c.Mitigate(d.probe)
+	if rep.Recovered {
+		t.Fatal("pmCRIU recovered despite all snapshots containing the bad state")
+	}
+	if !rep.TimedOut {
+		t.Fatal("expected timeout-style failure")
+	}
+}
+
+func TestPmCRIUNoSnapshots(t *testing.T) {
+	d := deploy(t, false)
+	c := NewPmCRIU(d.pool, 100)
+	d.m.Call("init_")
+	d.m.Call("poison")
+	rep := c.Mitigate(d.probe)
+	if rep.Recovered || rep.Attempts != 0 {
+		t.Fatalf("rep = %+v", rep)
+	}
+}
+
+func TestArCkptRecoversImmediateCrash(t *testing.T) {
+	// The newest update IS the bad one: ArCkpt's single newest-first
+	// reversion fixes it in one attempt (the paper's f4/f10 pattern).
+	d := deploy(t, true)
+	d.m.Call("init_")
+	for i := 0; i < 5; i++ {
+		d.m.Call("bump")
+	}
+	d.m.Call("poison") // newest persisted update
+	rep := MitigateArCkpt(d.pool, d.log, d.probe, ArCkptConfig{})
+	if !rep.Recovered {
+		t.Fatalf("ArCkpt failed: %+v", rep)
+	}
+	if rep.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", rep.Attempts)
+	}
+	if rep.RevertedVersions != 1 {
+		t.Fatalf("reverted = %d, want 1", rep.RevertedVersions)
+	}
+}
+
+func TestArCkptTimesOutOnBuriedRootCause(t *testing.T) {
+	// Bug triggered early, followed by many updates: newest-first blind
+	// reversion burns its budget before reaching the bad entry.
+	d := deploy(t, true)
+	d.m.Call("init_")
+	d.m.Call("poison")
+	for i := 0; i < 50; i++ {
+		d.m.Call("append_", int64(i)) // 50 distinct newer entries
+	}
+	rep := MitigateArCkpt(d.pool, d.log, d.probe, ArCkptConfig{MaxAttempts: 10})
+	if rep.Recovered {
+		t.Fatal("ArCkpt recovered despite buried root cause and small budget")
+	}
+	if !rep.TimedOut {
+		t.Fatal("expected timeout")
+	}
+	if rep.Attempts != 10 {
+		t.Fatalf("attempts = %d", rep.Attempts)
+	}
+}
+
+func TestArCkptEventuallyFindsBuriedRootCauseWithBigBudget(t *testing.T) {
+	d := deploy(t, true)
+	d.m.Call("init_")
+	d.m.Call("poison")
+	for i := 0; i < 20; i++ {
+		d.m.Call("append_", int64(i))
+	}
+	rep := MitigateArCkpt(d.pool, d.log, d.probe, ArCkptConfig{MaxAttempts: 1000})
+	if !rep.Recovered {
+		t.Fatalf("ArCkpt with big budget failed: %+v", rep)
+	}
+	// Blind newest-first reversion had to walk past every newer entry
+	// (20 appended items) before reaching the poison.
+	if rep.Attempts < 20 {
+		t.Fatalf("attempts = %d; expected blind reversion to churn through newer entries", rep.Attempts)
+	}
+}

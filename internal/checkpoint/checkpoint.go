@@ -1,0 +1,588 @@
+// Package checkpoint implements Arthas's PM-aware fine-grained checkpointing
+// (paper §4.2): persistent state updates are versioned at the granularity of
+// the program's own persistence calls, eagerly, at the moment data becomes
+// durable.
+//
+// Each log entry corresponds to one persisted address range and holds up to
+// MaxVersions historical values plus the sequence numbers that produced
+// them. An atomic sequence number totally orders PM updates by logical time.
+// Transaction commits are bracketed so that reverting any entry of a
+// transaction reverts its siblings too (§4.6). Allocations and frees are
+// tracked for the leak-mitigation diff (§4.7).
+//
+// The log attaches to a pool via Hooks(); because the pmem simulator fires
+// hooks only when data actually becomes durable, both the granularity and
+// the timing of checkpointing are exactly the target program's persistence
+// granularity and timing — the paper's central consistency argument.
+package checkpoint
+
+import (
+	"fmt"
+	"sort"
+
+	"arthas/internal/pmem"
+)
+
+// DefaultMaxVersions matches the paper's default of 3 data versions per entry.
+const DefaultMaxVersions = 3
+
+// Version is one durable value of an entry's address range.
+type Version struct {
+	Data []uint64
+	Seq  uint64
+	Tx   uint64 // transaction id, 0 = not transactional
+}
+
+// Entry versions one persisted address range. Entries are keyed by
+// (start address, size): a program that persists both a single field and a
+// whole struct at the same base gets two independent version histories, so
+// reverting either restores exactly the span that persistence call covered
+// (the paper's Figure 5 entry carries address, offset and per-version
+// sizes for the same reason).
+type Entry struct {
+	Addr     uint64
+	Words    int
+	Versions []Version // oldest first; capped at MaxVersions
+	// live indexes the version currently in PM: len(Versions)-1 after a
+	// write, decremented by reversions, -1 = reverted to pre-first state.
+	live int
+	// OldEntry links to the entry this range was reallocated from
+	// (paper Figure 5's old_entry field).
+	OldEntry *Entry
+	// resynced marks that an out-of-band-corruption resync already ran
+	// for this entry; later reverts step down versions normally. One shot
+	// guarantees reversion progress even when overlapping entries dispute
+	// the same words.
+	resynced bool
+	// dead marks an entry reverted below its oldest recorded version: its
+	// words fall back to the next-newest covering live entry (ownership
+	// transfer), and it no longer participates in resyncs.
+	dead bool
+}
+
+// Dead reports whether the entry was reverted below its first version.
+func (e *Entry) Dead() bool { return e.dead }
+
+// LiveVersion returns the currently-live version (nil when the entry was
+// reverted below its first recorded version).
+func (e *Entry) LiveVersion() *Version {
+	if e.dead || e.live < 0 || e.live >= len(e.Versions) {
+		return nil
+	}
+	return &e.Versions[e.live]
+}
+
+// AllocRecord tracks one persistent allocation for leak mitigation.
+type AllocRecord struct {
+	Addr  uint64
+	Words int
+	Seq   uint64 // sequence counter value when allocated
+	Freed bool
+	// Realloc marks that this allocation reuses an address that a previous
+	// (freed) allocation occupied — the trigger for old_entry linking.
+	Realloc bool
+}
+
+// entryKey identifies one versioned range.
+type entryKey struct {
+	addr  uint64
+	words int
+}
+
+// Log is the checkpoint log for one pool.
+type Log struct {
+	MaxVersions int
+
+	entries map[entryKey]*Entry
+	order   []entryKey // entry creation order (stable iteration)
+	bySeq   map[uint64]*Entry
+
+	seq   uint64
+	txSeq uint64
+	inTx  bool
+
+	allocs     map[uint64]*AllocRecord
+	allocOrder []uint64
+
+	totalVersions uint64 // every version ever recorded (data-loss accounting)
+}
+
+// NewLog creates an empty checkpoint log.
+func NewLog(maxVersions int) *Log {
+	if maxVersions <= 0 {
+		maxVersions = DefaultMaxVersions
+	}
+	return &Log{
+		MaxVersions: maxVersions,
+		entries:     map[entryKey]*Entry{},
+		bySeq:       map[uint64]*Entry{},
+		allocs:      map[uint64]*AllocRecord{},
+	}
+}
+
+// Hooks returns pmem hooks that feed this log. Install with pool.SetHooks.
+func (l *Log) Hooks() pmem.Hooks {
+	return pmem.Hooks{
+		OnPersist:  l.onPersist,
+		OnTxBegin:  func() { l.inTx = true; l.txSeq++ },
+		OnTxCommit: func() { l.inTx = false },
+		OnAlloc:    l.onAlloc,
+		OnFree:     l.onFree,
+	}
+}
+
+func (l *Log) onPersist(addr uint64, data []uint64) {
+	key := entryKey{addr, len(data)}
+	e := l.entries[key]
+	if e == nil {
+		e = &Entry{Addr: addr, Words: len(data), live: -1}
+		// Realloc linkage (Figure 5's old_entry): if this address was freed
+		// and re-allocated, link the new entry to the prior history there.
+		if rec, ok := l.allocs[addr]; ok && rec.Realloc {
+			for _, k := range l.order {
+				if k.addr == addr {
+					e.OldEntry = l.entries[k]
+					break
+				}
+			}
+		}
+		l.entries[key] = e
+		l.order = append(l.order, key)
+	}
+	l.seq++
+	v := Version{Data: append([]uint64(nil), data...), Seq: l.seq}
+	if l.inTx {
+		v.Tx = l.txSeq
+	}
+	// Drop-oldest when at capacity.
+	if len(e.Versions) >= l.MaxVersions {
+		delete(l.bySeq, e.Versions[0].Seq)
+		e.Versions = append(e.Versions[:0], e.Versions[1:]...)
+	}
+	e.Versions = append(e.Versions, v)
+	e.live = len(e.Versions) - 1
+	l.bySeq[v.Seq] = e
+	l.totalVersions++
+}
+
+func (l *Log) onAlloc(addr uint64, words int) {
+	rec := &AllocRecord{Addr: addr, Words: words, Seq: l.seq}
+	if prev, seen := l.allocs[addr]; !seen {
+		l.allocOrder = append(l.allocOrder, addr)
+	} else if prev.Freed {
+		rec.Realloc = true
+	}
+	l.allocs[addr] = rec
+}
+
+func (l *Log) onFree(addr uint64, words int) {
+	if rec, ok := l.allocs[addr]; ok {
+		rec.Freed = true
+	}
+}
+
+// Seq returns the latest sequence number issued.
+func (l *Log) Seq() uint64 { return l.seq }
+
+// TotalVersions returns how many PM updates were checkpointed in total.
+func (l *Log) TotalVersions() uint64 { return l.totalVersions }
+
+// RevertedVersions returns how many recorded updates are currently
+// discarded by reversion (derived from the entries' live cursors, so trial
+// restores are reflected automatically).
+func (l *Log) RevertedVersions() uint64 {
+	var n uint64
+	for _, k := range l.order {
+		e := l.entries[k]
+		if e.dead {
+			n += uint64(len(e.Versions))
+		} else if d := len(e.Versions) - 1 - e.live; d > 0 {
+			n += uint64(d)
+		}
+	}
+	return n
+}
+
+// NumEntries returns the number of distinct versioned ranges.
+func (l *Log) NumEntries() int { return len(l.entries) }
+
+// EntryAt returns the first-created entry starting exactly at addr, or nil.
+func (l *Log) EntryAt(addr uint64) *Entry {
+	for _, k := range l.order {
+		if k.addr == addr {
+			return l.entries[k]
+		}
+	}
+	return nil
+}
+
+// EntryBySeq returns the entry owning a sequence number, or nil.
+func (l *Log) EntryBySeq(seq uint64) *Entry { return l.bySeq[seq] }
+
+// TxOf returns the transaction id of a sequence number (0 if none).
+func (l *Log) TxOf(seq uint64) uint64 {
+	e := l.bySeq[seq]
+	if e == nil {
+		return 0
+	}
+	for _, v := range e.Versions {
+		if v.Seq == seq {
+			return v.Tx
+		}
+	}
+	return 0
+}
+
+// SeqsInTx returns every live sequence number recorded under a transaction.
+func (l *Log) SeqsInTx(tx uint64) []uint64 {
+	if tx == 0 {
+		return nil
+	}
+	var out []uint64
+	for _, k := range l.order {
+		for _, v := range l.entries[k].Versions {
+			if v.Tx == tx {
+				out = append(out, v.Seq)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SeqsCovering returns the sequence numbers of every version of every entry
+// whose range covers addr (the join used when mapping trace addresses to
+// checkpoint entries).
+func (l *Log) SeqsCovering(addr uint64) []uint64 {
+	var out []uint64
+	for _, k := range l.order {
+		if addr < k.addr || addr >= k.addr+uint64(k.words) {
+			continue
+		}
+		for _, v := range l.entries[k].Versions {
+			out = append(out, v.Seq)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllSeqs returns every live sequence number in ascending order.
+func (l *Log) AllSeqs() []uint64 {
+	var out []uint64
+	for s := range l.bySeq {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ownerOf returns the covering live entry with the newest live version for
+// a word — the entry whose data governs that durable word. Overlapping
+// entries (an init-time whole-struct persist vs later per-field persists)
+// are arbitrated by this ownership: only the owner may rewrite the word.
+func (l *Log) ownerOf(addr uint64) (*Entry, uint64, bool) {
+	var best *Entry
+	var bestSeq uint64
+	for _, k := range l.order {
+		if addr < k.addr || addr >= k.addr+uint64(k.words) {
+			continue
+		}
+		ent := l.entries[k]
+		lv := ent.LiveVersion()
+		if lv == nil {
+			continue
+		}
+		if best == nil || lv.Seq >= bestSeq {
+			best, bestSeq = ent, lv.Seq
+		}
+	}
+	if best == nil {
+		return nil, 0, false
+	}
+	return best, best.LiveVersion().Data[addr-best.Addr], true
+}
+
+// Revert reverts the entry owning seq by one version step: the address
+// range is durably rewritten with the version preceding the currently-live
+// one at or above seq. Reverting the oldest recorded version "kills" the
+// entry: ownership of its words transfers to the next-newest covering live
+// entry, whose values are written back (nothing is written for words no
+// live entry covers — the log never captured their prior state).
+// Returns the number of versions discarded.
+//
+// Out-of-band corruption (a hardware bit flip, a stray write outside any
+// persistence call) never produces a checkpoint version, so the durable
+// image can disagree with the checkpointed state. Revert therefore first
+// re-syncs the words this entry OWNS: it rewrites only differing words from
+// the live version and stops there — restoring the last checkpointed state
+// is itself a reversion step and often the entire fix for hardware faults
+// (paper §2.4).
+func (l *Log) Revert(pool *pmem.Pool, seq uint64) (int, error) {
+	e := l.bySeq[seq]
+	if e == nil {
+		return 0, fmt.Errorf("checkpoint: no entry for seq %d", seq)
+	}
+	if lv := e.LiveVersion(); lv != nil && !e.resynced {
+		fixed := false
+		for w, want := range lv.Data {
+			a := e.Addr + uint64(w)
+			if !pool.InAllocatedPayload(a) {
+				continue // never scribble into freed blocks
+			}
+			if owner, _, ok := l.ownerOf(a); !ok || owner != e {
+				continue // a newer covering entry governs this word
+			}
+			got, err := pool.ReadDurable(a)
+			if err != nil {
+				return 0, err
+			}
+			if got != want {
+				if err := pool.WriteDurable(a, want); err != nil {
+					return 0, err
+				}
+				fixed = true
+			}
+		}
+		if fixed {
+			e.resynced = true
+			return 0, nil
+		}
+	}
+	// Locate the version index for seq.
+	idx := -1
+	for i, v := range e.Versions {
+		if v.Seq == seq {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		return 0, fmt.Errorf("checkpoint: seq %d vanished from entry %#x", seq, e.Addr)
+	}
+	if e.dead || e.live <= idx-1 {
+		return 0, nil // already reverted at or below this version
+	}
+	if idx == 0 {
+		// Reverting the first recorded version: the entry dies and its
+		// words fall back to whatever older covering entries still hold.
+		discarded := e.live + 1
+		e.dead = true
+		for w := 0; w < e.Words; w++ {
+			a := e.Addr + uint64(w)
+			if !pool.InAllocatedPayload(a) {
+				continue
+			}
+			if _, val, ok := l.ownerOf(a); ok {
+				if err := pool.WriteDurable(a, val); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return discarded, nil
+	}
+	discarded := e.live - (idx - 1)
+	e.live = idx - 1
+
+	data := e.Versions[e.live].Data
+	for w := 0; w < len(data); w++ {
+		a := e.Addr + uint64(w)
+		if !pool.InAllocatedPayload(a) {
+			continue // the block was freed since: leave the allocator alone
+		}
+		if err := pool.WriteDurable(a, data[w]); err != nil {
+			return 0, err
+		}
+	}
+	return discarded, nil
+}
+
+// Resync repairs out-of-band corruption for the entry owning seq WITHOUT
+// stepping versions: words this entry owns whose durable value disagrees
+// with the live checkpointed version are rewritten. It is the minimal
+// reversion — "back to the last checkpointed state" — and the first thing
+// the reactor's rollback mode tries before discarding any history.
+// Returns the number of words repaired.
+func (l *Log) Resync(pool *pmem.Pool, seq uint64) (int, error) {
+	e := l.bySeq[seq]
+	if e == nil {
+		return 0, fmt.Errorf("checkpoint: no entry for seq %d", seq)
+	}
+	lv := e.LiveVersion()
+	if lv == nil {
+		return 0, nil
+	}
+	fixed := 0
+	for w, want := range lv.Data {
+		a := e.Addr + uint64(w)
+		if !pool.InAllocatedPayload(a) {
+			continue
+		}
+		if owner, _, ok := l.ownerOf(a); !ok || owner != e {
+			continue
+		}
+		got, err := pool.ReadDurable(a)
+		if err != nil {
+			return fixed, err
+		}
+		if got != want {
+			if err := pool.WriteDurable(a, want); err != nil {
+				return fixed, err
+			}
+			fixed++
+		}
+	}
+	return fixed, nil
+}
+
+// RevertSeqAndTx reverts seq plus, if it belongs to a transaction, every
+// other sequence number of that transaction (§4.6 transaction-level
+// consistency). Returns total versions discarded.
+func (l *Log) RevertSeqAndTx(pool *pmem.Pool, seq uint64) (int, error) {
+	total := 0
+	n, err := l.Revert(pool, seq)
+	if err != nil {
+		return total, err
+	}
+	total += n
+	if tx := l.TxOf(seq); tx != 0 {
+		for _, s := range l.SeqsInTx(tx) {
+			if s == seq {
+				continue
+			}
+			n, err := l.Revert(pool, s)
+			if err != nil {
+				return total, err
+			}
+			total += n
+		}
+	}
+	return total, nil
+}
+
+// RevertAllAfter reverts every entry that has live versions with sequence
+// numbers >= seq, in descending order — the strict time-order rollback used
+// by the rollback mode and the ArCkpt baseline.
+func (l *Log) RevertAllAfter(pool *pmem.Pool, seq uint64) (int, error) {
+	var seqs []uint64
+	for s := range l.bySeq {
+		if s >= seq {
+			seqs = append(seqs, s)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	total := 0
+	for _, s := range seqs {
+		n, err := l.Revert(pool, s)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// RestoreNewest undoes all reversions: every entry is durably rewritten
+// with its newest recorded version. Overlapping entries are written in
+// ascending newest-seq order so the most recent persist wins. The reactor
+// uses this when switching strategies, so a failed purge attempt does not
+// permanently destroy state the rollback mode still needs.
+func (l *Log) RestoreNewest(pool *pmem.Pool) error {
+	type pending struct {
+		e   *Entry
+		seq uint64
+	}
+	var ps []pending
+	for _, k := range l.order {
+		e := l.entries[k]
+		if len(e.Versions) == 0 {
+			continue
+		}
+		ps = append(ps, pending{e, e.Versions[len(e.Versions)-1].Seq})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].seq < ps[j].seq })
+	for _, p := range ps {
+		e := p.e
+		e.dead = false
+		e.live = len(e.Versions) - 1
+		e.resynced = false
+		data := e.Versions[e.live].Data
+		for w := 0; w < len(data); w++ {
+			a := e.Addr + uint64(w)
+			if !pool.InAllocatedPayload(a) {
+				continue
+			}
+			if err := pool.WriteDurable(a, data[w]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LogState is a snapshot of every entry's reversion cursor, used by the
+// reactor to run *isolated* reversion trials: capture, revert a candidate,
+// probe, and restore on failure so unsuccessful trials leave no damage.
+type LogState struct {
+	live     []int
+	dead     []bool
+	resynced []bool
+}
+
+// CaptureState snapshots the reversion cursors of all entries.
+func (l *Log) CaptureState() *LogState {
+	st := &LogState{
+		live:     make([]int, len(l.order)),
+		dead:     make([]bool, len(l.order)),
+		resynced: make([]bool, len(l.order)),
+	}
+	for i, k := range l.order {
+		e := l.entries[k]
+		st.live[i] = e.live
+		st.dead[i] = e.dead
+		st.resynced[i] = e.resynced
+	}
+	return st
+}
+
+// RestoreState puts the cursors back and durably rewrites the ranges of
+// every entry whose cursor changed, using word-level ownership so
+// overlapping entries settle to the correct values. Entries created after
+// the capture keep their current state.
+func (l *Log) RestoreState(pool *pmem.Pool, st *LogState) error {
+	var changed []*Entry
+	for i := 0; i < len(st.live) && i < len(l.order); i++ {
+		e := l.entries[l.order[i]]
+		if e.live != st.live[i] || e.dead != st.dead[i] {
+			changed = append(changed, e)
+		}
+		e.live = st.live[i]
+		e.dead = st.dead[i]
+		e.resynced = st.resynced[i]
+	}
+	for _, e := range changed {
+		for w := 0; w < e.Words; w++ {
+			a := e.Addr + uint64(w)
+			if !pool.InAllocatedPayload(a) {
+				continue
+			}
+			if _, val, ok := l.ownerOf(a); ok {
+				if err := pool.WriteDurable(a, val); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// LiveAllocs returns allocation records never freed, in allocation order.
+func (l *Log) LiveAllocs() []*AllocRecord {
+	var out []*AllocRecord
+	for _, a := range l.allocOrder {
+		if rec := l.allocs[a]; rec != nil && !rec.Freed {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"arthas/internal/pmem"
+)
+
+func TestLogSerializationRoundTrip(t *testing.T) {
+	pool, log := newRig(3)
+	a, _ := pool.Alloc(4)
+	// A few versioned entries.
+	for gen := uint64(1); gen <= 3; gen++ {
+		pool.Store(a, gen*10)
+		pool.Persist(a, 1)
+	}
+	// A transaction.
+	pool.Store(a+1, 7)
+	pool.Store(a+3, 8)
+	pool.PersistTx([]pmem.Range{{Addr: a + 1, Words: 1}, {Addr: a + 3, Words: 1}})
+	// A freed allocation (leak bookkeeping).
+	b, _ := pool.Alloc(2)
+	pool.Free(b)
+	// One reversion so cursors are non-trivial.
+	log.Revert(pool, 3)
+
+	var buf bytes.Buffer
+	if _, err := log.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq() != log.Seq() || got.TotalVersions() != log.TotalVersions() {
+		t.Fatalf("counters: seq %d/%d total %d/%d", got.Seq(), log.Seq(),
+			got.TotalVersions(), log.TotalVersions())
+	}
+	if got.NumEntries() != log.NumEntries() {
+		t.Fatalf("entries: %d vs %d", got.NumEntries(), log.NumEntries())
+	}
+	if got.RevertedVersions() != log.RevertedVersions() {
+		t.Fatalf("reverted: %d vs %d", got.RevertedVersions(), log.RevertedVersions())
+	}
+	// Version data travels.
+	e := got.EntryAt(a)
+	if e == nil || e.LiveVersion() == nil || e.LiveVersion().Data[0] != 20 {
+		t.Fatalf("entry at a: %+v", e)
+	}
+	// Transaction grouping travels.
+	seqs := got.AllSeqs()
+	tx := got.TxOf(seqs[len(seqs)-1])
+	if tx == 0 || len(got.SeqsInTx(tx)) != 2 {
+		t.Fatalf("tx grouping lost: tx=%d members=%v", tx, got.SeqsInTx(tx))
+	}
+	// Leak bookkeeping travels: the freed block stays excluded.
+	if len(got.LiveAllocs()) != len(log.LiveAllocs()) {
+		t.Fatalf("live allocs: %d vs %d", len(got.LiveAllocs()), len(log.LiveAllocs()))
+	}
+	for _, rec := range got.LiveAllocs() {
+		if rec.Addr == b {
+			t.Fatal("freed allocation resurrected by serialization")
+		}
+	}
+	// The reopened log keeps working: further reverts are possible.
+	if _, err := got.Revert(pool, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := pool.ReadDurable(a)
+	if v != 10 {
+		t.Fatalf("revert via reopened log -> %d", v)
+	}
+}
+
+func TestLogSerializationOldEntry(t *testing.T) {
+	pool, log := newRig(3)
+	a, _ := pool.Alloc(4)
+	pool.Store(a, 1)
+	pool.Persist(a, 1)
+	pool.Free(a)
+	b, _ := pool.Alloc(4)
+	if b != a {
+		t.Skip("no address reuse")
+	}
+	pool.Store(b, 2)
+	pool.Persist(b, 2) // new entry with OldEntry link
+
+	var buf bytes.Buffer
+	log.WriteTo(&buf)
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := got.EntryBySeq(got.Seq())
+	if e == nil || e.OldEntry == nil {
+		t.Fatal("old_entry link lost in serialization")
+	}
+	if e.OldEntry.Addr != a {
+		t.Fatalf("old entry addr = %#x", e.OldEntry.Addr)
+	}
+}
+
+func TestReadLogRejectsGarbage(t *testing.T) {
+	if _, err := ReadLog(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	pool, log := newRig(3)
+	a, _ := pool.Alloc(1)
+	pool.Store(a, 1)
+	pool.Persist(a, 1)
+	var buf bytes.Buffer
+	log.WriteTo(&buf)
+	data := buf.Bytes()
+	if _, err := ReadLog(bytes.NewReader(data[:len(data)-9])); err == nil {
+		t.Fatal("truncated log accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package checkpoint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	pool, log := newRig(3)
+	a, _ := pool.Alloc(4)
+	for gen := uint64(1); gen <= 3; gen++ {
+		for i := uint64(0); i < 4; i++ {
+			pool.Store(a+i, gen*100+i)
+			pool.Persist(a+i, 1)
+		}
+	}
+	st := log.CaptureState()
+	before := pool.TakeSnapshot(0)
+
+	// Scramble: revert entries newest-first so step-downs rewrite words
+	// (oldest-first would only kill entries, leaving unowned words as-is).
+	seqs := log.AllSeqs()
+	for i := len(seqs) - 1; i >= 0; i-- {
+		log.Revert(pool, seqs[i])
+	}
+	if pool.DiffWords(before) == 0 {
+		t.Fatal("reverts changed nothing; test is vacuous")
+	}
+
+	if err := log.RestoreState(pool, st); err != nil {
+		t.Fatal(err)
+	}
+	if d := pool.DiffWords(before); d != 0 {
+		t.Fatalf("restore left %d words different", d)
+	}
+	if log.RevertedVersions() != 0 {
+		t.Fatalf("reverted count = %d after restore", log.RevertedVersions())
+	}
+}
+
+func TestRestoreStateIgnoresNewerEntries(t *testing.T) {
+	pool, log := newRig(3)
+	a, _ := pool.Alloc(2)
+	pool.Store(a, 1)
+	pool.Persist(a, 1)
+	st := log.CaptureState()
+	// A new entry created after the capture must survive the restore.
+	pool.Store(a+1, 9)
+	pool.Persist(a+1, 1)
+	if err := log.RestoreState(pool, st); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := pool.ReadDurable(a + 1)
+	if v != 9 {
+		t.Fatalf("entry created after capture was reverted: %d", v)
+	}
+}
+
+func TestRestoreNewestResurrectsDead(t *testing.T) {
+	pool, log := newRig(3)
+	a, _ := pool.Alloc(1)
+	pool.Store(a, 5)
+	pool.Persist(a, 1)
+	log.Revert(pool, 1) // death
+	if log.EntryAt(a).Dead() != true {
+		t.Fatal("not dead")
+	}
+	if err := log.RestoreNewest(pool); err != nil {
+		t.Fatal(err)
+	}
+	e := log.EntryAt(a)
+	if e.Dead() || e.LiveVersion() == nil || e.LiveVersion().Data[0] != 5 {
+		t.Fatalf("entry not resurrected: %+v", e)
+	}
+	v, _ := pool.ReadDurable(a)
+	if v != 5 {
+		t.Fatalf("durable = %d", v)
+	}
+}
+
+// Property: capture → arbitrary reverts → restore is an identity on the
+// durable image and on RevertedVersions.
+func TestPropCaptureRestoreIdentity(t *testing.T) {
+	f := func(writes []uint8, revertPicks []uint8) bool {
+		pool, log := newRig(3)
+		a, err := pool.Alloc(16)
+		if err != nil {
+			return true
+		}
+		for i, w := range writes {
+			if i > 40 {
+				break
+			}
+			addr := a + uint64(w%16)
+			pool.Store(addr, uint64(i)*7+1)
+			pool.Persist(addr, 1)
+		}
+		if log.Seq() == 0 {
+			return true
+		}
+		st := log.CaptureState()
+		img := pool.TakeSnapshot(0)
+		seqs := log.AllSeqs()
+		for _, p := range revertPicks {
+			if len(seqs) == 0 {
+				break
+			}
+			log.Revert(pool, seqs[int(p)%len(seqs)])
+		}
+		if err := log.RestoreState(pool, st); err != nil {
+			return false
+		}
+		return pool.DiffWords(img) == 0 && log.RevertedVersions() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResyncOnlyOwnedWords(t *testing.T) {
+	pool, log := newRig(3)
+	a, _ := pool.Alloc(4)
+	pool.Store(a, 1)
+	pool.Store(a+1, 2)
+	pool.Persist(a, 2) // entry (a,2)
+	pool.Store(a+1, 22)
+	pool.Persist(a+1, 1) // newer entry (a+1,1) owns word a+1
+	// Corrupt both words out-of-band.
+	pool.WriteDurable(a, 100)
+	pool.WriteDurable(a+1, 200)
+	// Resyncing the old wide entry fixes only word a (its owned word).
+	n, err := log.Resync(pool, 1)
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	v0, _ := pool.ReadDurable(a)
+	v1, _ := pool.ReadDurable(a + 1)
+	if v0 != 1 {
+		t.Fatalf("owned word not resynced: %d", v0)
+	}
+	if v1 != 200 {
+		t.Fatalf("unowned word was touched: %d", v1)
+	}
+	// Resyncing the owner fixes the other word.
+	if n, _ := log.Resync(pool, 2); n != 1 {
+		t.Fatalf("owner resync n=%d", n)
+	}
+	v1, _ = pool.ReadDurable(a + 1)
+	if v1 != 22 {
+		t.Fatalf("word a+1 = %d", v1)
+	}
+}

@@ -1,0 +1,95 @@
+package detector
+
+import (
+	"fmt"
+
+	"arthas/internal/pmem"
+)
+
+// Alternative detection mechanisms evaluated in paper §6.6: checksums catch
+// value corruption (but not logic errors producing "valid" wrong values),
+// and invariant checks require developers to enumerate application-specific
+// invariants — both detect only a minority of hard faults (Table 7), and
+// neither fixes the bad state.
+
+// Checksum computes a simple FNV-1a style checksum over a PM range.
+func Checksum(pool *pmem.Pool, addr uint64, words int) (uint64, error) {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for w := 0; w < words; w++ {
+		v, err := pool.Load(addr + uint64(w))
+		if err != nil {
+			return 0, err
+		}
+		for b := 0; b < 8; b++ {
+			h ^= (v >> (8 * b)) & 0xff
+			h *= prime
+		}
+	}
+	return h, nil
+}
+
+// ChecksumGuard pairs a PM range with its last-known-good checksum, the way
+// a checksum-based defense would protect an individual PM state.
+type ChecksumGuard struct {
+	Name  string
+	Addr  uint64
+	Words int
+	sum   uint64
+	armed bool
+}
+
+// Update recomputes and stores the checksum (call after a legitimate write).
+func (g *ChecksumGuard) Update(pool *pmem.Pool) error {
+	s, err := Checksum(pool, g.Addr, g.Words)
+	if err != nil {
+		return err
+	}
+	g.sum = s
+	g.armed = true
+	return nil
+}
+
+// Verify reports whether the range still matches the recorded checksum.
+// An unarmed guard vacuously verifies.
+func (g *ChecksumGuard) Verify(pool *pmem.Pool) (bool, error) {
+	if !g.armed {
+		return true, nil
+	}
+	s, err := Checksum(pool, g.Addr, g.Words)
+	if err != nil {
+		return false, err
+	}
+	return s == g.sum, nil
+}
+
+// Invariant is one domain-specific consistency predicate ("the number of
+// key-value items must equal the hashtable size").
+type Invariant struct {
+	Name  string
+	Check func() error
+}
+
+// InvariantSuite runs a set of invariants and collects violations.
+type InvariantSuite struct {
+	Invariants []Invariant
+}
+
+// Add registers an invariant.
+func (s *InvariantSuite) Add(name string, check func() error) {
+	s.Invariants = append(s.Invariants, Invariant{Name: name, Check: check})
+}
+
+// Run evaluates all invariants, returning the violations (nil if clean).
+func (s *InvariantSuite) Run() []error {
+	var out []error
+	for _, inv := range s.Invariants {
+		if err := inv.Check(); err != nil {
+			out = append(out, fmt.Errorf("invariant %q violated: %w", inv.Name, err))
+		}
+	}
+	return out
+}

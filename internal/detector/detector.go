@@ -1,0 +1,207 @@
+// Package detector implements the Arthas detector (paper §4.3): it monitors
+// a PM system for failures (crash, assertion, hang, leak, wrong results),
+// extracts a failure signature — fault instruction, exit kind, stack trace —
+// and uses similarity heuristics across restarts to flag *potential hard
+// failures*. The heuristics are deliberately imperfect: false alarms are
+// pruned later by the reactor when the reversion plan comes out empty.
+//
+// The package also hosts the alternative detection mechanisms the paper
+// evaluates in §6.6: value checksums and domain invariant checks, which
+// catch only a small subset of hard faults (Table 7).
+package detector
+
+import (
+	"fmt"
+	"strings"
+
+	"arthas/internal/pmem"
+	"arthas/internal/vm"
+)
+
+// FailureKind classifies an observed failure at the detector level.
+type FailureKind int
+
+// Failure kinds.
+const (
+	FailNone FailureKind = iota
+	FailCrash
+	FailAssert
+	FailPanic // program-reported fatal error (fail(code))
+	FailHang
+	FailDeadlock
+	FailOutOfSpace
+	FailLeak
+	FailWrongResult
+	FailDataLoss
+)
+
+var failNames = [...]string{
+	FailNone: "none", FailCrash: "crash", FailAssert: "assert",
+	FailPanic: "panic", FailHang: "hang", FailDeadlock: "deadlock",
+	FailOutOfSpace: "out-of-space", FailLeak: "persistent-leak",
+	FailWrongResult: "wrong-result", FailDataLoss: "data-loss",
+}
+
+func (k FailureKind) String() string {
+	if int(k) < len(failNames) {
+		return failNames[k]
+	}
+	return fmt.Sprintf("failure(%d)", int(k))
+}
+
+// KindOfTrap maps VM trap kinds to detector failure kinds.
+func KindOfTrap(k vm.TrapKind) FailureKind {
+	switch k {
+	case vm.TrapSegfault, vm.TrapDivZero, vm.TrapOOM, vm.TrapStackOverflow:
+		return FailCrash
+	case vm.TrapAssert:
+		return FailAssert
+	case vm.TrapUserFail:
+		return FailPanic
+	case vm.TrapStepLimit:
+		return FailHang
+	case vm.TrapDeadlock:
+		return FailDeadlock
+	case vm.TrapPMOutOfSpace:
+		return FailOutOfSpace
+	}
+	return FailNone
+}
+
+// Signature identifies a failure for cross-restart comparison.
+type Signature struct {
+	Kind  FailureKind
+	GUID  int    // fault instruction GUID if it is a traced PM instruction
+	Fn    string // function containing the fault instruction
+	Loc   string // source position of the fault instruction
+	Code  int64  // user code for panics
+	Stack string
+}
+
+// String renders a compact signature.
+func (s Signature) String() string {
+	return fmt.Sprintf("%v@%s:%s guid=%d code=%d", s.Kind, s.Fn, s.Loc, s.GUID, s.Code)
+}
+
+// SignatureOf extracts a signature from a VM trap.
+func SignatureOf(trap *vm.Trap) Signature {
+	sig := Signature{Kind: KindOfTrap(trap.Kind), Code: trap.Code, Stack: trap.StackString()}
+	if trap.Fn != nil {
+		sig.Fn = trap.Fn.Name
+	}
+	if trap.Instr != nil {
+		sig.GUID = trap.Instr.GUID
+		sig.Loc = trap.Instr.Pos.String()
+	}
+	return sig
+}
+
+// Similar applies the paper's heuristic: "having the same exit code, fault
+// instruction, loosely the same stack trace".
+func Similar(a, b Signature) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	if a.Code != b.Code {
+		return false
+	}
+	// Same fault instruction is the strongest signal.
+	if a.Fn == b.Fn && a.Loc == b.Loc && a.Fn != "" {
+		return true
+	}
+	// Detector-synthesized failures (data loss, leak monitors) carry no
+	// instruction or stack: kind + code identity is the whole signature.
+	if a.Fn == "" && b.Fn == "" && a.Stack == "" && b.Stack == "" {
+		return true
+	}
+	// Loosely the same stack: share the innermost frame.
+	af := strings.SplitN(a.Stack, " <- ", 2)
+	bf := strings.SplitN(b.Stack, " <- ", 2)
+	return len(af) > 0 && len(bf) > 0 && af[0] != "" && af[0] == bf[0]
+}
+
+// UserCheck is a user-defined health predicate (§4.3: "It also supports
+// user-defined checks (e.g., inserted key-value items exist)"). It returns
+// a non-nil error describing the violation.
+type UserCheck struct {
+	Name string
+	Kind FailureKind
+	Run  func() error
+}
+
+// Detector accumulates observations for one monitored system.
+type Detector struct {
+	// LeakThresholdPct flags a leak when live PM words exceed this percent
+	// of the pool (default 90; <=0 disables).
+	LeakThresholdPct int
+
+	history []Signature
+	checks  []UserCheck
+}
+
+// New returns a detector with default thresholds.
+func New() *Detector { return &Detector{LeakThresholdPct: 90} }
+
+// History returns the recorded failure signatures in observation order.
+func (d *Detector) History() []Signature { return append([]Signature(nil), d.history...) }
+
+// Observe records a trap and reports whether the failure is a *suspected
+// hard failure*: a similar failure was already observed in a previous run
+// (restart did not make the symptom disappear).
+func (d *Detector) Observe(trap *vm.Trap) (Signature, bool) {
+	sig := SignatureOf(trap)
+	hard := false
+	for _, prev := range d.history {
+		if Similar(prev, sig) {
+			hard = true
+			break
+		}
+	}
+	d.history = append(d.history, sig)
+	return sig, hard
+}
+
+// ObserveCustom records a detector-level failure that did not come from a
+// trap (leak monitor, user-defined check, data-loss probe).
+func (d *Detector) ObserveCustom(kind FailureKind, where string) (Signature, bool) {
+	sig := Signature{Kind: kind, Fn: where}
+	hard := false
+	for _, prev := range d.history {
+		if prev.Kind == sig.Kind && prev.Fn == sig.Fn {
+			hard = true
+			break
+		}
+	}
+	d.history = append(d.history, sig)
+	return sig, hard
+}
+
+// CheckLeak applies the PM usage monitor: it reports FailLeak when the
+// pool's live allocation exceeds the threshold.
+func (d *Detector) CheckLeak(pool *pmem.Pool) bool {
+	if d.LeakThresholdPct <= 0 {
+		return false
+	}
+	return pool.LiveWords()*100 >= pool.Words()*d.LeakThresholdPct
+}
+
+// AddCheck registers a user-defined health check.
+func (d *Detector) AddCheck(name string, kind FailureKind, run func() error) {
+	d.checks = append(d.checks, UserCheck{Name: name, Kind: kind, Run: run})
+}
+
+// RunChecks evaluates every user check. The first violation is observed
+// (recorded in history) and returned with the hard-fault verdict; a clean
+// pass returns an empty signature and false.
+func (d *Detector) RunChecks() (Signature, bool, error) {
+	for _, c := range d.checks {
+		if err := c.Run(); err != nil {
+			sig, hard := d.ObserveCustom(c.Kind, c.Name)
+			return sig, hard, err
+		}
+	}
+	return Signature{}, false, nil
+}
+
+// Reset clears history (used between experiments). Registered checks stay.
+func (d *Detector) Reset() { d.history = nil }

@@ -1,0 +1,197 @@
+package detector
+
+import (
+	"errors"
+	"testing"
+
+	"arthas/internal/ir"
+	"arthas/internal/pmem"
+	"arthas/internal/vm"
+)
+
+func trapFrom(t *testing.T, src, fn string) *vm.Trap {
+	t.Helper()
+	mod, err := ir.CompileSource("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(mod, pmem.New(1<<12), vm.Config{StepLimit: 100000})
+	_, trap := m.Call(fn)
+	if trap == nil {
+		t.Fatalf("%s did not trap", fn)
+	}
+	return trap
+}
+
+func TestKindMapping(t *testing.T) {
+	cases := []struct {
+		src, fn string
+		want    FailureKind
+	}{
+		{"fn f() { var p = 0; p[0] = 1; }", "f", FailCrash},
+		{"fn f() { assert(0); }", "f", FailAssert},
+		{"fn f() { fail(3); }", "f", FailPanic},
+		{"fn f() { while (1) { } }", "f", FailHang},
+		{"fn f() { var lk = valloc(1); lock(lk); lock(lk); }", "f", FailDeadlock},
+	}
+	for _, c := range cases {
+		trap := trapFrom(t, c.src, c.fn)
+		if got := KindOfTrap(trap.Kind); got != c.want {
+			t.Errorf("%q -> %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestSignatureSimilarSameInstruction(t *testing.T) {
+	src := "fn f() { var p = 0; p[0] = 1; }"
+	a := SignatureOf(trapFrom(t, src, "f"))
+	b := SignatureOf(trapFrom(t, src, "f"))
+	if !Similar(a, b) {
+		t.Fatalf("identical faults not similar: %v vs %v", a, b)
+	}
+}
+
+func TestSignatureDissimilarKinds(t *testing.T) {
+	a := SignatureOf(trapFrom(t, "fn f() { var p = 0; p[0] = 1; }", "f"))
+	b := SignatureOf(trapFrom(t, "fn f() { assert(0); }", "f"))
+	if Similar(a, b) {
+		t.Fatal("different kinds reported similar")
+	}
+}
+
+func TestSignatureDissimilarCodes(t *testing.T) {
+	a := SignatureOf(trapFrom(t, "fn f() { fail(1); }", "f"))
+	b := SignatureOf(trapFrom(t, "fn f() { fail(2); }", "f"))
+	if Similar(a, b) {
+		t.Fatal("different panic codes reported similar")
+	}
+}
+
+func TestDetectorFlagsRecurrence(t *testing.T) {
+	d := New()
+	src := "fn f() { var p = 0; p[0] = 1; }"
+	_, hard := d.Observe(trapFrom(t, src, "f"))
+	if hard {
+		t.Fatal("first observation flagged as hard")
+	}
+	_, hard = d.Observe(trapFrom(t, src, "f")) // "after restart"
+	if !hard {
+		t.Fatal("recurring failure not flagged as potential hard failure")
+	}
+}
+
+func TestDetectorDistinguishesDifferentFaults(t *testing.T) {
+	d := New()
+	d.Observe(trapFrom(t, "fn f() { var p = 0; p[0] = 1; }", "f"))
+	_, hard := d.Observe(trapFrom(t, "fn g() { assert(0); }", "g"))
+	if hard {
+		t.Fatal("unrelated failure flagged as recurrence")
+	}
+}
+
+func TestObserveCustomRecurrence(t *testing.T) {
+	d := New()
+	_, hard := d.ObserveCustom(FailLeak, "pool-monitor")
+	if hard {
+		t.Fatal("first leak flagged hard")
+	}
+	_, hard = d.ObserveCustom(FailLeak, "pool-monitor")
+	if !hard {
+		t.Fatal("second leak not flagged hard")
+	}
+}
+
+func TestLeakMonitor(t *testing.T) {
+	pool := pmem.New(1000)
+	d := New()
+	if d.CheckLeak(pool) {
+		t.Fatal("empty pool flagged as leaking")
+	}
+	for {
+		if _, err := pool.Alloc(64); err != nil {
+			break
+		}
+	}
+	if !d.CheckLeak(pool) {
+		t.Fatalf("full pool (live=%d/%d) not flagged", pool.LiveWords(), pool.Words())
+	}
+}
+
+func TestChecksumDetectsBitFlip(t *testing.T) {
+	pool := pmem.New(1 << 10)
+	a, _ := pool.Alloc(4)
+	for i := uint64(0); i < 4; i++ {
+		pool.Store(a+i, 1000+i)
+	}
+	pool.Persist(a, 4)
+	g := &ChecksumGuard{Name: "region", Addr: a, Words: 4}
+	if err := g.Update(pool); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := g.Verify(pool)
+	if err != nil || !ok {
+		t.Fatalf("clean region fails verify: ok=%v err=%v", ok, err)
+	}
+	pool.InjectBitFlip(a+2, 17, true)
+	ok, err = g.Verify(pool)
+	if err != nil || ok {
+		t.Fatal("bit flip not detected by checksum")
+	}
+}
+
+func TestChecksumBlindToLogicalErrors(t *testing.T) {
+	// A checksum updated after a buggy-but-"legitimate" write verifies
+	// fine — the paper's point about checksums being insufficient.
+	pool := pmem.New(1 << 10)
+	a, _ := pool.Alloc(1)
+	pool.Store(a, 42)
+	pool.Persist(a, 1)
+	g := &ChecksumGuard{Addr: a, Words: 1}
+	g.Update(pool)
+	pool.Store(a, 9999) // logic error writes a wrong value
+	pool.Persist(a, 1)
+	g.Update(pool) // and the system dutifully re-checksums it
+	ok, _ := g.Verify(pool)
+	if !ok {
+		t.Fatal("expected checksum to (wrongly) accept the logical error")
+	}
+}
+
+func TestUnarmedGuardVerifies(t *testing.T) {
+	pool := pmem.New(1 << 10)
+	g := &ChecksumGuard{Addr: pmem.Base, Words: 1}
+	ok, err := g.Verify(pool)
+	if err != nil || !ok {
+		t.Fatal("unarmed guard must vacuously verify")
+	}
+}
+
+func TestInvariantSuite(t *testing.T) {
+	var s InvariantSuite
+	count, size := 5, 5
+	s.Add("items == hashtable size", func() error {
+		if count != size {
+			return errors.New("mismatch")
+		}
+		return nil
+	})
+	if v := s.Run(); v != nil {
+		t.Fatalf("clean state violated: %v", v)
+	}
+	count = 7
+	if v := s.Run(); len(v) != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestHistoryAndReset(t *testing.T) {
+	d := New()
+	d.ObserveCustom(FailLeak, "x")
+	if len(d.History()) != 1 {
+		t.Fatal("history not recorded")
+	}
+	d.Reset()
+	if len(d.History()) != 0 {
+		t.Fatal("reset did not clear history")
+	}
+}

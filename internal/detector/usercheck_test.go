@@ -1,0 +1,75 @@
+package detector
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestUserChecksCleanPass(t *testing.T) {
+	d := New()
+	d.AddCheck("items-exist", FailDataLoss, func() error { return nil })
+	sig, hard, err := d.RunChecks()
+	if err != nil || hard {
+		t.Fatalf("clean check: sig=%v hard=%v err=%v", sig, hard, err)
+	}
+	if len(d.History()) != 0 {
+		t.Fatal("clean check recorded history")
+	}
+}
+
+func TestUserChecksViolation(t *testing.T) {
+	d := New()
+	boom := errors.New("key 42 missing")
+	present := true
+	d.AddCheck("items-exist", FailDataLoss, func() error {
+		if present {
+			return nil
+		}
+		return boom
+	})
+	if _, _, err := d.RunChecks(); err != nil {
+		t.Fatal(err)
+	}
+	present = false
+	sig, hard, err := d.RunChecks()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if hard {
+		t.Fatal("first violation flagged hard")
+	}
+	if sig.Kind != FailDataLoss {
+		t.Fatalf("sig kind = %v", sig.Kind)
+	}
+	// The same check failing again (e.g. after a restart) is a hard fault.
+	_, hard, _ = d.RunChecks()
+	if !hard {
+		t.Fatal("recurring violation not flagged hard")
+	}
+}
+
+func TestUserChecksOrdering(t *testing.T) {
+	d := New()
+	d.AddCheck("first", FailWrongResult, func() error { return errors.New("a") })
+	d.AddCheck("second", FailDataLoss, func() error { return errors.New("b") })
+	sig, _, err := d.RunChecks()
+	if err == nil || err.Error() != "a" {
+		t.Fatalf("err = %v", err)
+	}
+	if sig.Fn != "first" {
+		t.Fatalf("sig = %v", sig)
+	}
+}
+
+func TestUserChecksSurviveReset(t *testing.T) {
+	d := New()
+	d.AddCheck("c", FailWrongResult, func() error { return errors.New("x") })
+	d.RunChecks()
+	d.Reset()
+	if len(d.History()) != 0 {
+		t.Fatal("reset did not clear history")
+	}
+	if _, _, err := d.RunChecks(); err == nil {
+		t.Fatal("checks lost after reset")
+	}
+}

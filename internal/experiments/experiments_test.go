@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"arthas/internal/faults"
+)
+
+// smallMatrix shares one matrix run across the shape tests (it is the
+// expensive part of this package's suite).
+var smallMatrix *Matrix
+
+func matrix(t *testing.T) *Matrix {
+	t.Helper()
+	if smallMatrix != nil {
+		return smallMatrix
+	}
+	m, err := RunMatrix(MatrixConfig{Seeds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallMatrix = m
+	return m
+}
+
+func TestTable3Shape(t *testing.T) {
+	m := matrix(t)
+	if len(m.Cases) != 12 {
+		t.Fatalf("cases = %d", len(m.Cases))
+	}
+	// Headline: Arthas recovers all twelve.
+	for _, c := range m.Cases {
+		if !c.Arthas.Recovered {
+			t.Errorf("%s: Arthas failed", c.Meta.ID)
+		}
+		if !c.ArthasRollback.Recovered {
+			t.Errorf("%s: Arthas rollback mode failed", c.Meta.ID)
+		}
+	}
+	// pmCRIU recovers most deterministic cases but NOT f3 (natural
+	// pre-snapshot trigger) and only some f5/f8 seeds.
+	byID := map[string]CaseResult{}
+	for _, c := range m.Cases {
+		byID[c.Meta.ID] = c
+	}
+	if ok, _ := byID["f3"].PmCRIUSuccesses(); ok != 0 {
+		t.Errorf("pmCRIU recovered f3 (%d runs) — bad state predates every snapshot", ok)
+	}
+	if ok, total := byID["f5"].PmCRIUSuccesses(); ok == 0 || ok == total {
+		t.Errorf("f5 pmCRIU = %d/%d, want probabilistic", ok, total)
+	} else if ok != 1 {
+		t.Logf("f5 pmCRIU = %d/%d (paper: 1/10)", ok, total)
+	}
+	if ok, total := byID["f8"].PmCRIUSuccesses(); ok == 0 || ok == total {
+		t.Errorf("f8 pmCRIU = %d/%d, want probabilistic", ok, total)
+	}
+	for _, id := range []string{"f1", "f2", "f4", "f6", "f7", "f9", "f10", "f11", "f12"} {
+		if ok, total := byID[id].PmCRIUSuccesses(); ok != total {
+			t.Errorf("pmCRIU failed deterministic case %s (%d/%d)", id, ok, total)
+		}
+	}
+	// ArCkpt: immediate-crash cases only.
+	for _, id := range []string{"f4", "f10"} {
+		if !byID[id].ArCkpt.Recovered {
+			t.Errorf("ArCkpt failed immediate-crash case %s", id)
+		}
+	}
+	arCkptWins := 0
+	for _, c := range m.Cases {
+		if c.ArCkpt.Recovered {
+			arCkptWins++
+		}
+	}
+	if arCkptWins > 5 {
+		t.Errorf("ArCkpt recovered %d cases; expected only the immediate-crash minority", arCkptWins)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	m := matrix(t)
+	// Arthas discards far less than pmCRIU on average (paper: 3.1% vs
+	// 56.5%, a ~10x gap; we require a decisive factor).
+	var aSum, pSum float64
+	var n int
+	for _, c := range m.Cases {
+		recovered := false
+		var ploss float64
+		for _, o := range c.PmCRIU {
+			if o.Recovered {
+				recovered = true
+				ploss = o.DataLossPct
+				break
+			}
+		}
+		if !recovered {
+			continue
+		}
+		aSum += c.Arthas.DataLossPct
+		pSum += ploss
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no comparable cases")
+	}
+	aMean, pMean := aSum/float64(n), pSum/float64(n)
+	if aMean*3 > pMean {
+		t.Errorf("Arthas mean loss %.2f%% vs pmCRIU %.2f%%: want a large gap", aMean, pMean)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	m := matrix(t)
+	var pg, rb float64
+	for _, c := range m.Cases {
+		if c.Meta.IsLeak {
+			continue
+		}
+		pg += c.Arthas.DataLossPct
+		rb += c.ArthasRollback.DataLossPct
+	}
+	if pg > rb {
+		t.Errorf("purge mean loss %.2f > rollback %.2f", pg, rb)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	m := matrix(t)
+	// Rollback mode must be consistent everywhere it recovered; purge is
+	// allowed (expected, for f7) to show inconsistencies.
+	for _, c := range m.Cases {
+		if c.ArthasRollback.Recovered && c.ArthasRollback.Consistent != nil {
+			t.Errorf("%s: rollback-mode inconsistency: %v", c.Meta.ID, c.ArthasRollback.Consistent)
+		}
+	}
+	byID := map[string]CaseResult{}
+	for _, c := range m.Cases {
+		byID[c.Meta.ID] = c
+	}
+	if byID["f7"].Arthas.Consistent == nil {
+		t.Log("f7 purge-mode recovered consistently (paper reports an inconsistency here)")
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	m := matrix(t)
+	for name, text := range map[string]string{
+		"table2": Table2(), "table3": m.Table3(), "table4": m.Table4(),
+		"table5": m.Table5(), "fig8": m.Fig8(), "fig9": m.Fig9(),
+		"fig11": m.Fig11(), "table1": Table1(), "fig2": Fig2(), "fig3": Fig3(),
+		"types": PropagationTypes(),
+	} {
+		if len(text) < 40 || !strings.Contains(text, "\n") {
+			t.Errorf("%s rendering too small:\n%s", name, text)
+		}
+	}
+}
+
+func TestBatchComparison(t *testing.T) {
+	br, err := RunBatchComparison(faults.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.OneByOne) != len(br.Batch5) || len(br.OneByOne) == 0 {
+		t.Fatalf("cells: %d vs %d", len(br.OneByOne), len(br.Batch5))
+	}
+	for i := range br.OneByOne {
+		if !br.OneByOne[i].Recovered || !br.Batch5[i].Recovered {
+			t.Errorf("%s: not recovered under both strategies", br.OneByOne[i].ID)
+		}
+		// Batch reverts at least as much data per recovery as one-by-one.
+		if br.Batch5[i].Reverted < br.OneByOne[i].Reverted {
+			t.Errorf("%s: batch reverted %d < single %d",
+				br.OneByOne[i].ID, br.Batch5[i].Reverted, br.OneByOne[i].Reverted)
+		}
+	}
+	if br.Fig10() == "" || br.Table6() == "" {
+		t.Fatal("empty renderings")
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	text, err := Table7(faults.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "f1") || !strings.Contains(text, "f12") {
+		t.Fatalf("table 7:\n%s", text)
+	}
+}
+
+func TestOverheadSmall(t *testing.T) {
+	cfg := OverheadConfig{YCSBOps: 4000, InsertOps: 4000}
+	res, err := MeasureOverhead(cfg, []Variant{Vanilla, WithArthas, WithCheckpoint, WithInstr, WithPmCRIU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sysName := range OverheadSystems {
+		rel := res.Relative(sysName, WithArthas)
+		if rel <= 0 {
+			t.Errorf("%s: missing measurement", sysName)
+			continue
+		}
+		// Arthas overhead must be modest (paper: 2.9-4.8%; the interpreted
+		// substrate is far noisier at small op counts, so only exclude
+		// multi-x slowdowns here; EXPERIMENTS.md records the large-run
+		// numbers).
+		if rel < 0.45 {
+			t.Errorf("%s: Arthas relative throughput %.2f (overhead too large)", sysName, rel)
+		}
+		// Instrumentation alone costs no more than full Arthas, within noise.
+		if ri := res.Relative(sysName, WithInstr); ri < rel-0.35 {
+			t.Errorf("%s: instr-only %.2f much slower than full Arthas %.2f", sysName, ri, rel)
+		}
+	}
+	if res.Fig12() == "" || res.Table8() == "" {
+		t.Fatal("empty overhead renderings")
+	}
+}
+
+func TestStaticTimings(t *testing.T) {
+	ts, err := MeasureStatic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 5 {
+		t.Fatalf("systems = %d", len(ts))
+	}
+	for _, tm := range ts {
+		if tm.Instructions == 0 || tm.PMInstrs == 0 || tm.PDGEdges == 0 {
+			t.Errorf("%s: empty stats %+v", tm.System, tm)
+		}
+		// Slicing (the mitigation-critical-path piece) is fast relative to
+		// whole-program analysis.
+		if tm.Slicing > tm.Analysis*10 {
+			t.Errorf("%s: slicing %v slower than analysis %v", tm.System, tm.Slicing, tm.Analysis)
+		}
+	}
+	if !strings.Contains(Table9(ts), "memcached") {
+		t.Fatal("table 9 rendering")
+	}
+}

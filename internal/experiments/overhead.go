@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"arthas/internal/baseline"
+	"arthas/internal/systems"
+	"arthas/internal/workload"
+)
+
+// Runtime overhead experiments (paper §6.7, Figure 12 and Table 8): the
+// five target systems run identical deterministic workloads under four
+// build/attachment variants — vanilla, full Arthas (checkpoint +
+// instrumentation trace), checkpoint-only, and instrumentation-only — plus
+// vanilla with pmCRIU's periodic snapshots. Throughput is real measured
+// operations per second of the interpreted systems; what transfers from
+// the paper is the *relative* cost of each attachment.
+
+// OverheadConfig sizes the measurement.
+type OverheadConfig struct {
+	// YCSBOps for Memcached/Redis (50/50 read-write zipfian; paper: 3M).
+	YCSBOps int
+	// InsertOps for PMEMKV/Pelikan (paper: 6M) and CCEH (paper: 1M).
+	InsertOps int
+	// SnapshotEvery for the pmCRIU variant (ops per snapshot).
+	SnapshotEvery int
+	Seed          uint64
+}
+
+func (c OverheadConfig) withDefaults() OverheadConfig {
+	if c.YCSBOps == 0 {
+		c.YCSBOps = 30_000
+	}
+	if c.InsertOps == 0 {
+		c.InsertOps = 30_000
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = c.YCSBOps / 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Variant names the measured attachment combinations.
+type Variant string
+
+// Variants.
+const (
+	Vanilla        Variant = "vanilla"
+	WithArthas     Variant = "arthas"
+	WithCheckpoint Variant = "checkpoint" // checkpoint log only (Table 8)
+	WithInstr      Variant = "instr"      // address tracing only (Table 8)
+	WithPmCRIU     Variant = "pmcriu"
+)
+
+// Throughput is one measured cell.
+type Throughput struct {
+	System  string
+	Variant Variant
+	Ops     int
+	Elapsed time.Duration
+}
+
+// OpsPerSec returns the throughput.
+func (t Throughput) OpsPerSec() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Ops) / t.Elapsed.Seconds()
+}
+
+// OverheadResults collects the full grid.
+type OverheadResults struct {
+	Cells []Throughput
+}
+
+// Get returns the cell for (system, variant).
+func (r *OverheadResults) Get(system string, v Variant) (Throughput, bool) {
+	for _, c := range r.Cells {
+		if c.System == system && c.Variant == v {
+			return c, true
+		}
+	}
+	return Throughput{}, false
+}
+
+// Relative returns variant throughput relative to vanilla (1.0 = equal).
+func (r *OverheadResults) Relative(system string, v Variant) float64 {
+	base, ok1 := r.Get(system, Vanilla)
+	cell, ok2 := r.Get(system, v)
+	if !ok1 || !ok2 || base.OpsPerSec() == 0 {
+		return 0
+	}
+	return cell.OpsPerSec() / base.OpsPerSec()
+}
+
+// deployFor builds a system deployment for a variant. Pool sizing is
+// generous so allocator churn does not dominate.
+func deployFor(sysName string, v Variant) (*systems.Deployment, *baseline.PmCRIU, error) {
+	var sys *systems.System
+	switch sysName {
+	case "memcached":
+		sys = systems.Memcached()
+	case "redis":
+		sys = systems.Redis()
+	case "pelikan":
+		sys = systems.Pelikan()
+	case "pmemkv":
+		sys = systems.PMEMKV()
+	case "cceh":
+		sys = systems.CCEH()
+	default:
+		return nil, nil, fmt.Errorf("unknown system %q", sysName)
+	}
+	sys.PoolWords = 1 << 21
+	opts := systems.DeployOpts{StepLimit: 1 << 40}
+	switch v {
+	case Vanilla, WithPmCRIU:
+		opts.SkipAnalysis = true
+	case WithArthas:
+		opts.Checkpoint = true
+		opts.Trace = true
+	case WithCheckpoint:
+		opts.Checkpoint = true
+		opts.SkipAnalysis = true
+	case WithInstr:
+		opts.Trace = true
+	}
+	d, err := systems.Deploy(sys, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	var criu *baseline.PmCRIU
+	if v == WithPmCRIU {
+		criu = baseline.NewPmCRIU(d.Pool, 1) // interval set by caller ticks
+	}
+	return d, criu, nil
+}
+
+// runnerFor adapts a system's request functions to the workload runner.
+func runnerFor(sysName string, d *systems.Deployment) *workload.Runner {
+	call := func(fn string, args ...int64) error {
+		if _, trap := d.Call(fn, args...); trap != nil {
+			return trap
+		}
+		return nil
+	}
+	switch sysName {
+	case "memcached":
+		return &workload.Runner{
+			Read:   func(k int64) error { return call("mc_get", k) },
+			Update: func(k, v int64) error { return call("mc_set", k, v, 2) },
+			Insert: func(k, v int64) error { return call("mc_set", k, v, 2) },
+			Delete: func(k int64) error { return call("mc_delete", k) },
+		}
+	case "redis":
+		return &workload.Runner{
+			Read:   func(k int64) error { return call("rd_get", k) },
+			Update: func(k, v int64) error { return call("rd_set", k, v) },
+			Insert: func(k, v int64) error { return call("rd_set", k, v) },
+		}
+	case "pelikan":
+		return &workload.Runner{
+			Read:   func(k int64) error { return call("pk_get", k) },
+			Update: func(k, v int64) error { return call("pk_set", k, v, 2) },
+			Insert: func(k, v int64) error { return call("pk_set", k, v, 2) },
+		}
+	case "pmemkv":
+		return &workload.Runner{
+			Read:   func(k int64) error { return call("kv_get", k) },
+			Update: func(k, v int64) error { return call("kv_put", k, v) },
+			Insert: func(k, v int64) error { return call("kv_put", k, v) },
+		}
+	case "cceh":
+		return &workload.Runner{
+			Read:   func(k int64) error { return call("cc_get", k) },
+			Update: func(k, v int64) error { return call("cc_insert", k, v) },
+			Insert: func(k, v int64) error { return call("cc_insert", k, v) },
+		}
+	}
+	return nil
+}
+
+// workloadFor returns each system's benchmark stream (paper §6.7: YCSB for
+// Redis and Memcached; custom insert benchmarks for the rest).
+func workloadFor(sysName string, cfg OverheadConfig) []workload.Op {
+	switch sysName {
+	case "memcached", "redis":
+		return workload.Generate(workload.WorkloadA(cfg.YCSBOps, 1000, cfg.Seed))
+	default:
+		return workload.Generate(workload.InsertOnly(cfg.InsertOps, cfg.Seed))
+	}
+}
+
+// OverheadSystems lists the measured systems in paper order.
+var OverheadSystems = []string{"memcached", "redis", "pelikan", "pmemkv", "cceh"}
+
+// MeasureOverhead runs the full grid.
+func MeasureOverhead(cfg OverheadConfig, variants []Variant) (*OverheadResults, error) {
+	cfg = cfg.withDefaults()
+	res := &OverheadResults{}
+	for _, sysName := range OverheadSystems {
+		ops := workloadFor(sysName, cfg)
+		for _, v := range variants {
+			d, criu, err := deployFor(sysName, v)
+			if err != nil {
+				return nil, err
+			}
+			runner := runnerFor(sysName, d)
+			start := time.Now()
+			if criu != nil {
+				criu.Interval = uint64(cfg.SnapshotEvery)
+				// Tick per op: run in chunks to interleave snapshots.
+				done := 0
+				for done < len(ops) {
+					end := done + cfg.SnapshotEvery
+					if end > len(ops) {
+						end = len(ops)
+					}
+					if _, err := runner.Run(ops[done:end]); err != nil {
+						return nil, fmt.Errorf("%s/%s: %w", sysName, v, err)
+					}
+					criu.SnapshotNow()
+					done = end
+				}
+			} else {
+				if _, err := runner.Run(ops); err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", sysName, v, err)
+				}
+			}
+			res.Cells = append(res.Cells, Throughput{
+				System: sysName, Variant: v, Ops: len(ops), Elapsed: time.Since(start),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Fig12 renders relative throughput (paper Figure 12).
+func (r *OverheadResults) Fig12() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 12. System throughput (op/s) relative to Vanilla\n")
+	fmt.Fprintf(&sb, "  %-10s %10s %12s %12s\n", "System", "Vanilla", "w/ Arthas", "w/ pmCRIU")
+	for _, sysName := range OverheadSystems {
+		base, _ := r.Get(sysName, Vanilla)
+		fmt.Fprintf(&sb, "  %-10s %9.0f/s %11.3fx %11.3fx\n",
+			sysName, base.OpsPerSec(),
+			r.Relative(sysName, WithArthas), r.Relative(sysName, WithPmCRIU))
+	}
+	return sb.String()
+}
+
+// Table8 renders the overhead split (paper Table 8).
+func (r *OverheadResults) Table8() string {
+	var sb strings.Builder
+	sb.WriteString("Table 8. Average throughput (op/s): checkpointing vs instrumentation\n")
+	fmt.Fprintf(&sb, "  %-14s", "Variant")
+	for _, sysName := range OverheadSystems {
+		fmt.Fprintf(&sb, " %10s", sysName)
+	}
+	sb.WriteString("\n")
+	for _, v := range []Variant{Vanilla, WithCheckpoint, WithInstr} {
+		label := map[Variant]string{
+			Vanilla: "Vanilla", WithCheckpoint: "w/ Checkpoint", WithInstr: "w/ Instru.",
+		}[v]
+		fmt.Fprintf(&sb, "  %-14s", label)
+		for _, sysName := range OverheadSystems {
+			cell, ok := r.Get(sysName, v)
+			if !ok {
+				fmt.Fprintf(&sb, " %10s", "n/a")
+				continue
+			}
+			fmt.Fprintf(&sb, " %9.0fK", cell.OpsPerSec()/1000)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"arthas/internal/faults"
+	"arthas/internal/study"
+)
+
+// Study renderers (paper §2): Table 1, Figures 2 and 3, and the §2.6
+// propagation-type distribution, all from the internal/study dataset.
+
+// Table1 renders the collected-bugs table.
+func Table1() string {
+	var sb strings.Builder
+	sb.WriteString("Table 1. Collected hard fault bugs in new and ported PM systems\n")
+	counts := study.BySystem()
+	fmt.Fprintf(&sb, "  %-8s", "")
+	for _, c := range counts {
+		fmt.Fprintf(&sb, " %-10s", c.Label)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "  %-8s", "Cases")
+	for _, c := range counts {
+		fmt.Fprintf(&sb, " %-10d", c.N)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "  %-8s", "Type")
+	for _, c := range counts {
+		fmt.Fprintf(&sb, " %-10s", study.OriginOf(c.Label))
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// Fig2 renders the root-cause distribution.
+func Fig2() string {
+	return study.FormatCounts("Figure 2. Root cause of studied persistent failures", study.ByRootCause())
+}
+
+// Fig3 renders the consequence distribution.
+func Fig3() string {
+	return study.FormatCounts("Figure 3. Consequence of studied persistent failures", study.ByConsequence())
+}
+
+// PropagationTypes renders the §2.6 distribution.
+func PropagationTypes() string {
+	return study.FormatCounts("Fault propagation patterns (paper §2.6)", study.ByType())
+}
+
+// FullReport runs everything and renders the complete evaluation, in paper
+// order. Heavy experiments take configs so callers (CLI, benchmarks) can
+// size them.
+type FullConfig struct {
+	Matrix   MatrixConfig
+	Overhead OverheadConfig
+	Batch    faults.RunConfig
+	// SkipOverhead omits the (slow) Figure 12 / Table 8 measurements.
+	SkipOverhead bool
+}
+
+// FullReport produces the entire paper evaluation as text.
+func FullReport(cfg FullConfig) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("==== Empirical study (paper §2) ====\n\n")
+	sb.WriteString(Table1() + "\n")
+	sb.WriteString(Fig2() + "\n")
+	sb.WriteString(Fig3() + "\n")
+	sb.WriteString(PropagationTypes() + "\n")
+
+	sb.WriteString("==== Fault dataset (paper §6.1) ====\n\n")
+	sb.WriteString(Table2() + "\n")
+
+	sb.WriteString("==== Recoverability matrix (paper §6.2-§6.4) ====\n\n")
+	m, err := RunMatrix(cfg.Matrix)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(m.Table3() + "\n")
+	sb.WriteString(m.Table4() + "\n")
+	sb.WriteString(m.Table5() + "\n")
+	sb.WriteString(m.Fig8() + "\n")
+	sb.WriteString(m.Fig9() + "\n")
+	sb.WriteString(m.Fig11() + "\n")
+
+	sb.WriteString("==== Reversion strategies (paper §6.5) ====\n\n")
+	br, err := RunBatchComparison(cfg.Batch)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(br.Fig10() + "\n")
+	sb.WriteString(br.Table6() + "\n")
+
+	sb.WriteString("==== Checksum and invariant approaches (paper §6.6) ====\n\n")
+	t7, err := Table7(cfg.Matrix.Run)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(t7 + "\n")
+
+	if !cfg.SkipOverhead {
+		sb.WriteString("==== Overhead (paper §6.7) ====\n\n")
+		ov, err := MeasureOverhead(cfg.Overhead,
+			[]Variant{Vanilla, WithArthas, WithCheckpoint, WithInstr, WithPmCRIU})
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(ov.Fig12() + "\n")
+		sb.WriteString(ov.Table8() + "\n")
+	}
+
+	sb.WriteString("==== Static analysis performance (paper §6.8) ====\n\n")
+	ts, err := MeasureStatic()
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(Table9(ts) + "\n")
+	return sb.String(), nil
+}

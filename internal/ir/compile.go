@@ -1,0 +1,548 @@
+package ir
+
+import (
+	"fmt"
+
+	"arthas/internal/pml"
+)
+
+// Compile lowers a parsed PML program to an IR module and verifies it.
+func Compile(name string, prog *pml.Program) (*Module, error) {
+	m := &Module{
+		Name:    name,
+		FuncIdx: map[string]*Function{},
+		GlobIdx: map[string]int{},
+	}
+	for i, g := range prog.Globals {
+		m.Globals = append(m.Globals, Global{Name: g.Name, Init: g.Init})
+		m.GlobIdx[g.Name] = i
+	}
+	for _, f := range prog.Funcs {
+		fn, err := compileFunc(m, f)
+		if err != nil {
+			return nil, err
+		}
+		m.Funcs = append(m.Funcs, fn)
+		m.FuncIdx[fn.Name] = fn
+	}
+	if err := Verify(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// CompileSource parses and lowers PML source in one step.
+func CompileSource(name, src string) (*Module, error) {
+	prog, err := pml.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return Compile(name, prog)
+}
+
+// MustCompile compiles or panics; for embedded system sources and tests.
+func MustCompile(name, src string) *Module {
+	m, err := CompileSource(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// fnCompiler holds per-function lowering state.
+type fnCompiler struct {
+	mod    *Module
+	fn     *Function
+	decl   *pml.FuncDecl
+	scopes []map[string]int // name -> register; innermost last
+	cur    *Block
+	// loop context stacks for break/continue
+	breakTargets    []int
+	continueTargets []int
+}
+
+func compileFunc(m *Module, decl *pml.FuncDecl) (*Function, error) {
+	fn := &Function{
+		Name:      decl.Name,
+		NumParams: len(decl.Params),
+		Pos:       decl.Pos,
+	}
+	c := &fnCompiler{mod: m, fn: fn, decl: decl}
+	c.pushScope()
+	for _, p := range decl.Params {
+		if _, dup := c.scopes[0][p]; dup {
+			return nil, fmt.Errorf("%v: duplicate parameter %q in %s", decl.Pos, p, decl.Name)
+		}
+		c.scopes[0][p] = c.newReg(p)
+	}
+	c.cur = c.newBlock()
+	if err := c.block(decl.Body); err != nil {
+		return nil, err
+	}
+	// Implicit `return 0` on fall-through.
+	if c.cur.Terminator() == nil {
+		zero := c.newReg("")
+		c.emit(&Instr{Op: OpConst, Dst: zero, Imm: 0, Pos: decl.Pos})
+		c.emit(&Instr{Op: OpRet, Args: []int{zero}, Pos: decl.Pos})
+	}
+	fn.finalize()
+	return fn, nil
+}
+
+func (c *fnCompiler) pushScope() { c.scopes = append(c.scopes, map[string]int{}) }
+func (c *fnCompiler) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *fnCompiler) lookupLocal(name string) (int, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if r, ok := c.scopes[i][name]; ok {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+func (c *fnCompiler) newReg(name string) int {
+	r := c.fn.NumRegs
+	c.fn.NumRegs++
+	if name == "" {
+		name = fmt.Sprintf("%%t%d", r)
+	}
+	c.fn.RegNames = append(c.fn.RegNames, name)
+	return r
+}
+
+func (c *fnCompiler) newBlock() *Block {
+	b := &Block{Index: len(c.fn.Blocks)}
+	c.fn.Blocks = append(c.fn.Blocks, b)
+	return b
+}
+
+func (c *fnCompiler) emit(in *Instr) { c.cur.Instrs = append(c.cur.Instrs, in) }
+
+// setCur switches emission to block b; if the current block lacks a
+// terminator the caller must have already emitted a jump.
+func (c *fnCompiler) setCur(b *Block) { c.cur = b }
+
+// jumpTo emits a jmp to b if the current block is not yet terminated.
+func (c *fnCompiler) jumpTo(b *Block, pos pml.Pos) {
+	if c.cur.Terminator() == nil {
+		c.emit(&Instr{Op: OpJmp, Target: b.Index, Pos: pos})
+	}
+}
+
+func (c *fnCompiler) block(b *pml.BlockStmt) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		if c.cur.Terminator() != nil {
+			// Dead code after break/continue/return: lower into a fresh
+			// unreachable block to keep the CFG well-formed.
+			c.setCur(c.newBlock())
+		}
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *fnCompiler) stmt(s pml.Stmt) error {
+	switch s := s.(type) {
+	case *pml.BlockStmt:
+		return c.block(s)
+
+	case *pml.VarStmt:
+		if _, dup := c.scopes[len(c.scopes)-1][s.Name]; dup {
+			return fmt.Errorf("%v: %q redeclared in this scope", s.Pos, s.Name)
+		}
+		var val int
+		var err error
+		if s.Init != nil {
+			val, err = c.expr(s.Init)
+			if err != nil {
+				return err
+			}
+		} else {
+			val = c.newReg("")
+			c.emit(&Instr{Op: OpConst, Dst: val, Imm: 0, Pos: s.Pos})
+		}
+		reg := c.newReg(s.Name)
+		c.scopes[len(c.scopes)-1][s.Name] = reg
+		c.emit(&Instr{Op: OpMov, Dst: reg, Args: []int{val}, Pos: s.Pos})
+		return nil
+
+	case *pml.AssignStmt:
+		switch lhs := s.LHS.(type) {
+		case *pml.Ident:
+			val, err := c.expr(s.RHS)
+			if err != nil {
+				return err
+			}
+			if reg, ok := c.lookupLocal(lhs.Name); ok {
+				c.emit(&Instr{Op: OpMov, Dst: reg, Args: []int{val}, Pos: s.Pos})
+				return nil
+			}
+			if gi, ok := c.mod.GlobIdx[lhs.Name]; ok {
+				c.emit(&Instr{Op: OpGlobStore, Args: []int{val}, Imm: int64(gi), Pos: s.Pos})
+				return nil
+			}
+			return fmt.Errorf("%v: undefined variable %q", lhs.Pos, lhs.Name)
+		case *pml.IndexExpr:
+			base, off, offReg, err := c.address(lhs)
+			if err != nil {
+				return err
+			}
+			val, err := c.expr(s.RHS)
+			if err != nil {
+				return err
+			}
+			addr := base
+			if offReg >= 0 {
+				addr = c.newReg("")
+				c.emit(&Instr{Op: OpBin, Dst: addr, Imm: int64(Add), Args: []int{base, offReg}, Pos: s.Pos})
+			}
+			c.emit(&Instr{Op: OpStore, Args: []int{addr, val}, Off: off, Pos: s.Pos})
+			return nil
+		}
+		return fmt.Errorf("%v: invalid assignment target", s.Pos)
+
+	case *pml.ExprStmt:
+		_, err := c.exprOpt(s.X, false)
+		return err
+
+	case *pml.IfStmt:
+		return c.ifStmt(s)
+
+	case *pml.WhileStmt:
+		head := c.newBlock()
+		c.jumpTo(head, s.Pos)
+		c.setCur(head)
+		cond, err := c.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		body := c.newBlock()
+		exit := c.newBlock()
+		c.emit(&Instr{Op: OpBr, Args: []int{cond}, Target: body.Index, Target2: exit.Index, Pos: s.Pos})
+		c.breakTargets = append(c.breakTargets, exit.Index)
+		c.continueTargets = append(c.continueTargets, head.Index)
+		c.setCur(body)
+		if err := c.block(s.Body); err != nil {
+			return err
+		}
+		c.jumpTo(head, s.Pos)
+		c.breakTargets = c.breakTargets[:len(c.breakTargets)-1]
+		c.continueTargets = c.continueTargets[:len(c.continueTargets)-1]
+		c.setCur(exit)
+		return nil
+
+	case *pml.BreakStmt:
+		if len(c.breakTargets) == 0 {
+			return fmt.Errorf("%v: break outside loop", s.Pos)
+		}
+		c.emit(&Instr{Op: OpJmp, Target: c.breakTargets[len(c.breakTargets)-1], Pos: s.Pos})
+		return nil
+
+	case *pml.ContinueStmt:
+		if len(c.continueTargets) == 0 {
+			return fmt.Errorf("%v: continue outside loop", s.Pos)
+		}
+		c.emit(&Instr{Op: OpJmp, Target: c.continueTargets[len(c.continueTargets)-1], Pos: s.Pos})
+		return nil
+
+	case *pml.ReturnStmt:
+		if s.X == nil {
+			zero := c.newReg("")
+			c.emit(&Instr{Op: OpConst, Dst: zero, Imm: 0, Pos: s.Pos})
+			c.emit(&Instr{Op: OpRet, Args: []int{zero}, Pos: s.Pos})
+			return nil
+		}
+		val, err := c.expr(s.X)
+		if err != nil {
+			return err
+		}
+		c.emit(&Instr{Op: OpRet, Args: []int{val}, Pos: s.Pos})
+		return nil
+
+	case *pml.SpawnStmt:
+		if pml.IsIntrinsic(s.Callee) {
+			return fmt.Errorf("%v: cannot spawn intrinsic %q", s.Pos, s.Callee)
+		}
+		args := make([]int, len(s.Args))
+		for i, a := range s.Args {
+			r, err := c.expr(a)
+			if err != nil {
+				return err
+			}
+			args[i] = r
+		}
+		c.emit(&Instr{Op: OpSpawn, Callee: s.Callee, Args: args, Pos: s.Pos})
+		return nil
+	}
+	return fmt.Errorf("unhandled statement %T", s)
+}
+
+func (c *fnCompiler) ifStmt(s *pml.IfStmt) error {
+	cond, err := c.expr(s.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := c.newBlock()
+	var elseB *Block
+	exit := c.newBlock()
+	if s.Else != nil {
+		elseB = c.newBlock()
+		c.emit(&Instr{Op: OpBr, Args: []int{cond}, Target: thenB.Index, Target2: elseB.Index, Pos: s.Pos})
+	} else {
+		c.emit(&Instr{Op: OpBr, Args: []int{cond}, Target: thenB.Index, Target2: exit.Index, Pos: s.Pos})
+	}
+	c.setCur(thenB)
+	if err := c.block(s.Then); err != nil {
+		return err
+	}
+	c.jumpTo(exit, s.Pos)
+	if s.Else != nil {
+		c.setCur(elseB)
+		if err := c.stmt(s.Else); err != nil {
+			return err
+		}
+		c.jumpTo(exit, s.Pos)
+	}
+	c.setCur(exit)
+	return nil
+}
+
+// address lowers an IndexExpr target to (baseReg, constOff, offReg). If the
+// index is a constant literal, offReg is -1 and constOff carries it, giving
+// the pointer analysis field sensitivity; otherwise constOff is 0 and offReg
+// holds the computed index.
+func (c *fnCompiler) address(e *pml.IndexExpr) (base int, off int64, offReg int, err error) {
+	base, err = c.expr(e.Base)
+	if err != nil {
+		return 0, 0, -1, err
+	}
+	if n, ok := e.Idx.(*pml.NumLit); ok {
+		return base, n.Val, -1, nil
+	}
+	offReg, err = c.expr(e.Idx)
+	if err != nil {
+		return 0, 0, -1, err
+	}
+	return base, 0, offReg, nil
+}
+
+func (c *fnCompiler) expr(e pml.Expr) (int, error) { return c.exprOpt(e, true) }
+
+// exprOpt lowers an expression. If needValue is false (expression statement),
+// calls may discard their result.
+func (c *fnCompiler) exprOpt(e pml.Expr, needValue bool) (int, error) {
+	switch e := e.(type) {
+	case *pml.NumLit:
+		r := c.newReg("")
+		c.emit(&Instr{Op: OpConst, Dst: r, Imm: e.Val, Pos: e.Pos})
+		return r, nil
+
+	case *pml.Ident:
+		if reg, ok := c.lookupLocal(e.Name); ok {
+			return reg, nil
+		}
+		if gi, ok := c.mod.GlobIdx[e.Name]; ok {
+			r := c.newReg("")
+			c.emit(&Instr{Op: OpGlobLoad, Dst: r, Imm: int64(gi), Pos: e.Pos})
+			return r, nil
+		}
+		return 0, fmt.Errorf("%v: undefined variable %q", e.Pos, e.Name)
+
+	case *pml.IndexExpr:
+		base, off, offReg, err := c.address(e)
+		if err != nil {
+			return 0, err
+		}
+		addr := base
+		if offReg >= 0 {
+			addr = c.newReg("")
+			c.emit(&Instr{Op: OpBin, Dst: addr, Imm: int64(Add), Args: []int{base, offReg}, Pos: e.Pos})
+		}
+		r := c.newReg("")
+		c.emit(&Instr{Op: OpLoad, Dst: r, Args: []int{addr}, Off: off, Pos: e.Pos})
+		return r, nil
+
+	case *pml.UnaryExpr:
+		x, err := c.expr(e.X)
+		if err != nil {
+			return 0, err
+		}
+		r := c.newReg("")
+		var u UnOp
+		switch e.Op {
+		case pml.Minus:
+			u = Neg
+		case pml.Not:
+			u = LogNot
+		case pml.Tilde:
+			u = BitNot
+		default:
+			return 0, fmt.Errorf("%v: bad unary op %v", e.Pos, e.Op)
+		}
+		c.emit(&Instr{Op: OpUn, Dst: r, Imm: int64(u), Args: []int{x}, Pos: e.Pos})
+		return r, nil
+
+	case *pml.BinaryExpr:
+		if e.Op == pml.AmpAmp || e.Op == pml.PipePipe {
+			return c.shortCircuit(e)
+		}
+		l, err := c.expr(e.L)
+		if err != nil {
+			return 0, err
+		}
+		rr, err := c.expr(e.R)
+		if err != nil {
+			return 0, err
+		}
+		bop, ok := binOpOf(e.Op)
+		if !ok {
+			return 0, fmt.Errorf("%v: bad binary op %v", e.Pos, e.Op)
+		}
+		r := c.newReg("")
+		c.emit(&Instr{Op: OpBin, Dst: r, Imm: int64(bop), Args: []int{l, rr}, Pos: e.Pos})
+		return r, nil
+
+	case *pml.CallExpr:
+		return c.call(e, needValue)
+	}
+	return 0, fmt.Errorf("unhandled expression %T", e)
+}
+
+func binOpOf(k pml.Kind) (BinOp, bool) {
+	switch k {
+	case pml.Plus:
+		return Add, true
+	case pml.Minus:
+		return Sub, true
+	case pml.Star:
+		return Mul, true
+	case pml.Slash:
+		return Div, true
+	case pml.Percent:
+		return Mod, true
+	case pml.Amp:
+		return And, true
+	case pml.Pipe:
+		return Or, true
+	case pml.Caret:
+		return Xor, true
+	case pml.Shl:
+		return Shl, true
+	case pml.Shr:
+		return Shr, true
+	case pml.Lt:
+		return Lt, true
+	case pml.Le:
+		return Le, true
+	case pml.Gt:
+		return Gt, true
+	case pml.Ge:
+		return Ge, true
+	case pml.EqEq:
+		return Eq, true
+	case pml.NotEq:
+		return Ne, true
+	}
+	return 0, false
+}
+
+// shortCircuit lowers && and || to control flow producing a 0/1 result.
+func (c *fnCompiler) shortCircuit(e *pml.BinaryExpr) (int, error) {
+	res := c.newReg("")
+	l, err := c.expr(e.L)
+	if err != nil {
+		return 0, err
+	}
+	rhsB := c.newBlock()
+	shortB := c.newBlock()
+	exit := c.newBlock()
+	if e.Op == pml.AmpAmp {
+		c.emit(&Instr{Op: OpBr, Args: []int{l}, Target: rhsB.Index, Target2: shortB.Index, Pos: e.Pos})
+	} else {
+		c.emit(&Instr{Op: OpBr, Args: []int{l}, Target: shortB.Index, Target2: rhsB.Index, Pos: e.Pos})
+	}
+	// Short-circuit value: 0 for &&, 1 for ||.
+	c.setCur(shortB)
+	short := int64(0)
+	if e.Op == pml.PipePipe {
+		short = 1
+	}
+	c.emit(&Instr{Op: OpConst, Dst: res, Imm: short, Pos: e.Pos})
+	c.emit(&Instr{Op: OpJmp, Target: exit.Index, Pos: e.Pos})
+	// RHS value, normalized to 0/1.
+	c.setCur(rhsB)
+	r, err := c.expr(e.R)
+	if err != nil {
+		return 0, err
+	}
+	zero := c.newReg("")
+	c.emit(&Instr{Op: OpConst, Dst: zero, Imm: 0, Pos: e.Pos})
+	c.emit(&Instr{Op: OpBin, Dst: res, Imm: int64(Ne), Args: []int{r, zero}, Pos: e.Pos})
+	c.emit(&Instr{Op: OpJmp, Target: exit.Index, Pos: e.Pos})
+	c.setCur(exit)
+	return res, nil
+}
+
+// intrinsic lowering table: op, whether it yields a value.
+var intrinsicOps = map[string]struct {
+	op     Op
+	hasDst bool
+}{
+	"pmalloc":       {OpPmalloc, true},
+	"pfree":         {OpPfree, false},
+	"persist":       {OpPersist, false},
+	"flush":         {OpFlush, false},
+	"fence":         {OpFence, false},
+	"txbegin":       {OpTxBegin, false},
+	"txcommit":      {OpTxCommit, false},
+	"setroot":       {OpSetRoot, false},
+	"getroot":       {OpGetRoot, true},
+	"pmsize":        {OpPmSize, true},
+	"pmrealloc":     {OpPmRealloc, true},
+	"valloc":        {OpValloc, true},
+	"vfree":         {OpVfree, false},
+	"yield":         {OpYield, false},
+	"lock":          {OpLock, false},
+	"unlock":        {OpUnlock, false},
+	"assert":        {OpAssert, false},
+	"fail":          {OpFail, false},
+	"emit":          {OpEmit, false},
+	"recover_begin": {OpRecoverBegin, false},
+	"recover_end":   {OpRecoverEnd, false},
+}
+
+func (c *fnCompiler) call(e *pml.CallExpr, needValue bool) (int, error) {
+	args := make([]int, len(e.Args))
+	for i, a := range e.Args {
+		r, err := c.expr(a)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = r
+	}
+	if spec, ok := intrinsicOps[e.Callee]; ok {
+		dst := -1
+		if spec.hasDst {
+			dst = c.newReg("")
+		}
+		c.emit(&Instr{Op: spec.op, Dst: dst, Args: args, Pos: e.Pos})
+		if spec.hasDst {
+			return dst, nil
+		}
+		if needValue {
+			// Valueless intrinsic in value position evaluates to 0.
+			z := c.newReg("")
+			c.emit(&Instr{Op: OpConst, Dst: z, Imm: 0, Pos: e.Pos})
+			return z, nil
+		}
+		return -1, nil
+	}
+	dst := c.newReg("")
+	c.emit(&Instr{Op: OpCall, Dst: dst, Callee: e.Callee, Args: args, Pos: e.Pos})
+	return dst, nil
+}

@@ -1,0 +1,270 @@
+// Package ir defines the intermediate representation PML programs are
+// compiled to, and the AST→IR lowering.
+//
+// The IR plays the role LLVM IR plays for the paper's Arthas analyzer: a
+// flat, explicit form on which def-use chains, pointer analysis, control
+// dependence, and the Program Dependence Graph are computed, and which the
+// VM interprets. It is a non-SSA register machine: each function has a set
+// of numbered registers (parameters first, then named locals, then
+// compiler temporaries) and a list of basic blocks whose final instruction
+// is always a terminator (jmp/br/ret).
+package ir
+
+import (
+	"fmt"
+
+	"arthas/internal/pml"
+)
+
+// Op is an IR opcode.
+type Op int
+
+// Opcodes. The PM-facing intrinsics (Pmalloc..RecoverEnd) mirror the PMDK
+// surface Arthas intercepts (paper §3.2).
+const (
+	OpConst     Op = iota // Dst = Imm
+	OpMov                 // Dst = Args[0]
+	OpBin                 // Dst = Args[0] <BinOp(Imm)> Args[1]
+	OpUn                  // Dst = <UnOp(Imm)> Args[0]
+	OpLoad                // Dst = mem[Args[0] + Off]
+	OpStore               // mem[Args[0] + Off] = Args[1]
+	OpGlobLoad            // Dst = globals[Imm]
+	OpGlobStore           // globals[Imm] = Args[0]
+	OpCall                // Dst = Callee(Args...)   (Dst may be -1)
+	OpSpawn               // spawn Callee(Args...)
+	OpRet                 // return Args[0] (or 0 if no args)
+	OpJmp                 // goto Target
+	OpBr                  // if Args[0] != 0 goto Target else Target2
+
+	// PM intrinsics
+	OpPmalloc // Dst = pmalloc(Args[0])        — persistent alloc (zeroed)
+	OpPfree   // pfree(Args[0])
+	OpPersist // persist(Args[0], Args[1])     — make words durable
+	OpFlush   // flush(Args[0], Args[1])       — queue lines (clwb)
+	OpFence   // fence()                       — drain queued lines (sfence)
+	OpTxBegin
+	OpTxCommit
+	OpSetRoot   // setroot(Args[0], Args[1])
+	OpGetRoot   // Dst = getroot(Args[0])
+	OpPmSize    // Dst = pmsize(Args[0])
+	OpPmRealloc // Dst = pmrealloc(Args[0], Args[1])
+
+	// volatile + runtime intrinsics
+	OpValloc // Dst = valloc(Args[0])          — volatile alloc (zeroed)
+	OpVfree
+	OpYield
+	OpLock   // lock(Args[0])
+	OpUnlock // unlock(Args[0])
+	OpAssert // trap if Args[0] == 0
+	OpFail   // trap with code Args[0]
+	OpEmit   // append Args[0] to output
+	OpRecoverBegin
+	OpRecoverEnd
+)
+
+var opNames = [...]string{
+	OpConst: "const", OpMov: "mov", OpBin: "bin", OpUn: "un",
+	OpLoad: "load", OpStore: "store",
+	OpGlobLoad: "gload", OpGlobStore: "gstore",
+	OpCall: "call", OpSpawn: "spawn", OpRet: "ret", OpJmp: "jmp", OpBr: "br",
+	OpPmalloc: "pmalloc", OpPfree: "pfree", OpPersist: "persist",
+	OpFlush: "flush", OpFence: "fence",
+	OpTxBegin: "txbegin", OpTxCommit: "txcommit",
+	OpSetRoot: "setroot", OpGetRoot: "getroot", OpPmSize: "pmsize",
+	OpPmRealloc: "pmrealloc",
+	OpValloc:    "valloc", OpVfree: "vfree", OpYield: "yield",
+	OpLock: "lock", OpUnlock: "unlock",
+	OpAssert: "assert", OpFail: "fail", OpEmit: "emit",
+	OpRecoverBegin: "recover_begin", OpRecoverEnd: "recover_end",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsTerminator reports whether the op ends a basic block.
+func (o Op) IsTerminator() bool { return o == OpRet || o == OpJmp || o == OpBr }
+
+// BinOp codes stored in Instr.Imm for OpBin.
+type BinOp int64
+
+// Binary operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Lt
+	Le
+	Gt
+	Ge
+	Eq
+	Ne
+)
+
+var binNames = [...]string{
+	Add: "+", Sub: "-", Mul: "*", Div: "/", Mod: "%",
+	And: "&", Or: "|", Xor: "^", Shl: "<<", Shr: ">>",
+	Lt: "<", Le: "<=", Gt: ">", Ge: ">=", Eq: "==", Ne: "!=",
+}
+
+func (b BinOp) String() string {
+	if int(b) < len(binNames) {
+		return binNames[b]
+	}
+	return fmt.Sprintf("bin(%d)", int64(b))
+}
+
+// UnOp codes stored in Instr.Imm for OpUn.
+type UnOp int64
+
+// Unary operators.
+const (
+	Neg    UnOp = iota // arithmetic negation
+	LogNot             // !x -> 0/1
+	BitNot             // ~x
+)
+
+func (u UnOp) String() string {
+	switch u {
+	case Neg:
+		return "-"
+	case LogNot:
+		return "!"
+	case BitNot:
+		return "~"
+	}
+	return fmt.Sprintf("un(%d)", int64(u))
+}
+
+// Instr is one IR instruction. Instructions are identified by pointer; the
+// dense per-function ID is used for bitset-based dataflow.
+type Instr struct {
+	Op      Op
+	Dst     int   // destination register, -1 if none
+	Args    []int // source registers
+	Imm     int64 // constant / BinOp / UnOp / global index
+	Off     int64 // constant word offset for OpLoad/OpStore (field sensitivity)
+	Callee  string
+	Target  int // block index (jmp, br-true)
+	Target2 int // block index (br-false)
+	Pos     pml.Pos
+	ID      int // dense per-function id, assigned by finalize
+	Block   int // owning block index, assigned by finalize
+
+	// GUID is the globally-unique PM-instruction identifier the Arthas
+	// analyzer assigns during instrumentation (paper §4.1); 0 = not a
+	// traced instruction.
+	GUID int
+}
+
+// HasDst reports whether the instruction defines a register.
+func (in *Instr) HasDst() bool { return in.Dst >= 0 }
+
+// Block is a basic block: zero or more straight-line instructions followed
+// by exactly one terminator.
+type Block struct {
+	Index  int
+	Instrs []*Instr
+}
+
+// Terminator returns the block's final instruction.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := b.Instrs[len(b.Instrs)-1]
+	if !t.Op.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// Succs returns the successor block indices.
+func (b *Block) Succs() []int {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	switch t.Op {
+	case OpJmp:
+		return []int{t.Target}
+	case OpBr:
+		return []int{t.Target, t.Target2}
+	}
+	return nil
+}
+
+// Function is a compiled PML function.
+type Function struct {
+	Name      string
+	NumParams int
+	NumRegs   int
+	RegNames  []string // len == NumRegs; temporaries are "%tN"
+	Blocks    []*Block
+	NumInstrs int // dense instruction-ID space size
+	Pos       pml.Pos
+}
+
+// Instrs iterates all instructions in block order.
+func (f *Function) Instrs(visit func(*Instr)) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			visit(in)
+		}
+	}
+}
+
+// Entry returns the entry block.
+func (f *Function) Entry() *Block { return f.Blocks[0] }
+
+// finalize assigns dense IDs and owning-block indices.
+func (f *Function) finalize() {
+	id := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			in.ID = id
+			in.Block = b.Index
+			id++
+		}
+	}
+	f.NumInstrs = id
+}
+
+// Global is a module-level volatile variable.
+type Global struct {
+	Name string
+	Init int64
+}
+
+// Module is a compiled PML program.
+type Module struct {
+	Name    string // diagnostic name (e.g. the target system's name)
+	Funcs   []*Function
+	FuncIdx map[string]*Function
+	Globals []Global
+	GlobIdx map[string]int
+}
+
+// Func returns the named function or nil.
+func (m *Module) Func(name string) *Function { return m.FuncIdx[name] }
+
+// Preds computes the predecessor lists for a function's CFG.
+func Preds(f *Function) [][]int {
+	preds := make([][]int, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b.Index)
+		}
+	}
+	return preds
+}

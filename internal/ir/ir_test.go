@@ -1,0 +1,353 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func compileOne(t *testing.T, src string) *Module {
+	t.Helper()
+	m, err := CompileSource("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func TestCompileSimple(t *testing.T) {
+	m := compileOne(t, "fn add(a, b) { return a + b; }")
+	f := m.Func("add")
+	if f == nil {
+		t.Fatal("function add missing")
+	}
+	if f.NumParams != 2 {
+		t.Fatalf("NumParams = %d", f.NumParams)
+	}
+	term := f.Blocks[len(f.Blocks)-1].Terminator()
+	if term == nil || term.Op != OpRet {
+		t.Fatalf("last terminator = %v", term)
+	}
+}
+
+func TestCompileImplicitReturn(t *testing.T) {
+	m := compileOne(t, "fn f() { var x = 1; }")
+	f := m.Func("f")
+	last := f.Blocks[len(f.Blocks)-1]
+	term := last.Terminator()
+	if term == nil || term.Op != OpRet {
+		t.Fatal("missing implicit return")
+	}
+}
+
+func TestCompileConstOffsetLoad(t *testing.T) {
+	m := compileOne(t, "fn f(p) { return p[3]; }")
+	var load *Instr
+	m.Func("f").Instrs(func(in *Instr) {
+		if in.Op == OpLoad {
+			load = in
+		}
+	})
+	if load == nil {
+		t.Fatal("no load")
+	}
+	if load.Off != 3 {
+		t.Fatalf("load Off = %d, want 3 (constant offsets should fold)", load.Off)
+	}
+}
+
+func TestCompileDynamicOffsetLoad(t *testing.T) {
+	m := compileOne(t, "fn f(p, i) { return p[i]; }")
+	var load *Instr
+	nAdd := 0
+	m.Func("f").Instrs(func(in *Instr) {
+		if in.Op == OpLoad {
+			load = in
+		}
+		if in.Op == OpBin && BinOp(in.Imm) == Add {
+			nAdd++
+		}
+	})
+	if load == nil || load.Off != 0 || nAdd != 1 {
+		t.Fatalf("dynamic index lowering wrong: load=%+v adds=%d", load, nAdd)
+	}
+}
+
+func TestCompileStore(t *testing.T) {
+	m := compileOne(t, "fn f(p, v) { p[2] = v; }")
+	var store *Instr
+	m.Func("f").Instrs(func(in *Instr) {
+		if in.Op == OpStore {
+			store = in
+		}
+	})
+	if store == nil || store.Off != 2 || len(store.Args) != 2 {
+		t.Fatalf("store = %+v", store)
+	}
+}
+
+func TestCompileGlobals(t *testing.T) {
+	m := compileOne(t, "var g = 7;\nfn f() { g = g + 1; return g; }")
+	if len(m.Globals) != 1 || m.Globals[0].Init != 7 {
+		t.Fatalf("globals = %+v", m.Globals)
+	}
+	var loads, stores int
+	m.Func("f").Instrs(func(in *Instr) {
+		switch in.Op {
+		case OpGlobLoad:
+			loads++
+		case OpGlobStore:
+			stores++
+		}
+	})
+	if loads != 2 || stores != 1 {
+		t.Fatalf("gloads=%d gstores=%d", loads, stores)
+	}
+}
+
+func TestCompileUndefinedVariable(t *testing.T) {
+	if _, err := CompileSource("t", "fn f() { return nope; }"); err == nil {
+		t.Fatal("undefined variable accepted")
+	}
+	if _, err := CompileSource("t", "fn f() { nope = 3; }"); err == nil {
+		t.Fatal("assignment to undefined variable accepted")
+	}
+}
+
+func TestCompileUndefinedCall(t *testing.T) {
+	if _, err := CompileSource("t", "fn f() { return g(); }"); err == nil {
+		t.Fatal("call to undefined function accepted")
+	}
+}
+
+func TestCompileArityMismatch(t *testing.T) {
+	if _, err := CompileSource("t", "fn g(a) { return a; } fn f() { return g(); }"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestCompileBreakOutsideLoop(t *testing.T) {
+	if _, err := CompileSource("t", "fn f() { break; }"); err == nil {
+		t.Fatal("break outside loop accepted")
+	}
+	if _, err := CompileSource("t", "fn f() { continue; }"); err == nil {
+		t.Fatal("continue outside loop accepted")
+	}
+}
+
+func TestCompileDuplicateLocal(t *testing.T) {
+	if _, err := CompileSource("t", "fn f() { var x = 1; var x = 2; }"); err == nil {
+		t.Fatal("duplicate local accepted")
+	}
+	// Shadowing in an inner scope is allowed.
+	if _, err := CompileSource("t", "fn f() { var x = 1; { var x = 2; } return x; }"); err != nil {
+		t.Fatalf("legal shadowing rejected: %v", err)
+	}
+}
+
+func TestCompileWhileCFG(t *testing.T) {
+	m := compileOne(t, `
+fn f(n) {
+    var i = 0;
+    while (i < n) {
+        i = i + 1;
+        if (i == 5) { break; }
+        if (i == 2) { continue; }
+    }
+    return i;
+}`)
+	f := m.Func("f")
+	// Verify the CFG has no unterminated or mis-terminated blocks (Verify
+	// ran in Compile); additionally check there is at least one br.
+	brs := 0
+	f.Instrs(func(in *Instr) {
+		if in.Op == OpBr {
+			brs++
+		}
+	})
+	if brs < 3 {
+		t.Fatalf("expected >=3 br instructions, got %d", brs)
+	}
+}
+
+func TestCompileDeadCodeAfterReturn(t *testing.T) {
+	// Statements after return must not corrupt the CFG.
+	m := compileOne(t, "fn f() { return 1; var x = 2; x = 3; }")
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileShortCircuit(t *testing.T) {
+	m := compileOne(t, "fn f(a, b) { return a && b; }")
+	// && must lower to branching, not a plain And.
+	brs := 0
+	m.Func("f").Instrs(func(in *Instr) {
+		if in.Op == OpBr {
+			brs++
+		}
+	})
+	if brs == 0 {
+		t.Fatal("&& lowered without branches")
+	}
+}
+
+func TestCompileIntrinsics(t *testing.T) {
+	m := compileOne(t, `
+fn f() {
+    var p = pmalloc(4);
+    p[0] = 9;
+    persist(p, 1);
+    txbegin();
+    p[1] = 8;
+    txcommit();
+    setroot(0, p);
+    var q = getroot(0);
+    var s = pmsize(q);
+    pfree(p);
+    var v = valloc(2);
+    vfree(v);
+    yield();
+    lock(p);
+    unlock(p);
+    assert(1);
+    emit(5);
+    recover_begin();
+    recover_end();
+    return s;
+}`)
+	want := []Op{OpPmalloc, OpPersist, OpTxBegin, OpTxCommit, OpSetRoot, OpGetRoot,
+		OpPmSize, OpPfree, OpValloc, OpVfree, OpYield, OpLock, OpUnlock,
+		OpAssert, OpEmit, OpRecoverBegin, OpRecoverEnd}
+	seen := map[Op]bool{}
+	m.Func("f").Instrs(func(in *Instr) { seen[in.Op] = true })
+	for _, op := range want {
+		if !seen[op] {
+			t.Errorf("intrinsic op %v not emitted", op)
+		}
+	}
+}
+
+func TestCompileSpawn(t *testing.T) {
+	m := compileOne(t, "fn w(a) { return a; } fn f() { spawn w(3); }")
+	found := false
+	m.Func("f").Instrs(func(in *Instr) {
+		if in.Op == OpSpawn && in.Callee == "w" {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("spawn not lowered")
+	}
+}
+
+func TestCompileSpawnIntrinsicRejected(t *testing.T) {
+	if _, err := CompileSource("t", "fn f() { spawn yield(); }"); err == nil {
+		t.Fatal("spawn of intrinsic accepted")
+	}
+}
+
+func TestInstrIDsDense(t *testing.T) {
+	m := compileOne(t, "fn f(n) { var i = 0; while (i < n) { i = i + 1; } return i; }")
+	f := m.Func("f")
+	seen := map[int]bool{}
+	count := 0
+	f.Instrs(func(in *Instr) {
+		if seen[in.ID] {
+			t.Fatalf("duplicate instruction ID %d", in.ID)
+		}
+		seen[in.ID] = true
+		if in.Block < 0 || in.Block >= len(f.Blocks) {
+			t.Fatalf("bad owning block %d", in.Block)
+		}
+		count++
+	})
+	if count != f.NumInstrs {
+		t.Fatalf("NumInstrs = %d, counted %d", f.NumInstrs, count)
+	}
+	for id := 0; id < count; id++ {
+		if !seen[id] {
+			t.Fatalf("instruction ID %d missing (not dense)", id)
+		}
+	}
+}
+
+func TestPredsComputation(t *testing.T) {
+	m := compileOne(t, "fn f(c) { if (c) { return 1; } return 2; }")
+	f := m.Func("f")
+	preds := Preds(f)
+	// The entry block has no predecessors.
+	if len(preds[0]) != 0 {
+		t.Fatalf("entry preds = %v", preds[0])
+	}
+	// Every non-entry reachable block must have >= 1 predecessor.
+	reach := map[int]bool{0: true}
+	work := []int{0}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, s := range f.Blocks[b].Succs() {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	for bi := range f.Blocks {
+		if bi != 0 && reach[bi] && len(preds[bi]) == 0 {
+			t.Fatalf("reachable block %d has no preds", bi)
+		}
+	}
+}
+
+func TestVerifyCatchesBadTarget(t *testing.T) {
+	m := compileOne(t, "fn f() { return 0; }")
+	f := m.Func("f")
+	f.Blocks[0].Instrs[len(f.Blocks[0].Instrs)-1] = &Instr{Op: OpJmp, Target: 99}
+	if err := Verify(m); err == nil {
+		t.Fatal("bad jump target passed verification")
+	}
+}
+
+func TestVerifyCatchesBadRegister(t *testing.T) {
+	m := compileOne(t, "fn f() { return 0; }")
+	f := m.Func("f")
+	f.Blocks[0].Instrs[0] = &Instr{Op: OpMov, Dst: 0, Args: []int{50}}
+	if err := Verify(m); err == nil {
+		t.Fatal("bad register passed verification")
+	}
+}
+
+func TestVerifyCatchesMidBlockTerminator(t *testing.T) {
+	m := compileOne(t, "fn f() { return 0; }")
+	f := m.Func("f")
+	f.Blocks[0].Instrs = append([]*Instr{{Op: OpRet}}, f.Blocks[0].Instrs...)
+	if err := Verify(m); err == nil {
+		t.Fatal("mid-block terminator passed verification")
+	}
+}
+
+func TestPrintListing(t *testing.T) {
+	m := compileOne(t, `
+var g = 1;
+fn f(p) {
+    var x = p[0];
+    p[1] = x * 2;
+    persist(p, 2);
+    return x;
+}`)
+	text := Print(m)
+	for _, want := range []string{"global 0 g = 1", "func f(", "load", "store", "persist", "ret"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("listing missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile did not panic on bad source")
+		}
+	}()
+	MustCompile("bad", "fn f( {")
+}

@@ -1,0 +1,100 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a module as readable IR text for debugging, golden tests,
+// and cmd/pmlc -dump.
+func Print(m *Module) string {
+	var b strings.Builder
+	for i, g := range m.Globals {
+		fmt.Fprintf(&b, "global %d %s = %d\n", i, g.Name, g.Init)
+	}
+	for _, f := range m.Funcs {
+		PrintFunc(&b, f)
+	}
+	return b.String()
+}
+
+// PrintFunc writes one function's IR listing.
+func PrintFunc(b *strings.Builder, f *Function) {
+	params := make([]string, f.NumParams)
+	for i := range params {
+		params[i] = fmt.Sprintf("r%d:%s", i, f.RegNames[i])
+	}
+	fmt.Fprintf(b, "\nfunc %s(%s) regs=%d\n", f.Name, strings.Join(params, ", "), f.NumRegs)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(b, "b%d:\n", blk.Index)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(b, "  %s\n", FormatInstr(f, in))
+		}
+	}
+}
+
+// FormatInstr renders one instruction.
+func FormatInstr(f *Function, in *Instr) string {
+	reg := func(r int) string {
+		if f != nil && r >= 0 && r < len(f.RegNames) {
+			return fmt.Sprintf("r%d(%s)", r, f.RegNames[r])
+		}
+		return fmt.Sprintf("r%d", r)
+	}
+	var s string
+	switch in.Op {
+	case OpConst:
+		s = fmt.Sprintf("%s = const %d", reg(in.Dst), in.Imm)
+	case OpMov:
+		s = fmt.Sprintf("%s = %s", reg(in.Dst), reg(in.Args[0]))
+	case OpBin:
+		s = fmt.Sprintf("%s = %s %v %s", reg(in.Dst), reg(in.Args[0]), BinOp(in.Imm), reg(in.Args[1]))
+	case OpUn:
+		s = fmt.Sprintf("%s = %v%s", reg(in.Dst), UnOp(in.Imm), reg(in.Args[0]))
+	case OpLoad:
+		s = fmt.Sprintf("%s = load %s+%d", reg(in.Dst), reg(in.Args[0]), in.Off)
+	case OpStore:
+		s = fmt.Sprintf("store %s+%d, %s", reg(in.Args[0]), in.Off, reg(in.Args[1]))
+	case OpGlobLoad:
+		s = fmt.Sprintf("%s = gload @%d", reg(in.Dst), in.Imm)
+	case OpGlobStore:
+		s = fmt.Sprintf("gstore @%d, %s", in.Imm, reg(in.Args[0]))
+	case OpCall, OpSpawn:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = reg(a)
+		}
+		if in.Op == OpSpawn {
+			s = fmt.Sprintf("spawn %s(%s)", in.Callee, strings.Join(args, ", "))
+		} else {
+			s = fmt.Sprintf("%s = call %s(%s)", reg(in.Dst), in.Callee, strings.Join(args, ", "))
+		}
+	case OpRet:
+		if len(in.Args) == 1 {
+			s = fmt.Sprintf("ret %s", reg(in.Args[0]))
+		} else {
+			s = "ret"
+		}
+	case OpJmp:
+		s = fmt.Sprintf("jmp b%d", in.Target)
+	case OpBr:
+		s = fmt.Sprintf("br %s, b%d, b%d", reg(in.Args[0]), in.Target, in.Target2)
+	default:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = reg(a)
+		}
+		if in.HasDst() {
+			s = fmt.Sprintf("%s = %v(%s)", reg(in.Dst), in.Op, strings.Join(args, ", "))
+		} else {
+			s = fmt.Sprintf("%v(%s)", in.Op, strings.Join(args, ", "))
+		}
+	}
+	if in.GUID != 0 {
+		s += fmt.Sprintf("  ; guid=%d", in.GUID)
+	}
+	if in.Pos.IsValid() {
+		s += fmt.Sprintf("  ; %v", in.Pos)
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// Printer coverage: every opcode renders, GUIDs and positions annotate, and
+// the listing is stable enough to diff in golden workflows.
+
+func TestFormatInstrAllOps(t *testing.T) {
+	m := compileOne(t, `
+var g = 2;
+fn callee(a) { return a; }
+fn f(p, i) {
+    var x = 1 + 2;
+    var y = -x;
+    var z = p[i];
+    p[0] = z;
+    g = x;
+    var w = g;
+    var c = callee(x);
+    spawn callee(x);
+    var q = pmalloc(2);
+    var r = pmrealloc(q, 4);
+    persist(r, 1);
+    flush(r, 1);
+    fence();
+    txbegin();
+    txcommit();
+    setroot(0, r);
+    var s = getroot(0);
+    var sz = pmsize(s);
+    pfree(r);
+    var v = valloc(1);
+    vfree(v);
+    yield();
+    lock(v);
+    unlock(v);
+    assert(1);
+    emit(5);
+    recover_begin();
+    recover_end();
+    if (x > 0) { return c + w + sz; }
+    while (i < 3) { i = i + 1; }
+    fail(2);
+}`)
+	listing := Print(m)
+	for _, want := range []string{
+		"const", "load", "store", "gload", "gstore", "call callee", "spawn callee",
+		"pmalloc", "pmrealloc", "persist", "flush", "fence", "txbegin", "txcommit",
+		"setroot", "getroot", "pmsize", "pfree", "valloc", "vfree", "yield",
+		"lock", "unlock", "assert", "emit", "recover_begin", "recover_end",
+		"br ", "jmp ", "ret", "fail",
+	} {
+		if !strings.Contains(listing, want) {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+	// Positions annotate every instruction line.
+	if !strings.Contains(listing, "; 5:") {
+		t.Error("listing lacks source positions")
+	}
+}
+
+func TestFormatInstrGUIDAnnotation(t *testing.T) {
+	m := compileOne(t, "fn f() { var p = pmalloc(1); p[0] = 1; persist(p, 1); }")
+	var store *Instr
+	m.Func("f").Instrs(func(in *Instr) {
+		if in.Op == OpStore {
+			store = in
+		}
+	})
+	store.GUID = 42
+	s := FormatInstr(m.Func("f"), store)
+	if !strings.Contains(s, "guid=42") {
+		t.Fatalf("no GUID annotation: %s", s)
+	}
+}
+
+func TestOpStringAndBinUnNames(t *testing.T) {
+	if OpStore.String() != "store" || OpFence.String() != "fence" {
+		t.Fatal("op names broken")
+	}
+	if Op(9999).String() == "" {
+		t.Fatal("unknown op renders empty")
+	}
+	for b := Add; b <= Ne; b++ {
+		if b.String() == "" {
+			t.Fatalf("binop %d renders empty", b)
+		}
+	}
+	for _, u := range []UnOp{Neg, LogNot, BitNot} {
+		if u.String() == "" {
+			t.Fatalf("unop %d renders empty", u)
+		}
+	}
+	if BinOp(99).String() == "" || UnOp(99).String() == "" {
+		t.Fatal("unknown codes render empty")
+	}
+}
+
+func TestVerifyGlobalsAndSpawnArity(t *testing.T) {
+	if _, err := CompileSource("t", "fn w(a) { return a; } fn f() { spawn w(); }"); err == nil {
+		t.Fatal("spawn arity mismatch accepted")
+	}
+	m := compileOne(t, "var g;\nfn f() { g = 1; return g; }")
+	f := m.Func("f")
+	// Corrupt the global index and re-verify.
+	f.Instrs(func(in *Instr) {
+		if in.Op == OpGlobStore {
+			in.Imm = 7
+		}
+	})
+	if err := Verify(m); err == nil {
+		t.Fatal("bad global index passed verification")
+	}
+}

@@ -1,0 +1,102 @@
+package ir
+
+import "fmt"
+
+// Verify checks module well-formedness: every block is terminated exactly at
+// its end, branch targets are in range, register indices are valid, calls
+// resolve to defined functions with matching arity, and globals referenced
+// by index exist. Compile runs it automatically; it is exported so tests and
+// tools can validate hand-built IR.
+func Verify(m *Module) error {
+	for _, f := range m.Funcs {
+		if err := verifyFunc(m, f); err != nil {
+			return fmt.Errorf("function %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func verifyFunc(m *Module, f *Function) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	if f.NumParams > f.NumRegs {
+		return fmt.Errorf("NumParams %d > NumRegs %d", f.NumParams, f.NumRegs)
+	}
+	if len(f.RegNames) != f.NumRegs {
+		return fmt.Errorf("RegNames length %d != NumRegs %d", len(f.RegNames), f.NumRegs)
+	}
+	checkReg := func(r int, in *Instr) error {
+		if r < 0 || r >= f.NumRegs {
+			return fmt.Errorf("block %d: %v: register %d out of range [0,%d)", in.Block, in.Op, r, f.NumRegs)
+		}
+		return nil
+	}
+	checkTarget := func(t int, in *Instr) error {
+		if t < 0 || t >= len(f.Blocks) {
+			return fmt.Errorf("block %d: %v: target %d out of range", in.Block, in.Op, t)
+		}
+		return nil
+	}
+	for bi, b := range f.Blocks {
+		if b.Index != bi {
+			return fmt.Errorf("block %d has Index %d", bi, b.Index)
+		}
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %d is empty", bi)
+		}
+		for k, in := range b.Instrs {
+			isLast := k == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				if isLast {
+					return fmt.Errorf("block %d does not end in a terminator (%v)", bi, in.Op)
+				}
+				return fmt.Errorf("block %d: terminator %v not at block end", bi, in.Op)
+			}
+			if in.HasDst() {
+				if err := checkReg(in.Dst, in); err != nil {
+					return err
+				}
+			}
+			for _, a := range in.Args {
+				if err := checkReg(a, in); err != nil {
+					return err
+				}
+			}
+			switch in.Op {
+			case OpJmp:
+				if err := checkTarget(in.Target, in); err != nil {
+					return err
+				}
+			case OpBr:
+				if err := checkTarget(in.Target, in); err != nil {
+					return err
+				}
+				if err := checkTarget(in.Target2, in); err != nil {
+					return err
+				}
+				if len(in.Args) != 1 {
+					return fmt.Errorf("block %d: br with %d args", bi, len(in.Args))
+				}
+			case OpRet:
+				if len(in.Args) > 1 {
+					return fmt.Errorf("block %d: ret with %d args", bi, len(in.Args))
+				}
+			case OpCall, OpSpawn:
+				callee := m.Func(in.Callee)
+				if callee == nil {
+					return fmt.Errorf("block %d: call to undefined function %q", bi, in.Callee)
+				}
+				if len(in.Args) != callee.NumParams {
+					return fmt.Errorf("block %d: call %s with %d args, want %d",
+						bi, in.Callee, len(in.Args), callee.NumParams)
+				}
+			case OpGlobLoad, OpGlobStore:
+				if in.Imm < 0 || int(in.Imm) >= len(m.Globals) {
+					return fmt.Errorf("block %d: global index %d out of range", bi, in.Imm)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package pmem
+
+import "fmt"
+
+// Persistent allocator.
+//
+// The heap grows from heapStart to the end of the pool. Every block carries a
+// one-word header immediately before its payload:
+//
+//	header word: size-in-words (low 32 bits) | blockAllocated flag
+//
+// Free blocks keep a singly-linked free list threaded through payload word 0.
+// Allocation is first-fit with splitting; Free pushes onto the list head.
+// Header and list updates are made durable immediately (persistMeta), so the
+// heap structure is always crash-consistent — what PMDK's allocator provides
+// internally. There is deliberately no garbage collection: a payload nobody
+// frees stays allocated forever, which is exactly the persistent-leak failure
+// mode (paper §2.4, cases f8/f12).
+
+// Alloc allocates words payload words and returns the payload address.
+// Contents are NOT zeroed (previous occupants' bits remain, as with real
+// allocators) — use Zalloc for cleared memory.
+func (p *Pool) Alloc(words int) (uint64, error) {
+	if words <= 0 {
+		words = 1
+	}
+	idx, err := p.allocIndex(words)
+	if err != nil {
+		return 0, err
+	}
+	addr := Base + uint64(idx)
+	p.stats.Allocs++
+	if p.hooks.OnAlloc != nil {
+		p.hooks.OnAlloc(addr, words)
+	}
+	return addr, nil
+}
+
+// Zalloc allocates and zeroes words payload words (pmemobj_zalloc analogue).
+func (p *Pool) Zalloc(words int) (uint64, error) {
+	addr, err := p.Alloc(words)
+	if err != nil {
+		return 0, err
+	}
+	i := int(addr - Base)
+	for w := 0; w < words; w++ {
+		p.cur[i+w] = 0
+	}
+	p.persistMeta(i, words)
+	return addr, nil
+}
+
+// allocIndex finds or creates a block and returns the payload word index.
+func (p *Pool) allocIndex(words int) (int, error) {
+	// First-fit over the free list.
+	prev := -1
+	cur := int(p.cur[hdrFreeHead])
+	for cur != 0 {
+		hdr := p.cur[cur-1]
+		size := int(hdr & blockSizeMask)
+		if hdr&blockAllocated != 0 {
+			return 0, fmt.Errorf("%w: free list entry %d is allocated", ErrCorruptHeader, cur)
+		}
+		if size >= words {
+			next := int(p.cur[cur])
+			if size >= words+2 {
+				// Split: the tail becomes a smaller free block.
+				restIdx := cur + words + 1
+				restSize := size - words - 1
+				p.cur[restIdx-1] = uint64(restSize)
+				p.cur[restIdx] = uint64(next)
+				next = restIdx
+				p.cur[cur-1] = uint64(words)
+				p.persistMeta(restIdx-1, 2)
+			}
+			p.unlinkFree(prev, next)
+			p.cur[cur-1] |= blockAllocated
+			p.persistMeta(cur-1, 1)
+			p.bumpLive(int(p.cur[cur-1] & blockSizeMask))
+			return cur, nil
+		}
+		prev = cur
+		cur = int(p.cur[cur])
+	}
+	// Bump allocation from never-used space.
+	next := int(p.cur[hdrHeapNext])
+	if next+words+1 > p.words {
+		return 0, fmt.Errorf("%w: need %d words, %d free", ErrOutOfSpace, words+1, p.words-next)
+	}
+	p.cur[next] = uint64(words) | blockAllocated
+	p.cur[hdrHeapNext] = uint64(next + words + 1)
+	p.persistMeta(next, 1)
+	p.persistMeta(hdrHeapNext, 1)
+	p.bumpLive(words)
+	return next + 1, nil
+}
+
+func (p *Pool) unlinkFree(prevPayload, nextPayload int) {
+	if prevPayload < 0 {
+		p.cur[hdrFreeHead] = uint64(nextPayload)
+		p.persistMeta(hdrFreeHead, 1)
+	} else {
+		p.cur[prevPayload] = uint64(nextPayload)
+		p.persistMeta(prevPayload, 1)
+	}
+}
+
+func (p *Pool) bumpLive(delta int) {
+	p.cur[hdrLiveWords] = uint64(int(p.cur[hdrLiveWords]) + delta)
+	p.persistMeta(hdrLiveWords, 1)
+}
+
+// Free returns the block whose payload starts at addr to the free list.
+func (p *Pool) Free(addr uint64) error {
+	i, err := p.index(addr)
+	if err != nil {
+		return err
+	}
+	if i <= heapStart || i >= int(p.cur[hdrHeapNext]) {
+		return fmt.Errorf("%w: %#x outside heap", ErrBadFree, addr)
+	}
+	hdr := p.cur[i-1]
+	if hdr&blockAllocated == 0 {
+		return fmt.Errorf("%w: %#x (double free?)", ErrBadFree, addr)
+	}
+	size := int(hdr & blockSizeMask)
+	if size <= 0 || i+size > p.words {
+		return fmt.Errorf("%w: block at %#x has size %d", ErrCorruptHeader, addr, size)
+	}
+	p.cur[i-1] = uint64(size) // clear allocated flag
+	p.cur[i] = p.cur[hdrFreeHead]
+	p.cur[hdrFreeHead] = uint64(i)
+	p.persistMeta(i-1, 2)
+	p.persistMeta(hdrFreeHead, 1)
+	p.bumpLive(-size)
+	p.stats.Frees++
+	if p.hooks.OnFree != nil {
+		p.hooks.OnFree(addr, size)
+	}
+	return nil
+}
+
+// IsAllocated reports whether addr is the payload start of a live block.
+func (p *Pool) IsAllocated(addr uint64) bool {
+	i, err := p.index(addr)
+	if err != nil || i <= heapStart || i >= int(p.cur[hdrHeapNext]) {
+		return false
+	}
+	hdr := p.cur[i-1]
+	return hdr&blockAllocated != 0
+}
+
+// BlockSize returns the payload size of the live block at addr.
+func (p *Pool) BlockSize(addr uint64) (int, error) {
+	if !p.IsAllocated(addr) {
+		return 0, fmt.Errorf("%w: %#x", ErrBadFree, addr)
+	}
+	i := int(addr - Base)
+	return int(p.cur[i-1] & blockSizeMask), nil
+}
+
+// LiveWords returns the number of payload words currently allocated.
+func (p *Pool) LiveWords() int { return int(p.cur[hdrLiveWords]) }
+
+// FreeWords returns an estimate of allocatable payload words remaining.
+func (p *Pool) FreeWords() int {
+	free := p.words - int(p.cur[hdrHeapNext])
+	for cur := int(p.cur[hdrFreeHead]); cur != 0; cur = int(p.cur[cur]) {
+		free += int(p.cur[cur-1] & blockSizeMask)
+		if p.cur[cur-1]&blockAllocated != 0 {
+			break // corrupt; stop rather than loop
+		}
+	}
+	return free
+}
+
+// InAllocatedPayload reports whether addr lies inside the payload of a
+// currently-allocated block (or the root/header region). Reversion uses it
+// to avoid scribbling over free-list links inside freed blocks.
+func (p *Pool) InAllocatedPayload(addr uint64) bool {
+	if !p.Contains(addr) {
+		return false
+	}
+	i := int(addr - Base)
+	if i < heapStart {
+		return true // header/root region is always writable state
+	}
+	w := heapStart
+	end := int(p.cur[hdrHeapNext])
+	for w < end {
+		hdr := p.cur[w]
+		size := int(hdr & blockSizeMask)
+		if size <= 0 || w+1+size > end {
+			return false // corrupt heap: refuse
+		}
+		if i >= w+1 && i < w+1+size {
+			return hdr&blockAllocated != 0
+		}
+		w += 1 + size
+	}
+	return false
+}
+
+// LiveBlocks returns the payload addresses of all allocated blocks, in heap
+// order. Used by integrity checks and the leak-mitigation diff.
+func (p *Pool) LiveBlocks() []uint64 {
+	var out []uint64
+	i := heapStart
+	end := int(p.cur[hdrHeapNext])
+	for i < end {
+		hdr := p.cur[i]
+		size := int(hdr & blockSizeMask)
+		if size <= 0 || i+1+size > end {
+			break // corrupt heap; integrity check reports details
+		}
+		if hdr&blockAllocated != 0 {
+			out = append(out, Base+uint64(i+1))
+		}
+		i += 1 + size
+	}
+	return out
+}

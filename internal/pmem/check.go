@@ -1,0 +1,93 @@
+package pmem
+
+import "fmt"
+
+// Integrity checking: the pmempool-check analogue used by the consistency
+// evaluation (paper §6.2, Table 4 step (1): "run sanity checks on the
+// persistent memory file ... which catch bad PM blocks").
+
+// CheckReport describes problems found by CheckIntegrity.
+type CheckReport struct {
+	Problems []string
+}
+
+// OK reports whether the check found no problems.
+func (r *CheckReport) OK() bool { return len(r.Problems) == 0 }
+
+func (r *CheckReport) addf(format string, args ...any) {
+	r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+}
+
+func (r *CheckReport) String() string {
+	if r.OK() {
+		return "pool check: ok"
+	}
+	s := fmt.Sprintf("pool check: %d problem(s)", len(r.Problems))
+	for _, p := range r.Problems {
+		s += "\n  - " + p
+	}
+	return s
+}
+
+// CheckIntegrity validates the durable pool image: header sanity, block chain
+// well-formedness, free list consistency, and the live-words accounting.
+func (p *Pool) CheckIntegrity() *CheckReport {
+	r := &CheckReport{}
+	if p.durable[hdrMagic] != magicValue {
+		r.addf("bad magic %#x", p.durable[hdrMagic])
+		return r
+	}
+	if int(p.durable[hdrSize]) != p.words {
+		r.addf("header size %d != pool size %d", p.durable[hdrSize], p.words)
+	}
+	heapNext := int(p.durable[hdrHeapNext])
+	if heapNext < heapStart || heapNext > p.words {
+		r.addf("heap bump pointer %d out of range", heapNext)
+		return r
+	}
+
+	// Walk the block chain.
+	live := 0
+	freeBlocks := map[int]bool{}
+	i := heapStart
+	for i < heapNext {
+		hdr := p.durable[i]
+		size := int(hdr & blockSizeMask)
+		if size <= 0 || i+1+size > heapNext {
+			r.addf("corrupt block header at word %d: size=%d", i, size)
+			return r
+		}
+		if hdr&blockAllocated != 0 {
+			live += size
+		} else {
+			freeBlocks[i+1] = true
+		}
+		i += 1 + size
+	}
+	if live != int(p.durable[hdrLiveWords]) {
+		r.addf("live-words accounting: header says %d, walk found %d", p.durable[hdrLiveWords], live)
+	}
+
+	// Walk the free list; every entry must be a free block from the walk,
+	// and the list must not cycle.
+	seen := map[int]bool{}
+	cur := int(p.durable[hdrFreeHead])
+	for cur != 0 {
+		if seen[cur] {
+			r.addf("free list cycle at payload %d", cur)
+			break
+		}
+		seen[cur] = true
+		if !freeBlocks[cur] {
+			r.addf("free list entry %d is not a free block", cur)
+			break
+		}
+		cur = int(p.durable[cur])
+	}
+	for fb := range freeBlocks {
+		if !seen[fb] {
+			r.addf("free block at payload %d not on free list", fb)
+		}
+	}
+	return r
+}

@@ -1,0 +1,102 @@
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Pool file persistence: the pmem_map_file analogue. A pool's DURABLE image
+// can be serialized and reopened later — only durable state travels, so a
+// save/load cycle has exactly crash semantics (unflushed stores are lost),
+// and a pool file written by one process observes the same recovery
+// obligations a DAX-mapped file would.
+
+// fileMagic guards against feeding arbitrary files to Open.
+const fileMagic uint64 = 0x41525448_504F4F4C // "ARTH POOL"
+
+// fileVersion is bumped on incompatible layout changes.
+const fileVersion uint64 = 1
+
+// WriteTo serializes the durable image. It implements io.WriterTo.
+func (p *Pool) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	put := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		n, err := w.Write(buf[:])
+		written += int64(n)
+		return err
+	}
+	if err := put(fileMagic); err != nil {
+		return written, err
+	}
+	if err := put(fileVersion); err != nil {
+		return written, err
+	}
+	if err := put(uint64(p.words)); err != nil {
+		return written, err
+	}
+	buf := make([]byte, 8*len(p.durable))
+	for i, word := range p.durable {
+		binary.LittleEndian.PutUint64(buf[8*i:], word)
+	}
+	n, err := w.Write(buf)
+	written += int64(n)
+	return written, err
+}
+
+// ReadPool deserializes a pool file. The current image starts equal to the
+// durable one (a clean open after a crash).
+func ReadPool(r io.Reader) (*Pool, error) {
+	get := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	magic, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("pmem: reading pool file: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("pmem: not a pool file (magic %#x)", magic)
+	}
+	version, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if version != fileVersion {
+		return nil, fmt.Errorf("pmem: pool file version %d, want %d", version, fileVersion)
+	}
+	words64, err := get()
+	if err != nil {
+		return nil, err
+	}
+	words := int(words64)
+	if words < 64 || words > 1<<32 {
+		return nil, fmt.Errorf("pmem: implausible pool size %d", words)
+	}
+	p := &Pool{
+		words:   words,
+		cur:     make([]uint64, words),
+		durable: make([]uint64, words),
+		dirty:   map[uint64]struct{}{},
+	}
+	buf := make([]byte, 8*words)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("pmem: truncated pool file: %w", err)
+	}
+	for i := range p.durable {
+		p.durable[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	copy(p.cur, p.durable)
+	if p.durable[hdrMagic] != magicValue {
+		return nil, fmt.Errorf("pmem: pool image not formatted (magic %#x)", p.durable[hdrMagic])
+	}
+	if rep := p.CheckIntegrity(); !rep.OK() {
+		return nil, fmt.Errorf("pmem: pool file failed integrity check: %v", rep)
+	}
+	return p, nil
+}

@@ -1,0 +1,84 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPoolFileRoundTrip(t *testing.T) {
+	p := New(512)
+	a, _ := p.Alloc(4)
+	p.Store(a, 11)
+	p.Store(a+1, 22)
+	p.Persist(a, 2)
+	p.Store(a+2, 33) // NOT persisted: must not travel
+	p.SetRoot(0, a)
+
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPool(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Words() != 512 {
+		t.Fatalf("words = %d", q.Words())
+	}
+	root, _ := q.Root(0)
+	if root != a {
+		t.Fatalf("root = %#x, want %#x", root, a)
+	}
+	v0, _ := q.Load(a)
+	v1, _ := q.Load(a + 1)
+	v2, _ := q.Load(a + 2)
+	if v0 != 11 || v1 != 22 {
+		t.Fatalf("persisted data lost: %d %d", v0, v1)
+	}
+	if v2 == 33 {
+		t.Fatal("unpersisted store traveled through the pool file")
+	}
+	// Allocator state travels: the block is still live, new allocations
+	// do not overlap it.
+	if !q.IsAllocated(a) {
+		t.Fatal("allocation lost")
+	}
+	b, err := q.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b >= a && b < a+4 {
+		t.Fatal("new allocation overlaps reopened block")
+	}
+}
+
+func TestPoolFileRejectsGarbage(t *testing.T) {
+	if _, err := ReadPool(bytes.NewReader([]byte("not a pool file at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadPool(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestPoolFileRejectsTruncated(t *testing.T) {
+	p := New(256)
+	var buf bytes.Buffer
+	p.WriteTo(&buf)
+	data := buf.Bytes()
+	if _, err := ReadPool(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestPoolFileRejectsCorruptImage(t *testing.T) {
+	p := New(256)
+	a, _ := p.Alloc(4)
+	// Corrupt the durable allocator header before saving.
+	p.WriteDurable(a-1, 0)
+	var buf bytes.Buffer
+	p.WriteTo(&buf)
+	if _, err := ReadPool(&buf); err == nil {
+		t.Fatal("corrupt pool image accepted")
+	}
+}

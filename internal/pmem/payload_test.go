@@ -1,0 +1,52 @@
+package pmem
+
+import "testing"
+
+func TestInAllocatedPayload(t *testing.T) {
+	p := New(512)
+	a, _ := p.Alloc(4)
+	b, _ := p.Alloc(4)
+
+	// Header/root region counts as writable state.
+	if !p.InAllocatedPayload(Base + 2) {
+		t.Error("header region should be payload-writable")
+	}
+	// Live payload words.
+	for w := uint64(0); w < 4; w++ {
+		if !p.InAllocatedPayload(a + w) {
+			t.Errorf("live word a+%d not recognized", w)
+		}
+	}
+	// Block headers are not payload.
+	if p.InAllocatedPayload(a - 1) {
+		t.Error("block header recognized as payload")
+	}
+	// Freed blocks are not payload.
+	p.Free(a)
+	if p.InAllocatedPayload(a) {
+		t.Error("freed word recognized as payload")
+	}
+	if !p.InAllocatedPayload(b) {
+		t.Error("unrelated live block affected by free")
+	}
+	// Out-of-pool and never-allocated space.
+	if p.InAllocatedPayload(123) {
+		t.Error("non-pool address accepted")
+	}
+	if p.InAllocatedPayload(Base + 500) {
+		t.Error("never-allocated heap space accepted")
+	}
+}
+
+func TestInAllocatedPayloadAfterReuse(t *testing.T) {
+	p := New(512)
+	a, _ := p.Alloc(6)
+	p.Free(a)
+	c, _ := p.Alloc(6) // reuses a's block
+	if c != a {
+		t.Skip("allocator did not reuse")
+	}
+	if !p.InAllocatedPayload(a + 3) {
+		t.Error("reused block payload not recognized")
+	}
+}

@@ -1,0 +1,332 @@
+// Package pmem simulates byte-addressable persistent memory with an explicit
+// durability model.
+//
+// The simulator reproduces the semantics that Arthas's checkpointing depends
+// on, without requiring real PM DIMMs:
+//
+//   - A pool is an array of 64-bit words addressed at [Base, Base+Words).
+//   - Stores update the *current* image only. They are NOT durable.
+//   - Persist (the pmem_persist / clwb+sfence analogue) copies a range of the
+//     current image into the *durable* image.
+//   - Crash discards the current image and rebuilds it from the durable one,
+//     so unflushed stores are lost — exactly the property PM crash-consistency
+//     work is about.
+//   - A persistent allocator (the pmemobj_zalloc analogue) lives inside the
+//     pool; its metadata is made durable on every alloc/free so the heap
+//     survives crashes, mirroring PMDK's internally-atomic allocator.
+//   - Root slots (the pmemobj_root analogue) give programs a durable entry
+//     point to find their data after restart.
+//
+// All addresses and sizes are in 64-bit words, not bytes. This keeps pointer
+// arithmetic in the PML virtual machine trivial while preserving everything
+// that matters for fault propagation: a corrupted pointer still traps, a
+// corrupted length still overflows, a leaked object still consumes space.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Base is the virtual address of the first pool word. Volatile heap addresses
+// used by the VM are far below it, so PM and DRAM pointers are distinguishable
+// by value, like DAX-mapped regions in real deployments.
+const Base uint64 = 1 << 40
+
+// Word counts for the persistent pool header layout.
+const (
+	hdrMagic     = 0 // magic value identifying an initialized pool
+	hdrSize      = 1 // pool size in words
+	hdrHeapNext  = 2 // bump pointer: next never-allocated word index
+	hdrFreeHead  = 3 // head of the free list (0 = empty)
+	hdrLiveWords = 4 // payload words currently allocated
+	hdrRootBase  = 8 // first of NumRoots root slots
+
+	// NumRoots is the number of durable root slots a pool provides.
+	NumRoots = 16
+
+	heapStart = hdrRootBase + NumRoots // first heap word index
+)
+
+const magicValue = 0x41525448_41530001 // "ARTHAS" v1
+
+// Allocation block header flags (stored in the word before each payload).
+const (
+	blockAllocated = uint64(1) << 62
+	blockSizeMask  = (uint64(1) << 32) - 1
+)
+
+// Errors reported by pool operations. The VM converts these into traps with
+// the same flavor as the corresponding process-level failures (segfault,
+// out-of-space, heap corruption).
+var (
+	ErrOutOfBounds   = errors.New("pmem: address out of pool bounds")
+	ErrOutOfSpace    = errors.New("pmem: out of persistent memory")
+	ErrBadFree       = errors.New("pmem: free of non-allocated address")
+	ErrBadRoot       = errors.New("pmem: root slot out of range")
+	ErrCorruptHeader = errors.New("pmem: corrupt allocation header")
+)
+
+// Range identifies a contiguous run of pool words by absolute address.
+type Range struct {
+	Addr  uint64 // absolute address (>= Base)
+	Words int
+}
+
+func (r Range) String() string { return fmt.Sprintf("[%#x,+%d)", r.Addr, r.Words) }
+
+// Overlaps reports whether two ranges share any word.
+func (r Range) Overlaps(o Range) bool {
+	return r.Addr < o.Addr+uint64(o.Words) && o.Addr < r.Addr+uint64(r.Words)
+}
+
+// Hooks receive notifications about durability events. The Arthas checkpoint
+// library implements them; a nil hook is skipped. Hooks fire only when data
+// actually becomes durable (the paper's "eager checkpointing ... respects the
+// program's persistence points", §4.2).
+type Hooks struct {
+	// OnPersist is called after a range is made durable outside any
+	// transaction. data aliases internal storage only for the duration of
+	// the call; implementations must copy.
+	OnPersist func(addr uint64, data []uint64)
+	// OnTxBegin/OnTxCommit bracket the OnPersist calls issued by a
+	// transaction commit, so the checkpoint log can group entries that
+	// must be reverted together.
+	OnTxBegin  func()
+	OnTxCommit func()
+	// OnAlloc/OnFree observe allocator activity (used for leak mitigation).
+	OnAlloc func(addr uint64, words int)
+	OnFree  func(addr uint64, words int)
+}
+
+// Pool is a simulated persistent memory pool.
+type Pool struct {
+	words   int
+	cur     []uint64 // what loads observe
+	durable []uint64 // what survives Crash
+	dirty   map[uint64]struct{}
+
+	hooks Hooks
+
+	// statistics
+	stats Stats
+}
+
+// Stats counts pool activity since creation (volatile; not part of pool state).
+type Stats struct {
+	Loads    uint64
+	Stores   uint64
+	Persists uint64
+	PersistedWords
+	Allocs  uint64
+	Frees   uint64
+	Crashes uint64
+}
+
+// PersistedWords tallies how many words were made durable.
+type PersistedWords struct{ Words uint64 }
+
+// New creates a pool with the given number of heap-addressable words
+// (minimum 64) and formats its persistent header.
+func New(words int) *Pool {
+	if words < 64 {
+		words = 64
+	}
+	p := &Pool{
+		words:   words,
+		cur:     make([]uint64, words),
+		durable: make([]uint64, words),
+		dirty:   make(map[uint64]struct{}),
+	}
+	p.cur[hdrMagic] = magicValue
+	p.cur[hdrSize] = uint64(words)
+	p.cur[hdrHeapNext] = heapStart
+	p.cur[hdrFreeHead] = 0
+	p.cur[hdrLiveWords] = 0
+	p.persistMeta(0, heapStart)
+	return p
+}
+
+// SetHooks installs durability hooks, replacing any previous ones.
+func (p *Pool) SetHooks(h Hooks) { p.hooks = h }
+
+// HooksInstalled reports whether any persist hook is present.
+func (p *Pool) HooksInstalled() bool { return p.hooks.OnPersist != nil }
+
+// Words returns the pool size in words.
+func (p *Pool) Words() int { return p.words }
+
+// Stats returns a copy of the activity counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// Contains reports whether addr names a word inside the pool.
+func (p *Pool) Contains(addr uint64) bool {
+	return addr >= Base && addr < Base+uint64(p.words)
+}
+
+func (p *Pool) index(addr uint64) (int, error) {
+	if !p.Contains(addr) {
+		return 0, fmt.Errorf("%w: %#x", ErrOutOfBounds, addr)
+	}
+	return int(addr - Base), nil
+}
+
+// Load reads one word from the current image.
+func (p *Pool) Load(addr uint64) (uint64, error) {
+	i, err := p.index(addr)
+	if err != nil {
+		return 0, err
+	}
+	p.stats.Loads++
+	return p.cur[i], nil
+}
+
+// Store writes one word to the current image. The write is volatile until a
+// Persist covering it succeeds.
+func (p *Pool) Store(addr uint64, val uint64) error {
+	i, err := p.index(addr)
+	if err != nil {
+		return err
+	}
+	p.stats.Stores++
+	p.cur[i] = val
+	p.dirty[addr] = struct{}{}
+	return nil
+}
+
+// Persist makes [addr, addr+words) durable and fires the persist hook.
+// It is the pmem_persist / clwb;sfence analogue.
+func (p *Pool) Persist(addr uint64, words int) error {
+	if err := p.makeDurable(addr, words); err != nil {
+		return err
+	}
+	if p.hooks.OnPersist != nil {
+		i := int(addr - Base)
+		p.hooks.OnPersist(addr, p.durable[i:i+words])
+	}
+	return nil
+}
+
+// PersistTx makes every range durable as one atomic transaction commit,
+// firing tx-bracketed hooks. It is the libpmemobj TX_COMMIT analogue: the
+// caller (VM or native program) tracked the write-set.
+func (p *Pool) PersistTx(ranges []Range) error {
+	for _, r := range ranges {
+		if _, err := p.index(r.Addr); err != nil {
+			return err
+		}
+		if r.Words < 0 || int(r.Addr-Base)+r.Words > p.words {
+			return fmt.Errorf("%w: %v", ErrOutOfBounds, r)
+		}
+	}
+	if p.hooks.OnTxBegin != nil {
+		p.hooks.OnTxBegin()
+	}
+	for _, r := range ranges {
+		if err := p.makeDurable(r.Addr, r.Words); err != nil {
+			return err
+		}
+		if p.hooks.OnPersist != nil {
+			i := int(r.Addr - Base)
+			p.hooks.OnPersist(r.Addr, p.durable[i:i+r.Words])
+		}
+	}
+	if p.hooks.OnTxCommit != nil {
+		p.hooks.OnTxCommit()
+	}
+	return nil
+}
+
+func (p *Pool) makeDurable(addr uint64, words int) error {
+	i, err := p.index(addr)
+	if err != nil {
+		return err
+	}
+	if words < 0 || i+words > p.words {
+		return fmt.Errorf("%w: %v", ErrOutOfBounds, Range{addr, words})
+	}
+	p.stats.Persists++
+	p.stats.PersistedWords.Words += uint64(words)
+	copy(p.durable[i:i+words], p.cur[i:i+words])
+	for w := 0; w < words; w++ {
+		delete(p.dirty, addr+uint64(w))
+	}
+	return nil
+}
+
+// persistMeta makes allocator/header metadata durable WITHOUT firing hooks:
+// allocator internals are not program state and must not pollute the
+// checkpoint log (PMDK similarly hides its internal writes).
+func (p *Pool) persistMeta(idx, words int) {
+	copy(p.durable[idx:idx+words], p.cur[idx:idx+words])
+	for w := 0; w < words; w++ {
+		delete(p.dirty, Base+uint64(idx+w))
+	}
+}
+
+// DirtyWords returns the number of stored-but-unpersisted words.
+func (p *Pool) DirtyWords() int { return len(p.dirty) }
+
+// Crash simulates a power failure / process kill: all unflushed stores are
+// lost and the current image is rebuilt from the durable one.
+func (p *Pool) Crash() {
+	p.stats.Crashes++
+	copy(p.cur, p.durable)
+	p.dirty = make(map[uint64]struct{})
+}
+
+// SetRoot durably records addr in root slot i.
+func (p *Pool) SetRoot(i int, addr uint64) error {
+	if i < 0 || i >= NumRoots {
+		return fmt.Errorf("%w: %d", ErrBadRoot, i)
+	}
+	p.cur[hdrRootBase+i] = addr
+	p.persistMeta(hdrRootBase+i, 1)
+	return nil
+}
+
+// Root returns the address stored in root slot i (0 if never set).
+func (p *Pool) Root(i int) (uint64, error) {
+	if i < 0 || i >= NumRoots {
+		return 0, fmt.Errorf("%w: %d", ErrBadRoot, i)
+	}
+	return p.cur[hdrRootBase+i], nil
+}
+
+// InjectBitFlip flips bit (0..63) of the word at addr in BOTH images,
+// simulating a hardware fault that was persisted (paper §2.4 "Hardware
+// Faults"). Flipping only the current image simulates a transient fault.
+func (p *Pool) InjectBitFlip(addr uint64, bit uint, alsoDurable bool) error {
+	i, err := p.index(addr)
+	if err != nil {
+		return err
+	}
+	p.cur[i] ^= 1 << (bit & 63)
+	if alsoDurable {
+		p.durable[i] ^= 1 << (bit & 63)
+	}
+	return nil
+}
+
+// WriteDurable overwrites one durable (and current) word directly. It is the
+// primitive the Arthas reactor uses to revert a checkpointed value: reversion
+// must itself be durable or the next crash would undo it.
+func (p *Pool) WriteDurable(addr uint64, val uint64) error {
+	i, err := p.index(addr)
+	if err != nil {
+		return err
+	}
+	p.cur[i] = val
+	p.durable[i] = val
+	delete(p.dirty, addr)
+	return nil
+}
+
+// ReadDurable reads one word from the durable image.
+func (p *Pool) ReadDurable(addr uint64) (uint64, error) {
+	i, err := p.index(addr)
+	if err != nil {
+		return 0, err
+	}
+	return p.durable[i], nil
+}

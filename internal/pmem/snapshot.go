@@ -1,0 +1,49 @@
+package pmem
+
+import "fmt"
+
+// Snapshot is a point-in-time copy of a pool's durable image. It is the unit
+// of checkpointing for the pmCRIU baseline: coarse-grained, whole-pool, taken
+// periodically — as opposed to Arthas's per-update checkpoint log.
+type Snapshot struct {
+	// Seq is caller-assigned ordering metadata (e.g. logical time taken).
+	Seq uint64
+	// Durable is the full durable image at snapshot time.
+	Durable []uint64
+}
+
+// TakeSnapshot copies the durable image. Unpersisted (dirty) stores are
+// intentionally not captured: a process-level checkpointer sees only what the
+// target made durable.
+func (p *Pool) TakeSnapshot(seq uint64) *Snapshot {
+	d := make([]uint64, len(p.durable))
+	copy(d, p.durable)
+	return &Snapshot{Seq: seq, Durable: d}
+}
+
+// RestoreSnapshot replaces both images with the snapshot contents, as a
+// coarse rollback does. The pool sizes must match.
+func (p *Pool) RestoreSnapshot(s *Snapshot) error {
+	if len(s.Durable) != p.words {
+		return fmt.Errorf("pmem: snapshot size %d != pool size %d", len(s.Durable), p.words)
+	}
+	copy(p.durable, s.Durable)
+	copy(p.cur, s.Durable)
+	p.dirty = make(map[uint64]struct{})
+	return nil
+}
+
+// DiffWords counts durable words that differ between the pool and a snapshot.
+// Experiments use it to quantify how much state a coarse rollback discards.
+func (p *Pool) DiffWords(s *Snapshot) int {
+	if len(s.Durable) != p.words {
+		return p.words
+	}
+	n := 0
+	for i, w := range p.durable {
+		if w != s.Durable[i] {
+			n++
+		}
+	}
+	return n
+}

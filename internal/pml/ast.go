@@ -1,0 +1,206 @@
+package pml
+
+// AST node definitions for PML.
+
+// Program is a parsed PML compilation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// GlobalDecl is a top-level `var name = <int literal>;` declaration.
+// Globals are volatile (reset at every program start, like C globals
+// without persistence) and are shared across threads.
+type GlobalDecl struct {
+	Name string
+	Init int64
+	Pos  Pos
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *BlockStmt
+	Pos    Pos
+}
+
+// --- Statements ---
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a `{ ... }` sequence.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// VarStmt declares a local: `var x;` or `var x = e;`.
+type VarStmt struct {
+	Name string
+	Init Expr // nil means zero
+	Pos  Pos
+}
+
+// AssignStmt is `lhs = rhs;` where lhs is an identifier or index expression.
+type AssignStmt struct {
+	LHS Expr // *Ident or *IndexExpr
+	RHS Expr
+	Pos Pos
+}
+
+// ExprStmt evaluates an expression for its side effects: `f(x);`.
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// IfStmt is `if (cond) { ... } else { ... }` (else optional).
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt (else-if) or nil
+	Pos  Pos
+}
+
+// WhileStmt is `while (cond) { ... }`.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt re-tests the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ReturnStmt is `return;` or `return e;`.
+type ReturnStmt struct {
+	X   Expr // may be nil
+	Pos Pos
+}
+
+// SpawnStmt is `spawn f(args);` — start a cooperative thread.
+type SpawnStmt struct {
+	Callee string
+	Args   []Expr
+	Pos    Pos
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*SpawnStmt) stmtNode()    {}
+
+// --- Expressions ---
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	ExprPos() Pos
+}
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Val int64
+	Pos Pos
+}
+
+// Ident references a local, parameter, or global.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// IndexExpr is `base[idx]`: a load from (or, as an assignment target, a
+// store to) memory word base+idx. This is PML's only memory access form,
+// mirroring *(p+i) in the C systems the paper studies.
+type IndexExpr struct {
+	Base, Idx Expr
+	Pos       Pos
+}
+
+// CallExpr invokes a user function or an intrinsic.
+type CallExpr struct {
+	Callee string
+	Args   []Expr
+	Pos    Pos
+}
+
+// UnaryExpr is -x, !x, or ~x.
+type UnaryExpr struct {
+	Op  Kind // Minus, Not, Tilde
+	X   Expr
+	Pos Pos
+}
+
+// BinaryExpr is a binary operation. && and || short-circuit.
+type BinaryExpr struct {
+	Op   Kind
+	L, R Expr
+	Pos  Pos
+}
+
+func (*NumLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+
+// ExprPos implementations.
+func (e *NumLit) ExprPos() Pos     { return e.Pos }
+func (e *Ident) ExprPos() Pos      { return e.Pos }
+func (e *IndexExpr) ExprPos() Pos  { return e.Pos }
+func (e *CallExpr) ExprPos() Pos   { return e.Pos }
+func (e *UnaryExpr) ExprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) ExprPos() Pos { return e.Pos }
+
+// Intrinsics is the set of built-in function names. The analyzer treats the
+// PM-facing subset (pmalloc, getroot, …) as the seeds of its persistent
+// variable identification (paper §4.1), and the VM implements them directly.
+var Intrinsics = map[string]int{ // name -> arity (-1 = variadic not allowed; all fixed)
+	"pmalloc":       1, // allocate+zero n persistent words, returns address
+	"pfree":         1, // free persistent block
+	"persist":       2, // persist(addr, nwords): make durable (library API)
+	"flush":         2, // flush(addr, nwords): queue cache lines (clwb analogue)
+	"fence":         0, // fence(): drain queued flushes to durability (sfence)
+	"txbegin":       0, // begin transaction (per-thread)
+	"txcommit":      0, // commit: persist tx write-set atomically
+	"setroot":       2, // setroot(slot, addr)
+	"getroot":       1, // getroot(slot) -> addr
+	"pmsize":        1, // pmsize(addr) -> allocated words (0 if not a block start)
+	"pmrealloc":     2, // pmrealloc(addr, n): resize block, returns new addr
+	"valloc":        1, // allocate+zero n volatile words
+	"vfree":         1, // free volatile block
+	"yield":         0, // cooperative scheduling point
+	"lock":          1, // spin-acquire word at addr
+	"unlock":        1, // release word at addr
+	"assert":        1, // trap AssertFail if 0
+	"fail":          1, // unconditional trap with user code
+	"emit":          1, // append value to the run's output channel
+	"recover_begin": 0, // annotate recovery section start (§4.7)
+	"recover_end":   0, // annotate recovery section end
+}
+
+// IsIntrinsic reports whether name is a PML built-in.
+func IsIntrinsic(name string) bool { _, ok := Intrinsics[name]; return ok }

@@ -1,0 +1,222 @@
+package pml
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Lexer turns PML source text into tokens. It supports //-comments,
+// decimal and 0x-hex integer literals, and negative numbers via the
+// parser's unary minus.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentRest(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token, or an error for malformed input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	pos := Pos{l.line, l.col}
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentRest(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+
+	case isDigit(c):
+		start := l.off
+		base := 10
+		if c == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+			l.advance()
+			l.advance()
+			base = 16
+			for l.off < len(l.src) && isHex(l.peek()) {
+				l.advance()
+			}
+		} else {
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		text := l.src[start:l.off]
+		digits := text
+		if base == 16 {
+			digits = text[2:]
+			if digits == "" {
+				return Token{}, fmt.Errorf("%v: malformed hex literal %q", pos, text)
+			}
+		}
+		// Parse as unsigned so full-width constants like 0xffffffffffffffff work,
+		// then reinterpret as int64 (two's complement), matching C semantics.
+		u, err := strconv.ParseUint(digits, base, 64)
+		if err != nil {
+			return Token{}, fmt.Errorf("%v: bad number %q: %v", pos, text, err)
+		}
+		return Token{Kind: NUMBER, Text: text, Val: int64(u), Pos: pos}, nil
+	}
+
+	l.advance()
+	two := func(k Kind) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Pos: pos}, nil
+	}
+	one := func(k Kind) (Token, error) { return Token{Kind: k, Pos: pos}, nil }
+
+	switch c {
+	case '(':
+		return one(LParen)
+	case ')':
+		return one(RParen)
+	case '{':
+		return one(LBrace)
+	case '}':
+		return one(RBrace)
+	case '[':
+		return one(LBracket)
+	case ']':
+		return one(RBracket)
+	case ',':
+		return one(Comma)
+	case ';':
+		return one(Semicolon)
+	case '+':
+		return one(Plus)
+	case '-':
+		return one(Minus)
+	case '*':
+		return one(Star)
+	case '/':
+		return one(Slash)
+	case '%':
+		return one(Percent)
+	case '^':
+		return one(Caret)
+	case '~':
+		return one(Tilde)
+	case '&':
+		if l.peek() == '&' {
+			return two(AmpAmp)
+		}
+		return one(Amp)
+	case '|':
+		if l.peek() == '|' {
+			return two(PipePipe)
+		}
+		return one(Pipe)
+	case '<':
+		if l.peek() == '<' {
+			return two(Shl)
+		}
+		if l.peek() == '=' {
+			return two(Le)
+		}
+		return one(Lt)
+	case '>':
+		if l.peek() == '>' {
+			return two(Shr)
+		}
+		if l.peek() == '=' {
+			return two(Ge)
+		}
+		return one(Gt)
+	case '=':
+		if l.peek() == '=' {
+			return two(EqEq)
+		}
+		return one(Assign)
+	case '!':
+		if l.peek() == '=' {
+			return two(NotEq)
+		}
+		return one(Not)
+	}
+	return Token{}, fmt.Errorf("%v: unexpected character %q", pos, string(c))
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// Tokenize lexes the whole input, returning all tokens up to and including EOF.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}

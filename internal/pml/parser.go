@@ -1,0 +1,464 @@
+package pml
+
+import (
+	"fmt"
+)
+
+// Parser is a recursive-descent parser for PML with precedence-climbing
+// expression parsing.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a full PML program.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+// MustParse parses src and panics on error; for tests and embedded sources.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, fmt.Errorf("%v: expected %v, found %v", t.Pos, k, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	seen := map[string]Pos{}
+	for p.cur().Kind != EOF {
+		switch p.cur().Kind {
+		case KwFn:
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			if prev, dup := seen["fn "+f.Name]; dup {
+				return nil, fmt.Errorf("%v: function %q redeclared (first at %v)", f.Pos, f.Name, prev)
+			}
+			seen["fn "+f.Name] = f.Pos
+			prog.Funcs = append(prog.Funcs, f)
+		case KwVar:
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			if prev, dup := seen["var "+g.Name]; dup {
+				return nil, fmt.Errorf("%v: global %q redeclared (first at %v)", g.Pos, g.Name, prev)
+			}
+			seen["var "+g.Name] = g.Pos
+			prog.Globals = append(prog.Globals, g)
+		default:
+			return nil, fmt.Errorf("%v: expected 'fn' or 'var' at top level, found %v", p.cur().Pos, p.cur())
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseGlobal() (*GlobalDecl, error) {
+	kw, _ := p.expect(KwVar)
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Name: name.Text, Pos: kw.Pos}
+	if p.accept(Assign) {
+		neg := p.accept(Minus)
+		num, err := p.expect(NUMBER)
+		if err != nil {
+			return nil, fmt.Errorf("%v: global initializer must be an integer literal", p.cur().Pos)
+		}
+		g.Init = num.Val
+		if neg {
+			g.Init = -g.Init
+		}
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	kw, _ := p.expect(KwFn)
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if IsIntrinsic(name.Text) {
+		return nil, fmt.Errorf("%v: cannot define function %q: name is an intrinsic", name.Pos, name.Text)
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Name: name.Text, Pos: kw.Pos}
+	if p.cur().Kind != RParen {
+		for {
+			param, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			f.Params = append(f.Params, param.Text)
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for p.cur().Kind != RBrace {
+		if p.cur().Kind == EOF {
+			return nil, fmt.Errorf("%v: unexpected EOF, unclosed block opened at %v", p.cur().Pos, lb.Pos)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // consume }
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case LBrace:
+		return p.parseBlock()
+	case KwVar:
+		p.next()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		s := &VarStmt{Name: name.Text, Pos: t.Pos}
+		if p.accept(Assign) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = e
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Pos: t.Pos}, nil
+	case KwBreak:
+		p.next()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil
+	case KwContinue:
+		p.next()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil
+	case KwReturn:
+		p.next()
+		s := &ReturnStmt{Pos: t.Pos}
+		if p.cur().Kind != Semicolon {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = e
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case KwSpawn:
+		p.next()
+		callee, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		s := &SpawnStmt{Callee: callee.Text, Pos: t.Pos}
+		if p.cur().Kind != RParen {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				s.Args = append(s.Args, a)
+				if !p.accept(Comma) {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+
+	// Expression or assignment statement.
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == Assign {
+		eq := p.next()
+		switch e.(type) {
+		case *Ident, *IndexExpr:
+			// ok
+		default:
+			return nil, fmt.Errorf("%v: invalid assignment target", eq.Pos)
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: e, RHS: rhs, Pos: eq.Pos}, nil
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: e, Pos: t.Pos}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	t, _ := p.expect(KwIf)
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Pos: t.Pos}
+	if p.accept(KwElse) {
+		if p.cur().Kind == KwIf {
+			elseIf, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = elseIf
+		} else {
+			blk, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = blk
+		}
+	}
+	return s, nil
+}
+
+// Binary operator precedence, loosest (1) to tightest. Mirrors C except that
+// & ^ | bind tighter than comparisons would suggest in C's famously awkward
+// table; we use: || < && < | < ^ < & < == != < relational < shifts < + - < * / %.
+func precedence(k Kind) int {
+	switch k {
+	case PipePipe:
+		return 1
+	case AmpAmp:
+		return 2
+	case Pipe:
+		return 3
+	case Caret:
+		return 4
+	case Amp:
+		return 5
+	case EqEq, NotEq:
+		return 6
+	case Lt, Le, Gt, Ge:
+		return 7
+	case Shl, Shr:
+		return 8
+	case Plus, Minus:
+		return 9
+	case Star, Slash, Percent:
+		return 10
+	}
+	return 0
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec := precedence(op.Kind)
+		if prec < minPrec || prec == 0 {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op.Kind, L: lhs, R: rhs, Pos: op.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case Minus, Not, Tilde:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Constant-fold negative literals so -9223372036854775808 works.
+		if n, ok := x.(*NumLit); ok && t.Kind == Minus {
+			return &NumLit{Val: -n.Val, Pos: t.Pos}, nil
+		}
+		return &UnaryExpr{Op: t.Kind, X: x, Pos: t.Pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case LBracket:
+			lb := p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Base: e, Idx: idx, Pos: lb.Pos}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case NUMBER:
+		p.next()
+		return &NumLit{Val: t.Val, Pos: t.Pos}, nil
+	case IDENT:
+		p.next()
+		if p.cur().Kind == LParen {
+			p.next()
+			call := &CallExpr{Callee: t.Text, Pos: t.Pos}
+			if p.cur().Kind != RParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(Comma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			if arity, ok := Intrinsics[call.Callee]; ok && arity != len(call.Args) {
+				return nil, fmt.Errorf("%v: intrinsic %q takes %d argument(s), got %d",
+					t.Pos, call.Callee, arity, len(call.Args))
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.Text, Pos: t.Pos}, nil
+	case LParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("%v: expected expression, found %v", t.Pos, t)
+}

@@ -1,0 +1,395 @@
+package pml
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize("fn f(a, b) { return a + b; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{KwFn, IDENT, LParen, IDENT, Comma, IDENT, RParen, LBrace,
+		KwReturn, IDENT, Plus, IDENT, Semicolon, RBrace, EOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i], k)
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	src := "<< >> <= >= == != && || < > = ! ~ & | ^ + - * / %"
+	want := []Kind{Shl, Shr, Le, Ge, EqEq, NotEq, AmpAmp, PipePipe,
+		Lt, Gt, Assign, Not, Tilde, Amp, Pipe, Caret, Plus, Minus, Star, Slash, Percent, EOF}
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want %v", i, toks[i], k)
+		}
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	cases := map[string]int64{
+		"0":                   0,
+		"42":                  42,
+		"0x10":                16,
+		"0xdeadBEEF":          0xdeadbeef,
+		"9223372036854775807": 1<<63 - 1,
+		"0xffffffffffffffff":  -1,
+	}
+	for src, want := range cases {
+		toks, err := Tokenize(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if toks[0].Kind != NUMBER || toks[0].Val != want {
+			t.Errorf("%q -> %v (val %d), want %d", src, toks[0], toks[0].Val, want)
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("a // comment with fn var if\nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[1].Pos.Line != 2 {
+		t.Fatalf("b at line %d, want 2", toks[1].Pos.Line)
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, _ := Tokenize("ab\n  cd")
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("ab pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("cd pos = %v", toks[1].Pos)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	for _, src := range []string{"@", "$x", "0x"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseSimpleFunction(t *testing.T) {
+	prog, err := Parse(`
+fn add(a, b) {
+    return a + b;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funcs) != 1 {
+		t.Fatalf("funcs = %d", len(prog.Funcs))
+	}
+	f := prog.Funcs[0]
+	if f.Name != "add" || !reflect.DeepEqual(f.Params, []string{"a", "b"}) {
+		t.Fatalf("f = %+v", f)
+	}
+	ret, ok := f.Body.Stmts[0].(*ReturnStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", f.Body.Stmts[0])
+	}
+	bin, ok := ret.X.(*BinaryExpr)
+	if !ok || bin.Op != Plus {
+		t.Fatalf("ret.X = %#v", ret.X)
+	}
+}
+
+func TestParseGlobals(t *testing.T) {
+	prog, err := Parse("var g;\nvar h = 5;\nvar neg = -3;\nfn main() { return g + h; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 3 {
+		t.Fatalf("globals = %d", len(prog.Globals))
+	}
+	if prog.Globals[1].Init != 5 || prog.Globals[2].Init != -3 {
+		t.Fatalf("inits = %d, %d", prog.Globals[1].Init, prog.Globals[2].Init)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := MustParse("fn f() { return 1 + 2 * 3; }")
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	add := ret.X.(*BinaryExpr)
+	if add.Op != Plus {
+		t.Fatalf("top op = %v", add.Op)
+	}
+	mul := add.R.(*BinaryExpr)
+	if mul.Op != Star {
+		t.Fatalf("right op = %v", mul.Op)
+	}
+}
+
+func TestParseComparisonVsShift(t *testing.T) {
+	prog := MustParse("fn f(a, b) { return a << 2 < b; }")
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	cmp := ret.X.(*BinaryExpr)
+	if cmp.Op != Lt {
+		t.Fatalf("top op = %v, want <", cmp.Op)
+	}
+	if sh := cmp.L.(*BinaryExpr); sh.Op != Shl {
+		t.Fatalf("left = %v, want <<", sh.Op)
+	}
+}
+
+func TestParseIndexChain(t *testing.T) {
+	prog := MustParse("fn f(p) { return p[0][1]; }")
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	outer := ret.X.(*IndexExpr)
+	inner := outer.Base.(*IndexExpr)
+	if inner.Base.(*Ident).Name != "p" {
+		t.Fatalf("inner base = %#v", inner.Base)
+	}
+}
+
+func TestParseIndexAssignment(t *testing.T) {
+	prog := MustParse("fn f(p) { p[3] = p[3] + 1; }")
+	asn := prog.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	if _, ok := asn.LHS.(*IndexExpr); !ok {
+		t.Fatalf("lhs = %T", asn.LHS)
+	}
+}
+
+func TestParseIfElseChain(t *testing.T) {
+	prog := MustParse(`
+fn f(x) {
+    if (x == 1) { return 10; }
+    else if (x == 2) { return 20; }
+    else { return 30; }
+}`)
+	s := prog.Funcs[0].Body.Stmts[0].(*IfStmt)
+	elseIf, ok := s.Else.(*IfStmt)
+	if !ok {
+		t.Fatalf("else = %T", s.Else)
+	}
+	if _, ok := elseIf.Else.(*BlockStmt); !ok {
+		t.Fatalf("else-else = %T", elseIf.Else)
+	}
+}
+
+func TestParseWhileBreakContinue(t *testing.T) {
+	prog := MustParse(`
+fn f(n) {
+    var i = 0;
+    while (i < n) {
+        i = i + 1;
+        if (i == 3) { continue; }
+        if (i == 7) { break; }
+    }
+    return i;
+}`)
+	w := prog.Funcs[0].Body.Stmts[1].(*WhileStmt)
+	if len(w.Body.Stmts) != 3 {
+		t.Fatalf("while body = %d stmts", len(w.Body.Stmts))
+	}
+}
+
+func TestParseSpawn(t *testing.T) {
+	prog := MustParse("fn worker(x) { return x; } fn main() { spawn worker(5); }")
+	sp := prog.Funcs[1].Body.Stmts[0].(*SpawnStmt)
+	if sp.Callee != "worker" || len(sp.Args) != 1 {
+		t.Fatalf("spawn = %+v", sp)
+	}
+}
+
+func TestParseIntrinsicArity(t *testing.T) {
+	if _, err := Parse("fn f() { persist(1); }"); err == nil {
+		t.Fatal("wrong intrinsic arity accepted")
+	}
+	if _, err := Parse("fn f(p) { persist(p, 1); }"); err != nil {
+		t.Fatalf("correct arity rejected: %v", err)
+	}
+}
+
+func TestParseRejectsIntrinsicRedefinition(t *testing.T) {
+	if _, err := Parse("fn pmalloc(n) { return 0; }"); err == nil {
+		t.Fatal("redefinition of intrinsic accepted")
+	}
+}
+
+func TestParseRejectsDuplicates(t *testing.T) {
+	if _, err := Parse("fn f() { } fn f() { }"); err == nil {
+		t.Fatal("duplicate function accepted")
+	}
+	if _, err := Parse("var g; var g;"); err == nil {
+		t.Fatal("duplicate global accepted")
+	}
+}
+
+func TestParseRejectsBadAssignTarget(t *testing.T) {
+	if _, err := Parse("fn f() { 3 = 4; }"); err == nil {
+		t.Fatal("assignment to literal accepted")
+	}
+	if _, err := Parse("fn f() { f() = 4; }"); err == nil {
+		t.Fatal("assignment to call accepted")
+	}
+}
+
+func TestParseErrorsHavePositions(t *testing.T) {
+	_, err := Parse("fn f() {\n  var = 3;\n}")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("error lacks line info: %v", err)
+	}
+}
+
+func TestParseUnclosedBlock(t *testing.T) {
+	if _, err := Parse("fn f() { var x = 1;"); err == nil {
+		t.Fatal("unclosed block accepted")
+	}
+}
+
+func TestParseShortCircuitOps(t *testing.T) {
+	prog := MustParse("fn f(a, b, c) { return a && b || c; }")
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	or := ret.X.(*BinaryExpr)
+	if or.Op != PipePipe {
+		t.Fatalf("top = %v, want ||", or.Op)
+	}
+	if and := or.L.(*BinaryExpr); and.Op != AmpAmp {
+		t.Fatalf("left = %v, want &&", and.Op)
+	}
+}
+
+func TestParseNegativeLiteralFold(t *testing.T) {
+	prog := MustParse("fn f() { return -9223372036854775808; }")
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	n, ok := ret.X.(*NumLit)
+	if !ok || n.Val != -9223372036854775808 {
+		t.Fatalf("ret = %#v", ret.X)
+	}
+}
+
+func TestFuncLookup(t *testing.T) {
+	prog := MustParse("fn a() { } fn b() { }")
+	if prog.Func("b") == nil || prog.Func("missing") != nil {
+		t.Fatal("Func lookup broken")
+	}
+}
+
+// --- Print / round-trip ---
+
+const roundTripSrc = `
+var counter;
+var limit = 100;
+
+fn hash(k) {
+    return ((k * 2654435761) >> 3) & 1023;
+}
+
+fn put(tab, k, v) {
+    var b = tab[hash(k) % 16];
+    while (b != 0) {
+        if (b[0] == k) {
+            b[1] = v;
+            persist(b, 2);
+            return 1;
+        }
+        b = b[2];
+    }
+    var n = pmalloc(3);
+    n[0] = k;
+    n[1] = v;
+    n[2] = tab[hash(k) % 16];
+    persist(n, 3);
+    return 0;
+}
+
+fn main() {
+    var t = pmalloc(16);
+    setroot(0, t);
+    spawn put(t, 1, 2);
+    yield();
+    if (counter > limit || !(counter == 0)) {
+        fail(1);
+    } else {
+        assert(counter <= limit);
+    }
+    return ~counter + -5;
+}
+`
+
+func TestPrintRoundTrip(t *testing.T) {
+	p1 := MustParse(roundTripSrc)
+	text := Print(p1)
+	p2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("printed source does not reparse: %v\n%s", err, text)
+	}
+	// Compare via a second print: print(parse(print(p))) == print(p).
+	if Print(p2) != text {
+		t.Fatalf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text, Print(p2))
+	}
+}
+
+// Property: for random expression trees, ExprString -> parse -> ExprString is
+// the identity.
+func TestPropExprRoundTrip(t *testing.T) {
+	ops := []Kind{Plus, Minus, Star, Slash, Percent, Amp, Pipe, Caret, Shl, Shr,
+		Lt, Le, Gt, Ge, EqEq, NotEq, AmpAmp, PipePipe}
+	var build func(seed int64, depth int) Expr
+	build = func(seed int64, depth int) Expr {
+		if depth <= 0 || seed%5 == 0 {
+			if seed%2 == 0 {
+				return &NumLit{Val: seed % 1000}
+			}
+			return &Ident{Name: "x"}
+		}
+		switch seed % 4 {
+		case 0:
+			return &UnaryExpr{Op: []Kind{Minus, Not, Tilde}[int(uint64(seed)%3)], X: build(seed/3, depth-1)}
+		case 1:
+			return &IndexExpr{Base: &Ident{Name: "p"}, Idx: build(seed/3, depth-1)}
+		case 2:
+			return &CallExpr{Callee: "h", Args: []Expr{build(seed/3, depth-1)}}
+		default:
+			op := ops[int(uint64(seed)%uint64(len(ops)))]
+			return &BinaryExpr{Op: op, L: build(seed/3, depth-1), R: build(seed/7, depth-1)}
+		}
+	}
+	f := func(seed int64) bool {
+		e := build(seed, 4)
+		s1 := ExprString(e)
+		src := "fn f(x, p) { return " + s1 + "; }"
+		prog, err := Parse(src)
+		if err != nil {
+			t.Logf("parse failed for %q: %v", s1, err)
+			return false
+		}
+		ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+		// Unary minus of a literal folds; renormalize by re-printing a reparse.
+		s2 := ExprString(ret.X)
+		prog2, err := Parse("fn f(x, p) { return " + s2 + "; }")
+		if err != nil {
+			return false
+		}
+		s3 := ExprString(prog2.Funcs[0].Body.Stmts[0].(*ReturnStmt).X)
+		return s2 == s3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

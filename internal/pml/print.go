@@ -1,0 +1,145 @@
+package pml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a Program back to PML source. The output reparses to an
+// equivalent program (used by round-trip property tests and cmd/pmlc -fmt).
+func Print(p *Program) string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		if g.Init != 0 {
+			fmt.Fprintf(&b, "var %s = %d;\n", g.Name, g.Init)
+		} else {
+			fmt.Fprintf(&b, "var %s;\n", g.Name)
+		}
+	}
+	if len(p.Globals) > 0 {
+		b.WriteString("\n")
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		printFunc(&b, f)
+	}
+	return b.String()
+}
+
+func printFunc(b *strings.Builder, f *FuncDecl) {
+	fmt.Fprintf(b, "fn %s(%s) ", f.Name, strings.Join(f.Params, ", "))
+	printBlock(b, f.Body, 0)
+	b.WriteString("\n")
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func printBlock(b *strings.Builder, blk *BlockStmt, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		printStmt(b, s, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}")
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch s := s.(type) {
+	case *BlockStmt:
+		printBlock(b, s, depth)
+		b.WriteString("\n")
+	case *VarStmt:
+		if s.Init != nil {
+			fmt.Fprintf(b, "var %s = %s;\n", s.Name, ExprString(s.Init))
+		} else {
+			fmt.Fprintf(b, "var %s;\n", s.Name)
+		}
+	case *AssignStmt:
+		fmt.Fprintf(b, "%s = %s;\n", ExprString(s.LHS), ExprString(s.RHS))
+	case *ExprStmt:
+		fmt.Fprintf(b, "%s;\n", ExprString(s.X))
+	case *IfStmt:
+		fmt.Fprintf(b, "if (%s) ", ExprString(s.Cond))
+		printBlock(b, s.Then, depth)
+		for s.Else != nil {
+			if elseIf, ok := s.Else.(*IfStmt); ok {
+				fmt.Fprintf(b, " else if (%s) ", ExprString(elseIf.Cond))
+				printBlock(b, elseIf.Then, depth)
+				s = elseIf
+				continue
+			}
+			b.WriteString(" else ")
+			printBlock(b, s.Else.(*BlockStmt), depth)
+			break
+		}
+		b.WriteString("\n")
+	case *WhileStmt:
+		fmt.Fprintf(b, "while (%s) ", ExprString(s.Cond))
+		printBlock(b, s.Body, depth)
+		b.WriteString("\n")
+	case *BreakStmt:
+		b.WriteString("break;\n")
+	case *ContinueStmt:
+		b.WriteString("continue;\n")
+	case *ReturnStmt:
+		if s.X != nil {
+			fmt.Fprintf(b, "return %s;\n", ExprString(s.X))
+		} else {
+			b.WriteString("return;\n")
+		}
+	case *SpawnStmt:
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = ExprString(a)
+		}
+		fmt.Fprintf(b, "spawn %s(%s);\n", s.Callee, strings.Join(args, ", "))
+	default:
+		fmt.Fprintf(b, "/* unknown stmt %T */;\n", s)
+	}
+}
+
+var opText = map[Kind]string{
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Shl: "<<", Shr: ">>",
+	Lt: "<", Le: "<=", Gt: ">", Ge: ">=", EqEq: "==", NotEq: "!=",
+	AmpAmp: "&&", PipePipe: "||", Not: "!", Tilde: "~",
+}
+
+// ExprString renders an expression with full parenthesization (always
+// reparses to the same tree regardless of precedence).
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *NumLit:
+		return fmt.Sprintf("%d", e.Val)
+	case *Ident:
+		return e.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", parenUnlessSimple(e.Base), ExprString(e.Idx))
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Callee, strings.Join(args, ", "))
+	case *UnaryExpr:
+		return fmt.Sprintf("%s(%s)", opText[e.Op], ExprString(e.X))
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.L), opText[e.Op], ExprString(e.R))
+	}
+	return fmt.Sprintf("/*%T*/", e)
+}
+
+func parenUnlessSimple(e Expr) string {
+	switch e.(type) {
+	case *Ident, *NumLit, *IndexExpr, *CallExpr:
+		return ExprString(e)
+	}
+	return "(" + ExprString(e) + ")"
+}

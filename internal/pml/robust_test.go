@@ -1,0 +1,79 @@
+package pml
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: the front-end must never panic — arbitrary inputs either
+// parse or return an error with a position.
+
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on input %q: %v", string(data), r)
+			}
+		}()
+		_, _ = Parse(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNeverPanicsOnMutatedPrograms(t *testing.T) {
+	base := `
+var g = 1;
+fn f(a, b) {
+    var x = a + b * g;
+    if (x > 0) {
+        while (x != 0) {
+            x = x - 1;
+        }
+    }
+    return pmalloc(x);
+}`
+	f := func(pos uint16, b byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on mutation at %d -> %q: %v", pos, b, r)
+			}
+		}()
+		mutated := []byte(base)
+		mutated[int(pos)%len(mutated)] = b
+		_, _ = Parse(string(mutated))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDeeplyNestedExpressions(t *testing.T) {
+	// Bounded recursion depth: a pathological but legal input parses.
+	src := "fn f(x) { return "
+	for i := 0; i < 200; i++ {
+		src += "("
+	}
+	src += "x"
+	for i := 0; i < 200; i++ {
+		src += ")"
+	}
+	src += "; }"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("deep nesting rejected: %v", err)
+	}
+}
+
+func TestParseLongChains(t *testing.T) {
+	src := "fn f(x) { return x"
+	for i := 0; i < 500; i++ {
+		src += " + 1"
+	}
+	src += "; }"
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}

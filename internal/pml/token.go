@@ -1,0 +1,127 @@
+// Package pml implements the front-end for PML (Persistent Memory Language),
+// the small C-like language the target PM systems in this repository are
+// written in.
+//
+// PML stands in for the C sources the paper's Arthas analyzer consumes via
+// LLVM: it has functions, 64-bit integer locals and globals, pointers (plain
+// integers indexing a word-addressed memory), while/if control flow, and
+// intrinsics mirroring the PMDK surface Arthas hooks (pmalloc/pfree/persist/
+// txbegin/txcommit/setroot/getroot) plus volatile allocation, cooperative
+// threading, and the recovery-annotation API from §4.7 of the paper.
+package pml
+
+import "fmt"
+
+// Kind classifies a lexical token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+
+	// keywords
+	KwFn
+	KwVar
+	KwIf
+	KwElse
+	KwWhile
+	KwBreak
+	KwContinue
+	KwReturn
+	KwSpawn
+
+	// punctuation
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semicolon
+
+	// operators
+	Assign // =
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp      // &
+	Pipe     // |
+	Caret    // ^
+	Shl      // <<
+	Shr      // >>
+	Lt       // <
+	Le       // <=
+	Gt       // >
+	Ge       // >=
+	EqEq     // ==
+	NotEq    // !=
+	AmpAmp   // &&
+	PipePipe // ||
+	Not      // !
+	Tilde    // ~
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", NUMBER: "number",
+	KwFn: "'fn'", KwVar: "'var'", KwIf: "'if'", KwElse: "'else'",
+	KwWhile: "'while'", KwBreak: "'break'", KwContinue: "'continue'",
+	KwReturn: "'return'", KwSpawn: "'spawn'",
+	LParen: "'('", RParen: "')'", LBrace: "'{'", RBrace: "'}'",
+	LBracket: "'['", RBracket: "']'", Comma: "','", Semicolon: "';'",
+	Assign: "'='", Plus: "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'",
+	Percent: "'%'", Amp: "'&'", Pipe: "'|'", Caret: "'^'",
+	Shl: "'<<'", Shr: "'>>'", Lt: "'<'", Le: "'<='", Gt: "'>'", Ge: "'>='",
+	EqEq: "'=='", NotEq: "'!='", AmpAmp: "'&&'", PipePipe: "'||'",
+	Not: "'!'", Tilde: "'~'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"fn":       KwFn,
+	"var":      KwVar,
+	"if":       KwIf,
+	"else":     KwElse,
+	"while":    KwWhile,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"return":   KwReturn,
+	"spawn":    KwSpawn,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position was set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // identifier text or number literal
+	Val  int64  // parsed value for NUMBER
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER:
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,94 @@
+package reactor
+
+import "arthas/internal/checkpoint"
+
+// Binary-search reversion (the technical report's algorithm referenced in
+// paper §6.4: "a binary search algorithm that reduces the sequence number
+// set that we have to revert").
+//
+// When no single candidate heals the system, the failure needs a *set* of
+// reversions. Walking candidates cumulatively one at a time (the default
+// deeper rounds) both burns re-executions and over-discards. Instead,
+// verify once that reverting the full candidate prefix heals, then binary
+// search the shortest healing prefix; every probe runs against an isolated
+// trial (the log state is restored between probes), so the search leaves
+// exactly one reversion applied — the minimal healing prefix.
+
+// bisectMitigate returns true when a healing prefix was found and left
+// applied. It consumes re-execution attempts from the shared budget.
+func bisectMitigate(cfg Config, ctx *Context, plan *Plan, rep *Report, attempts *int) bool {
+	n := len(plan.Candidates)
+	if n == 0 {
+		return false
+	}
+	base := ctx.Log.CaptureState()
+
+	// apply reverts the first m candidates, one version step per entry:
+	// a prefix often contains several sequence numbers of the same entry,
+	// and walking them all would discard deeper history than the search
+	// is actually testing.
+	apply := func(m int) {
+		touched := map[*checkpoint.Entry]bool{}
+		for _, cand := range plan.Candidates[:m] {
+			if e := ctx.Log.EntryBySeq(cand.Seq); e != nil {
+				if touched[e] {
+					continue
+				}
+				touched[e] = true
+			}
+			revertCandidate(cfg, ctx, cand)
+		}
+	}
+	// probe reverts the first m candidates on a clean slate and re-executes;
+	// on failure the trial is rolled back.
+	probe := func(m int) bool {
+		if *attempts >= cfg.MaxAttempts {
+			return false
+		}
+		apply(m)
+		*attempts++
+		rep.Attempts++
+		trap := ctx.ReExec()
+		rep.LastTrap = trap
+		if trap == nil {
+			return true
+		}
+		_ = ctx.Log.RestoreState(ctx.Pool, base)
+		return false
+	}
+
+	// Does full reversion heal at all?
+	if !probe(n) {
+		return false
+	}
+	// It does — but it is applied. Roll back and search for the shortest
+	// healing prefix.
+	_ = ctx.Log.RestoreState(ctx.Pool, base)
+	lo, hi := 1, n // invariant: prefix hi heals
+	for lo < hi {
+		if *attempts >= cfg.MaxAttempts {
+			break
+		}
+		mid := (lo + hi) / 2
+		if probe(mid) {
+			hi = mid
+			_ = ctx.Log.RestoreState(ctx.Pool, base)
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Apply the minimal prefix for real and confirm.
+	apply(hi)
+	*attempts++
+	rep.Attempts++
+	trap := ctx.ReExec()
+	rep.LastTrap = trap
+	if trap == nil {
+		for _, cand := range plan.Candidates[:hi] {
+			rep.RevertedSeqs = append(rep.RevertedSeqs, cand.Seq)
+		}
+		return true
+	}
+	_ = ctx.Log.RestoreState(ctx.Pool, base)
+	return false
+}

@@ -1,0 +1,178 @@
+package reactor
+
+import (
+	"testing"
+
+	"arthas/internal/ir"
+	"arthas/internal/vm"
+)
+
+// multiStore needs TWO reversions at once: two config slots are poisoned in
+// one trigger, and the health check validates both. No single-candidate
+// isolated trial can heal it — the shape the binary-search reversion is for.
+const multiStore = `
+fn init_() {
+    var root = pmalloc(8);
+    persist(root, 4);
+    setroot(0, root);
+    return 0;
+}
+fn seta(v) {
+    var root = getroot(0);
+    root[0] = v;
+    persist(root + 0, 1);
+    return 0;
+}
+fn setb(v) {
+    var root = getroot(0);
+    root[1] = v;
+    persist(root + 1, 1);
+    return 0;
+}
+fn check() {
+    var root = getroot(0);
+    assert(root[0] < 100);
+    assert(root[1] < 100);
+    return root[0] + root[1];
+}
+fn recover_() { return 0; }
+`
+
+func multiFail(t *testing.T) (*rig, *vm.Trap) {
+	t.Helper()
+	r := newRig(t, multiStore)
+	r.m.Call("init_")
+	r.m.Call("seta", 5)
+	r.m.Call("setb", 6)
+	r.m.Call("seta", 7)
+	r.m.Call("setb", 8)
+	// The bug poisons BOTH slots.
+	r.m.Call("seta", 500)
+	r.m.Call("setb", 600)
+	_, trap := r.m.Call("check")
+	if trap == nil || trap.Kind != vm.TrapAssert {
+		t.Fatalf("trap = %v", trap)
+	}
+	return r, trap
+}
+
+func reexecFor(r *rig) func() *vm.Trap {
+	return func() *vm.Trap {
+		r.restart()
+		if _, tp := r.m.Call("recover_"); tp != nil {
+			return tp
+		}
+		_, tp := r.m.Call("check")
+		return tp
+	}
+}
+
+func TestBisectFindsMinimalPrefix(t *testing.T) {
+	r, trap := multiFail(t)
+	cfg := DefaultConfig()
+	cfg.Bisect = true
+	cfg.FallbackToRollback = false
+	rep := Mitigate(cfg, &Context{
+		Analysis: r.res, Trace: r.tr, Log: r.log, Pool: r.pool,
+		Fault: trap.Instr, ReExec: reexecFor(r),
+	})
+	if !rep.Recovered {
+		t.Fatalf("bisect did not recover: %v", rep)
+	}
+	if rep.ModeUsed != ModePurge {
+		t.Fatalf("mode = %v", rep.ModeUsed)
+	}
+	// Both slots healed.
+	r.restart()
+	v, tp := r.m.Call("check")
+	if tp != nil {
+		t.Fatal(tp)
+	}
+	if v != 7+8 {
+		t.Fatalf("check = %d, want 15 (latest good values)", v)
+	}
+	// Bisect is economical: isolated-round singles (one per candidate,
+	// across up to one re-plan) plus O(log n) search probes.
+	if rep.Attempts > 40 {
+		t.Fatalf("attempts = %d", rep.Attempts)
+	}
+}
+
+func TestWithoutBisectCumulativeStillRecovers(t *testing.T) {
+	r, trap := multiFail(t)
+	cfg := DefaultConfig() // no bisect: falls to cumulative rounds
+	rep := Mitigate(cfg, &Context{
+		Analysis: r.res, Trace: r.tr, Log: r.log, Pool: r.pool,
+		Fault: trap.Instr, ReExec: reexecFor(r),
+	})
+	if !rep.Recovered {
+		t.Fatalf("cumulative rounds did not recover: %v", rep)
+	}
+}
+
+func TestBisectGivesUpWhenFullReversionFails(t *testing.T) {
+	r, trap := multiFail(t)
+	cfg := DefaultConfig()
+	cfg.Bisect = true
+	cfg.FallbackToRollback = false
+	alwaysFail := func() *vm.Trap { return &vm.Trap{Kind: vm.TrapUserFail, Code: 1} }
+	rep := Mitigate(cfg, &Context{
+		Analysis: r.res, Trace: r.tr, Log: r.log, Pool: r.pool,
+		Fault: trap.Instr, ReExec: alwaysFail,
+	})
+	if rep.Recovered {
+		t.Fatal("recovered against an always-failing probe")
+	}
+}
+
+func TestCumulativeOnlyAblation(t *testing.T) {
+	// With CumulativeOnly the isolated round is skipped; the miniKV case
+	// still recovers via cumulative reverts, but (unlike isolated trials)
+	// every attempted candidate's reversion sticks.
+	r := newRig(t, miniKV)
+	r.m.Call("init_")
+	for i := int64(0); i < 10; i++ {
+		r.m.Call("put", i, 100+i)
+	}
+	r.m.Call("evil", 777)
+	_, trap := r.m.Call("get", 0)
+	cfg := DefaultConfig()
+	cfg.CumulativeOnly = true
+	rep := Mitigate(cfg, &Context{
+		Analysis: r.res, Trace: r.tr, Log: r.log, Pool: r.pool,
+		Fault: trap.Instr, AddrFault: true,
+		ReExec: func() *vm.Trap {
+			r.restart()
+			if _, tp := r.m.Call("recover_"); tp != nil {
+				return tp
+			}
+			_, tp := r.m.Call("get", 0)
+			return tp
+		},
+	})
+	if !rep.Recovered {
+		t.Fatalf("cumulative-only failed: %v", rep)
+	}
+}
+
+func TestNaiveOrderAblation(t *testing.T) {
+	// Naive (pure seq-descending) ordering must still be usable; it may
+	// cost more attempts but the plan contents are identical.
+	r, trap := multiFail(t)
+	cfg := DefaultConfig()
+	cfg.Plan.NaiveOrder = true
+	rep := Mitigate(cfg, &Context{
+		Analysis: r.res, Trace: r.tr, Log: r.log, Pool: r.pool,
+		Fault: trap.Instr, ReExec: reexecFor(r),
+	})
+	if !rep.Recovered {
+		t.Fatalf("naive ordering failed: %v", rep)
+	}
+	// Candidates sorted by descending seq.
+	plan := ComputePlan(r.res, r.tr, r.log, []*ir.Instr{trap.Instr}, PlanConfig{NaiveOrder: true})
+	for i := 1; i < len(plan.Candidates); i++ {
+		if plan.Candidates[i].Seq > plan.Candidates[i-1].Seq {
+			t.Fatal("naive order not seq-descending")
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package reactor
+
+import (
+	"arthas/internal/checkpoint"
+	"arthas/internal/pmem"
+)
+
+// Persistent-memory leak mitigation (paper §4.7).
+//
+// Leaks are the hard-fault class where the fault instruction (out-of-space,
+// or a PM usage monitor firing) is disconnected from the root cause, so
+// slicing does not apply. Instead, the reactor compares two sets:
+//
+//   - the allocations the checkpoint component recorded and never saw freed
+//   - the PM addresses the program's annotated recovery function
+//     (recover_begin/recover_end) actually touched on restart
+//
+// Live-but-unreachable-in-recovery blocks are the suspected leaks. They are
+// reported first and only freed after confirmation, mirroring the paper's
+// "outputs the suspected leak PM variables and only frees them after
+// confirmation".
+
+// LeakReport lists suspected leaked allocations and the outcome of freeing.
+type LeakReport struct {
+	Suspected []*checkpoint.AllocRecord
+	FreedAddr []uint64
+	// FreedWords is the PM recovered.
+	FreedWords int
+}
+
+// FindLeaks computes the suspected-leak set: allocations never freed whose
+// payload was not accessed during the recovery window.
+func FindLeaks(log *checkpoint.Log, recoveryAccess map[uint64]bool) []*checkpoint.AllocRecord {
+	var out []*checkpoint.AllocRecord
+	for _, rec := range log.LiveAllocs() {
+		touched := false
+		for w := 0; w < rec.Words; w++ {
+			if recoveryAccess[rec.Addr+uint64(w)] {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// MitigateLeak finds suspected leaks and, when confirm approves (nil
+// confirm = approve all), frees them from the pool.
+func MitigateLeak(pool *pmem.Pool, log *checkpoint.Log, recoveryAccess map[uint64]bool,
+	confirm func(rec *checkpoint.AllocRecord) bool) *LeakReport {
+
+	rep := &LeakReport{Suspected: FindLeaks(log, recoveryAccess)}
+	for _, rec := range rep.Suspected {
+		if confirm != nil && !confirm(rec) {
+			continue
+		}
+		if !pool.IsAllocated(rec.Addr) {
+			continue
+		}
+		words, err := pool.BlockSize(rec.Addr)
+		if err != nil {
+			continue
+		}
+		if err := pool.Free(rec.Addr); err == nil {
+			rep.FreedAddr = append(rep.FreedAddr, rec.Addr)
+			rep.FreedWords += words
+		}
+	}
+	return rep
+}

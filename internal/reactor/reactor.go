@@ -1,0 +1,414 @@
+package reactor
+
+import (
+	"fmt"
+	"time"
+
+	"arthas/internal/analysis"
+	"arthas/internal/checkpoint"
+	"arthas/internal/ir"
+	"arthas/internal/pmem"
+	"arthas/internal/trace"
+	"arthas/internal/vm"
+)
+
+// Mode selects the reversion strategy (paper §4.4).
+type Mode int
+
+// Reversion modes.
+const (
+	// ModePurge reverts only the candidate entries (plus transaction
+	// siblings and forward-dependent entries) — minimal data loss, small
+	// risk of semantic inconsistency.
+	ModePurge Mode = iota
+	// ModeRollback additionally reverts every checkpoint entry newer than
+	// the chosen one — strict time order, conservative.
+	ModeRollback
+)
+
+func (m Mode) String() string {
+	if m == ModePurge {
+		return "purge"
+	}
+	return "rollback"
+}
+
+// Config tunes the reactor.
+type Config struct {
+	Mode Mode
+	// Batch reverts this many candidates between re-executions
+	// (1 = one-by-one, the default; §6.5 evaluates 5).
+	Batch int
+	// MaxAttempts bounds re-execution attempts (the paper's 10-minute
+	// timeout analogue). Default 128.
+	MaxAttempts int
+	// Plan derivation knobs.
+	Plan PlanConfig
+	// FallbackToRollback switches from purge to rollback when purging
+	// exhausts its attempts or re-execution hits recovery assertions
+	// (§4.5). Default true (set by New).
+	FallbackToRollback bool
+	// Bisect enables the technical report's binary-search reversion: when
+	// no isolated single candidate heals, search for the shortest healing
+	// candidate prefix in O(log n) re-executions instead of cumulative
+	// one-at-a-time walking.
+	Bisect bool
+	// CumulativeOnly disables the isolated-trial round so every reversion
+	// accumulates (the paper's literal multi-attempt semantics). Used by
+	// the ablation benchmarks.
+	CumulativeOnly bool
+}
+
+// DefaultConfig returns the paper-default reactor configuration.
+func DefaultConfig() Config {
+	return Config{Mode: ModePurge, Batch: 1, MaxAttempts: 128, FallbackToRollback: true}
+}
+
+// Context carries everything the reactor needs about the failed system.
+type Context struct {
+	Analysis *analysis.Result
+	Trace    *trace.Trace
+	Log      *checkpoint.Log
+	Pool     *pmem.Pool
+	// Fault is the fault instruction the detector identified. For
+	// failures without a trapping instruction (data loss, wrong results),
+	// use Faults with the serving function's result instructions instead.
+	Fault *ir.Instr
+	// Faults optionally supplies multiple fault instructions (Figure 4's
+	// "fault instruction(s)"); merged with Fault.
+	Faults []*ir.Instr
+	// AddrFault marks the failure as an invalid-address trap at Fault
+	// (segfault); the slicer then follows pointer rather than content
+	// dependencies at the fault node.
+	AddrFault bool
+	// ReExec restarts the target system against the (possibly reverted)
+	// pool, runs its recovery path and the failure probe, and returns nil
+	// when the system is healthy — the paper's re-execution script.
+	ReExec func() *vm.Trap
+}
+
+// Report summarizes a mitigation.
+type Report struct {
+	Recovered bool
+	// RestartOnly is set when the plan was empty and a plain restart was
+	// attempted instead (suspected soft failure / detector false alarm).
+	RestartOnly bool
+	Attempts    int // re-executions performed
+	// RevertedVersions counts checkpoint versions discarded.
+	RevertedVersions int
+	RevertedSeqs     []uint64
+	CandidateCount   int
+	ModeUsed         Mode
+	FellBack         bool
+	// Replans counts re-planning passes triggered by re-execution failing
+	// at a new fault instruction.
+	Replans  int
+	Duration time.Duration
+	LastTrap *vm.Trap
+}
+
+// DataLossPct returns discarded updates as a percentage of all updates the
+// checkpoint log ever recorded (Figure 9's metric).
+func (r *Report) DataLossPct(log *checkpoint.Log) float64 {
+	total := log.TotalVersions()
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.RevertedVersions) / float64(total)
+}
+
+func (r *Report) String() string {
+	status := "FAILED"
+	if r.Recovered {
+		status = "recovered"
+	}
+	return fmt.Sprintf("%s mode=%v attempts=%d reverted=%d candidates=%d fellback=%v",
+		status, r.ModeUsed, r.Attempts, r.RevertedVersions, r.CandidateCount, r.FellBack)
+}
+
+// Mitigate runs the full §4.5 workflow: derive the plan, then revert and
+// re-execute until the failure disappears or budgets run out.
+func Mitigate(cfg Config, ctx *Context) *Report {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 128
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 1
+	}
+	start := time.Now()
+	startReverted := ctx.Log.RevertedVersions()
+	rep := &Report{ModeUsed: cfg.Mode}
+	defer func() {
+		rep.Duration = time.Since(start)
+		if end := ctx.Log.RevertedVersions(); end > startReverted {
+			rep.RevertedVersions = int(end - startReverted)
+		} else {
+			rep.RevertedVersions = 0
+		}
+	}()
+
+	planCfg := cfg.Plan
+	planCfg.AddrFault = planCfg.AddrFault || ctx.AddrFault
+	faults := ctx.Faults
+	if ctx.Fault != nil {
+		faults = append([]*ir.Instr{ctx.Fault}, faults...)
+	}
+
+	// Mitigation may surface a NEW fault instruction: reverting the state
+	// behind the first symptom exposes the next one (two poisoned fields,
+	// two asserts). The detector→reactor pipeline re-triggers on each
+	// failure, so re-plan with the union of fault instructions — bounded,
+	// since each re-plan adds a fresh instruction.
+	const maxReplans = 3
+	for replan := 0; ; replan++ {
+		plan := ComputePlan(ctx.Analysis, ctx.Trace, ctx.Log, faults, planCfg)
+		rep.CandidateCount = len(plan.Candidates)
+
+		if plan.Empty() {
+			// Not caused by bad PM values: "the reactor then safely aborts
+			// and resorts to simple restart" (§4.5).
+			rep.RestartOnly = true
+			rep.Attempts++
+			trap := ctx.ReExec()
+			rep.LastTrap = trap
+			rep.Recovered = trap == nil
+			return rep
+		}
+
+		mcfg := cfg
+		if mitigateWithMode(mcfg, ctx, plan, rep) {
+			rep.Recovered = true
+			return rep
+		}
+		if cfg.Mode == ModePurge && cfg.FallbackToRollback {
+			// Purge could not stabilize the system: undo its reversions
+			// (the data is all still in the checkpoint log) and switch to
+			// the conservative rollback mode (§4.5).
+			_ = ctx.Log.RestoreNewest(ctx.Pool)
+			rep.FellBack = true
+			rep.ModeUsed = ModeRollback
+			mcfg.Mode = ModeRollback
+			if mitigateWithMode(mcfg, ctx, plan, rep) {
+				rep.Recovered = true
+				return rep
+			}
+		}
+		lt := rep.LastTrap
+		if replan >= maxReplans || lt == nil || lt.Instr == nil || containsInstr(faults, lt.Instr) {
+			return rep
+		}
+		_ = ctx.Log.RestoreNewest(ctx.Pool)
+		faults = append(faults, lt.Instr)
+		rep.Replans++
+		rep.FellBack = false
+		rep.ModeUsed = cfg.Mode
+	}
+}
+
+func containsInstr(xs []*ir.Instr, in *ir.Instr) bool {
+	for _, x := range xs {
+		if x == in {
+			return true
+		}
+	}
+	return false
+}
+
+// mitigateWithMode runs reversion rounds under one mode. Returns true when a
+// re-execution comes back healthy. Multiple rounds walk entries down through
+// their older versions (the "retries reversion to an older version v-2
+// until the max versions are exhausted" loop). MaxAttempts budgets each
+// mode separately, so the rollback fallback gets a fresh budget after purge
+// exhausts its tries (§4.5).
+func mitigateWithMode(cfg Config, ctx *Context, plan *Plan, rep *Report) bool {
+	maxRounds := ctx.Log.MaxVersions
+	if maxRounds <= 0 {
+		maxRounds = 1
+	}
+	attempts := 0
+	if cfg.Mode == ModeRollback {
+		// Resync pre-pass: before discarding any history, try the minimal
+		// rollback — restoring the candidates' last checkpointed state —
+		// which alone repairs out-of-band corruption (hardware faults).
+		fixedAny := false
+		for _, cand := range plan.Candidates {
+			if n, err := ctx.Log.Resync(ctx.Pool, cand.Seq); err == nil && n > 0 {
+				fixedAny = true
+			}
+		}
+		if fixedAny {
+			if attempts >= cfg.MaxAttempts {
+				return false
+			}
+			attempts++
+			rep.Attempts++
+			trap := ctx.ReExec()
+			rep.LastTrap = trap
+			if trap == nil {
+				return true
+			}
+		}
+	}
+
+	// Round 0: ISOLATED trials. Each candidate (or batch) is reverted on a
+	// clean slate — the log state is captured before and restored after a
+	// failed probe — so an unsuccessful trial cannot destroy state that a
+	// later candidate's fix (or the probe itself) depends on. A single
+	// reverted candidate is also the minimal possible data loss, which is
+	// the design goal (§3).
+	if !cfg.CumulativeOnly {
+		isolatedRound := func(batch int) (bool, bool) {
+			for start := 0; start < len(plan.Candidates); start += batch {
+				if attempts >= cfg.MaxAttempts {
+					return false, true
+				}
+				end := start + batch
+				if end > len(plan.Candidates) {
+					end = len(plan.Candidates)
+				}
+				st := ctx.Log.CaptureState()
+				// One version step per entry within a batch: a batch
+				// often holds several sequence numbers of the same entry,
+				// and walking them all would test a deeper state than
+				// intended (and discard more than the trial needs).
+				touched := map[*checkpoint.Entry]bool{}
+				for _, cand := range plan.Candidates[start:end] {
+					if e := ctx.Log.EntryBySeq(cand.Seq); e != nil {
+						if touched[e] {
+							continue
+						}
+						touched[e] = true
+					}
+					revertCandidate(cfg, ctx, cand)
+				}
+				attempts++
+				rep.Attempts++
+				trap := ctx.ReExec()
+				rep.LastTrap = trap
+				if trap == nil {
+					for _, cand := range plan.Candidates[start:end] {
+						rep.RevertedSeqs = append(rep.RevertedSeqs, cand.Seq)
+					}
+					return true, false
+				}
+				if err := ctx.Log.RestoreState(ctx.Pool, st); err != nil {
+					return false, true
+				}
+			}
+			return false, false
+		}
+		healed, exhausted := isolatedRound(cfg.Batch)
+		if healed {
+			return true
+		}
+		if !exhausted && cfg.Batch > 1 {
+			// Batching can overshoot: the single-candidate state that
+			// heals is never tested at batch granularity. Retry the
+			// isolated trials one candidate at a time before escalating.
+			if healed, _ := isolatedRound(1); healed {
+				return true
+			}
+		}
+	}
+
+	// Round 1: optional binary-search reversion (the technical report's
+	// algorithm): when no single candidate heals, find the shortest
+	// healing candidate prefix in O(log n) re-executions.
+	if cfg.Bisect {
+		if bisectMitigate(cfg, ctx, plan, rep, &attempts) {
+			return true
+		}
+	}
+
+	// Rounds 2..N: cumulative reversion, walking entries down through their
+	// older versions (the "retries reversion to an older version v-2 until
+	// the max versions are exhausted" loop).
+	for round := 0; round < maxRounds; round++ {
+		progressed := false
+		pending := 0
+		for i, cand := range plan.Candidates {
+			if attempts >= cfg.MaxAttempts {
+				return false
+			}
+			n := revertCandidate(cfg, ctx, cand)
+			if n > 0 {
+				progressed = true
+				rep.RevertedSeqs = append(rep.RevertedSeqs, cand.Seq)
+			}
+			pending++
+			// Re-execute after each batch (or at the end of the list).
+			if pending < cfg.Batch && i != len(plan.Candidates)-1 {
+				continue
+			}
+			pending = 0
+			attempts++
+			rep.Attempts++
+			trap := ctx.ReExec()
+			rep.LastTrap = trap
+			if trap == nil {
+				return true
+			}
+		}
+		if !progressed {
+			// Every entry is already at its oldest version; more rounds
+			// cannot help.
+			return false
+		}
+	}
+	return false
+}
+
+// revertCandidate applies one candidate under the configured mode and
+// returns the number of checkpoint versions discarded.
+func revertCandidate(cfg Config, ctx *Context, cand Candidate) int {
+	if cfg.Mode == ModeRollback {
+		n, err := ctx.Log.RevertAllAfter(ctx.Pool, cand.Seq)
+		if err != nil {
+			return 0
+		}
+		return n
+	}
+	// Purge mode: the candidate (+ its transaction), then the forward pass.
+	n, err := ctx.Log.RevertSeqAndTx(ctx.Pool, cand.Seq)
+	if err != nil {
+		return 0
+	}
+	if n > 0 {
+		// Only a revert that actually changed state can make forward-
+		// dependent state inconsistent.
+		n += purgeForward(ctx, cand)
+	}
+	return n
+}
+
+// purgeForward implements the purge-mode second pass (§4.4): after reverting
+// an update, revert the newer checkpoint entries of its DIRECT dependents
+// too, keeping dependent state mutually consistent (the paper's example:
+// after reverting t5, the directly-influenced t7 is purged as well). The
+// pass is deliberately one hop — the transitive closure of an early update
+// reaches essentially the whole execution.
+func purgeForward(ctx *Context, cand Candidate) int {
+	src := ctx.Analysis.InstrByGUID(cand.GUID)
+	if src == nil {
+		return 0
+	}
+	direct := append([]*ir.Instr(nil), ctx.Analysis.PDG.DataSuccs[src]...)
+	direct = append(direct, ctx.Analysis.PDG.MemSuccs[src]...)
+	total := 0
+	for _, in := range direct {
+		if in == src || in.GUID == 0 {
+			continue
+		}
+		for _, addr := range ctx.Trace.AddrsOfGUID(in.GUID) {
+			for _, s := range ctx.Log.SeqsCovering(addr) {
+				if s > cand.Seq {
+					n, err := ctx.Log.Revert(ctx.Pool, s)
+					if err == nil {
+						total += n
+					}
+				}
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,88 @@
+package reactor
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"arthas/internal/analysis"
+	"arthas/internal/ir"
+)
+
+// The reactor's client-server split (paper §5): computing the PDG and
+// pointer analysis for a large program takes long, so a reactor *server*
+// starts as soon as the target's code is available, computes the PDG in the
+// background, and re-uses it until the code changes. When the detector
+// flags a failure, the *client* sends a mitigation request; because the
+// metadata is already resident, only the (fast) slicing remains on the
+// critical path.
+
+// Server precomputes and caches analysis results per target system.
+type Server struct {
+	mu       sync.Mutex
+	analyses map[string]*analysis.Result
+	pending  map[string]chan struct{}
+}
+
+// NewServer returns an empty reactor server.
+func NewServer() *Server {
+	return &Server{
+		analyses: map[string]*analysis.Result{},
+		pending:  map[string]chan struct{}{},
+	}
+}
+
+// Precompute starts background analysis of a module (idempotent per name).
+// It returns immediately; Analysis blocks until the result is ready.
+func (s *Server) Precompute(name string, mod *ir.Module) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.analyses[name] != nil || s.pending[name] != nil {
+		return
+	}
+	done := make(chan struct{})
+	s.pending[name] = done
+	go func() {
+		res := analysis.Analyze(mod)
+		s.mu.Lock()
+		s.analyses[name] = res
+		delete(s.pending, name)
+		s.mu.Unlock()
+		close(done)
+	}()
+}
+
+// Analysis returns the (possibly precomputed) analysis for name, blocking
+// until the background computation completes. It errors if Precompute was
+// never called for name.
+func (s *Server) Analysis(name string) (*analysis.Result, error) {
+	s.mu.Lock()
+	if res := s.analyses[name]; res != nil {
+		s.mu.Unlock()
+		return res, nil
+	}
+	done := s.pending[name]
+	s.mu.Unlock()
+	if done == nil {
+		return nil, fmt.Errorf("reactor server: %q was never precomputed", name)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Minute):
+		return nil, fmt.Errorf("reactor server: analysis of %q timed out", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.analyses[name], nil
+}
+
+// Mitigate is the RPC-style entry point: it resolves the cached analysis
+// and runs the mitigation workflow.
+func (s *Server) Mitigate(name string, cfg Config, ctx *Context) (*Report, error) {
+	res, err := s.Analysis(name)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Analysis = res
+	return Mitigate(cfg, ctx), nil
+}

@@ -1,0 +1,226 @@
+// Package study encodes the paper's empirical hard-fault study (§2): the
+// 28 collected bugs with their systems, origins, root causes, consequences,
+// and fault-propagation types. The experiment harness renders Table 1 and
+// Figures 2–3 from this dataset and cross-checks the distributions the
+// paper reports (logic errors 46%, race conditions 18%, repeated crashes
+// 32%, type-II propagation 68%, ...).
+package study
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Origin distinguishes bugs found in new PM systems from historical bugs
+// reproduced in PM ports of mature systems (§2.1).
+type Origin int
+
+// Origins.
+const (
+	NewSystem Origin = iota
+	PortedSystem
+)
+
+func (o Origin) String() string {
+	if o == NewSystem {
+		return "New"
+	}
+	return "Port"
+}
+
+// RootCause categories (§2.4, Figure 2).
+type RootCause int
+
+// Root causes.
+const (
+	LogicError RootCause = iota
+	IntegerOverflow
+	RaceCondition
+	BufferOverflow
+	HardwareFault
+	MemoryLeak
+)
+
+var rootCauseNames = [...]string{
+	LogicError: "Logic Error", IntegerOverflow: "Integer Overflow",
+	RaceCondition: "Race Condition", BufferOverflow: "Buffer Overflow",
+	HardwareFault: "H/W Fault", MemoryLeak: "Memory Leak",
+}
+
+func (r RootCause) String() string { return rootCauseNames[r] }
+
+// Consequence categories (§2.5, Figure 3).
+type Consequence int
+
+// Consequences.
+const (
+	RepeatedCrash Consequence = iota
+	WrongResult
+	Corruption
+	OutOfSpace
+	RepeatedHang
+	PersistentLeak
+	DataLoss
+)
+
+var consequenceNames = [...]string{
+	RepeatedCrash: "Repeated Crash", WrongResult: "Wrong Result",
+	Corruption: "Corruption", OutOfSpace: "Out of Space",
+	RepeatedHang: "Repeated Hang", PersistentLeak: "Persistent Leak",
+	DataLoss: "Data Loss",
+}
+
+func (c Consequence) String() string { return consequenceNames[c] }
+
+// PropagationType classifies how the fault reaches persistence (§2.6).
+type PropagationType int
+
+// Propagation types.
+const (
+	// TypeI: a PM-backed variable holds a bad value that directly causes
+	// the failure.
+	TypeI PropagationType = iota
+	// TypeII: a bad value propagates across volatile and persistent
+	// variables before causing the failure.
+	TypeII
+	// TypeIII: persistent variables misbehave without bad values (e.g.
+	// leaks from missing frees).
+	TypeIII
+)
+
+func (p PropagationType) String() string {
+	return [...]string{"Type I", "Type II", "Type III"}[p]
+}
+
+// Bug is one studied case.
+type Bug struct {
+	System      string
+	Origin      Origin
+	Summary     string
+	RootCause   RootCause
+	Consequence Consequence
+	Type        PropagationType
+}
+
+// Dataset returns the 28 studied bugs. The per-system counts follow
+// Table 1 (CCEH 1, Dash 1, PMEMKV 2, LevelHash 2, RECIPE 2, Memcached 9,
+// Redis 11); root-cause, consequence, and propagation-type distributions
+// follow Figures 2, 3, and §2.6.
+func Dataset() []Bug {
+	return []Bug{
+		// --- New PM systems (8 bugs) ---
+		{"CCEH", NewSystem, "directory doubling leaves stale global depth", LogicError, RepeatedHang, TypeII},
+		{"Dash", NewSystem, "displacement metadata inconsistent after split", LogicError, WrongResult, TypeII},
+		{"PMEMKV", NewSystem, "async lazy free leaks items on crash", MemoryLeak, PersistentLeak, TypeIII},
+		{"PMEMKV", NewSystem, "engine header update drops record index", LogicError, DataLoss, TypeII},
+		{"LevelHash", NewSystem, "resize level pointer persisted early", LogicError, RepeatedCrash, TypeI},
+		{"LevelHash", NewSystem, "slot bitmap race on concurrent insert", RaceCondition, WrongResult, TypeII},
+		{"RECIPE", NewSystem, "converted index persists interior node pointer", LogicError, RepeatedCrash, TypeI},
+		{"RECIPE", NewSystem, "leaf merge double-links sibling", LogicError, RepeatedHang, TypeII},
+
+		// --- Memcached (PM port, 9 bugs) ---
+		{"Memcached", PortedSystem, "refcount overflow frees linked item", IntegerOverflow, RepeatedHang, TypeII},
+		{"Memcached", PortedSystem, "flush_all future time removes valid items", LogicError, DataLoss, TypeII},
+		{"Memcached", PortedSystem, "hashtable lock data race loses insert", RaceCondition, DataLoss, TypeII},
+		{"Memcached", PortedSystem, "integer overflow in append corrupts length", IntegerOverflow, RepeatedCrash, TypeII},
+		{"Memcached", PortedSystem, "rehashing flag bit flip misroutes lookups", HardwareFault, DataLoss, TypeI},
+		{"Memcached", PortedSystem, "slab rebalance moves pinned item", RaceCondition, Corruption, TypeII},
+		{"Memcached", PortedSystem, "LRU crawler frees item under iteration", RaceCondition, RepeatedCrash, TypeII},
+		{"Memcached", PortedSystem, "expiration clock skew marks items dead", LogicError, DataLoss, TypeII},
+		{"Memcached", PortedSystem, "stats size accounting leaks per reconnect", MemoryLeak, OutOfSpace, TypeIII},
+
+		// --- Redis (PM port, 11 bugs) ---
+		{"Redis", PortedSystem, "listpack encoding overflows size header", BufferOverflow, RepeatedCrash, TypeII},
+		{"Redis", PortedSystem, "shared object refcount double decrement", LogicError, RepeatedCrash, TypeII},
+		{"Redis", PortedSystem, "slowlog trim never frees evicted entries", MemoryLeak, PersistentLeak, TypeIII},
+		{"Redis", PortedSystem, "ziplist cascade update writes past buffer", BufferOverflow, Corruption, TypeII},
+		{"Redis", PortedSystem, "dict rehash index persisted mid-step", LogicError, RepeatedCrash, TypeII},
+		{"Redis", PortedSystem, "expire propagates wrong ttl to persistent copy", LogicError, WrongResult, TypeII},
+		{"Redis", PortedSystem, "bitfield offset overflow writes neighbor key", IntegerOverflow, Corruption, TypeI},
+		{"Redis", PortedSystem, "defrag races key deletion", RaceCondition, RepeatedCrash, TypeII},
+		{"Redis", PortedSystem, "stream listpack master entry corrupt on reload", LogicError, RepeatedCrash, TypeI},
+		{"Redis", PortedSystem, "module data type persists dangling aux pointer", LogicError, RepeatedCrash, TypeI},
+		{"Redis", PortedSystem, "radix tree node bit flip breaks iteration", HardwareFault, RepeatedHang, TypeII},
+	}
+}
+
+// Count is a labeled tally used by the distribution tables.
+type Count struct {
+	Label string
+	N     int
+	Pct   float64
+}
+
+func tally(labels []string) []Count {
+	m := map[string]int{}
+	var order []string
+	for _, l := range labels {
+		if m[l] == 0 {
+			order = append(order, l)
+		}
+		m[l]++
+	}
+	out := make([]Count, 0, len(order))
+	for _, l := range order {
+		out = append(out, Count{Label: l, N: m[l], Pct: 100 * float64(m[l]) / float64(len(labels))})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].N > out[j].N })
+	return out
+}
+
+// BySystem returns Table 1: bug counts per system with origin.
+func BySystem() []Count {
+	var labels []string
+	for _, b := range Dataset() {
+		labels = append(labels, b.System)
+	}
+	return tally(labels)
+}
+
+// OriginOf returns whether a studied system is new or ported.
+func OriginOf(system string) Origin {
+	for _, b := range Dataset() {
+		if b.System == system {
+			return b.Origin
+		}
+	}
+	return NewSystem
+}
+
+// ByRootCause returns Figure 2's distribution.
+func ByRootCause() []Count {
+	var labels []string
+	for _, b := range Dataset() {
+		labels = append(labels, b.RootCause.String())
+	}
+	return tally(labels)
+}
+
+// ByConsequence returns Figure 3's distribution.
+func ByConsequence() []Count {
+	var labels []string
+	for _, b := range Dataset() {
+		labels = append(labels, b.Consequence.String())
+	}
+	return tally(labels)
+}
+
+// ByType returns the §2.6 propagation-type distribution.
+func ByType() []Count {
+	var labels []string
+	for _, b := range Dataset() {
+		labels = append(labels, b.Type.String())
+	}
+	return tally(labels)
+}
+
+// FormatCounts renders a distribution as an aligned text table.
+func FormatCounts(title string, counts []Count) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for _, c := range counts {
+		fmt.Fprintf(&sb, "  %-18s %2d  (%4.0f%%)\n", c.Label, c.N, c.Pct)
+	}
+	return sb.String()
+}

@@ -1,0 +1,117 @@
+package study
+
+import (
+	"strings"
+	"testing"
+)
+
+func pctOf(counts []Count, label string) float64 {
+	for _, c := range counts {
+		if c.Label == label {
+			return c.Pct
+		}
+	}
+	return 0
+}
+
+func nOf(counts []Count, label string) int {
+	for _, c := range counts {
+		if c.Label == label {
+			return c.N
+		}
+	}
+	return 0
+}
+
+func TestDatasetSize(t *testing.T) {
+	if got := len(Dataset()); got != 28 {
+		t.Fatalf("dataset = %d bugs, want 28 (paper abstract)", got)
+	}
+}
+
+func TestTable1SystemCounts(t *testing.T) {
+	counts := BySystem()
+	want := map[string]int{
+		"CCEH": 1, "Dash": 1, "PMEMKV": 2, "LevelHash": 2, "RECIPE": 2,
+		"Memcached": 9, "Redis": 11,
+	}
+	for sys, n := range want {
+		if got := nOf(counts, sys); got != n {
+			t.Errorf("%s = %d bugs, want %d", sys, got, n)
+		}
+	}
+}
+
+func TestTable1Origins(t *testing.T) {
+	if OriginOf("Memcached") != PortedSystem || OriginOf("Redis") != PortedSystem {
+		t.Error("Memcached/Redis must be ports")
+	}
+	for _, s := range []string{"CCEH", "Dash", "PMEMKV", "LevelHash", "RECIPE"} {
+		if OriginOf(s) != NewSystem {
+			t.Errorf("%s must be a new PM system", s)
+		}
+	}
+}
+
+func TestFig2RootCauseDistribution(t *testing.T) {
+	counts := ByRootCause()
+	// Paper: logic 46%, race 18%, int-ovf 11%, buf-ovf 11%, leak 11%, h/w 4%.
+	within := func(label string, want, tol float64) {
+		if got := pctOf(counts, label); got < want-tol || got > want+tol {
+			t.Errorf("%s = %.0f%%, want ~%.0f%%", label, got, want)
+		}
+	}
+	within("Logic Error", 46, 4)
+	within("Race Condition", 18, 4)
+	within("Integer Overflow", 11, 4)
+	within("Buffer Overflow", 11, 4)
+	within("Memory Leak", 11, 4)
+	within("H/W Fault", 4, 4)
+	// Largest must be logic errors.
+	if counts[0].Label != "Logic Error" {
+		t.Errorf("largest root cause = %s, want Logic Error", counts[0].Label)
+	}
+}
+
+func TestFig3ConsequenceDistribution(t *testing.T) {
+	counts := ByConsequence()
+	if counts[0].Label != "Repeated Crash" {
+		t.Errorf("most common consequence = %s, want Repeated Crash", counts[0].Label)
+	}
+	if got := pctOf(counts, "Repeated Crash"); got < 28 || got > 36 {
+		t.Errorf("Repeated Crash = %.0f%%, want ~32%%", got)
+	}
+}
+
+func TestTypeDistribution(t *testing.T) {
+	counts := ByType()
+	// Paper: Type II 68%, Type I 18%, Type III 14%.
+	if got := pctOf(counts, "Type II"); got < 64 || got > 72 {
+		t.Errorf("Type II = %.0f%%, want ~68%%", got)
+	}
+	if got := pctOf(counts, "Type I"); got < 14 || got > 22 {
+		t.Errorf("Type I = %.0f%%, want ~18%%", got)
+	}
+	if got := pctOf(counts, "Type III"); got < 10 || got > 18 {
+		t.Errorf("Type III = %.0f%%, want ~14%%", got)
+	}
+}
+
+func TestPercentagesSumTo100(t *testing.T) {
+	for _, counts := range [][]Count{ByRootCause(), ByConsequence(), ByType(), BySystem()} {
+		sum := 0.0
+		for _, c := range counts {
+			sum += c.Pct
+		}
+		if sum < 99.5 || sum > 100.5 {
+			t.Errorf("percentages sum to %.1f", sum)
+		}
+	}
+}
+
+func TestFormatCounts(t *testing.T) {
+	out := FormatCounts("Root causes", ByRootCause())
+	if !strings.Contains(out, "Logic Error") || !strings.Contains(out, "%") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}

@@ -1,0 +1,84 @@
+package systems
+
+import "testing"
+
+// Hashtable expansion (the rehashing path whose flag f5 flips).
+
+func TestMCExpansionPreservesItems(t *testing.T) {
+	mc, err := NewMC(optsFull())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(1); k <= 150; k++ {
+		if err := mc.Set(k, k*3, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nb2, trap := mc.Call("mc_expand")
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if nb2 != 128 {
+		t.Fatalf("expanded bucket count = %d, want 128", nb2)
+	}
+	// Every key is still reachable, values intact.
+	for k := int64(1); k <= 150; k++ {
+		v, err := mc.Get(k)
+		if err != nil {
+			t.Fatalf("get(%d): %v", k, err)
+		}
+		if v != k*3+(k*3+1) { // sum of the 2-word value [v, v+1]
+			t.Fatalf("get(%d) = %d", k, v)
+		}
+	}
+	// The flag is clear and the expansion is durable.
+	if trap := mc.Restart(); trap != nil {
+		t.Fatal(trap)
+	}
+	root, _ := mc.Pool.Root(0)
+	flag, _ := mc.Pool.Load(root + 6)
+	if flag != 0 {
+		t.Fatalf("rehashing flag = %d after completed expansion", flag)
+	}
+	nb, _ := mc.Pool.Load(root + 1)
+	if nb != 128 {
+		t.Fatalf("bucket count after restart = %d", nb)
+	}
+	if v, _ := mc.Get(99); v != 99*3+99*3+1 {
+		t.Fatalf("post-restart get(99) = %d", v)
+	}
+}
+
+func TestMCExpansionWalkCountStable(t *testing.T) {
+	mc, _ := NewMC(optsFull())
+	for k := int64(1); k <= 80; k++ {
+		mc.Set(k, k, 1)
+	}
+	before, _ := mc.Call("mc_walk_count")
+	mc.Call("mc_expand")
+	after, trap := mc.Call("mc_walk_count")
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if before != after {
+		t.Fatalf("walk count changed across expansion: %d -> %d", before, after)
+	}
+}
+
+func TestMCExpansionTwice(t *testing.T) {
+	mc, _ := NewMC(optsFull())
+	for k := int64(1); k <= 40; k++ {
+		mc.Set(k, k, 1)
+	}
+	mc.Call("mc_expand")
+	nb, trap := mc.Call("mc_expand")
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if nb != 256 {
+		t.Fatalf("second expansion -> %d buckets", nb)
+	}
+	if v, _ := mc.Get(17); v != 17 {
+		t.Fatalf("get(17) = %d", v)
+	}
+}

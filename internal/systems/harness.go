@@ -1,0 +1,162 @@
+// Package systems contains the five target PM systems of the paper's
+// evaluation — Memcached, Redis, Pelikan, PMEMKV and CCEH — re-implemented
+// in PML with the data structures and code paths that host the twelve
+// evaluated hard-fault bugs, plus the deployment harness that compiles,
+// analyzes, instruments, and runs them the way the Arthas toolchain does
+// (paper Figure 4).
+package systems
+
+import (
+	"fmt"
+
+	"arthas/internal/analysis"
+	"arthas/internal/checkpoint"
+	"arthas/internal/ir"
+	"arthas/internal/pmem"
+	"arthas/internal/trace"
+	"arthas/internal/vm"
+)
+
+// System describes one deployable PML target.
+type System struct {
+	Name      string
+	Source    string
+	PoolWords int
+	// InitFn creates the persistent layout on a fresh pool.
+	InitFn string
+	// RecoverFn is the annotated recovery entry point run after restart.
+	RecoverFn string
+}
+
+// DeployOpts selects which parts of the Arthas runtime attach — the knobs
+// behind Table 8's overhead split (vanilla / checkpoint-only /
+// instrumentation-only) and Figure 12.
+type DeployOpts struct {
+	Checkpoint bool // attach the checkpoint log (pmem hooks)
+	Trace      bool // attach the PM address trace sink
+	// MaxVersions for the checkpoint log (default 3).
+	MaxVersions int
+	// StepLimit per VM call (default 5M: hangs detected quickly).
+	StepLimit int64
+	// SkipAnalysis deploys without running the static analyzer (vanilla
+	// builds for overhead baselines; no GUIDs are assigned).
+	SkipAnalysis bool
+}
+
+// Deployment is a running instance of a system: compiled module, analysis
+// metadata, pool, checkpoint log, trace, and the current VM.
+type Deployment struct {
+	Sys  *System
+	Mod  *ir.Module
+	Res  *analysis.Result // nil when SkipAnalysis
+	Pool *pmem.Pool
+	Log  *checkpoint.Log // nil when !Checkpoint
+	Tr   *trace.Trace    // nil when !Trace
+	M    *vm.Machine
+
+	opts     DeployOpts
+	restarts int
+}
+
+// Deploy compiles and boots a system on a fresh pool, running InitFn.
+func Deploy(sys *System, opts DeployOpts) (*Deployment, error) {
+	if opts.StepLimit == 0 {
+		opts.StepLimit = 5_000_000
+	}
+	mod, err := ir.CompileSource(sys.Name, sys.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", sys.Name, err)
+	}
+	d := &Deployment{Sys: sys, Mod: mod, opts: opts}
+	if !opts.SkipAnalysis {
+		d.Res = analysis.Analyze(mod)
+	}
+	d.Pool = pmem.New(sys.PoolWords)
+	if opts.Checkpoint {
+		d.Log = checkpoint.NewLog(opts.MaxVersions)
+		d.Pool.SetHooks(d.Log.Hooks())
+	}
+	if opts.Trace {
+		d.Tr = trace.New()
+	}
+	d.boot()
+	if sys.InitFn != "" {
+		if _, trap := d.M.Call(sys.InitFn); trap != nil {
+			return nil, fmt.Errorf("%s init: %v", sys.Name, trap)
+		}
+	}
+	return d, nil
+}
+
+// MustDeploy panics on deployment failure (tests, experiments).
+func MustDeploy(sys *System, opts DeployOpts) *Deployment {
+	d, err := Deploy(sys, opts)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func (d *Deployment) boot() {
+	d.M = vm.New(d.Mod, d.Pool, vm.Config{StepLimit: d.opts.StepLimit})
+	if d.Tr != nil {
+		d.M.TraceSink = d.Tr.Record
+		d.M.TraceReadSink = d.Tr.RecordRead
+	}
+}
+
+// Call invokes a PML function on the current machine.
+func (d *Deployment) Call(fn string, args ...int64) (int64, *vm.Trap) {
+	return d.M.Call(fn, args...)
+}
+
+// Restart simulates process kill + restart: the pool crashes (unpersisted
+// stores lost), a fresh machine boots, and the recovery function runs.
+func (d *Deployment) Restart() *vm.Trap {
+	d.Pool.Crash()
+	d.boot()
+	d.restarts++
+	if d.Sys.RecoverFn != "" {
+		if _, trap := d.M.Call(d.Sys.RecoverFn); trap != nil {
+			return trap
+		}
+	}
+	return nil
+}
+
+// Restarts reports how many restarts occurred.
+func (d *Deployment) Restarts() int { return d.restarts }
+
+// FindInstr locates an instruction in the module by function name and
+// predicate — used by experiments to identify fault instructions for
+// failures (like data loss) that have no trapping instruction.
+func (d *Deployment) FindInstr(fn string, pred func(*ir.Instr) bool) *ir.Instr {
+	f := d.Mod.Func(fn)
+	if f == nil {
+		return nil
+	}
+	var out *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if out == nil && pred(in) {
+			out = in
+		}
+	})
+	return out
+}
+
+// RetInstrs returns the return instructions of a function: the default
+// fault instructions for wrong-result/data-loss failures, where the
+// symptom is a value the function computed rather than a trap.
+func (d *Deployment) RetInstrs(fn string) []*ir.Instr {
+	f := d.Mod.Func(fn)
+	if f == nil {
+		return nil
+	}
+	var out []*ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpRet {
+			out = append(out, in)
+		}
+	})
+	return out
+}

@@ -1,0 +1,193 @@
+package systems
+
+import "testing"
+
+// Additional request-path coverage across the five systems: error paths,
+// capacity limits, and secondary operations.
+
+func TestRDListpackFull(t *testing.T) {
+	rd, _ := NewRD(optsFull())
+	rd.Call("rd_lp_new", 9, 4) // capacity 4+2 words: room for 4 elements
+	for i := int64(1); i <= 4; i++ {
+		if v, trap := rd.Call("rd_lp_append", 9, i); trap != nil || v != i {
+			t.Fatalf("append %d -> %d (%v)", i, v, trap)
+		}
+	}
+	v, trap := rd.Call("rd_lp_append", 9, 5)
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if v != -3 {
+		t.Fatalf("full listpack append = %d, want -3", v)
+	}
+}
+
+func TestRDAppendToMissingOrWrongType(t *testing.T) {
+	rd, _ := NewRD(optsFull())
+	if v, _ := rd.Call("rd_lp_append", 77, 1); v != -1 {
+		t.Fatalf("append to missing key = %d", v)
+	}
+	rd.Set(5, 50)
+	if v, _ := rd.Call("rd_lp_append", 5, 1); v != -2 {
+		t.Fatalf("append to int object = %d", v)
+	}
+}
+
+func TestRDShareExistingKey(t *testing.T) {
+	rd, _ := NewRD(optsFull())
+	rd.Set(3, 30)
+	if _, trap := rd.Call("rd_share", 3); trap != nil {
+		t.Fatal(trap)
+	}
+	// The key now returns the shared object's payload (0).
+	if v, _ := rd.Get(3); v != 0 {
+		t.Fatalf("shared get = %d", v)
+	}
+}
+
+func TestRDUnshareBalanced(t *testing.T) {
+	rd, _ := NewRD(optsFull())
+	rd.Call("rd_share", 1)
+	// Correct (non-buggy) release: refcount stays positive, object lives.
+	if v, trap := rd.Call("rd_unshare", 1, 0); trap != nil || v <= 0 {
+		t.Fatalf("unshare -> %d (%v)", v, trap)
+	}
+	if _, trap := rd.Call("rd_get", 1); trap != nil {
+		t.Fatalf("get after balanced unshare: %v", trap)
+	}
+}
+
+func TestPKStatsCounters(t *testing.T) {
+	pk, _ := NewPK(optsFull())
+	pk.Set(1, 1, 1)
+	pk.Get(1)
+	pk.Get(999) // miss
+	stats, trap := pk.Call("pk_stats")
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	// stats = hits*1e6 + misses*1e3 + sets
+	if stats != 1_000_000+1_000+1 {
+		t.Fatalf("stats = %d", stats)
+	}
+}
+
+func TestPKStatsResetRotatesBlock(t *testing.T) {
+	pk, _ := NewPK(optsFull())
+	pk.Set(1, 1, 1)
+	if _, trap := pk.Call("pk_stats_reset"); trap != nil {
+		t.Fatal(trap)
+	}
+	stats, trap := pk.Call("pk_stats")
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if stats != 0 {
+		t.Fatalf("stats after reset = %d", stats)
+	}
+	// And the system still counts afterwards.
+	pk.Get(1)
+	if stats, _ = pk.Call("pk_stats"); stats != 1_000_000 {
+		t.Fatalf("stats after reset+hit = %d", stats)
+	}
+}
+
+func TestPKSetUpdatesExisting(t *testing.T) {
+	pk, _ := NewPK(optsFull())
+	pk.Set(4, 10, 2)
+	pk.Set(4, 20, 3)
+	v, err := pk.Get(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 20+21+22 {
+		t.Fatalf("updated value = %d", v)
+	}
+	if n, _ := pk.Call("pk_count"); n != 1 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestKVDelMissing(t *testing.T) {
+	kv, _ := NewKV(optsFull())
+	kv.Put(1, 1)
+	if v, trap := kv.Call("kv_del", 99); trap != nil || v != 0 {
+		t.Fatalf("del missing = %d (%v)", v, trap)
+	}
+	if v, trap := kv.Call("kv_del", 1); trap != nil || v != 1 {
+		t.Fatalf("del present = %d (%v)", v, trap)
+	}
+}
+
+func TestKVPutUpdates(t *testing.T) {
+	kv, _ := NewKV(optsFull())
+	kv.Put(7, 1)
+	kv.Put(7, 2)
+	if v, _ := kv.Get(7); v != 2 {
+		t.Fatalf("updated = %d", v)
+	}
+	if n, _ := kv.Call("kv_count"); n != 1 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestMCHoldReleaseMissing(t *testing.T) {
+	mc, _ := NewMC(optsFull())
+	if v, _ := mc.Call("mc_hold", 12345); v != -1 {
+		t.Fatalf("hold missing = %d", v)
+	}
+	if v, _ := mc.Call("mc_release", 12345); v != -1 {
+		t.Fatalf("release missing = %d", v)
+	}
+	mc.Set(1, 1, 1)
+	if v, _ := mc.Call("mc_hold", 1); v != 2 {
+		t.Fatalf("hold -> ref %d", v)
+	}
+	if v, _ := mc.Call("mc_release", 1); v != 1 {
+		t.Fatalf("release -> ref %d", v)
+	}
+}
+
+func TestMCAppendMissing(t *testing.T) {
+	mc, _ := NewMC(optsFull())
+	if v, _ := mc.Call("mc_append", 999, 2, 1); v != -1 {
+		t.Fatalf("append missing = %d", v)
+	}
+}
+
+func TestMCDeleteMissing(t *testing.T) {
+	mc, _ := NewMC(optsFull())
+	mc.Set(1, 1, 1)
+	if v, _ := mc.Call("mc_delete", 999); v != 0 {
+		t.Fatalf("delete missing = %d", v)
+	}
+}
+
+func TestCCUpdateExistingKey(t *testing.T) {
+	cc, _ := NewCC(optsFull())
+	cc.Insert(5, 50)
+	cc.Insert(5, 55) // update in place
+	if v, _ := cc.Get(5); v != 55 {
+		t.Fatalf("updated = %d", v)
+	}
+}
+
+func TestCCSplitRedistributes(t *testing.T) {
+	cc, _ := NewCC(optsFull())
+	// Insert enough keys to force several splits (segments hold 8 pairs,
+	// initial depth 2 = 4 segments).
+	for k := int64(1); k <= 64; k++ {
+		if err := cc.Insert(k, k+1000); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	for k := int64(1); k <= 64; k++ {
+		v, err := cc.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != k+1000 {
+			t.Fatalf("get(%d) = %d after splits", k, v)
+		}
+	}
+}

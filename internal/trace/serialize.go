@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace serialization: the paper's PM address trace is a file that outlives
+// the process (§4.1 tracing flushes to a file; §5 the reactor server parses
+// it incrementally). Serializing the trace alongside the pool file keeps
+// slice→address resolution working across process restarts.
+
+const (
+	traceMagic   uint64 = 0x41525448_54524345 // "ARTH TRCE"
+	traceVersion uint64 = 1
+)
+
+// WriteTo serializes the trace (flushed events, the clock, and the recent-
+// reads ring). It implements io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	t.Flush()
+	var written int64
+	put := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		n, err := w.Write(buf[:])
+		written += int64(n)
+		return err
+	}
+	for _, v := range []uint64{traceMagic, traceVersion, t.next, uint64(len(t.flushed))} {
+		if err := put(v); err != nil {
+			return written, err
+		}
+	}
+	for _, e := range t.flushed {
+		for _, v := range []uint64{uint64(e.GUID), e.Addr, e.Idx} {
+			if err := put(v); err != nil {
+				return written, err
+			}
+		}
+	}
+	// Ring: persist only the occupied slots.
+	n := t.ringNext
+	if n > ringSize {
+		n = ringSize
+	}
+	if err := put(uint64(n)); err != nil {
+		return written, err
+	}
+	for i := 0; i < n; i++ {
+		e := t.ring[i]
+		for _, v := range []uint64{uint64(e.GUID), e.Addr, e.Idx} {
+			if err := put(v); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+// ReadTrace deserializes a trace written by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	get := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	magic, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading image: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: not a trace image (magic %#x)", magic)
+	}
+	version, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("trace: image version %d, want %d", version, traceVersion)
+	}
+	t := New()
+	next, err := get()
+	if err != nil {
+		return nil, err
+	}
+	t.next = next
+	nEvents, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nEvents > 1<<30 {
+		return nil, fmt.Errorf("trace: implausible event count %d", nEvents)
+	}
+	for i := uint64(0); i < nEvents; i++ {
+		g, err := get()
+		if err != nil {
+			return nil, err
+		}
+		a, err := get()
+		if err != nil {
+			return nil, err
+		}
+		idx, err := get()
+		if err != nil {
+			return nil, err
+		}
+		t.flushed = append(t.flushed, Event{GUID: int(g), Addr: a, Idx: idx})
+	}
+	nRing, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nRing > ringSize {
+		return nil, fmt.Errorf("trace: implausible ring count %d", nRing)
+	}
+	for i := uint64(0); i < nRing; i++ {
+		g, err := get()
+		if err != nil {
+			return nil, err
+		}
+		a, err := get()
+		if err != nil {
+			return nil, err
+		}
+		idx, err := get()
+		if err != nil {
+			return nil, err
+		}
+		t.ring[i] = Event{GUID: int(g), Addr: a, Idx: idx}
+		t.ringNext++
+	}
+	return t, nil
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordAndQuery(t *testing.T) {
+	tr := New()
+	tr.Record(1, 100)
+	tr.Record(2, 200)
+	tr.Record(1, 100)
+	tr.Record(1, 300)
+
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	addrs := tr.AddrsOfGUID(1)
+	if len(addrs) != 2 || addrs[0] != 100 || addrs[1] != 300 {
+		t.Fatalf("AddrsOfGUID(1) = %v", addrs)
+	}
+	guids := tr.GUIDsOfAddr(100)
+	if len(guids) != 1 || guids[0] != 1 {
+		t.Fatalf("GUIDsOfAddr(100) = %v", guids)
+	}
+	if got := tr.AddrsOfGUID(99); got != nil {
+		t.Fatalf("unknown GUID addrs = %v", got)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Record(i, uint64(1000+i))
+	}
+	evs := tr.Events()
+	for i, e := range evs {
+		if e.Idx != uint64(i) || e.GUID != i {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestBufferedFlush(t *testing.T) {
+	tr := New()
+	tr.BufSize = 8
+	for i := 0; i < 20; i++ {
+		tr.Record(1, uint64(i))
+	}
+	if tr.Flushes() < 2 {
+		t.Fatalf("flushes = %d, want >= 2 with BufSize 8", tr.Flushes())
+	}
+	// Queries see buffered events too.
+	if got := len(tr.AddrsOfGUID(1)); got != 20 {
+		t.Fatalf("addrs = %d, want 20", got)
+	}
+}
+
+func TestSharedAddressMultipleGUIDs(t *testing.T) {
+	tr := New()
+	tr.Record(5, 777)
+	tr.Record(9, 777)
+	tr.Record(5, 777)
+	guids := tr.GUIDsOfAddr(777)
+	if len(guids) != 2 || guids[0] != 5 || guids[1] != 9 {
+		t.Fatalf("GUIDsOfAddr = %v", guids)
+	}
+}
+
+// Property: every recorded (guid, addr) pair is later discoverable through
+// both indexes, regardless of buffer-size-induced flush boundaries.
+func TestPropIndexesComplete(t *testing.T) {
+	f := func(pairs []struct {
+		G uint8
+		A uint16
+	}, bufSize uint8) bool {
+		tr := New()
+		tr.BufSize = int(bufSize%16) + 1
+		for _, p := range pairs {
+			tr.Record(int(p.G), uint64(p.A))
+		}
+		for _, p := range pairs {
+			foundAddr := false
+			for _, a := range tr.AddrsOfGUID(int(p.G)) {
+				if a == uint64(p.A) {
+					foundAddr = true
+				}
+			}
+			if !foundAddr {
+				return false
+			}
+			foundGUID := false
+			for _, g := range tr.GUIDsOfAddr(uint64(p.A)) {
+				if g == int(p.G) {
+					foundGUID = true
+				}
+			}
+			if !foundGUID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package vm
+
+import (
+	"testing"
+
+	"arthas/internal/ir"
+	"arthas/internal/pmem"
+)
+
+// Native-persistence semantics (paper §3.2's second PM framework class):
+// stores + flush (clwb) + fence (sfence). Durability happens only at the
+// fence; flushed-but-unfenced lines are lost on crash.
+
+func TestFlushFenceDurability(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn setup() {
+    var p = pmalloc(4);
+    setroot(0, p);
+    p[0] = 10;
+    p[1] = 20;
+    flush(p, 2);
+    fence();
+    return 0;
+}
+fn read(i) { var p = getroot(0); return p[i]; }`)
+	pool := pmem.New(1 << 12)
+	m := New(mod, pool, Config{})
+	if _, trap := m.Call("setup"); trap != nil {
+		t.Fatal(trap)
+	}
+	pool.Crash()
+	m2 := New(mod, pool, Config{})
+	for i, want := range []int64{10, 20} {
+		v, trap := m2.Call("read", int64(i))
+		if trap != nil || v != want {
+			t.Fatalf("read(%d) = %d (%v), want %d", i, v, trap, want)
+		}
+	}
+}
+
+func TestFlushWithoutFenceLost(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn setup() {
+    var p = pmalloc(2);
+    setroot(0, p);
+    p[0] = 77;
+    flush(p, 1);
+    return 0; // crash before the fence
+}
+fn read() { var p = getroot(0); return p[0]; }`)
+	pool := pmem.New(1 << 12)
+	New(mod, pool, Config{}).Call("setup")
+	pool.Crash()
+	v, trap := New(mod, pool, Config{}).Call("read")
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if v == 77 {
+		t.Fatal("flushed-but-unfenced store survived crash")
+	}
+}
+
+func TestFenceFiresCheckpointHooks(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn setup() {
+    var p = pmalloc(4);
+    p[0] = 1;
+    p[2] = 3;
+    flush(p, 1);
+    flush(p + 2, 1);
+    fence();
+    return 0;
+}`)
+	pool := pmem.New(1 << 12)
+	var persists int
+	pool.SetHooks(pmem.Hooks{OnPersist: func(addr uint64, data []uint64) { persists++ }})
+	m := New(mod, pool, Config{})
+	if _, trap := m.Call("setup"); trap != nil {
+		t.Fatal(trap)
+	}
+	if persists != 2 {
+		t.Fatalf("persist hooks fired %d times, want 2 (non-adjacent lines)", persists)
+	}
+}
+
+func TestFenceCoalescesAdjacentLines(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn setup() {
+    var p = pmalloc(4);
+    p[0] = 1;
+    p[1] = 2;
+    flush(p, 1);
+    flush(p + 1, 1);
+    fence();
+    return 0;
+}`)
+	pool := pmem.New(1 << 12)
+	var persists int
+	pool.SetHooks(pmem.Hooks{OnPersist: func(addr uint64, data []uint64) { persists++ }})
+	New(mod, pool, Config{}).Call("setup")
+	if persists != 1 {
+		t.Fatalf("persist hooks fired %d times, want 1 (adjacent lines coalesce)", persists)
+	}
+}
+
+func TestFlushInvalidAddressTraps(t *testing.T) {
+	mod := ir.MustCompile("t", "fn f() { flush(12345, 1); fence(); }")
+	m := New(mod, pmem.New(1<<12), Config{})
+	_, trap := m.Call("f")
+	if trap == nil || trap.Kind != TrapSegfault {
+		t.Fatalf("trap = %v", trap)
+	}
+}
+
+func TestFenceWithEmptyQueue(t *testing.T) {
+	mod := ir.MustCompile("t", "fn f() { fence(); return 7; }")
+	m := New(mod, pmem.New(1<<12), Config{})
+	v, trap := m.Call("f")
+	if trap != nil || v != 7 {
+		t.Fatalf("v=%d trap=%v", v, trap)
+	}
+}

@@ -1,0 +1,106 @@
+package vm
+
+import (
+	"testing"
+
+	"arthas/internal/checkpoint"
+	"arthas/internal/ir"
+	"arthas/internal/pmem"
+)
+
+func TestPmReallocGrowsAndCopies(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn grow() {
+    var p = pmalloc(3);
+    p[0] = 10;
+    p[1] = 20;
+    p[2] = 30;
+    persist(p, 3);
+    var q = pmrealloc(p, 6);
+    q[5] = 60;
+    persist(q + 5, 1);
+    setroot(0, q);
+    return q;
+}
+fn read(i) { var q = getroot(0); return q[i]; }`)
+	pool := pmem.New(1 << 12)
+	m := New(mod, pool, Config{})
+	if _, trap := m.Call("grow"); trap != nil {
+		t.Fatal(trap)
+	}
+	pool.Crash()
+	m2 := New(mod, pool, Config{})
+	for i, want := range []int64{10, 20, 30, 0, 0, 60} {
+		v, trap := m2.Call("read", int64(i))
+		if trap != nil || v != want {
+			t.Fatalf("read(%d) = %d (%v), want %d", i, v, trap, want)
+		}
+	}
+}
+
+func TestPmReallocShrink(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn shrink() {
+    var p = pmalloc(8);
+    p[0] = 7;
+    persist(p, 8);
+    var q = pmrealloc(p, 2);
+    setroot(0, q);
+    return pmsize(q);
+}
+fn read() { var q = getroot(0); return q[0]; }`)
+	pool := pmem.New(1 << 12)
+	m := New(mod, pool, Config{})
+	size, trap := m.Call("shrink")
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if size != 2 {
+		t.Fatalf("new size = %d", size)
+	}
+	if v, _ := m.Call("read"); v != 7 {
+		t.Fatalf("copied word = %d", v)
+	}
+}
+
+func TestPmReallocInvalid(t *testing.T) {
+	mod := ir.MustCompile("t", "fn f() { pmrealloc(5, 2); }")
+	m := New(mod, pmem.New(1<<12), Config{})
+	_, trap := m.Call("f")
+	if trap == nil || trap.Kind != TrapSegfault {
+		t.Fatalf("trap = %v", trap)
+	}
+}
+
+func TestPmReallocLinksOldEntryOnReuse(t *testing.T) {
+	// Shrinking then growing cycles blocks through the free list; when a
+	// new entry is created at a reused address the checkpoint log links
+	// it to the prior history (paper Figure 5's old_entry).
+	mod := ir.MustCompile("t", `
+fn cycle() {
+    var p = pmalloc(6);
+    p[0] = 1;
+    persist(p, 1);
+    pfree(p);
+    var q = pmalloc(6); // reuses p's block
+    q[0] = 2;
+    persist(q, 2);      // NEW (addr,2) entry at the reused address
+    setroot(0, q);
+    return q;
+}`)
+	pool := pmem.New(1 << 12)
+	log := checkpoint.NewLog(3)
+	pool.SetHooks(log.Hooks())
+	m := New(mod, pool, Config{})
+	q, trap := m.Call("cycle")
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	e := log.EntryBySeq(log.Seq())
+	if e == nil || e.Addr != uint64(q) {
+		t.Fatalf("latest entry = %+v", e)
+	}
+	if e.OldEntry == nil {
+		t.Fatal("reused-address entry not linked to prior history")
+	}
+}

@@ -1,0 +1,150 @@
+package vm
+
+import (
+	"testing"
+
+	"arthas/internal/ir"
+	"arthas/internal/pmem"
+)
+
+// Scheduler-focused tests: preemption, background drains with traps, and
+// stack/trap context.
+
+func TestPreemptiveInterleaving(t *testing.T) {
+	// Without yields, cooperative scheduling would run each worker to
+	// completion; preemption forces interleaving and exposes the race.
+	src := `
+var counter;
+fn bump(n) {
+    var i = 0;
+    while (i < n) {
+        var c = counter;
+        counter = c + 1;   // racy read-modify-write, no yield
+        i = i + 1;
+    }
+    return 0;
+}
+fn main(n) {
+    spawn bump(n);
+    spawn bump(n);
+    var spin = 0;
+    while (spin < 100000 && counter < n + n) {
+        yield();
+        spin = spin + 1;
+        if (counter >= n) {
+            if (spin > 50000) { break; }
+        }
+    }
+    return counter;
+}`
+	mod := ir.MustCompile("t", src)
+
+	// Cooperative: each bump runs atomically between yields -> no loss.
+	m1 := New(mod, pmem.New(1<<12), Config{})
+	v1, trap := m1.Call("main", 200)
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if v1 != 400 {
+		t.Fatalf("cooperative counter = %d, want 400", v1)
+	}
+
+	// Preemptive with a tiny quantum: updates get lost.
+	m2 := New(mod, pmem.New(1<<12), Config{PreemptEvery: 7})
+	v2, trap := m2.Call("main", 200)
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if v2 >= 400 {
+		t.Fatalf("preemptive counter = %d; expected lost updates", v2)
+	}
+}
+
+func TestDrainBackgroundPropagatesTrap(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn worker() {
+    var p = 0;
+    return p[0]; // segfault in the background
+}
+fn main() { spawn worker(); return 0; }`)
+	m := New(mod, pmem.New(1<<12), Config{})
+	if _, trap := m.Call("main"); trap != nil {
+		t.Fatal(trap)
+	}
+	trap := m.DrainBackground(10_000)
+	if trap == nil || trap.Kind != TrapSegfault {
+		t.Fatalf("background trap = %v", trap)
+	}
+}
+
+func TestTrapStackHasCallChain(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn inner() { assert(0); }
+fn middle() { inner(); }
+fn outer() { middle(); }`)
+	m := New(mod, pmem.New(1<<12), Config{})
+	_, trap := m.Call("outer")
+	if trap == nil {
+		t.Fatal("no trap")
+	}
+	if len(trap.Stack) != 3 {
+		t.Fatalf("stack depth = %d: %v", len(trap.Stack), trap.Stack)
+	}
+	wantOrder := []string{"inner", "middle", "outer"}
+	for i, frame := range trap.Stack {
+		if len(frame) < len(wantOrder[i]) || frame[:len(wantOrder[i])] != wantOrder[i] {
+			t.Fatalf("stack[%d] = %q, want prefix %q", i, frame, wantOrder[i])
+		}
+	}
+	if trap.StackString() == "" {
+		t.Fatal("empty stack string")
+	}
+}
+
+func TestGlobalAccessors(t *testing.T) {
+	mod := ir.MustCompile("t", "var g = 3;\nfn get() { return g; }")
+	m := New(mod, pmem.New(1<<12), Config{})
+	if v, ok := m.Global("g"); !ok || v != 3 {
+		t.Fatalf("Global = %d, %v", v, ok)
+	}
+	if !m.SetGlobal("g", 9) {
+		t.Fatal("SetGlobal failed")
+	}
+	if v, _ := m.Call("get"); v != 9 {
+		t.Fatalf("after SetGlobal, get = %d", v)
+	}
+	if _, ok := m.Global("missing"); ok {
+		t.Fatal("missing global found")
+	}
+	if m.SetGlobal("missing", 1) {
+		t.Fatal("SetGlobal on missing global succeeded")
+	}
+}
+
+func TestCallArityMismatch(t *testing.T) {
+	mod := ir.MustCompile("t", "fn f(a) { return a; }")
+	m := New(mod, pmem.New(1<<12), Config{})
+	_, trap := m.Call("f") // no args
+	if trap == nil || trap.Kind != TrapInternal {
+		t.Fatalf("trap = %v", trap)
+	}
+}
+
+func TestVfreeInvalid(t *testing.T) {
+	mod := ir.MustCompile("t", "fn f() { vfree(5); }")
+	m := New(mod, pmem.New(1<<12), Config{})
+	_, trap := m.Call("f")
+	if trap == nil || trap.Kind != TrapSegfault {
+		t.Fatalf("trap = %v", trap)
+	}
+}
+
+func TestOutputAccumulatesAcrossCalls(t *testing.T) {
+	mod := ir.MustCompile("t", "fn e(v) { emit(v); }")
+	m := New(mod, pmem.New(1<<12), Config{})
+	m.Call("e", 1)
+	m.Call("e", 2)
+	if len(m.Output) != 2 || m.Output[0] != 1 || m.Output[1] != 2 {
+		t.Fatalf("output = %v", m.Output)
+	}
+}

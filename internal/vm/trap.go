@@ -1,0 +1,76 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"arthas/internal/ir"
+)
+
+// TrapKind classifies how a PML execution failed. The detector's similarity
+// heuristics (paper §4.3) hash these together with the fault instruction and
+// the stack trace.
+type TrapKind int
+
+// Trap kinds.
+const (
+	TrapNone          TrapKind = iota
+	TrapSegfault               // load/store/free through an invalid address
+	TrapAssert                 // assert(0)
+	TrapUserFail               // fail(code): program-detected fatal condition (panic analogue)
+	TrapDivZero                // division or modulo by zero
+	TrapOOM                    // volatile heap exhausted
+	TrapPMOutOfSpace           // persistent pool exhausted
+	TrapStackOverflow          // call depth limit
+	TrapStepLimit              // instruction budget exhausted: hang / infinite loop
+	TrapDeadlock               // every live thread blocked on a lock
+	TrapInjectedCrash          // a scheduled fault injection requested a crash
+	TrapInternal               // VM invariant violation (bug in harness or IR)
+)
+
+var trapNames = [...]string{
+	TrapNone: "none", TrapSegfault: "segfault", TrapAssert: "assert",
+	TrapUserFail: "fail", TrapDivZero: "div-by-zero", TrapOOM: "oom",
+	TrapPMOutOfSpace: "pm-out-of-space", TrapStackOverflow: "stack-overflow",
+	TrapStepLimit: "hang", TrapDeadlock: "deadlock",
+	TrapInjectedCrash: "injected-crash", TrapInternal: "internal",
+}
+
+func (k TrapKind) String() string {
+	if int(k) < len(trapNames) {
+		return trapNames[k]
+	}
+	return fmt.Sprintf("trap(%d)", int(k))
+}
+
+// Trap describes a failed execution: what happened, at which instruction,
+// with what call stack. It is the "fault instruction + exit code + stack
+// trace" bundle the Arthas detector consumes.
+type Trap struct {
+	Kind  TrapKind
+	Code  int64  // user code for fail(code)
+	Addr  uint64 // faulting address for segfault / bad free
+	Msg   string
+	Fn    *ir.Function // function containing the fault instruction
+	Instr *ir.Instr    // the fault instruction
+	Stack []string     // innermost first: "fn @ line:col"
+	Step  int64        // logical time of the fault
+}
+
+func (t *Trap) Error() string {
+	if t == nil {
+		return "<no trap>"
+	}
+	loc := "?"
+	if t.Fn != nil && t.Instr != nil {
+		loc = fmt.Sprintf("%s @ %v", t.Fn.Name, t.Instr.Pos)
+	}
+	s := fmt.Sprintf("trap %v at %s", t.Kind, loc)
+	if t.Msg != "" {
+		s += ": " + t.Msg
+	}
+	return s
+}
+
+// StackString joins the stack frames for signature comparison and logs.
+func (t *Trap) StackString() string { return strings.Join(t.Stack, " <- ") }

@@ -1,0 +1,116 @@
+package vm
+
+import "fmt"
+
+// VBase is the lowest valid volatile heap address. Addresses in [0, VBase)
+// form the "null page": dereferencing them traps, so nil-pointer bugs in PML
+// programs fail the same way C programs segfault.
+const VBase uint64 = 1 << 20
+
+// vheap is the volatile (DRAM) heap: the same block layout as the persistent
+// allocator but with no durability — it vanishes when the Machine is dropped,
+// which is exactly how restart clears soft state.
+type vheap struct {
+	words    int
+	mem      []int64
+	heapNext int
+	freeHead int // payload index of first free block, 0 = none
+	live     int
+}
+
+const (
+	vBlockAllocated = int64(1) << 62
+	vBlockSizeMask  = int64(1)<<32 - 1
+)
+
+func newVHeap(words int) *vheap {
+	if words < 64 {
+		words = 64
+	}
+	return &vheap{words: words, mem: make([]int64, words), heapNext: 1}
+}
+
+func (h *vheap) contains(addr uint64) bool {
+	return addr >= VBase && addr < VBase+uint64(h.words)
+}
+
+func (h *vheap) load(addr uint64) (int64, bool) {
+	if !h.contains(addr) {
+		return 0, false
+	}
+	return h.mem[addr-VBase], true
+}
+
+func (h *vheap) store(addr uint64, v int64) bool {
+	if !h.contains(addr) {
+		return false
+	}
+	h.mem[addr-VBase] = v
+	return true
+}
+
+// alloc returns a zeroed payload of n words, or 0 on exhaustion.
+func (h *vheap) alloc(n int) uint64 {
+	if n <= 0 {
+		n = 1
+	}
+	// First fit over the free list.
+	prev := -1
+	cur := h.freeHead
+	for cur != 0 {
+		hdr := h.mem[cur-1]
+		size := int(hdr & vBlockSizeMask)
+		if size >= n {
+			next := int(h.mem[cur])
+			if size >= n+2 {
+				restIdx := cur + n + 1
+				h.mem[restIdx-1] = int64(size - n - 1)
+				h.mem[restIdx] = int64(next)
+				next = restIdx
+				h.mem[cur-1] = int64(n)
+			}
+			if prev < 0 {
+				h.freeHead = next
+			} else {
+				h.mem[prev] = int64(next)
+			}
+			h.mem[cur-1] |= vBlockAllocated
+			size = int(h.mem[cur-1] & vBlockSizeMask)
+			for w := 0; w < size; w++ {
+				h.mem[cur+w] = 0
+			}
+			h.live += size
+			return VBase + uint64(cur)
+		}
+		prev = cur
+		cur = int(h.mem[cur])
+	}
+	if h.heapNext+n+1 > h.words {
+		return 0
+	}
+	idx := h.heapNext
+	h.mem[idx] = int64(n) | vBlockAllocated
+	h.heapNext = idx + n + 1
+	h.live += n
+	return VBase + uint64(idx+1)
+}
+
+func (h *vheap) free(addr uint64) error {
+	if !h.contains(addr) {
+		return fmt.Errorf("vfree of non-heap address %#x", addr)
+	}
+	i := int(addr - VBase)
+	if i <= 1 || i >= h.heapNext {
+		return fmt.Errorf("vfree of %#x outside heap", addr)
+	}
+	hdr := h.mem[i-1]
+	if hdr&vBlockAllocated == 0 {
+		return fmt.Errorf("vfree of %#x: not allocated (double free?)", addr)
+	}
+	size := int(hdr & vBlockSizeMask)
+	h.mem[i-1] = int64(size)
+	h.mem[i] = int64(h.freeHead)
+	h.freeHead = i
+	h.live -= size
+	return nil
+}

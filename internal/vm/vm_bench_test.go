@@ -1,0 +1,185 @@
+package vm
+
+import (
+	"testing"
+
+	"arthas/internal/ir"
+	"arthas/internal/pmem"
+)
+
+// Interpreter micro-benchmarks: per-operation cost of the substrate, which
+// calibrates the Figure 12 overhead percentages (hook cost relative to the
+// interpreted op cost).
+
+func benchMachine(b *testing.B, src string) *Machine {
+	b.Helper()
+	mod, err := ir.CompileSource("bench", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(mod, pmem.New(1<<20), Config{StepLimit: 1 << 40})
+}
+
+func BenchmarkVMArithLoop(b *testing.B) {
+	m := benchMachine(b, `
+fn loop(n) {
+    var s = 0;
+    var i = 0;
+    while (i < n) {
+        s = s + i*3 - (i >> 1);
+        i = i + 1;
+    }
+    return s;
+}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, trap := m.Call("loop", 1000); trap != nil {
+			b.Fatal(trap)
+		}
+	}
+	b.ReportMetric(float64(m.Steps())/float64(b.N), "steps/op")
+}
+
+func BenchmarkVMCalls(b *testing.B) {
+	m := benchMachine(b, `
+fn leaf(a) { return a + 1; }
+fn loop(n) {
+    var i = 0;
+    while (i < n) {
+        i = leaf(i);
+    }
+    return i;
+}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, trap := m.Call("loop", 500); trap != nil {
+			b.Fatal(trap)
+		}
+	}
+}
+
+func BenchmarkVMPersistPath(b *testing.B) {
+	m := benchMachine(b, `
+fn setup() {
+    var p = pmalloc(64);
+    setroot(0, p);
+    return 0;
+}
+fn write(n) {
+    var p = getroot(0);
+    var i = 0;
+    while (i < n) {
+        p[i % 64] = i;
+        persist(p + (i % 64), 1);
+        i = i + 1;
+    }
+    return 0;
+}`)
+	m.Call("setup")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, trap := m.Call("write", 256); trap != nil {
+			b.Fatal(trap)
+		}
+	}
+}
+
+func BenchmarkVMPersistPathWithHooks(b *testing.B) {
+	mod := ir.MustCompile("bench", `
+fn setup() {
+    var p = pmalloc(64);
+    setroot(0, p);
+    return 0;
+}
+fn write(n) {
+    var p = getroot(0);
+    var i = 0;
+    while (i < n) {
+        p[i % 64] = i;
+        persist(p + (i % 64), 1);
+        i = i + 1;
+    }
+    return 0;
+}`)
+	pool := pmem.New(1 << 20)
+	sink := 0
+	pool.SetHooks(pmem.Hooks{OnPersist: func(addr uint64, data []uint64) { sink += len(data) }})
+	m := New(mod, pool, Config{StepLimit: 1 << 40})
+	m.Call("setup")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, trap := m.Call("write", 256); trap != nil {
+			b.Fatal(trap)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkVMThreadSwitch(b *testing.B) {
+	m := benchMachine(b, `
+fn worker(n) {
+    var i = 0;
+    while (i < n) {
+        yield();
+        i = i + 1;
+    }
+    return 0;
+}
+fn pair(n) {
+    spawn worker(n);
+    spawn worker(n);
+    var spin = 0;
+    while (spin < n + n + 8) {
+        yield();
+        spin = spin + 1;
+    }
+    return 0;
+}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, trap := m.Call("pair", 100); trap != nil {
+			b.Fatal(trap)
+		}
+	}
+}
+
+func BenchmarkVMTraceSink(b *testing.B) {
+	mod := ir.MustCompile("bench", `
+fn setup() {
+    var p = pmalloc(64);
+    setroot(0, p);
+    return 0;
+}
+fn write(n) {
+    var p = getroot(0);
+    var i = 0;
+    while (i < n) {
+        p[i % 64] = i;
+        persist(p + (i % 64), 1);
+        i = i + 1;
+    }
+    return 0;
+}`)
+	// Assign GUIDs the way the analyzer does.
+	g := 1
+	for _, f := range mod.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			switch in.Op {
+			case ir.OpStore, ir.OpPersist, ir.OpPmalloc:
+				in.GUID = g
+				g++
+			}
+		})
+	}
+	m := New(mod, pmem.New(1<<20), Config{StepLimit: 1 << 40})
+	events := 0
+	m.TraceSink = func(guid int, addr uint64) { events++ }
+	m.Call("setup")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, trap := m.Call("write", 256); trap != nil {
+			b.Fatal(trap)
+		}
+	}
+	_ = events
+}

@@ -1,0 +1,664 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"arthas/internal/ir"
+	"arthas/internal/pmem"
+)
+
+func machine(t *testing.T, src string) *Machine {
+	t.Helper()
+	mod, err := ir.CompileSource("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return New(mod, pmem.New(1<<16), Config{})
+}
+
+func mustCall(t *testing.T, m *Machine, fn string, args ...int64) int64 {
+	t.Helper()
+	v, trap := m.Call(fn, args...)
+	if trap != nil {
+		t.Fatalf("%s trapped: %v", fn, trap)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	m := machine(t, `
+fn calc(a, b) {
+    return (a + b) * 3 - a / b + a % b;
+}`)
+	if got := mustCall(t, m, "calc", 10, 3); got != (10+3)*3-10/3+10%3 {
+		t.Fatalf("calc = %d", got)
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	m := machine(t, `
+fn f(a, b) {
+    var r = 0;
+    if (a < b) { r = r + 1; }
+    if (a <= b) { r = r + 10; }
+    if (a > b) { r = r + 100; }
+    if (a >= b) { r = r + 1000; }
+    if (a == b) { r = r + 10000; }
+    if (a != b) { r = r + 100000; }
+    return r;
+}`)
+	if got := mustCall(t, m, "f", 2, 5); got != 100011 {
+		t.Fatalf("f(2,5) = %d", got)
+	}
+	if got := mustCall(t, m, "f", 5, 5); got != 11010 {
+		t.Fatalf("f(5,5) = %d", got)
+	}
+}
+
+func TestBitwiseOps(t *testing.T) {
+	m := machine(t, "fn f(a, b) { return ((a & b) | (a ^ b)) + (a << 2) + (b >> 1) + ~a + -b; }")
+	a, b := int64(0b1100), int64(0b1010)
+	want := ((a & b) | (a ^ b)) + (a << 2) + (b >> 1) + ^a + -b
+	if got := mustCall(t, m, "f", a, b); got != want {
+		t.Fatalf("f = %d, want %d", got, want)
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	m := machine(t, `
+var called;
+fn side() { called = called + 1; return 1; }
+fn andFalse() { return 0 && side(); }
+fn orTrue() { return 1 || side(); }
+fn andTrue() { return 1 && side(); }
+`)
+	mustCall(t, m, "andFalse")
+	mustCall(t, m, "orTrue")
+	if v, _ := m.Global("called"); v != 0 {
+		t.Fatalf("short-circuit evaluated RHS %d times", v)
+	}
+	if got := mustCall(t, m, "andTrue"); got != 1 {
+		t.Fatalf("andTrue = %d", got)
+	}
+	if v, _ := m.Global("called"); v != 1 {
+		t.Fatalf("called = %d, want 1", v)
+	}
+}
+
+func TestWhileLoopsAndBreakContinue(t *testing.T) {
+	m := machine(t, `
+fn sumEvens(n) {
+    var s = 0;
+    var i = 0;
+    while (1) {
+        i = i + 1;
+        if (i > n) { break; }
+        if (i % 2 == 1) { continue; }
+        s = s + i;
+    }
+    return s;
+}`)
+	if got := mustCall(t, m, "sumEvens", 10); got != 2+4+6+8+10 {
+		t.Fatalf("sumEvens = %d", got)
+	}
+}
+
+func TestFunctionCallsAndRecursion(t *testing.T) {
+	m := machine(t, `
+fn fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}`)
+	if got := mustCall(t, m, "fib", 15); got != 610 {
+		t.Fatalf("fib(15) = %d", got)
+	}
+}
+
+func TestGlobalsPersistAcrossCalls(t *testing.T) {
+	m := machine(t, `
+var count;
+fn bump() { count = count + 1; return count; }`)
+	mustCall(t, m, "bump")
+	mustCall(t, m, "bump")
+	if got := mustCall(t, m, "bump"); got != 3 {
+		t.Fatalf("count = %d", got)
+	}
+}
+
+func TestGlobalsResetOnNewMachine(t *testing.T) {
+	mod := ir.MustCompile("t", "var g = 5;\nfn get() { return g; }\nfn set(v) { g = v; }")
+	pool := pmem.New(1 << 12)
+	m1 := New(mod, pool, Config{})
+	m1.Call("set", 99)
+	m2 := New(mod, pool, Config{})
+	v, _ := m2.Call("get")
+	if v != 5 {
+		t.Fatalf("new machine global = %d, want init 5", v)
+	}
+}
+
+func TestVolatileHeap(t *testing.T) {
+	m := machine(t, `
+fn f() {
+    var p = valloc(4);
+    p[0] = 10;
+    p[3] = 40;
+    var s = p[0] + p[3];
+    vfree(p);
+    return s;
+}`)
+	if got := mustCall(t, m, "f"); got != 50 {
+		t.Fatalf("f = %d", got)
+	}
+}
+
+func TestVallocZeroed(t *testing.T) {
+	m := machine(t, `
+fn f() {
+    var p = valloc(4);
+    p[1] = 7;
+    vfree(p);
+    var q = valloc(4);
+    return q[1];
+}`)
+	if got := mustCall(t, m, "f"); got != 0 {
+		t.Fatalf("reused volatile block not zeroed: %d", got)
+	}
+}
+
+func TestPersistentMemoryOps(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn setup() {
+    var p = pmalloc(4);
+    p[0] = 123;
+    persist(p, 1);
+    setroot(0, p);
+    return p;
+}
+fn read() {
+    var p = getroot(0);
+    return p[0];
+}`)
+	pool := pmem.New(1 << 12)
+	m := New(mod, pool, Config{})
+	mustCall(t, m, "setup")
+
+	// Restart: new machine, same pool, after crash.
+	pool.Crash()
+	m2 := New(mod, pool, Config{})
+	if got := mustCall(t, m2, "read"); got != 123 {
+		t.Fatalf("persisted value = %d, want 123", got)
+	}
+}
+
+func TestUnpersistedStoreLostOnCrash(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn setup() {
+    var p = pmalloc(2);
+    setroot(0, p);
+    p[0] = 55; // never persisted
+    return 0;
+}
+fn read() { var p = getroot(0); return p[0]; }`)
+	pool := pmem.New(1 << 12)
+	New(mod, pool, Config{}).Call("setup")
+	pool.Crash()
+	v, trap := New(mod, pool, Config{}).Call("read")
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if v == 55 {
+		t.Fatal("unpersisted store survived crash")
+	}
+}
+
+func TestTransactionCommit(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn setup() {
+    var p = pmalloc(4);
+    setroot(0, p);
+    txbegin();
+    p[0] = 1;
+    p[1] = 2;
+    p[2] = 3;
+    txcommit();
+    return 0;
+}
+fn sum() { var p = getroot(0); return p[0] + p[1] + p[2]; }`)
+	pool := pmem.New(1 << 12)
+	New(mod, pool, Config{}).Call("setup")
+	pool.Crash()
+	v, trap := New(mod, pool, Config{}).Call("sum")
+	if trap != nil || v != 6 {
+		t.Fatalf("after tx commit + crash: sum = %d, trap = %v", v, trap)
+	}
+}
+
+func TestTransactionUncommittedLost(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn setup() {
+    var p = pmalloc(4);
+    setroot(0, p);
+    txbegin();
+    p[0] = 42;
+    return 0; // crash before commit
+}
+fn read() { var p = getroot(0); return p[0]; }`)
+	pool := pmem.New(1 << 12)
+	New(mod, pool, Config{}).Call("setup")
+	pool.Crash()
+	v, _ := New(mod, pool, Config{}).Call("read")
+	if v == 42 {
+		t.Fatal("uncommitted transactional store survived crash")
+	}
+}
+
+func TestSegfaultNullDeref(t *testing.T) {
+	m := machine(t, "fn f() { var p = 0; return p[0]; }")
+	_, trap := m.Call("f")
+	if trap == nil || trap.Kind != TrapSegfault {
+		t.Fatalf("trap = %v, want segfault", trap)
+	}
+	if trap.Fn == nil || trap.Instr == nil || len(trap.Stack) == 0 {
+		t.Fatalf("trap lacks fault context: %+v", trap)
+	}
+}
+
+func TestSegfaultWildStore(t *testing.T) {
+	m := machine(t, "fn f() { var p = 12345678; p[0] = 1; }")
+	_, trap := m.Call("f")
+	if trap == nil || trap.Kind != TrapSegfault {
+		t.Fatalf("trap = %v, want segfault", trap)
+	}
+}
+
+func TestDivByZeroTrap(t *testing.T) {
+	m := machine(t, "fn f(a, b) { return a / b; }")
+	_, trap := m.Call("f", 1, 0)
+	if trap == nil || trap.Kind != TrapDivZero {
+		t.Fatalf("trap = %v", trap)
+	}
+	m2 := machine(t, "fn f(a, b) { return a % b; }")
+	_, trap = m2.Call("f", 1, 0)
+	if trap == nil || trap.Kind != TrapDivZero {
+		t.Fatalf("mod trap = %v", trap)
+	}
+}
+
+func TestAssertTrap(t *testing.T) {
+	m := machine(t, "fn f(x) { assert(x > 0); return x; }")
+	if got := mustCall(t, m, "f", 5); got != 5 {
+		t.Fatal("assert(true) broke execution")
+	}
+	_, trap := m.Call("f", -1)
+	if trap == nil || trap.Kind != TrapAssert {
+		t.Fatalf("trap = %v", trap)
+	}
+}
+
+func TestUserFailTrap(t *testing.T) {
+	m := machine(t, "fn f() { fail(77); }")
+	_, trap := m.Call("f")
+	if trap == nil || trap.Kind != TrapUserFail || trap.Code != 77 {
+		t.Fatalf("trap = %+v", trap)
+	}
+}
+
+func TestHangDetection(t *testing.T) {
+	mod := ir.MustCompile("t", "fn f() { while (1) { } }")
+	m := New(mod, pmem.New(1<<12), Config{StepLimit: 10000})
+	_, trap := m.Call("f")
+	if trap == nil || trap.Kind != TrapStepLimit {
+		t.Fatalf("trap = %v, want hang", trap)
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	mod := ir.MustCompile("t", "fn f() { return f(); }")
+	m := New(mod, pmem.New(1<<12), Config{MaxCallDepth: 100})
+	_, trap := m.Call("f")
+	if trap == nil || trap.Kind != TrapStackOverflow {
+		t.Fatalf("trap = %v", trap)
+	}
+}
+
+func TestPMOutOfSpace(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn f() {
+    while (1) {
+        var p = pmalloc(64);
+        persist(p, 1);
+    }
+}`)
+	m := New(mod, pmem.New(1024), Config{})
+	_, trap := m.Call("f")
+	if trap == nil || trap.Kind != TrapPMOutOfSpace {
+		t.Fatalf("trap = %v", trap)
+	}
+}
+
+func TestEmitOutput(t *testing.T) {
+	m := machine(t, "fn f(n) { var i = 0; while (i < n) { emit(i * i); i = i + 1; } }")
+	mustCall(t, m, "f", 4)
+	want := []int64{0, 1, 4, 9}
+	if len(m.Output) != len(want) {
+		t.Fatalf("output = %v", m.Output)
+	}
+	for i, w := range want {
+		if m.Output[i] != w {
+			t.Fatalf("output = %v", m.Output)
+		}
+	}
+}
+
+func TestSpawnAndYield(t *testing.T) {
+	m := machine(t, `
+var log;
+fn worker(tag) {
+    log = log * 10 + tag;
+    return 0;
+}
+fn main() {
+    spawn worker(1);
+    spawn worker(2);
+    log = log * 10 + 9;
+    yield();
+    yield();
+    return log;
+}`)
+	got := mustCall(t, m, "main")
+	// main writes 9 first, then yields to workers 1 and 2 in spawn order.
+	if got != 912 {
+		t.Fatalf("interleave log = %d, want 912", got)
+	}
+}
+
+func TestBackgroundThreadRunsOnDrain(t *testing.T) {
+	m := machine(t, `
+var done;
+fn worker() { done = 1; return 0; }
+fn main() { spawn worker(); return 0; }`)
+	mustCall(t, m, "main")
+	if v, _ := m.Global("done"); v != 0 {
+		t.Fatal("background thread ran without being scheduled")
+	}
+	if m.BackgroundThreads() != 1 {
+		t.Fatalf("background threads = %d", m.BackgroundThreads())
+	}
+	if trap := m.DrainBackground(1000); trap != nil {
+		t.Fatal(trap)
+	}
+	if v, _ := m.Global("done"); v != 1 {
+		t.Fatal("background thread did not run during drain")
+	}
+	if m.BackgroundThreads() != 0 {
+		t.Fatalf("background threads after drain = %d", m.BackgroundThreads())
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	m := machine(t, `
+var lk;
+var counter;
+fn bump(n) {
+    var i = 0;
+    while (i < n) {
+        lock(lkaddr());
+        var c = counter;
+        yield(); // adversarial: try to lose the update
+        counter = c + 1;
+        unlock(lkaddr());
+        i = i + 1;
+    }
+    return 0;
+}
+var lkcell;
+fn lkaddr() {
+    if (lkcell == 0) { lkcell = valloc(1); }
+    return lkcell;
+}
+fn main(n) {
+    spawn bump(n);
+    spawn bump(n);
+    var spin = 0;
+    while (spin < 10000) { yield(); spin = spin + 1; }
+    return counter;
+}`)
+	got := mustCall(t, m, "main", 50)
+	if got != 100 {
+		t.Fatalf("locked counter = %d, want 100 (mutual exclusion broken)", got)
+	}
+}
+
+func TestRaceWithoutLockLosesUpdates(t *testing.T) {
+	m := machine(t, `
+var counter;
+fn bump(n) {
+    var i = 0;
+    while (i < n) {
+        var c = counter;
+        yield(); // the race window
+        counter = c + 1;
+        i = i + 1;
+    }
+    return 0;
+}
+fn main(n) {
+    spawn bump(n);
+    spawn bump(n);
+    var spin = 0;
+    while (spin < 10000) { yield(); spin = spin + 1; }
+    return counter;
+}`)
+	got := mustCall(t, m, "main", 50)
+	if got >= 100 {
+		t.Fatalf("unlocked counter = %d; expected lost updates (< 100)", got)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	m := machine(t, `
+fn main() {
+    var lk = valloc(1);
+    lock(lk);
+    lock(lk); // self-deadlock
+    return 0;
+}`)
+	_, trap := m.Call("main")
+	if trap == nil || trap.Kind != TrapDeadlock {
+		t.Fatalf("trap = %v, want deadlock", trap)
+	}
+}
+
+func TestInjectionBitFlip(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn setup() {
+    var p = pmalloc(1);
+    p[0] = 0;
+    persist(p, 1);
+    setroot(0, p);
+    return 0;
+}
+fn read() { var p = getroot(0); return p[0]; }`)
+	pool := pmem.New(1 << 12)
+	m := New(mod, pool, Config{})
+	mustCall(t, m, "setup")
+	root, _ := pool.Root(0)
+	m.Injections = append(m.Injections, &Injection{
+		AtStep: m.Steps() + 1,
+		Apply: func(mm *Machine) *Trap {
+			mm.Pool.InjectBitFlip(root, 4, true)
+			return nil
+		},
+	})
+	if got := mustCall(t, m, "read"); got != 16 {
+		t.Fatalf("after injected flip, read = %d, want 16", got)
+	}
+}
+
+func TestInjectionCrash(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn busy() { var i = 0; while (i < 100000) { i = i + 1; } return i; }`)
+	m := New(mod, pmem.New(1<<12), Config{})
+	m.Injections = append(m.Injections, &Injection{
+		AtStep: 500,
+		Apply: func(mm *Machine) *Trap {
+			return &Trap{Kind: TrapInjectedCrash, Msg: "scheduled crash"}
+		},
+	})
+	_, trap := m.Call("busy")
+	if trap == nil || trap.Kind != TrapInjectedCrash {
+		t.Fatalf("trap = %v", trap)
+	}
+}
+
+func TestTraceSinkReceivesGUIDEvents(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn f() {
+    var p = pmalloc(2);
+    p[0] = 5;
+    persist(p, 1);
+    return 0;
+}`)
+	// Hand-assign GUIDs the way the analyzer does.
+	guid := 1
+	mod.Func("f").Instrs(func(in *ir.Instr) {
+		switch in.Op {
+		case ir.OpPmalloc, ir.OpStore, ir.OpPersist:
+			in.GUID = guid
+			guid++
+		}
+	})
+	m := New(mod, pmem.New(1<<12), Config{})
+	var events []int
+	m.TraceSink = func(g int, addr uint64) { events = append(events, g) }
+	mustCall(t, m, "f")
+	if len(events) != 3 {
+		t.Fatalf("trace events = %v, want 3", events)
+	}
+}
+
+func TestRecoveryAccessTracking(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn setup() {
+    var p = pmalloc(2);
+    var q = pmalloc(2);
+    p[0] = q;
+    persist(p, 1);
+    setroot(0, p);
+    return q;
+}
+fn recover_run() {
+    recover_begin();
+    var p = getroot(0);
+    var v = p[0];
+    recover_end();
+    return v;
+}`)
+	pool := pmem.New(1 << 12)
+	m := New(mod, pool, Config{})
+	q := mustCall(t, m, "setup")
+	root, _ := pool.Root(0)
+
+	m2 := New(mod, pool, Config{})
+	mustCall(t, m2, "recover_run")
+	if !m2.RecoveryAccess[root] {
+		t.Fatal("root access not recorded during recovery window")
+	}
+	if m2.RecoveryAccess[uint64(q)] {
+		t.Fatal("q was never accessed but is recorded")
+	}
+}
+
+func TestPmSize(t *testing.T) {
+	m := machine(t, `
+fn f() {
+    var p = pmalloc(7);
+    var s = pmsize(p);
+    pfree(p);
+    return s * 100 + pmsize(p);
+}`)
+	if got := mustCall(t, m, "f"); got != 700 {
+		t.Fatalf("pmsize = %d, want 700", got)
+	}
+}
+
+func TestDoubleFreeTrapsAsSegfault(t *testing.T) {
+	m := machine(t, "fn f() { var p = pmalloc(2); pfree(p); pfree(p); }")
+	_, trap := m.Call("f")
+	if trap == nil || trap.Kind != TrapSegfault {
+		t.Fatalf("trap = %v", trap)
+	}
+}
+
+func TestCallUnknownFunction(t *testing.T) {
+	m := machine(t, "fn f() { return 0; }")
+	_, trap := m.Call("missing")
+	if trap == nil || trap.Kind != TrapInternal {
+		t.Fatalf("trap = %v", trap)
+	}
+}
+
+// Property: VM arithmetic agrees with Go int64 semantics for the full
+// operator set (excluding division by zero).
+func TestPropArithmeticMatchesGo(t *testing.T) {
+	m := machine(t, `
+fn addf(a, b) { return a + b; }
+fn subf(a, b) { return a - b; }
+fn mulf(a, b) { return a * b; }
+fn andf(a, b) { return a & b; }
+fn orf(a, b) { return a | b; }
+fn xorf(a, b) { return a ^ b; }
+`)
+	f := func(a, b int64) bool {
+		pairs := []struct {
+			fn   string
+			want int64
+		}{
+			{"addf", a + b}, {"subf", a - b}, {"mulf", a * b},
+			{"andf", a & b}, {"orf", a | b}, {"xorf", a ^ b},
+		}
+		for _, p := range pairs {
+			got, trap := m.Call(p.fn, a, b)
+			if trap != nil || got != p.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a value stored and persisted through PML survives crash+restart
+// and equals what was written.
+func TestPropPersistRoundTrip(t *testing.T) {
+	mod := ir.MustCompile("t", `
+fn write(v) {
+    var p = getroot(0);
+    if (p == 0) {
+        p = pmalloc(1);
+        setroot(0, p);
+    }
+    p[0] = v;
+    persist(p, 1);
+    return 0;
+}
+fn read() { var p = getroot(0); return p[0]; }`)
+	pool := pmem.New(1 << 12)
+	f := func(v int64) bool {
+		m := New(mod, pool, Config{})
+		if _, trap := m.Call("write", v); trap != nil {
+			return false
+		}
+		pool.Crash()
+		m2 := New(mod, pool, Config{})
+		got, trap := m2.Call("read")
+		return trap == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

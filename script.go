@@ -1,0 +1,55 @@
+package arthas
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// RunScript executes a semicolon-separated request script against an
+// instance and returns one result line per statement. It is the engine
+// behind cmd/arthas-run and convenient for demos and tests:
+//
+//	lines, _ := inst.RunScript("init_; put 1 42; get 1; restart; get 1; stats")
+//
+// Statements are function calls with integer arguments, plus the pseudo-ops
+// "restart" (crash + restart + recovery) and "stats". Traps do not abort
+// the script; they are reported (and fed to the detector) so scripts can
+// demonstrate recurring failures.
+func (i *Instance) RunScript(script string) ([]string, error) {
+	var out []string
+	for _, stmt := range strings.Split(script, ";") {
+		fields := strings.Fields(stmt)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "restart":
+			if trap := i.Restart(); trap != nil {
+				out = append(out, fmt.Sprintf("restart -> %v", trap))
+			} else {
+				out = append(out, "restart -> ok")
+			}
+			continue
+		case "stats":
+			out = append(out, i.Stats())
+			continue
+		}
+		args := make([]int64, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			v, err := strconv.ParseInt(f, 0, 64)
+			if err != nil {
+				return out, fmt.Errorf("bad argument %q in %q", f, strings.TrimSpace(stmt))
+			}
+			args = append(args, v)
+		}
+		v, trap := i.Call(fields[0], args...)
+		if trap != nil {
+			_, hard := i.Observe(trap)
+			out = append(out, fmt.Sprintf("%s -> TRAP %v (hard=%v)", strings.TrimSpace(stmt), trap, hard))
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s -> %d", strings.TrimSpace(stmt), v))
+	}
+	return out, nil
+}

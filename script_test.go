@@ -1,0 +1,79 @@
+package arthas
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunScriptBasics(t *testing.T) {
+	inst := newDemo(t)
+	lines, err := inst.RunScript("put 1 42; get 1; restart; get 1; stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 5 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.HasSuffix(lines[0], "-> 0") {
+		t.Errorf("put line: %s", lines[0])
+	}
+	if !strings.HasSuffix(lines[1], "-> 42") {
+		t.Errorf("get line: %s", lines[1])
+	}
+	if lines[2] != "restart -> ok" {
+		t.Errorf("restart line: %s", lines[2])
+	}
+	if !strings.HasSuffix(lines[3], "-> 42") {
+		t.Errorf("post-restart get: %s", lines[3])
+	}
+	if !strings.Contains(lines[4], "PDG edges") {
+		t.Errorf("stats line: %s", lines[4])
+	}
+}
+
+func TestRunScriptReportsTrapsAndHardness(t *testing.T) {
+	inst := newDemo(t)
+	lines, err := inst.RunScript("corrupt 999; get 0; restart; get 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lines[1], "TRAP") || !strings.Contains(lines[1], "hard=false") {
+		t.Errorf("first trap line: %s", lines[1])
+	}
+	if !strings.Contains(lines[3], "hard=true") {
+		t.Errorf("recurrence line: %s", lines[3])
+	}
+	// The trap is now observable for mitigation.
+	if inst.LastTrap() == nil {
+		t.Fatal("script trap not recorded")
+	}
+}
+
+func TestRunScriptBadArgument(t *testing.T) {
+	inst := newDemo(t)
+	if _, err := inst.RunScript("put one 2"); err == nil {
+		t.Fatal("bad argument accepted")
+	}
+}
+
+func TestRunScriptEmptyStatementsSkipped(t *testing.T) {
+	inst := newDemo(t)
+	lines, err := inst.RunScript(";;  ; get 0 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("lines = %v", lines)
+	}
+}
+
+func TestRunScriptHexArguments(t *testing.T) {
+	inst := newDemo(t)
+	lines, err := inst.RunScript("put 0x2 0x10; get 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(lines[1], "-> 16") {
+		t.Errorf("hex args: %v", lines)
+	}
+}

@@ -1,0 +1,30 @@
+// counter.pml — the smallest persistent program: a durable counter with a
+// recovery function. Used by the pmlc/arthas-run tools and fixture tests.
+
+fn init_() {
+    var root = pmalloc(2);
+    root[0] = 0;
+    persist(root, 1);
+    setroot(0, root);
+    return 0;
+}
+
+fn bump() {
+    var root = getroot(0);
+    root[0] = root[0] + 1;
+    persist(root, 1);
+    return root[0];
+}
+
+fn value() {
+    var root = getroot(0);
+    return root[0];
+}
+
+fn recover_() {
+    recover_begin();
+    var root = getroot(0);
+    var v = root[0];
+    recover_end();
+    return v;
+}

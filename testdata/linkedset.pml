@@ -1,0 +1,116 @@
+// linkedset.pml — a persistent sorted linked set with threaded inserts,
+// exercising locks, spawn, and pointer-heavy persistent structures.
+
+var lockcell;
+
+fn lk() {
+    if (lockcell == 0) {
+        lockcell = valloc(1);
+    }
+    return lockcell;
+}
+
+fn init_() {
+    var root = pmalloc(2);
+    root[0] = 0;   // list head
+    root[1] = 0;   // size
+    persist(root, 2);
+    setroot(0, root);
+    return 0;
+}
+
+// insert keeps the list sorted ascending; duplicates are ignored.
+fn insert(v) {
+    lock(lk());
+    var root = getroot(0);
+    var cur = root[0];
+    var prev = 0;
+    while (cur != 0 && cur[0] < v) {
+        prev = cur;
+        cur = cur[1];
+    }
+    if (cur != 0 && cur[0] == v) {
+        unlock(lk());
+        return 0;
+    }
+    var n = pmalloc(2);
+    n[0] = v;
+    n[1] = cur;
+    persist(n, 2);
+    if (prev == 0) {
+        root[0] = n;
+        persist(root, 1);
+    } else {
+        prev[1] = n;
+        persist(prev + 1, 1);
+    }
+    root[1] = root[1] + 1;
+    persist(root + 1, 1);
+    unlock(lk());
+    return 1;
+}
+
+fn contains(v) {
+    var root = getroot(0);
+    var cur = root[0];
+    while (cur != 0 && cur[0] <= v) {
+        if (cur[0] == v) {
+            return 1;
+        }
+        cur = cur[1];
+    }
+    return 0;
+}
+
+fn size() {
+    var root = getroot(0);
+    return root[1];
+}
+
+// insert_many inserts [base, base+n) from a worker thread.
+fn insert_many(base, n) {
+    var i = 0;
+    while (i < n) {
+        insert(base + i);
+        i = i + 1;
+    }
+    return 0;
+}
+
+// parallel_fill inserts two ranges concurrently and waits.
+fn parallel_fill(n) {
+    spawn insert_many(0, n);
+    spawn insert_many(n, n);
+    var spin = 0;
+    while (spin < 100000 && size() < n + n) {
+        yield();
+        spin = spin + 1;
+    }
+    return size();
+}
+
+fn checksorted() {
+    var root = getroot(0);
+    var cur = root[0];
+    while (cur != 0) {
+        var nxt = cur[1];
+        if (nxt != 0) {
+            assert(cur[0] < nxt[0]);
+        }
+        cur = nxt;
+    }
+    return root[1];
+}
+
+fn recover_() {
+    recover_begin();
+    var root = getroot(0);
+    var cur = root[0];
+    var seen = 0;
+    while (cur != 0 && seen <= root[1] + 4) {
+        seen = seen + 1;
+        cur = cur[1];
+    }
+    recover_end();
+    return seen;
+}

@@ -1,0 +1,58 @@
+// ringlog.pml — a persistent ring buffer committed with transactions:
+// append writes the slot and the head index atomically, so a crash never
+// leaves a half-visible record.
+
+fn init_(cap) {
+    var root = pmalloc(4);
+    var buf = pmalloc(cap);
+    root[0] = buf;
+    root[1] = cap;
+    root[2] = 0;   // head (next write position)
+    root[3] = 0;   // total appended
+    persist(root, 4);
+    setroot(0, root);
+    return 0;
+}
+
+fn append_(v) {
+    var root = getroot(0);
+    var buf = root[0];
+    txbegin();
+    buf[root[2]] = v;
+    root[2] = (root[2] + 1) % root[1];
+    root[3] = root[3] + 1;
+    txcommit();
+    return root[3];
+}
+
+// nth returns the i-th most recent record (0 = newest).
+fn nth(i) {
+    var root = getroot(0);
+    if (i >= root[1] || i >= root[3]) {
+        return -1;
+    }
+    var buf = root[0];
+    var pos = (root[2] - 1 - i) % root[1];
+    if (pos < 0) {
+        pos = pos + root[1];
+    }
+    return buf[pos];
+}
+
+fn total() {
+    var root = getroot(0);
+    return root[3];
+}
+
+fn recover_() {
+    recover_begin();
+    var root = getroot(0);
+    var buf = root[0];
+    var i = 0;
+    while (i < root[1]) {
+        var x = buf[i];
+        i = i + 1;
+    }
+    recover_end();
+    return root[3];
+}
