@@ -46,6 +46,7 @@ import (
 	"arthas/internal/checkpoint"
 	"arthas/internal/detector"
 	"arthas/internal/ir"
+	"arthas/internal/obs"
 	"arthas/internal/pmem"
 	"arthas/internal/reactor"
 	"arthas/internal/trace"
@@ -97,6 +98,11 @@ type Config struct {
 	// Reactor configures the mitigation strategy (defaults to purge-first
 	// with rollback fallback, one-by-one reversion).
 	Reactor reactor.Config
+	// Observer, when non-nil, receives telemetry from every layer of the
+	// instance (pool, checkpoint log, trace, VM, detector, reactor). Use
+	// an *obs.Recorder and its WriteJSONL/Summary to export. Survives
+	// Restart: each fresh machine is rewired to the same sink.
+	Observer obs.Sink
 }
 
 // Instance is a PML system deployed under the full Arthas toolchain:
@@ -171,14 +177,36 @@ func build(name, source string, cfg Config, pool *pmem.Pool) (*Instance, error) 
 		cfg:      cfg,
 	}
 	inst.Pool.SetHooks(inst.Log.Hooks())
+	inst.SetObserver(cfg.Observer)
 	inst.boot()
 	return inst, nil
 }
 
 func (i *Instance) boot() {
 	i.Machine = vm.New(i.Module, i.Pool, vm.Config{StepLimit: i.cfg.StepLimit})
+	i.Machine.SetSink(i.cfg.Observer)
 	i.Machine.TraceSink = i.Trace.Record
 	i.Machine.TraceReadSink = i.Trace.RecordRead
+}
+
+// SetObserver installs (or clears, with nil) an observability sink on every
+// layer of the instance. A logical clock reading the machine's step counter
+// is wired into recorders, so spans carry logical time alongside wall time.
+func (i *Instance) SetObserver(s obs.Sink) {
+	i.cfg.Observer = s
+	obs.WireClock(obs.OrNop(s), func() int64 {
+		if i.Machine == nil {
+			return 0
+		}
+		return i.Machine.Steps()
+	})
+	i.Pool.SetSink(s)
+	i.Log.SetSink(s)
+	i.Trace.SetSink(s)
+	i.Detector.SetSink(s)
+	if i.Machine != nil {
+		i.Machine.SetSink(s)
+	}
 }
 
 // Call invokes a PML function with int64 arguments.
@@ -225,6 +253,7 @@ func (i *Instance) Mitigate(reexec func() *Trap) (*Report, error) {
 		Fault:     i.lastTrap.Instr,
 		AddrFault: i.lastTrap.Kind == vm.TrapSegfault,
 		ReExec:    reexec,
+		Obs:       i.cfg.Observer,
 	}
 	return reactor.Mitigate(i.cfg.Reactor, ctx), nil
 }
@@ -241,6 +270,7 @@ func (i *Instance) MitigateWithFaults(faults []*ir.Instr, reexec func() *Trap) (
 		Pool:     i.Pool,
 		Faults:   faults,
 		ReExec:   reexec,
+		Obs:      i.cfg.Observer,
 	}
 	return reactor.Mitigate(i.cfg.Reactor, ctx), nil
 }

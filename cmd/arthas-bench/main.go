@@ -4,7 +4,11 @@
 // Usage:
 //
 //	arthas-bench [-exp NAME] [-ops N] [-ycsb N] [-inserts N] [-seeds N]
+//	             [-json FILE]
 //
+//	-json   run the full evaluation and write every table/figure result as
+//	        one structured JSON document (schema arthas-bench/v1) instead
+//	        of text; see BENCH_baseline.json for a committed example
 //	-exp    which experiment to run (default "all"):
 //	        table1 fig2 fig3 types table2          (study + dataset)
 //	        table3 table4 table5 fig8 fig9 fig11   (recoverability matrix)
@@ -33,11 +37,25 @@ func main() {
 	ycsb := flag.Int("ycsb", 100_000, "YCSB ops for overhead runs")
 	inserts := flag.Int("inserts", 100_000, "insert ops for overhead runs")
 	seeds := flag.Int("seeds", 10, "seeds for probabilistic pmCRIU cases")
+	jsonOut := flag.String("json", "", "write the full evaluation as structured JSON to this file")
 	flag.Parse()
 
 	mcfg := experiments.MatrixConfig{Seeds: *seeds}
 	mcfg.Run.WorkloadOps = *ops
 	ocfg := experiments.OverheadConfig{YCSBOps: *ycsb, InsertOps: *inserts}
+
+	if *jsonOut != "" {
+		rep, err := experiments.FullJSON(experiments.FullConfig{
+			Matrix: mcfg, Overhead: ocfg,
+		})
+		check(err)
+		f, err := os.Create(*jsonOut)
+		check(err)
+		check(rep.Write(f))
+		check(f.Close())
+		fmt.Printf("wrote %s\n", *jsonOut)
+		return
+	}
 
 	needMatrix := map[string]bool{
 		"table3": true, "table4": true, "table5": true,

@@ -6,7 +6,11 @@
 // Usage:
 //
 //	arthas-react [-solution arthas|pmcriu|arckpt] [-mode purge|rollback]
-//	             [-ops N] [-batch N] f1..f12
+//	             [-ops N] [-batch N] [-trace FILE] [-metrics] f1..f12
+//
+// -trace FILE writes the full pipeline telemetry (run/detect/plan/revert/
+// re-execute spans plus per-layer metrics) as JSONL; -metrics prints a
+// summary to stderr. See docs/OBSERVABILITY.md.
 //
 // Example:
 //
@@ -19,6 +23,7 @@ import (
 	"os"
 
 	"arthas/internal/faults"
+	"arthas/internal/obs"
 	"arthas/internal/reactor"
 )
 
@@ -27,6 +32,8 @@ func main() {
 	mode := flag.String("mode", "purge", "arthas reversion mode: purge or rollback")
 	ops := flag.Int("ops", 0, "workload operations (0 = case default)")
 	batch := flag.Int("batch", 1, "sequence numbers reverted per re-execution")
+	traceFile := flag.String("trace", "", "write telemetry (spans + metrics) as JSONL to this file")
+	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr on exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: arthas-react [-solution S] [-mode M] [-ops N] f1..f12")
@@ -45,6 +52,11 @@ func main() {
 	if *mode == "rollback" {
 		cfg.Reactor.Mode = reactor.ModeRollback
 	}
+	var rec *obs.Recorder
+	if *traceFile != "" || *metrics {
+		rec = obs.NewRecorder()
+		cfg.Obs = rec
+	}
 
 	var out *faults.Outcome
 	switch *solution {
@@ -61,6 +73,24 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if rec != nil {
+		if *traceFile != "" {
+			f, ferr := os.Create(*traceFile)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, ferr)
+				os.Exit(1)
+			}
+			if werr := rec.WriteJSONL(f); werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote trace %s\n", *traceFile)
+		}
+		if *metrics {
+			fmt.Fprint(os.Stderr, rec.Summary())
+		}
 	}
 	fmt.Printf("hard fault confirmed: %v\n", out.HardFault)
 	if out.Recovered {

@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	arthas-run [-recover FN] [-pool WORDS] file.pml "call args; call args; ..."
+//	arthas-run [-recover FN] [-pool WORDS] [-trace FILE] [-metrics]
+//	           file.pml "call args; call args; ..."
 //
 // Script statements are semicolon-separated function calls with integer
 // arguments, plus the pseudo-ops "restart" (crash + restart) and "stats".
+//
+// -trace FILE writes the full telemetry stream (spans + metrics from every
+// runtime layer) as JSONL; -metrics prints a human-readable summary to
+// stderr. See docs/OBSERVABILITY.md.
 //
 // Example:
 //
@@ -20,15 +25,18 @@ import (
 	"os"
 
 	"arthas"
+	"arthas/internal/obs"
 )
 
 func main() {
 	recoverFn := flag.String("recover", "", "recovery function run on restart")
 	pool := flag.Int("pool", 1<<16, "pool size in words")
 	poolFile := flag.String("poolfile", "", "image file: reopened if it exists, saved on exit (durable state AND mitigation history persist across invocations)")
+	traceFile := flag.String("trace", "", "write telemetry (spans + metrics) as JSONL to this file")
+	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr on exit")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, `usage: arthas-run [-recover FN] [-pool WORDS] [-poolfile F] file.pml "init_; put 1 2; get 1"`)
+		fmt.Fprintln(os.Stderr, `usage: arthas-run [-recover FN] [-pool WORDS] [-poolfile F] [-trace F] [-metrics] file.pml "init_; put 1 2; get 1"`)
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -37,6 +45,11 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := arthas.Config{PoolWords: *pool, RecoverFn: *recoverFn}
+	var rec *obs.Recorder
+	if *traceFile != "" || *metrics {
+		rec = obs.NewRecorder()
+		cfg.Observer = rec
+	}
 
 	var inst *arthas.Instance
 	if *poolFile != "" {
@@ -59,6 +72,25 @@ func main() {
 	lines, scriptErr := inst.RunScript(flag.Arg(1))
 	for _, line := range lines {
 		fmt.Println(line)
+	}
+
+	if rec != nil {
+		if *traceFile != "" {
+			f, ferr := os.Create(*traceFile)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, ferr)
+				os.Exit(1)
+			}
+			if werr := rec.WriteJSONL(f); werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote trace %s\n", *traceFile)
+		}
+		if *metrics {
+			fmt.Fprint(os.Stderr, rec.Summary())
+		}
 	}
 
 	if *poolFile != "" {

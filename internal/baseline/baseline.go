@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"arthas/internal/checkpoint"
+	"arthas/internal/obs"
 	"arthas/internal/pmem"
 	"arthas/internal/vm"
 )
@@ -40,6 +41,8 @@ type PmCRIU struct {
 	// Interval is the number of Tick operations between snapshots
 	// (the paper dumps an image every minute).
 	Interval uint64
+	// Obs receives one span per snapshot-restore attempt. Nil disables.
+	Obs obs.Sink
 
 	ops   uint64
 	snaps []*pmem.Snapshot
@@ -79,16 +82,26 @@ func (c *PmCRIU) Mitigate(reexec func() *vm.Trap) *Report {
 	defer func() { rep.Duration = time.Since(start) }()
 
 	failedState := c.Pool.TakeSnapshot(c.ops) // for loss measurement
+	sink := obs.OrNop(c.Obs)
 	for i := len(c.snaps) - 1; i >= 0; i-- {
 		rep.Attempts++
 		rep.SnapshotsBack = len(c.snaps) - i
+		span := sink.Start("baseline.pmcriu.restore",
+			obs.A("snapshots_back", rep.SnapshotsBack))
 		if err := c.Pool.RestoreSnapshot(c.snaps[i]); err != nil {
+			span.SetAttr("outcome", "restore-error")
+			span.End()
 			continue
 		}
 		if trap := reexec(); trap == nil {
+			span.SetAttr("outcome", "recovered")
+			span.End()
 			rep.Recovered = true
 			rep.DiscardedWords = c.Pool.DiffWords(failedState)
 			return rep
+		} else {
+			span.SetAttr("outcome", trap.Kind.String())
+			span.End()
 		}
 	}
 	rep.TimedOut = true
@@ -100,6 +113,8 @@ type ArCkptConfig struct {
 	// MaxAttempts is the re-execution budget (the paper's 10-minute
 	// timeout analogue). Default 64.
 	MaxAttempts int
+	// Obs receives one span per revert+re-execute attempt. Nil disables.
+	Obs obs.Sink
 }
 
 // MitigateArCkpt reverts checkpoint entries strictly newest-first, one per
@@ -118,19 +133,28 @@ func MitigateArCkpt(pool *pmem.Pool, log *checkpoint.Log, reexec func() *vm.Trap
 		rep.RevertedVersions = int(log.RevertedVersions() - startReverted)
 	}()
 
+	sink := obs.OrNop(cfg.Obs)
 	seqs := log.AllSeqs()
 	for i := len(seqs) - 1; i >= 0; i-- {
 		if rep.Attempts >= cfg.MaxAttempts {
 			rep.TimedOut = true
 			return rep
 		}
+		span := sink.Start("baseline.arckpt.revert", obs.A("seq", seqs[i]))
 		if _, err := log.Revert(pool, seqs[i]); err != nil {
+			span.SetAttr("outcome", "revert-error")
+			span.End()
 			continue
 		}
 		rep.Attempts++
 		if trap := reexec(); trap == nil {
+			span.SetAttr("outcome", "recovered")
+			span.End()
 			rep.Recovered = true
 			return rep
+		} else {
+			span.SetAttr("outcome", trap.Kind.String())
+			span.End()
 		}
 	}
 	rep.TimedOut = true

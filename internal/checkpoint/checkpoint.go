@@ -19,7 +19,9 @@ package checkpoint
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"arthas/internal/obs"
 	"arthas/internal/pmem"
 )
 
@@ -105,6 +107,11 @@ type Log struct {
 	allocOrder []uint64
 
 	totalVersions uint64 // every version ever recorded (data-loss accounting)
+
+	// sink receives checkpointing telemetry; obsOn caches sink.Enabled() so
+	// the per-persist hook pays one predictable branch when disabled.
+	sink  obs.Sink
+	obsOn bool
 }
 
 // NewLog creates an empty checkpoint log.
@@ -117,6 +124,21 @@ func NewLog(maxVersions int) *Log {
 		entries:     map[entryKey]*Entry{},
 		bySeq:       map[uint64]*Entry{},
 		allocs:      map[uint64]*AllocRecord{},
+		sink:        obs.Nop(),
+	}
+}
+
+// SetSink installs an observability sink (nil restores the no-op).
+func (l *Log) SetSink(s obs.Sink) {
+	l.sink = obs.OrNop(s)
+	l.obsOn = l.sink.Enabled()
+}
+
+// noteReversion refreshes the reversion gauges after any operation that
+// moves entry cursors (reverts, restores, trial rollbacks).
+func (l *Log) noteReversion() {
+	if l.obsOn {
+		l.sink.SetGauge("ckpt.reverted_versions", int64(l.RevertedVersions()))
 	}
 }
 
@@ -132,6 +154,10 @@ func (l *Log) Hooks() pmem.Hooks {
 }
 
 func (l *Log) onPersist(addr uint64, data []uint64) {
+	var hookStart time.Time
+	if l.obsOn {
+		hookStart = time.Now()
+	}
 	key := entryKey{addr, len(data)}
 	e := l.entries[key]
 	if e == nil {
@@ -163,6 +189,14 @@ func (l *Log) onPersist(addr uint64, data []uint64) {
 	e.live = len(e.Versions) - 1
 	l.bySeq[v.Seq] = e
 	l.totalVersions++
+	if l.obsOn {
+		l.sink.Count("ckpt.versions", 1)
+		l.sink.Count("ckpt.versioned_words", int64(len(data)))
+		l.sink.SetGauge("ckpt.entries", int64(len(l.entries)))
+		l.sink.SetGauge("ckpt.total_versions", int64(l.totalVersions))
+		l.sink.Observe("ckpt.versions_per_entry", float64(len(e.Versions)))
+		l.sink.Observe("ckpt.hook.ns", float64(time.Since(hookStart).Nanoseconds()))
+	}
 }
 
 func (l *Log) onAlloc(addr uint64, words int) {
@@ -323,6 +357,10 @@ func (l *Log) Revert(pool *pmem.Pool, seq uint64) (int, error) {
 	if e == nil {
 		return 0, fmt.Errorf("checkpoint: no entry for seq %d", seq)
 	}
+	if l.obsOn {
+		l.sink.Count("ckpt.revert", 1)
+		defer l.noteReversion()
+	}
 	if lv := e.LiveVersion(); lv != nil && !e.resynced {
 		fixed := false
 		for w, want := range lv.Data {
@@ -412,6 +450,9 @@ func (l *Log) Resync(pool *pmem.Pool, seq uint64) (int, error) {
 	if lv == nil {
 		return 0, nil
 	}
+	if l.obsOn {
+		l.sink.Count("ckpt.resync", 1)
+	}
 	fixed := 0
 	for w, want := range lv.Data {
 		a := e.Addr + uint64(w)
@@ -488,6 +529,10 @@ func (l *Log) RevertAllAfter(pool *pmem.Pool, seq uint64) (int, error) {
 // uses this when switching strategies, so a failed purge attempt does not
 // permanently destroy state the rollback mode still needs.
 func (l *Log) RestoreNewest(pool *pmem.Pool) error {
+	if l.obsOn {
+		l.sink.Count("ckpt.restore_newest", 1)
+		defer l.noteReversion()
+	}
 	type pending struct {
 		e   *Entry
 		seq uint64
@@ -550,6 +595,9 @@ func (l *Log) CaptureState() *LogState {
 // overlapping entries settle to the correct values. Entries created after
 // the capture keep their current state.
 func (l *Log) RestoreState(pool *pmem.Pool, st *LogState) error {
+	if l.obsOn {
+		defer l.noteReversion()
+	}
 	var changed []*Entry
 	for i := 0; i < len(st.live) && i < len(l.order); i++ {
 		e := l.entries[l.order[i]]

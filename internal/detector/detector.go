@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strings"
 
+	"arthas/internal/obs"
 	"arthas/internal/pmem"
 	"arthas/internal/vm"
 )
@@ -137,10 +138,30 @@ type Detector struct {
 
 	history []Signature
 	checks  []UserCheck
+
+	sink obs.Sink
 }
 
 // New returns a detector with default thresholds.
-func New() *Detector { return &Detector{LeakThresholdPct: 90} }
+func New() *Detector { return &Detector{LeakThresholdPct: 90, sink: obs.Nop()} }
+
+// SetSink installs an observability sink (nil restores the no-op).
+func (d *Detector) SetSink(s obs.Sink) { d.sink = obs.OrNop(s) }
+
+// noteClassification publishes one classification outcome: the signature
+// kind observed and whether it was flagged as a suspected hard fault.
+func (d *Detector) noteClassification(sig Signature, hard bool) {
+	if d.sink == nil {
+		return
+	}
+	d.sink.Count("detector.observe", 1)
+	d.sink.Count("detector.signature."+sig.Kind.String(), 1)
+	if hard {
+		d.sink.Count("detector.hard", 1)
+	} else {
+		d.sink.Count("detector.soft", 1)
+	}
+}
 
 // History returns the recorded failure signatures in observation order.
 func (d *Detector) History() []Signature { return append([]Signature(nil), d.history...) }
@@ -158,6 +179,7 @@ func (d *Detector) Observe(trap *vm.Trap) (Signature, bool) {
 		}
 	}
 	d.history = append(d.history, sig)
+	d.noteClassification(sig, hard)
 	return sig, hard
 }
 
@@ -173,6 +195,7 @@ func (d *Detector) ObserveCustom(kind FailureKind, where string) (Signature, boo
 		}
 	}
 	d.history = append(d.history, sig)
+	d.noteClassification(sig, hard)
 	return sig, hard
 }
 
@@ -182,7 +205,13 @@ func (d *Detector) CheckLeak(pool *pmem.Pool) bool {
 	if d.LeakThresholdPct <= 0 {
 		return false
 	}
-	return pool.LiveWords()*100 >= pool.Words()*d.LeakThresholdPct
+	sink := obs.OrNop(d.sink)
+	sink.Count("detector.leak_check", 1)
+	leak := pool.LiveWords()*100 >= pool.Words()*d.LeakThresholdPct
+	if leak {
+		sink.Count("detector.leak_flagged", 1)
+	}
+	return leak
 }
 
 // AddCheck registers a user-defined health check.

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"arthas/internal/faults"
+	"arthas/internal/study"
+)
+
+// Machine-readable rendering of the evaluation: the same data behind every
+// table and figure, as one JSON document (cmd/arthas-bench -json). Field
+// names are stable — treat them as the output schema, versioned by Schema.
+
+// JSONOutcome flattens one faults.Outcome (errors become strings).
+type JSONOutcome struct {
+	Solution      string  `json:"solution"`
+	HardFault     bool    `json:"hard_fault"`
+	Recovered     bool    `json:"recovered"`
+	Attempts      int     `json:"attempts"`
+	DataLossPct   float64 `json:"data_loss_pct"`
+	RevertedItems int     `json:"reverted_items"`
+	Consistent    bool    `json:"consistent"`
+	Inconsistency string  `json:"inconsistency,omitempty"`
+	FreedBlocks   int     `json:"freed_blocks,omitempty"`
+	MitigationMS  float64 `json:"mitigation_ms"`
+	TimedOut      bool    `json:"timed_out,omitempty"`
+}
+
+func toJSONOutcome(o *faults.Outcome) *JSONOutcome {
+	if o == nil {
+		return nil
+	}
+	j := &JSONOutcome{
+		Solution:      o.Solution,
+		HardFault:     o.HardFault,
+		Recovered:     o.Recovered,
+		Attempts:      o.Attempts,
+		DataLossPct:   o.DataLossPct,
+		RevertedItems: o.RevertedItems,
+		Consistent:    o.Consistent == nil,
+		FreedBlocks:   o.Freed,
+		MitigationMS:  float64(o.MitigationTime.Microseconds()) / 1000,
+		TimedOut:      o.TimedOut,
+	}
+	if o.Consistent != nil {
+		j.Inconsistency = o.Consistent.Error()
+	}
+	return j
+}
+
+// JSONCase is one fault's row across all solutions (Tables 3-5, Figs 8-11).
+type JSONCase struct {
+	ID             string         `json:"id"`
+	System         string         `json:"system"`
+	Fault          string         `json:"fault"`
+	Consequence    string         `json:"consequence"`
+	IsLeak         bool           `json:"is_leak,omitempty"`
+	Arthas         *JSONOutcome   `json:"arthas"`
+	ArthasRollback *JSONOutcome   `json:"arthas_rollback"`
+	ArCkpt         *JSONOutcome   `json:"arckpt"`
+	PmCRIU         []*JSONOutcome `json:"pmcriu"`
+}
+
+// JSON flattens the recoverability matrix.
+func (m *Matrix) JSON() []JSONCase {
+	out := make([]JSONCase, 0, len(m.Cases))
+	for _, c := range m.Cases {
+		jc := JSONCase{
+			ID:             c.Meta.ID,
+			System:         c.Meta.System,
+			Fault:          c.Meta.Fault,
+			Consequence:    c.Meta.Consequence,
+			IsLeak:         c.Meta.IsLeak,
+			Arthas:         toJSONOutcome(c.Arthas),
+			ArthasRollback: toJSONOutcome(c.ArthasRollback),
+			ArCkpt:         toJSONOutcome(c.ArCkpt),
+		}
+		for _, o := range c.PmCRIU {
+			jc.PmCRIU = append(jc.PmCRIU, toJSONOutcome(o))
+		}
+		out = append(out, jc)
+	}
+	return out
+}
+
+// JSONBatch is the §6.5 strategy comparison (Figure 10, Table 6).
+type JSONBatch struct {
+	OneByOne []BatchCell `json:"one_by_one"`
+	Batch5   []BatchCell `json:"batch5"`
+}
+
+// JSONDetection is one Table 7 row.
+type JSONDetection struct {
+	ID        string `json:"id"`
+	Invariant bool   `json:"invariant_detects"`
+	Checksum  bool   `json:"checksum_detects"`
+}
+
+// JSONThroughput is one overhead cell (Figure 12, Table 8).
+type JSONThroughput struct {
+	System            string  `json:"system"`
+	Variant           string  `json:"variant"`
+	Ops               int     `json:"ops"`
+	ElapsedMS         float64 `json:"elapsed_ms"`
+	OpsPerSec         float64 `json:"ops_per_sec"`
+	RelativeToVanilla float64 `json:"relative_to_vanilla"`
+}
+
+// JSON flattens the overhead grid, annotating each cell with its
+// vanilla-relative throughput.
+func (r *OverheadResults) JSON() []JSONThroughput {
+	out := make([]JSONThroughput, 0, len(r.Cells))
+	for _, c := range r.Cells {
+		out = append(out, JSONThroughput{
+			System:            c.System,
+			Variant:           string(c.Variant),
+			Ops:               c.Ops,
+			ElapsedMS:         float64(c.Elapsed.Microseconds()) / 1000,
+			OpsPerSec:         c.OpsPerSec(),
+			RelativeToVanilla: r.Relative(c.System, c.Variant),
+		})
+	}
+	return out
+}
+
+// JSONStatic is one Table 9 row with millisecond timings.
+type JSONStatic struct {
+	System       string  `json:"system"`
+	Functions    int     `json:"functions"`
+	Instructions int     `json:"instructions"`
+	PMInstrs     int     `json:"pm_instrs"`
+	PDGEdges     int     `json:"pdg_edges"`
+	AnalysisMS   float64 `json:"analysis_ms"`
+	InstrumentMS float64 `json:"instrument_ms"`
+	SlicingMS    float64 `json:"slicing_ms"`
+}
+
+// JSONStudy is the §2 study dataset distributions (Table 1, Figs 2-3).
+type JSONStudy struct {
+	BySystem      []study.Count `json:"by_system"`
+	ByRootCause   []study.Count `json:"by_root_cause"`
+	ByConsequence []study.Count `json:"by_consequence"`
+	ByType        []study.Count `json:"by_type"`
+}
+
+// JSONReport is the complete machine-readable evaluation.
+type JSONReport struct {
+	Schema    string           `json:"schema"`
+	Study     JSONStudy        `json:"study"`
+	Matrix    []JSONCase       `json:"matrix"`
+	Batch     *JSONBatch       `json:"batch,omitempty"`
+	Detection []JSONDetection  `json:"detection,omitempty"`
+	Overhead  []JSONThroughput `json:"overhead,omitempty"`
+	Static    []JSONStatic     `json:"static,omitempty"`
+}
+
+// JSONSchema versions the report layout.
+const JSONSchema = "arthas-bench/v1"
+
+// FullJSON runs the complete evaluation (the same experiments as FullReport)
+// and returns it as a structured report.
+func FullJSON(cfg FullConfig) (*JSONReport, error) {
+	rep := &JSONReport{
+		Schema: JSONSchema,
+		Study: JSONStudy{
+			BySystem:      study.BySystem(),
+			ByRootCause:   study.ByRootCause(),
+			ByConsequence: study.ByConsequence(),
+			ByType:        study.ByType(),
+		},
+	}
+
+	m, err := RunMatrix(cfg.Matrix)
+	if err != nil {
+		return nil, err
+	}
+	rep.Matrix = m.JSON()
+
+	br, err := RunBatchComparison(cfg.Batch)
+	if err != nil {
+		return nil, err
+	}
+	rep.Batch = &JSONBatch{OneByOne: br.OneByOne, Batch5: br.Batch5}
+
+	for _, b := range faults.All() {
+		inv, chk, err := faults.RunDetectionAlternatives(b, cfg.Matrix.Run)
+		if err != nil {
+			return nil, err
+		}
+		rep.Detection = append(rep.Detection, JSONDetection{ID: b.ID, Invariant: inv, Checksum: chk})
+	}
+
+	if !cfg.SkipOverhead {
+		ov, err := MeasureOverhead(cfg.Overhead,
+			[]Variant{Vanilla, WithArthas, WithCheckpoint, WithInstr, WithPmCRIU})
+		if err != nil {
+			return nil, err
+		}
+		rep.Overhead = ov.JSON()
+	}
+
+	ts, err := MeasureStatic()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range ts {
+		rep.Static = append(rep.Static, JSONStatic{
+			System:       t.System,
+			Functions:    t.Functions,
+			Instructions: t.Instructions,
+			PMInstrs:     t.PMInstrs,
+			PDGEdges:     t.PDGEdges,
+			AnalysisMS:   float64(t.Analysis.Microseconds()) / 1000,
+			InstrumentMS: float64(t.Instrument.Microseconds()) / 1000,
+			SlicingMS:    float64(t.Slicing.Microseconds()) / 1000,
+		})
+	}
+	return rep, nil
+}
+
+// Write renders the report as indented JSON.
+func (r *JSONReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

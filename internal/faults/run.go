@@ -5,6 +5,7 @@ import (
 
 	"arthas/internal/baseline"
 	"arthas/internal/detector"
+	"arthas/internal/obs"
 	"arthas/internal/reactor"
 	"arthas/internal/systems"
 	"arthas/internal/vm"
@@ -31,6 +32,12 @@ type RunConfig struct {
 	LeakThresholdPct int
 	// MaxVersions per checkpoint entry (0 = the paper default of 3).
 	MaxVersions int
+	// Obs, when non-nil, receives the full pipeline telemetry of the run:
+	// pipeline.run / pipeline.detect / pipeline.recovered phase spans plus
+	// every component's counters. The runner always attaches its own
+	// recorder internally (Outcome tallies are derived from it), so this
+	// sink only adds a second consumer.
+	Obs obs.Sink
 }
 
 func (cfg RunConfig) withDefaults(m Meta) RunConfig {
@@ -91,7 +98,11 @@ func runToFailure(b Builder, cfg RunConfig, opts systems.DeployOpts, tick func()
 	if err != nil {
 		return nil, nil, false, err
 	}
+	sink := obs.OrNop(opts.Obs)
+	// The machine is replaced on every restart; read it at stamp time.
+	obs.WireClock(sink, func() int64 { return c.D.M.Steps() })
 	det := detector.New()
+	det.SetSink(sink)
 	det.LeakThresholdPct = cfg.LeakThresholdPct
 
 	pre := int(float64(cfg.WorkloadOps) * cfg.TriggerFrac)
@@ -109,6 +120,7 @@ func runToFailure(b Builder, cfg RunConfig, opts systems.DeployOpts, tick func()
 		}
 		return true
 	}
+	runSpan := sink.Start("pipeline.run", obs.A("case", c.Meta.ID), obs.A("ops", cfg.WorkloadOps))
 	c.Workload(pre, wrapTick)
 	var trap *vm.Trap
 	if !stop {
@@ -121,13 +133,17 @@ func runToFailure(b Builder, cfg RunConfig, opts systems.DeployOpts, tick func()
 			c.Workload(post, wrapTick)
 		}
 	}
+	runSpan.End()
 
 	// Failure manifests via the probe; observe twice (across restart) to
 	// confirm a hard fault.
+	detSpan := sink.Start("pipeline.detect")
+	defer detSpan.End()
 	if trap == nil {
 		trap = c.Probe()
 	}
 	if trap == nil {
+		detSpan.SetAttr("outcome", "healthy")
 		return c, nil, false, nil
 	}
 	_, _ = det.Observe(trap)
@@ -137,14 +153,22 @@ func runToFailure(b Builder, cfg RunConfig, opts systems.DeployOpts, tick func()
 		_, hard = det.Observe(trap2)
 		trap = trap2
 	}
+	detSpan.SetAttr("outcome", detector.KindOfTrap(trap.Kind).String())
+	detSpan.SetAttr("hard", hard)
 	return c, trap, hard, nil
 }
 
-// RunArthas executes a case end-to-end under the Arthas toolchain.
+// RunArthas executes a case end-to-end under the Arthas toolchain. It
+// always attaches an obs.Recorder to the deployment: the Outcome's
+// attempt/reversion/data-loss tallies are read back from the recorded
+// telemetry (merged with cfg.Obs when set), so the paper tables and the
+// live metric stream come from the same counters.
 func RunArthas(b Builder, cfg RunConfig) (*Outcome, error) {
 	cfg = cfg.withDefaults(b.Meta)
+	rec := obs.NewRecorder()
+	sink := obs.Multi(rec, cfg.Obs)
 	c, trap, hard, err := runToFailure(b, cfg,
-		systems.DeployOpts{Checkpoint: true, Trace: true, MaxVersions: cfg.MaxVersions}, nil)
+		systems.DeployOpts{Checkpoint: true, Trace: true, MaxVersions: cfg.MaxVersions, Obs: sink}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -166,8 +190,11 @@ func RunArthas(b Builder, cfg RunConfig) (*Outcome, error) {
 		out.Attempts = 1
 		out.Recovered = c.Probe() == nil
 		out.MitigationTime = time.Since(start)
-		if out.Recovered && c.Consistency != nil {
-			out.Consistent = c.Consistency()
+		if out.Recovered {
+			sink.Start("pipeline.recovered", obs.A("solution", "arthas-leak")).End()
+			if c.Consistency != nil {
+				out.Consistent = c.Consistency()
+			}
 		}
 		return out, nil
 	}
@@ -180,16 +207,25 @@ func RunArthas(b Builder, cfg RunConfig) (*Outcome, error) {
 		Faults:    c.FaultInstrs(trap),
 		AddrFault: c.AddrFault,
 		ReExec:    c.Probe,
+		Obs:       sink,
 	}
 	rep := reactor.Mitigate(cfg.Reactor, ctx)
 	out.Recovered = rep.Recovered
-	out.Attempts = rep.Attempts
-	out.RevertedItems = rep.RevertedVersions
-	out.DataLossPct = rep.DataLossPct(c.D.Log)
+	// Tallies come from the telemetry, not private bookkeeping: attempts =
+	// recorded re-execution spans, reversion = the checkpoint log's own
+	// reverted/total gauges (trial restores already netted out).
+	out.Attempts = rec.SpanCount("reactor.reexec")
+	out.RevertedItems = int(rec.GaugeValue("ckpt.reverted_versions"))
+	if total := rec.GaugeValue("ckpt.total_versions"); total > 0 {
+		out.DataLossPct = 100 * float64(out.RevertedItems) / float64(total)
+	}
 	out.MitigationTime = time.Since(start)
 	out.TimedOut = !rep.Recovered
-	if rep.Recovered && c.Consistency != nil {
-		out.Consistent = c.Consistency()
+	if rep.Recovered {
+		sink.Start("pipeline.recovered", obs.A("solution", "arthas")).End()
+		if c.Consistency != nil {
+			out.Consistent = c.Consistency()
+		}
 	}
 	return out, nil
 }
@@ -216,10 +252,12 @@ func RunPmCRIU(b Builder, cfg RunConfig) (*Outcome, error) {
 			return nil, err
 		}
 		criu = baseline.NewPmCRIU(c.D.Pool, interval)
+		criu.Obs = cfg.Obs
 		caseRef = c
 		return c, nil
 	}
-	c, trap, hard, err := runToFailure(wrapBuilder(b, deploy), cfg, systems.DeployOpts{SkipAnalysis: true}, tick)
+	c, trap, hard, err := runToFailure(wrapBuilder(b, deploy), cfg,
+		systems.DeployOpts{SkipAnalysis: true, Obs: cfg.Obs}, tick)
 	if err != nil {
 		return nil, err
 	}
@@ -247,17 +285,26 @@ func RunPmCRIU(b Builder, cfg RunConfig) (*Outcome, error) {
 			out.DataLossPct = 100
 		}
 	}
-	if rep.Recovered && c.Consistency != nil {
-		out.Consistent = c.Consistency()
+	if rep.Recovered {
+		if obs.Enabled(cfg.Obs) {
+			cfg.Obs.Start("pipeline.recovered", obs.A("solution", "pmcriu")).End()
+		}
+		if c.Consistency != nil {
+			out.Consistent = c.Consistency()
+		}
 	}
 	return out, nil
 }
 
 // RunArCkpt executes a case under the dependency-blind fine-grained
-// baseline (checkpoint log attached, analyzer disabled).
+// baseline (checkpoint log attached, analyzer disabled). Like RunArthas, it
+// derives the Outcome's reversion tallies from an attached recorder.
 func RunArCkpt(b Builder, cfg RunConfig) (*Outcome, error) {
 	cfg = cfg.withDefaults(b.Meta)
-	c, trap, hard, err := runToFailure(b, cfg, systems.DeployOpts{Checkpoint: true, SkipAnalysis: true}, nil)
+	rec := obs.NewRecorder()
+	sink := obs.Multi(rec, cfg.Obs)
+	c, trap, hard, err := runToFailure(b, cfg,
+		systems.DeployOpts{Checkpoint: true, SkipAnalysis: true, Obs: sink}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -267,17 +314,21 @@ func RunArCkpt(b Builder, cfg RunConfig) (*Outcome, error) {
 		return out, nil
 	}
 	start := time.Now()
-	rep := baseline.MitigateArCkpt(c.D.Pool, c.D.Log, c.Probe, baseline.ArCkptConfig{MaxAttempts: cfg.ArCkptAttempts})
+	rep := baseline.MitigateArCkpt(c.D.Pool, c.D.Log, c.Probe,
+		baseline.ArCkptConfig{MaxAttempts: cfg.ArCkptAttempts, Obs: sink})
 	out.Recovered = rep.Recovered
 	out.Attempts = rep.Attempts
-	out.RevertedItems = rep.RevertedVersions
+	out.RevertedItems = int(rec.GaugeValue("ckpt.reverted_versions"))
 	out.MitigationTime = time.Since(start)
 	out.TimedOut = rep.TimedOut
-	if total := c.D.Log.TotalVersions(); total > 0 {
-		out.DataLossPct = 100 * float64(rep.RevertedVersions) / float64(total)
+	if total := rec.GaugeValue("ckpt.total_versions"); total > 0 {
+		out.DataLossPct = 100 * float64(out.RevertedItems) / float64(total)
 	}
-	if rep.Recovered && c.Consistency != nil {
-		out.Consistent = c.Consistency()
+	if rep.Recovered {
+		sink.Start("pipeline.recovered", obs.A("solution", "arckpt")).End()
+		if c.Consistency != nil {
+			out.Consistent = c.Consistency()
+		}
 	}
 	return out, nil
 }

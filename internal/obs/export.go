@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// jsonLine is one exported JSONL record. Type is "span", "counter", "gauge",
+// or "hist"; unused fields are omitted.
+type jsonLine struct {
+	Type string `json:"type"`
+	Name string `json:"name"`
+
+	// span fields
+	ID        uint64         `json:"id,omitempty"`
+	Parent    uint64         `json:"parent,omitempty"`
+	StartNS   int64          `json:"start_ns,omitempty"`
+	DurNS     int64          `json:"dur_ns,omitempty"`
+	StartStep int64          `json:"start_step,omitempty"`
+	EndStep   int64          `json:"end_step,omitempty"`
+	Open      bool           `json:"open,omitempty"` // never ended
+	Attrs     map[string]any `json:"attrs,omitempty"`
+
+	// metric fields
+	Value *int64 `json:"value,omitempty"`
+
+	// histogram fields
+	Count int64   `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
+}
+
+// WriteJSONL streams every span (in start order) and then every metric as
+// one JSON object per line. Span start_ns is relative to the first span's
+// start, so streams from different runs diff cleanly.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	r.mu.Lock()
+	spans := snapshotSpans(r.spans)
+	counters := sortedNames(r.counters, r.order)
+	gauges := sortedNames(r.gauges, r.order)
+	var histNames []string
+	for n := range r.hists {
+		histNames = append(histNames, n)
+	}
+	sort.Strings(histNames)
+	cvals := map[string]int64{}
+	for n, v := range r.counters {
+		cvals[n] = v
+	}
+	gvals := map[string]int64{}
+	for n, v := range r.gauges {
+		gvals[n] = v
+	}
+	hvals := map[string]*Hist{}
+	for n, h := range r.hists {
+		cp := *h
+		hvals[n] = &cp
+	}
+	r.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	var epoch time.Time
+	if len(spans) > 0 {
+		epoch = spans[0].Start
+	}
+	for _, s := range spans {
+		line := jsonLine{
+			Type:      "span",
+			Name:      s.Name,
+			ID:        s.ID,
+			Parent:    s.Parent,
+			StartNS:   s.Start.Sub(epoch).Nanoseconds(),
+			DurNS:     s.Dur.Nanoseconds(),
+			StartStep: s.StartStep,
+			EndStep:   s.EndStep,
+			Open:      !s.Ended,
+		}
+		if len(s.Attrs) > 0 {
+			line.Attrs = map[string]any{}
+			for _, a := range s.Attrs {
+				line.Attrs[a.Key] = a.Val
+			}
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	for _, n := range counters {
+		v := cvals[n]
+		if err := enc.Encode(jsonLine{Type: "counter", Name: n, Value: &v}); err != nil {
+			return err
+		}
+	}
+	for _, n := range gauges {
+		v := gvals[n]
+		if err := enc.Encode(jsonLine{Type: "gauge", Name: n, Value: &v}); err != nil {
+			return err
+		}
+	}
+	for _, n := range histNames {
+		h := hvals[n]
+		if err := enc.Encode(jsonLine{
+			Type: "hist", Name: n,
+			Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max, Mean: h.Mean(),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshotSpans deep-copies span records (caller must hold the lock) so
+// exports never race with spans still being annotated or ended.
+func snapshotSpans(spans []*SpanRecord) []SpanRecord {
+	out := make([]SpanRecord, len(spans))
+	for i, s := range spans {
+		out[i] = *s
+		out[i].Attrs = append([]Attr(nil), s.Attrs...)
+	}
+	return out
+}
+
+// sortedNames orders metric names by first-registration order, which groups
+// each component's metrics together in the export.
+func sortedNames(m map[string]int64, order map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return order[out[i]] < order[out[j]] })
+	return out
+}
+
+// Summary renders the recorded telemetry as text: the span tree first
+// (indentation = nesting), then counters, gauges, and histogram digests.
+func (r *Recorder) Summary() string {
+	r.mu.Lock()
+	spans := snapshotSpans(r.spans)
+	counters := sortedNames(r.counters, r.order)
+	gauges := sortedNames(r.gauges, r.order)
+	var histNames []string
+	for n := range r.hists {
+		histNames = append(histNames, n)
+	}
+	sort.Strings(histNames)
+	cvals := map[string]int64{}
+	for n, v := range r.counters {
+		cvals[n] = v
+	}
+	gvals := map[string]int64{}
+	for n, v := range r.gauges {
+		gvals[n] = v
+	}
+	hvals := map[string]*Hist{}
+	for n, h := range r.hists {
+		cp := *h
+		hvals[n] = &cp
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	if len(spans) > 0 {
+		sb.WriteString("spans:\n")
+		depth := map[uint64]int{}
+		for _, s := range spans {
+			d := 0
+			if s.Parent != 0 {
+				d = depth[s.Parent] + 1
+			}
+			depth[s.ID] = d
+			fmt.Fprintf(&sb, "  %s%s", strings.Repeat("  ", d), s.Name)
+			if s.Ended {
+				fmt.Fprintf(&sb, " %v", s.Dur.Round(time.Microsecond))
+				if steps := s.EndStep - s.StartStep; steps > 0 {
+					fmt.Fprintf(&sb, " (%d steps)", steps)
+				}
+			} else {
+				sb.WriteString(" [open]")
+			}
+			for _, a := range s.Attrs {
+				fmt.Fprintf(&sb, " %s=%v", a.Key, a.Val)
+			}
+			sb.WriteString("\n")
+		}
+	}
+	if len(counters) > 0 {
+		sb.WriteString("counters:\n")
+		for _, n := range counters {
+			fmt.Fprintf(&sb, "  %-32s %d\n", n, cvals[n])
+		}
+	}
+	if len(gauges) > 0 {
+		sb.WriteString("gauges:\n")
+		for _, n := range gauges {
+			fmt.Fprintf(&sb, "  %-32s %d\n", n, gvals[n])
+		}
+	}
+	if len(histNames) > 0 {
+		sb.WriteString("histograms:\n")
+		for _, n := range histNames {
+			h := hvals[n]
+			fmt.Fprintf(&sb, "  %-32s n=%d min=%.0f mean=%.1f max=%.0f\n",
+				n, h.Count, h.Min, h.Mean(), h.Max)
+		}
+	}
+	return sb.String()
+}

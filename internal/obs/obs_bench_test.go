@@ -1,0 +1,70 @@
+package obs
+
+import "testing"
+
+// The disabled path must be free: a component holding the nop sink behind a
+// cached enabled bool pays one predictable branch, and even unguarded nop
+// calls must not allocate.
+
+func BenchmarkNopCount(b *testing.B) {
+	s := Nop()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Count("pmem.store", 1)
+	}
+}
+
+func BenchmarkNopSpan(b *testing.B) {
+	s := Nop()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := s.Start("pipeline.run")
+		sp.End()
+	}
+}
+
+func BenchmarkGuardedDisabled(b *testing.B) {
+	// The idiom every hot path uses: branch on a cached bool.
+	s := Nop()
+	on := s.Enabled()
+	b.ReportAllocs()
+	n := int64(0)
+	for i := 0; i < b.N; i++ {
+		if on {
+			s.Count("pmem.store", 1)
+		}
+		n++
+	}
+	_ = n
+}
+
+func BenchmarkRecorderCount(b *testing.B) {
+	r := NewRecorder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Count("pmem.store", 1)
+	}
+}
+
+func BenchmarkRecorderSpan(b *testing.B) {
+	r := NewRecorder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.Start("vm.call")
+		sp.End()
+	}
+}
+
+func TestNopZeroAlloc(t *testing.T) {
+	s := Nop()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Count("pmem.store", 1)
+		s.SetGauge("g", 1)
+		s.Observe("h", 1)
+		sp := s.Start("span")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nop sink allocates: %v allocs/op", allocs)
+	}
+}

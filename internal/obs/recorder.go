@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Hist summarizes one histogram: a count/sum/min/max digest plus power-of-two
+// buckets (bucket i counts samples in [2^(i-1), 2^i); bucket 0 counts v < 1).
+// Power-of-two buckets keep recording allocation-free while preserving the
+// latency shape well enough for overhead hunting.
+type Hist struct {
+	Count   int64
+	Sum     float64
+	Min     float64
+	Max     float64
+	Buckets [64]int64
+}
+
+// Mean returns the histogram mean (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+func (h *Hist) observe(v float64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.Count == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	b := 0
+	for x := v; x >= 1 && b < len(h.Buckets)-1; x /= 2 {
+		b++
+	}
+	h.Buckets[b]++
+}
+
+// SpanRecord is one recorded span. ID 0 is never issued; Parent 0 means root.
+type SpanRecord struct {
+	ID     uint64
+	Parent uint64
+	Name   string
+	Attrs  []Attr
+
+	Start     time.Time
+	StartStep int64
+	Dur       time.Duration
+	EndStep   int64
+	Ended     bool
+}
+
+// Recorder is the standard Sink implementation: it accumulates metrics and
+// spans in memory, stamps spans with wall-clock time plus an optional logical
+// clock, and renders the result as JSONL (WriteJSONL) or text (Summary).
+// All methods are safe for concurrent use.
+type Recorder struct {
+	mu       sync.Mutex
+	clock    func() int64 // logical clock; nil = always 0
+	counters map[string]int64
+	gauges   map[string]int64
+	hists    map[string]*Hist
+	order    map[string]int // first-seen order per metric name
+	nextOrd  int
+	spans    []*SpanRecord // in start order
+	stack    []*SpanRecord // active spans, innermost last
+	nextID   uint64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		counters: map[string]int64{},
+		gauges:   map[string]int64{},
+		hists:    map[string]*Hist{},
+		order:    map[string]int{},
+		nextID:   1,
+	}
+}
+
+// SetClock installs the logical clock used to stamp span start/end steps
+// (typically the VM's Steps). A nil clock stamps 0.
+func (r *Recorder) SetClock(clock func() int64) {
+	r.mu.Lock()
+	r.clock = clock
+	r.mu.Unlock()
+}
+
+func (r *Recorder) now() int64 {
+	if r.clock == nil {
+		return 0
+	}
+	return r.clock()
+}
+
+func (r *Recorder) noteOrder(name string) {
+	if _, ok := r.order[name]; !ok {
+		r.order[name] = r.nextOrd
+		r.nextOrd++
+	}
+}
+
+// Enabled reports true: a Recorder always records.
+func (r *Recorder) Enabled() bool { return true }
+
+// Count implements Sink.
+func (r *Recorder) Count(name string, delta int64) {
+	r.mu.Lock()
+	r.noteOrder(name)
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// SetGauge implements Sink.
+func (r *Recorder) SetGauge(name string, v int64) {
+	r.mu.Lock()
+	r.noteOrder(name)
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe implements Sink.
+func (r *Recorder) Observe(name string, v float64) {
+	r.mu.Lock()
+	r.noteOrder(name)
+	h := r.hists[name]
+	if h == nil {
+		h = &Hist{}
+		r.hists[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// span is the live handle behind Recorder.Start.
+type span struct {
+	r   *Recorder
+	rec *SpanRecord
+}
+
+func (s *span) SetAttr(key string, val any) {
+	s.r.mu.Lock()
+	s.rec.Attrs = append(s.rec.Attrs, Attr{Key: key, Val: val})
+	s.r.mu.Unlock()
+}
+
+func (s *span) End() {
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	if s.rec.Ended {
+		return
+	}
+	s.rec.Ended = true
+	s.rec.Dur = time.Since(s.rec.Start)
+	s.rec.EndStep = s.r.now()
+	// Pop this span (and any abandoned children above it) off the stack.
+	for i := len(s.r.stack) - 1; i >= 0; i-- {
+		if s.r.stack[i] == s.rec {
+			s.r.stack = s.r.stack[:i]
+			break
+		}
+	}
+}
+
+// Start implements Sink.
+func (r *Recorder) Start(name string, attrs ...Attr) Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := &SpanRecord{
+		ID:        r.nextID,
+		Name:      name,
+		Attrs:     append([]Attr(nil), attrs...),
+		Start:     time.Now(),
+		StartStep: r.now(),
+	}
+	r.nextID++
+	if n := len(r.stack); n > 0 {
+		rec.Parent = r.stack[n-1].ID
+	}
+	r.spans = append(r.spans, rec)
+	r.stack = append(r.stack, rec)
+	return &span{r: r, rec: rec}
+}
+
+// CounterValue returns a counter's current value (0 when absent).
+func (r *Recorder) CounterValue(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// GaugeValue returns a gauge's current value (0 when absent).
+func (r *Recorder) GaugeValue(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// Histogram returns a copy of a named histogram (nil when absent).
+func (r *Recorder) Histogram(name string) *Hist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		return nil
+	}
+	cp := *h
+	return &cp
+}
+
+// Spans returns a snapshot of all recorded spans in start order.
+func (r *Recorder) Spans() []*SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*SpanRecord, len(r.spans))
+	for i, s := range r.spans {
+		cp := *s
+		cp.Attrs = append([]Attr(nil), s.Attrs...)
+		out[i] = &cp
+	}
+	return out
+}
+
+// SpanNames returns the recorded span names in start order.
+func (r *Recorder) SpanNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.spans))
+	for i, s := range r.spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// SpanCount returns how many spans with the given name were started.
+func (r *Recorder) SpanCount(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, s := range r.spans {
+		if s.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset drops all recorded data (metric registration order included) but
+// keeps the clock. Active spans are abandoned.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = map[string]int64{}
+	r.gauges = map[string]int64{}
+	r.hists = map[string]*Hist{}
+	r.order = map[string]int{}
+	r.nextOrd = 0
+	r.spans = nil
+	r.stack = nil
+	r.nextID = 1
+}

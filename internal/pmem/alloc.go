@@ -30,6 +30,11 @@ func (p *Pool) Alloc(words int) (uint64, error) {
 	}
 	addr := Base + uint64(idx)
 	p.stats.Allocs++
+	if p.obsOn {
+		p.sink.Count("pmem.alloc", 1)
+		p.sink.Count("pmem.alloc_words", int64(words))
+		p.sink.SetGauge("pmem.live_words", int64(p.LiveWords()))
+	}
 	if p.hooks.OnAlloc != nil {
 		p.hooks.OnAlloc(addr, words)
 	}
@@ -134,6 +139,11 @@ func (p *Pool) Free(addr uint64) error {
 	p.persistMeta(hdrFreeHead, 1)
 	p.bumpLive(-size)
 	p.stats.Frees++
+	if p.obsOn {
+		p.sink.Count("pmem.free", 1)
+		p.sink.Count("pmem.freed_words", int64(size))
+		p.sink.SetGauge("pmem.live_words", int64(p.LiveWords()))
+	}
 	if p.hooks.OnFree != nil {
 		p.hooks.OnFree(addr, size)
 	}

@@ -26,6 +26,8 @@ package pmem
 import (
 	"errors"
 	"fmt"
+
+	"arthas/internal/obs"
 )
 
 // Base is the virtual address of the first pool word. Volatile heap addresses
@@ -110,6 +112,11 @@ type Pool struct {
 
 	// statistics
 	stats Stats
+
+	// sink receives durability telemetry; obsOn caches sink.Enabled() so
+	// the hot load/store paths pay one predictable branch when disabled.
+	sink  obs.Sink
+	obsOn bool
 }
 
 // Stats counts pool activity since creation (volatile; not part of pool state).
@@ -137,6 +144,7 @@ func New(words int) *Pool {
 		cur:     make([]uint64, words),
 		durable: make([]uint64, words),
 		dirty:   make(map[uint64]struct{}),
+		sink:    obs.Nop(),
 	}
 	p.cur[hdrMagic] = magicValue
 	p.cur[hdrSize] = uint64(words)
@@ -149,6 +157,12 @@ func New(words int) *Pool {
 
 // SetHooks installs durability hooks, replacing any previous ones.
 func (p *Pool) SetHooks(h Hooks) { p.hooks = h }
+
+// SetSink installs an observability sink (nil restores the no-op).
+func (p *Pool) SetSink(s obs.Sink) {
+	p.sink = obs.OrNop(s)
+	p.obsOn = p.sink.Enabled()
+}
 
 // HooksInstalled reports whether any persist hook is present.
 func (p *Pool) HooksInstalled() bool { return p.hooks.OnPersist != nil }
@@ -178,6 +192,9 @@ func (p *Pool) Load(addr uint64) (uint64, error) {
 		return 0, err
 	}
 	p.stats.Loads++
+	if p.obsOn {
+		p.sink.Count("pmem.load", 1)
+	}
 	return p.cur[i], nil
 }
 
@@ -191,6 +208,10 @@ func (p *Pool) Store(addr uint64, val uint64) error {
 	p.stats.Stores++
 	p.cur[i] = val
 	p.dirty[addr] = struct{}{}
+	if p.obsOn {
+		p.sink.Count("pmem.store", 1)
+		p.sink.SetGauge("pmem.dirty_words", int64(len(p.dirty)))
+	}
 	return nil
 }
 
@@ -251,6 +272,11 @@ func (p *Pool) makeDurable(addr uint64, words int) error {
 	for w := 0; w < words; w++ {
 		delete(p.dirty, addr+uint64(w))
 	}
+	if p.obsOn {
+		p.sink.Count("pmem.persist", 1)
+		p.sink.Count("pmem.persisted_words", int64(words))
+		p.sink.SetGauge("pmem.dirty_words", int64(len(p.dirty)))
+	}
 	return nil
 }
 
@@ -271,6 +297,11 @@ func (p *Pool) DirtyWords() int { return len(p.dirty) }
 // lost and the current image is rebuilt from the durable one.
 func (p *Pool) Crash() {
 	p.stats.Crashes++
+	if p.obsOn {
+		p.sink.Count("pmem.crash", 1)
+		p.sink.Count("pmem.crash_lost_words", int64(len(p.dirty)))
+		p.sink.SetGauge("pmem.dirty_words", 0)
+	}
 	copy(p.cur, p.durable)
 	p.dirty = make(map[uint64]struct{})
 }

@@ -2,11 +2,13 @@ package reactor
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"arthas/internal/analysis"
 	"arthas/internal/checkpoint"
 	"arthas/internal/ir"
+	"arthas/internal/obs"
 	"arthas/internal/pmem"
 	"arthas/internal/trace"
 	"arthas/internal/vm"
@@ -85,6 +87,10 @@ type Context struct {
 	// pool, runs its recovery path and the failure probe, and returns nil
 	// when the system is healthy — the paper's re-execution script.
 	ReExec func() *vm.Trap
+	// Obs receives mitigation telemetry: one span per reversion attempt
+	// (candidate seq, mode, versions discarded) and one per re-execution
+	// (outcome). Nil disables.
+	Obs obs.Sink
 }
 
 // Report summarizes a mitigation.
@@ -94,6 +100,12 @@ type Report struct {
 	// attempted instead (suspected soft failure / detector false alarm).
 	RestartOnly bool
 	Attempts    int // re-executions performed
+	// AttemptsByMode splits Attempts by strategy: "purge", "rollback", and
+	// "restart" (plain restarts when the plan was empty).
+	AttemptsByMode map[string]int
+	// TotalVersions snapshots the checkpoint log's lifetime version count
+	// at mitigation end, so data loss renders without the log in hand.
+	TotalVersions uint64
 	// RevertedVersions counts checkpoint versions discarded.
 	RevertedVersions int
 	RevertedSeqs     []uint64
@@ -122,8 +134,47 @@ func (r *Report) String() string {
 	if r.Recovered {
 		status = "recovered"
 	}
-	return fmt.Sprintf("%s mode=%v attempts=%d reverted=%d candidates=%d fellback=%v",
-		status, r.ModeUsed, r.Attempts, r.RevertedVersions, r.CandidateCount, r.FellBack)
+	s := fmt.Sprintf("%s mode=%v attempts=%d", status, r.ModeUsed, r.Attempts)
+	if len(r.AttemptsByMode) > 0 {
+		var parts []string
+		for _, m := range []string{"purge", "rollback", "restart"} {
+			if n := r.AttemptsByMode[m]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s:%d", m, n))
+			}
+		}
+		if len(parts) > 0 {
+			s += " [" + strings.Join(parts, " ") + "]"
+		}
+	}
+	s += fmt.Sprintf(" reverted=%d", r.RevertedVersions)
+	if r.TotalVersions > 0 {
+		s += fmt.Sprintf(" dataloss=%.1f%%",
+			100*float64(r.RevertedVersions)/float64(r.TotalVersions))
+	}
+	s += fmt.Sprintf(" candidates=%d fellback=%v", r.CandidateCount, r.FellBack)
+	return s
+}
+
+// reExec runs one re-execution probe, charging it to the report's total and
+// per-mode attempt counts and emitting a reactor.reexec span whose outcome
+// attribute is "recovered" or the trap kind.
+func reExec(ctx *Context, mode string, rep *Report) *vm.Trap {
+	rep.Attempts++
+	if rep.AttemptsByMode == nil {
+		rep.AttemptsByMode = map[string]int{}
+	}
+	rep.AttemptsByMode[mode]++
+	span := obs.OrNop(ctx.Obs).Start("reactor.reexec",
+		obs.A("mode", mode), obs.A("attempt", rep.Attempts))
+	trap := ctx.ReExec()
+	rep.LastTrap = trap
+	if trap == nil {
+		span.SetAttr("outcome", "recovered")
+	} else {
+		span.SetAttr("outcome", trap.Kind.String())
+	}
+	span.End()
+	return trap
 }
 
 // Mitigate runs the full §4.5 workflow: derive the plan, then revert and
@@ -138,6 +189,7 @@ func Mitigate(cfg Config, ctx *Context) *Report {
 	start := time.Now()
 	startReverted := ctx.Log.RevertedVersions()
 	rep := &Report{ModeUsed: cfg.Mode}
+	mitSpan := obs.OrNop(ctx.Obs).Start("reactor.mitigate", obs.A("mode", cfg.Mode.String()))
 	defer func() {
 		rep.Duration = time.Since(start)
 		if end := ctx.Log.RevertedVersions(); end > startReverted {
@@ -145,6 +197,11 @@ func Mitigate(cfg Config, ctx *Context) *Report {
 		} else {
 			rep.RevertedVersions = 0
 		}
+		rep.TotalVersions = ctx.Log.TotalVersions()
+		mitSpan.SetAttr("recovered", rep.Recovered)
+		mitSpan.SetAttr("attempts", rep.Attempts)
+		mitSpan.SetAttr("reverted_versions", rep.RevertedVersions)
+		mitSpan.End()
 	}()
 
 	planCfg := cfg.Plan
@@ -161,16 +218,17 @@ func Mitigate(cfg Config, ctx *Context) *Report {
 	// since each re-plan adds a fresh instruction.
 	const maxReplans = 3
 	for replan := 0; ; replan++ {
+		planSpan := obs.OrNop(ctx.Obs).Start("reactor.plan", obs.A("replan", replan))
 		plan := ComputePlan(ctx.Analysis, ctx.Trace, ctx.Log, faults, planCfg)
 		rep.CandidateCount = len(plan.Candidates)
+		planSpan.SetAttr("candidates", len(plan.Candidates))
+		planSpan.End()
 
 		if plan.Empty() {
 			// Not caused by bad PM values: "the reactor then safely aborts
 			// and resorts to simple restart" (§4.5).
 			rep.RestartOnly = true
-			rep.Attempts++
-			trap := ctx.ReExec()
-			rep.LastTrap = trap
+			trap := reExec(ctx, "restart", rep)
 			rep.Recovered = trap == nil
 			return rep
 		}
@@ -241,10 +299,7 @@ func mitigateWithMode(cfg Config, ctx *Context, plan *Plan, rep *Report) bool {
 				return false
 			}
 			attempts++
-			rep.Attempts++
-			trap := ctx.ReExec()
-			rep.LastTrap = trap
-			if trap == nil {
+			if reExec(ctx, cfg.Mode.String(), rep) == nil {
 				return true
 			}
 		}
@@ -282,9 +337,7 @@ func mitigateWithMode(cfg Config, ctx *Context, plan *Plan, rep *Report) bool {
 					revertCandidate(cfg, ctx, cand)
 				}
 				attempts++
-				rep.Attempts++
-				trap := ctx.ReExec()
-				rep.LastTrap = trap
+				trap := reExec(ctx, cfg.Mode.String(), rep)
 				if trap == nil {
 					for _, cand := range plan.Candidates[start:end] {
 						rep.RevertedSeqs = append(rep.RevertedSeqs, cand.Seq)
@@ -342,10 +395,7 @@ func mitigateWithMode(cfg Config, ctx *Context, plan *Plan, rep *Report) bool {
 			}
 			pending = 0
 			attempts++
-			rep.Attempts++
-			trap := ctx.ReExec()
-			rep.LastTrap = trap
-			if trap == nil {
+			if reExec(ctx, cfg.Mode.String(), rep) == nil {
 				return true
 			}
 		}
@@ -360,7 +410,16 @@ func mitigateWithMode(cfg Config, ctx *Context, plan *Plan, rep *Report) bool {
 
 // revertCandidate applies one candidate under the configured mode and
 // returns the number of checkpoint versions discarded.
-func revertCandidate(cfg Config, ctx *Context, cand Candidate) int {
+func revertCandidate(cfg Config, ctx *Context, cand Candidate) (reverted int) {
+	if obs.Enabled(ctx.Obs) {
+		span := ctx.Obs.Start("reactor.revert",
+			obs.A("seq", cand.Seq), obs.A("guid", cand.GUID),
+			obs.A("mode", cfg.Mode.String()))
+		defer func() {
+			span.SetAttr("reverted_versions", reverted)
+			span.End()
+		}()
+	}
 	if cfg.Mode == ModeRollback {
 		n, err := ctx.Log.RevertAllAfter(ctx.Pool, cand.Seq)
 		if err != nil {

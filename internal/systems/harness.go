@@ -12,6 +12,7 @@ import (
 	"arthas/internal/analysis"
 	"arthas/internal/checkpoint"
 	"arthas/internal/ir"
+	"arthas/internal/obs"
 	"arthas/internal/pmem"
 	"arthas/internal/trace"
 	"arthas/internal/vm"
@@ -41,6 +42,10 @@ type DeployOpts struct {
 	// SkipAnalysis deploys without running the static analyzer (vanilla
 	// builds for overhead baselines; no GUIDs are assigned).
 	SkipAnalysis bool
+	// Obs, when non-nil, receives telemetry from every attached runtime
+	// layer (pool, checkpoint log, trace, VM). Survives restarts: each
+	// fresh machine is rewired to the same sink.
+	Obs obs.Sink
 }
 
 // Deployment is a running instance of a system: compiled module, analysis
@@ -72,12 +77,15 @@ func Deploy(sys *System, opts DeployOpts) (*Deployment, error) {
 		d.Res = analysis.Analyze(mod)
 	}
 	d.Pool = pmem.New(sys.PoolWords)
+	d.Pool.SetSink(opts.Obs)
 	if opts.Checkpoint {
 		d.Log = checkpoint.NewLog(opts.MaxVersions)
+		d.Log.SetSink(opts.Obs)
 		d.Pool.SetHooks(d.Log.Hooks())
 	}
 	if opts.Trace {
 		d.Tr = trace.New()
+		d.Tr.SetSink(opts.Obs)
 	}
 	d.boot()
 	if sys.InitFn != "" {
@@ -99,9 +107,26 @@ func MustDeploy(sys *System, opts DeployOpts) *Deployment {
 
 func (d *Deployment) boot() {
 	d.M = vm.New(d.Mod, d.Pool, vm.Config{StepLimit: d.opts.StepLimit})
+	d.M.SetSink(d.opts.Obs)
 	if d.Tr != nil {
 		d.M.TraceSink = d.Tr.Record
 		d.M.TraceReadSink = d.Tr.RecordRead
+	}
+}
+
+// SetObs installs (or clears, with nil) the observability sink on every
+// attached layer of a live deployment, including the current machine.
+func (d *Deployment) SetObs(s obs.Sink) {
+	d.opts.Obs = s
+	d.Pool.SetSink(s)
+	if d.Log != nil {
+		d.Log.SetSink(s)
+	}
+	if d.Tr != nil {
+		d.Tr.SetSink(s)
+	}
+	if d.M != nil {
+		d.M.SetSink(s)
 	}
 }
 

@@ -9,7 +9,11 @@
 // sequence numbers.
 package trace
 
-import "sort"
+import (
+	"sort"
+
+	"arthas/internal/obs"
+)
 
 // Event is one <GUID, address> record, stamped with the global event index
 // so the reactor can reason about relative order.
@@ -47,6 +51,11 @@ type Trace struct {
 	// — the recency signal the reactor's candidate ordering uses (the
 	// failing execution touches the bad state last).
 	lastTouch map[int]map[uint64]uint64
+
+	// sink receives tracing telemetry; obsOn caches sink.Enabled() so the
+	// per-event hot path pays one predictable branch when disabled.
+	sink  obs.Sink
+	obsOn bool
 }
 
 // ringSize bounds retained read events (a power of two).
@@ -60,7 +69,14 @@ func New() *Trace {
 		byGUID:    map[int][]uint64{},
 		byAddr:    map[uint64][]int{},
 		lastTouch: map[int]map[uint64]uint64{},
+		sink:      obs.Nop(),
 	}
+}
+
+// SetSink installs an observability sink (nil restores the no-op).
+func (t *Trace) SetSink(s obs.Sink) {
+	t.sink = obs.OrNop(s)
+	t.obsOn = t.sink.Enabled()
 }
 
 // Record appends one event; it is the VM's TraceSink for PM writes
@@ -70,6 +86,10 @@ func New() *Trace {
 func (t *Trace) Record(guid int, addr uint64) {
 	t.buf = append(t.buf, Event{GUID: guid, Addr: addr, Idx: t.next})
 	t.next++
+	if t.obsOn {
+		t.sink.Count("trace.events", 1)
+		t.sink.SetGauge("trace.buffered", int64(len(t.buf)))
+	}
 	if len(t.buf) >= t.BufSize {
 		t.Flush()
 	}
@@ -83,6 +103,9 @@ func (t *Trace) RecordRead(guid int, addr uint64) {
 	t.ring[t.ringNext&(ringSize-1)] = Event{GUID: guid, Addr: addr, Idx: t.next}
 	t.ringNext++
 	t.next++
+	if t.obsOn {
+		t.sink.Count("trace.read_events", 1)
+	}
 }
 
 // Flush drains the buffer into the persistent side of the trace. Called
@@ -93,6 +116,11 @@ func (t *Trace) Flush() {
 		return
 	}
 	t.flushes++
+	if t.obsOn {
+		t.sink.Count("trace.flushes", 1)
+		t.sink.Count("trace.flushed_events", int64(len(t.buf)))
+		t.sink.SetGauge("trace.buffered", 0)
+	}
 	t.flushed = append(t.flushed, t.buf...)
 	t.buf = t.buf[:0]
 }

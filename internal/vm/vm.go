@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"arthas/internal/ir"
+	"arthas/internal/obs"
 	"arthas/internal/pmem"
 )
 
@@ -136,6 +137,14 @@ type Machine struct {
 	// not yet drained by fence(). Like real write-pending-queue contents,
 	// it is volatile: a crash before the fence loses the queued lines.
 	flushQueue []pmem.Range
+
+	// sink receives execution telemetry. The per-instruction path only
+	// bumps a local opCounts slot behind the cached obsOn branch; counts
+	// are flushed to the sink when a Call completes, so enabling tracing
+	// never adds a sink call per instruction.
+	sink     obs.Sink
+	obsOn    bool
+	opCounts [int(ir.OpRecoverEnd) + 1]int64
 }
 
 // New builds a machine. Globals are initialized from the module — fresh
@@ -148,6 +157,7 @@ func New(mod *ir.Module, pool *pmem.Pool, cfg Config) *Machine {
 		cfg:            cfg,
 		vheap:          newVHeap(cfg.VHeapWords),
 		RecoveryAccess: map[uint64]bool{},
+		sink:           obs.Nop(),
 	}
 	m.globals = make([]int64, len(mod.Globals))
 	for i, g := range mod.Globals {
@@ -158,6 +168,30 @@ func New(mod *ir.Module, pool *pmem.Pool, cfg Config) *Machine {
 
 // Steps returns the machine's logical clock.
 func (m *Machine) Steps() int64 { return m.steps }
+
+// SetSink installs an observability sink (nil restores the no-op).
+func (m *Machine) SetSink(s obs.Sink) {
+	m.sink = obs.OrNop(s)
+	m.obsOn = m.sink.Enabled()
+}
+
+// flushObs publishes the instruction counts accumulated since the last
+// flush: total retired, yields, and one vm.op.<name> counter per opcode
+// actually executed. A trap (if any) is classified by kind.
+func (m *Machine) flushObs(retired int64, trap *Trap) {
+	m.sink.Count("vm.instructions", retired)
+	for op, n := range m.opCounts {
+		if n == 0 {
+			continue
+		}
+		m.sink.Count("vm.op."+ir.Op(op).String(), n)
+		m.opCounts[op] = 0
+	}
+	if trap != nil {
+		m.sink.Count("vm.traps", 1)
+		m.sink.Count("vm.trap."+trap.Kind.String(), 1)
+	}
+}
 
 // Global returns a global's current value by name.
 func (m *Machine) Global(name string) (int64, bool) {
@@ -191,13 +225,28 @@ func (m *Machine) Call(fnName string, args ...int64) (int64, *Trap) {
 			Msg: fmt.Sprintf("%s takes %d args, got %d", fnName, f.NumParams, len(args)), Step: m.steps}
 	}
 	main := m.newThread(f, args)
-	return m.run(main)
+	if !m.obsOn {
+		return m.run(main)
+	}
+	span := m.sink.Start("vm.call", obs.A("fn", fnName))
+	before := m.steps
+	v, trap := m.run(main)
+	m.flushObs(m.steps-before, trap)
+	if trap != nil {
+		span.SetAttr("trap", trap.Kind.String())
+	}
+	span.End()
+	return v, trap
 }
 
 // DrainBackground runs pending background threads until they finish, block,
 // or the budget is consumed. It models the idle time a server has between
 // requests, during which async workers (e.g. PMEMKV's lazy free) proceed.
-func (m *Machine) DrainBackground(maxSteps int64) *Trap {
+func (m *Machine) DrainBackground(maxSteps int64) (trap *Trap) {
+	if m.obsOn {
+		before := m.steps
+		defer func() { m.flushObs(m.steps-before, trap) }()
+	}
 	deadline := m.steps + maxSteps
 	var last *thread
 	for m.steps < deadline {
@@ -411,6 +460,9 @@ func (m *Machine) execStep(th *thread) *Trap {
 		return m.trapAt(th, TrapInternal, "program counter out of range")
 	}
 	in := fr.fn.Blocks[fr.block].Instrs[fr.idx]
+	if m.obsOn {
+		m.opCounts[in.Op]++
+	}
 
 	advance := func() { fr.idx++ }
 

@@ -13,9 +13,11 @@ import (
 //	lines, _ := inst.RunScript("init_; put 1 42; get 1; restart; get 1; stats")
 //
 // Statements are function calls with integer arguments, plus the pseudo-ops
-// "restart" (crash + restart + recovery) and "stats". Traps do not abort
-// the script; they are reported (and fed to the detector) so scripts can
-// demonstrate recurring failures.
+// "restart" (crash + restart + recovery), "stats", and "mitigate FN ARGS"
+// (run the reactor against the last observed trap, using restart + FN as
+// the re-execution script). Traps do not abort the script; they are
+// reported (and fed to the detector) so scripts can demonstrate recurring
+// failures.
 func (i *Instance) RunScript(script string) ([]string, error) {
 	var out []string
 	for _, stmt := range strings.Split(script, ";") {
@@ -34,14 +36,30 @@ func (i *Instance) RunScript(script string) ([]string, error) {
 		case "stats":
 			out = append(out, i.Stats())
 			continue
-		}
-		args := make([]int64, 0, len(fields)-1)
-		for _, f := range fields[1:] {
-			v, err := strconv.ParseInt(f, 0, 64)
-			if err != nil {
-				return out, fmt.Errorf("bad argument %q in %q", f, strings.TrimSpace(stmt))
+		case "mitigate":
+			if len(fields) < 2 {
+				return out, fmt.Errorf("mitigate needs a re-execution call: mitigate FN ARGS")
 			}
-			args = append(args, v)
+			args, err := parseArgs(fields[2:], stmt)
+			if err != nil {
+				return out, err
+			}
+			rep, err := i.Mitigate(func() *Trap {
+				if tp := i.Restart(); tp != nil {
+					return tp
+				}
+				_, tp := i.Call(fields[1], args...)
+				return tp
+			})
+			if err != nil {
+				return out, err
+			}
+			out = append(out, fmt.Sprintf("mitigate -> %v", rep))
+			continue
+		}
+		args, err := parseArgs(fields[1:], stmt)
+		if err != nil {
+			return out, err
 		}
 		v, trap := i.Call(fields[0], args...)
 		if trap != nil {
@@ -52,4 +70,16 @@ func (i *Instance) RunScript(script string) ([]string, error) {
 		out = append(out, fmt.Sprintf("%s -> %d", strings.TrimSpace(stmt), v))
 	}
 	return out, nil
+}
+
+func parseArgs(fields []string, stmt string) ([]int64, error) {
+	args := make([]int64, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseInt(f, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad argument %q in %q", f, strings.TrimSpace(stmt))
+		}
+		args = append(args, v)
+	}
+	return args, nil
 }
