@@ -103,6 +103,14 @@ type Config struct {
 	// an *obs.Recorder and its WriteJSONL/Summary to export. Survives
 	// Restart: each fresh machine is rewired to the same sink.
 	Observer obs.Sink
+	// FlightEvents, when > 0, enables the crash-surviving flight recorder:
+	// a ring buffer of the last FlightEvents telemetry events, fed by the
+	// same call sites as Observer and embedded in pool images by SaveImage/
+	// SavePool, so a saved -poolfile carries the event tail that led up to
+	// a failure (inspect with cmd/arthas-inspect). Opening an image that
+	// already carries a tail continues recording into it. 0 disables (the
+	// zero-cost default for library embedding).
+	FlightEvents int
 }
 
 // Instance is a PML system deployed under the full Arthas toolchain:
@@ -117,8 +125,12 @@ type Instance struct {
 	Trace    *trace.Trace
 	Machine  *vm.Machine
 	Detector *detector.Detector
+	// Flight is the crash-surviving flight recorder (nil unless enabled by
+	// Config.FlightEvents or recovered from a reopened image).
+	Flight *obs.Flight
 
 	cfg      Config
+	obsSink  obs.Sink // Observer + Flight fan-out, wired into every layer
 	lastTrap *Trap
 }
 
@@ -166,6 +178,15 @@ func build(name, source string, cfg Config, pool *pmem.Pool) (*Instance, error) 
 	if pool == nil {
 		pool = pmem.New(cfg.PoolWords)
 	}
+	// Flight recorder: prefer a tail recovered from a reopened image (the
+	// recording continues where the crashed process stopped); otherwise
+	// create one when enabled. The pool embeds it in saved images either
+	// way, so forensic history is never silently dropped.
+	fl := pool.Flight()
+	if fl == nil && cfg.FlightEvents > 0 {
+		fl = obs.NewFlight(cfg.FlightEvents)
+		pool.AttachFlight(fl)
+	}
 	inst := &Instance{
 		Name:     name,
 		Module:   mod,
@@ -174,6 +195,7 @@ func build(name, source string, cfg Config, pool *pmem.Pool) (*Instance, error) 
 		Log:      checkpoint.NewLog(cfg.MaxVersions),
 		Trace:    trace.New(),
 		Detector: detector.New(),
+		Flight:   fl,
 		cfg:      cfg,
 	}
 	inst.Pool.SetHooks(inst.Log.Hooks())
@@ -184,7 +206,7 @@ func build(name, source string, cfg Config, pool *pmem.Pool) (*Instance, error) 
 
 func (i *Instance) boot() {
 	i.Machine = vm.New(i.Module, i.Pool, vm.Config{StepLimit: i.cfg.StepLimit})
-	i.Machine.SetSink(i.cfg.Observer)
+	i.Machine.SetSink(i.obsSink)
 	i.Machine.TraceSink = i.Trace.Record
 	i.Machine.TraceReadSink = i.Trace.RecordRead
 }
@@ -192,20 +214,27 @@ func (i *Instance) boot() {
 // SetObserver installs (or clears, with nil) an observability sink on every
 // layer of the instance. A logical clock reading the machine's step counter
 // is wired into recorders, so spans carry logical time alongside wall time.
+// The flight recorder, when present, always rides along: every layer's
+// events also land in the crash-surviving ring buffer.
 func (i *Instance) SetObserver(s obs.Sink) {
 	i.cfg.Observer = s
-	obs.WireClock(obs.OrNop(s), func() int64 {
+	eff := obs.OrNop(s)
+	if i.Flight != nil {
+		eff = obs.Multi(eff, i.Flight)
+	}
+	i.obsSink = eff
+	obs.WireClock(eff, func() int64 {
 		if i.Machine == nil {
 			return 0
 		}
 		return i.Machine.Steps()
 	})
-	i.Pool.SetSink(s)
-	i.Log.SetSink(s)
-	i.Trace.SetSink(s)
-	i.Detector.SetSink(s)
+	i.Pool.SetSink(eff)
+	i.Log.SetSink(eff)
+	i.Trace.SetSink(eff)
+	i.Detector.SetSink(eff)
 	if i.Machine != nil {
-		i.Machine.SetSink(s)
+		i.Machine.SetSink(eff)
 	}
 }
 
@@ -253,7 +282,7 @@ func (i *Instance) Mitigate(reexec func() *Trap) (*Report, error) {
 		Fault:     i.lastTrap.Instr,
 		AddrFault: i.lastTrap.Kind == vm.TrapSegfault,
 		ReExec:    reexec,
-		Obs:       i.cfg.Observer,
+		Obs:       i.obsSink,
 	}
 	return reactor.Mitigate(i.cfg.Reactor, ctx), nil
 }
@@ -270,7 +299,7 @@ func (i *Instance) MitigateWithFaults(faults []*ir.Instr, reexec func() *Trap) (
 		Pool:     i.Pool,
 		Faults:   faults,
 		ReExec:   reexec,
-		Obs:      i.cfg.Observer,
+		Obs:      i.obsSink,
 	}
 	return reactor.Mitigate(i.cfg.Reactor, ctx), nil
 }

@@ -1,0 +1,205 @@
+// Command arthas-inspect is the pool forensics tool: it opens a pool or
+// image file written by arthas-run / arthas-react (or SavePool/SaveImage)
+// WITHOUT booting a runtime, so corrupt and half-written images can still
+// be examined post-mortem — the pmempool info/check analogue for this
+// repo's pool format.
+//
+// Usage:
+//
+//	arthas-inspect info        image    header, roots, allocator + op stats
+//	arthas-inspect checkpoints image    checkpoint-log version table
+//	arthas-inspect flight [-jsonl] image   crash-surviving flight-recorder tail
+//	arthas-inspect verify      image    structural checks; exit 1 on corruption
+//
+// The image argument accepts both full images (pool + checkpoint log +
+// trace, as saved by -poolfile) and bare pool files. See
+// docs/OBSERVABILITY.md for a worked post-mortem example.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"arthas"
+	"arthas/internal/checkpoint"
+	"arthas/internal/pmem"
+	"arthas/internal/trace"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: arthas-inspect COMMAND [flags] IMAGE
+
+commands:
+  info         header, roots, allocator stats, dirty/durable word counts
+  checkpoints  checkpoint-log version table
+  flight       flight-recorder event tail (-jsonl for machine-readable)
+  verify       structural integrity checks; exits nonzero on corruption`)
+	os.Exit(2)
+}
+
+// open reads the image leniently. Damaged metadata degrades to a warning so
+// every subcommand can still report on whatever sections survived.
+func open(path string) (*pmem.Pool, *checkpoint.Log, *trace.Trace) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	pool, log, tr, err := arthas.ReadAnyImage(f)
+	if pool == nil {
+		fmt.Fprintf(os.Stderr, "arthas-inspect: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warning: %s: %v\n", path, err)
+	}
+	return pool, log, tr
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch cmd := os.Args[1]; cmd {
+	case "info":
+		pool, log, tr := openArgs(cmd, flag.NewFlagSet(cmd, flag.ExitOnError), os.Args[2:])
+		cmdInfo(pool, log, tr)
+	case "checkpoints":
+		pool, log, _ := openArgs(cmd, flag.NewFlagSet(cmd, flag.ExitOnError), os.Args[2:])
+		_ = pool
+		cmdCheckpoints(log)
+	case "flight":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		jsonl := fs.Bool("jsonl", false, "emit events as JSONL instead of a timeline")
+		pool, _, _ := openArgs(cmd, fs, os.Args[2:])
+		cmdFlight(pool, *jsonl)
+	case "verify":
+		pool, _, _ := openArgs(cmd, flag.NewFlagSet(cmd, flag.ExitOnError), os.Args[2:])
+		cmdVerify(pool)
+	default:
+		usage()
+	}
+}
+
+func openArgs(cmd string, fs *flag.FlagSet, args []string) (*pmem.Pool, *checkpoint.Log, *trace.Trace) {
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: arthas-inspect %s [flags] IMAGE\n", cmd)
+		os.Exit(2)
+	}
+	return open(fs.Arg(0))
+}
+
+func cmdInfo(pool *pmem.Pool, log *checkpoint.Log, tr *trace.Trace) {
+	info := pool.Info()
+	fmt.Printf("pool format:     v%d\n", info.FormatVersion)
+	fmt.Printf("pool size:       %d words\n", info.Words)
+	fmt.Printf("heap used:       %d words\n", info.HeapUsed)
+	fmt.Printf("live payload:    %d words in %d blocks\n", info.LiveWords, info.LiveBlocks)
+	fmt.Printf("free:            %d words, %d free-list blocks\n", info.FreeWords, info.FreeBlocks)
+	fmt.Printf("nonzero words:   %d\n", info.NonzeroWords)
+	fmt.Printf("dirty words:     %d (stored but never persisted)\n", info.DirtyWords)
+	fmt.Println("roots:")
+	any := false
+	for i, r := range info.Roots {
+		if r != 0 {
+			fmt.Printf("  [%2d] %#x\n", i, r)
+			any = true
+		}
+	}
+	if !any {
+		fmt.Println("  (all zero)")
+	}
+	s := info.Stats
+	fmt.Println("op stats (lifetime, saved with v2 pools):")
+	fmt.Printf("  loads=%d stores=%d persists=%d persisted_words=%d\n",
+		s.Loads, s.Stores, s.Persists, s.PersistedWords.Words)
+	fmt.Printf("  allocs=%d frees=%d crashes=%d\n", s.Allocs, s.Frees, s.Crashes)
+	if log != nil {
+		fmt.Printf("checkpoint log:  %d entries, %d versions recorded, seq=%d\n",
+			log.NumEntries(), log.TotalVersions(), log.Seq())
+	} else {
+		fmt.Println("checkpoint log:  none (bare pool file)")
+	}
+	if tr != nil {
+		fmt.Printf("address trace:   %d events, %d flushes\n", tr.Len(), tr.Flushes())
+	} else {
+		fmt.Println("address trace:   none (bare pool file)")
+	}
+	if fl := pool.Flight(); fl != nil {
+		fmt.Printf("flight recorder: %d/%d events held (%d total recorded)\n",
+			fl.Len(), fl.Cap(), fl.TotalEvents())
+	} else {
+		fmt.Println("flight recorder: none (v1 pool or flight disabled)")
+	}
+}
+
+func cmdCheckpoints(log *checkpoint.Log) {
+	if log == nil {
+		fmt.Fprintln(os.Stderr, "no checkpoint section (bare pool file)")
+		os.Exit(1)
+	}
+	entries := log.Entries()
+	fmt.Printf("checkpoint log: seq=%d entries=%d versions_recorded=%d reverted=%d\n",
+		log.Seq(), len(entries), log.TotalVersions(), log.RevertedVersions())
+	if len(entries) > 0 {
+		fmt.Printf("%-12s %-6s %-9s %-9s %s\n", "ADDR", "WORDS", "VERSIONS", "LIVE-SEQ", "STATE")
+		for _, e := range entries {
+			state := "live"
+			liveSeq := "-"
+			if lv := e.LiveVersion(); lv != nil {
+				liveSeq = fmt.Sprintf("%d", lv.Seq)
+			} else if e.Dead() {
+				state = "dead"
+			} else {
+				state = "reverted"
+			}
+			fmt.Printf("%-12s %-6d %-9d %-9s %s\n", fmt.Sprintf("%#x", e.Addr), e.Words, len(e.Versions), liveSeq, state)
+		}
+	}
+	allocs := log.AllocRecords()
+	if len(allocs) > 0 {
+		freed, reallocs := 0, 0
+		for _, a := range allocs {
+			if a.Freed {
+				freed++
+			}
+			if a.Realloc {
+				reallocs++
+			}
+		}
+		fmt.Printf("allocations: %d recorded, %d freed, %d reallocs\n", len(allocs), freed, reallocs)
+	}
+}
+
+func cmdFlight(pool *pmem.Pool, jsonl bool) {
+	fl := pool.Flight()
+	if fl == nil {
+		fmt.Fprintln(os.Stderr, "no flight-recorder section (v1 pool, or run with -flight 0)")
+		os.Exit(1)
+	}
+	var err error
+	if jsonl {
+		err = fl.WriteJSONL(os.Stdout)
+	} else {
+		err = fl.WriteTimeline(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func cmdVerify(pool *pmem.Pool) {
+	report := pool.CheckIntegrity()
+	fmt.Println(report.String())
+	info := pool.Info()
+	if info.DirtyWords > 0 {
+		fmt.Printf("note: %d dirty words — image saved without a final persist\n", info.DirtyWords)
+	}
+	if !report.OK() {
+		os.Exit(1)
+	}
+}

@@ -6,11 +6,14 @@
 // Usage:
 //
 //	arthas-react [-solution arthas|pmcriu|arckpt] [-mode purge|rollback]
-//	             [-ops N] [-batch N] [-trace FILE] [-metrics] f1..f12
+//	             [-ops N] [-batch N] [-trace FILE] [-metrics]
+//	             [-flight N] [-debug ADDR] f1..f12
 //
 // -trace FILE writes the full pipeline telemetry (run/detect/plan/revert/
 // re-execute spans plus per-layer metrics) as JSONL; -metrics prints a
-// summary to stderr. See docs/OBSERVABILITY.md.
+// summary to stderr. -flight N keeps a ring of the last N events and
+// -debug ADDR serves pprof, /metrics, /flight, /healthz over HTTP while
+// the case runs. See docs/OBSERVABILITY.md.
 //
 // Example:
 //
@@ -34,6 +37,8 @@ func main() {
 	batch := flag.Int("batch", 1, "sequence numbers reverted per re-execution")
 	traceFile := flag.String("trace", "", "write telemetry (spans + metrics) as JSONL to this file")
 	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr on exit")
+	flight := flag.Int("flight", obs.DefaultFlightEvents, "flight-recorder ring size in events (0 disables)")
+	debugAddr := flag.String("debug", "", "serve pprof, /metrics, /flight, /healthz on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: arthas-react [-solution S] [-mode M] [-ops N] f1..f12")
@@ -53,9 +58,31 @@ func main() {
 		cfg.Reactor.Mode = reactor.ModeRollback
 	}
 	var rec *obs.Recorder
-	if *traceFile != "" || *metrics {
+	var fl *obs.Flight
+	if *flight > 0 {
+		fl = obs.NewFlight(*flight)
+	}
+	if *traceFile != "" || *metrics || *debugAddr != "" {
 		rec = obs.NewRecorder()
+	}
+	// The fault runners own their instances internally, so the flight
+	// recorder rides along as a second sink on the pipeline's Obs.
+	switch {
+	case rec != nil && fl != nil:
+		cfg.Obs = obs.Multi(rec, fl)
+	case rec != nil:
 		cfg.Obs = rec
+	case fl != nil:
+		cfg.Obs = fl
+	}
+	if *debugAddr != "" {
+		srv, addr, derr := obs.ServeDebug(*debugAddr, rec, fl)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, derr)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint http://%s\n", addr)
 	}
 
 	var out *faults.Outcome

@@ -5,14 +5,23 @@
 // Usage:
 //
 //	arthas-run [-recover FN] [-pool WORDS] [-trace FILE] [-metrics]
+//	           [-flight N] [-debug ADDR]
 //	           file.pml "call args; call args; ..."
 //
 // Script statements are semicolon-separated function calls with integer
 // arguments, plus the pseudo-ops "restart" (crash + restart) and "stats".
 //
-// -trace FILE writes the full telemetry stream (spans + metrics from every
-// runtime layer) as JSONL; -metrics prints a human-readable summary to
-// stderr. See docs/OBSERVABILITY.md.
+// -trace FILE streams the full telemetry (spans + metrics from every
+// runtime layer) as JSONL. The file is opened at startup and spans are
+// written the moment they end, so a panic or trap mid-script loses at
+// most the spans still open — not the whole trace. -metrics prints a
+// human-readable summary to stderr.
+//
+// -flight N keeps a crash-surviving ring of the last N observability
+// events; the tail is saved inside -poolfile images and can be read back
+// later with `arthas-inspect flight`. -debug ADDR serves pprof, /metrics,
+// /flight, and /healthz over HTTP while the script runs.
+// See docs/OBSERVABILITY.md.
 //
 // Example:
 //
@@ -32,11 +41,13 @@ func main() {
 	recoverFn := flag.String("recover", "", "recovery function run on restart")
 	pool := flag.Int("pool", 1<<16, "pool size in words")
 	poolFile := flag.String("poolfile", "", "image file: reopened if it exists, saved on exit (durable state AND mitigation history persist across invocations)")
-	traceFile := flag.String("trace", "", "write telemetry (spans + metrics) as JSONL to this file")
+	traceFile := flag.String("trace", "", "stream telemetry (spans + metrics) as JSONL to this file")
 	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr on exit")
+	flight := flag.Int("flight", obs.DefaultFlightEvents, "flight-recorder ring size in events (0 disables); the tail travels inside -poolfile images")
+	debugAddr := flag.String("debug", "", "serve pprof, /metrics, /flight, /healthz on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, `usage: arthas-run [-recover FN] [-pool WORDS] [-poolfile F] [-trace F] [-metrics] file.pml "init_; put 1 2; get 1"`)
+		fmt.Fprintln(os.Stderr, `usage: arthas-run [-recover FN] [-pool WORDS] [-poolfile F] [-trace F] [-metrics] [-flight N] [-debug ADDR] file.pml "init_; put 1 2; get 1"`)
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -44,11 +55,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	cfg := arthas.Config{PoolWords: *pool, RecoverFn: *recoverFn}
+	cfg := arthas.Config{PoolWords: *pool, RecoverFn: *recoverFn, FlightEvents: *flight}
 	var rec *obs.Recorder
-	if *traceFile != "" || *metrics {
+	var traceF *os.File
+	if *traceFile != "" || *metrics || *debugAddr != "" {
 		rec = obs.NewRecorder()
 		cfg.Observer = rec
+		if *traceFile != "" {
+			traceF, err = os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rec.StreamTo(traceF)
+		}
 	}
 
 	var inst *arthas.Instance
@@ -69,23 +89,31 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *debugAddr != "" {
+		srv, addr, derr := obs.ServeDebug(*debugAddr, rec, inst.Flight)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, derr)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint http://%s\n", addr)
+	}
+
 	lines, scriptErr := inst.RunScript(flag.Arg(1))
 	for _, line := range lines {
 		fmt.Println(line)
 	}
 
 	if rec != nil {
-		if *traceFile != "" {
-			f, ferr := os.Create(*traceFile)
-			if ferr != nil {
-				fmt.Fprintln(os.Stderr, ferr)
-				os.Exit(1)
-			}
-			if werr := rec.WriteJSONL(f); werr != nil {
+		if traceF != nil {
+			if werr := rec.CloseStream(); werr != nil {
 				fmt.Fprintln(os.Stderr, werr)
 				os.Exit(1)
 			}
-			f.Close()
+			if cerr := traceF.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, cerr)
+				os.Exit(1)
+			}
 			fmt.Fprintf(os.Stderr, "wrote trace %s\n", *traceFile)
 		}
 		if *metrics {

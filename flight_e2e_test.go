@@ -1,0 +1,186 @@
+package arthas
+
+import (
+	"bytes"
+	"testing"
+
+	"arthas/internal/obs"
+)
+
+// TestFlightSurvivesTrapIntoImage is the flight recorder's end-to-end
+// contract: a run that hits a hard fault and saves its image carries the
+// last-N-events tail inside the image, and post-mortem inspection of that
+// image (the arthas-inspect flight path: ReadAnyImage → Pool.Flight) sees
+// exactly what the live recorder held at save time.
+func TestFlightSurvivesTrapIntoImage(t *testing.T) {
+	rec := obs.NewRecorder()
+	inst, err := New("demo", demoSource, Config{
+		RecoverFn:    "recover_",
+		Observer:     rec,
+		FlightEvents: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Flight == nil {
+		t.Fatal("FlightEvents > 0 but Instance.Flight is nil")
+	}
+	inst.Call("init_")
+	for i := int64(0); i < 8; i++ {
+		inst.Call("put", i, 100+i)
+	}
+	inst.Call("corrupt", 5) // persist a corrupt pointer: the hard fault
+	if _, trap := inst.Call("get", 0); trap == nil {
+		t.Fatal("expected a trap after corruption")
+	}
+
+	var buf bytes.Buffer
+	if err := inst.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	live := inst.Flight.Events() // what the live ring held at save time
+
+	pool, log, tr, err := ReadAnyImage(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log == nil || tr == nil {
+		t.Fatal("full image lost checkpoint log or trace")
+	}
+	fl := pool.Flight()
+	if fl == nil {
+		t.Fatal("recovered pool has no flight recorder")
+	}
+	recovered := fl.Events()
+	if len(recovered) == 0 {
+		t.Fatal("recovered flight tail is empty")
+	}
+	// SaveImage itself emits a handful of events AFTER the pool section is
+	// written (checkpoint-log and trace serialization report through the
+	// sink), so the live ring is a few events ahead of the serialized tail.
+	// Match on the seq-number overlap: every recovered event that is still
+	// in the live ring must be identical, and nearly all must overlap.
+	liveBySeq := map[uint64]obs.FlightEvent{}
+	for _, e := range live {
+		liveBySeq[e.Seq] = e
+	}
+	common := 0
+	for _, r := range recovered {
+		l, ok := liveBySeq[r.Seq]
+		if !ok {
+			continue
+		}
+		common++
+		if l.Kind != r.Kind || l.Name != r.Name || l.Value != r.Value ||
+			l.Span != r.Span || l.Step != r.Step ||
+			obs.RenderVal(l.Val) != obs.RenderVal(r.Val) {
+			t.Fatalf("seq %d mismatch:\nlive      %+v\nrecovered %+v", r.Seq, l, r)
+		}
+	}
+	if common < len(recovered)-8 {
+		t.Fatalf("only %d of %d recovered events overlap the live ring", common, len(recovered))
+	}
+
+	// The tail must be a usable post-mortem record: request spans AND the
+	// low-level persistence activity leading up to the fault.
+	sawSpan, sawStore, sawCorrupt := false, false, false
+	for _, e := range recovered {
+		if e.Kind == obs.FlightBegin && e.Name == "vm.call" {
+			sawSpan = true
+		}
+		if e.Kind == obs.FlightCount && e.Name == "pmem.store" {
+			sawStore = true
+		}
+		if e.Kind == obs.FlightAttr && obs.RenderVal(e.Val) == "corrupt" {
+			sawCorrupt = true
+		}
+	}
+	if !sawSpan || !sawStore || !sawCorrupt {
+		t.Fatalf("tail not forensic-grade: span=%v store=%v corrupt-call=%v",
+			sawSpan, sawStore, sawCorrupt)
+	}
+
+	// Cross-check against the Recorder: every span the flight tail names
+	// was also seen by the full recorder (same telemetry stream, two sinks).
+	names := map[string]bool{}
+	for _, n := range rec.SpanNames() {
+		names[n] = true
+	}
+	for _, e := range recovered {
+		if e.Kind == obs.FlightBegin && !names[e.Name] {
+			t.Fatalf("flight span %q unknown to the recorder", e.Name)
+		}
+	}
+}
+
+// TestFlightContinuesAcrossReopen: reopening an image resumes the SAME
+// ring — sequence numbers keep climbing, so a post-mortem after several
+// restarts still reads as one continuous timeline.
+func TestFlightContinuesAcrossReopen(t *testing.T) {
+	inst, err := New("demo", demoSource, Config{RecoverFn: "recover_", FlightEvents: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Call("init_")
+	inst.Call("put", int64(1), int64(42))
+	before := inst.Flight.TotalEvents()
+	var buf bytes.Buffer
+	if err := inst.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	inst2, err := OpenImage("demo", demoSource, Config{RecoverFn: "recover_"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst2.Flight == nil {
+		t.Fatal("reopened instance lost its flight recorder")
+	}
+	// The serialized ring holds at least everything recorded before the
+	// save (SaveImage may add a few of its own events before the pool
+	// section is cut).
+	if got := inst2.Flight.TotalEvents(); got < before {
+		t.Fatalf("reopen lost events: %d < %d recorded pre-save", got, before)
+	}
+	inst2.Call("get", int64(1))
+	after := inst2.Flight.TotalEvents()
+	if after <= before {
+		t.Fatalf("reopened flight not recording: %d -> %d", before, after)
+	}
+	evs := inst2.Flight.Events()
+	last := evs[len(evs)-1]
+	if last.Seq != after {
+		t.Fatalf("sequence numbering broke across reopen: last seq %d, total %d", last.Seq, after)
+	}
+}
+
+// TestFlightSurvivesCrash: Pool.Crash (the simulated power failure) wipes
+// unpersisted data but NOT the flight recorder — that is the point of a
+// flight recorder.
+func TestFlightSurvivesCrash(t *testing.T) {
+	inst, err := New("demo", demoSource, Config{RecoverFn: "recover_", FlightEvents: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Call("init_")
+	pre := inst.Flight.TotalEvents()
+	if pre == 0 {
+		t.Fatal("no events before crash")
+	}
+	if trap := inst.Restart(); trap != nil { // Crash + recovery
+		t.Fatal(trap)
+	}
+	if post := inst.Flight.TotalEvents(); post < pre {
+		t.Fatalf("crash lost flight events: %d -> %d", pre, post)
+	}
+	// The crash itself must be on the record.
+	sawCrash := false
+	for _, e := range inst.Flight.Events() {
+		if e.Name == "pmem.crash" {
+			sawCrash = true
+		}
+	}
+	if !sawCrash {
+		t.Fatal("pmem.crash not recorded in flight tail")
+	}
+}

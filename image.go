@@ -1,6 +1,7 @@
 package arthas
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -78,4 +79,47 @@ func OpenImage(name, source string, cfg Config, r io.Reader) (*Instance, error) 
 	inst.Pool.SetHooks(inst.Log.Hooks())
 	inst.boot() // rebind trace sinks to the restored trace
 	return inst, nil
+}
+
+// ReadAnyImage opens either a full image (SaveImage) or a bare pool file
+// (SavePool / pmem's WriteTo) for post-mortem inspection, WITHOUT compiling
+// a program or validating pool integrity — corrupted images open so that
+// forensics tooling (cmd/arthas-inspect) can examine them. The checkpoint
+// log and trace are nil for bare pool files. A non-nil pool may be returned
+// alongside a non-nil error when the pool parsed but the image's durable
+// metadata (checkpoint log, trace) is damaged.
+func ReadAnyImage(r io.Reader) (*pmem.Pool, *checkpoint.Log, *trace.Trace, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(8)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("arthas: reading image: %w", err)
+	}
+	if binary.LittleEndian.Uint64(head) != imageMagic {
+		// Not a full image: try a bare pool file.
+		pool, err := pmem.ReadPoolInspect(br)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("arthas: %w", err)
+		}
+		return pool, nil, nil, nil
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, nil, nil, fmt.Errorf("arthas: reading image: %w", err)
+	}
+	if v := binary.LittleEndian.Uint64(hdr[8:]); v != imageVersion {
+		return nil, nil, nil, fmt.Errorf("arthas: image version %d, want %d", v, imageVersion)
+	}
+	pool, err := pmem.ReadPoolInspect(br)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("arthas: %w", err)
+	}
+	log, err := checkpoint.ReadLog(br)
+	if err != nil {
+		return pool, nil, nil, fmt.Errorf("arthas: checkpoint log damaged: %w", err)
+	}
+	tr, err := trace.ReadTrace(br)
+	if err != nil {
+		return pool, log, nil, fmt.Errorf("arthas: trace damaged: %w", err)
+	}
+	return pool, log, tr, nil
 }

@@ -240,6 +240,26 @@ func (l *Log) RevertedVersions() uint64 {
 // NumEntries returns the number of distinct versioned ranges.
 func (l *Log) NumEntries() int { return len(l.entries) }
 
+// Entries returns every entry in creation order (the version table view
+// used by forensic tooling). The returned entries are the live ones —
+// callers must not mutate them.
+func (l *Log) Entries() []*Entry {
+	out := make([]*Entry, 0, len(l.order))
+	for _, k := range l.order {
+		out = append(out, l.entries[k])
+	}
+	return out
+}
+
+// AllocRecords returns every allocation record in allocation order.
+func (l *Log) AllocRecords() []*AllocRecord {
+	out := make([]*AllocRecord, 0, len(l.allocOrder))
+	for _, a := range l.allocOrder {
+		out = append(out, l.allocs[a])
+	}
+	return out
+}
+
 // EntryAt returns the first-created entry starting exactly at addr, or nil.
 func (l *Log) EntryAt(addr uint64) *Entry {
 	for _, k := range l.order {

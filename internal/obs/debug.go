@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the live debug surface shared by arthas-run and
+// arthas-react's -debug flag:
+//
+//	/debug/pprof/*  net/http/pprof profiles (CPU, heap, goroutines, ...)
+//	/metrics        the Recorder's text summary (spans + counters + hists)
+//	/healthz        liveness probe, always "ok"
+//	/flight         the flight recorder's current tail as JSONL
+//
+// A nil rec or fl turns the corresponding endpoint into a 404 so callers
+// can wire up whatever subset they run with.
+func NewDebugMux(rec *Recorder, fl *Flight) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if rec == nil {
+			http.Error(w, "no recorder attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, rec.Summary())
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+		if fl == nil {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fl.WriteJSONL(w) //nolint:errcheck // client went away; nothing to do
+	})
+	return mux
+}
+
+// ServeDebug binds addr (":0" picks a free port), serves the debug mux in
+// a background goroutine, and returns the server plus the bound address.
+// The caller owns shutdown; for CLI tools process exit is fine.
+func ServeDebug(addr string, rec *Recorder, fl *Flight) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: NewDebugMux(rec, fl)}
+	go srv.Serve(ln) //nolint:errcheck // always ErrServerClosed at exit
+	return srv, ln.Addr().String(), nil
+}

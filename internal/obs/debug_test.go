@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, mux *http.ServeMux, path string) (int, string) {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	return rr.Code, rr.Body.String()
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	rec := NewRecorder()
+	rec.Count("vm.steps", 7)
+	rec.Start("run.script").End()
+	fl := NewFlight(16)
+	fl.Count("pmem.store.words", 3)
+	mux := NewDebugMux(rec, fl)
+
+	if code, body := get(t, mux, "/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := get(t, mux, "/metrics"); code != 200 ||
+		!strings.Contains(body, "vm.steps") || !strings.Contains(body, "run.script") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	code, body := get(t, mux, "/flight")
+	if code != 200 || !strings.Contains(body, `"pmem.store.words"`) {
+		t.Fatalf("/flight = %d %q", code, body)
+	}
+	if code, _ := get(t, mux, "/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestDebugMuxNilComponents(t *testing.T) {
+	mux := NewDebugMux(nil, nil)
+	if code, _ := get(t, mux, "/metrics"); code != 404 {
+		t.Fatalf("/metrics with nil recorder = %d, want 404", code)
+	}
+	if code, _ := get(t, mux, "/flight"); code != 404 {
+		t.Fatalf("/flight with nil flight = %d, want 404", code)
+	}
+	if code, _ := get(t, mux, "/healthz"); code != 200 {
+		t.Fatalf("/healthz = %d", code)
+	}
+}
+
+func TestServeDebugBindsEphemeralPort(t *testing.T) {
+	rec := NewRecorder()
+	rec.Count("c", 1)
+	srv, addr, err := ServeDebug("127.0.0.1:0", rec, NewFlight(16))
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "c") {
+		t.Fatalf("live /metrics = %d %q", resp.StatusCode, body)
+	}
+}

@@ -34,6 +34,89 @@ type jsonLine struct {
 	Min   float64 `json:"min,omitempty"`
 	Max   float64 `json:"max,omitempty"`
 	Mean  float64 `json:"mean,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// spanJSONLine renders one span record relative to epoch.
+func spanJSONLine(s SpanRecord, epoch time.Time) jsonLine {
+	line := jsonLine{
+		Type:      "span",
+		Name:      s.Name,
+		ID:        s.ID,
+		Parent:    s.Parent,
+		StartNS:   s.Start.Sub(epoch).Nanoseconds(),
+		DurNS:     s.Dur.Nanoseconds(),
+		StartStep: s.StartStep,
+		EndStep:   s.EndStep,
+		Open:      !s.Ended,
+	}
+	if len(s.Attrs) > 0 {
+		line.Attrs = map[string]any{}
+		for _, a := range s.Attrs {
+			line.Attrs[a.Key] = a.Val
+		}
+	}
+	return line
+}
+
+// metricsSnapshot captures every metric for export. Caller holds the lock.
+type metricsSnapshot struct {
+	counters, gauges, histNames []string
+	cvals, gvals                map[string]int64
+	hvals                       map[string]*Hist
+}
+
+func (r *Recorder) metricsSnapshotLocked() metricsSnapshot {
+	snap := metricsSnapshot{
+		counters: sortedNames(r.counters, r.order),
+		gauges:   sortedNames(r.gauges, r.order),
+		cvals:    map[string]int64{},
+		gvals:    map[string]int64{},
+		hvals:    map[string]*Hist{},
+	}
+	for n := range r.hists {
+		snap.histNames = append(snap.histNames, n)
+	}
+	sort.Strings(snap.histNames)
+	for n, v := range r.counters {
+		snap.cvals[n] = v
+	}
+	for n, v := range r.gauges {
+		snap.gvals[n] = v
+	}
+	for n, h := range r.hists {
+		cp := *h
+		snap.hvals[n] = &cp
+	}
+	return snap
+}
+
+// encodeMetrics writes the counter/gauge/hist lines of a snapshot.
+func encodeMetrics(enc *json.Encoder, snap metricsSnapshot) error {
+	for _, n := range snap.counters {
+		v := snap.cvals[n]
+		if err := enc.Encode(jsonLine{Type: "counter", Name: n, Value: &v}); err != nil {
+			return err
+		}
+	}
+	for _, n := range snap.gauges {
+		v := snap.gvals[n]
+		if err := enc.Encode(jsonLine{Type: "gauge", Name: n, Value: &v}); err != nil {
+			return err
+		}
+	}
+	for _, n := range snap.histNames {
+		h := snap.hvals[n]
+		if err := enc.Encode(jsonLine{
+			Type: "hist", Name: n,
+			Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max, Mean: h.Mean(),
+			P50: h.Quantile(0.5), P99: h.Quantile(0.99),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteJSONL streams every span (in start order) and then every metric as
@@ -42,26 +125,7 @@ type jsonLine struct {
 func (r *Recorder) WriteJSONL(w io.Writer) error {
 	r.mu.Lock()
 	spans := snapshotSpans(r.spans)
-	counters := sortedNames(r.counters, r.order)
-	gauges := sortedNames(r.gauges, r.order)
-	var histNames []string
-	for n := range r.hists {
-		histNames = append(histNames, n)
-	}
-	sort.Strings(histNames)
-	cvals := map[string]int64{}
-	for n, v := range r.counters {
-		cvals[n] = v
-	}
-	gvals := map[string]int64{}
-	for n, v := range r.gauges {
-		gvals[n] = v
-	}
-	hvals := map[string]*Hist{}
-	for n, h := range r.hists {
-		cp := *h
-		hvals[n] = &cp
-	}
+	snap := r.metricsSnapshotLocked()
 	r.mu.Unlock()
 
 	enc := json.NewEncoder(w)
@@ -70,49 +134,74 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 		epoch = spans[0].Start
 	}
 	for _, s := range spans {
-		line := jsonLine{
-			Type:      "span",
-			Name:      s.Name,
-			ID:        s.ID,
-			Parent:    s.Parent,
-			StartNS:   s.Start.Sub(epoch).Nanoseconds(),
-			DurNS:     s.Dur.Nanoseconds(),
-			StartStep: s.StartStep,
-			EndStep:   s.EndStep,
-			Open:      !s.Ended,
-		}
-		if len(s.Attrs) > 0 {
-			line.Attrs = map[string]any{}
-			for _, a := range s.Attrs {
-				line.Attrs[a.Key] = a.Val
-			}
-		}
-		if err := enc.Encode(line); err != nil {
+		if err := enc.Encode(spanJSONLine(s, epoch)); err != nil {
 			return err
 		}
 	}
-	for _, n := range counters {
-		v := cvals[n]
-		if err := enc.Encode(jsonLine{Type: "counter", Name: n, Value: &v}); err != nil {
+	return encodeMetrics(enc, snap)
+}
+
+// StreamTo switches the recorder into streaming mode: from now on every
+// span is written to w as a JSONL line the moment it ends, so a process
+// that panics or exits mid-run keeps the telemetry recorded up to that
+// point (only spans still open at the crash are lost). Metrics aggregate
+// as usual and are appended by CloseStream. Writes happen under the
+// recorder lock; w must not call back into the recorder.
+func (r *Recorder) StreamTo(w io.Writer) {
+	r.mu.Lock()
+	r.stream = json.NewEncoder(w)
+	r.streamErr = nil
+	r.epochSet = false
+	r.mu.Unlock()
+}
+
+// streamSpanLocked emits one ended span. Caller holds the lock.
+func (r *Recorder) streamSpanLocked(rec *SpanRecord) {
+	if r.stream == nil || r.streamErr != nil {
+		return
+	}
+	if !r.epochSet {
+		r.streamEpoch = rec.Start
+		r.epochSet = true
+	}
+	cp := *rec
+	cp.Attrs = append([]Attr(nil), rec.Attrs...)
+	if err := r.stream.Encode(spanJSONLine(cp, r.streamEpoch)); err != nil {
+		r.streamErr = err
+	}
+}
+
+// CloseStream finishes streaming mode: spans still open are written with
+// "open":true, the final counter/gauge/histogram values follow, and the
+// first write error encountered during streaming (if any) is returned.
+// The recorder keeps its data and can still WriteJSONL/Summary afterwards.
+func (r *Recorder) CloseStream() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	enc := r.stream
+	err := r.streamErr
+	r.stream = nil
+	r.streamErr = nil
+	if enc == nil || err != nil {
+		return err
+	}
+	epoch := r.streamEpoch
+	for _, s := range r.spans {
+		if s.Ended {
+			continue
+		}
+		if !r.epochSet {
+			epoch = s.Start
+			r.epochSet = true
+			r.streamEpoch = epoch
+		}
+		cp := *s
+		cp.Attrs = append([]Attr(nil), s.Attrs...)
+		if err := enc.Encode(spanJSONLine(cp, epoch)); err != nil {
 			return err
 		}
 	}
-	for _, n := range gauges {
-		v := gvals[n]
-		if err := enc.Encode(jsonLine{Type: "gauge", Name: n, Value: &v}); err != nil {
-			return err
-		}
-	}
-	for _, n := range histNames {
-		h := hvals[n]
-		if err := enc.Encode(jsonLine{
-			Type: "hist", Name: n,
-			Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max, Mean: h.Mean(),
-		}); err != nil {
-			return err
-		}
-	}
-	return nil
+	return encodeMetrics(enc, r.metricsSnapshotLocked())
 }
 
 // snapshotSpans deep-copies span records (caller must hold the lock) so
@@ -205,8 +294,8 @@ func (r *Recorder) Summary() string {
 		sb.WriteString("histograms:\n")
 		for _, n := range histNames {
 			h := hvals[n]
-			fmt.Fprintf(&sb, "  %-32s n=%d min=%.0f mean=%.1f max=%.0f\n",
-				n, h.Count, h.Min, h.Mean(), h.Max)
+			fmt.Fprintf(&sb, "  %-32s n=%d min=%.0f mean=%.1f p50=%.0f p99=%.0f max=%.0f\n",
+				n, h.Count, h.Min, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max)
 		}
 	}
 	return sb.String()

@@ -1,0 +1,526 @@
+package obs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// Flight is a crash-surviving flight recorder: a fixed-capacity ring buffer
+// of the last N telemetry events. It implements Sink, so it can fan in the
+// same event stream a Recorder sees — but where the Recorder aggregates
+// (counters sum, spans tree), the Flight keeps the raw event tail, which is
+// what a post-mortem needs: "what happened right before the failure?".
+//
+// The hot path is allocation-free in steady state: events are written into
+// preallocated ring slots (names are static string literals, so storing
+// them copies a header, not bytes), and span handles are recycled through a
+// free list. A span handle must not be used after End — the same contract
+// the pmem simulator's callers already follow.
+//
+// A Flight attached to a pmem.Pool is serialized into the pool image by
+// Pool.WriteTo and recovered by ReadPool, so a -poolfile saved after a
+// crashed run carries the telemetry tail that led up to the failure (see
+// docs/OBSERVABILITY.md, "Flight recorder").
+type Flight struct {
+	mu     sync.Mutex
+	clock  func() int64
+	ring   []FlightEvent
+	total  uint64 // events ever recorded; ring index = (total-1) % cap
+	nextID uint64 // next span id (1-based; 0 = no span / root parent)
+	stack  []uint64
+	free   []*flightSpan
+}
+
+// DefaultFlightEvents is the ring capacity used when none is configured.
+const DefaultFlightEvents = 512
+
+// FlightKind classifies one recorded event.
+type FlightKind uint8
+
+// Event kinds. Begin/End bracket spans; Attr annotates the span named by
+// the event's Span field.
+const (
+	FlightCount FlightKind = iota + 1
+	FlightGauge
+	FlightHist
+	FlightBegin
+	FlightEnd
+	FlightAttr
+)
+
+// String returns the JSONL kind tag.
+func (k FlightKind) String() string {
+	switch k {
+	case FlightCount:
+		return "count"
+	case FlightGauge:
+		return "gauge"
+	case FlightHist:
+		return "hist"
+	case FlightBegin:
+		return "begin"
+	case FlightEnd:
+		return "end"
+	case FlightAttr:
+		return "attr"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// FlightEvent is one ring slot. Value carries the counter delta, gauge
+// value, histogram observation, or (for FlightEnd) the span duration in
+// nanoseconds. Span/Parent are span ids for Begin/End/Attr events. Val is
+// the attribute value for FlightAttr events; after deserialization it is
+// always a string (rendered with RenderVal at save time).
+type FlightEvent struct {
+	Seq    uint64
+	Kind   FlightKind
+	Name   string
+	Value  float64
+	Span   uint64
+	Parent uint64
+	Val    any
+	WallNS int64
+	Step   int64
+}
+
+// RenderVal renders an attr value the way flight serialization does, so
+// live and recovered events compare equal.
+func RenderVal(v any) string {
+	if v == nil {
+		return ""
+	}
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return fmt.Sprint(v)
+}
+
+// NewFlight returns a flight recorder holding the last n events (n <= 0
+// selects DefaultFlightEvents; the minimum capacity is 16).
+func NewFlight(n int) *Flight {
+	if n <= 0 {
+		n = DefaultFlightEvents
+	}
+	if n < 16 {
+		n = 16
+	}
+	return &Flight{
+		ring:   make([]FlightEvent, n),
+		nextID: 1,
+		stack:  make([]uint64, 0, 64),
+	}
+}
+
+// SetClock installs the logical clock stamped into events (Clockable).
+func (f *Flight) SetClock(clock func() int64) {
+	f.mu.Lock()
+	f.clock = clock
+	f.mu.Unlock()
+}
+
+func (f *Flight) now() int64 {
+	if f.clock == nil {
+		return 0
+	}
+	return f.clock()
+}
+
+// record appends one event. Caller must hold f.mu.
+func (f *Flight) record(kind FlightKind, name string, value float64, span, parent uint64, val any) {
+	slot := &f.ring[f.total%uint64(len(f.ring))]
+	f.total++
+	slot.Seq = f.total
+	slot.Kind = kind
+	slot.Name = name
+	slot.Value = value
+	slot.Span = span
+	slot.Parent = parent
+	slot.Val = val
+	slot.WallNS = time.Now().UnixNano()
+	slot.Step = f.now()
+}
+
+// Enabled reports true: a Flight always records.
+func (f *Flight) Enabled() bool { return true }
+
+// Count implements Sink.
+func (f *Flight) Count(name string, delta int64) {
+	f.mu.Lock()
+	f.record(FlightCount, name, float64(delta), 0, 0, nil)
+	f.mu.Unlock()
+}
+
+// SetGauge implements Sink.
+func (f *Flight) SetGauge(name string, v int64) {
+	f.mu.Lock()
+	f.record(FlightGauge, name, float64(v), 0, 0, nil)
+	f.mu.Unlock()
+}
+
+// Observe implements Sink.
+func (f *Flight) Observe(name string, v float64) {
+	f.mu.Lock()
+	f.record(FlightHist, name, v, 0, 0, nil)
+	f.mu.Unlock()
+}
+
+// flightSpan is a recycled span handle.
+type flightSpan struct {
+	f     *Flight
+	id    uint64
+	name  string
+	start time.Time
+	ended bool
+}
+
+func (s *flightSpan) SetAttr(key string, val any) {
+	s.f.mu.Lock()
+	if !s.ended {
+		s.f.record(FlightAttr, key, 0, s.id, 0, val)
+	}
+	s.f.mu.Unlock()
+}
+
+func (s *flightSpan) End() {
+	s.f.mu.Lock()
+	defer s.f.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.f.record(FlightEnd, s.name, float64(time.Since(s.start).Nanoseconds()), s.id, 0, nil)
+	// Pop this span (and abandoned children above it) off the stack.
+	for i := len(s.f.stack) - 1; i >= 0; i-- {
+		if s.f.stack[i] == s.id {
+			s.f.stack = s.f.stack[:i]
+			break
+		}
+	}
+	s.f.free = append(s.f.free, s)
+}
+
+// Start implements Sink.
+func (f *Flight) Start(name string, attrs ...Attr) Span {
+	f.mu.Lock()
+	id := f.nextID
+	f.nextID++
+	var parent uint64
+	if n := len(f.stack); n > 0 {
+		parent = f.stack[n-1]
+	}
+	f.stack = append(f.stack, id)
+	f.record(FlightBegin, name, 0, id, parent, nil)
+	for _, a := range attrs {
+		f.record(FlightAttr, a.Key, 0, id, 0, a.Val)
+	}
+	var s *flightSpan
+	if n := len(f.free); n > 0 {
+		s = f.free[n-1]
+		f.free = f.free[:n-1]
+	} else {
+		s = &flightSpan{}
+	}
+	s.f = f
+	s.id = id
+	s.name = name
+	s.start = time.Now()
+	s.ended = false
+	f.mu.Unlock()
+	return s
+}
+
+// Cap returns the ring capacity.
+func (f *Flight) Cap() int { return len(f.ring) }
+
+// Len returns how many events are currently held (≤ Cap).
+func (f *Flight) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.total < uint64(len(f.ring)) {
+		return int(f.total)
+	}
+	return len(f.ring)
+}
+
+// TotalEvents returns how many events were ever recorded (including those
+// that rotated out of the ring).
+func (f *Flight) TotalEvents() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Events returns a snapshot of the held events, oldest first.
+func (f *Flight) Events() []FlightEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eventsLocked()
+}
+
+func (f *Flight) eventsLocked() []FlightEvent {
+	n := uint64(len(f.ring))
+	held := f.total
+	if held > n {
+		held = n
+	}
+	out := make([]FlightEvent, 0, held)
+	for i := uint64(0); i < held; i++ {
+		out = append(out, f.ring[(f.total-held+i)%n])
+	}
+	return out
+}
+
+// Binary encoding (embedded in pmem pool files, format v2):
+//
+//	u64 flightMagic        "ARTHFLT\1"
+//	u64 encoding version   (1)
+//	u64 ring capacity
+//	u64 total events ever recorded
+//	u64 next span id
+//	u64 n — events serialized (= min(total, capacity))
+//	n × event:
+//	  u64 seq, u64 kind, u64 span, u64 parent,
+//	  u64 wall_ns (two's complement), u64 step (two's complement),
+//	  u64 value (IEEE-754 bits),
+//	  str name, str attr value (rendered; empty when none)
+//	str = u64 byte length + raw bytes
+const (
+	flightMagic  uint64 = 0x41525448_464C5401 // "ARTH FLT" v1
+	flightEncVer uint64 = 1
+	maxFlightCap        = 1 << 24
+	maxFlightStr        = 1 << 20
+)
+
+// MarshalBinary encodes the flight recorder state (encoding above).
+func (f *Flight) MarshalBinary() ([]byte, error) {
+	f.mu.Lock()
+	events := f.eventsLocked()
+	capacity := uint64(len(f.ring))
+	total := f.total
+	nextID := f.nextID
+	f.mu.Unlock()
+
+	var out []byte
+	putU := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		out = append(out, b[:]...)
+	}
+	putS := func(s string) {
+		putU(uint64(len(s)))
+		out = append(out, s...)
+	}
+	putU(flightMagic)
+	putU(flightEncVer)
+	putU(capacity)
+	putU(total)
+	putU(nextID)
+	putU(uint64(len(events)))
+	for _, e := range events {
+		putU(e.Seq)
+		putU(uint64(e.Kind))
+		putU(e.Span)
+		putU(e.Parent)
+		putU(uint64(e.WallNS))
+		putU(uint64(e.Step))
+		putU(math.Float64bits(e.Value))
+		putS(e.Name)
+		putS(RenderVal(e.Val))
+	}
+	return out, nil
+}
+
+// UnmarshalFlight decodes a buffer written by MarshalBinary. The recovered
+// recorder keeps recording where the original left off: sequence numbers
+// and span ids continue rather than restart.
+func UnmarshalFlight(data []byte) (*Flight, error) {
+	pos := 0
+	getU := func() (uint64, error) {
+		if pos+8 > len(data) {
+			return 0, fmt.Errorf("obs: truncated flight buffer at byte %d", pos)
+		}
+		v := binary.LittleEndian.Uint64(data[pos:])
+		pos += 8
+		return v, nil
+	}
+	getS := func() (string, error) {
+		n, err := getU()
+		if err != nil {
+			return "", err
+		}
+		if n > maxFlightStr || pos+int(n) > len(data) {
+			return "", fmt.Errorf("obs: corrupt flight string length %d at byte %d", n, pos)
+		}
+		s := string(data[pos : pos+int(n)])
+		pos += int(n)
+		return s, nil
+	}
+	magic, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if magic != flightMagic {
+		return nil, fmt.Errorf("obs: not a flight buffer (magic %#x)", magic)
+	}
+	ver, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if ver != flightEncVer {
+		return nil, fmt.Errorf("obs: flight encoding version %d, want %d", ver, flightEncVer)
+	}
+	capacity, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if capacity == 0 || capacity > maxFlightCap {
+		return nil, fmt.Errorf("obs: implausible flight capacity %d", capacity)
+	}
+	total, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	nextID, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	n, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if n > capacity {
+		return nil, fmt.Errorf("obs: flight event count %d exceeds capacity %d", n, capacity)
+	}
+	f := NewFlight(int(capacity))
+	if nextID >= 1 {
+		f.nextID = nextID
+	}
+	if total < n {
+		total = n
+	}
+	f.total = total
+	for i := uint64(0); i < n; i++ {
+		var e FlightEvent
+		if e.Seq, err = getU(); err != nil {
+			return nil, err
+		}
+		kind, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		e.Kind = FlightKind(kind)
+		if e.Span, err = getU(); err != nil {
+			return nil, err
+		}
+		if e.Parent, err = getU(); err != nil {
+			return nil, err
+		}
+		wall, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		e.WallNS = int64(wall)
+		step, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		e.Step = int64(step)
+		bits, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		e.Value = math.Float64frombits(bits)
+		if e.Name, err = getS(); err != nil {
+			return nil, err
+		}
+		val, err := getS()
+		if err != nil {
+			return nil, err
+		}
+		if val != "" {
+			e.Val = val
+		}
+		f.ring[(total-n+i)%capacity] = e
+	}
+	return f, nil
+}
+
+// flightLine is one JSONL record of a flight event.
+type flightLine struct {
+	Seq    uint64  `json:"seq"`
+	Kind   string  `json:"kind"`
+	Name   string  `json:"name"`
+	Value  float64 `json:"value,omitempty"`
+	Span   uint64  `json:"span,omitempty"`
+	Parent uint64  `json:"parent,omitempty"`
+	Val    string  `json:"val,omitempty"`
+	WallNS int64   `json:"wall_ns"`
+	Step   int64   `json:"step,omitempty"`
+	DurNS  int64   `json:"dur_ns,omitempty"`
+}
+
+// WriteJSONL streams the held events, oldest first, one JSON object per
+// line. FlightEnd events carry their span duration as dur_ns.
+func (f *Flight) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range f.Events() {
+		line := flightLine{
+			Seq: e.Seq, Kind: e.Kind.String(), Name: e.Name,
+			Span: e.Span, Parent: e.Parent, Val: RenderVal(e.Val),
+			WallNS: e.WallNS, Step: e.Step,
+		}
+		if e.Kind == FlightEnd {
+			line.DurNS = int64(e.Value)
+		} else {
+			line.Value = e.Value
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTimeline renders the held events as a human-readable timeline:
+// sequence number, time offset from the first held event, logical step,
+// kind, and payload. This is what `arthas-inspect flight` prints.
+func (f *Flight) WriteTimeline(w io.Writer) error {
+	events := f.Events()
+	if len(events) == 0 {
+		_, err := fmt.Fprintln(w, "flight recorder: no events held")
+		return err
+	}
+	epoch := events[0].WallNS
+	fmt.Fprintf(w, "flight recorder: %d event(s) held (of %d recorded, capacity %d)\n",
+		len(events), f.TotalEvents(), f.Cap())
+	for _, e := range events {
+		off := time.Duration(e.WallNS - epoch).Round(time.Microsecond)
+		var err error
+		switch e.Kind {
+		case FlightCount:
+			_, err = fmt.Fprintf(w, "  #%04d +%-10v step=%-8d count %-32s +%g\n", e.Seq, off, e.Step, e.Name, e.Value)
+		case FlightGauge:
+			_, err = fmt.Fprintf(w, "  #%04d +%-10v step=%-8d gauge %-32s =%g\n", e.Seq, off, e.Step, e.Name, e.Value)
+		case FlightHist:
+			_, err = fmt.Fprintf(w, "  #%04d +%-10v step=%-8d hist  %-32s %g\n", e.Seq, off, e.Step, e.Name, e.Value)
+		case FlightBegin:
+			_, err = fmt.Fprintf(w, "  #%04d +%-10v step=%-8d begin %-32s span=%d parent=%d\n", e.Seq, off, e.Step, e.Name, e.Span, e.Parent)
+		case FlightEnd:
+			_, err = fmt.Fprintf(w, "  #%04d +%-10v step=%-8d end   %-32s span=%d dur=%v\n", e.Seq, off, e.Step, e.Name, e.Span, time.Duration(e.Value).Round(time.Microsecond))
+		case FlightAttr:
+			_, err = fmt.Fprintf(w, "  #%04d +%-10v step=%-8d attr  %-32s span=%d %s=%s\n", e.Seq, off, e.Step, e.Name, e.Span, e.Name, RenderVal(e.Val))
+		default:
+			_, err = fmt.Fprintf(w, "  #%04d +%-10v step=%-8d %v %s\n", e.Seq, off, e.Step, e.Kind, e.Name)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

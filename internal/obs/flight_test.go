@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecordsTail(t *testing.T) {
+	f := NewFlight(16)
+	for i := 0; i < 40; i++ {
+		f.Count("pmem.store", int64(i))
+	}
+	ev := f.Events()
+	if len(ev) != 16 {
+		t.Fatalf("held %d events, want 16", len(ev))
+	}
+	if f.TotalEvents() != 40 {
+		t.Fatalf("total = %d", f.TotalEvents())
+	}
+	// The tail is the LAST 16 events, in order.
+	for i, e := range ev {
+		if e.Seq != uint64(25+i) {
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, 25+i)
+		}
+		if e.Value != float64(24+i) { // delta was the loop index (seq-1)
+			t.Fatalf("event %d value = %v", i, e.Value)
+		}
+	}
+}
+
+func TestFlightSpansAndAttrs(t *testing.T) {
+	f := NewFlight(32)
+	root := f.Start("pipeline.run", A("fn", "put"))
+	child := f.Start("vm.call")
+	child.SetAttr("ops", 7)
+	child.End()
+	root.End()
+
+	ev := f.Events()
+	kinds := make([]FlightKind, len(ev))
+	for i, e := range ev {
+		kinds[i] = e.Kind
+	}
+	want := []FlightKind{FlightBegin, FlightAttr, FlightBegin, FlightAttr, FlightEnd, FlightEnd}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	// Child's begin is parented to the root span.
+	if ev[2].Parent != ev[0].Span {
+		t.Fatalf("child parent = %d, root span = %d", ev[2].Parent, ev[0].Span)
+	}
+	// Attr rendering matches live values.
+	if RenderVal(ev[1].Val) != "put" || RenderVal(ev[3].Val) != "7" {
+		t.Fatalf("attr vals = %v / %v", ev[1].Val, ev[3].Val)
+	}
+	// End event carries the span id and a duration.
+	if ev[4].Span != ev[2].Span || ev[4].Name != "vm.call" {
+		t.Fatalf("end event = %+v", ev[4])
+	}
+}
+
+func TestFlightSpanHandleRecycling(t *testing.T) {
+	f := NewFlight(64)
+	// Warm up and reuse: repeated start/end cycles must not grow the free
+	// list unboundedly or mis-nest parents.
+	for i := 0; i < 10; i++ {
+		sp := f.Start("a")
+		sp.End()
+	}
+	if len(f.free) != 1 {
+		t.Fatalf("free list len = %d, want 1", len(f.free))
+	}
+	// Double End is a no-op.
+	sp := f.Start("b")
+	sp.End()
+	n := f.TotalEvents()
+	sp.End()
+	if f.TotalEvents() != n {
+		t.Fatal("double End recorded an event")
+	}
+}
+
+func TestFlightClock(t *testing.T) {
+	f := NewFlight(16)
+	step := int64(0)
+	f.SetClock(func() int64 { return step })
+	f.Count("a", 1)
+	step = 42
+	f.Count("b", 1)
+	ev := f.Events()
+	if ev[0].Step != 0 || ev[1].Step != 42 {
+		t.Fatalf("steps = %d, %d", ev[0].Step, ev[1].Step)
+	}
+}
+
+func TestFlightMarshalRoundTrip(t *testing.T) {
+	f := NewFlight(16)
+	f.SetClock(func() int64 { return 7 })
+	sp := f.Start("vm.call", A("fn", "put"))
+	f.Count("pmem.store", 3)
+	f.Observe("ckpt.hook.ns", 123.5)
+	f.SetGauge("pmem.dirty_words", 2)
+	sp.End()
+	// Rotate past capacity to exercise ring-cursor restoration.
+	for i := 0; i < 20; i++ {
+		f.Count("pmem.load", 1)
+	}
+
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := UnmarshalFlight(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cap() != f.Cap() || g.TotalEvents() != f.TotalEvents() || g.Len() != f.Len() {
+		t.Fatalf("cap/total/len = %d/%d/%d vs %d/%d/%d",
+			g.Cap(), g.TotalEvents(), g.Len(), f.Cap(), f.TotalEvents(), f.Len())
+	}
+	a, b := f.Events(), g.Events()
+	if len(a) != len(b) {
+		t.Fatalf("events %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq || a[i].Kind != b[i].Kind || a[i].Name != b[i].Name ||
+			a[i].Value != b[i].Value || a[i].Span != b[i].Span || a[i].Parent != b[i].Parent ||
+			a[i].WallNS != b[i].WallNS || a[i].Step != b[i].Step ||
+			RenderVal(a[i].Val) != RenderVal(b[i].Val) {
+			t.Fatalf("event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// The recovered recorder continues recording with increasing seqs.
+	last := b[len(b)-1].Seq
+	g.Count("x", 1)
+	ev := g.Events()
+	if got := ev[len(ev)-1].Seq; got != last+1 {
+		t.Fatalf("continued seq = %d, want %d", got, last+1)
+	}
+}
+
+func TestFlightUnmarshalErrors(t *testing.T) {
+	f := NewFlight(16)
+	f.Count("a", 1)
+	data, _ := f.MarshalBinary()
+
+	if _, err := UnmarshalFlight(nil); err == nil {
+		t.Fatal("empty buffer accepted")
+	}
+	if _, err := UnmarshalFlight([]byte("garbage garbage!")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	for cut := 1; cut < len(data); cut += 7 {
+		if _, err := UnmarshalFlight(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestFlightJSONLAndTimeline(t *testing.T) {
+	f := NewFlight(16)
+	sp := f.Start("vm.call", A("fn", "put"))
+	f.Count("pmem.store", 1)
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		if m["kind"] == "" || m["seq"] == nil {
+			t.Fatalf("line missing fields: %v", m)
+		}
+		n++
+	}
+	if n != 4 { // begin, attr, count, end
+		t.Fatalf("%d JSONL lines, want 4", n)
+	}
+
+	var tl bytes.Buffer
+	if err := f.WriteTimeline(&tl); err != nil {
+		t.Fatal(err)
+	}
+	s := tl.String()
+	for _, want := range []string{"begin", "vm.call", "pmem.store", "fn=put", "4 event(s)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlight(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Count("c", 1)
+				sp := f.Start("s")
+				sp.SetAttr("k", i)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if f.TotalEvents() != 8*200*4 {
+		t.Fatalf("total = %d", f.TotalEvents())
+	}
+	if _, err := f.MarshalBinary(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlightZeroAllocHotPath(t *testing.T) {
+	f := NewFlight(128)
+	// Warm the span free list and the parent stack first: steady state is
+	// what the guarantee covers.
+	for i := 0; i < 8; i++ {
+		sp := f.Start("warm")
+		sp.End()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.Count("pmem.store", 1)
+		f.SetGauge("pmem.dirty_words", 3)
+		f.Observe("ckpt.hook.ns", 99)
+		sp := f.Start("vm.call")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("flight hot path allocates: %v allocs/op", allocs)
+	}
+}
+
+func BenchmarkObsFlightCount(b *testing.B) {
+	f := NewFlight(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Count("pmem.store", 1)
+	}
+}
+
+func BenchmarkObsFlightObserve(b *testing.B) {
+	f := NewFlight(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Observe("ckpt.hook.ns", float64(i))
+	}
+}
+
+func BenchmarkObsFlightSpan(b *testing.B) {
+	f := NewFlight(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := f.Start("vm.call")
+		sp.End()
+	}
+}

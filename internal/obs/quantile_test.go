@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuantileUniform(t *testing.T) {
+	r := NewRecorder()
+	for v := 1; v <= 1024; v++ {
+		r.Observe("lat", float64(v))
+	}
+	p50 := r.Quantile("lat", 0.5)
+	p99 := r.Quantile("lat", 0.99)
+	// Power-of-two buckets bound the error by one bucket width: the true
+	// p50 (≈512) lies in [256, 1024), the true p99 (≈1014) in [512, 1024].
+	if p50 < 256 || p50 > 1024 {
+		t.Fatalf("p50 = %v, want within [256, 1024]", p50)
+	}
+	if p99 < 512 || p99 > 1024 {
+		t.Fatalf("p99 = %v, want within [512, 1024]", p99)
+	}
+	if !(p50 < p99) {
+		t.Fatalf("quantiles not monotone: p50=%v p99=%v", p50, p99)
+	}
+	if min, max := r.Quantile("lat", 0), r.Quantile("lat", 1); min != 1 || max != 1024 {
+		t.Fatalf("q0=%v q1=%v, want 1 and 1024", min, max)
+	}
+}
+
+func TestQuantileDegenerate(t *testing.T) {
+	h := &Hist{}
+	for i := 0; i < 100; i++ {
+		h.observe(5)
+	}
+	// All samples equal: the clamp to [Min, Max] makes every quantile exact.
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 5 {
+			t.Fatalf("Quantile(%v) = %v, want 5", q, got)
+		}
+	}
+}
+
+func TestQuantileBimodal(t *testing.T) {
+	// 90 fast samples at ~4, 10 slow at ~4096: p50 sits in the fast mode,
+	// p99 in the slow mode — the shape tail-latency hunting needs.
+	h := &Hist{}
+	for i := 0; i < 90; i++ {
+		h.observe(4)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(4096)
+	}
+	if p50 := h.Quantile(0.5); p50 < 4 || p50 >= 8 {
+		t.Fatalf("p50 = %v, want in the fast mode [4, 8)", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 2048 || p99 > 4096 {
+		t.Fatalf("p99 = %v, want in the slow mode [2048, 4096]", p99)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Hist
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	if got := NewRecorder().Quantile("absent", 0.5); got != 0 {
+		t.Fatalf("absent quantile = %v", got)
+	}
+	// Out-of-range q clamps rather than panics.
+	h := &Hist{}
+	h.observe(10)
+	if h.Quantile(-1) != 10 || h.Quantile(2) != 10 {
+		t.Fatalf("clamped q = %v / %v", h.Quantile(-1), h.Quantile(2))
+	}
+	// Sub-1 samples land in bucket 0.
+	var sub Hist
+	sub.observe(0.25)
+	sub.observe(0.75)
+	if got := sub.Quantile(0.5); got < 0.25 || got > 0.75 {
+		t.Fatalf("sub-1 p50 = %v", got)
+	}
+}
+
+func TestSummaryShowsQuantiles(t *testing.T) {
+	r := NewRecorder()
+	for v := 1; v <= 100; v++ {
+		r.Observe("ckpt.hook.ns", float64(v))
+	}
+	s := r.Summary()
+	if !strings.Contains(s, "p50=") || !strings.Contains(s, "p99=") {
+		t.Fatalf("summary missing quantiles:\n%s", s)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"sync"
 	"time"
 )
@@ -23,6 +24,57 @@ func (h *Hist) Mean() float64 {
 		return 0
 	}
 	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the power-of-two
+// buckets: the bucket holding the target rank is located and the value is
+// interpolated linearly between the bucket's bounds, then clamped to the
+// exact [Min, Max] the histogram observed. The estimate is therefore never
+// off by more than one bucket width (a factor of two), and degenerate
+// distributions (all samples equal) come back exact via the clamp.
+func (h *Hist) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count-1) // 0-based fractional rank
+	cum := 0.0
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		bc := float64(c)
+		if rank < cum+bc {
+			lo, hi := bucketBounds(i)
+			if hi > h.Max {
+				hi = h.Max
+			}
+			v := lo + (hi-lo)*(rank-cum)/bc
+			if v < h.Min {
+				v = h.Min
+			}
+			if v > h.Max {
+				v = h.Max
+			}
+			return v
+		}
+		cum += bc
+	}
+	return h.Max
+}
+
+// bucketBounds returns bucket i's value range: bucket 0 holds v < 1,
+// bucket i holds [2^(i-1), 2^i).
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return float64(uint64(1) << (i - 1)), float64(uint64(1) << i)
 }
 
 func (h *Hist) observe(v float64) {
@@ -70,6 +122,13 @@ type Recorder struct {
 	spans    []*SpanRecord // in start order
 	stack    []*SpanRecord // active spans, innermost last
 	nextID   uint64
+
+	// Streaming mode (StreamTo): spans are written out as they end so a
+	// crash mid-run loses at most the still-open spans, not the whole trace.
+	stream      *json.Encoder
+	streamErr   error
+	streamEpoch time.Time
+	epochSet    bool
 }
 
 // NewRecorder returns an empty recorder.
@@ -165,6 +224,7 @@ func (s *span) End() {
 			break
 		}
 	}
+	s.r.streamSpanLocked(s.rec)
 }
 
 // Start implements Sink.
@@ -199,6 +259,18 @@ func (r *Recorder) GaugeValue(name string) int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.gauges[name]
+}
+
+// Quantile estimates the q-quantile of a named histogram (0 when absent).
+// See Hist.Quantile for the estimation error bound.
+func (r *Recorder) Quantile(name string, q float64) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		return 0
+	}
+	return h.Quantile(q)
 }
 
 // Histogram returns a copy of a named histogram (nil when absent).

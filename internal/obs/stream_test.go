@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeLines parses a JSONL buffer into generic maps.
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestStreamWritesSpansAsTheyEnd(t *testing.T) {
+	r := NewRecorder()
+	var buf bytes.Buffer
+	r.StreamTo(&buf)
+
+	outer := r.Start("run.script")
+	inner := r.Start("vm.call")
+	inner.End()
+
+	// The inner span must already be on the wire — this is the whole point
+	// of streaming: a crash after this line still has vm.call recorded.
+	lines := decodeLines(t, &buf)
+	if len(lines) != 1 || lines[0]["name"] != "vm.call" {
+		t.Fatalf("after inner End, stream = %v, want just vm.call", lines)
+	}
+
+	outer.End()
+	r.Count("vm.steps", 42)
+	r.Observe("persist.ns", 100)
+	if err := r.CloseStream(); err != nil {
+		t.Fatalf("CloseStream: %v", err)
+	}
+
+	lines = decodeLines(t, &buf)
+	var names []string
+	for _, m := range lines {
+		names = append(names, m["type"].(string)+":"+m["name"].(string))
+	}
+	got := strings.Join(names, " ")
+	want := "span:vm.call span:run.script counter:vm.steps hist:persist.ns"
+	if got != want {
+		t.Fatalf("stream order = %q, want %q", got, want)
+	}
+}
+
+func TestStreamEmitsOpenSpansOnClose(t *testing.T) {
+	r := NewRecorder()
+	var buf bytes.Buffer
+	r.StreamTo(&buf)
+	r.Start("never.ended")
+	if err := r.CloseStream(); err != nil {
+		t.Fatalf("CloseStream: %v", err)
+	}
+	lines := decodeLines(t, &buf)
+	if len(lines) != 1 || lines[0]["name"] != "never.ended" || lines[0]["open"] != true {
+		t.Fatalf("open span not flushed: %v", lines)
+	}
+}
+
+// failWriter errors after n bytes to exercise streaming error capture.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, bytes.ErrTooLarge
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestStreamReportsWriteErrors(t *testing.T) {
+	r := NewRecorder()
+	r.StreamTo(&failWriter{n: 10})
+	for i := 0; i < 5; i++ {
+		r.Start("s").End()
+	}
+	if err := r.CloseStream(); err == nil {
+		t.Fatal("CloseStream returned nil after write failures")
+	}
+}
+
+func TestStreamLeavesRecorderUsable(t *testing.T) {
+	r := NewRecorder()
+	var buf bytes.Buffer
+	r.StreamTo(&buf)
+	r.Start("a").End()
+	if err := r.CloseStream(); err != nil {
+		t.Fatalf("CloseStream: %v", err)
+	}
+	// Recorder still holds all data: Summary and WriteJSONL keep working.
+	if s := r.Summary(); !strings.Contains(s, "a") {
+		t.Fatalf("summary lost span after streaming:\n%s", s)
+	}
+	var again bytes.Buffer
+	if err := r.WriteJSONL(&again); err != nil {
+		t.Fatalf("WriteJSONL after stream: %v", err)
+	}
+	if !strings.Contains(again.String(), `"name":"a"`) {
+		t.Fatalf("WriteJSONL lost span: %s", again.String())
+	}
+	// Ending a span with no active stream is a no-op, not a panic.
+	r.Start("b").End()
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"arthas/internal/obs"
 )
 
 // Pool file persistence: the pmem_map_file analogue. A pool's DURABLE image
@@ -11,14 +13,38 @@ import (
 // save/load cycle has exactly crash semantics (unflushed stores are lost),
 // and a pool file written by one process observes the same recovery
 // obligations a DAX-mapped file would.
+//
+// Format v2 (current) appends two forensic sections after the durable
+// image — activity stats and the flight-recorder event tail — so a saved
+// image is a self-contained post-mortem artifact (`arthas-inspect`):
+//
+//	u64 fileMagic             "ARTH POOL"
+//	u64 fileVersion           (2)
+//	u64 words                 pool size
+//	words × u64               durable image
+//	u64 statsN (=7)           stats words that follow
+//	statsN × u64              Loads, Stores, Persists, PersistedWords,
+//	                          Allocs, Frees, Crashes
+//	u64 flightLen             flight buffer byte length (0 = none)
+//	flightLen bytes           obs.Flight binary encoding
+//
+// Format v1 files (everything up to and including the durable image) are
+// still read: stats come back zero and no flight tail is recovered.
 
 // fileMagic guards against feeding arbitrary files to Open.
 const fileMagic uint64 = 0x41525448_504F4F4C // "ARTH POOL"
 
-// fileVersion is bumped on incompatible layout changes.
-const fileVersion uint64 = 1
+// fileVersion is the current format; fileVersionV1 is the oldest readable.
+const (
+	fileVersion   uint64 = 2
+	fileVersionV1 uint64 = 1
+)
 
-// WriteTo serializes the durable image. It implements io.WriterTo.
+// maxFlightSection bounds the flight buffer a reader will load.
+const maxFlightSection = 1 << 30
+
+// WriteTo serializes the durable image plus the v2 forensic sections. It
+// implements io.WriterTo.
 func (p *Pool) WriteTo(w io.Writer) (int64, error) {
 	var written int64
 	put := func(v uint64) error {
@@ -43,12 +69,57 @@ func (p *Pool) WriteTo(w io.Writer) (int64, error) {
 	}
 	n, err := w.Write(buf)
 	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+
+	// Stats section.
+	stats := []uint64{
+		p.stats.Loads, p.stats.Stores, p.stats.Persists,
+		p.stats.PersistedWords.Words, p.stats.Allocs, p.stats.Frees,
+		p.stats.Crashes,
+	}
+	if err := put(uint64(len(stats))); err != nil {
+		return written, err
+	}
+	for _, v := range stats {
+		if err := put(v); err != nil {
+			return written, err
+		}
+	}
+
+	// Flight-recorder section.
+	var fb []byte
+	if p.flight != nil {
+		if fb, err = p.flight.MarshalBinary(); err != nil {
+			return written, fmt.Errorf("pmem: encoding flight recorder: %w", err)
+		}
+	}
+	if err := put(uint64(len(fb))); err != nil {
+		return written, err
+	}
+	n, err = w.Write(fb)
+	written += int64(n)
 	return written, err
 }
 
 // ReadPool deserializes a pool file. The current image starts equal to the
-// durable one (a clean open after a crash).
+// durable one (a clean open after a crash). Structurally corrupt files and
+// images failing the integrity check are rejected; use ReadPoolInspect to
+// open a damaged image for forensics.
 func ReadPool(r io.Reader) (*Pool, error) {
+	return readPool(r, true)
+}
+
+// ReadPoolInspect opens a pool file WITHOUT validating the formatted-pool
+// magic or running the integrity check, so post-mortem tooling can examine
+// corrupted images (the pmempool-info analogue). The container must still
+// parse: truncated or non-pool files are rejected.
+func ReadPoolInspect(r io.Reader) (*Pool, error) {
+	return readPool(r, false)
+}
+
+func readPool(r io.Reader, strict bool) (*Pool, error) {
 	get := func() (uint64, error) {
 		var buf [8]byte
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
@@ -67,8 +138,8 @@ func ReadPool(r io.Reader) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != fileVersion {
-		return nil, fmt.Errorf("pmem: pool file version %d, want %d", version, fileVersion)
+	if version != fileVersion && version != fileVersionV1 {
+		return nil, fmt.Errorf("pmem: pool file version %d, want <= %d", version, fileVersion)
 	}
 	words64, err := get()
 	if err != nil {
@@ -79,10 +150,12 @@ func ReadPool(r io.Reader) (*Pool, error) {
 		return nil, fmt.Errorf("pmem: implausible pool size %d", words)
 	}
 	p := &Pool{
-		words:   words,
-		cur:     make([]uint64, words),
-		durable: make([]uint64, words),
-		dirty:   map[uint64]struct{}{},
+		words:       words,
+		cur:         make([]uint64, words),
+		durable:     make([]uint64, words),
+		dirty:       map[uint64]struct{}{},
+		sink:        obs.Nop(),
+		fileVersion: int(version),
 	}
 	buf := make([]byte, 8*words)
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -92,11 +165,62 @@ func ReadPool(r io.Reader) (*Pool, error) {
 		p.durable[i] = binary.LittleEndian.Uint64(buf[8*i:])
 	}
 	copy(p.cur, p.durable)
-	if p.durable[hdrMagic] != magicValue {
-		return nil, fmt.Errorf("pmem: pool image not formatted (magic %#x)", p.durable[hdrMagic])
+
+	if version >= 2 {
+		// Stats section: a count guards forward evolution (newer writers
+		// may append stats; older readers must skip what they don't know).
+		statsN, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("pmem: truncated pool file (stats): %w", err)
+		}
+		if statsN > 64 {
+			return nil, fmt.Errorf("pmem: implausible stats section length %d", statsN)
+		}
+		vals := make([]uint64, statsN)
+		for i := range vals {
+			if vals[i], err = get(); err != nil {
+				return nil, fmt.Errorf("pmem: truncated pool file (stats): %w", err)
+			}
+		}
+		dst := []*uint64{
+			&p.stats.Loads, &p.stats.Stores, &p.stats.Persists,
+			&p.stats.PersistedWords.Words, &p.stats.Allocs, &p.stats.Frees,
+			&p.stats.Crashes,
+		}
+		for i, d := range dst {
+			if i < len(vals) {
+				*d = vals[i]
+			}
+		}
+
+		// Flight-recorder section.
+		flightLen, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("pmem: truncated pool file (flight): %w", err)
+		}
+		if flightLen > maxFlightSection {
+			return nil, fmt.Errorf("pmem: implausible flight section length %d", flightLen)
+		}
+		if flightLen > 0 {
+			fb := make([]byte, flightLen)
+			if _, err := io.ReadFull(r, fb); err != nil {
+				return nil, fmt.Errorf("pmem: truncated pool file (flight): %w", err)
+			}
+			fl, err := obs.UnmarshalFlight(fb)
+			if err != nil {
+				return nil, fmt.Errorf("pmem: decoding flight recorder: %w", err)
+			}
+			p.flight = fl
+		}
 	}
-	if rep := p.CheckIntegrity(); !rep.OK() {
-		return nil, fmt.Errorf("pmem: pool file failed integrity check: %v", rep)
+
+	if strict {
+		if p.durable[hdrMagic] != magicValue {
+			return nil, fmt.Errorf("pmem: pool image not formatted (magic %#x)", p.durable[hdrMagic])
+		}
+		if rep := p.CheckIntegrity(); !rep.OK() {
+			return nil, fmt.Errorf("pmem: pool file failed integrity check: %v", rep)
+		}
 	}
 	return p, nil
 }

@@ -2,7 +2,10 @@ package pmem
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
+
+	"arthas/internal/obs"
 )
 
 func TestPoolFileRoundTrip(t *testing.T) {
@@ -80,5 +83,220 @@ func TestPoolFileRejectsCorruptImage(t *testing.T) {
 	p.WriteTo(&buf)
 	if _, err := ReadPool(&buf); err == nil {
 		t.Fatal("corrupt pool image accepted")
+	}
+}
+
+func TestPoolFileInspectOpensCorruptImage(t *testing.T) {
+	p := New(256)
+	a, _ := p.Alloc(4)
+	p.WriteDurable(a-1, 0) // corrupt allocator header
+	var buf bytes.Buffer
+	p.WriteTo(&buf)
+	q, err := ReadPoolInspect(&buf)
+	if err != nil {
+		t.Fatalf("inspect open failed: %v", err)
+	}
+	if rep := q.CheckIntegrity(); rep.OK() {
+		t.Fatal("integrity check missed the corruption")
+	}
+}
+
+func TestPoolFileRejectsBadMagic(t *testing.T) {
+	p := New(256)
+	var buf bytes.Buffer
+	p.WriteTo(&buf)
+	data := buf.Bytes()
+	binary.LittleEndian.PutUint64(data[0:], 0xDEADBEEF)
+	if _, err := ReadPool(bytes.NewReader(data)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestPoolFileRejectsBadVersion(t *testing.T) {
+	p := New(256)
+	var buf bytes.Buffer
+	p.WriteTo(&buf)
+	data := buf.Bytes()
+	binary.LittleEndian.PutUint64(data[8:], 99)
+	if _, err := ReadPool(bytes.NewReader(data)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestPoolFileRejectsTruncatedEverywhere(t *testing.T) {
+	p := New(128)
+	fl := obs.NewFlight(16)
+	fl.Count("pmem.store", 1)
+	p.AttachFlight(fl)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Every proper prefix must be rejected: header, durable image, stats
+	// section, and flight section truncations alike.
+	for cut := 0; cut < len(data); cut += 13 {
+		if _, err := ReadPool(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at byte %d accepted (len %d)", cut, len(data))
+		}
+	}
+}
+
+func TestPoolFileReadsV1Images(t *testing.T) {
+	// A v1 file is exactly header + durable image, no trailing sections.
+	p := New(128)
+	a, _ := p.Alloc(2)
+	p.Store(a, 77)
+	p.Persist(a, 1)
+	p.SetRoot(3, a)
+	var buf bytes.Buffer
+	p.WriteTo(&buf)
+	v1 := buf.Bytes()[:24+8*128]
+	binary.LittleEndian.PutUint64(v1[8:], 1) // rewrite version field
+
+	q, err := ReadPool(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 image rejected: %v", err)
+	}
+	if q.FormatVersion() != 1 {
+		t.Fatalf("format version = %d", q.FormatVersion())
+	}
+	if q.Stats() != (Stats{}) {
+		t.Fatalf("v1 image produced stats %+v", q.Stats())
+	}
+	if v, _ := q.Load(a); v != 77 {
+		t.Fatalf("payload = %d", v)
+	}
+	if root, _ := q.Root(3); root != a {
+		t.Fatalf("root = %#x", root)
+	}
+	if q.Flight() != nil {
+		t.Fatal("v1 image produced a flight recorder")
+	}
+}
+
+func TestPoolFileRoundTripPreservesStatsRootsAndDurability(t *testing.T) {
+	p := New(512)
+	a, _ := p.Alloc(4)
+	p.Store(a, 1)
+	p.Store(a+1, 2)
+	p.Persist(a, 2)
+	p.Load(a)
+	p.SetRoot(0, a)
+	p.SetRoot(15, a+1)
+	b, _ := p.Alloc(3)
+	p.Free(b)
+	p.Crash()
+	p.Store(a+3, 99) // dirty at save time: must NOT travel
+	if p.DirtyWords() == 0 {
+		t.Fatal("setup: expected dirty words before save")
+	}
+	want := p.Stats()
+
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPool(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Stats(); got != want {
+		t.Fatalf("stats did not travel: got %+v, want %+v", got, want)
+	}
+	for _, slot := range []int{0, 15} {
+		pr, _ := p.Root(slot)
+		qr, _ := q.Root(slot)
+		if pr != qr {
+			t.Fatalf("root %d: %#x vs %#x", slot, qr, pr)
+		}
+	}
+	// Durable state travels; volatile (dirty) state has crash semantics.
+	if v, _ := q.Load(a); v != 1 {
+		t.Fatalf("durable word = %d", v)
+	}
+	if q.DirtyWords() != 0 {
+		t.Fatalf("reopened pool has %d dirty words", q.DirtyWords())
+	}
+	if v, _ := q.Load(a + 3); v == 99 {
+		t.Fatal("unpersisted store traveled")
+	}
+	// Word-for-word: durable image identical.
+	for w := uint64(0); w < uint64(q.Words()); w++ {
+		pv, _ := p.ReadDurable(Base + w)
+		qv, _ := q.ReadDurable(Base + w)
+		if pv != qv {
+			t.Fatalf("durable word %d differs: %d vs %d", w, qv, pv)
+		}
+	}
+}
+
+func TestPoolFileRoundTripsFlight(t *testing.T) {
+	p := New(128)
+	fl := obs.NewFlight(32)
+	p.AttachFlight(fl)
+	p.SetSink(fl) // route pool telemetry into the recorder
+	a, _ := p.Alloc(2)
+	p.Store(a, 5)
+	p.Persist(a, 1)
+	p.Crash()
+
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPool(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfl := q.Flight()
+	if rfl == nil {
+		t.Fatal("flight recorder did not travel")
+	}
+	a2, b2 := fl.Events(), rfl.Events()
+	if len(a2) == 0 || len(a2) != len(b2) {
+		t.Fatalf("events: %d vs %d", len(b2), len(a2))
+	}
+	for i := range a2 {
+		if a2[i].Seq != b2[i].Seq || a2[i].Kind != b2[i].Kind || a2[i].Name != b2[i].Name || a2[i].Value != b2[i].Value {
+			t.Fatalf("event %d: %+v vs %+v", i, b2[i], a2[i])
+		}
+	}
+	// The crash marker made it into the tail.
+	found := false
+	for _, e := range b2 {
+		if e.Name == "pmem.crash" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pmem.crash missing from recovered tail: %+v", b2)
+	}
+}
+
+func TestPoolInfo(t *testing.T) {
+	p := New(256)
+	a, _ := p.Alloc(4)
+	p.Store(a, 9)
+	p.Persist(a, 1)
+	p.SetRoot(2, a)
+	b, _ := p.Alloc(3)
+	p.Free(b)
+
+	info := p.Info()
+	if info.Words != 256 || info.FormatVersion != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.LiveWords != 4 || info.LiveBlocks != 1 || info.FreeBlocks != 1 {
+		t.Fatalf("alloc info = %+v", info)
+	}
+	if info.Roots[2] != a {
+		t.Fatalf("roots = %v", info.Roots)
+	}
+	if info.Stats.Allocs != 2 || info.Stats.Frees != 1 {
+		t.Fatalf("stats = %+v", info.Stats)
+	}
+	if info.NonzeroWords == 0 {
+		t.Fatal("nonzero durable words = 0")
 	}
 }

@@ -113,13 +113,25 @@ type Pool struct {
 	// statistics
 	stats Stats
 
+	// flight, when attached, is serialized into the pool image by WriteTo
+	// and recovered by ReadPool: the telemetry tail survives crashes the
+	// same way durable data does. The pool does not feed it directly — it
+	// is wired in as a Sink by the arthas facade.
+	flight *obs.Flight
+
+	// fileVersion records which pool-file format this pool was read from
+	// (fileVersion for pools created by New).
+	fileVersion int
+
 	// sink receives durability telemetry; obsOn caches sink.Enabled() so
 	// the hot load/store paths pay one predictable branch when disabled.
 	sink  obs.Sink
 	obsOn bool
 }
 
-// Stats counts pool activity since creation (volatile; not part of pool state).
+// Stats counts pool activity since creation. Stats are not durable state,
+// but pool files (format v2) carry them so post-mortem tooling can see how
+// much activity preceded a save; a freshly created pool starts at zero.
 type Stats struct {
 	Loads    uint64
 	Stores   uint64
@@ -140,11 +152,12 @@ func New(words int) *Pool {
 		words = 64
 	}
 	p := &Pool{
-		words:   words,
-		cur:     make([]uint64, words),
-		durable: make([]uint64, words),
-		dirty:   make(map[uint64]struct{}),
-		sink:    obs.Nop(),
+		words:       words,
+		cur:         make([]uint64, words),
+		durable:     make([]uint64, words),
+		dirty:       make(map[uint64]struct{}),
+		sink:        obs.Nop(),
+		fileVersion: int(fileVersion),
 	}
 	p.cur[hdrMagic] = magicValue
 	p.cur[hdrSize] = uint64(words)
@@ -166,6 +179,19 @@ func (p *Pool) SetSink(s obs.Sink) {
 
 // HooksInstalled reports whether any persist hook is present.
 func (p *Pool) HooksInstalled() bool { return p.hooks.OnPersist != nil }
+
+// AttachFlight associates a flight recorder with the pool: WriteTo embeds
+// its event tail in the pool image and ReadPool recovers it. Attach does
+// NOT route pool telemetry into f — install it as (part of) the pool's
+// Sink for that.
+func (p *Pool) AttachFlight(f *obs.Flight) { p.flight = f }
+
+// Flight returns the attached (or recovered) flight recorder, nil if none.
+func (p *Pool) Flight() *obs.Flight { return p.flight }
+
+// FormatVersion reports the pool-file format this pool was read from
+// (the current format for pools created by New).
+func (p *Pool) FormatVersion() int { return p.fileVersion }
 
 // Words returns the pool size in words.
 func (p *Pool) Words() int { return p.words }
