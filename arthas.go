@@ -41,6 +41,7 @@ package arthas
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"arthas/internal/analysis"
 	"arthas/internal/checkpoint"
@@ -95,6 +96,13 @@ type Config struct {
 	// (optional; use recover_begin()/recover_end() inside it to enable
 	// leak mitigation).
 	RecoverFn string
+	// RestartLatency simulates the fixed cost of a real process restart
+	// (exec, PM pool remap, recovery scan) that the instant in-memory
+	// Restart otherwise hides. Mitigation re-executes the system once per
+	// candidate reversion, so this latency dominates real mitigation time;
+	// speculative sessions (Reactor.Workers > 1) overlap it. 0 (the
+	// default) keeps Restart instant.
+	RestartLatency time.Duration
 	// Reactor configures the mitigation strategy (defaults to purge-first
 	// with rollback fallback, one-by-one reversion).
 	Reactor reactor.Config
@@ -169,7 +177,9 @@ func build(name, source string, cfg Config, pool *pmem.Pool) (*Instance, error) 
 		cfg.StepLimit = 5_000_000
 	}
 	if cfg.Reactor.MaxAttempts == 0 {
+		workers := cfg.Reactor.Workers
 		cfg.Reactor = reactor.DefaultConfig()
+		cfg.Reactor.Workers = workers
 	}
 	mod, err := ir.CompileSource(name, source)
 	if err != nil {
@@ -246,6 +256,9 @@ func (i *Instance) Call(fn string, args ...int64) (int64, *Trap) {
 // Restart simulates process kill + restart: unpersisted stores are lost,
 // volatile state is dropped, and the configured recovery function runs.
 func (i *Instance) Restart() *Trap {
+	if i.cfg.RestartLatency > 0 {
+		time.Sleep(i.cfg.RestartLatency)
+	}
 	i.Pool.Crash()
 	i.boot()
 	if i.cfg.RecoverFn != "" {
@@ -285,6 +298,69 @@ func (i *Instance) Mitigate(reexec func() *Trap) (*Report, error) {
 		Obs:       i.obsSink,
 	}
 	return reactor.Mitigate(i.cfg.Reactor, ctx), nil
+}
+
+// MitigateCall is Mitigate specialized to the common re-execution script
+// "restart, then re-issue one call". Unlike Mitigate — whose opaque reexec
+// closure is bound to the live instance — the recipe form can be replayed
+// against isolated copy-on-write forks of the pool and checkpoint log, so
+// when Config.Reactor.Workers > 1 the reversion search runs speculatively
+// in parallel (docs/PARALLEL_MITIGATION.md). At Workers <= 1 it behaves
+// exactly like the equivalent Mitigate call.
+func (i *Instance) MitigateCall(fn string, args ...int64) (*Report, error) {
+	if i.lastTrap == nil {
+		return nil, fmt.Errorf("arthas: no observed failure; call Observe first")
+	}
+	ctx := &reactor.Context{
+		Analysis:  i.Analysis,
+		Trace:     i.Trace,
+		Log:       i.Log,
+		Pool:      i.Pool,
+		Fault:     i.lastTrap.Instr,
+		AddrFault: i.lastTrap.Kind == vm.TrapSegfault,
+		ReExec: func() *Trap {
+			if trap := i.Restart(); trap != nil {
+				return trap
+			}
+			_, trap := i.Call(fn, args...)
+			return trap
+		},
+		Obs: i.obsSink,
+	}
+	if i.cfg.Reactor.Workers > 1 {
+		ctx.ForkSession = i.forkSession(fn, args)
+	}
+	return reactor.Mitigate(i.cfg.Reactor, ctx), nil
+}
+
+// forkSession builds the speculative-session factory for MitigateCall: each
+// session is a COW fork of the pool with its own forked checkpoint log and
+// a private machine. Fork machines carry no trace or telemetry sinks —
+// speculative probes must not pollute the instance's shared state.
+func (i *Instance) forkSession(fn string, args []int64) func() (*reactor.Session, error) {
+	return func() (*reactor.Session, error) {
+		pool := i.Pool.Fork()
+		log := i.Log.Fork()
+		pool.SetHooks(log.Hooks())
+		return &reactor.Session{
+			Pool: pool,
+			Log:  log,
+			ReExec: func() *Trap {
+				if i.cfg.RestartLatency > 0 {
+					time.Sleep(i.cfg.RestartLatency)
+				}
+				pool.Crash()
+				m := vm.New(i.Module, pool, vm.Config{StepLimit: i.cfg.StepLimit})
+				if i.cfg.RecoverFn != "" {
+					if _, trap := m.Call(i.cfg.RecoverFn); trap != nil {
+						return trap
+					}
+				}
+				_, trap := m.Call(fn, args...)
+				return trap
+			},
+		}, nil
+	}
 }
 
 // MitigateWithFaults is Mitigate with explicit fault instructions, for

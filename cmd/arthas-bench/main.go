@@ -4,15 +4,19 @@
 // Usage:
 //
 //	arthas-bench [-exp NAME] [-ops N] [-ycsb N] [-inserts N] [-seeds N]
-//	             [-json FILE]
+//	             [-json FILE] [-workers N]
 //
 //	-json   run the full evaluation and write every table/figure result as
 //	        one structured JSON document (schema arthas-bench/v1) instead
 //	        of text; see BENCH_baseline.json for a committed example
+//	-workers N > 1 adds a sequential-vs-parallel speculative-mitigation
+//	        comparison ("workers"/"parallel" JSON fields, or `-exp
+//	        parallel` as text); at the default 1 the output is unchanged
 //	-exp    which experiment to run (default "all"):
 //	        table1 fig2 fig3 types table2          (study + dataset)
 //	        table3 table4 table5 fig8 fig9 fig11   (recoverability matrix)
 //	        fig10 table6                           (batch vs one-by-one)
+//	        parallel                               (speculative speedup)
 //	        table7                                 (invariants/checksums)
 //	        fig12 table8                           (runtime overhead)
 //	        table9                                 (static analysis)
@@ -38,6 +42,7 @@ func main() {
 	inserts := flag.Int("inserts", 100_000, "insert ops for overhead runs")
 	seeds := flag.Int("seeds", 10, "seeds for probabilistic pmCRIU cases")
 	jsonOut := flag.String("json", "", "write the full evaluation as structured JSON to this file")
+	workers := flag.Int("workers", 1, "add a sequential-vs-parallel mitigation comparison at this worker count (1 = off; JSON output unchanged)")
 	flag.Parse()
 
 	mcfg := experiments.MatrixConfig{Seeds: *seeds}
@@ -46,7 +51,7 @@ func main() {
 
 	if *jsonOut != "" {
 		rep, err := experiments.FullJSON(experiments.FullConfig{
-			Matrix: mcfg, Overhead: ocfg,
+			Matrix: mcfg, Overhead: ocfg, Workers: *workers,
 		})
 		check(err)
 		f, err := os.Create(*jsonOut)
@@ -119,6 +124,14 @@ func main() {
 		} else {
 			fmt.Print(res.Table8())
 		}
+	case *exp == "parallel":
+		w := *workers
+		if w < 2 {
+			w = 4
+		}
+		pc, err := experiments.RunParallelComparison(faults.RunConfig{}, w)
+		check(err)
+		fmt.Print(pc.Text())
 	case *exp == "table9":
 		ts, err := experiments.MeasureStatic()
 		check(err)

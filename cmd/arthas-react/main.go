@@ -6,8 +6,12 @@
 // Usage:
 //
 //	arthas-react [-solution arthas|pmcriu|arckpt] [-mode purge|rollback]
-//	             [-ops N] [-batch N] [-trace FILE] [-metrics]
+//	             [-ops N] [-batch N] [-workers N] [-trace FILE] [-metrics]
 //	             [-flight N] [-debug ADDR] f1..f12
+//
+// -workers N > 1 runs the Arthas reversion search speculatively in
+// parallel on copy-on-write pool forks (docs/PARALLEL_MITIGATION.md); the
+// mitigation outcome is identical to the sequential search's.
 //
 // -trace FILE writes the full pipeline telemetry (run/detect/plan/revert/
 // re-execute spans plus per-layer metrics) as JSONL; -metrics prints a
@@ -35,6 +39,7 @@ func main() {
 	mode := flag.String("mode", "purge", "arthas reversion mode: purge or rollback")
 	ops := flag.Int("ops", 0, "workload operations (0 = case default)")
 	batch := flag.Int("batch", 1, "sequence numbers reverted per re-execution")
+	workers := flag.Int("workers", 1, "speculative mitigation workers (1 = sequential search)")
 	traceFile := flag.String("trace", "", "write telemetry (spans + metrics) as JSONL to this file")
 	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr on exit")
 	flight := flag.Int("flight", obs.DefaultFlightEvents, "flight-recorder ring size in events (0 disables)")
@@ -54,6 +59,7 @@ func main() {
 	cfg := faults.RunConfig{WorkloadOps: *ops}
 	cfg.Reactor = reactor.DefaultConfig()
 	cfg.Reactor.Batch = *batch
+	cfg.Reactor.Workers = *workers
 	if *mode == "rollback" {
 		cfg.Reactor.Mode = reactor.ModeRollback
 	}

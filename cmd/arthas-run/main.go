@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	arthas-run [-recover FN] [-pool WORDS] [-trace FILE] [-metrics]
-//	           [-flight N] [-debug ADDR]
+//	arthas-run [-recover FN] [-pool WORDS] [-workers N] [-trace FILE]
+//	           [-metrics] [-flight N] [-debug ADDR]
 //	           file.pml "call args; call args; ..."
 //
 // Script statements are semicolon-separated function calls with integer
 // arguments, plus the pseudo-ops "restart" (crash + restart) and "stats".
+//
+// -workers N > 1 makes the "mitigate FN ARGS" pseudo-op search candidate
+// reversions speculatively in parallel on copy-on-write pool forks
+// (docs/PARALLEL_MITIGATION.md); the outcome matches the sequential search.
 //
 // -trace FILE streams the full telemetry (spans + metrics from every
 // runtime layer) as JSONL. The file is opened at startup and spans are
@@ -40,6 +44,7 @@ import (
 func main() {
 	recoverFn := flag.String("recover", "", "recovery function run on restart")
 	pool := flag.Int("pool", 1<<16, "pool size in words")
+	workers := flag.Int("workers", 1, "speculative workers for the script's mitigate pseudo-op (1 = sequential)")
 	poolFile := flag.String("poolfile", "", "image file: reopened if it exists, saved on exit (durable state AND mitigation history persist across invocations)")
 	traceFile := flag.String("trace", "", "stream telemetry (spans + metrics) as JSONL to this file")
 	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr on exit")
@@ -47,7 +52,7 @@ func main() {
 	debugAddr := flag.String("debug", "", "serve pprof, /metrics, /flight, /healthz on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, `usage: arthas-run [-recover FN] [-pool WORDS] [-poolfile F] [-trace F] [-metrics] [-flight N] [-debug ADDR] file.pml "init_; put 1 2; get 1"`)
+		fmt.Fprintln(os.Stderr, `usage: arthas-run [-recover FN] [-pool WORDS] [-workers N] [-poolfile F] [-trace F] [-metrics] [-flight N] [-debug ADDR] file.pml "init_; put 1 2; get 1"`)
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -56,6 +61,7 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := arthas.Config{PoolWords: *pool, RecoverFn: *recoverFn, FlightEvents: *flight}
+	cfg.Reactor.Workers = *workers
 	var rec *obs.Recorder
 	var traceF *os.File
 	if *traceFile != "" || *metrics || *debugAddr != "" {

@@ -153,6 +153,38 @@ type JSONReport struct {
 	Detection []JSONDetection  `json:"detection,omitempty"`
 	Overhead  []JSONThroughput `json:"overhead,omitempty"`
 	Static    []JSONStatic     `json:"static,omitempty"`
+	// Workers and Parallel appear only when the evaluation ran with
+	// FullConfig.Workers > 1 (cmd/arthas-bench -workers N): the default
+	// sequential report stays byte-identical.
+	Workers  int                `json:"workers,omitempty"`
+	Parallel []JSONParallelCase `json:"parallel,omitempty"`
+}
+
+// JSONParallelCase is one sequential-vs-parallel mitigation measurement.
+type JSONParallelCase struct {
+	ID           string  `json:"id"`
+	System       string  `json:"system"`
+	SequentialMS float64 `json:"sequential_ms"`
+	ParallelMS   float64 `json:"parallel_ms"`
+	Speedup      float64 `json:"speedup"`
+	OutcomeMatch bool    `json:"outcome_match"`
+}
+
+// JSON flattens the parallel comparison.
+func (pc *ParallelComparison) JSON() []JSONParallelCase {
+	out := make([]JSONParallelCase, 0, len(pc.Cases))
+	for i := range pc.Cases {
+		c := &pc.Cases[i]
+		out = append(out, JSONParallelCase{
+			ID:           c.Meta.ID,
+			System:       c.Meta.System,
+			SequentialMS: float64(c.Sequential.MitigationTime.Microseconds()) / 1000,
+			ParallelMS:   float64(c.Parallel.MitigationTime.Microseconds()) / 1000,
+			Speedup:      c.Speedup(),
+			OutcomeMatch: c.OutcomeMatch,
+		})
+	}
+	return out
 }
 
 // JSONSchema versions the report layout.
@@ -189,6 +221,15 @@ func FullJSON(cfg FullConfig) (*JSONReport, error) {
 			return nil, err
 		}
 		rep.Detection = append(rep.Detection, JSONDetection{ID: b.ID, Invariant: inv, Checksum: chk})
+	}
+
+	if cfg.Workers > 1 {
+		pc, err := RunParallelComparison(cfg.Matrix.Run, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		rep.Workers = cfg.Workers
+		rep.Parallel = pc.JSON()
 	}
 
 	if !cfg.SkipOverhead {

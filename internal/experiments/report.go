@@ -58,6 +58,9 @@ type FullConfig struct {
 	Batch    faults.RunConfig
 	// SkipOverhead omits the (slow) Figure 12 / Table 8 measurements.
 	SkipOverhead bool
+	// Workers > 1 adds the sequential-vs-parallel speculative mitigation
+	// comparison at that worker count (JSONReport.Parallel).
+	Workers int
 }
 
 // FullReport produces the entire paper evaluation as text.

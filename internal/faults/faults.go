@@ -58,6 +58,12 @@ type Case struct {
 	// nil = healthy. Synthetic traps (UserFail with case-specific codes)
 	// represent data-loss symptoms.
 	Probe func() *vm.Trap
+	// ProbeOn is Probe generalized over the deployment it runs against, so
+	// the parallel reactor can probe copy-on-write forks of the live
+	// deployment concurrently (Probe must stay pinned to c.D). Cases that
+	// define ProbeOn set Probe = func() { return ProbeOn(c.D) }. Nil for
+	// leak cases, whose mitigation never re-executes speculatively.
+	ProbeOn func(d *systems.Deployment) *vm.Trap
 	// FaultInstrs resolves the fault instruction(s) from the probe trap.
 	FaultInstrs func(trap *vm.Trap) []*ir.Instr
 	// Consistency validates the recovered system beyond the probe

@@ -102,13 +102,15 @@ func F1() Builder {
 				mc.Set(356, 40, 2) // crawler frees, block reused, self-link
 				return nil
 			}
-			c.Probe = func() *vm.Trap {
-				if trap := mc.Restart(); trap != nil {
+			c.ProbeOn = func(d *systems.Deployment) *vm.Trap {
+				m := &systems.MC{Deployment: d}
+				if trap := m.Restart(); trap != nil {
 					return trap
 				}
-				_, trap := mc.Call("mc_get", 36)
+				_, trap := m.Call("mc_get", 36)
 				return trap
 			}
+			c.Probe = func() *vm.Trap { return c.ProbeOn(c.D) }
 			c.FaultInstrs = instrOfTrap
 			c.Consistency = func() error { return mcConsistency(mc) }
 			c.RunInvariants = func() bool { return mcInvariants(mc) }
@@ -140,11 +142,12 @@ func F2() Builder {
 			}
 			// Key 43 is a workload key set long before the trigger, so any
 			// pre-trigger snapshot contains it.
-			c.Probe = func() *vm.Trap {
-				if trap := mc.Restart(); trap != nil {
+			c.ProbeOn = func(d *systems.Deployment) *vm.Trap {
+				m := &systems.MC{Deployment: d}
+				if trap := m.Restart(); trap != nil {
 					return trap
 				}
-				v, trap := mc.Call("mc_get", 43)
+				v, trap := m.Call("mc_get", 43)
 				if trap != nil {
 					return trap
 				}
@@ -153,6 +156,7 @@ func F2() Builder {
 				}
 				return nil
 			}
+			c.Probe = func() *vm.Trap { return c.ProbeOn(c.D) }
 			// The symptom is the flushed-miss return inside mc_get (the
 			// second return; the first is the plain lookup miss).
 			c.FaultInstrs = func(*vm.Trap) []*ir.Instr {
@@ -202,14 +206,15 @@ func F3() Builder {
 				}
 				return nil
 			}
-			c.Probe = func() *vm.Trap {
+			c.ProbeOn = func(d *systems.Deployment) *vm.Trap {
 				if lostKey == 0 {
 					return nil // race did not lose an insert this run
 				}
-				if trap := mc.Restart(); trap != nil {
+				m := &systems.MC{Deployment: d}
+				if trap := m.Restart(); trap != nil {
 					return trap
 				}
-				v, trap := mc.Call("mc_get", lostKey)
+				v, trap := m.Call("mc_get", lostKey)
 				if trap != nil {
 					return trap
 				}
@@ -218,6 +223,7 @@ func F3() Builder {
 				}
 				return nil
 			}
+			c.Probe = func() *vm.Trap { return c.ProbeOn(c.D) }
 			// Lookup-miss return of mc_get.
 			c.FaultInstrs = func(*vm.Trap) []*ir.Instr {
 				rets := c.D.RetInstrs("mc_get")
@@ -262,13 +268,15 @@ func F4() Builder {
 				mc.Call("mc_append", 205, 70_000, 9)
 				return nil
 			}
-			c.Probe = func() *vm.Trap {
-				if trap := mc.Restart(); trap != nil {
+			c.ProbeOn = func(d *systems.Deployment) *vm.Trap {
+				m := &systems.MC{Deployment: d}
+				if trap := m.Restart(); trap != nil {
 					return trap
 				}
-				_, trap := mc.Call("mc_get", 205)
+				_, trap := m.Call("mc_get", 205)
 				return trap
 			}
+			c.Probe = func() *vm.Trap { return c.ProbeOn(c.D) }
 			c.FaultInstrs = instrOfTrap
 			c.Consistency = func() error {
 				if err := mcConsistency(mc); err != nil {
@@ -327,11 +335,12 @@ func F5() Builder {
 				mc.Pool.InjectBitFlip(root+6, 0, true)
 				return nil
 			}
-			c.Probe = func() *vm.Trap {
-				if trap := mc.Restart(); trap != nil {
+			c.ProbeOn = func(d *systems.Deployment) *vm.Trap {
+				m := &systems.MC{Deployment: d}
+				if trap := m.Restart(); trap != nil {
 					return trap
 				}
-				v, trap := mc.Call("mc_get", 43)
+				v, trap := m.Call("mc_get", 43)
 				if trap != nil {
 					return trap
 				}
@@ -340,6 +349,7 @@ func F5() Builder {
 				}
 				return nil
 			}
+			c.Probe = func() *vm.Trap { return c.ProbeOn(c.D) }
 			c.FaultInstrs = func(*vm.Trap) []*ir.Instr {
 				rets := c.D.RetInstrs("mc_get")
 				if len(rets) >= 1 {

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"arthas/internal/detector"
 	"arthas/internal/ir"
@@ -93,13 +94,15 @@ func F6() Builder {
 				}
 				return nil
 			}
-			c.Probe = func() *vm.Trap {
-				if trap := rd.Restart(); trap != nil {
+			c.ProbeOn = func(d *systems.Deployment) *vm.Trap {
+				r := &systems.RD{Deployment: d}
+				if trap := r.Restart(); trap != nil {
 					return trap
 				}
-				_, trap := rd.Call("rd_get", 401)
+				_, trap := r.Call("rd_get", 401)
 				return trap
 			}
+			c.Probe = func() *vm.Trap { return c.ProbeOn(c.D) }
 			c.FaultInstrs = instrOfTrap
 			c.Consistency = func() error {
 				if err := rdConsistency(rd); err != nil {
@@ -160,13 +163,15 @@ func F7() Builder {
 				rd.Call("rd_unshare", 302, 1)
 				return nil
 			}
-			c.Probe = func() *vm.Trap {
-				if trap := rd.Restart(); trap != nil {
+			c.ProbeOn = func(d *systems.Deployment) *vm.Trap {
+				r := &systems.RD{Deployment: d}
+				if trap := r.Restart(); trap != nil {
 					return trap
 				}
-				_, trap := rd.Call("rd_get", 301)
+				_, trap := r.Call("rd_get", 301)
 				return trap
 			}
+			c.Probe = func() *vm.Trap { return c.ProbeOn(c.D) }
 			c.FaultInstrs = instrOfTrap
 			c.Consistency = func() error {
 				if err := rdConsistency(rd); err != nil {
@@ -294,14 +299,19 @@ func F9() Builder {
 				}
 				return nil
 			}
-			c.Probe = func() *vm.Trap {
-				if trap := cc.Restart(); trap != nil {
+			// Concurrent speculative probes each need a fresh key; the
+			// atomic add keeps them unique (and -race clean) without
+			// changing the sequential behaviour.
+			c.ProbeOn = func(d *systems.Deployment) *vm.Trap {
+				h := &systems.CC{Deployment: d}
+				if trap := h.Restart(); trap != nil {
 					return trap
 				}
-				_, trap := cc.Call("cc_insert", 900_000+nextKey, 1)
-				nextKey++
+				k := atomic.AddInt64(&nextKey, 1) - 1
+				_, trap := h.Call("cc_insert", 900_000+k, 1)
 				return trap
 			}
+			c.Probe = func() *vm.Trap { return c.ProbeOn(c.D) }
 			c.FaultInstrs = instrOfTrap
 			c.Consistency = func() error {
 				if rep := cc.Pool.CheckIntegrity(); !rep.OK() {
@@ -372,13 +382,15 @@ func F10() Builder {
 				pk.Set(209, 1, 70_000)
 				return nil
 			}
-			c.Probe = func() *vm.Trap {
-				if trap := pk.Restart(); trap != nil {
+			c.ProbeOn = func(d *systems.Deployment) *vm.Trap {
+				p := &systems.PK{Deployment: d}
+				if trap := p.Restart(); trap != nil {
 					return trap
 				}
-				_, trap := pk.Call("pk_get", 209)
+				_, trap := p.Call("pk_get", 209)
 				return trap
 			}
+			c.Probe = func() *vm.Trap { return c.ProbeOn(c.D) }
 			c.FaultInstrs = instrOfTrap
 			c.Consistency = func() error {
 				if rep := pk.Pool.CheckIntegrity(); !rep.OK() {
@@ -451,13 +463,15 @@ func F11() Builder {
 				}
 				return trap
 			}
-			c.Probe = func() *vm.Trap {
-				if trap := pk.Restart(); trap != nil {
+			c.ProbeOn = func(d *systems.Deployment) *vm.Trap {
+				p := &systems.PK{Deployment: d}
+				if trap := p.Restart(); trap != nil {
 					return trap
 				}
-				_, trap := pk.Call("pk_stats")
+				_, trap := p.Call("pk_stats")
 				return trap
 			}
+			c.Probe = func() *vm.Trap { return c.ProbeOn(c.D) }
 			c.FaultInstrs = instrOfTrap
 			c.Consistency = func() error {
 				if rep := pk.Pool.CheckIntegrity(); !rep.OK() {

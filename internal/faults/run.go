@@ -55,7 +55,9 @@ func (cfg RunConfig) withDefaults(m Meta) RunConfig {
 		cfg.Snapshots = 5
 	}
 	if cfg.Reactor.MaxAttempts == 0 {
+		workers := cfg.Reactor.Workers
 		cfg.Reactor = reactor.DefaultConfig()
+		cfg.Reactor.Workers = workers
 	}
 	if cfg.ArCkptAttempts == 0 {
 		cfg.ArCkptAttempts = 64
@@ -88,6 +90,10 @@ type Outcome struct {
 	MitigationTime time.Duration
 	// TimedOut marks budget exhaustion.
 	TimedOut bool
+	// Report is the raw reactor report (Arthas non-leak runs only). Its
+	// outcome fields are deterministic across worker counts; Attempts
+	// above is telemetry-derived and counts speculative re-executions too.
+	Report *reactor.Report
 }
 
 // runToFailure deploys, applies workload+trigger, confirms the failure and
@@ -209,7 +215,18 @@ func RunArthas(b Builder, cfg RunConfig) (*Outcome, error) {
 		ReExec:    c.Probe,
 		Obs:       sink,
 	}
+	if cfg.Reactor.Workers > 1 && c.ProbeOn != nil {
+		ctx.ForkSession = func() (*reactor.Session, error) {
+			fd := c.D.Fork()
+			return &reactor.Session{
+				Pool:   fd.Pool,
+				Log:    fd.Log,
+				ReExec: func() *vm.Trap { return c.ProbeOn(fd) },
+			}, nil
+		}
+	}
 	rep := reactor.Mitigate(cfg.Reactor, ctx)
+	out.Report = rep
 	out.Recovered = rep.Recovered
 	// Tallies come from the telemetry, not private bookkeeping: attempts =
 	// recorded re-execution spans, reversion = the checkpoint log's own

@@ -1,0 +1,71 @@
+package obs
+
+import "sort"
+
+// Merging per-worker telemetry.
+//
+// A Recorder's span stack assumes single-goroutine nesting, so concurrent
+// speculative-mitigation workers each record into a private Recorder and the
+// reactor replays them into the session's main sink afterwards, in
+// deterministic trial order (see docs/PARALLEL_MITIGATION.md). Replay
+// reconstructs the span tree (spans re-nest under their recorded parents)
+// and re-emits counters; wall-clock timing cannot be transplanted onto the
+// destination's clock, so each replayed span carries its recorded duration
+// as a "replayed_dur_ns" attribute instead. Gauges and histograms are NOT
+// replayed: a speculative worker's point-in-time values and latency samples
+// describe its private fork, not the main session.
+
+// ReplayInto re-emits src's spans (with their recorded attributes plus
+// extra, preserving parent/child structure) and counters into dst. A nil
+// src or disabled dst is a no-op.
+func ReplayInto(dst Sink, src *Recorder, extra ...Attr) {
+	if src == nil || !Enabled(dst) {
+		return
+	}
+	spans := src.Spans()
+	children := make(map[uint64][]*SpanRecord, len(spans))
+	for _, s := range spans {
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	var replay func(rec *SpanRecord)
+	replay = func(rec *SpanRecord) {
+		attrs := make([]Attr, 0, len(rec.Attrs)+len(extra)+1)
+		attrs = append(attrs, rec.Attrs...)
+		attrs = append(attrs, extra...)
+		attrs = append(attrs, A("replayed_dur_ns", rec.Dur.Nanoseconds()))
+		sp := dst.Start(rec.Name, attrs...)
+		for _, c := range children[rec.ID] {
+			replay(c)
+		}
+		sp.End()
+	}
+	// Spans() returns start order, so roots (Parent 0) replay in the order
+	// the worker opened them.
+	for _, s := range children[0] {
+		replay(s)
+	}
+	for _, c := range src.CountersInOrder() {
+		dst.Count(c.Name, c.Value)
+	}
+}
+
+// CounterSample is one named counter value (see CountersInOrder).
+type CounterSample struct {
+	Name  string
+	Value int64
+}
+
+// CountersInOrder returns the recorder's counters in first-seen order.
+func (r *Recorder) CountersInOrder() []CounterSample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]CounterSample, 0, len(r.counters))
+	for name := range r.counters {
+		out = append(out, CounterSample{Name: name, Value: r.counters[name]})
+	}
+	// Sort by first-seen registration order so replay is deterministic.
+	sort.Slice(out, func(i, j int) bool {
+		return r.order[out[i].Name] < r.order[out[j].Name]
+	})
+	return out
+}

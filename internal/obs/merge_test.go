@@ -1,0 +1,68 @@
+package obs
+
+import "testing"
+
+func TestReplayIntoPreservesTreeAndCounters(t *testing.T) {
+	src := NewRecorder()
+	root := src.Start("reactor.reexec", A("trial", 0))
+	child := src.Start("reactor.revert", A("seq", uint64(5)))
+	child.End()
+	root.SetAttr("outcome", "recovered")
+	root.End()
+	second := src.Start("reactor.revert", A("seq", uint64(6)))
+	second.End()
+	src.Count("pmem.load", 3)
+	src.Count("ckpt.reverts", 1)
+
+	dst := NewRecorder()
+	outer := dst.Start("reactor.mitigate")
+	ReplayInto(dst, src, A("worker", 2))
+	outer.End()
+
+	spans := dst.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("replayed %d spans, want 4", len(spans))
+	}
+	byName := map[string][]*SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	reexec := byName["reactor.reexec"][0]
+	if reexec.Parent != byName["reactor.mitigate"][0].ID {
+		t.Fatal("replayed root did not nest under the active span")
+	}
+	// The recorded child must re-nest under the replayed root, and the
+	// recorded sibling root must NOT.
+	var nested, sibling *SpanRecord
+	for _, s := range byName["reactor.revert"] {
+		if s.Parent == reexec.ID {
+			nested = s
+		} else {
+			sibling = s
+		}
+	}
+	if nested == nil {
+		t.Fatal("child span lost its parent on replay")
+	}
+	if sibling == nil || sibling.Parent != byName["reactor.mitigate"][0].ID {
+		t.Fatal("sibling root span gained a wrong parent on replay")
+	}
+	// Extra attrs and the recorded duration ride along.
+	found := map[string]bool{}
+	for _, a := range reexec.Attrs {
+		found[a.Key] = true
+	}
+	for _, k := range []string{"trial", "outcome", "worker", "replayed_dur_ns"} {
+		if !found[k] {
+			t.Fatalf("replayed span missing attr %q (has %v)", k, reexec.Attrs)
+		}
+	}
+	if dst.CounterValue("pmem.load") != 3 || dst.CounterValue("ckpt.reverts") != 1 {
+		t.Fatal("counters did not replay")
+	}
+}
+
+func TestReplayIntoNilAndDisabled(t *testing.T) {
+	ReplayInto(NewRecorder(), nil)   // no-op
+	ReplayInto(Nop(), NewRecorder()) // no-op
+}

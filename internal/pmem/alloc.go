@@ -49,7 +49,7 @@ func (p *Pool) Zalloc(words int) (uint64, error) {
 	}
 	i := int(addr - Base)
 	for w := 0; w < words; w++ {
-		p.cur[i+w] = 0
+		p.setCurAt(i+w, 0)
 	}
 	p.persistMeta(i, words)
 	return addr, nil
@@ -59,41 +59,41 @@ func (p *Pool) Zalloc(words int) (uint64, error) {
 func (p *Pool) allocIndex(words int) (int, error) {
 	// First-fit over the free list.
 	prev := -1
-	cur := int(p.cur[hdrFreeHead])
+	cur := int(p.curAt(hdrFreeHead))
 	for cur != 0 {
-		hdr := p.cur[cur-1]
+		hdr := p.curAt(cur - 1)
 		size := int(hdr & blockSizeMask)
 		if hdr&blockAllocated != 0 {
 			return 0, fmt.Errorf("%w: free list entry %d is allocated", ErrCorruptHeader, cur)
 		}
 		if size >= words {
-			next := int(p.cur[cur])
+			next := int(p.curAt(cur))
 			if size >= words+2 {
 				// Split: the tail becomes a smaller free block.
 				restIdx := cur + words + 1
 				restSize := size - words - 1
-				p.cur[restIdx-1] = uint64(restSize)
-				p.cur[restIdx] = uint64(next)
+				p.setCurAt(restIdx-1, uint64(restSize))
+				p.setCurAt(restIdx, uint64(next))
 				next = restIdx
-				p.cur[cur-1] = uint64(words)
+				p.setCurAt(cur-1, uint64(words))
 				p.persistMeta(restIdx-1, 2)
 			}
 			p.unlinkFree(prev, next)
-			p.cur[cur-1] |= blockAllocated
+			p.setCurAt(cur-1, p.curAt(cur-1)|blockAllocated)
 			p.persistMeta(cur-1, 1)
-			p.bumpLive(int(p.cur[cur-1] & blockSizeMask))
+			p.bumpLive(int(p.curAt(cur-1) & blockSizeMask))
 			return cur, nil
 		}
 		prev = cur
-		cur = int(p.cur[cur])
+		cur = int(p.curAt(cur))
 	}
 	// Bump allocation from never-used space.
-	next := int(p.cur[hdrHeapNext])
+	next := int(p.curAt(hdrHeapNext))
 	if next+words+1 > p.words {
 		return 0, fmt.Errorf("%w: need %d words, %d free", ErrOutOfSpace, words+1, p.words-next)
 	}
-	p.cur[next] = uint64(words) | blockAllocated
-	p.cur[hdrHeapNext] = uint64(next + words + 1)
+	p.setCurAt(next, uint64(words)|blockAllocated)
+	p.setCurAt(hdrHeapNext, uint64(next+words+1))
 	p.persistMeta(next, 1)
 	p.persistMeta(hdrHeapNext, 1)
 	p.bumpLive(words)
@@ -102,16 +102,16 @@ func (p *Pool) allocIndex(words int) (int, error) {
 
 func (p *Pool) unlinkFree(prevPayload, nextPayload int) {
 	if prevPayload < 0 {
-		p.cur[hdrFreeHead] = uint64(nextPayload)
+		p.setCurAt(hdrFreeHead, uint64(nextPayload))
 		p.persistMeta(hdrFreeHead, 1)
 	} else {
-		p.cur[prevPayload] = uint64(nextPayload)
+		p.setCurAt(prevPayload, uint64(nextPayload))
 		p.persistMeta(prevPayload, 1)
 	}
 }
 
 func (p *Pool) bumpLive(delta int) {
-	p.cur[hdrLiveWords] = uint64(int(p.cur[hdrLiveWords]) + delta)
+	p.setCurAt(hdrLiveWords, uint64(int(p.curAt(hdrLiveWords))+delta))
 	p.persistMeta(hdrLiveWords, 1)
 }
 
@@ -121,10 +121,10 @@ func (p *Pool) Free(addr uint64) error {
 	if err != nil {
 		return err
 	}
-	if i <= heapStart || i >= int(p.cur[hdrHeapNext]) {
+	if i <= heapStart || i >= int(p.curAt(hdrHeapNext)) {
 		return fmt.Errorf("%w: %#x outside heap", ErrBadFree, addr)
 	}
-	hdr := p.cur[i-1]
+	hdr := p.curAt(i - 1)
 	if hdr&blockAllocated == 0 {
 		return fmt.Errorf("%w: %#x (double free?)", ErrBadFree, addr)
 	}
@@ -132,9 +132,9 @@ func (p *Pool) Free(addr uint64) error {
 	if size <= 0 || i+size > p.words {
 		return fmt.Errorf("%w: block at %#x has size %d", ErrCorruptHeader, addr, size)
 	}
-	p.cur[i-1] = uint64(size) // clear allocated flag
-	p.cur[i] = p.cur[hdrFreeHead]
-	p.cur[hdrFreeHead] = uint64(i)
+	p.setCurAt(i-1, uint64(size)) // clear allocated flag
+	p.setCurAt(i, p.curAt(hdrFreeHead))
+	p.setCurAt(hdrFreeHead, uint64(i))
 	p.persistMeta(i-1, 2)
 	p.persistMeta(hdrFreeHead, 1)
 	p.bumpLive(-size)
@@ -153,10 +153,10 @@ func (p *Pool) Free(addr uint64) error {
 // IsAllocated reports whether addr is the payload start of a live block.
 func (p *Pool) IsAllocated(addr uint64) bool {
 	i, err := p.index(addr)
-	if err != nil || i <= heapStart || i >= int(p.cur[hdrHeapNext]) {
+	if err != nil || i <= heapStart || i >= int(p.curAt(hdrHeapNext)) {
 		return false
 	}
-	hdr := p.cur[i-1]
+	hdr := p.curAt(i - 1)
 	return hdr&blockAllocated != 0
 }
 
@@ -166,18 +166,18 @@ func (p *Pool) BlockSize(addr uint64) (int, error) {
 		return 0, fmt.Errorf("%w: %#x", ErrBadFree, addr)
 	}
 	i := int(addr - Base)
-	return int(p.cur[i-1] & blockSizeMask), nil
+	return int(p.curAt(i-1) & blockSizeMask), nil
 }
 
 // LiveWords returns the number of payload words currently allocated.
-func (p *Pool) LiveWords() int { return int(p.cur[hdrLiveWords]) }
+func (p *Pool) LiveWords() int { return int(p.curAt(hdrLiveWords)) }
 
 // FreeWords returns an estimate of allocatable payload words remaining.
 func (p *Pool) FreeWords() int {
-	free := p.words - int(p.cur[hdrHeapNext])
-	for cur := int(p.cur[hdrFreeHead]); cur != 0; cur = int(p.cur[cur]) {
-		free += int(p.cur[cur-1] & blockSizeMask)
-		if p.cur[cur-1]&blockAllocated != 0 {
+	free := p.words - int(p.curAt(hdrHeapNext))
+	for cur := int(p.curAt(hdrFreeHead)); cur != 0; cur = int(p.curAt(cur)) {
+		free += int(p.curAt(cur-1) & blockSizeMask)
+		if p.curAt(cur-1)&blockAllocated != 0 {
 			break // corrupt; stop rather than loop
 		}
 	}
@@ -196,9 +196,9 @@ func (p *Pool) InAllocatedPayload(addr uint64) bool {
 		return true // header/root region is always writable state
 	}
 	w := heapStart
-	end := int(p.cur[hdrHeapNext])
+	end := int(p.curAt(hdrHeapNext))
 	for w < end {
-		hdr := p.cur[w]
+		hdr := p.curAt(w)
 		size := int(hdr & blockSizeMask)
 		if size <= 0 || w+1+size > end {
 			return false // corrupt heap: refuse
@@ -216,9 +216,9 @@ func (p *Pool) InAllocatedPayload(addr uint64) bool {
 func (p *Pool) LiveBlocks() []uint64 {
 	var out []uint64
 	i := heapStart
-	end := int(p.cur[hdrHeapNext])
+	end := int(p.curAt(hdrHeapNext))
 	for i < end {
-		hdr := p.cur[i]
+		hdr := p.curAt(i)
 		size := int(hdr & blockSizeMask)
 		if size <= 0 || i+1+size > end {
 			break // corrupt heap; integrity check reports details

@@ -33,14 +33,15 @@ func (r *CheckReport) String() string {
 // well-formedness, free list consistency, and the live-words accounting.
 func (p *Pool) CheckIntegrity() *CheckReport {
 	r := &CheckReport{}
-	if p.durable[hdrMagic] != magicValue {
-		r.addf("bad magic %#x", p.durable[hdrMagic])
+	durable := p.durImage()
+	if durable[hdrMagic] != magicValue {
+		r.addf("bad magic %#x", durable[hdrMagic])
 		return r
 	}
-	if int(p.durable[hdrSize]) != p.words {
-		r.addf("header size %d != pool size %d", p.durable[hdrSize], p.words)
+	if int(durable[hdrSize]) != p.words {
+		r.addf("header size %d != pool size %d", durable[hdrSize], p.words)
 	}
-	heapNext := int(p.durable[hdrHeapNext])
+	heapNext := int(durable[hdrHeapNext])
 	if heapNext < heapStart || heapNext > p.words {
 		r.addf("heap bump pointer %d out of range", heapNext)
 		return r
@@ -51,7 +52,7 @@ func (p *Pool) CheckIntegrity() *CheckReport {
 	freeBlocks := map[int]bool{}
 	i := heapStart
 	for i < heapNext {
-		hdr := p.durable[i]
+		hdr := durable[i]
 		size := int(hdr & blockSizeMask)
 		if size <= 0 || i+1+size > heapNext {
 			r.addf("corrupt block header at word %d: size=%d", i, size)
@@ -64,14 +65,14 @@ func (p *Pool) CheckIntegrity() *CheckReport {
 		}
 		i += 1 + size
 	}
-	if live != int(p.durable[hdrLiveWords]) {
-		r.addf("live-words accounting: header says %d, walk found %d", p.durable[hdrLiveWords], live)
+	if live != int(durable[hdrLiveWords]) {
+		r.addf("live-words accounting: header says %d, walk found %d", durable[hdrLiveWords], live)
 	}
 
 	// Walk the free list; every entry must be a free block from the walk,
 	// and the list must not cycle.
 	seen := map[int]bool{}
-	cur := int(p.durable[hdrFreeHead])
+	cur := int(durable[hdrFreeHead])
 	for cur != 0 {
 		if seen[cur] {
 			r.addf("free list cycle at payload %d", cur)
@@ -82,7 +83,7 @@ func (p *Pool) CheckIntegrity() *CheckReport {
 			r.addf("free list entry %d is not a free block", cur)
 			break
 		}
-		cur = int(p.durable[cur])
+		cur = int(durable[cur])
 	}
 	for fb := range freeBlocks {
 		if !seen[fb] {

@@ -63,8 +63,9 @@ func (p *Pool) WriteTo(w io.Writer) (int64, error) {
 	if err := put(uint64(p.words)); err != nil {
 		return written, err
 	}
-	buf := make([]byte, 8*len(p.durable))
-	for i, word := range p.durable {
+	durable := p.durImage()
+	buf := make([]byte, 8*len(durable))
+	for i, word := range durable {
 		binary.LittleEndian.PutUint64(buf[8*i:], word)
 	}
 	n, err := w.Write(buf)

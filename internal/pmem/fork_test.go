@@ -1,0 +1,319 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+
+	"arthas/internal/obs"
+)
+
+// mustLoad/mustDur are tiny helpers keeping the fork assertions readable.
+func mustLoad(t *testing.T, p *Pool, addr uint64) uint64 {
+	t.Helper()
+	v, err := p.Load(addr)
+	if err != nil {
+		t.Fatalf("Load(%#x): %v", addr, err)
+	}
+	return v
+}
+
+func mustDur(t *testing.T, p *Pool, addr uint64) uint64 {
+	t.Helper()
+	v, err := p.ReadDurable(addr)
+	if err != nil {
+		t.Fatalf("ReadDurable(%#x): %v", addr, err)
+	}
+	return v
+}
+
+func TestForkSeesBaseState(t *testing.T) {
+	base := New(512)
+	a, err := base.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Store(a, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Persist(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Store(a+1, 22); err != nil { // dirty, not durable
+		t.Fatal(err)
+	}
+	if err := base.SetRoot(0, a); err != nil {
+		t.Fatal(err)
+	}
+
+	f := base.Fork()
+	if !f.IsFork() || base.IsFork() {
+		t.Fatalf("IsFork: fork=%v base=%v", f.IsFork(), base.IsFork())
+	}
+	if got := mustLoad(t, f, a); got != 11 {
+		t.Fatalf("fork sees %d at persisted word, want 11", got)
+	}
+	if got := mustLoad(t, f, a+1); got != 22 {
+		t.Fatalf("fork sees %d at dirty word, want 22 (current image travels)", got)
+	}
+	if got := mustDur(t, f, a+1); got != 0 {
+		t.Fatalf("fork durable image has %d at unpersisted word, want 0", got)
+	}
+	if r, _ := f.Root(0); r != a {
+		t.Fatalf("fork root = %#x, want %#x", r, a)
+	}
+	if f.LiveWords() != base.LiveWords() {
+		t.Fatalf("fork LiveWords %d != base %d", f.LiveWords(), base.LiveWords())
+	}
+}
+
+func TestForkIsolation(t *testing.T) {
+	base := New(512)
+	a, err := base.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Store(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Persist(a, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	f1 := base.Fork()
+	f2 := base.Fork()
+
+	// Fork stores and persists stay fork-local.
+	if err := f1.Store(a, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Persist(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustLoad(t, base, a); got != 1 {
+		t.Fatalf("base sees fork store: %d", got)
+	}
+	if got := mustDur(t, base, a); got != 1 {
+		t.Fatalf("base durable sees fork persist: %d", got)
+	}
+	if got := mustLoad(t, f2, a); got != 1 {
+		t.Fatalf("sibling fork sees fork store: %d", got)
+	}
+
+	// Fork allocations stay fork-local: the sibling and base allocate the
+	// same address the fork took, because the fork's bump pointer moved
+	// only in its overlay.
+	b1, err := f1.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := f2.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Fatalf("sibling forks allocated different addresses: %#x vs %#x", b1, b2)
+	}
+	if base.IsAllocated(b1) {
+		t.Fatalf("base sees fork allocation at %#x", b1)
+	}
+	if !f1.IsAllocated(b1) || !f2.IsAllocated(b2) {
+		t.Fatal("forks do not see their own allocations")
+	}
+
+	// WriteDurable (the reversion primitive) stays fork-local too.
+	if err := f1.WriteDurable(a, 777); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustDur(t, base, a); got != 1 {
+		t.Fatalf("base durable sees fork WriteDurable: %d", got)
+	}
+
+	// Fork Crash loses fork-dirty AND base-dirty-at-fork-time words without
+	// touching the base.
+	if err := base.Store(a+1, 5); err != nil { // dirty in base before forking
+		t.Fatal(err)
+	}
+	f3 := base.Fork()
+	if err := f3.Store(a+2, 6); err != nil {
+		t.Fatal(err)
+	}
+	f3.Crash()
+	if got := mustLoad(t, f3, a+1); got != 0 {
+		t.Fatalf("fork crash kept inherited dirty word: %d", got)
+	}
+	if got := mustLoad(t, f3, a+2); got != 0 {
+		t.Fatalf("fork crash kept fork dirty word: %d", got)
+	}
+	if got := mustLoad(t, base, a+1); got != 5 {
+		t.Fatalf("fork crash leaked into base: %d", got)
+	}
+	if f3.DirtyWords() != 0 {
+		t.Fatalf("fork dirty set not cleared: %d", f3.DirtyWords())
+	}
+
+	// The fork still passes the integrity check as a pool in its own right.
+	if rep := f1.CheckIntegrity(); !rep.OK() {
+		t.Fatalf("fork fails integrity: %v", rep)
+	}
+}
+
+func TestForkPromote(t *testing.T) {
+	base := New(512)
+	if err := base.Promote(); err == nil {
+		t.Fatal("Promote on a root pool should error")
+	}
+	a, err := base.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Store(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Persist(a, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	f := base.Fork()
+	b, err := f.Zalloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Store(b, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Persist(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteDurable(a, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Store(b+1, 77); err != nil { // left dirty: must travel as dirty
+		t.Fatal(err)
+	}
+
+	if err := f.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustLoad(t, base, a); got != 9 {
+		t.Fatalf("promoted reversion missing: %d", got)
+	}
+	if got := mustDur(t, base, b); got != 42 {
+		t.Fatalf("promoted persist missing: %d", got)
+	}
+	if !base.IsAllocated(b) {
+		t.Fatal("promoted allocation missing")
+	}
+	if got := mustLoad(t, base, b+1); got != 77 {
+		t.Fatalf("promoted dirty store missing: %d", got)
+	}
+	base.Crash()
+	if got := mustLoad(t, base, b+1); got != 0 {
+		t.Fatalf("promoted dirty store survived crash: %d", got)
+	}
+	if rep := base.CheckIntegrity(); !rep.OK() {
+		t.Fatalf("base fails integrity after promote: %v", rep)
+	}
+}
+
+// TestForkPromoteFileRoundTrip checks the winning fork's state round-trips
+// through the v2 pool-file format with stats and the flight recorder intact.
+func TestForkPromoteFileRoundTrip(t *testing.T) {
+	base := New(512)
+	fl := obs.NewFlight(64)
+	base.AttachFlight(fl)
+	fl.Count("test.event", 3)
+
+	a, err := base.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Store(a, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Persist(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.SetRoot(0, a); err != nil {
+		t.Fatal(err)
+	}
+
+	f := base.Fork()
+	if err := f.WriteDurable(a, 50); err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Zalloc(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Store(b, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Persist(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Promote(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := base.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPool(&buf)
+	if err != nil {
+		t.Fatalf("ReadPool after promote: %v", err)
+	}
+	if got.FormatVersion() != 2 {
+		t.Fatalf("format version %d, want 2", got.FormatVersion())
+	}
+	if v := mustDur(t, got, a); v != 50 {
+		t.Fatalf("reopened image lost promoted reversion: %d", v)
+	}
+	if v := mustDur(t, got, b); v != 60 {
+		t.Fatalf("reopened image lost promoted persist: %d", v)
+	}
+	if !got.IsAllocated(b) {
+		t.Fatal("reopened image lost promoted allocation")
+	}
+	// Stats travelled (fork stats replace the base's at promote time).
+	if got.Stats().Allocs != base.Stats().Allocs || got.Stats().Allocs < 2 {
+		t.Fatalf("stats did not round-trip: %+v vs %+v", got.Stats(), base.Stats())
+	}
+	if got.Flight() == nil {
+		t.Fatal("flight recorder did not round-trip")
+	}
+}
+
+// TestForkWriteToMaterializesOverlay checks a fork can itself be serialized
+// (durImage materializes overlays) and reopened as an ordinary pool.
+func TestForkWriteToMaterializesOverlay(t *testing.T) {
+	base := New(256)
+	a, err := base.Alloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Store(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Persist(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	f := base.Fork()
+	if err := f.WriteDurable(a, 2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPool(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := mustDur(t, got, a); v != 2 {
+		t.Fatalf("serialized fork lost overlay write: %d", v)
+	}
+	if v := mustDur(t, base, a); v != 1 {
+		t.Fatalf("serializing a fork disturbed the base: %d", v)
+	}
+}

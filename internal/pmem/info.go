@@ -27,28 +27,29 @@ func (p *Pool) Info() PoolInfo {
 		DirtyWords:    len(p.dirty),
 		Stats:         p.stats,
 	}
-	heapNext := int(p.durable[hdrHeapNext])
+	durable := p.durImage()
+	heapNext := int(durable[hdrHeapNext])
 	if heapNext >= heapStart && heapNext <= p.words {
 		info.HeapUsed = heapNext - heapStart
 	}
-	info.LiveWords = int(p.durable[hdrLiveWords])
+	info.LiveWords = int(durable[hdrLiveWords])
 	info.FreeWords = p.FreeWords()
 	info.LiveBlocks = len(p.LiveBlocks())
 	// Bounded free-list walk: stop on cycles or corruption.
 	seen := map[int]bool{}
-	for cur := int(p.durable[hdrFreeHead]); cur != 0 && cur < p.words && !seen[cur]; {
+	for cur := int(durable[hdrFreeHead]); cur != 0 && cur < p.words && !seen[cur]; {
 		seen[cur] = true
 		info.FreeBlocks++
-		next := int(p.durable[cur])
+		next := int(durable[cur])
 		if next < 0 || next >= p.words {
 			break
 		}
 		cur = next
 	}
 	for i := 0; i < NumRoots; i++ {
-		info.Roots[i] = p.durable[hdrRootBase+i]
+		info.Roots[i] = durable[hdrRootBase+i]
 	}
-	for _, w := range p.durable {
+	for _, w := range durable {
 		if w != 0 {
 			info.NonzeroWords++
 		}

@@ -101,12 +101,20 @@ type Hooks struct {
 	OnFree  func(addr uint64, words int)
 }
 
-// Pool is a simulated persistent memory pool.
+// Pool is a simulated persistent memory pool. A pool is either a root pool
+// (backed by its own cur/durable slices) or a copy-on-write fork of another
+// pool (see Fork): forks keep base == the forked pool and record their writes
+// in the curOv/durOv overlays instead of slices of their own.
 type Pool struct {
 	words   int
-	cur     []uint64 // what loads observe
-	durable []uint64 // what survives Crash
+	cur     []uint64 // what loads observe (root pools only)
+	durable []uint64 // what survives Crash (root pools only)
 	dirty   map[uint64]struct{}
+
+	// Copy-on-write forking (nil/unused on root pools).
+	base  *Pool          // pool this one was forked from
+	curOv map[int]uint64 // fork-local current-image writes
+	durOv map[int]uint64 // fork-local durable-image writes
 
 	hooks Hooks
 
@@ -221,7 +229,7 @@ func (p *Pool) Load(addr uint64) (uint64, error) {
 	if p.obsOn {
 		p.sink.Count("pmem.load", 1)
 	}
-	return p.cur[i], nil
+	return p.curAt(i), nil
 }
 
 // Store writes one word to the current image. The write is volatile until a
@@ -232,7 +240,7 @@ func (p *Pool) Store(addr uint64, val uint64) error {
 		return err
 	}
 	p.stats.Stores++
-	p.cur[i] = val
+	p.setCurAt(i, val)
 	p.dirty[addr] = struct{}{}
 	if p.obsOn {
 		p.sink.Count("pmem.store", 1)
@@ -249,7 +257,7 @@ func (p *Pool) Persist(addr uint64, words int) error {
 	}
 	if p.hooks.OnPersist != nil {
 		i := int(addr - Base)
-		p.hooks.OnPersist(addr, p.durable[i:i+words])
+		p.hooks.OnPersist(addr, p.durView(i, words))
 	}
 	return nil
 }
@@ -275,7 +283,7 @@ func (p *Pool) PersistTx(ranges []Range) error {
 		}
 		if p.hooks.OnPersist != nil {
 			i := int(r.Addr - Base)
-			p.hooks.OnPersist(r.Addr, p.durable[i:i+r.Words])
+			p.hooks.OnPersist(r.Addr, p.durView(i, r.Words))
 		}
 	}
 	if p.hooks.OnTxCommit != nil {
@@ -294,7 +302,13 @@ func (p *Pool) makeDurable(addr uint64, words int) error {
 	}
 	p.stats.Persists++
 	p.stats.PersistedWords.Words += uint64(words)
-	copy(p.durable[i:i+words], p.cur[i:i+words])
+	if p.base == nil {
+		copy(p.durable[i:i+words], p.cur[i:i+words])
+	} else {
+		for w := 0; w < words; w++ {
+			p.durOv[i+w] = p.curAt(i + w)
+		}
+	}
 	for w := 0; w < words; w++ {
 		delete(p.dirty, addr+uint64(w))
 	}
@@ -310,7 +324,13 @@ func (p *Pool) makeDurable(addr uint64, words int) error {
 // allocator internals are not program state and must not pollute the
 // checkpoint log (PMDK similarly hides its internal writes).
 func (p *Pool) persistMeta(idx, words int) {
-	copy(p.durable[idx:idx+words], p.cur[idx:idx+words])
+	if p.base == nil {
+		copy(p.durable[idx:idx+words], p.cur[idx:idx+words])
+	} else {
+		for w := 0; w < words; w++ {
+			p.durOv[idx+w] = p.curAt(idx + w)
+		}
+	}
 	for w := 0; w < words; w++ {
 		delete(p.dirty, Base+uint64(idx+w))
 	}
@@ -328,7 +348,21 @@ func (p *Pool) Crash() {
 		p.sink.Count("pmem.crash_lost_words", int64(len(p.dirty)))
 		p.sink.SetGauge("pmem.dirty_words", 0)
 	}
-	copy(p.cur, p.durable)
+	if p.base == nil {
+		copy(p.cur, p.durable)
+	} else {
+		// Reset every fork-local current word to the durable view, and mask
+		// dirty words inherited from the base (stores the base had not yet
+		// persisted at fork time) the same way — a fork crash must lose them
+		// without touching the base's images.
+		for i := range p.curOv {
+			p.curOv[i] = p.durAt(i)
+		}
+		for a := range p.dirty {
+			i := int(a - Base)
+			p.curOv[i] = p.durAt(i)
+		}
+	}
 	p.dirty = make(map[uint64]struct{})
 }
 
@@ -337,7 +371,7 @@ func (p *Pool) SetRoot(i int, addr uint64) error {
 	if i < 0 || i >= NumRoots {
 		return fmt.Errorf("%w: %d", ErrBadRoot, i)
 	}
-	p.cur[hdrRootBase+i] = addr
+	p.setCurAt(hdrRootBase+i, addr)
 	p.persistMeta(hdrRootBase+i, 1)
 	return nil
 }
@@ -347,7 +381,7 @@ func (p *Pool) Root(i int) (uint64, error) {
 	if i < 0 || i >= NumRoots {
 		return 0, fmt.Errorf("%w: %d", ErrBadRoot, i)
 	}
-	return p.cur[hdrRootBase+i], nil
+	return p.curAt(hdrRootBase + i), nil
 }
 
 // InjectBitFlip flips bit (0..63) of the word at addr in BOTH images,
@@ -358,9 +392,9 @@ func (p *Pool) InjectBitFlip(addr uint64, bit uint, alsoDurable bool) error {
 	if err != nil {
 		return err
 	}
-	p.cur[i] ^= 1 << (bit & 63)
+	p.setCurAt(i, p.curAt(i)^(1<<(bit&63)))
 	if alsoDurable {
-		p.durable[i] ^= 1 << (bit & 63)
+		p.setDurAt(i, p.durAt(i)^(1<<(bit&63)))
 	}
 	return nil
 }
@@ -373,8 +407,8 @@ func (p *Pool) WriteDurable(addr uint64, val uint64) error {
 	if err != nil {
 		return err
 	}
-	p.cur[i] = val
-	p.durable[i] = val
+	p.setCurAt(i, val)
+	p.setDurAt(i, val)
 	delete(p.dirty, addr)
 	return nil
 }
@@ -385,5 +419,5 @@ func (p *Pool) ReadDurable(addr uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return p.durable[i], nil
+	return p.durAt(i), nil
 }

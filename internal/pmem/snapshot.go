@@ -16,8 +16,8 @@ type Snapshot struct {
 // intentionally not captured: a process-level checkpointer sees only what the
 // target made durable.
 func (p *Pool) TakeSnapshot(seq uint64) *Snapshot {
-	d := make([]uint64, len(p.durable))
-	copy(d, p.durable)
+	d := make([]uint64, p.words)
+	copy(d, p.durImage())
 	return &Snapshot{Seq: seq, Durable: d}
 }
 
@@ -27,8 +27,15 @@ func (p *Pool) RestoreSnapshot(s *Snapshot) error {
 	if len(s.Durable) != p.words {
 		return fmt.Errorf("pmem: snapshot size %d != pool size %d", len(s.Durable), p.words)
 	}
-	copy(p.durable, s.Durable)
-	copy(p.cur, s.Durable)
+	if p.base == nil {
+		copy(p.durable, s.Durable)
+		copy(p.cur, s.Durable)
+	} else {
+		for i, w := range s.Durable {
+			p.setDurAt(i, w)
+			p.setCurAt(i, w)
+		}
+	}
 	p.dirty = make(map[uint64]struct{})
 	return nil
 }
@@ -40,7 +47,7 @@ func (p *Pool) DiffWords(s *Snapshot) int {
 		return p.words
 	}
 	n := 0
-	for i, w := range p.durable {
+	for i, w := range p.durImage() {
 		if w != s.Durable[i] {
 			n++
 		}

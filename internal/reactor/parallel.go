@@ -1,0 +1,370 @@
+package reactor
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"arthas/internal/checkpoint"
+	"arthas/internal/obs"
+	"arthas/internal/vm"
+)
+
+// Parallel speculative mitigation (docs/PARALLEL_MITIGATION.md).
+//
+// The sequential search tries one candidate reversion at a time against the
+// single live pool, so mitigation latency is O(plan) re-executions. With
+// Config.Workers > 1 and Context.ForkSession available, isolated trials run
+// concurrently instead: each trial reverts and re-executes on its own
+// copy-on-write pool fork + checkpoint-log fork, the winner is the trial
+// with the LOWEST plan index whose probe comes back healthy (never the
+// first to finish in wall-clock), its fork is promoted onto the real pool,
+// and one confirmation re-execution runs on the real session. Attempt
+// charging is by plan order — failed trials below the winner plus the
+// confirmation — so Report outcomes are identical at any worker count.
+//
+// Per-worker telemetry: a Recorder's span stack assumes single-goroutine
+// nesting, so each trial records into a private Recorder; after the round
+// joins, the recorders replay into the session sink in trial order (again:
+// deterministic, not completion order) with their spans marked
+// speculative=true.
+
+// canSpeculate reports whether the parallel search is enabled and possible.
+func canSpeculate(cfg Config, ctx *Context) bool {
+	return cfg.Workers > 1 && ctx.ForkSession != nil
+}
+
+// sessionContext aims a Context at a speculative session. The fork runs
+// dark at the pool/log layer (forks carry the no-op sink) and records
+// reactor-level spans into the worker's private sink.
+func sessionContext(ctx *Context, s *Session, sink obs.Sink) *Context {
+	return &Context{
+		Analysis:  ctx.Analysis,
+		Trace:     ctx.Trace,
+		Log:       s.Log,
+		Pool:      s.Pool,
+		Fault:     ctx.Fault,
+		Faults:    ctx.Faults,
+		AddrFault: ctx.AddrFault,
+		ReExec:    s.ReExec,
+		Obs:       sink,
+	}
+}
+
+// specResult is one speculative trial's outcome.
+type specResult struct {
+	ran    bool
+	healed bool
+	sess   *Session
+	rec    *obs.Recorder
+	trap   *vm.Trap
+}
+
+// runSpeculative executes n trials on up to cfg.Workers goroutines. Each
+// trial forks a session, applies its reversions via apply(i, sctx), and
+// probes once. With firstWins, workers skip trials whose index exceeds an
+// already-healed lower index (cooperative cancellation: such trials can no
+// longer win); trials below the eventual winner always run, keeping the
+// attempt accounting deterministic. Without firstWins every trial runs
+// (bisect rounds need all outcomes).
+func runSpeculative(cfg Config, ctx *Context, n int, mode string, apply func(i int, sctx *Context), firstWins bool) []specResult {
+	results := make([]specResult, n)
+	workers := cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	var best atomic.Int64
+	best.Store(int64(n))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range idx {
+				if firstWins && int64(i) > best.Load() {
+					continue
+				}
+				sess, err := ctx.ForkSession()
+				if err != nil {
+					continue
+				}
+				r := &results[i]
+				r.sess = sess
+				r.rec = obs.NewRecorder()
+				r.ran = true
+				sctx := sessionContext(ctx, sess, r.rec)
+				apply(i, sctx)
+				span := r.rec.Start("reactor.reexec",
+					obs.A("mode", mode), obs.A("speculative", true),
+					obs.A("trial", i), obs.A("worker", worker))
+				r.trap = sctx.ReExec()
+				if r.trap == nil {
+					span.SetAttr("outcome", "recovered")
+					r.healed = true
+					for {
+						cur := best.Load()
+						if int64(i) >= cur || best.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				} else {
+					span.SetAttr("outcome", r.trap.Kind.String())
+				}
+				span.End()
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// settleSpeculative replays every trial's telemetry into the session sink in
+// trial order and closes all sessions. Call after any promotion/adoption of
+// the winner — a closed session must no longer be used.
+func settleSpeculative(ctx *Context, results []specResult) {
+	sink := obs.OrNop(ctx.Obs)
+	for i := range results {
+		if results[i].rec != nil {
+			obs.ReplayInto(sink, results[i].rec)
+		}
+	}
+	for i := range results {
+		if s := results[i].sess; s != nil && s.Close != nil {
+			s.Close()
+		}
+	}
+}
+
+// chargeAttempts books k re-execution attempts against the budget and report.
+func chargeAttempts(k int, mode string, rep *Report, attempts *int) {
+	*attempts += k
+	rep.Attempts += k
+	if rep.AttemptsByMode == nil {
+		rep.AttemptsByMode = map[string]int{}
+	}
+	rep.AttemptsByMode[mode] += k
+}
+
+// applyBatch reverts plan candidates [start, end) on sctx, one version step
+// per entry (same dedup rule as the sequential isolated round).
+func applyBatch(cfg Config, sctx *Context, plan *Plan, start, end int) {
+	touched := map[*checkpoint.Entry]bool{}
+	for _, cand := range plan.Candidates[start:end] {
+		if e := sctx.Log.EntryBySeq(cand.Seq); e != nil {
+			if touched[e] {
+				continue
+			}
+			touched[e] = true
+		}
+		revertCandidate(cfg, sctx, cand)
+	}
+}
+
+// parallelIsolatedRound is the speculative isolated-trials round: each
+// candidate batch is reverted and probed on its own fork, Workers at a time.
+// The winner's fork is promoted onto the real pool, the main log adopts the
+// fork's log, and one confirmation re-execution runs on the real session —
+// the charged winning attempt, which also reboots the live machine against
+// the promoted state. Total attempts charged (failed trials below the
+// winner + the confirmation) equal the sequential search's exactly.
+func parallelIsolatedRound(cfg Config, ctx *Context, plan *Plan, rep *Report, batch int, attempts *int) (healed, exhausted bool) {
+	n := len(plan.Candidates)
+	trials := (n + batch - 1) / batch
+	budget := cfg.MaxAttempts - *attempts
+	if budget <= 0 {
+		return false, true
+	}
+	runnable := trials
+	if runnable > budget {
+		runnable = budget
+	}
+	mode := cfg.Mode.String()
+	results := runSpeculative(cfg, ctx, runnable, mode, func(i int, sctx *Context) {
+		end := (i + 1) * batch
+		if end > n {
+			end = n
+		}
+		applyBatch(cfg, sctx, plan, i*batch, end)
+	}, true)
+
+	winner := -1
+	for i := range results {
+		if results[i].healed {
+			winner = i
+			break
+		}
+	}
+	if winner < 0 {
+		ran := 0
+		for i := range results {
+			if results[i].ran {
+				ran++
+			}
+		}
+		// Sequentially the last failed probe's trap would be the last seen;
+		// preserve that for the replanning heuristic.
+		for i := len(results) - 1; i >= 0; i-- {
+			if results[i].trap != nil {
+				rep.LastTrap = results[i].trap
+				break
+			}
+		}
+		settleSpeculative(ctx, results)
+		chargeAttempts(ran, mode, rep, attempts)
+		return false, runnable < trials
+	}
+
+	// Promote the winning fork, then settle (telemetry replay + close).
+	chargeAttempts(winner, mode, rep, attempts)
+	sess := results[winner].sess
+	promoteErr := sess.Pool.Promote()
+	if promoteErr == nil {
+		ctx.Log.Adopt(sess.Log)
+	}
+	settleSpeculative(ctx, results)
+	if promoteErr != nil {
+		return false, false
+	}
+	// Confirm on the real session: the charged winning attempt.
+	*attempts++
+	if trap := reExec(ctx, mode, rep); trap != nil {
+		// The VM is deterministic, so a confirmed divergence means the
+		// promotion itself is broken — report not healed; the adopted
+		// log/pool pair is still consistent, so later phases continue.
+		return false, false
+	}
+	end := (winner + 1) * batch
+	if end > n {
+		end = n
+	}
+	for _, cand := range plan.Candidates[winner*batch : end] {
+		rep.RevertedSeqs = append(rep.RevertedSeqs, cand.Seq)
+	}
+	return true, false
+}
+
+// parallelBisect is the speculative version of bisectMitigate: instead of
+// probing one prefix midpoint per round, it probes up to Workers prefix
+// lengths concurrently (each on its own fork) and narrows [lo, hi] by the
+// smallest healing and largest failing sampled points. Under the same
+// monotonicity assumption the sequential binary search makes, it converges
+// to the same minimal healing prefix; probe points depend only on the
+// interval and the worker count, so the outcome is deterministic for a
+// given -workers setting. The final application + confirmation run on the
+// real session, exactly like the sequential algorithm's tail.
+func parallelBisect(cfg Config, ctx *Context, plan *Plan, rep *Report, attempts *int) bool {
+	n := len(plan.Candidates)
+	if n == 0 {
+		return false
+	}
+	mode := cfg.Mode.String()
+
+	// probeSet probes each prefix length on its own fork, concurrently.
+	// Every probe charges one attempt.
+	probeSet := func(pts []int) []bool {
+		results := runSpeculative(cfg, ctx, len(pts), mode, func(i int, sctx *Context) {
+			applyBatch(cfg, sctx, plan, 0, pts[i])
+		}, false)
+		healed := make([]bool, len(pts))
+		ran := 0
+		for i := range results {
+			healed[i] = results[i].healed
+			if results[i].ran {
+				ran++
+			}
+		}
+		settleSpeculative(ctx, results)
+		chargeAttempts(ran, mode, rep, attempts)
+		return healed
+	}
+
+	lo, hi := 1, n
+	confirmed := false // becomes true once some sampled prefix healed
+	for {
+		if *attempts >= cfg.MaxAttempts {
+			break
+		}
+		top := hi
+		if confirmed {
+			top = hi - 1 // hi already known to heal; re-probing wastes a slot
+		}
+		if top < lo {
+			break
+		}
+		k := cfg.Workers
+		if rem := cfg.MaxAttempts - *attempts; k > rem {
+			k = rem
+		}
+		pts := splitPoints(lo, top, k)
+		healed := probeSet(pts)
+		win, lastFail := 0, 0
+		for i, m := range pts {
+			if healed[i] {
+				win = m
+				break
+			}
+			lastFail = m
+		}
+		if win == 0 {
+			if !confirmed {
+				// The sample included the full prefix (top == hi == n) and
+				// even that does not heal: give up, like the sequential
+				// algorithm's failed probe(n).
+				return false
+			}
+			lo = pts[len(pts)-1] + 1
+			if lo >= hi {
+				break // hi is the minimal healing prefix
+			}
+			continue
+		}
+		hi = win
+		confirmed = true
+		if lastFail > 0 {
+			lo = lastFail + 1
+		}
+		if lo >= hi {
+			break
+		}
+	}
+	if !confirmed || *attempts >= cfg.MaxAttempts {
+		return false
+	}
+
+	// Apply the minimal prefix for real and confirm — the sequential tail.
+	base := ctx.Log.CaptureState()
+	applyBatch(cfg, ctx, plan, 0, hi)
+	*attempts++
+	if trap := reExec(ctx, mode, rep); trap == nil {
+		for _, cand := range plan.Candidates[:hi] {
+			rep.RevertedSeqs = append(rep.RevertedSeqs, cand.Seq)
+		}
+		return true
+	}
+	_ = ctx.Log.RestoreState(ctx.Pool, base)
+	return false
+}
+
+// splitPoints returns up to k evenly spaced integers in [lo, hi], ascending
+// and deduplicated, always including hi.
+func splitPoints(lo, hi, k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	span := hi - lo + 1
+	if k > span {
+		k = span
+	}
+	pts := make([]int, 0, k)
+	for i := 1; i <= k; i++ {
+		m := lo - 1 + span*i/k
+		if len(pts) == 0 || m > pts[len(pts)-1] {
+			pts = append(pts, m)
+		}
+	}
+	return pts
+}

@@ -59,6 +59,13 @@ type Config struct {
 	// accumulates (the paper's literal multi-attempt semantics). Used by
 	// the ablation benchmarks.
 	CumulativeOnly bool
+	// Workers sets the speculative-mitigation parallelism: when > 1 and the
+	// Context supplies ForkSession, isolated candidate trials (and bisect
+	// probes) run concurrently on copy-on-write forks, with the winner
+	// chosen by plan order — not wall-clock order — so outcomes match the
+	// sequential search at any worker count. <= 1 (the default) keeps the
+	// exact sequential path. See docs/PARALLEL_MITIGATION.md.
+	Workers int
 }
 
 // DefaultConfig returns the paper-default reactor configuration.
@@ -87,10 +94,29 @@ type Context struct {
 	// pool, runs its recovery path and the failure probe, and returns nil
 	// when the system is healthy — the paper's re-execution script.
 	ReExec func() *vm.Trap
+	// ForkSession, when set, creates an isolated speculative session — a
+	// copy-on-write fork of the pool, a fork of the checkpoint log wired to
+	// it, and a re-execution script bound to the fork — enabling the
+	// parallel search when Config.Workers > 1. Must be safe to call from
+	// multiple goroutines. Nil keeps mitigation sequential.
+	ForkSession func() (*Session, error)
 	// Obs receives mitigation telemetry: one span per reversion attempt
 	// (candidate seq, mode, versions discarded) and one per re-execution
 	// (outcome). Nil disables.
 	Obs obs.Sink
+}
+
+// Session is one isolated speculative trial environment: a forked pool, a
+// forked checkpoint log feeding it, and a re-execution script targeting the
+// fork. On the winning trial the reactor promotes Pool onto its base and
+// the main log adopts Log; losing sessions are dropped (Close, if set, runs
+// either way).
+type Session struct {
+	Pool   *pmem.Pool
+	Log    *checkpoint.Log
+	ReExec func() *vm.Trap
+	// Close releases session resources (optional).
+	Close func()
 }
 
 // Report summarizes a mitigation.
@@ -350,7 +376,13 @@ func mitigateWithMode(cfg Config, ctx *Context, plan *Plan, rep *Report) bool {
 			}
 			return false, false
 		}
-		healed, exhausted := isolatedRound(cfg.Batch)
+		round := func(batch int) (bool, bool) {
+			if canSpeculate(cfg, ctx) {
+				return parallelIsolatedRound(cfg, ctx, plan, rep, batch, &attempts)
+			}
+			return isolatedRound(batch)
+		}
+		healed, exhausted := round(cfg.Batch)
 		if healed {
 			return true
 		}
@@ -358,7 +390,7 @@ func mitigateWithMode(cfg Config, ctx *Context, plan *Plan, rep *Report) bool {
 			// Batching can overshoot: the single-candidate state that
 			// heals is never tested at batch granularity. Retry the
 			// isolated trials one candidate at a time before escalating.
-			if healed, _ := isolatedRound(1); healed {
+			if healed, _ := round(1); healed {
 				return true
 			}
 		}
@@ -368,7 +400,11 @@ func mitigateWithMode(cfg Config, ctx *Context, plan *Plan, rep *Report) bool {
 	// algorithm): when no single candidate heals, find the shortest
 	// healing candidate prefix in O(log n) re-executions.
 	if cfg.Bisect {
-		if bisectMitigate(cfg, ctx, plan, rep, &attempts) {
+		if canSpeculate(cfg, ctx) {
+			if parallelBisect(cfg, ctx, plan, rep, &attempts) {
+				return true
+			}
+		} else if bisectMitigate(cfg, ctx, plan, rep, &attempts) {
 			return true
 		}
 	}

@@ -594,6 +594,12 @@ func TestServerPrecomputeAndMitigate(t *testing.T) {
 	r := newRig(t, miniKV)
 	srv := NewServer()
 	srv.Precompute("minikv", r.mod)
+	// Analysis instruments the module in place, so wait for it before
+	// executing that module — the production order (the server precomputes
+	// before the target starts serving).
+	if _, err := srv.Analysis("minikv"); err != nil {
+		t.Fatal(err)
+	}
 
 	r.m.Call("init_")
 	r.m.Call("put", 0, 100)

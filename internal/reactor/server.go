@@ -77,12 +77,17 @@ func (s *Server) Analysis(name string) (*analysis.Result, error) {
 }
 
 // Mitigate is the RPC-style entry point: it resolves the cached analysis
-// and runs the mitigation workflow.
+// and runs the mitigation workflow. The caller's Context is never mutated —
+// each call works on its own copy with the cached analysis filled in — so
+// concurrent mitigations of different targets are safe (each Context still
+// describes a distinct deployment; two calls sharing one pool/log would
+// race in the target itself, not here).
 func (s *Server) Mitigate(name string, cfg Config, ctx *Context) (*Report, error) {
 	res, err := s.Analysis(name)
 	if err != nil {
 		return nil, err
 	}
-	ctx.Analysis = res
-	return Mitigate(cfg, ctx), nil
+	call := *ctx
+	call.Analysis = res
+	return Mitigate(cfg, &call), nil
 }

@@ -185,3 +185,30 @@ func (d *Deployment) RetInstrs(fn string) []*ir.Instr {
 	})
 	return out
 }
+
+// Fork clones the deployment into an isolated speculative session: the pool
+// is copy-on-write forked, the checkpoint log (when attached) is forked and
+// wired to the forked pool's hooks, and a fresh machine boots against the
+// fork. The compiled module and analysis are shared read-only. Forks record
+// no address trace and carry no observability sink — speculative probes
+// must not pollute the shared trace or telemetry (the reactor replays
+// worker telemetry separately; see docs/PARALLEL_MITIGATION.md). The fork's
+// Restart/Call work as usual; a winning fork's pool is promoted by the
+// reactor, never by the fork itself.
+func (d *Deployment) Fork() *Deployment {
+	fd := &Deployment{
+		Sys:      d.Sys,
+		Mod:      d.Mod,
+		Res:      d.Res,
+		Pool:     d.Pool.Fork(),
+		opts:     d.opts,
+		restarts: d.restarts,
+	}
+	fd.opts.Obs = nil
+	if d.Log != nil {
+		fd.Log = d.Log.Fork()
+		fd.Pool.SetHooks(fd.Log.Hooks())
+	}
+	fd.boot()
+	return fd
+}

@@ -11,6 +11,7 @@ package trace
 
 import (
 	"sort"
+	"sync"
 
 	"arthas/internal/obs"
 )
@@ -56,6 +57,13 @@ type Trace struct {
 	// per-event hot path pays one predictable branch when disabled.
 	sink  obs.Sink
 	obsOn bool
+
+	// qmu serializes the query side (ensureIndex lazily mutates the index
+	// maps): parallel speculative-mitigation workers query one shared
+	// trace concurrently. Recording stays lock-free — it never runs
+	// concurrently with itself or with queries (the traced machine is
+	// idle while the reactor searches, and forks record no trace).
+	qmu sync.Mutex
 }
 
 // ringSize bounds retained read events (a power of two).
@@ -182,6 +190,8 @@ func (t *Trace) Flushes() int { return t.flushes }
 // touched, in first-touch order. "One dependent instruction in a slice may
 // be invoked many times" (paper §6.4) — this is exactly that aliasing.
 func (t *Trace) AddrsOfGUID(guid int) []uint64 {
+	t.qmu.Lock()
+	defer t.qmu.Unlock()
 	t.ensureIndex()
 	seen := map[uint64]bool{}
 	var out []uint64
@@ -198,6 +208,8 @@ func (t *Trace) AddrsOfGUID(guid int) []uint64 {
 // instruction touched, most recently touched first. The failing execution
 // is the last to run, so its addresses — the contaminated ones — lead.
 func (t *Trace) AddrsOfGUIDByRecency(guid int) []uint64 {
+	t.qmu.Lock()
+	defer t.qmu.Unlock()
 	t.ensureIndex()
 	lt := t.lastTouch[guid]
 	out := make([]uint64, 0, len(lt))
@@ -215,6 +227,8 @@ func (t *Trace) AddrsOfGUIDByRecency(guid int) []uint64 {
 
 // GUIDsOfAddr returns the distinct GUIDs that touched an address.
 func (t *Trace) GUIDsOfAddr(addr uint64) []int {
+	t.qmu.Lock()
+	defer t.qmu.Unlock()
 	t.ensureIndex()
 	seen := map[int]bool{}
 	var out []int

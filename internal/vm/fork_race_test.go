@@ -1,0 +1,81 @@
+package vm
+
+import (
+	"sync"
+	"testing"
+
+	"arthas/internal/ir"
+	"arthas/internal/pmem"
+)
+
+// Two Machines on two copy-on-write forks of ONE base pool, running the
+// same shared module on concurrent goroutines — the parallel speculative
+// mitigation execution shape. Run under -race: the vm package keeps no
+// package-level mutable state and the forks isolate all pool writes, so
+// the only shared data (the module, the base pool image) is read-only.
+func TestConcurrentMachinesOnPoolForks(t *testing.T) {
+	const src = `
+fn init_() {
+    var root = pmalloc(4);
+    root[0] = 7;
+    persist(root, 1);
+    setroot(0, root);
+    return 0;
+}
+fn churn(seed) {
+    var root = getroot(0);
+    var i = 0;
+    while (i < 2000) {
+        root[0] = root[0] + seed;
+        persist(root, 1);
+        root[1] = root[0] * 3;
+        i = i + 1;
+    }
+    return root[0];
+}
+fn value() {
+    var root = getroot(0);
+    return root[0];
+}
+`
+	mod, err := ir.CompileSource("forks", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := pmem.New(1 << 12)
+	bm := New(mod, base, Config{})
+	if _, trap := bm.Call("init_"); trap != nil {
+		t.Fatal(trap)
+	}
+
+	const forks = 4
+	results := [forks]int64{}
+	var wg sync.WaitGroup
+	for k := 0; k < forks; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fp := base.Fork()
+			m := New(mod, fp, Config{})
+			v, trap := m.Call("churn", int64(k+1))
+			if trap != nil {
+				t.Errorf("fork %d trapped: %v", k, trap)
+				return
+			}
+			results[k] = v
+		}()
+	}
+	wg.Wait()
+
+	// Every fork computed its own divergent value...
+	for k := 0; k < forks; k++ {
+		if want := int64(7 + 2000*(k+1)); results[k] != want {
+			t.Fatalf("fork %d: churn = %d, want %d", k, results[k], want)
+		}
+	}
+	// ...and the base pool never saw any of it.
+	if v, trap := bm.Call("value"); trap != nil || v != 7 {
+		t.Fatalf("base pool contaminated by forks: value = %d (%v)", v, trap)
+	}
+}

@@ -20,6 +20,13 @@
 // Machine and vanishes when the Machine is discarded; persistent state lives
 // in the pool and survives. A process restart is: drop the Machine, call
 // pool.Crash(), build a new Machine on the same pool.
+//
+// The package holds NO package-level mutable state (the only package var is
+// the immutable trapNames table), so independent Machines on independent
+// pools may run on concurrent goroutines — parallel speculative mitigation
+// runs one Machine per copy-on-write pool fork this way. A compiled
+// *ir.Module is shared read-only across those Machines; the only writes to
+// a module happen during analysis instrumentation, before execution.
 package vm
 
 import (

@@ -44,13 +44,9 @@ func (i *Instance) RunScript(script string) ([]string, error) {
 			if err != nil {
 				return out, err
 			}
-			rep, err := i.Mitigate(func() *Trap {
-				if tp := i.Restart(); tp != nil {
-					return tp
-				}
-				_, tp := i.Call(fields[1], args...)
-				return tp
-			})
+			// The recipe form enables the parallel speculative search
+			// when the instance was configured with Reactor.Workers > 1.
+			rep, err := i.MitigateCall(fields[1], args...)
 			if err != nil {
 				return out, err
 			}

@@ -1,0 +1,46 @@
+// checksum.pml — an 8-cell persistent array whose checker rejects any cell
+// over 999. Poisoning one cell and then overwriting every OTHER cell buries
+// the bad write deep in the reversion plan (candidates follow address
+// recency), which makes this the smoke fixture for the parallel speculative
+// mitigation path: "mitigate check" must search many candidates before it
+// finds the healing reversion. Mirrors the scenario in parallel_bench_test.go.
+
+fn init_() {
+    var root = pmalloc(12);
+    var i = 0;
+    while (i < 8) {
+        root[i] = 1;
+        i = i + 1;
+    }
+    persist(root, 8);
+    setroot(0, root);
+    return 0;
+}
+
+fn set(i, v) {
+    var root = getroot(0);
+    root[i] = v;
+    persist(root + i, 1);
+    return 0;
+}
+
+fn check() {
+    var root = getroot(0);
+    var bad = 0;
+    var sum = 0;
+    var r = 0;
+    while (r < 200) {
+        var i = 0;
+        while (i < 8) {
+            var v = root[i];
+            sum = sum + v;
+            if (v > 999) {
+                bad = 1;
+            }
+            i = i + 1;
+        }
+        r = r + 1;
+    }
+    assert(bad == 0);
+    return sum;
+}
