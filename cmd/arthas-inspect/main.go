@@ -39,8 +39,9 @@ commands:
 }
 
 // open reads the image leniently. Damaged metadata degrades to a warning so
-// every subcommand can still report on whatever sections survived.
-func open(path string) (*pmem.Pool, *checkpoint.Log, *trace.Trace) {
+// every subcommand can still report on whatever sections survived; the read
+// error is returned so `verify` can treat it as corruption.
+func open(path string) (*pmem.Pool, *checkpoint.Log, *trace.Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -55,7 +56,7 @@ func open(path string) (*pmem.Pool, *checkpoint.Log, *trace.Trace) {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "warning: %s: %v\n", path, err)
 	}
-	return pool, log, tr
+	return pool, log, tr, err
 }
 
 func main() {
@@ -64,26 +65,25 @@ func main() {
 	}
 	switch cmd := os.Args[1]; cmd {
 	case "info":
-		pool, log, tr := openArgs(cmd, flag.NewFlagSet(cmd, flag.ExitOnError), os.Args[2:])
+		pool, log, tr, _ := openArgs(cmd, flag.NewFlagSet(cmd, flag.ExitOnError), os.Args[2:])
 		cmdInfo(pool, log, tr)
 	case "checkpoints":
-		pool, log, _ := openArgs(cmd, flag.NewFlagSet(cmd, flag.ExitOnError), os.Args[2:])
-		_ = pool
+		_, log, _, _ := openArgs(cmd, flag.NewFlagSet(cmd, flag.ExitOnError), os.Args[2:])
 		cmdCheckpoints(log)
 	case "flight":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		jsonl := fs.Bool("jsonl", false, "emit events as JSONL instead of a timeline")
-		pool, _, _ := openArgs(cmd, fs, os.Args[2:])
+		pool, _, _, _ := openArgs(cmd, fs, os.Args[2:])
 		cmdFlight(pool, *jsonl)
 	case "verify":
-		pool, _, _ := openArgs(cmd, flag.NewFlagSet(cmd, flag.ExitOnError), os.Args[2:])
-		cmdVerify(pool)
+		pool, log, _, readErr := openArgs(cmd, flag.NewFlagSet(cmd, flag.ExitOnError), os.Args[2:])
+		cmdVerify(pool, log, readErr)
 	default:
 		usage()
 	}
 }
 
-func openArgs(cmd string, fs *flag.FlagSet, args []string) (*pmem.Pool, *checkpoint.Log, *trace.Trace) {
+func openArgs(cmd string, fs *flag.FlagSet, args []string) (*pmem.Pool, *checkpoint.Log, *trace.Trace, error) {
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 	if fs.NArg() != 1 {
 		fmt.Fprintf(os.Stderr, "usage: arthas-inspect %s [flags] IMAGE\n", cmd)
@@ -192,14 +192,45 @@ func cmdFlight(pool *pmem.Pool, jsonl bool) {
 	}
 }
 
-func cmdVerify(pool *pmem.Pool) {
+// cmdVerify runs the full structural check battery and exits nonzero on ANY
+// damage: unreadable/truncated durable metadata sections (readErr from the
+// lenient open), allocator metadata that open-time recovery cannot repair,
+// a pool that fails CheckIntegrity after that repair, or a checkpoint log
+// that fails Validate. Repairable crash windows (a power failure between
+// allocator metadata persists) are reported but are NOT corruption — the
+// real open path heals them, and verify mirrors it.
+func cmdVerify(pool *pmem.Pool, log *checkpoint.Log, readErr error) {
+	bad := false
+	if readErr != nil {
+		fmt.Printf("FAIL: image metadata unreadable: %v\n", readErr)
+		bad = true
+	}
+	rec := pool.RecoverMeta()
+	if !rec.OK() {
+		fmt.Printf("FAIL: allocator metadata unrecoverable: %v\n", rec)
+		bad = true
+	} else if !rec.Clean() {
+		fmt.Printf("note: allocator crash window repaired by open-time recovery: %v\n", rec)
+	}
 	report := pool.CheckIntegrity()
 	fmt.Println(report.String())
+	if !report.OK() {
+		bad = true
+	}
+	if log != nil {
+		if lrep := log.Validate(); !lrep.OK() {
+			fmt.Printf("FAIL: checkpoint log invalid: %v\n", lrep)
+			bad = true
+		} else {
+			fmt.Printf("checkpoint log OK: %d entries, %d versions, seq=%d\n",
+				log.NumEntries(), log.TotalVersions(), log.Seq())
+		}
+	}
 	info := pool.Info()
 	if info.DirtyWords > 0 {
 		fmt.Printf("note: %d dirty words — image saved without a final persist\n", info.DirtyWords)
 	}
-	if !report.OK() {
+	if bad {
 		os.Exit(1)
 	}
 }

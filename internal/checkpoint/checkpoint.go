@@ -424,8 +424,11 @@ func (l *Log) Revert(pool *pmem.Pool, seq uint64) (int, error) {
 	if idx == 0 {
 		// Reverting the first recorded version: the entry dies and its
 		// words fall back to whatever older covering entries still hold.
+		// The cursor drops to -1 with it: a dead entry carrying a stale
+		// live index would serialize an inconsistent state.
 		discarded := e.live + 1
 		e.dead = true
+		e.live = -1
 		for w := 0; w < e.Words; w++ {
 			a := e.Addr + uint64(w)
 			if !pool.InAllocatedPayload(a) {

@@ -2,9 +2,15 @@ package checkpoint
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrCorruptLog marks a checkpoint-log image that is truncated or
+// structurally undecodable. All ReadLog failures wrap it so callers can
+// classify with errors.Is instead of string matching.
+var ErrCorruptLog = errors.New("checkpoint: corrupt log image")
 
 // Checkpoint log serialization. The paper's checkpoint log lives in
 // persistent memory (§4.2 "initializes a checkpoint log in persistent
@@ -110,10 +116,10 @@ func (l *Log) WriteTo(w io.Writer) (int64, error) {
 func ReadLog(r io.Reader) (*Log, error) {
 	u := &u64Reader{r: r}
 	if m := u.get(); u.err != nil || m != logMagic {
-		return nil, fmt.Errorf("checkpoint: not a log image (err=%v)", u.err)
+		return nil, fmt.Errorf("%w: not a log image (err=%v)", ErrCorruptLog, u.err)
 	}
 	if v := u.get(); v != logVersion {
-		return nil, fmt.Errorf("checkpoint: log image version %d, want %d", v, logVersion)
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrCorruptLog, v, logVersion)
 	}
 	l := NewLog(int(u.get()))
 	l.seq = u.get()
@@ -122,10 +128,10 @@ func ReadLog(r io.Reader) (*Log, error) {
 
 	nEntries := u.get()
 	if u.err != nil {
-		return nil, u.err
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrCorruptLog, u.err)
 	}
 	if nEntries > 1<<28 {
-		return nil, fmt.Errorf("checkpoint: implausible entry count %d", nEntries)
+		return nil, fmt.Errorf("%w: implausible entry count %d", ErrCorruptLog, nEntries)
 	}
 	oldRefs := make([]uint64, nEntries)
 	ordered := make([]*Entry, 0, nEntries)
@@ -140,19 +146,22 @@ func ReadLog(r io.Reader) (*Log, error) {
 		oldRefs[i] = u.get()
 		nv := u.get()
 		if u.err != nil {
-			return nil, u.err
+			return nil, fmt.Errorf("%w: truncated entry %d: %v", ErrCorruptLog, i, u.err)
+		}
+		if e.Words <= 0 || e.Words > 1<<24 {
+			return nil, fmt.Errorf("%w: entry %d has implausible size %d", ErrCorruptLog, i, e.Words)
 		}
 		if nv > 1<<20 {
-			return nil, fmt.Errorf("checkpoint: implausible version count %d", nv)
+			return nil, fmt.Errorf("%w: implausible version count %d", ErrCorruptLog, nv)
 		}
 		for j := uint64(0); j < nv; j++ {
 			v := Version{Seq: u.get(), Tx: u.get()}
 			nd := u.get()
 			if u.err != nil {
-				return nil, u.err
+				return nil, fmt.Errorf("%w: truncated entry %d version %d: %v", ErrCorruptLog, i, j, u.err)
 			}
 			if nd > 1<<24 {
-				return nil, fmt.Errorf("checkpoint: implausible data length %d", nd)
+				return nil, fmt.Errorf("%w: implausible data length %d", ErrCorruptLog, nd)
 			}
 			v.Data = make([]uint64, nd)
 			for w := range v.Data {
@@ -174,10 +183,10 @@ func ReadLog(r io.Reader) (*Log, error) {
 
 	nAllocs := u.get()
 	if u.err != nil {
-		return nil, u.err
+		return nil, fmt.Errorf("%w: truncated alloc section: %v", ErrCorruptLog, u.err)
 	}
 	if nAllocs > 1<<28 {
-		return nil, fmt.Errorf("checkpoint: implausible alloc count %d", nAllocs)
+		return nil, fmt.Errorf("%w: implausible alloc count %d", ErrCorruptLog, nAllocs)
 	}
 	for i := uint64(0); i < nAllocs; i++ {
 		rec := &AllocRecord{
@@ -187,11 +196,14 @@ func ReadLog(r io.Reader) (*Log, error) {
 		}
 		rec.Freed = u.get() != 0
 		rec.Realloc = u.get() != 0
+		if u.err == nil && (rec.Words <= 0 || rec.Words > 1<<24) {
+			return nil, fmt.Errorf("%w: alloc record %d has implausible size %d", ErrCorruptLog, i, rec.Words)
+		}
 		l.allocs[rec.Addr] = rec
 		l.allocOrder = append(l.allocOrder, rec.Addr)
 	}
 	if u.err != nil {
-		return nil, u.err
+		return nil, fmt.Errorf("%w: truncated alloc section: %v", ErrCorruptLog, u.err)
 	}
 	return l, nil
 }

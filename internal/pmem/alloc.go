@@ -21,12 +21,20 @@ import "fmt"
 // Contents are NOT zeroed (previous occupants' bits remain, as with real
 // allocators) — use Zalloc for cleared memory.
 func (p *Pool) Alloc(words int) (uint64, error) {
+	if p.crashLatched {
+		return 0, ErrCrashInjected
+	}
 	if words <= 0 {
 		words = 1
 	}
 	idx, err := p.allocIndex(words)
 	if err != nil {
 		return 0, err
+	}
+	// A crash injected mid-allocation: the durable state is whatever prefix
+	// of the metadata updates completed; the program never gets the address.
+	if p.crashLatched {
+		return 0, ErrCrashInjected
 	}
 	addr := Base + uint64(idx)
 	p.stats.Allocs++
@@ -52,6 +60,9 @@ func (p *Pool) Zalloc(words int) (uint64, error) {
 		p.setCurAt(i+w, 0)
 	}
 	p.persistMeta(i, words)
+	if p.crashLatched {
+		return 0, ErrCrashInjected
+	}
 	return addr, nil
 }
 
@@ -117,6 +128,9 @@ func (p *Pool) bumpLive(delta int) {
 
 // Free returns the block whose payload starts at addr to the free list.
 func (p *Pool) Free(addr uint64) error {
+	if p.crashLatched {
+		return ErrCrashInjected
+	}
 	i, err := p.index(addr)
 	if err != nil {
 		return err
@@ -138,6 +152,11 @@ func (p *Pool) Free(addr uint64) error {
 	p.persistMeta(i-1, 2)
 	p.persistMeta(hdrFreeHead, 1)
 	p.bumpLive(-size)
+	// A crash injected mid-free: some prefix of the metadata updates is
+	// durable; the caller sees the crash, not a completed free.
+	if p.crashLatched {
+		return ErrCrashInjected
+	}
 	p.stats.Frees++
 	if p.obsOn {
 		p.sink.Count("pmem.free", 1)

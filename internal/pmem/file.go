@@ -2,6 +2,7 @@ package pmem
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -30,6 +31,21 @@ import (
 //
 // Format v1 files (everything up to and including the durable image) are
 // still read: stats come back zero and no flight tail is recovered.
+
+// Typed read errors: every way a pool file can fail to load is one of
+// these, so callers (and tests) can classify failures with errors.Is
+// instead of string matching. Truncation, implausible section lengths, and
+// undecodable sections are never silently tolerated — a reader either gets
+// a fully parsed pool or a typed error.
+var (
+	// ErrNotPoolFile marks input that is not a pool file at all.
+	ErrNotPoolFile = errors.New("pmem: not a pool file")
+	// ErrTruncatedImage marks a pool file cut off mid-record.
+	ErrTruncatedImage = errors.New("pmem: truncated pool file")
+	// ErrCorruptImage marks a structurally undecodable pool file
+	// (implausible lengths, undecodable sections, failed integrity).
+	ErrCorruptImage = errors.New("pmem: corrupt pool file")
+)
 
 // fileMagic guards against feeding arbitrary files to Open.
 const fileMagic uint64 = 0x41525448_504F4F4C // "ARTH POOL"
@@ -124,23 +140,23 @@ func readPool(r io.Reader, strict bool) (*Pool, error) {
 	get := func() (uint64, error) {
 		var buf [8]byte
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return 0, err
+			return 0, fmt.Errorf("%w: %v", ErrTruncatedImage, err)
 		}
 		return binary.LittleEndian.Uint64(buf[:]), nil
 	}
 	magic, err := get()
 	if err != nil {
-		return nil, fmt.Errorf("pmem: reading pool file: %w", err)
+		return nil, fmt.Errorf("%w (empty or short header)", ErrNotPoolFile)
 	}
 	if magic != fileMagic {
-		return nil, fmt.Errorf("pmem: not a pool file (magic %#x)", magic)
+		return nil, fmt.Errorf("%w (magic %#x)", ErrNotPoolFile, magic)
 	}
 	version, err := get()
 	if err != nil {
 		return nil, err
 	}
 	if version != fileVersion && version != fileVersionV1 {
-		return nil, fmt.Errorf("pmem: pool file version %d, want <= %d", version, fileVersion)
+		return nil, fmt.Errorf("%w: version %d, want <= %d", ErrCorruptImage, version, fileVersion)
 	}
 	words64, err := get()
 	if err != nil {
@@ -148,7 +164,7 @@ func readPool(r io.Reader, strict bool) (*Pool, error) {
 	}
 	words := int(words64)
 	if words < 64 || words > 1<<32 {
-		return nil, fmt.Errorf("pmem: implausible pool size %d", words)
+		return nil, fmt.Errorf("%w: implausible pool size %d", ErrCorruptImage, words)
 	}
 	p := &Pool{
 		words:       words,
@@ -160,7 +176,7 @@ func readPool(r io.Reader, strict bool) (*Pool, error) {
 	}
 	buf := make([]byte, 8*words)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("pmem: truncated pool file: %w", err)
+		return nil, fmt.Errorf("%w (durable image): %v", ErrTruncatedImage, err)
 	}
 	for i := range p.durable {
 		p.durable[i] = binary.LittleEndian.Uint64(buf[8*i:])
@@ -172,15 +188,15 @@ func readPool(r io.Reader, strict bool) (*Pool, error) {
 		// may append stats; older readers must skip what they don't know).
 		statsN, err := get()
 		if err != nil {
-			return nil, fmt.Errorf("pmem: truncated pool file (stats): %w", err)
+			return nil, fmt.Errorf("%w (stats)", err)
 		}
 		if statsN > 64 {
-			return nil, fmt.Errorf("pmem: implausible stats section length %d", statsN)
+			return nil, fmt.Errorf("%w: implausible stats section length %d", ErrCorruptImage, statsN)
 		}
 		vals := make([]uint64, statsN)
 		for i := range vals {
 			if vals[i], err = get(); err != nil {
-				return nil, fmt.Errorf("pmem: truncated pool file (stats): %w", err)
+				return nil, fmt.Errorf("%w (stats)", err)
 			}
 		}
 		dst := []*uint64{
@@ -197,19 +213,19 @@ func readPool(r io.Reader, strict bool) (*Pool, error) {
 		// Flight-recorder section.
 		flightLen, err := get()
 		if err != nil {
-			return nil, fmt.Errorf("pmem: truncated pool file (flight): %w", err)
+			return nil, fmt.Errorf("%w (flight)", err)
 		}
 		if flightLen > maxFlightSection {
-			return nil, fmt.Errorf("pmem: implausible flight section length %d", flightLen)
+			return nil, fmt.Errorf("%w: implausible flight section length %d", ErrCorruptImage, flightLen)
 		}
 		if flightLen > 0 {
 			fb := make([]byte, flightLen)
 			if _, err := io.ReadFull(r, fb); err != nil {
-				return nil, fmt.Errorf("pmem: truncated pool file (flight): %w", err)
+				return nil, fmt.Errorf("%w (flight section): %v", ErrTruncatedImage, err)
 			}
 			fl, err := obs.UnmarshalFlight(fb)
 			if err != nil {
-				return nil, fmt.Errorf("pmem: decoding flight recorder: %w", err)
+				return nil, fmt.Errorf("%w: undecodable flight recorder: %v", ErrCorruptImage, err)
 			}
 			p.flight = fl
 		}
@@ -217,10 +233,21 @@ func readPool(r io.Reader, strict bool) (*Pool, error) {
 
 	if strict {
 		if p.durable[hdrMagic] != magicValue {
-			return nil, fmt.Errorf("pmem: pool image not formatted (magic %#x)", p.durable[hdrMagic])
+			return nil, fmt.Errorf("%w: pool image not formatted (magic %#x)", ErrCorruptImage, p.durable[hdrMagic])
+		}
+		// Open-time recovery (the palloc-recovery analogue): repair the
+		// allocator-metadata states an interrupted alloc/free legitimately
+		// leaves behind, then insist the image checks out. Corruption the
+		// block chain cannot explain stays a hard error.
+		rec := p.RecoverMeta()
+		if !rec.OK() {
+			return nil, fmt.Errorf("%w: unrecoverable pool image: %v", ErrCorruptImage, rec)
+		}
+		if !rec.Clean() {
+			p.recovery = rec
 		}
 		if rep := p.CheckIntegrity(); !rep.OK() {
-			return nil, fmt.Errorf("pmem: pool file failed integrity check: %v", rep)
+			return nil, fmt.Errorf("%w: pool file failed integrity check: %v", ErrCorruptImage, rep)
 		}
 	}
 	return p, nil

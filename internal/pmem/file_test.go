@@ -3,6 +3,7 @@ package pmem
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"testing"
 
 	"arthas/internal/obs"
@@ -139,6 +140,110 @@ func TestPoolFileRejectsTruncatedEverywhere(t *testing.T) {
 		if _, err := ReadPool(bytes.NewReader(data[:cut])); err == nil {
 			t.Fatalf("truncation at byte %d accepted (len %d)", cut, len(data))
 		}
+	}
+}
+
+func TestPoolFileTypedErrors(t *testing.T) {
+	p := New(128)
+	fl := obs.NewFlight(16)
+	fl.Count("pmem.store", 1)
+	p.AttachFlight(fl)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	poolEnd := 24 + 8*128 // header + durable image
+
+	mutate := func(fn func(d []byte) []byte) []byte {
+		d := make([]byte, len(full))
+		copy(d, full)
+		return fn(d)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrNotPoolFile},
+		{"garbage", []byte("garbage garbage garbage"), ErrNotPoolFile},
+		{"bad magic", mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[0:], 0xBAD)
+			return d
+		}), ErrNotPoolFile},
+		{"future version", mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[8:], 99)
+			return d
+		}), ErrCorruptImage},
+		{"implausible size", mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[16:], 1<<40)
+			return d
+		}), ErrCorruptImage},
+		{"truncated header", full[:17], ErrTruncatedImage},
+		{"truncated image", full[:poolEnd/2], ErrTruncatedImage},
+		{"truncated stats", full[:poolEnd+4], ErrTruncatedImage},
+		{"implausible stats count", mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[poolEnd:], 1<<30)
+			return d
+		}), ErrCorruptImage},
+		{"truncated flight length", full[:poolEnd+8*8+4], ErrTruncatedImage},
+		{"implausible flight length", mutate(func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[poolEnd+8*8:], 1<<40)
+			return d
+		}), ErrCorruptImage},
+		{"truncated flight section", full[:len(full)-3], ErrTruncatedImage},
+		{"undecodable flight section", mutate(func(d []byte) []byte {
+			for i := poolEnd + 8*9; i < len(d); i++ {
+				d[i] = 0xFF
+			}
+			return d
+		}), ErrCorruptImage},
+	}
+	for _, tc := range cases {
+		_, err := ReadPool(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !errors.Is(err, tc.want) {
+			t.Fatalf("%s: error %v, want %v", tc.name, err, tc.want)
+		}
+		// The lenient inspect reader must reject the same structural damage
+		// (it only skips the pool-content checks, never container parsing).
+		if _, err := ReadPoolInspect(bytes.NewReader(tc.data)); err == nil {
+			t.Fatalf("%s: inspect reader accepted structural damage", tc.name)
+		}
+	}
+}
+
+func TestPoolFileStrictOpenRecoversCrashWindows(t *testing.T) {
+	// An image saved out of a crash window must open strict (with an
+	// open-time recovery report), not be rejected.
+	p := New(256)
+	a, _ := p.Alloc(4)
+	_, _ = p.Alloc(4)
+	p.SetCrashFunc(crashOnEvent(DurMeta, 0, 2))
+	if err := p.Free(a); !errors.Is(err, ErrCrashInjected) {
+		t.Fatalf("Free = %v", err)
+	}
+	p.SetCrashFunc(nil)
+	p.Crash()
+	p.ResetCrashLatch()
+
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPool(&buf)
+	if err != nil {
+		t.Fatalf("strict open rejected a legitimately-crashed image: %v", err)
+	}
+	rec := q.LastRecovery()
+	if rec == nil || rec.Clean() {
+		t.Fatal("open-time recovery report missing for a crash-window image")
+	}
+	if rep := q.CheckIntegrity(); !rep.OK() {
+		t.Fatalf("reopened pool inconsistent: %v", rep)
 	}
 }
 

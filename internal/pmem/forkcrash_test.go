@@ -1,0 +1,197 @@
+package pmem
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// Fork crash semantics: a fork must be a perfect sandbox. Crash(),
+// InjectBitFlip(alsoDurable=true), and injected crash latches on a fork may
+// never reach the base pool, and Promote() after a fork-local crash must
+// promote the post-crash state, not resurrect discarded volatile writes.
+
+func snapshotPool(p *Pool) (cur, dur []uint64) {
+	cur = make([]uint64, p.words)
+	dur = make([]uint64, p.words)
+	for i := 0; i < p.words; i++ {
+		cur[i] = p.curAt(i)
+		dur[i] = p.durAt(i)
+	}
+	return cur, dur
+}
+
+func assertUnchanged(t *testing.T, p *Pool, cur, dur []uint64, what string) {
+	t.Helper()
+	for i := 0; i < p.words; i++ {
+		if p.curAt(i) != cur[i] {
+			t.Fatalf("%s: base current word %d changed %d -> %d", what, i, cur[i], p.curAt(i))
+		}
+		if p.durAt(i) != dur[i] {
+			t.Fatalf("%s: base durable word %d changed %d -> %d", what, i, dur[i], p.durAt(i))
+		}
+	}
+}
+
+func TestForkCrashDoesNotLeakIntoBase(t *testing.T) {
+	base := New(256)
+	a, _ := base.Alloc(4)
+	base.Store(a, 10)
+	base.Persist(a, 1)
+	base.Store(a+1, 20) // dirty at fork time
+	cur, dur := snapshotPool(base)
+	dirtyBefore := base.DirtyWords()
+
+	f := base.Fork()
+	f.Store(a+2, 30)
+	f.Persist(a+2, 1)
+	f.Store(a+3, 40)
+	f.Crash()
+
+	assertUnchanged(t, base, cur, dur, "fork crash")
+	if base.DirtyWords() != dirtyBefore {
+		t.Fatalf("base dirty set changed: %d -> %d", dirtyBefore, base.DirtyWords())
+	}
+	// The fork lost its own unpersisted store AND the base's inherited dirty
+	// word, but kept what it persisted.
+	if v, _ := f.Load(a + 2); v != 30 {
+		t.Fatalf("fork lost persisted word: %d", v)
+	}
+	if v, _ := f.Load(a + 3); v == 40 {
+		t.Fatal("fork kept unpersisted store across crash")
+	}
+	if v, _ := f.Load(a + 1); v == 20 {
+		t.Fatal("fork kept base's dirty word across crash")
+	}
+	// The base still observes its dirty word (it never crashed).
+	if v, _ := base.Load(a + 1); v != 20 {
+		t.Fatalf("base lost its own dirty word: %d", v)
+	}
+}
+
+func TestForkBitFlipDoesNotLeakIntoBase(t *testing.T) {
+	base := New(256)
+	a, _ := base.Alloc(2)
+	base.Store(a, 0xFF)
+	base.Persist(a, 1)
+	cur, dur := snapshotPool(base)
+
+	f := base.Fork()
+	if err := f.InjectBitFlip(a, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	assertUnchanged(t, base, cur, dur, "fork bit flip")
+	if v, _ := f.Load(a); v != 0xFF^(1<<3) {
+		t.Fatalf("fork did not observe its own flip: %#x", v)
+	}
+	fd, _ := f.ReadDurable(a)
+	if fd != 0xFF^(1<<3) {
+		t.Fatalf("fork durable flip missing: %#x", fd)
+	}
+}
+
+func TestForkInjectedCrashDoesNotLatchBase(t *testing.T) {
+	base := New(256)
+	a, _ := base.Alloc(4)
+	cur, dur := snapshotPool(base)
+
+	f := base.Fork()
+	f.Store(a, 1)
+	f.Store(a+1, 2)
+	f.SetCrashFunc(crashOnEvent(DurPersist, 0, 1))
+	if err := f.Persist(a, 2); !errors.Is(err, ErrCrashInjected) {
+		t.Fatalf("fork Persist = %v", err)
+	}
+	if !f.CrashLatched() {
+		t.Fatal("fork not latched")
+	}
+	if base.CrashLatched() {
+		t.Fatal("injected crash latched the BASE pool")
+	}
+	assertUnchanged(t, base, cur, dur, "fork injected crash")
+	// The base remains fully operational.
+	if err := base.Store(a, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Persist(a, 1); err != nil {
+		t.Fatalf("base persist after fork latch: %v", err)
+	}
+}
+
+func TestForkPromoteAfterCrashDropsVolatileState(t *testing.T) {
+	base := New(256)
+	a, _ := base.Alloc(4)
+	base.Store(a, 1) // dirty in base at fork time
+
+	f := base.Fork()
+	f.Store(a+1, 11)
+	f.Persist(a+1, 1)
+	f.Store(a+2, 22) // never persisted
+	f.Crash()
+	if err := f.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	// Promoted state is the POST-crash state: persisted survives, the fork's
+	// unpersisted store and the base's old dirty word are gone.
+	if v, _ := base.Load(a + 1); v != 11 {
+		t.Fatalf("promoted persisted word = %d", v)
+	}
+	if v, _ := base.Load(a + 2); v == 22 {
+		t.Fatal("promote resurrected the fork's discarded volatile store")
+	}
+	if v, _ := base.Load(a); v == 1 {
+		t.Fatal("promote resurrected the base's pre-fork dirty word")
+	}
+	if base.DirtyWords() != 0 {
+		t.Fatalf("promoted pool has %d dirty words after fork crash", base.DirtyWords())
+	}
+}
+
+func TestForkIsolationUnderConcurrency(t *testing.T) {
+	// Many forks concurrently storing, persisting, allocating, bit-flipping,
+	// crashing, and latching — while the base is only read. Run under -race
+	// (CI does) this also proves forks never write base state.
+	base := New(1024)
+	a, _ := base.Alloc(8)
+	for w := uint64(0); w < 8; w++ {
+		base.Store(a+w, 1000+w)
+	}
+	base.Persist(a, 8)
+	cur, dur := snapshotPool(base)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f := base.Fork()
+			for i := 0; i < 50; i++ {
+				b, err := f.Alloc(2)
+				if err != nil {
+					return
+				}
+				f.Store(b, uint64(g*1000+i))
+				f.Persist(b, 1)
+				f.InjectBitFlip(b, uint(i%64), i%2 == 0)
+				if i%10 == 9 {
+					f.Crash()
+				}
+				if i%25 == 24 {
+					f.SetCrashFunc(crashOnEvent(DurPersist, 0, 0))
+					f.Persist(b, 1) // latches the fork
+					f.SetCrashFunc(nil)
+					f.Crash()
+					f.ResetCrashLatch()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	assertUnchanged(t, base, cur, dur, "concurrent forks")
+	if base.CrashLatched() {
+		t.Fatal("a fork's latch reached the base")
+	}
+	if rep := base.CheckIntegrity(); !rep.OK() {
+		t.Fatalf("base inconsistent after concurrent fork abuse: %v", rep)
+	}
+}

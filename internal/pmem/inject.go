@@ -1,0 +1,105 @@
+package pmem
+
+import "errors"
+
+// Crash-point injection: the hook layer the torture harness (internal/
+// torture) uses to enumerate and interrupt durability events.
+//
+// Every operation that moves words from the current image to the durable
+// image is a *durability event*: a library persist (Persist / a drained
+// fence), one range of a transaction commit, or an allocator/root metadata
+// update. A CrashFunc observes each event before it happens and may order a
+// crash there — optionally *torn*, with only the first k of the event's n
+// words made durable, modeling a power failure mid-flush of a multi-line
+// range (the hard-fault states the PM bug studies show real recovery code
+// is almost never tested against).
+//
+// A crash latches the pool: from that point on no further data becomes
+// durable, no durability/allocator hooks fire (the checkpoint log in PM
+// cannot learn about events that never happened), and any later durability
+// operation fails fast with ErrCrashInjected so the driving VM stops
+// promptly. Loads and stores keep working — they are volatile and will be
+// discarded by the Crash() call the harness issues next — so the latch
+// never changes the durable state an actual power loss at that instant
+// would have left behind.
+
+// DurKind classifies a durability event.
+type DurKind uint8
+
+// Durability event kinds.
+const (
+	// DurPersist is a library persist outside any transaction (Persist, or
+	// a flush+fence pair drained by the VM).
+	DurPersist DurKind = iota
+	// DurTxRange is one coalesced range of a PersistTx commit; a commit of
+	// r ranges produces r consecutive DurTxRange events.
+	DurTxRange
+	// DurMeta is an allocator or root-slot metadata update (persistMeta):
+	// block headers, free-list links, the heap bump pointer, root slots.
+	DurMeta
+)
+
+func (k DurKind) String() string {
+	switch k {
+	case DurPersist:
+		return "persist"
+	case DurTxRange:
+		return "tx"
+	case DurMeta:
+		return "meta"
+	}
+	return "unknown"
+}
+
+// DurEvent describes one durability event offered to a CrashFunc.
+type DurEvent struct {
+	Kind  DurKind
+	Addr  uint64 // absolute address of the range
+	Words int    // words the event would make durable
+}
+
+// CrashFunc decides, per durability event, whether to crash the pool there.
+// Returning crash=true latches the pool after making only the first `keep`
+// words of the event durable (keep is clamped to [0, ev.Words]; keep ==
+// ev.Words models a crash after the flush completed but before the
+// checkpoint hook / tx commit ran). The function runs synchronously on the
+// mutating goroutine; it must not call back into the pool.
+type CrashFunc func(ev DurEvent) (keep int, crash bool)
+
+// ErrCrashInjected is returned by durability operations attempted after an
+// injected crash latched the pool. The VM surfaces it as a trap, which is
+// how a torture trial's execution stops near its crash point.
+var ErrCrashInjected = errors.New("pmem: crash injected")
+
+// SetCrashFunc installs (or, with nil, removes) a crash-injection hook.
+// Installing a hook does not clear an existing latch.
+func (p *Pool) SetCrashFunc(f CrashFunc) { p.crashFn = f }
+
+// CrashLatched reports whether an injected crash has latched the pool.
+func (p *Pool) CrashLatched() bool { return p.crashLatched }
+
+// ResetCrashLatch clears the injected-crash latch, re-enabling durability.
+// The harness calls it after Crash() has discarded volatile state, before
+// running recovery against the (possibly torn) durable image.
+func (p *Pool) ResetCrashLatch() { p.crashLatched = false }
+
+// offerCrash consults the crash hook for one durability event. It returns
+// the number of words to actually make durable; the latch is set first so
+// the caller's own hook firing (and every later event) is suppressed.
+func (p *Pool) offerCrash(kind DurKind, addr uint64, words int) int {
+	if p.crashFn == nil {
+		return words
+	}
+	keep, crash := p.crashFn(DurEvent{Kind: kind, Addr: addr, Words: words})
+	if !crash {
+		return words
+	}
+	p.crashLatched = true
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > words {
+		keep = words
+	}
+	return keep
+}

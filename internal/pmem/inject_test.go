@@ -1,0 +1,208 @@
+package pmem
+
+import (
+	"errors"
+	"testing"
+)
+
+// crashOnEvent returns a CrashFunc that crashes on the nth matching event
+// (0-based), keeping the first keep words of it.
+func crashOnEvent(kind DurKind, n, keep int) CrashFunc {
+	seen := 0
+	return func(ev DurEvent) (int, bool) {
+		if ev.Kind != kind {
+			return 0, false
+		}
+		if seen == n {
+			seen++
+			return keep, true
+		}
+		seen++
+		return 0, false
+	}
+}
+
+func TestInjectTornPersist(t *testing.T) {
+	p := New(256)
+	a, _ := p.Alloc(4)
+	for w := uint64(0); w < 4; w++ {
+		p.Store(a+w, 100+w)
+	}
+	// Crash mid-flush: only the first 2 of 4 words become durable.
+	p.SetCrashFunc(crashOnEvent(DurPersist, 0, 2))
+	if err := p.Persist(a, 4); !errors.Is(err, ErrCrashInjected) {
+		t.Fatalf("Persist = %v, want ErrCrashInjected", err)
+	}
+	if !p.CrashLatched() {
+		t.Fatal("pool not latched after injected crash")
+	}
+	p.SetCrashFunc(nil)
+	p.Crash()
+	p.ResetCrashLatch()
+	for w := uint64(0); w < 4; w++ {
+		v, _ := p.Load(a + w)
+		want := uint64(0)
+		if w < 2 {
+			want = 100 + w
+		}
+		if v != want {
+			t.Fatalf("word %d after torn persist = %d, want %d", w, v, want)
+		}
+	}
+}
+
+func TestInjectPersistHookSuppressed(t *testing.T) {
+	p := New(256)
+	a, _ := p.Alloc(2)
+	var hookFired int
+	p.SetHooks(Hooks{OnPersist: func(addr uint64, data []uint64) { hookFired++ }})
+	p.Store(a, 7)
+
+	// keep == Words: the flush itself completed, but the crash lands before
+	// the checkpoint hook — the data is durable yet the log must not know.
+	p.SetCrashFunc(crashOnEvent(DurPersist, 0, 1))
+	if err := p.Persist(a, 1); !errors.Is(err, ErrCrashInjected) {
+		t.Fatalf("Persist = %v, want ErrCrashInjected", err)
+	}
+	if hookFired != 0 {
+		t.Fatalf("persist hook fired %d times after injected crash", hookFired)
+	}
+	p.SetCrashFunc(nil)
+	p.Crash()
+	p.ResetCrashLatch()
+	if v, _ := p.Load(a); v != 7 {
+		t.Fatalf("completed flush lost: %d", v)
+	}
+}
+
+func TestInjectTornTx(t *testing.T) {
+	p := New(256)
+	a, _ := p.Alloc(2)
+	b, _ := p.Alloc(2)
+	p.Store(a, 1)
+	p.Store(a+1, 2)
+	p.Store(b, 3)
+	p.Store(b+1, 4)
+
+	var persists, commits int
+	p.SetHooks(Hooks{
+		OnPersist:  func(addr uint64, data []uint64) { persists++ },
+		OnTxCommit: func() { commits++ },
+	})
+	// Crash on the second range of the commit, tearing it at 1 of 2 words:
+	// range a fully durable (hook fired), range b half durable (hook
+	// suppressed), no commit bracket.
+	p.SetCrashFunc(crashOnEvent(DurTxRange, 1, 1))
+	err := p.PersistTx([]Range{{a, 2}, {b, 2}})
+	if !errors.Is(err, ErrCrashInjected) {
+		t.Fatalf("PersistTx = %v, want ErrCrashInjected", err)
+	}
+	if persists != 1 {
+		t.Fatalf("persist hooks fired %d times, want 1 (completed range only)", persists)
+	}
+	if commits != 0 {
+		t.Fatal("commit hook fired for a torn transaction")
+	}
+	p.SetCrashFunc(nil)
+	p.Crash()
+	p.ResetCrashLatch()
+	for i, want := range []struct {
+		addr uint64
+		val  uint64
+	}{{a, 1}, {a + 1, 2}, {b, 3}, {b + 1, 0}} {
+		if v, _ := p.Load(want.addr); v != want.val {
+			t.Fatalf("word %d = %d, want %d", i, v, want.val)
+		}
+	}
+}
+
+func TestInjectLatchFailsFast(t *testing.T) {
+	p := New(256)
+	a, _ := p.Alloc(2)
+	p.Store(a, 5)
+	p.SetCrashFunc(crashOnEvent(DurPersist, 0, 0))
+	if err := p.Persist(a, 1); !errors.Is(err, ErrCrashInjected) {
+		t.Fatalf("Persist = %v", err)
+	}
+	// Every later durability operation fails fast without changing durable
+	// state; volatile loads/stores still work.
+	if err := p.Persist(a, 1); !errors.Is(err, ErrCrashInjected) {
+		t.Fatalf("second Persist = %v", err)
+	}
+	if err := p.PersistTx([]Range{{a, 1}}); !errors.Is(err, ErrCrashInjected) {
+		t.Fatalf("PersistTx = %v", err)
+	}
+	if _, err := p.Alloc(1); !errors.Is(err, ErrCrashInjected) {
+		t.Fatalf("Alloc = %v", err)
+	}
+	if err := p.Free(a); !errors.Is(err, ErrCrashInjected) {
+		t.Fatalf("Free = %v", err)
+	}
+	if err := p.SetRoot(0, a); !errors.Is(err, ErrCrashInjected) {
+		t.Fatalf("SetRoot = %v", err)
+	}
+	if err := p.Store(a, 9); err != nil {
+		t.Fatalf("volatile store failed under latch: %v", err)
+	}
+	if v, err := p.Load(a); err != nil || v != 9 {
+		t.Fatalf("volatile load under latch = %d, %v", v, err)
+	}
+	before, _ := p.ReadDurable(a)
+	p.Crash()
+	p.ResetCrashLatch()
+	after, _ := p.Load(a)
+	if after != before {
+		t.Fatalf("latched operations leaked into durable state: %d vs %d", after, before)
+	}
+}
+
+func TestInjectMetaEventsObserved(t *testing.T) {
+	p := New(256)
+	var kinds []DurKind
+	p.SetCrashFunc(func(ev DurEvent) (int, bool) {
+		kinds = append(kinds, ev.Kind)
+		return 0, false
+	})
+	a, _ := p.Alloc(2)
+	p.Store(a, 1)
+	p.Persist(a, 1)
+	p.Free(a)
+	p.SetCrashFunc(nil)
+
+	var meta, persist int
+	for _, k := range kinds {
+		switch k {
+		case DurMeta:
+			meta++
+		case DurPersist:
+			persist++
+		}
+	}
+	if meta < 4 {
+		t.Fatalf("alloc+free produced only %d meta events: %v", meta, kinds)
+	}
+	if persist != 1 {
+		t.Fatalf("%d persist events, want 1: %v", persist, kinds)
+	}
+}
+
+func TestInjectKeepClamped(t *testing.T) {
+	p := New(256)
+	a, _ := p.Alloc(4)
+	for w := uint64(0); w < 4; w++ {
+		p.Store(a+w, 1)
+	}
+	// keep beyond the event width or negative must clamp, not panic.
+	for _, keep := range []int{-5, 99} {
+		q := New(256)
+		b, _ := q.Alloc(4)
+		for w := uint64(0); w < 4; w++ {
+			q.Store(b+w, 1)
+		}
+		q.SetCrashFunc(crashOnEvent(DurPersist, 0, keep))
+		if err := q.Persist(b, 4); !errors.Is(err, ErrCrashInjected) {
+			t.Fatalf("keep=%d: %v", keep, err)
+		}
+	}
+	_ = a
+}

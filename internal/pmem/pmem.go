@@ -135,7 +135,22 @@ type Pool struct {
 	// the hot load/store paths pay one predictable branch when disabled.
 	sink  obs.Sink
 	obsOn bool
+
+	// Crash injection (internal/torture): crashFn observes durability
+	// events and may latch the pool mid-event; once crashLatched, nothing
+	// further becomes durable and durability hooks stay silent. See
+	// inject.go.
+	crashFn      CrashFunc
+	crashLatched bool
+
+	// recovery records the open-time RecoverMeta report when the strict
+	// reader had to repair allocator metadata (nil when the open was clean).
+	recovery *RecoverReport
 }
+
+// LastRecovery returns the open-time recovery report, or nil if the pool
+// opened clean (or was not opened from a file).
+func (p *Pool) LastRecovery() *RecoverReport { return p.recovery }
 
 // Stats counts pool activity since creation. Stats are not durable state,
 // but pool files (format v2) carry them so post-mortem tooling can see how
@@ -250,9 +265,11 @@ func (p *Pool) Store(addr uint64, val uint64) error {
 }
 
 // Persist makes [addr, addr+words) durable and fires the persist hook.
-// It is the pmem_persist / clwb;sfence analogue.
+// It is the pmem_persist / clwb;sfence analogue. An injected crash mid-
+// flush leaves only a prefix of the range durable and suppresses the hook
+// (the checkpoint log never learns of a persist that did not complete).
 func (p *Pool) Persist(addr uint64, words int) error {
-	if err := p.makeDurable(addr, words); err != nil {
+	if err := p.makeDurable(addr, words, DurPersist); err != nil {
 		return err
 	}
 	if p.hooks.OnPersist != nil {
@@ -264,7 +281,11 @@ func (p *Pool) Persist(addr uint64, words int) error {
 
 // PersistTx makes every range durable as one atomic transaction commit,
 // firing tx-bracketed hooks. It is the libpmemobj TX_COMMIT analogue: the
-// caller (VM or native program) tracked the write-set.
+// caller (VM or native program) tracked the write-set. An injected crash
+// mid-commit leaves a prefix of the ranges durable (the last possibly torn)
+// with hooks fired only for the completed ranges and no commit bracket —
+// exactly the partially-committed transaction state a power failure at a
+// tx-commit boundary produces.
 func (p *Pool) PersistTx(ranges []Range) error {
 	for _, r := range ranges {
 		if _, err := p.index(r.Addr); err != nil {
@@ -274,11 +295,14 @@ func (p *Pool) PersistTx(ranges []Range) error {
 			return fmt.Errorf("%w: %v", ErrOutOfBounds, r)
 		}
 	}
+	if p.crashLatched {
+		return ErrCrashInjected
+	}
 	if p.hooks.OnTxBegin != nil {
 		p.hooks.OnTxBegin()
 	}
 	for _, r := range ranges {
-		if err := p.makeDurable(r.Addr, r.Words); err != nil {
+		if err := p.makeDurable(r.Addr, r.Words, DurTxRange); err != nil {
 			return err
 		}
 		if p.hooks.OnPersist != nil {
@@ -292,7 +316,7 @@ func (p *Pool) PersistTx(ranges []Range) error {
 	return nil
 }
 
-func (p *Pool) makeDurable(addr uint64, words int) error {
+func (p *Pool) makeDurable(addr uint64, words int, kind DurKind) error {
 	i, err := p.index(addr)
 	if err != nil {
 		return err
@@ -300,6 +324,12 @@ func (p *Pool) makeDurable(addr uint64, words int) error {
 	if words < 0 || i+words > p.words {
 		return fmt.Errorf("%w: %v", ErrOutOfBounds, Range{addr, words})
 	}
+	if p.crashLatched {
+		return ErrCrashInjected
+	}
+	// A crash hook may latch the pool here, truncating the event to its
+	// first `words` (possibly zero) words — a torn flush.
+	words = p.offerCrash(kind, addr, words)
 	p.stats.Persists++
 	p.stats.PersistedWords.Words += uint64(words)
 	if p.base == nil {
@@ -317,13 +347,22 @@ func (p *Pool) makeDurable(addr uint64, words int) error {
 		p.sink.Count("pmem.persisted_words", int64(words))
 		p.sink.SetGauge("pmem.dirty_words", int64(len(p.dirty)))
 	}
+	if p.crashLatched {
+		return ErrCrashInjected
+	}
 	return nil
 }
 
 // persistMeta makes allocator/header metadata durable WITHOUT firing hooks:
 // allocator internals are not program state and must not pollute the
-// checkpoint log (PMDK similarly hides its internal writes).
+// checkpoint log (PMDK similarly hides its internal writes). Metadata
+// updates are durability events too — an injected crash can tear them,
+// which is how the harness reaches the allocator's crash windows.
 func (p *Pool) persistMeta(idx, words int) {
+	if p.crashLatched {
+		return
+	}
+	words = p.offerCrash(DurMeta, Base+uint64(idx), words)
 	if p.base == nil {
 		copy(p.durable[idx:idx+words], p.cur[idx:idx+words])
 	} else {
@@ -371,8 +410,14 @@ func (p *Pool) SetRoot(i int, addr uint64) error {
 	if i < 0 || i >= NumRoots {
 		return fmt.Errorf("%w: %d", ErrBadRoot, i)
 	}
+	if p.crashLatched {
+		return ErrCrashInjected
+	}
 	p.setCurAt(hdrRootBase+i, addr)
 	p.persistMeta(hdrRootBase+i, 1)
+	if p.crashLatched {
+		return ErrCrashInjected
+	}
 	return nil
 }
 

@@ -1,0 +1,136 @@
+package pmem
+
+import "fmt"
+
+// Open-time allocator metadata recovery.
+//
+// The allocator keeps its metadata crash-consistent one word at a time, but
+// several operations update MORE than one metadata word (Free rewrites the
+// block header, the free-list link, the list head, and the live-words
+// counter; Alloc's split path rewrites two headers, a link, and the
+// counter). A crash between — or, with torn flushes, inside — those
+// persists leaves states that are perfectly reconstructible from the block
+// chain but violate the strict invariants CheckIntegrity enforces:
+//
+//   - a block durably marked free before it was durably linked into the
+//     free list ("free block not on free list", with a possibly stale link
+//     word);
+//   - a durable allocation or free whose live-words counter update did not
+//     complete ("live-words accounting" mismatch).
+//
+// Real PM allocators (PMDK's palloc) run exactly this kind of recovery on
+// pool open. RecoverMeta is that step: it re-derives the free list and the
+// live-words counter from the block chain — the single source of truth —
+// and durably rewrites them. Damage the chain itself cannot explain
+// (unwalkable headers, a bad magic) is fatal and reported, never "fixed".
+
+// RecoverReport describes what RecoverMeta did.
+type RecoverReport struct {
+	// Fixed lists recoverable inconsistencies that were repaired.
+	Fixed []string
+	// Fatal lists corruption that recovery cannot repair; when non-empty
+	// the pool was left untouched.
+	Fatal []string
+}
+
+// OK reports whether the pool is usable (no fatal corruption).
+func (r *RecoverReport) OK() bool { return len(r.Fatal) == 0 }
+
+// Clean reports whether no repairs were needed at all.
+func (r *RecoverReport) Clean() bool { return len(r.Fixed) == 0 && len(r.Fatal) == 0 }
+
+func (r *RecoverReport) String() string {
+	if r.Clean() {
+		return "pool recovery: clean"
+	}
+	s := fmt.Sprintf("pool recovery: %d fixed, %d fatal", len(r.Fixed), len(r.Fatal))
+	for _, f := range r.Fixed {
+		s += "\n  fixed: " + f
+	}
+	for _, f := range r.Fatal {
+		s += "\n  FATAL: " + f
+	}
+	return s
+}
+
+// RecoverMeta repairs recoverable allocator-metadata inconsistencies in the
+// pool, durably. It must run on a freshly crashed/opened pool (current
+// image == durable image) with no crash-injection hook armed. Consistent
+// pools are untouched; the call is idempotent.
+func (p *Pool) RecoverMeta() *RecoverReport {
+	r := &RecoverReport{}
+	if p.curAt(hdrMagic) != magicValue {
+		r.Fatal = append(r.Fatal, fmt.Sprintf("bad magic %#x", p.curAt(hdrMagic)))
+		return r
+	}
+	heapNext := int(p.curAt(hdrHeapNext))
+	if heapNext < heapStart || heapNext > p.words {
+		r.Fatal = append(r.Fatal, fmt.Sprintf("heap bump pointer %d out of range", heapNext))
+		return r
+	}
+
+	// Walk the block chain: the ground truth for everything else.
+	live := 0
+	var freeBlocks []int // payload indices of free blocks, ascending
+	i := heapStart
+	for i < heapNext {
+		hdr := p.curAt(i)
+		size := int(hdr & blockSizeMask)
+		if size <= 0 || i+1+size > heapNext {
+			r.Fatal = append(r.Fatal, fmt.Sprintf("corrupt block header at word %d: size=%d", i, size))
+			return r
+		}
+		if hdr&blockAllocated != 0 {
+			live += size
+		} else {
+			freeBlocks = append(freeBlocks, i+1)
+		}
+		i += 1 + size
+	}
+
+	// Free-list check: every free block on the list exactly once, no
+	// cycles, no allocated entries. Any deviation (a crash window between
+	// the header flip and the relink, or a torn link word) is repaired by
+	// rebuilding the whole list from the chain walk, in ascending address
+	// order — deterministic, so recovery is reproducible.
+	isFree := make(map[int]bool, len(freeBlocks))
+	for _, fb := range freeBlocks {
+		isFree[fb] = true
+	}
+	seen := map[int]bool{}
+	listOK := true
+	cur := int(p.curAt(hdrFreeHead))
+	for cur != 0 {
+		if !isFree[cur] || seen[cur] {
+			listOK = false
+			break
+		}
+		seen[cur] = true
+		cur = int(p.curAt(cur))
+	}
+	if listOK && len(seen) != len(freeBlocks) {
+		listOK = false
+	}
+	if !listOK {
+		head := 0
+		for j := len(freeBlocks) - 1; j >= 0; j-- {
+			fb := freeBlocks[j]
+			p.setCurAt(fb, uint64(head))
+			p.persistMeta(fb, 1)
+			head = fb
+		}
+		p.setCurAt(hdrFreeHead, uint64(head))
+		p.persistMeta(hdrFreeHead, 1)
+		r.Fixed = append(r.Fixed,
+			fmt.Sprintf("rebuilt free list: %d free block(s) relinked", len(freeBlocks)))
+	}
+
+	// Live-words counter: recompute from the walk.
+	if got := int(p.curAt(hdrLiveWords)); got != live {
+		p.setCurAt(hdrLiveWords, uint64(live))
+		p.persistMeta(hdrLiveWords, 1)
+		r.Fixed = append(r.Fixed,
+			fmt.Sprintf("live-words counter corrected: %d -> %d", got, live))
+	}
+	return r
+}

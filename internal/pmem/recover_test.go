@@ -1,0 +1,201 @@
+package pmem
+
+import (
+	"errors"
+	"testing"
+)
+
+// crashThenRecover crashes the pool (discarding volatile state), clears the
+// injection hook and latch, and runs open-time recovery — the sequence a
+// real reopen performs.
+func crashThenRecover(t *testing.T, p *Pool) *RecoverReport {
+	t.Helper()
+	p.SetCrashFunc(nil)
+	p.Crash()
+	p.ResetCrashLatch()
+	rec := p.RecoverMeta()
+	if !rec.OK() {
+		t.Fatalf("recovery fatal: %v", rec)
+	}
+	return rec
+}
+
+func TestRecoverFreeHeadWindow(t *testing.T) {
+	// Crash between Free's header flip and the free-list head relink: the
+	// block is durably marked free but unreachable from the list.
+	p := New(256)
+	a, _ := p.Alloc(4)
+	b, _ := p.Alloc(4)
+	p.Free(a) // a legitimate free list to damage around
+	p.SetCrashFunc(crashOnEvent(DurMeta, 0, 2))
+	if err := p.Free(b); !errors.Is(err, ErrCrashInjected) {
+		t.Fatalf("Free = %v, want ErrCrashInjected", err)
+	}
+	rec := crashThenRecover(t, p)
+	if rec.Clean() {
+		t.Fatal("recovery found nothing to fix in the free-head crash window")
+	}
+	if rep := p.CheckIntegrity(); !rep.OK() {
+		t.Fatalf("pool still inconsistent after recovery: %v", rep)
+	}
+	// Both blocks are allocatable again.
+	if _, err := p.Alloc(4); err != nil {
+		t.Fatalf("alloc after recovery: %v", err)
+	}
+	if _, err := p.Alloc(4); err != nil {
+		t.Fatalf("second alloc after recovery: %v", err)
+	}
+}
+
+func TestRecoverTornFreeLink(t *testing.T) {
+	// Tear Free's two-word header+link persist after 1 word: the header says
+	// "free" but the link word still holds old payload bits.
+	p := New(256)
+	a, _ := p.Alloc(4)
+	p.Store(a, 0xDEAD) // stale payload that will masquerade as a link
+	p.Persist(a, 1)
+	p.SetCrashFunc(crashOnEvent(DurMeta, 0, 1))
+	if err := p.Free(a); !errors.Is(err, ErrCrashInjected) {
+		t.Fatalf("Free = %v", err)
+	}
+	rec := crashThenRecover(t, p)
+	if rec.Clean() {
+		t.Fatal("recovery missed the torn free-link state")
+	}
+	if rep := p.CheckIntegrity(); !rep.OK() {
+		t.Fatalf("pool still inconsistent: %v", rep)
+	}
+}
+
+func TestRecoverLiveWordsWindow(t *testing.T) {
+	// Crash after the bump allocation is durable but before the live-words
+	// counter update.
+	p := New(256)
+	p.SetCrashFunc(crashOnEvent(DurMeta, 2, 0)) // events: header, heapNext, liveWords
+	if _, err := p.Alloc(4); !errors.Is(err, ErrCrashInjected) {
+		t.Fatalf("Alloc = %v, want ErrCrashInjected", err)
+	}
+	rec := crashThenRecover(t, p)
+	found := false
+	for _, f := range rec.Fixed {
+		if len(f) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("live-words mismatch not repaired: %v", rec)
+	}
+	if rep := p.CheckIntegrity(); !rep.OK() {
+		t.Fatalf("pool still inconsistent: %v", rep)
+	}
+}
+
+func TestRecoverAllocSplitWindows(t *testing.T) {
+	// Exercise every meta-event crash point inside a splitting allocation
+	// (free-list first fit) and verify recovery heals each one.
+	for point := 0; point < 6; point++ {
+		p := New(512)
+		a, _ := p.Alloc(16)
+		p.Free(a) // big free block the next alloc will split
+		p.SetCrashFunc(crashOnEvent(DurMeta, point, 0))
+		_, err := p.Alloc(4)
+		p.SetCrashFunc(nil)
+		if err == nil {
+			// Fewer crash points than `point`: allocation completed; the
+			// pool must simply be consistent.
+			if rep := p.CheckIntegrity(); !rep.OK() {
+				t.Fatalf("point %d: completed alloc left damage: %v", point, rep)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrCrashInjected) {
+			t.Fatalf("point %d: Alloc = %v", point, err)
+		}
+		rec := crashThenRecover(t, p)
+		if rep := p.CheckIntegrity(); !rep.OK() {
+			t.Fatalf("point %d: still inconsistent after recovery (%v): %v", point, rec, rep)
+		}
+		// The heap must remain usable.
+		if _, err := p.Alloc(2); err != nil {
+			t.Fatalf("point %d: alloc after recovery: %v", point, err)
+		}
+	}
+}
+
+func TestRecoverTornFreeEverySplit(t *testing.T) {
+	// Torn variants: each meta event in Free torn at every possible width.
+	for point := 0; point < 3; point++ {
+		for keep := 0; keep <= 2; keep++ {
+			p := New(256)
+			a, _ := p.Alloc(4)
+			p.SetCrashFunc(crashOnEvent(DurMeta, point, keep))
+			err := p.Free(a)
+			p.SetCrashFunc(nil)
+			if err != nil && !errors.Is(err, ErrCrashInjected) {
+				t.Fatalf("point %d keep %d: Free = %v", point, keep, err)
+			}
+			if err == nil {
+				continue
+			}
+			crashThenRecover(t, p)
+			if rep := p.CheckIntegrity(); !rep.OK() {
+				t.Fatalf("point %d keep %d: inconsistent after recovery: %v", point, keep, rep)
+			}
+		}
+	}
+}
+
+func TestRecoverIdempotent(t *testing.T) {
+	p := New(256)
+	a, _ := p.Alloc(4)
+	_, _ = p.Alloc(4)
+	p.SetCrashFunc(crashOnEvent(DurMeta, 0, 2))
+	_ = p.Free(a)
+	rec := crashThenRecover(t, p)
+	if rec.Clean() {
+		t.Fatal("first recovery had nothing to do")
+	}
+	second := p.RecoverMeta()
+	if !second.Clean() {
+		t.Fatalf("second recovery not clean: %v", second)
+	}
+}
+
+func TestRecoverCleanPoolUntouched(t *testing.T) {
+	p := New(256)
+	a, _ := p.Alloc(4)
+	p.Store(a, 42)
+	p.Persist(a, 1)
+	before := p.durImage()
+	rec := p.RecoverMeta()
+	if !rec.Clean() {
+		t.Fatalf("clean pool 'recovered': %v", rec)
+	}
+	after := p.durImage()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("recovery modified clean pool at word %d", i)
+		}
+	}
+}
+
+func TestRecoverFatalOnBadMagic(t *testing.T) {
+	p := New(256)
+	p.WriteDurable(Base+hdrMagic, 0)
+	p.Crash()
+	rec := p.RecoverMeta()
+	if rec.OK() {
+		t.Fatal("bad magic not fatal")
+	}
+}
+
+func TestRecoverFatalOnUnwalkableChain(t *testing.T) {
+	p := New(256)
+	a, _ := p.Alloc(4)
+	p.WriteDurable(a-1, blockAllocated) // size 0: chain cannot advance
+	p.Crash()
+	rec := p.RecoverMeta()
+	if rec.OK() {
+		t.Fatal("unwalkable block chain not fatal")
+	}
+}

@@ -1,0 +1,47 @@
+package torture
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenSeeds replays every shrunk schedule in testdata/torture — the
+// regression corpus of crash points that once broke recovery (unguarded
+// recovery functions, torn multi-word flushes, mid-commit transaction
+// tears). Each must now finish clean or healed; "violated" means a fixed
+// bug came back.
+func TestGoldenSeeds(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "torture")
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no golden seeds in %s", dir)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var seed Seed
+			if err := json.Unmarshal(data, &seed); err != nil {
+				t.Fatal(err)
+			}
+			res, err := Replay(progSource(t, seed.Program), seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Crashes) == 0 {
+				t.Fatalf("seed %s injected no crash — schedule no longer reaches its event", describeSeed(seed))
+			}
+			if res.Outcome == "violated" {
+				t.Fatalf("seed %s regressed: %v", describeSeed(seed), res.Violations)
+			}
+		})
+	}
+}

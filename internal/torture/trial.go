@@ -1,0 +1,203 @@
+package torture
+
+import (
+	"bytes"
+	"fmt"
+
+	"arthas"
+	"arthas/internal/pmem"
+)
+
+// runTrial executes one schedule in a completely fresh deployment and
+// reports the outcome. The trial shares nothing with other trials, so any
+// number of them run concurrently with identical results.
+//
+// The loop mirrors how a real operator would live through the crash: run
+// the workload until the injected power failure latches the pool, discard
+// volatile state, serialize the durable image, reopen it through the REAL
+// open path (open-time allocator recovery, strict integrity check,
+// checkpoint-log and flight parsing), run the recovery function, and
+// re-issue the interrupted operation (at-least-once semantics). Any trap on
+// the way — during recovery or during the re-run — goes through the full
+// detector → reactor healing flow; a failure the reactor cannot heal is an
+// invariant violation, as is any malformed image, pool, or log state.
+func runTrial(cfg Config, calls []Call, probe *Call, sched Schedule) TrialResult {
+	res := TrialResult{Schedule: sched, Outcome: "clean"}
+	var violations []string
+	healed := false
+
+	inst, err := arthas.New(cfg.Name, cfg.Source, arthasConfig(cfg))
+	if err != nil {
+		res.Outcome = "violated"
+		res.Violations = []string{"deploy-failed: " + err.Error()}
+		return res
+	}
+
+	ci := 0 // next workload call (not advanced past an interrupted call)
+	for si := 0; ; si++ {
+		if si < len(sched) {
+			arm(inst, sched[si], &res)
+		} else {
+			inst.Pool.SetCrashFunc(nil)
+		}
+
+		crashed := false
+		for ci < len(calls) {
+			c := calls[ci]
+			_, trap := inst.Call(c.Fn, c.Args...)
+			if inst.Pool.CrashLatched() {
+				crashed = true
+				break
+			}
+			if trap != nil {
+				// A failure with no crash pending: detector + reactor. The
+				// mitigation's re-execution script restarts, recovers, and
+				// re-issues this very call, so on success we advance past it.
+				ok, attempts, v := heal(inst, trap, &c)
+				res.MitigationAttempts += attempts
+				if !ok {
+					violations = append(violations, v)
+					return finish(res, violations, healed)
+				}
+				healed = true
+			}
+			ci++
+		}
+		if !crashed {
+			break
+		}
+
+		// Power failure: volatile state dies, the (possibly torn) durable
+		// image is what the next process sees.
+		inst.Pool.SetCrashFunc(nil)
+		inst.Pool.Crash()
+		inst.Pool.ResetCrashLatch()
+
+		next, vs := reopen(cfg, inst)
+		violations = append(violations, vs...)
+		if next == nil {
+			return finish(res, violations, healed)
+		}
+		inst = next
+
+		if trap := inst.Restart(); trap != nil {
+			ok, attempts, v := heal(inst, trap, probe)
+			res.MitigationAttempts += attempts
+			if !ok {
+				violations = append(violations, v)
+				return finish(res, violations, healed)
+			}
+			healed = true
+		}
+		violations = append(violations, checkState(cfg, inst)...)
+		if len(violations) > 0 {
+			return finish(res, violations, healed)
+		}
+	}
+
+	// Workload complete. The optional probe must succeed now, and the final
+	// state must survive one more save/reopen round trip cleanly.
+	if probe != nil {
+		if _, trap := inst.Call(probe.Fn, probe.Args...); trap != nil {
+			ok, attempts, v := heal(inst, trap, probe)
+			res.MitigationAttempts += attempts
+			if !ok {
+				violations = append(violations, v)
+				return finish(res, violations, healed)
+			}
+			healed = true
+		}
+	}
+	final, vs := reopen(cfg, inst)
+	violations = append(violations, vs...)
+	if final != nil {
+		violations = append(violations, checkState(cfg, final)...)
+	}
+	return finish(res, violations, healed)
+}
+
+// arm installs the counting crash hook for one spec on the current segment.
+func arm(inst *arthas.Instance, spec CrashSpec, res *TrialResult) {
+	count := 0
+	inst.Pool.SetCrashFunc(func(ev pmem.DurEvent) (int, bool) {
+		i := count
+		count++
+		if i != spec.Event {
+			return ev.Words, false
+		}
+		keep := spec.Keep
+		if keep < 0 || keep > ev.Words {
+			keep = ev.Words
+		}
+		res.Crashes = append(res.Crashes,
+			fmt.Sprintf("%s@%#x+%d keep=%d", ev.Kind, ev.Addr, ev.Words, keep))
+		return keep, true
+	})
+}
+
+// reopen serializes the instance's durable state and reopens it through the
+// real recovery path. A crash image that cannot be reopened is always a
+// violation: power loss at a durability boundary must never leave the
+// system unreadable.
+func reopen(cfg Config, inst *arthas.Instance) (*arthas.Instance, []string) {
+	var buf bytes.Buffer
+	if err := inst.SaveImage(&buf); err != nil {
+		return nil, []string{"save-failed: " + err.Error()}
+	}
+	next, err := arthas.OpenImage(inst.Name, cfg.Source, arthasConfig(cfg), &buf)
+	if err != nil {
+		return nil, []string{"reopen-failed: " + err.Error()}
+	}
+	return next, nil
+}
+
+// heal drives the detector → reactor flow for a trap. With a call, the
+// mitigation re-execution script is "restart, recover, re-issue the call";
+// without one it is recovery alone. Returns ok=false with a violation
+// string when the reactor cannot produce a healthy system.
+func heal(inst *arthas.Instance, trap *arthas.Trap, call *Call) (bool, int, string) {
+	inst.Observe(trap)
+	var rep *arthas.Report
+	var err error
+	if call != nil {
+		rep, err = inst.MitigateCall(call.Fn, call.Args...)
+	} else {
+		rep, err = inst.Mitigate(func() *arthas.Trap { return inst.Restart() })
+	}
+	if err != nil {
+		return false, 0, "mitigation-error: " + err.Error()
+	}
+	if !rep.Recovered {
+		return false, rep.Attempts, fmt.Sprintf("unhealed: %v after %d attempts (mode %v)",
+			trap.Kind, rep.Attempts, rep.ModeUsed)
+	}
+	return true, rep.Attempts, ""
+}
+
+// checkState verifies the post-recovery invariants on a live instance.
+func checkState(cfg Config, inst *arthas.Instance) []string {
+	var out []string
+	if rep := inst.Pool.CheckIntegrity(); !rep.OK() {
+		out = append(out, "pool-integrity: "+rep.String())
+	}
+	if rep := inst.Log.Validate(); !rep.OK() {
+		out = append(out, "log-invalid: "+rep.String())
+	}
+	if cfg.FlightEvents > 0 && inst.Flight == nil {
+		out = append(out, "flight-lost: recorder missing after reopen")
+	}
+	return out
+}
+
+func finish(res TrialResult, violations []string, healed bool) TrialResult {
+	res.Violations = sortedViolations(violations)
+	switch {
+	case len(res.Violations) > 0:
+		res.Outcome = "violated"
+	case healed:
+		res.Outcome = "healed"
+	default:
+		res.Outcome = "clean"
+	}
+	return res
+}

@@ -21,10 +21,15 @@ fn value() {
     return root[0];
 }
 
+// recover_ must tolerate a pool that crashed before init_ finished: the
+// root slot may still be null (found by the internal/torture crash sweep).
 fn recover_() {
     recover_begin();
     var root = getroot(0);
-    var v = root[0];
+    var v = 0;
+    if (root != 0) {
+        v = root[0];
+    }
     recover_end();
     return v;
 }

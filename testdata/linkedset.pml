@@ -102,14 +102,18 @@ fn checksorted() {
     return root[1];
 }
 
+// recover_ walks the list but must tolerate a crash before init_ finished
+// (null root — found by the internal/torture crash sweep).
 fn recover_() {
     recover_begin();
-    var root = getroot(0);
-    var cur = root[0];
     var seen = 0;
-    while (cur != 0 && seen <= root[1] + 4) {
-        seen = seen + 1;
-        cur = cur[1];
+    var root = getroot(0);
+    if (root != 0) {
+        var cur = root[0];
+        while (cur != 0 && seen <= root[1] + 4) {
+            seen = seen + 1;
+            cur = cur[1];
+        }
     }
     recover_end();
     return seen;

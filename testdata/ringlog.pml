@@ -44,15 +44,22 @@ fn total() {
     return root[3];
 }
 
+// recover_ rewarms the buffer but must tolerate a crash before init_
+// finished: the root slot — or the buffer pointer inside a torn root
+// flush — may still be null (found by the internal/torture crash sweep).
 fn recover_() {
     recover_begin();
+    var total = 0;
     var root = getroot(0);
-    var buf = root[0];
-    var i = 0;
-    while (i < root[1]) {
-        var x = buf[i];
-        i = i + 1;
+    if (root != 0) {
+        var buf = root[0];
+        var i = 0;
+        while (buf != 0 && i < root[1]) {
+            var x = buf[i];
+            i = i + 1;
+        }
+        total = root[3];
     }
     recover_end();
-    return root[3];
+    return total;
 }
