@@ -39,6 +39,7 @@
 package arthas
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -50,6 +51,7 @@ import (
 	"arthas/internal/obs"
 	"arthas/internal/pmem"
 	"arthas/internal/reactor"
+	"arthas/internal/scrub"
 	"arthas/internal/trace"
 	"arthas/internal/vm"
 )
@@ -66,6 +68,8 @@ type (
 	Signature = detector.Signature
 	// Mode selects purge vs rollback reversion (§4.4).
 	Mode = reactor.Mode
+	// ScrubReport summarizes a media-scrub pass (docs/MEDIA_FAULTS.md).
+	ScrubReport = scrub.Report
 )
 
 // Reversion modes.
@@ -76,13 +80,19 @@ const (
 
 // Trap kinds (vm package re-exports).
 const (
-	TrapSegfault = vm.TrapSegfault
-	TrapAssert   = vm.TrapAssert
-	TrapUserFail = vm.TrapUserFail
-	TrapHang     = vm.TrapStepLimit
-	TrapDeadlock = vm.TrapDeadlock
-	TrapPMFull   = vm.TrapPMOutOfSpace
+	TrapSegfault     = vm.TrapSegfault
+	TrapAssert       = vm.TrapAssert
+	TrapUserFail     = vm.TrapUserFail
+	TrapHang         = vm.TrapStepLimit
+	TrapDeadlock     = vm.TrapDeadlock
+	TrapPMFull       = vm.TrapPMOutOfSpace
+	TrapMediaCorrupt = vm.TrapMediaCorrupt
 )
+
+// ErrMediaCorrupt is the pmem media-corruption sentinel, re-exported so
+// callers can errors.Is against traps and open errors without importing
+// internal packages.
+var ErrMediaCorrupt = pmem.ErrMediaCorrupt
 
 // Config tunes an Instance.
 type Config struct {
@@ -136,6 +146,10 @@ type Instance struct {
 	// Flight is the crash-surviving flight recorder (nil unless enabled by
 	// Config.FlightEvents or recovered from a reopened image).
 	Flight *obs.Flight
+	// LastScrub is the most recent media-scrub report: set by Scrub, by the
+	// reactor's scrub-then-retry hook, and by Open/OpenImage auto-healing a
+	// corrupt image. Nil until a scrub has run.
+	LastScrub *ScrubReport
 
 	cfg      Config
 	obsSink  obs.Sink // Observer + Flight fan-out, wired into every layer
@@ -154,10 +168,29 @@ func New(name, source string, cfg Config) (*Instance, error) {
 // init path — should run next. The checkpoint log starts empty, exactly as
 // after a real restart of the paper's toolchain: history before the reopen
 // is not revertible, history after is.
+//
+// Media corruption detected at open time is auto-healed: a bare pool file
+// carries no checkpoint log, so the scrubber repairs what structure alone
+// proves and quarantines the rest — the pool opens degraded rather than
+// failing. Inspect Instance.LastScrub for what happened; use OpenImage for
+// log-assisted repair.
 func Open(name, source string, cfg Config, poolFile io.Reader) (*Instance, error) {
 	pool, err := pmem.ReadPool(poolFile)
 	if err != nil {
-		return nil, fmt.Errorf("arthas: %w", err)
+		var merr *pmem.MediaError
+		if !errors.As(err, &merr) || pool == nil {
+			return nil, fmt.Errorf("arthas: %w", err)
+		}
+		rep := scrub.Repair(pool, nil, obs.OrNop(cfg.Observer))
+		if !rep.Healthy() {
+			return nil, fmt.Errorf("arthas: pool unscrubbable (%s): %w", rep, err)
+		}
+		inst, berr := build(name, source, cfg, pool)
+		if berr != nil {
+			return nil, berr
+		}
+		inst.LastScrub = rep
+		return inst, nil
 	}
 	return build(name, source, cfg, pool)
 }
@@ -248,6 +281,31 @@ func (i *Instance) SetObserver(s obs.Sink) {
 	}
 }
 
+// Scrub runs a full media-scrub pass over the pool: every poisoned word with
+// a checkpointed value is repaired from the checkpoint log, unreconstructible
+// blocks are quarantined, and allocator metadata is re-recovered. The report
+// is also stored in LastScrub. A non-nil error means the pool is structurally
+// unhealthy even after the pass.
+func (i *Instance) Scrub() (*ScrubReport, error) {
+	rep := scrub.Repair(i.Pool, i.Log, i.obsSink)
+	i.LastScrub = rep
+	if !rep.Healthy() {
+		return rep, fmt.Errorf("arthas: pool unhealthy after scrub: %s", rep)
+	}
+	return rep, nil
+}
+
+// MediaSuspected reports whether any media block's checksum mismatches.
+func (i *Instance) MediaSuspected() bool { return i.Detector.CheckMedia(i.Pool) }
+
+// scrubHook adapts Scrub to the reactor's scrub-then-retry contract.
+func (i *Instance) scrubHook() func() error {
+	return func() error {
+		_, err := i.Scrub()
+		return err
+	}
+}
+
 // Call invokes a PML function with int64 arguments.
 func (i *Instance) Call(fn string, args ...int64) (int64, *Trap) {
 	return i.Machine.Call(fn, args...)
@@ -288,14 +346,16 @@ func (i *Instance) Mitigate(reexec func() *Trap) (*Report, error) {
 		return nil, fmt.Errorf("arthas: no observed failure; call Observe first")
 	}
 	ctx := &reactor.Context{
-		Analysis:  i.Analysis,
-		Trace:     i.Trace,
-		Log:       i.Log,
-		Pool:      i.Pool,
-		Fault:     i.lastTrap.Instr,
-		AddrFault: i.lastTrap.Kind == vm.TrapSegfault,
-		ReExec:    reexec,
-		Obs:       i.obsSink,
+		Analysis:     i.Analysis,
+		Trace:        i.Trace,
+		Log:          i.Log,
+		Pool:         i.Pool,
+		Fault:        i.lastTrap.Instr,
+		AddrFault:    i.lastTrap.Kind == vm.TrapSegfault,
+		ReExec:       reexec,
+		Scrub:        i.scrubHook(),
+		MediaSuspect: i.MediaSuspected,
+		Obs:          i.obsSink,
 	}
 	return reactor.Mitigate(i.cfg.Reactor, ctx), nil
 }
@@ -325,7 +385,9 @@ func (i *Instance) MitigateCall(fn string, args ...int64) (*Report, error) {
 			_, trap := i.Call(fn, args...)
 			return trap
 		},
-		Obs: i.obsSink,
+		Scrub:        i.scrubHook(),
+		MediaSuspect: i.MediaSuspected,
+		Obs:          i.obsSink,
 	}
 	if i.cfg.Reactor.Workers > 1 {
 		ctx.ForkSession = i.forkSession(fn, args)
@@ -369,13 +431,15 @@ func (i *Instance) forkSession(fn string, args []int64) func() (*reactor.Session
 // function; use RetInstrs to locate them.
 func (i *Instance) MitigateWithFaults(faults []*ir.Instr, reexec func() *Trap) (*Report, error) {
 	ctx := &reactor.Context{
-		Analysis: i.Analysis,
-		Trace:    i.Trace,
-		Log:      i.Log,
-		Pool:     i.Pool,
-		Faults:   faults,
-		ReExec:   reexec,
-		Obs:      i.obsSink,
+		Analysis:     i.Analysis,
+		Trace:        i.Trace,
+		Log:          i.Log,
+		Pool:         i.Pool,
+		Faults:       faults,
+		ReExec:       reexec,
+		Scrub:        i.scrubHook(),
+		MediaSuspect: i.MediaSuspected,
+		Obs:          i.obsSink,
 	}
 	return reactor.Mitigate(i.cfg.Reactor, ctx), nil
 }
@@ -413,9 +477,30 @@ func (i *Instance) MitigateLeak() (*LeakReport, error) {
 func (i *Instance) LeakSuspected() bool { return i.Detector.CheckLeak(i.Pool) }
 
 // InjectBitFlip flips one bit of a durable PM word — the paper's hardware-
-// fault model (§2.4).
+// fault model (§2.4). The flip happens BEFORE write-back in the media
+// model, so checksums do not catch it; only checkpoint reversion heals it.
 func (i *Instance) InjectBitFlip(addr uint64, bit uint) error {
 	return i.Pool.InjectBitFlip(addr, bit, true)
+}
+
+// MediaFault describes one injected media corruption (pmem re-export); see
+// docs/MEDIA_FAULTS.md for the taxonomy.
+type MediaFault = pmem.MediaFault
+
+// Media-fault kinds (pmem re-exports).
+const (
+	MediaBitFlip     = pmem.MediaBitFlip
+	MediaStuckWord   = pmem.MediaStuckWord
+	MediaStrayWrite  = pmem.MediaStrayWrite
+	MediaBlockPoison = pmem.MediaBlockPoison
+)
+
+// InjectMediaFault corrupts durable words AFTER write-back — behind the
+// checksums' back — so the next read from the block traps media-corrupt and
+// the scrub-then-retry machinery engages.
+func (i *Instance) InjectMediaFault(f MediaFault) error {
+	_, err := i.Pool.InjectMediaFault(f)
+	return err
 }
 
 // Stats summarizes the instance for logs.

@@ -20,6 +20,7 @@
 //	        table7                                 (invariants/checksums)
 //	        fig12 table8                           (runtime overhead)
 //	        table9                                 (static analysis)
+//	        scrub                                  (media checksum/scrub cost)
 //	        all                                    (everything)
 //
 // Absolute numbers differ from the paper (the substrate is a simulator on
@@ -136,6 +137,10 @@ func main() {
 		ts, err := experiments.MeasureStatic()
 		check(err)
 		fmt.Print(experiments.Table9(ts))
+	case *exp == "scrub":
+		sr, err := experiments.RunScrub(experiments.ScrubConfig{})
+		check(err)
+		fmt.Print(sr.Text())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

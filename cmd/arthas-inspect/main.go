@@ -9,11 +9,19 @@
 //	arthas-inspect info        image    header, roots, allocator + op stats
 //	arthas-inspect checkpoints image    checkpoint-log version table
 //	arthas-inspect flight [-jsonl] image   crash-surviving flight-recorder tail
-//	arthas-inspect verify      image    structural checks; exit 1 on corruption
+//	arthas-inspect verify [-repair] image  structural + media checks; exit 1 on corruption
+//	arthas-inspect scrub [-json] [-repair] image   media scrub: scan or heal
 //
 // The image argument accepts both full images (pool + checkpoint log +
 // trace, as saved by -poolfile) and bare pool files. See
-// docs/OBSERVABILITY.md for a worked post-mortem example.
+// docs/OBSERVABILITY.md for a worked post-mortem example and
+// docs/MEDIA_FAULTS.md for the scrub/repair semantics.
+//
+// `scrub` is the offline face of the online scrubber: without -repair it
+// scans seals read-only and exits nonzero when any block's checksum is
+// broken; with -repair it heals from the image's own checkpoint log
+// (quarantining what it cannot prove restored) and rewrites the image file
+// in place — full images stay full images, bare pool files stay bare.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"arthas"
 	"arthas/internal/checkpoint"
 	"arthas/internal/pmem"
+	"arthas/internal/scrub"
 	"arthas/internal/trace"
 )
 
@@ -34,7 +43,11 @@ commands:
   info         header, roots, allocator stats, dirty/durable word counts
   checkpoints  checkpoint-log version table
   flight       flight-recorder event tail (-jsonl for machine-readable)
-  verify       structural integrity checks; exits nonzero on corruption`)
+  verify       structural + media integrity checks; exits nonzero on corruption
+               (-repair heals media corruption from the checkpoint log and
+               rewrites the image before the structural checks run)
+  scrub        media-checksum scrub (-json for the arthas-scrub/v1 report;
+               -repair heals and rewrites the image in place)`)
 	os.Exit(2)
 }
 
@@ -76,8 +89,16 @@ func main() {
 		pool, _, _, _ := openArgs(cmd, fs, os.Args[2:])
 		cmdFlight(pool, *jsonl)
 	case "verify":
-		pool, log, _, readErr := openArgs(cmd, flag.NewFlagSet(cmd, flag.ExitOnError), os.Args[2:])
-		cmdVerify(pool, log, readErr)
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		repair := fs.Bool("repair", false, "heal media corruption from the checkpoint log and rewrite the image")
+		pool, log, tr, readErr := openArgs(cmd, fs, os.Args[2:])
+		cmdVerify(fs.Arg(0), pool, log, tr, readErr, *repair)
+	case "scrub":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		jsonOut := fs.Bool("json", false, "emit the arthas-scrub/v1 JSON report instead of a summary")
+		repair := fs.Bool("repair", false, "heal corruption and rewrite the image in place")
+		pool, log, tr, readErr := openArgs(cmd, fs, os.Args[2:])
+		cmdScrub(fs.Arg(0), pool, log, tr, readErr, *jsonOut, *repair)
 	default:
 		usage()
 	}
@@ -192,18 +213,58 @@ func cmdFlight(pool *pmem.Pool, jsonl bool) {
 	}
 }
 
-// cmdVerify runs the full structural check battery and exits nonzero on ANY
-// damage: unreadable/truncated durable metadata sections (readErr from the
-// lenient open), allocator metadata that open-time recovery cannot repair,
-// a pool that fails CheckIntegrity after that repair, or a checkpoint log
-// that fails Validate. Repairable crash windows (a power failure between
-// allocator metadata persists) are reported but are NOT corruption — the
-// real open path heals them, and verify mirrors it.
-func cmdVerify(pool *pmem.Pool, log *checkpoint.Log, readErr error) {
+// cmdVerify runs the full check battery — media seals first, then structure
+// — and exits nonzero on ANY damage: unreadable/truncated durable metadata
+// sections (readErr from the lenient open), a media block whose checksum no
+// longer matches its contents, allocator metadata that open-time recovery
+// cannot repair, a pool that fails CheckIntegrity after that repair, or a
+// checkpoint log that fails Validate. Repairable crash windows (a power
+// failure between allocator metadata persists) are reported but are NOT
+// corruption — the real open path heals them, and verify mirrors it.
+// Quarantined blocks and a degraded header are likewise notes, not
+// failures: a prior scrub already fenced them and the pool serves.
+//
+// With -repair, media corruption is healed through scrub.Repair (using the
+// image's own checkpoint log as ground truth) and the image is rewritten
+// before the structural checks run — the offline analogue of OpenImage's
+// auto-heal path.
+func cmdVerify(path string, pool *pmem.Pool, log *checkpoint.Log, tr *trace.Trace, readErr error, repair bool) {
 	bad := false
 	if readErr != nil {
 		fmt.Printf("FAIL: image metadata unreadable: %v\n", readErr)
 		bad = true
+	}
+	corrupt := pool.CorruptMediaBlocks()
+	fmt.Printf("media checksums: %d blocks x %d words (pool format v%d)\n",
+		pool.MediaBlocks(), pmem.MediaBlockWords, pool.FormatVersion())
+	if pool.FormatVersion() < 3 && pool.FormatVersion() != 0 {
+		fmt.Println("note: pre-v3 image carries no seals; checksums backfilled from the durable image")
+	}
+	switch {
+	case len(corrupt) == 0:
+		fmt.Println("media OK: every block seal matches its durable contents")
+	case repair:
+		rep := scrub.Repair(pool, log, nil)
+		fmt.Println(rep.String())
+		if !rep.Healthy() {
+			fmt.Println("FAIL: media corruption unscrubbable")
+			bad = true
+		} else if err := rewriteImage(path, pool, log, tr, readErr); err != nil {
+			fmt.Printf("FAIL: rewriting repaired image: %v\n", err)
+			bad = true
+		} else {
+			fmt.Printf("repaired image rewritten: %s\n", path)
+		}
+	default:
+		fmt.Printf("FAIL: media corruption: %d blocks with broken seals: %v (rerun with -repair to heal)\n",
+			len(corrupt), corrupt)
+		bad = true
+	}
+	if quar := pool.QuarantinedBlocks(); len(quar) > 0 {
+		fmt.Printf("note: %d blocks quarantined by a prior scrub: %v\n", len(quar), quar)
+	}
+	if pool.MediaDegraded() {
+		fmt.Println("note: pool is media-degraded (header block was unreconstructible)")
 	}
 	rec := pool.RecoverMeta()
 	if !rec.OK() {
@@ -233,4 +294,68 @@ func cmdVerify(pool *pmem.Pool, log *checkpoint.Log, readErr error) {
 	if bad {
 		os.Exit(1)
 	}
+}
+
+// cmdScrub runs the media scrubber against an image file. Without -repair
+// it is a read-only seal scan (exit 1 when any block is corrupt); with
+// -repair it heals from the image's checkpoint log, and — when the pool
+// comes out servable — rewrites the image in place so the healed words,
+// reseals, and quarantine set become durable. An unscrubbable pool leaves
+// the file untouched and exits 1.
+func cmdScrub(path string, pool *pmem.Pool, log *checkpoint.Log, tr *trace.Trace, readErr error, jsonOut, repair bool) {
+	var rep *scrub.Report
+	if repair {
+		rep = scrub.Repair(pool, log, nil)
+	} else {
+		rep = scrub.Scan(pool, nil)
+	}
+	if jsonOut {
+		os.Stdout.Write(rep.JSON())
+	} else {
+		fmt.Println(rep.String())
+		for _, b := range rep.Blocks {
+			fmt.Printf("  block %d @ %#x+%d: %s (%d words repaired)\n",
+				b.Block, b.Addr, b.Words, b.Verdict, b.RepairedWords)
+		}
+	}
+	if repair && rep.Healthy() && rep.CorruptBlocks > 0 {
+		if err := rewriteImage(path, pool, log, tr, readErr); err != nil {
+			fmt.Fprintf(os.Stderr, "arthas-inspect: rewriting %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if !jsonOut {
+			fmt.Printf("repaired image rewritten: %s\n", path)
+		}
+	}
+	if !rep.Healthy() {
+		os.Exit(1)
+	}
+}
+
+// rewriteImage writes the (scrubbed) pool back to path, preserving the
+// container kind it was opened from: a full image keeps its checkpoint log
+// and trace sections (damaged sections — readErr non-nil — are rewritten
+// empty rather than propagated), a bare pool file stays a bare pool file.
+// The write goes through a temp file + rename so a failure mid-write never
+// destroys the original.
+func rewriteImage(path string, pool *pmem.Pool, log *checkpoint.Log, tr *trace.Trace, readErr error) error {
+	tmp := path + ".scrub-tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	barePool := log == nil && tr == nil && readErr == nil
+	if barePool {
+		_, err = pool.WriteTo(f)
+	} else {
+		err = arthas.WriteImage(f, pool, log, tr)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"arthas"
+	"arthas/internal/checkpoint"
+	"arthas/internal/pmem"
+)
+
+// rewriteImage must preserve the container kind: a bare pool file stays a
+// bare pool file, a full image keeps its checkpoint-log and trace sections.
+
+func newTestPool(t *testing.T) *pmem.Pool {
+	t.Helper()
+	p := pmem.New(1 << 12)
+	addr, err := p.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		p.Store(addr+uint64(i), 0x1000+uint64(i))
+	}
+	if err := p.Persist(addr, 8); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRewriteImageBarePoolStaysBare(t *testing.T) {
+	p := newTestPool(t)
+	path := filepath.Join(t.TempDir(), "bare.pool")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, log, tr, readErr := arthas.ReadAnyImage(rf)
+	rf.Close()
+	if readErr != nil || log != nil || tr != nil {
+		t.Fatalf("bare pool open: log=%v tr=%v err=%v", log, tr, readErr)
+	}
+	if err := rewriteImage(path, pool, log, tr, readErr); err != nil {
+		t.Fatal(err)
+	}
+
+	rf2, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf2.Close()
+	pool2, log2, tr2, err := arthas.ReadAnyImage(rf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log2 != nil || tr2 != nil {
+		t.Fatal("bare pool file grew image sections on rewrite")
+	}
+	if pool2.Words() != pool.Words() {
+		t.Fatalf("pool size changed: %d -> %d", pool.Words(), pool2.Words())
+	}
+	if merr := pool2.VerifyMedia(); merr != nil {
+		t.Fatalf("rewritten pool media-unclean: %v", merr)
+	}
+}
+
+func TestRewriteImageFullImageKeepsSections(t *testing.T) {
+	p := newTestPool(t)
+	log := checkpoint.NewLog(3)
+	path := filepath.Join(t.TempDir(), "full.img")
+	var buf bytes.Buffer
+	if err := arthas.WriteImage(&buf, p, log, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, rlog, tr, readErr := arthas.ReadAnyImage(rf)
+	rf.Close()
+	if readErr != nil || rlog == nil {
+		t.Fatalf("full image open: log=%v err=%v", rlog, readErr)
+	}
+	if err := rewriteImage(path, pool, rlog, tr, readErr); err != nil {
+		t.Fatal(err)
+	}
+
+	rf2, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf2.Close()
+	_, log2, tr2, err := arthas.ReadAnyImage(rf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log2 == nil || tr2 == nil {
+		t.Fatal("full image lost its log/trace sections on rewrite")
+	}
+}

@@ -20,6 +20,14 @@
 //
 // -replay runs a single saved seed (the testdata/torture format) instead
 // of a sweep — the regression path for shrunk schedules.
+//
+// -media switches to the media-fault sweep: instead of crashing at each
+// durability event, the harness corrupts the durable image there (bit
+// flips, stuck words, stray writes, block poison — docs/MEDIA_FAULTS.md)
+// and verifies the scrubber heals it through both the in-process
+// scrub-then-retry path and the image reopen path. -imagedir additionally
+// saves each trial's still-corrupt image for offline tooling
+// (arthas-inspect scrub) and the CI media job.
 package main
 
 import (
@@ -40,6 +48,8 @@ func main() {
 	recoverFn := flag.String("recover", "", "recovery function run after each reopen")
 	probe := flag.String("probe", "", "single call checked (and used as the mitigation re-execution script) after recovery")
 	replay := flag.String("replay", "", "replay one saved seed JSON instead of sweeping")
+	media := flag.Bool("media", false, "sweep media faults instead of crash points")
+	imageDir := flag.String("imagedir", "", "with -media: save each trial's corrupt image here")
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	flag.Parse()
 
@@ -55,6 +65,18 @@ func main() {
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
+	}
+	if *media {
+		os.Exit(runMedia(torture.Config{
+			Name:      flag.Arg(0),
+			Source:    string(src),
+			Script:    flag.Arg(1),
+			RecoverFn: *recoverFn,
+			Probe:     *probe,
+			Seed:      *seed,
+			Points:    *points,
+			Workers:   *workers,
+		}, *imageDir, *out))
 	}
 	rep, err := torture.Run(torture.Config{
 		Name:      flag.Arg(0),
@@ -82,6 +104,24 @@ func main() {
 	if rep.Violated > 0 {
 		os.Exit(1)
 	}
+}
+
+func runMedia(cfg torture.Config, imageDir, out string) int {
+	rep, err := torture.RunMedia(cfg, imageDir)
+	if err != nil {
+		fatal(err)
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	emit(js, out)
+	fmt.Fprintf(os.Stderr, "%s: media sweep: %d events, %d trials: %d clean, %d healed, %d violated\n",
+		cfg.Name, rep.Events, rep.Trials, rep.Clean, rep.Healed, rep.Violated)
+	if rep.Violated > 0 {
+		return 1
+	}
+	return 0
 }
 
 func runReplay(pmlPath, seedPath, out string) int {
@@ -126,6 +166,7 @@ func emit(js []byte, out string) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: arthas-torture [-seed N] [-points N] [-workers N] [-depth N] [-recover FN] [-probe "fn args"] [-torn=false] [-o report.json] file.pml "init_; put 1 2; get 1"
+       arthas-torture -media [-imagedir DIR] [common flags] file.pml "script"
        arthas-torture -replay seed.json file.pml`)
 	os.Exit(2)
 }

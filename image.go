@@ -3,11 +3,14 @@ package arthas
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
 	"arthas/internal/checkpoint"
+	"arthas/internal/obs"
 	"arthas/internal/pmem"
+	"arthas/internal/scrub"
 	"arthas/internal/trace"
 )
 
@@ -28,25 +31,45 @@ const (
 
 // SaveImage writes pool + checkpoint log + trace.
 func (i *Instance) SaveImage(w io.Writer) error {
+	return WriteImage(w, i.Pool, i.Log, i.Trace)
+}
+
+// WriteImage serializes a full image from loose components — what SaveImage
+// does for an Instance, exposed so tooling (arthas-inspect -repair) can
+// rewrite an image it opened with ReadAnyImage after scrubbing the pool.
+func WriteImage(w io.Writer, pool *pmem.Pool, log *checkpoint.Log, tr *trace.Trace) error {
 	var hdr [16]byte
 	binary.LittleEndian.PutUint64(hdr[0:], imageMagic)
 	binary.LittleEndian.PutUint64(hdr[8:], imageVersion)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := i.Pool.WriteTo(w); err != nil {
+	if _, err := pool.WriteTo(w); err != nil {
 		return fmt.Errorf("arthas: saving pool: %w", err)
 	}
-	if _, err := i.Log.WriteTo(w); err != nil {
+	if log == nil {
+		log = checkpoint.NewLog(0)
+	}
+	if _, err := log.WriteTo(w); err != nil {
 		return fmt.Errorf("arthas: saving checkpoint log: %w", err)
 	}
-	if _, err := i.Trace.WriteTo(w); err != nil {
+	if tr == nil {
+		tr = trace.New()
+	}
+	if _, err := tr.WriteTo(w); err != nil {
 		return fmt.Errorf("arthas: saving trace: %w", err)
 	}
 	return nil
 }
 
 // OpenImage reopens a full image saved by SaveImage.
+//
+// Media corruption detected while opening the pool is auto-healed using the
+// image's own checkpoint log — the paper's version store doubles as the
+// scrubber's ground truth, so poisoned words roll forward to their newest
+// checkpointed values; what the log cannot prove is quarantined and the
+// pool opens degraded rather than failing. The pass is recorded in
+// Instance.LastScrub.
 func OpenImage(name, source string, cfg Config, r io.Reader) (*Instance, error) {
 	var hdr [16]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -59,8 +82,27 @@ func OpenImage(name, source string, cfg Config, r io.Reader) (*Instance, error) 
 		return nil, fmt.Errorf("arthas: image version %d, want %d", v, imageVersion)
 	}
 	pool, err := pmem.ReadPool(r)
+	var scrubRep *scrub.Report
 	if err != nil {
-		return nil, fmt.Errorf("arthas: %w", err)
+		var merr *pmem.MediaError
+		if !errors.As(err, &merr) || pool == nil {
+			return nil, fmt.Errorf("arthas: %w", err)
+		}
+		// The log and trace sections follow the pool bytes, which were fully
+		// consumed even on a media error — read them, then heal with the log.
+		log, lerr := checkpoint.ReadLog(r)
+		if lerr != nil {
+			return nil, fmt.Errorf("arthas: %w (and media corrupt: %v)", lerr, err)
+		}
+		tr, terr := trace.ReadTrace(r)
+		if terr != nil {
+			return nil, fmt.Errorf("arthas: %w (and media corrupt: %v)", terr, err)
+		}
+		scrubRep = scrub.Repair(pool, log, obs.OrNop(cfg.Observer))
+		if !scrubRep.Healthy() {
+			return nil, fmt.Errorf("arthas: image unscrubbable (%s): %w", scrubRep, err)
+		}
+		return assembleImage(name, source, cfg, pool, log, tr, scrubRep)
 	}
 	log, err := checkpoint.ReadLog(r)
 	if err != nil {
@@ -70,12 +112,17 @@ func OpenImage(name, source string, cfg Config, r io.Reader) (*Instance, error) 
 	if err != nil {
 		return nil, fmt.Errorf("arthas: %w", err)
 	}
+	return assembleImage(name, source, cfg, pool, log, tr, nil)
+}
+
+func assembleImage(name, source string, cfg Config, pool *pmem.Pool, log *checkpoint.Log, tr *trace.Trace, scrubRep *scrub.Report) (*Instance, error) {
 	inst, err := build(name, source, cfg, pool)
 	if err != nil {
 		return nil, err
 	}
 	inst.Log = log
 	inst.Trace = tr
+	inst.LastScrub = scrubRep
 	inst.Pool.SetHooks(inst.Log.Hooks())
 	inst.boot() // rebind trace sinks to the restored trace
 	return inst, nil

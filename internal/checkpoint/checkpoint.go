@@ -187,6 +187,10 @@ func (l *Log) onPersist(addr uint64, data []uint64) {
 	}
 	e.Versions = append(e.Versions, v)
 	e.live = len(e.Versions) - 1
+	// A fresh persisted version revives an entry that reversion had killed:
+	// leaving dead set with a valid cursor would serialize an inconsistent
+	// state (and fail Validate).
+	e.dead = false
 	l.bySeq[v.Seq] = e
 	l.totalVersions++
 	if l.obsOn {
@@ -355,6 +359,16 @@ func (l *Log) ownerOf(addr uint64) (*Entry, uint64, bool) {
 		return nil, 0, false
 	}
 	return best, best.LiveVersion().Data[addr-best.Addr], true
+}
+
+// CheckpointedValueAt returns the newest checkpointed value covering addr,
+// if any live entry owns that word. This is the scrubber's ground-truth
+// source (internal/scrub): a word the log checkpointed can be rewritten to
+// its last-known-good value when the medium corrupts it — the same version
+// store the reactor reverts through, used in the forward direction.
+func (l *Log) CheckpointedValueAt(addr uint64) (uint64, bool) {
+	_, val, ok := l.ownerOf(addr)
+	return val, ok
 }
 
 // Revert reverts the entry owning seq by one version step: the address

@@ -34,6 +34,7 @@ const (
 	FailLeak
 	FailWrongResult
 	FailDataLoss
+	FailMediaCorrupt
 )
 
 var failNames = [...]string{
@@ -41,6 +42,7 @@ var failNames = [...]string{
 	FailPanic: "panic", FailHang: "hang", FailDeadlock: "deadlock",
 	FailOutOfSpace: "out-of-space", FailLeak: "persistent-leak",
 	FailWrongResult: "wrong-result", FailDataLoss: "data-loss",
+	FailMediaCorrupt: "media-corrupt",
 }
 
 func (k FailureKind) String() string {
@@ -65,6 +67,8 @@ func KindOfTrap(k vm.TrapKind) FailureKind {
 		return FailDeadlock
 	case vm.TrapPMOutOfSpace:
 		return FailOutOfSpace
+	case vm.TrapMediaCorrupt:
+		return FailMediaCorrupt
 	}
 	return FailNone
 }
@@ -212,6 +216,20 @@ func (d *Detector) CheckLeak(pool *pmem.Pool) bool {
 		sink.Count("detector.leak_flagged", 1)
 	}
 	return leak
+}
+
+// CheckMedia applies the media-corruption monitor: a full checksum scan of
+// the pool. It reports FailMediaCorrupt when any block's seal is broken —
+// the detector-side trigger for the scrub-then-retry loop (the reactor heals
+// via internal/scrub rather than by reversion).
+func (d *Detector) CheckMedia(pool *pmem.Pool) bool {
+	sink := obs.OrNop(d.sink)
+	sink.Count("detector.media_check", 1)
+	corrupt := pool.VerifyMedia() != nil
+	if corrupt {
+		sink.Count("detector.media_flagged", 1)
+	}
+	return corrupt
 }
 
 // AddCheck registers a user-defined health check.

@@ -240,3 +240,31 @@ func TestStaticTimings(t *testing.T) {
 		t.Fatal("table 9 rendering")
 	}
 }
+
+func TestScrubCost(t *testing.T) {
+	res, err := RunScrub(ScrubConfig{
+		PersistOps: 4000, ScanPasses: 5, Cycles: 3, FaultBlocks: 4, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHealed {
+		t.Fatal("a scrub-and-heal cycle failed to heal every corrupt block")
+	}
+	if res.RepairedWords == 0 {
+		t.Fatal("repair cycles repaired no words")
+	}
+	if res.ScanWordsPerMS <= 0 {
+		t.Fatalf("scan throughput %v", res.ScanWordsPerMS)
+	}
+	// The target is < 5% checksum overhead on the persist hot path; at
+	// test-sized op counts the measurement is noise-dominated, so only
+	// exclude gross regressions here (EXPERIMENTS.md records bench-sized
+	// numbers).
+	if res.OverheadPct > 50 {
+		t.Errorf("persist-path checksum overhead %.1f%%", res.OverheadPct)
+	}
+	if !strings.Contains(res.Text(), "scrub-and-heal") {
+		t.Fatal("scrub text rendering")
+	}
+}

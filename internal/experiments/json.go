@@ -144,6 +144,43 @@ type JSONStudy struct {
 	ByType        []study.Count `json:"by_type"`
 }
 
+// JSONScrub is the media-resilience cost measurement (docs/MEDIA_FAULTS.md):
+// checksum overhead on the persist hot path, full seal-scan throughput, and
+// the cost of a scrub-and-heal cycle from the checkpoint log.
+type JSONScrub struct {
+	PersistOps     int     `json:"persist_ops"`
+	PersistSpan    int     `json:"persist_span"`
+	BaselineMS     float64 `json:"baseline_ms"`
+	ChecksummedMS  float64 `json:"checksummed_ms"`
+	OverheadPct    float64 `json:"overhead_pct"`
+	ScanPasses     int     `json:"scan_passes"`
+	ScanWords      int     `json:"scan_words"`
+	ScanWordsPerMS float64 `json:"scan_words_per_ms"`
+	Cycles         int     `json:"cycles"`
+	FaultBlocks    int     `json:"fault_blocks"`
+	RepairMeanMS   float64 `json:"repair_mean_ms"`
+	RepairedWords  int     `json:"repaired_words"`
+	AllHealed      bool    `json:"all_healed"`
+}
+
+func toJSONScrub(r *ScrubResults) *JSONScrub {
+	return &JSONScrub{
+		PersistOps:     r.PersistOps,
+		PersistSpan:    r.PersistSpan,
+		BaselineMS:     r.BaselineMS,
+		ChecksummedMS:  r.ChecksummedMS,
+		OverheadPct:    r.OverheadPct,
+		ScanPasses:     r.ScanPasses,
+		ScanWords:      r.ScanWords,
+		ScanWordsPerMS: r.ScanWordsPerMS,
+		Cycles:         r.Cycles,
+		FaultBlocks:    r.FaultBlocks,
+		RepairMeanMS:   r.RepairMeanMS,
+		RepairedWords:  r.RepairedWords,
+		AllHealed:      r.AllHealed,
+	}
+}
+
 // JSONReport is the complete machine-readable evaluation.
 type JSONReport struct {
 	Schema    string           `json:"schema"`
@@ -153,6 +190,7 @@ type JSONReport struct {
 	Detection []JSONDetection  `json:"detection,omitempty"`
 	Overhead  []JSONThroughput `json:"overhead,omitempty"`
 	Static    []JSONStatic     `json:"static,omitempty"`
+	Scrub     *JSONScrub       `json:"scrub,omitempty"`
 	// Workers and Parallel appear only when the evaluation ran with
 	// FullConfig.Workers > 1 (cmd/arthas-bench -workers N): the default
 	// sequential report stays byte-identical.
@@ -240,6 +278,12 @@ func FullJSON(cfg FullConfig) (*JSONReport, error) {
 		}
 		rep.Overhead = ov.JSON()
 	}
+
+	sr, err := RunScrub(cfg.Scrub)
+	if err != nil {
+		return nil, err
+	}
+	rep.Scrub = toJSONScrub(sr)
 
 	ts, err := MeasureStatic()
 	if err != nil {

@@ -61,6 +61,8 @@ type FullConfig struct {
 	// Workers > 1 adds the sequential-vs-parallel speculative mitigation
 	// comparison at that worker count (JSONReport.Parallel).
 	Workers int
+	// Scrub sizes the media-resilience cost measurement (zero = defaults).
+	Scrub ScrubConfig
 }
 
 // FullReport produces the entire paper evaluation as text.
@@ -119,5 +121,12 @@ func FullReport(cfg FullConfig) (string, error) {
 		return "", err
 	}
 	sb.WriteString(Table9(ts) + "\n")
+
+	sb.WriteString("==== Media resilience cost (docs/MEDIA_FAULTS.md) ====\n\n")
+	sr, err := RunScrub(cfg.Scrub)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(sr.Text() + "\n")
 	return sb.String(), nil
 }

@@ -77,6 +77,12 @@ func (p *Pool) allocIndex(words int) (int, error) {
 		if hdr&blockAllocated != 0 {
 			return 0, fmt.Errorf("%w: free list entry %d is allocated", ErrCorruptHeader, cur)
 		}
+		if p.rangeQuarantined(cur-1, size+1) {
+			// Block overlaps a quarantined media region: never hand it out.
+			prev = cur
+			cur = int(p.curAt(cur))
+			continue
+		}
 		if size >= words {
 			next := int(p.curAt(cur))
 			if size >= words+2 {
@@ -98,8 +104,32 @@ func (p *Pool) allocIndex(words int) (int, error) {
 		prev = cur
 		cur = int(p.curAt(cur))
 	}
-	// Bump allocation from never-used space.
+	// Bump allocation from never-used space. Quarantined media regions are
+	// never handed out: the allocator carves filler blocks (blockFiller, live
+	// but never exposed) over them so the block chain stays walkable and
+	// live-word accounting stays exact.
 	next := int(p.curAt(hdrHeapNext))
+	for p.rangeQuarantined(next, words+1) {
+		skipTo := next
+		for b := next / MediaBlockWords; b <= (next+words)/MediaBlockWords; b++ {
+			if p.quar[b] && (b+1)*MediaBlockWords > skipTo {
+				skipTo = (b + 1) * MediaBlockWords
+			}
+		}
+		if skipTo < next+2 {
+			skipTo = next + 2 // a filler needs a header plus >=1 payload word
+		}
+		if skipTo+words+1 > p.words {
+			return 0, fmt.Errorf("%w: need %d words past quarantined media", ErrOutOfSpace, words+1)
+		}
+		fill := skipTo - next - 1
+		p.setCurAt(next, uint64(fill)|blockAllocated|blockFiller)
+		p.setCurAt(hdrHeapNext, uint64(skipTo))
+		p.persistMeta(next, 1)
+		p.persistMeta(hdrHeapNext, 1)
+		p.bumpLive(fill)
+		next = skipTo
+	}
 	if next+words+1 > p.words {
 		return 0, fmt.Errorf("%w: need %d words, %d free", ErrOutOfSpace, words+1, p.words-next)
 	}
@@ -141,6 +171,9 @@ func (p *Pool) Free(addr uint64) error {
 	hdr := p.curAt(i - 1)
 	if hdr&blockAllocated == 0 {
 		return fmt.Errorf("%w: %#x (double free?)", ErrBadFree, addr)
+	}
+	if hdr&blockFiller != 0 {
+		return fmt.Errorf("%w: %#x is a quarantine filler", ErrBadFree, addr)
 	}
 	size := int(hdr & blockSizeMask)
 	if size <= 0 || i+size > p.words {
@@ -231,7 +264,9 @@ func (p *Pool) InAllocatedPayload(addr uint64) bool {
 }
 
 // LiveBlocks returns the payload addresses of all allocated blocks, in heap
-// order. Used by integrity checks and the leak-mitigation diff.
+// order. Used by integrity checks and the leak-mitigation diff. Quarantine
+// fillers are excluded: they are live for accounting but were never handed
+// to a program, so the leak diff must not try to free them.
 func (p *Pool) LiveBlocks() []uint64 {
 	var out []uint64
 	i := heapStart
@@ -242,7 +277,7 @@ func (p *Pool) LiveBlocks() []uint64 {
 		if size <= 0 || i+1+size > end {
 			break // corrupt heap; integrity check reports details
 		}
-		if hdr&blockAllocated != 0 {
+		if hdr&blockAllocated != 0 && hdr&blockFiller == 0 {
 			out = append(out, Base+uint64(i+1))
 		}
 		i += 1 + size

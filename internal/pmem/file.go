@@ -15,12 +15,13 @@ import (
 // and a pool file written by one process observes the same recovery
 // obligations a DAX-mapped file would.
 //
-// Format v2 (current) appends two forensic sections after the durable
-// image — activity stats and the flight-recorder event tail — so a saved
-// image is a self-contained post-mortem artifact (`arthas-inspect`):
+// Format v3 (current) appends the media-checksum section after v2's
+// forensic sections, so seals travel with the image and corruption that
+// happened while the file sat on (or moved between) real media is caught at
+// open time (docs/MEDIA_FAULTS.md):
 //
 //	u64 fileMagic             "ARTH POOL"
-//	u64 fileVersion           (2)
+//	u64 fileVersion           (3)
 //	u64 words                 pool size
 //	words × u64               durable image
 //	u64 statsN (=7)           stats words that follow
@@ -28,9 +29,16 @@ import (
 //	                          Allocs, Frees, Crashes
 //	u64 flightLen             flight buffer byte length (0 = none)
 //	flightLen bytes           obs.Flight binary encoding
+//	u64 csumBlockWords        media-block granularity (= MediaBlockWords)
+//	u64 csumN                 media block count
+//	csumN × u64               per-block checksums
+//	u64 quarN                 quarantined block count
+//	quarN × u64               quarantined block indices, ascending
+//	u64 degraded              0/1: header block unrepairable
 //
-// Format v1 files (everything up to and including the durable image) are
-// still read: stats come back zero and no flight tail is recovered.
+// Format v1 files (everything up to and including the durable image) and v2
+// files are still read: missing sections come back zero/empty, and missing
+// checksums are backfilled from the durable image (declared authoritative).
 
 // Typed read errors: every way a pool file can fail to load is one of
 // these, so callers (and tests) can classify failures with errors.Is
@@ -52,7 +60,8 @@ const fileMagic uint64 = 0x41525448_504F4F4C // "ARTH POOL"
 
 // fileVersion is the current format; fileVersionV1 is the oldest readable.
 const (
-	fileVersion   uint64 = 2
+	fileVersion   uint64 = 3
+	fileVersionV2 uint64 = 2
 	fileVersionV1 uint64 = 1
 )
 
@@ -117,13 +126,51 @@ func (p *Pool) WriteTo(w io.Writer) (int64, error) {
 	}
 	n, err = w.Write(fb)
 	written += int64(n)
-	return written, err
+	if err != nil {
+		return written, err
+	}
+
+	// Media-checksum section (v3). The image written is durImage(), so a
+	// fork's checksums (which track its overlaid durable view) serialize
+	// consistently with the image bytes.
+	if err := put(MediaBlockWords); err != nil {
+		return written, err
+	}
+	if err := put(uint64(len(p.csums))); err != nil {
+		return written, err
+	}
+	for b := range p.csums {
+		if err := put(p.csums[b]); err != nil {
+			return written, err
+		}
+	}
+	quar := p.QuarantinedBlocks()
+	if err := put(uint64(len(quar))); err != nil {
+		return written, err
+	}
+	for _, b := range quar {
+		if err := put(uint64(b)); err != nil {
+			return written, err
+		}
+	}
+	var deg uint64
+	if p.degraded {
+		deg = 1
+	}
+	if err := put(deg); err != nil {
+		return written, err
+	}
+	return written, nil
 }
 
 // ReadPool deserializes a pool file. The current image starts equal to the
 // durable one (a clean open after a crash). Structurally corrupt files and
 // images failing the integrity check are rejected; use ReadPoolInspect to
 // open a damaged image for forensics.
+//
+// Media corruption is special-cased: when block checksums mismatch, ReadPool
+// returns the parsed pool AND a *MediaError (both non-nil) so the caller can
+// run the scrubber against it and retry verification — see scrub.Repair.
 func ReadPool(r io.Reader) (*Pool, error) {
 	return readPool(r, true)
 }
@@ -155,7 +202,7 @@ func readPool(r io.Reader, strict bool) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != fileVersion && version != fileVersionV1 {
+	if version != fileVersion && version != fileVersionV2 && version != fileVersionV1 {
 		return nil, fmt.Errorf("%w: version %d, want <= %d", ErrCorruptImage, version, fileVersion)
 	}
 	words64, err := get()
@@ -231,7 +278,69 @@ func readPool(r io.Reader, strict bool) (*Pool, error) {
 		}
 	}
 
+	if version >= 3 {
+		// Media-checksum section.
+		bw, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w (media)", err)
+		}
+		if bw != MediaBlockWords {
+			return nil, fmt.Errorf("%w: media block size %d, want %d", ErrCorruptImage, bw, MediaBlockWords)
+		}
+		csumN, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w (media)", err)
+		}
+		if int(csumN) != p.mediaBlocks() {
+			return nil, fmt.Errorf("%w: media checksum count %d, want %d", ErrCorruptImage, csumN, p.mediaBlocks())
+		}
+		p.csums = make([]uint64, csumN)
+		p.verified = make([]bool, csumN)
+		for b := range p.csums {
+			if p.csums[b], err = get(); err != nil {
+				return nil, fmt.Errorf("%w (media checksums)", err)
+			}
+		}
+		quarN, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w (media)", err)
+		}
+		if quarN > csumN {
+			return nil, fmt.Errorf("%w: implausible quarantine count %d", ErrCorruptImage, quarN)
+		}
+		for q := uint64(0); q < quarN; q++ {
+			b, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("%w (media quarantine)", err)
+			}
+			if b == 0 || b >= csumN {
+				return nil, fmt.Errorf("%w: implausible quarantined block %d", ErrCorruptImage, b)
+			}
+			if p.quar == nil {
+				p.quar = map[int]bool{}
+			}
+			p.quar[int(b)] = true
+		}
+		deg, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w (media)", err)
+		}
+		p.degraded = deg != 0
+	} else {
+		// Pre-v3 image: no seals on disk. Backfill by declaring the durable
+		// image authoritative, exactly as New does.
+		p.initMedia()
+	}
+
 	if strict {
+		// Media verification comes FIRST: allocator recovery and the
+		// integrity check write and walk metadata, which must not be trusted
+		// (or modified) while any block's seal is broken. On corruption the
+		// parsed pool is returned ALONGSIDE the error so callers can hand it
+		// to the scrubber (internal/scrub) and retry.
+		if merr := p.VerifyMedia(); merr != nil {
+			return p, merr
+		}
 		if p.durable[hdrMagic] != magicValue {
 			return nil, fmt.Errorf("%w: pool image not formatted (magic %#x)", ErrCorruptImage, p.durable[hdrMagic])
 		}

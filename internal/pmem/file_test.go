@@ -389,7 +389,7 @@ func TestPoolInfo(t *testing.T) {
 	p.Free(b)
 
 	info := p.Info()
-	if info.Words != 256 || info.FormatVersion != 2 {
+	if info.Words != 256 || info.FormatVersion != 3 {
 		t.Fatalf("info = %+v", info)
 	}
 	if info.LiveWords != 4 || info.LiveBlocks != 1 || info.FreeBlocks != 1 {

@@ -43,6 +43,21 @@ func (p *Pool) Fork() *Pool {
 		stats:       p.stats,
 		sink:        obs.Nop(),
 		fileVersion: p.fileVersion,
+		// Media state is copy-on-write at media-block granularity: the fork
+		// starts from the base's checksums, verification cache, and
+		// quarantine set (O(words/MediaBlockWords), far below O(pool)) and
+		// maintains its own copies from then on — a media fault injected in
+		// a fork never touches the base's seals.
+		csums:    append([]uint64(nil), p.csums...),
+		verified: append([]bool(nil), p.verified...),
+		degraded: p.degraded,
+		nocsum:   p.nocsum,
+	}
+	if len(p.quar) > 0 {
+		f.quar = make(map[int]bool, len(p.quar))
+		for b := range p.quar {
+			f.quar[b] = true
+		}
 	}
 	for a := range p.dirty {
 		f.dirty[a] = struct{}{}
@@ -64,12 +79,30 @@ func (p *Pool) Promote() error {
 	if b == nil {
 		return fmt.Errorf("pmem: Promote on a pool that is not a fork")
 	}
+	// Durable words are applied RAW (no incremental checksum maintenance)
+	// and the fork's entire media state — checksums, verification cache,
+	// quarantine set, degraded flag — is transplanted wholesale afterwards.
+	// Going through setDurAt would re-seal each block around the new values,
+	// which silently blesses any media fault injected inside the fork; the
+	// transplant instead preserves the fork's exact seal state, so corruption
+	// the fork carried stays detectable in the parent (VerifyMedia/Load will
+	// flag it until a scrub re-verifies the blocks).
 	for i, v := range p.durOv {
-		b.setDurAt(i, v)
+		b.rawDurWrite(i, v)
 	}
 	for i, v := range p.curOv {
 		b.setCurAt(i, v)
 	}
+	copy(b.csums, p.csums)
+	copy(b.verified, p.verified)
+	b.quar = nil
+	if len(p.quar) > 0 {
+		b.quar = make(map[int]bool, len(p.quar))
+		for blk := range p.quar {
+			b.quar[blk] = true
+		}
+	}
+	b.degraded = p.degraded
 	b.dirty = make(map[uint64]struct{}, len(p.dirty))
 	for a := range p.dirty {
 		b.dirty[a] = struct{}{}
@@ -114,8 +147,17 @@ func (p *Pool) durAt(i int) uint64 {
 	return p.base.durAt(i)
 }
 
-// setDurAt writes word i of the durable image (overlay-local on forks).
+// setDurAt writes word i of the durable image (overlay-local on forks) and
+// incrementally maintains the media checksum of the covering block: XOR-ing
+// out the mix of the old value and XOR-ing in the mix of the new one keeps
+// the block seal exact in O(1) per word (see media.go). Repair paths that
+// must not trust the old durable value use rawDurWrite instead.
 func (p *Pool) setDurAt(i int, v uint64) {
+	if !p.nocsum && p.csums != nil {
+		if old := p.durAt(i); old != v {
+			p.csums[i/MediaBlockWords] ^= mediaMix(i, old) ^ mediaMix(i, v)
+		}
+	}
 	if p.base == nil {
 		p.durable[i] = v
 		return

@@ -263,8 +263,8 @@ func TestForkPromoteFileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReadPool after promote: %v", err)
 	}
-	if got.FormatVersion() != 2 {
-		t.Fatalf("format version %d, want 2", got.FormatVersion())
+	if got.FormatVersion() != 3 {
+		t.Fatalf("format version %d, want 3", got.FormatVersion())
 	}
 	if v := mustDur(t, got, a); v != 50 {
 		t.Fatalf("reopened image lost promoted reversion: %d", v)

@@ -1,0 +1,157 @@
+package pmem
+
+import (
+	"errors"
+	"testing"
+)
+
+// Regression tests for the fork/overlay × media-checksum interaction
+// (companion to forkcrash_test.go): checksum state must be copy-on-write, so
+// a media fault injected in a fork is invisible to the base while the fork
+// lives, and stays DETECTABLE in the base if the fork is promoted.
+
+func TestForkMediaFaultIsForkLocal(t *testing.T) {
+	base := New(512)
+	a, _ := base.Alloc(4)
+	base.Store(a, 42)
+	base.Persist(a, 1)
+
+	f := base.Fork()
+	if _, err := f.InjectMediaFault(MediaFault{Kind: MediaBitFlip, Addr: a, Bits: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Load(a); !errors.Is(err, ErrMediaCorrupt) {
+		t.Fatalf("fork Load after fork-local fault: %v, want ErrMediaCorrupt", err)
+	}
+	// The base is untouched: clean verification, clean reads.
+	if merr := base.VerifyMedia(); merr != nil {
+		t.Fatalf("fork-injected fault leaked into base: %v", merr)
+	}
+	if v, err := base.Load(a); err != nil || v != 42 {
+		t.Fatalf("base Load = %d, %v", v, err)
+	}
+}
+
+func TestForkWritesDoNotDisturbBaseSeals(t *testing.T) {
+	base := New(512)
+	a, _ := base.Alloc(8)
+	base.Store(a, 1)
+	base.Persist(a, 1)
+
+	f := base.Fork()
+	for w := uint64(0); w < 8; w++ {
+		f.Store(a+w, 1000+w)
+	}
+	f.Persist(a, 8)
+	if merr := f.VerifyMedia(); merr != nil {
+		t.Fatalf("fork's own checksums broken by fork persists: %v", merr)
+	}
+	if merr := base.VerifyMedia(); merr != nil {
+		t.Fatalf("fork persists corrupted base seals: %v", merr)
+	}
+	if v, err := base.Load(a); err != nil || v != 1 {
+		t.Fatalf("base Load = %d, %v", v, err)
+	}
+}
+
+func TestPromoteCarriesMediaFaultDetectably(t *testing.T) {
+	// The satellite's exact hazard: promoting a fork that carries a media
+	// fault must NOT re-seal the corruption into the base. After Promote the
+	// base must still flag the poisoned block until a scrub re-verifies it.
+	base := New(512)
+	a, _ := base.Alloc(4)
+	base.Store(a, 42)
+	base.Persist(a, 1)
+
+	f := base.Fork()
+	f.Store(a+1, 77)
+	f.Persist(a+1, 1)
+	if _, err := f.InjectMediaFault(MediaFault{Kind: MediaBitFlip, Addr: a, Bits: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Load(a); !errors.Is(err, ErrMediaCorrupt) {
+		t.Fatalf("Promote blessed fork-injected corruption: Load err = %v", err)
+	}
+	merr := base.VerifyMedia()
+	if merr == nil {
+		t.Fatal("base verifies clean after promoting a corrupt fork")
+	}
+	// And the scrubber can still heal it in the base.
+	reps := base.RepairMedia(
+		[]AllocHint{{Addr: a, Words: 4}},
+		func(addr uint64) (uint64, bool) {
+			switch addr {
+			case a:
+				return 42, true
+			case a + 1:
+				return 77, true
+			}
+			return 0, false
+		},
+	)
+	if len(reps) != 1 || !reps[0].Healed {
+		t.Fatalf("repairs = %+v", reps)
+	}
+	if v, err := base.Load(a); err != nil || v != 42 {
+		t.Fatalf("base Load after heal = %d, %v", v, err)
+	}
+	if v, err := base.Load(a + 1); err != nil || v != 77 {
+		t.Fatalf("promoted fork write lost: %d, %v", v, err)
+	}
+}
+
+func TestPromoteCarriesQuarantineAndCleanSeals(t *testing.T) {
+	base := New(2048)
+	a, _ := base.Alloc(4)
+	base.Store(a, 9)
+	base.Persist(a, 1)
+
+	f := base.Fork()
+	blk := int(f.durAt(hdrHeapNext))/MediaBlockWords + 1
+	if err := f.QuarantineMediaBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+	f.Store(a, 10)
+	f.Persist(a, 1)
+	if err := f.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if !base.IsQuarantined(blk) {
+		t.Fatal("quarantine set not transplanted on Promote")
+	}
+	if merr := base.VerifyMedia(); merr != nil {
+		t.Fatalf("base seals broken after clean promote: %v", merr)
+	}
+	if v, err := base.Load(a); err != nil || v != 10 {
+		t.Fatalf("base Load = %d, %v", v, err)
+	}
+	na, err := base.Alloc(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := Base + uint64(blk*MediaBlockWords)
+	if na+30 > lo && na < lo+MediaBlockWords {
+		t.Fatalf("base allocated %#x inside promoted quarantine block %d", na, blk)
+	}
+}
+
+func TestForkCrashKeepsSealsConsistent(t *testing.T) {
+	base := New(512)
+	a, _ := base.Alloc(4)
+	base.Store(a, 5)
+	base.Persist(a, 1)
+
+	f := base.Fork()
+	f.Store(a+1, 6) // dirty in fork, never persisted
+	f.Crash()
+	f.ResetCrashLatch()
+	if merr := f.VerifyMedia(); merr != nil {
+		t.Fatalf("fork seals broken after fork crash: %v", merr)
+	}
+	if merr := base.VerifyMedia(); merr != nil {
+		t.Fatalf("base seals broken by fork crash: %v", merr)
+	}
+}

@@ -15,6 +15,12 @@ type PoolInfo struct {
 	DirtyWords    int // stored-but-unpersisted words (0 after a clean open)
 	Roots         [NumRoots]uint64
 	Stats         Stats
+
+	// Media-fault state (format v3; see docs/MEDIA_FAULTS.md).
+	MediaBlocks       int   // checksummed media blocks covering the pool
+	CorruptBlocks     []int // blocks whose checksum currently mismatches
+	QuarantinedBlocks []int // blocks fenced off from allocation
+	MediaDegraded     bool  // header block was unrepairable
 }
 
 // Info summarizes the pool for forensic display. It tolerates corrupt
@@ -54,5 +60,9 @@ func (p *Pool) Info() PoolInfo {
 			info.NonzeroWords++
 		}
 	}
+	info.MediaBlocks = p.MediaBlocks()
+	info.CorruptBlocks = p.CorruptMediaBlocks()
+	info.QuarantinedBlocks = p.QuarantinedBlocks()
+	info.MediaDegraded = p.MediaDegraded()
 	return info
 }

@@ -1,0 +1,456 @@
+package pmem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestMediaChecksumsMaintainedByNormalOperation(t *testing.T) {
+	p := New(1024)
+	if merr := p.VerifyMedia(); merr != nil {
+		t.Fatalf("fresh pool fails media verification: %v", merr)
+	}
+	a, _ := p.Alloc(8)
+	for w := uint64(0); w < 8; w++ {
+		p.Store(a+w, 100+w)
+	}
+	p.Persist(a, 8)
+	p.SetRoot(0, a)
+	b, _ := p.Alloc(3)
+	p.Store(b, 7)
+	p.Persist(b, 1)
+	p.Free(b)
+	p.Store(a, 999) // dirty, unpersisted
+	p.Crash()
+	p.ResetCrashLatch()
+	if merr := p.VerifyMedia(); merr != nil {
+		t.Fatalf("media verification failed after normal ops: %v", merr)
+	}
+	if v, err := p.Load(a); err != nil || v != 100 {
+		t.Fatalf("Load(a) = %d, %v", v, err)
+	}
+}
+
+func TestMediaFaultDetectedOnLoad(t *testing.T) {
+	p := New(512)
+	a, _ := p.Alloc(4)
+	p.Store(a, 42)
+	p.Persist(a, 4)
+	r, err := p.InjectMediaFault(MediaFault{Kind: MediaBitFlip, Addr: a, Bits: 1 << 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Words != 1 || r.Addr != a {
+		t.Fatalf("fault range = %+v", r)
+	}
+	_, err = p.Load(a)
+	if !errors.Is(err, ErrMediaCorrupt) {
+		t.Fatalf("Load after media fault: err = %v, want ErrMediaCorrupt", err)
+	}
+	var merr *MediaError
+	if !errors.As(err, &merr) || len(merr.Ranges) != 1 {
+		t.Fatalf("error is not a *MediaError with one range: %v", err)
+	}
+	blk := MediaBlockOf(a)
+	got := merr.Ranges[0]
+	if got != p.MediaBlockRange(blk) {
+		t.Fatalf("poisoned range %v, want block %d range %v", got, blk, p.MediaBlockRange(blk))
+	}
+	// A load from a different, clean media block still works.
+	if _, err := p.Root(0); err != nil {
+		t.Fatalf("clean header block unreadable: %v", err)
+	}
+}
+
+func TestMediaFaultKindsAllBreakSeals(t *testing.T) {
+	kinds := []MediaFault{
+		{Kind: MediaBitFlip, Bits: 1},
+		{Kind: MediaStuckWord, Words: 3, Value: 0xFFFF_FFFF_FFFF_FFFF},
+		{Kind: MediaStrayWrite, Words: 2},
+		{Kind: MediaBlockPoison, Seed: 99},
+	}
+	for _, f := range kinds {
+		t.Run(f.Kind.String(), func(t *testing.T) {
+			p := New(1024)
+			a, _ := p.Alloc(16)
+			for w := uint64(0); w < 16; w++ {
+				p.Store(a+w, 0x1000+w)
+			}
+			p.Persist(a, 16)
+			f.Addr = a + 2
+			if _, err := p.InjectMediaFault(f); err != nil {
+				t.Fatal(err)
+			}
+			merr := p.VerifyMedia()
+			if merr == nil {
+				t.Fatalf("%v did not break any seal", f.Kind)
+			}
+			if len(p.CorruptMediaBlocks()) == 0 {
+				t.Fatal("no corrupt blocks reported")
+			}
+		})
+	}
+}
+
+func TestMediaFaultDeterministic(t *testing.T) {
+	build := func() *Pool {
+		p := New(512)
+		a, _ := p.Alloc(8)
+		for w := uint64(0); w < 8; w++ {
+			p.Store(a+w, 5*w)
+		}
+		p.Persist(a, 8)
+		p.InjectMediaFault(MediaFault{Kind: MediaBlockPoison, Addr: a, Seed: 1234})
+		return p
+	}
+	p1, p2 := build(), build()
+	for i := 0; i < p1.words; i++ {
+		if p1.durAt(i) != p2.durAt(i) {
+			t.Fatalf("same seed diverged at word %d: %#x vs %#x", i, p1.durAt(i), p2.durAt(i))
+		}
+	}
+}
+
+func TestInjectBitFlipStaysChecksumTransparent(t *testing.T) {
+	// The paper's pre-write-back fault model: the flipped value was
+	// checksummed like any other store, so the media layer must NOT flag it
+	// (only checkpoint-log reversion can heal it).
+	p := New(512)
+	a, _ := p.Alloc(2)
+	p.Store(a, 4096)
+	p.Persist(a, 1)
+	if err := p.InjectBitFlip(a, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	if merr := p.VerifyMedia(); merr != nil {
+		t.Fatalf("InjectBitFlip broke a media seal: %v", merr)
+	}
+	if v, err := p.Load(a); err != nil || v != 4096^8 {
+		t.Fatalf("Load = %d, %v", v, err)
+	}
+}
+
+func TestMediaRepairHealsWithGroundTruth(t *testing.T) {
+	p := New(1024)
+	a, _ := p.Alloc(8)
+	orig := make(map[uint64]uint64)
+	for w := uint64(0); w < 8; w++ {
+		p.Store(a+w, 7000+w)
+		orig[a+w] = 7000 + w
+	}
+	p.Persist(a, 8)
+	if _, err := p.InjectMediaFault(MediaFault{Kind: MediaStuckWord, Addr: a + 1, Words: 4, Value: 0xBAD}); err != nil {
+		t.Fatal(err)
+	}
+	reps := p.RepairMedia(
+		[]AllocHint{{Addr: a, Words: 8}},
+		func(addr uint64) (uint64, bool) { v, ok := orig[addr]; return v, ok },
+	)
+	if len(reps) != 1 || !reps[0].Healed || reps[0].RepairedWords == 0 {
+		t.Fatalf("repairs = %+v", reps)
+	}
+	if merr := p.VerifyMedia(); merr != nil {
+		t.Fatalf("pool still corrupt after heal: %v", merr)
+	}
+	for w := uint64(0); w < 8; w++ {
+		if v, err := p.Load(a + w); err != nil || v != 7000+w {
+			t.Fatalf("word %d after heal = %d, %v", w, v, err)
+		}
+	}
+	if rep := p.CheckIntegrity(); !rep.OK() {
+		t.Fatalf("integrity after heal: %v", rep)
+	}
+}
+
+func TestMediaRepairQuarantinesUnreconstructible(t *testing.T) {
+	p := New(4096)
+	a, _ := p.Alloc(200) // spans multiple media blocks
+	for w := uint64(0); w < 200; w++ {
+		p.Store(a+w, w)
+	}
+	p.Persist(a, 200)
+	// Poison a payload-interior block and offer NO checkpointed values: the
+	// original contents are unreconstructible, so the block must be fenced.
+	target := a + 3*MediaBlockWords
+	blk := MediaBlockOf(target)
+	if blk == 0 {
+		t.Fatal("setup: target landed in header block")
+	}
+	if _, err := p.InjectMediaFault(MediaFault{Kind: MediaBlockPoison, Addr: target, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	reps := p.RepairMedia([]AllocHint{{Addr: a, Words: 200}}, nil)
+	if len(reps) != 1 || !reps[0].Quarantined {
+		t.Fatalf("repairs = %+v", reps)
+	}
+	if !p.IsQuarantined(blk) {
+		t.Fatalf("block %d not quarantined", blk)
+	}
+	// The quarantined block is resealed: reads stop erroring, the pool
+	// verifies, and the allocator never hands the region out again.
+	if merr := p.VerifyMedia(); merr != nil {
+		t.Fatalf("pool does not verify after quarantine: %v", merr)
+	}
+	lo := Base + uint64(blk*MediaBlockWords)
+	hi := lo + MediaBlockWords
+	for i := 0; i < 40; i++ {
+		na, err := p.Alloc(10)
+		if err != nil {
+			break // out of space is fine — just never overlap
+		}
+		if na+10 > lo && na < hi {
+			t.Fatalf("Alloc handed out %#x inside quarantined block [%#x,%#x)", na, lo, hi)
+		}
+	}
+	if rep := p.CheckIntegrity(); !rep.OK() {
+		t.Fatalf("integrity after quarantine fills: %v", rep)
+	}
+}
+
+func TestMediaRepairHeaderBlockDegrades(t *testing.T) {
+	p := New(512)
+	a, _ := p.Alloc(4)
+	p.Store(a, 5)
+	p.Persist(a, 1)
+	p.SetRoot(0, a)
+	// Poison the header block; roots are not reconstructible without a log,
+	// so repair must reseal block 0 and latch the degraded flag rather than
+	// fail or quarantine the header.
+	if _, err := p.InjectMediaFault(MediaFault{Kind: MediaBlockPoison, Addr: Base + hdrRootBase, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	reps := p.RepairMedia(nil, nil)
+	if len(reps) != 1 || !reps[0].Degraded {
+		t.Fatalf("repairs = %+v", reps)
+	}
+	if !p.MediaDegraded() {
+		t.Fatal("degraded flag not latched")
+	}
+	if merr := p.VerifyMedia(); merr != nil {
+		t.Fatalf("pool does not verify in degraded mode: %v", merr)
+	}
+}
+
+func TestQuarantineFillerBlocksAreInert(t *testing.T) {
+	p := New(2048)
+	a, _ := p.Alloc(4)
+	p.Store(a, 1)
+	p.Persist(a, 1)
+	// Quarantine the media block just past the current bump pointer, then
+	// allocate through it: the allocator must carve a filler and keep the
+	// heap walkable.
+	next := int(p.durAt(hdrHeapNext))
+	blk := next/MediaBlockWords + 1
+	if err := p.QuarantineMediaBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.QuarantineMediaBlock(0); err == nil {
+		t.Fatal("quarantining the header block must fail")
+	}
+	liveBefore := len(p.LiveBlocks())
+	var got []uint64
+	for i := 0; i < 10; i++ {
+		na, err := p.Alloc(30)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		lo := Base + uint64(blk*MediaBlockWords)
+		if na+30 > lo && na < lo+MediaBlockWords {
+			t.Fatalf("allocation %#x overlaps quarantined block %d", na, blk)
+		}
+		got = append(got, na)
+	}
+	if len(p.LiveBlocks()) != liveBefore+10 {
+		t.Fatalf("LiveBlocks counts fillers: %d, want %d", len(p.LiveBlocks()), liveBefore+10)
+	}
+	if rep := p.CheckIntegrity(); !rep.OK() {
+		t.Fatalf("integrity with filler blocks: %v", rep)
+	}
+	if merr := p.VerifyMedia(); merr != nil {
+		t.Fatalf("media verification with filler blocks: %v", merr)
+	}
+	for _, na := range got {
+		if err := p.Free(na); err != nil {
+			t.Fatalf("free %#x: %v", na, err)
+		}
+	}
+	// Freed blocks bordering the quarantine go back on the free list, but
+	// re-allocation still never returns quarantined words.
+	for i := 0; i < 10; i++ {
+		na, err := p.Alloc(30)
+		if err != nil {
+			t.Fatalf("re-alloc %d: %v", i, err)
+		}
+		lo := Base + uint64(blk*MediaBlockWords)
+		if na+30 > lo && na < lo+MediaBlockWords {
+			t.Fatalf("re-allocation %#x overlaps quarantined block %d", na, blk)
+		}
+	}
+}
+
+func TestPoolFileV3RoundTripsMediaState(t *testing.T) {
+	p := New(2048)
+	a, _ := p.Alloc(4)
+	p.Store(a, 11)
+	p.Persist(a, 1)
+	blk := int(p.durAt(hdrHeapNext))/MediaBlockWords + 2
+	if err := p.QuarantineMediaBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+	p.SetMediaDegraded()
+
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPool(&buf)
+	if err != nil {
+		t.Fatalf("v3 round trip: %v", err)
+	}
+	if q.FormatVersion() != 3 {
+		t.Fatalf("format version = %d", q.FormatVersion())
+	}
+	if !q.IsQuarantined(blk) {
+		t.Fatal("quarantine set lost in round trip")
+	}
+	if !q.MediaDegraded() {
+		t.Fatal("degraded flag lost in round trip")
+	}
+	if merr := q.VerifyMedia(); merr != nil {
+		t.Fatalf("round-tripped pool fails verification: %v", merr)
+	}
+	for b := 0; b < p.MediaBlocks(); b++ {
+		if p.MediaChecksum(b) != q.MediaChecksum(b) {
+			t.Fatalf("checksum of block %d changed in round trip", b)
+		}
+	}
+}
+
+func TestPoolFileDetectsOnDiskCorruption(t *testing.T) {
+	p := New(512)
+	a, _ := p.Alloc(4)
+	p.Store(a, 42)
+	p.Persist(a, 1)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit of the durable payload INSIDE the serialized file — rot
+	// that happened on the medium, not through any pool API.
+	raw := buf.Bytes()
+	off := 24 + 8*int(a-Base)
+	raw[off] ^= 0x40
+
+	q, err := ReadPool(bytes.NewReader(raw))
+	if !errors.Is(err, ErrMediaCorrupt) {
+		t.Fatalf("err = %v, want ErrMediaCorrupt", err)
+	}
+	if q == nil {
+		t.Fatal("pool not returned alongside the media error (scrubber needs it)")
+	}
+	var merr *MediaError
+	if !errors.As(err, &merr) {
+		t.Fatalf("error is not a *MediaError: %v", err)
+	}
+	// The scrubber's contract end to end: repair with ground truth, then a
+	// fresh verification passes and the word reads back correctly.
+	reps := q.RepairMedia(
+		[]AllocHint{{Addr: a, Words: 4}},
+		func(addr uint64) (uint64, bool) {
+			if addr == a {
+				return 42, true
+			}
+			return 0, false
+		},
+	)
+	if len(reps) != 1 || !reps[0].Healed {
+		t.Fatalf("repairs = %+v", reps)
+	}
+	if merr := q.VerifyMedia(); merr != nil {
+		t.Fatalf("still corrupt after repair: %v", merr)
+	}
+	if v, err := q.Load(a); err != nil || v != 42 {
+		t.Fatalf("Load after repair = %d, %v", v, err)
+	}
+}
+
+func TestPoolFileReadsV2ImagesBackfillingChecksums(t *testing.T) {
+	p := New(128)
+	a, _ := p.Alloc(2)
+	p.Store(a, 77)
+	p.Persist(a, 1)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A v2 file is the v3 file truncated before the media section (this pool
+	// has no flight recorder, so the flight section is just its zero length).
+	v2 := buf.Bytes()[:24+8*128+8+7*8+8]
+	binary.LittleEndian.PutUint64(v2[8:], 2) // rewrite version field
+
+	q, err := ReadPool(bytes.NewReader(v2))
+	if err != nil {
+		t.Fatalf("v2 image rejected: %v", err)
+	}
+	if q.FormatVersion() != 2 {
+		t.Fatalf("format version = %d", q.FormatVersion())
+	}
+	if v, _ := q.Load(a); v != 77 {
+		t.Fatalf("payload = %d", v)
+	}
+	if merr := q.VerifyMedia(); merr != nil {
+		t.Fatalf("backfilled checksums do not verify: %v", merr)
+	}
+	if q.MediaBlocks() == 0 || len(q.QuarantinedBlocks()) != 0 || q.MediaDegraded() {
+		t.Fatalf("unexpected media state on v2 read: %+v", q.Info())
+	}
+}
+
+func TestPoolFileTruncatedMediaSection(t *testing.T) {
+	p := New(128)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{8, 16, 24} {
+		if _, err := ReadPool(bytes.NewReader(raw[:len(raw)-cut])); !errors.Is(err, ErrTruncatedImage) {
+			t.Fatalf("cut %d: err = %v, want ErrTruncatedImage", cut, err)
+		}
+	}
+}
+
+func TestMediaInfoFields(t *testing.T) {
+	p := New(1024)
+	a, _ := p.Alloc(4)
+	p.Store(a, 9)
+	p.Persist(a, 1)
+	info := p.Info()
+	if info.MediaBlocks != p.MediaBlocks() || len(info.CorruptBlocks) != 0 {
+		t.Fatalf("info media fields: %+v", info)
+	}
+	p.InjectMediaFault(MediaFault{Kind: MediaBitFlip, Addr: a})
+	info = p.Info()
+	if len(info.CorruptBlocks) != 1 || info.CorruptBlocks[0] != MediaBlockOf(a) {
+		t.Fatalf("corrupt blocks = %v", info.CorruptBlocks)
+	}
+}
+
+func TestSetMediaMaintenanceToggle(t *testing.T) {
+	p := New(512)
+	a, _ := p.Alloc(4)
+	p.SetMediaMaintenance(false)
+	p.Store(a, 123)
+	p.Persist(a, 1)
+	p.SetMediaMaintenance(true) // reseals
+	if merr := p.VerifyMedia(); merr != nil {
+		t.Fatalf("reseal after maintenance toggle failed: %v", merr)
+	}
+	p.Store(a+1, 456)
+	p.Persist(a+1, 1)
+	if merr := p.VerifyMedia(); merr != nil {
+		t.Fatalf("incremental maintenance broken after toggle: %v", merr)
+	}
+}

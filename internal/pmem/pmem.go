@@ -146,6 +146,21 @@ type Pool struct {
 	// recovery records the open-time RecoverMeta report when the strict
 	// reader had to repair allocator metadata (nil when the open was clean).
 	recovery *RecoverReport
+
+	// Media-fault layer (media.go). csums holds one checksum per
+	// MediaBlockWords-word block of the durable image, maintained
+	// incrementally by setDurAt; verified caches per-block verification so
+	// the read hot path pays one branch; quar fences blocks the scrubber
+	// could not repair away from the allocator; degraded latches
+	// unrepairable header-block corruption; nocsum is the bench-only
+	// maintenance toggle. Forks carry their own copies (Fork), and Promote
+	// transplants them wholesale so fork-injected corruption stays
+	// detectable in the parent.
+	csums    []uint64
+	verified []bool
+	quar     map[int]bool
+	degraded bool
+	nocsum   bool
 }
 
 // LastRecovery returns the open-time recovery report, or nil if the pool
@@ -182,6 +197,7 @@ func New(words int) *Pool {
 		sink:        obs.Nop(),
 		fileVersion: int(fileVersion),
 	}
+	p.initMedia()
 	p.cur[hdrMagic] = magicValue
 	p.cur[hdrSize] = uint64(words)
 	p.cur[hdrHeapNext] = heapStart
@@ -238,6 +254,11 @@ func (p *Pool) index(addr uint64) (int, error) {
 func (p *Pool) Load(addr uint64) (uint64, error) {
 	i, err := p.index(addr)
 	if err != nil {
+		return 0, err
+	}
+	// Media verification: one branch on the verified cache; a block whose
+	// checksum seal is broken fails the read with ErrMediaCorrupt.
+	if err := p.mediaCheck(i); err != nil {
 		return 0, err
 	}
 	p.stats.Loads++
@@ -332,12 +353,8 @@ func (p *Pool) makeDurable(addr uint64, words int, kind DurKind) error {
 	words = p.offerCrash(kind, addr, words)
 	p.stats.Persists++
 	p.stats.PersistedWords.Words += uint64(words)
-	if p.base == nil {
-		copy(p.durable[i:i+words], p.cur[i:i+words])
-	} else {
-		for w := 0; w < words; w++ {
-			p.durOv[i+w] = p.curAt(i + w)
-		}
+	for w := 0; w < words; w++ {
+		p.setDurAt(i+w, p.curAt(i+w))
 	}
 	for w := 0; w < words; w++ {
 		delete(p.dirty, addr+uint64(w))
@@ -363,12 +380,8 @@ func (p *Pool) persistMeta(idx, words int) {
 		return
 	}
 	words = p.offerCrash(DurMeta, Base+uint64(idx), words)
-	if p.base == nil {
-		copy(p.durable[idx:idx+words], p.cur[idx:idx+words])
-	} else {
-		for w := 0; w < words; w++ {
-			p.durOv[idx+w] = p.curAt(idx + w)
-		}
+	for w := 0; w < words; w++ {
+		p.setDurAt(idx+w, p.curAt(idx+w))
 	}
 	for w := 0; w < words; w++ {
 		delete(p.dirty, Base+uint64(idx+w))
@@ -418,6 +431,12 @@ func (p *Pool) SetRoot(i int, addr uint64) error {
 	if p.crashLatched {
 		return ErrCrashInjected
 	}
+	// Root slots are program data (the durable entry points), not derived
+	// allocator state: checkpoint them like any other persist so reversion
+	// and the media scrubber have ground truth for them.
+	if p.hooks.OnPersist != nil {
+		p.hooks.OnPersist(Base+uint64(hdrRootBase+i), p.durView(hdrRootBase+i, 1))
+	}
 	return nil
 }
 
@@ -432,6 +451,10 @@ func (p *Pool) Root(i int) (uint64, error) {
 // InjectBitFlip flips bit (0..63) of the word at addr in BOTH images,
 // simulating a hardware fault that was persisted (paper §2.4 "Hardware
 // Faults"). Flipping only the current image simulates a transient fault.
+// The flip goes through the checksum-maintaining write path: it models a
+// value corrupted BEFORE write-back, which media checksums cannot catch —
+// use InjectMediaFault (media.go) for post-write-back corruption that the
+// scrubber detects and repairs.
 func (p *Pool) InjectBitFlip(addr uint64, bit uint, alsoDurable bool) error {
 	i, err := p.index(addr)
 	if err != nil {

@@ -343,12 +343,18 @@ func TestPersistHookFires(t *testing.T) {
 func TestAllocatorMetaDoesNotFireHooks(t *testing.T) {
 	p := New(256)
 	calls := 0
-	p.SetHooks(Hooks{OnPersist: func(uint64, []uint64) { calls++ }})
+	var lastAddr uint64
+	p.SetHooks(Hooks{OnPersist: func(addr uint64, _ []uint64) { calls++; lastAddr = addr }})
 	a, _ := p.Zalloc(4)
 	p.Free(a)
-	p.SetRoot(0, a)
 	if calls != 0 {
 		t.Fatalf("allocator metadata fired %d persist hooks", calls)
+	}
+	// Root slots are the exception: they hold program data (the durable
+	// entry points), so SetRoot checkpoints exactly its one slot.
+	p.SetRoot(0, a)
+	if calls != 1 || lastAddr != Base+uint64(hdrRootBase) {
+		t.Fatalf("SetRoot fired %d hooks (last addr %#x), want 1 at root slot", calls, lastAddr)
 	}
 }
 

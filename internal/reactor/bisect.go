@@ -47,7 +47,7 @@ func bisectMitigate(cfg Config, ctx *Context, plan *Plan, rep *Report, attempts 
 		}
 		apply(m)
 		*attempts++
-		trap := reExec(ctx, cfg.Mode.String(), rep)
+		trap := reExec(cfg, ctx, cfg.Mode.String(), rep)
 		if trap == nil {
 			return true
 		}
@@ -78,7 +78,7 @@ func bisectMitigate(cfg Config, ctx *Context, plan *Plan, rep *Report, attempts 
 	// Apply the minimal prefix for real and confirm.
 	apply(hi)
 	*attempts++
-	trap := reExec(ctx, cfg.Mode.String(), rep)
+	trap := reExec(cfg, ctx, cfg.Mode.String(), rep)
 	if trap == nil {
 		for _, cand := range plan.Candidates[:hi] {
 			rep.RevertedSeqs = append(rep.RevertedSeqs, cand.Seq)

@@ -231,7 +231,7 @@ func parallelIsolatedRound(cfg Config, ctx *Context, plan *Plan, rep *Report, ba
 	}
 	// Confirm on the real session: the charged winning attempt.
 	*attempts++
-	if trap := reExec(ctx, mode, rep); trap != nil {
+	if trap := reExec(cfg, ctx, mode, rep); trap != nil {
 		// The VM is deterministic, so a confirmed divergence means the
 		// promotion itself is broken — report not healed; the adopted
 		// log/pool pair is still consistent, so later phases continue.
@@ -339,7 +339,7 @@ func parallelBisect(cfg Config, ctx *Context, plan *Plan, rep *Report, attempts 
 	base := ctx.Log.CaptureState()
 	applyBatch(cfg, ctx, plan, 0, hi)
 	*attempts++
-	if trap := reExec(ctx, mode, rep); trap == nil {
+	if trap := reExec(cfg, ctx, mode, rep); trap == nil {
 		for _, cand := range plan.Candidates[:hi] {
 			rep.RevertedSeqs = append(rep.RevertedSeqs, cand.Seq)
 		}

@@ -66,6 +66,17 @@ type Config struct {
 	// sequential search at any worker count. <= 1 (the default) keeps the
 	// exact sequential path. See docs/PARALLEL_MITIGATION.md.
 	Workers int
+	// ScrubRetries bounds how many times a re-execution probe that traps on
+	// media corruption is retried after running the scrubber (Context.Scrub).
+	// Scrub retries are NOT charged as mitigation attempts: the medium lied,
+	// not the data, so they must not burn the reversion budget. 0 means the
+	// default (3); negative disables scrub-then-retry.
+	ScrubRetries int
+	// ScrubBackoff is the base delay before each scrub retry, doubled per
+	// retry (bounded exponential backoff). 0 (the default) retries
+	// immediately — deterministic for tests; deployments model device
+	// recovery latency with it.
+	ScrubBackoff time.Duration
 }
 
 // DefaultConfig returns the paper-default reactor configuration.
@@ -94,6 +105,18 @@ type Context struct {
 	// pool, runs its recovery path and the failure probe, and returns nil
 	// when the system is healthy — the paper's re-execution script.
 	ReExec func() *vm.Trap
+	// Scrub, when set, runs a media-scrub pass over the pool (internal/scrub
+	// backed by the checkpoint log) and returns nil when the pool verifies
+	// afterwards. Re-execution probes trapping on media corruption invoke it
+	// and retry — see Config.ScrubRetries. Nil disables scrub-then-retry
+	// (media-corrupt probes then fail like any other trap).
+	Scrub func() error
+	// MediaSuspect, when set alongside Scrub, is the detector's media
+	// monitor (a full checksum scan). Mitigate consults it once up front:
+	// corruption can surface as ANY failure kind — a poisoned pointer
+	// segfaults long before any load touches the poisoned block — so a
+	// positive check runs one scrub pass before reversion planning.
+	MediaSuspect func() bool
 	// ForkSession, when set, creates an isolated speculative session — a
 	// copy-on-write fork of the pool, a fork of the checkpoint log wired to
 	// it, and a re-execution script bound to the fork — enabling the
@@ -140,9 +163,12 @@ type Report struct {
 	FellBack         bool
 	// Replans counts re-planning passes triggered by re-execution failing
 	// at a new fault instruction.
-	Replans  int
-	Duration time.Duration
-	LastTrap *vm.Trap
+	Replans int
+	// ScrubRepairs counts scrub-then-retry passes run because a probe
+	// trapped on media corruption. These are not mitigation attempts.
+	ScrubRepairs int
+	Duration     time.Duration
+	LastTrap     *vm.Trap
 }
 
 // DataLossPct returns discarded updates as a percentage of all updates the
@@ -184,7 +210,12 @@ func (r *Report) String() string {
 // reExec runs one re-execution probe, charging it to the report's total and
 // per-mode attempt counts and emitting a reactor.reexec span whose outcome
 // attribute is "recovered" or the trap kind.
-func reExec(ctx *Context, mode string, rep *Report) *vm.Trap {
+//
+// A probe that traps on media corruption is not a failed mitigation attempt:
+// the medium lied, not the reverted data. When the context supplies a Scrub
+// hook, the probe scrubs and retries under a bounded exponential-backoff
+// budget (cfg.ScrubRetries/ScrubBackoff) without charging extra attempts.
+func reExec(cfg Config, ctx *Context, mode string, rep *Report) *vm.Trap {
 	rep.Attempts++
 	if rep.AttemptsByMode == nil {
 		rep.AttemptsByMode = map[string]int{}
@@ -193,6 +224,25 @@ func reExec(ctx *Context, mode string, rep *Report) *vm.Trap {
 	span := obs.OrNop(ctx.Obs).Start("reactor.reexec",
 		obs.A("mode", mode), obs.A("attempt", rep.Attempts))
 	trap := ctx.ReExec()
+	if ctx.Scrub != nil && cfg.ScrubRetries >= 0 {
+		retries := cfg.ScrubRetries
+		if retries == 0 {
+			retries = 3
+		}
+		for r := 0; trap != nil && trap.Kind == vm.TrapMediaCorrupt && r < retries; r++ {
+			if cfg.ScrubBackoff > 0 {
+				time.Sleep(cfg.ScrubBackoff << uint(r))
+			}
+			sspan := obs.OrNop(ctx.Obs).Start("reactor.scrub", obs.A("retry", r))
+			err := ctx.Scrub()
+			sspan.End()
+			if err != nil {
+				break
+			}
+			rep.ScrubRepairs++
+			trap = ctx.ReExec()
+		}
+	}
 	rep.LastTrap = trap
 	if trap == nil {
 		span.SetAttr("outcome", "recovered")
@@ -230,6 +280,20 @@ func Mitigate(cfg Config, ctx *Context) *Report {
 		mitSpan.End()
 	}()
 
+	// Media pre-check: when the detector's checksum monitor flags the pool,
+	// heal the media first — corruption reached through a poisoned pointer
+	// traps as a plain segfault, never as media-corrupt, and no amount of
+	// reversion repairs words the checkpoint hooks never saw change. The
+	// pass is not charged against the attempt budget.
+	if ctx.Scrub != nil && ctx.MediaSuspect != nil && cfg.ScrubRetries >= 0 && ctx.MediaSuspect() {
+		sspan := obs.OrNop(ctx.Obs).Start("reactor.scrub", obs.A("retry", 0))
+		err := ctx.Scrub()
+		sspan.End()
+		if err == nil {
+			rep.ScrubRepairs++
+		}
+	}
+
 	planCfg := cfg.Plan
 	planCfg.AddrFault = planCfg.AddrFault || ctx.AddrFault
 	faults := ctx.Faults
@@ -254,7 +318,7 @@ func Mitigate(cfg Config, ctx *Context) *Report {
 			// Not caused by bad PM values: "the reactor then safely aborts
 			// and resorts to simple restart" (§4.5).
 			rep.RestartOnly = true
-			trap := reExec(ctx, "restart", rep)
+			trap := reExec(cfg, ctx, "restart", rep)
 			rep.Recovered = trap == nil
 			return rep
 		}
@@ -325,7 +389,7 @@ func mitigateWithMode(cfg Config, ctx *Context, plan *Plan, rep *Report) bool {
 				return false
 			}
 			attempts++
-			if reExec(ctx, cfg.Mode.String(), rep) == nil {
+			if reExec(cfg, ctx, cfg.Mode.String(), rep) == nil {
 				return true
 			}
 		}
@@ -363,7 +427,7 @@ func mitigateWithMode(cfg Config, ctx *Context, plan *Plan, rep *Report) bool {
 					revertCandidate(cfg, ctx, cand)
 				}
 				attempts++
-				trap := reExec(ctx, cfg.Mode.String(), rep)
+				trap := reExec(cfg, ctx, cfg.Mode.String(), rep)
 				if trap == nil {
 					for _, cand := range plan.Candidates[start:end] {
 						rep.RevertedSeqs = append(rep.RevertedSeqs, cand.Seq)
@@ -431,7 +495,7 @@ func mitigateWithMode(cfg Config, ctx *Context, plan *Plan, rep *Report) bool {
 			}
 			pending = 0
 			attempts++
-			if reExec(ctx, cfg.Mode.String(), rep) == nil {
+			if reExec(cfg, ctx, cfg.Mode.String(), rep) == nil {
 				return true
 			}
 		}

@@ -1,0 +1,64 @@
+package torture
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenMediaReports regenerates the bounded media sweeps the CI media
+// job runs over the fixture workloads and compares them byte-for-byte
+// against the checked-in goldens in testdata/media — pinning both the
+// sweep's determinism and the scrubber's verdicts (every trial in the
+// goldens ends clean or healed). A mismatch means media-fault behavior
+// changed: if the change is intentional, regenerate with
+//
+//	arthas-torture -media -seed 1 -points 24 [fixture flags] > testdata/media/<name>.json
+func TestGoldenMediaReports(t *testing.T) {
+	fixtures := []struct {
+		name      string
+		recoverFn string
+		probe     string
+		script    string
+	}{
+		{"counter", "recover_", "value", "init_; bump; bump; bump"},
+		{"checksum", "", "check", "init_; set 1 5; set 2 7"},
+		{"linkedset", "recover_", "", "init_; insert 5; insert 3; insert 9"},
+		{"ringlog", "recover_", "", "init_ 4; append_ 1; append_ 2; append_ 3"},
+	}
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			t.Parallel()
+			golden, err := os.ReadFile(filepath.Join("..", "..", "testdata", "media", fx.name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := RunMedia(Config{
+				Name:      "testdata/" + fx.name + ".pml",
+				Source:    progSource(t, fx.name),
+				Script:    fx.script,
+				RecoverFn: fx.recoverFn,
+				Probe:     fx.probe,
+				Seed:      1,
+				Points:    24,
+				Workers:   4,
+			}, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Violated > 0 {
+				t.Fatalf("media sweep violated %d trials: %+v", rep.Violated, rep.Results)
+			}
+			js, err := rep.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			js = append(js, '\n')
+			if !bytes.Equal(js, golden) {
+				t.Fatalf("report diverged from golden testdata/media/%s.json;\nregenerate if intentional\ngot:\n%s", fx.name, js)
+			}
+		})
+	}
+}

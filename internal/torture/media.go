@@ -1,0 +1,360 @@
+package torture
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"arthas"
+	"arthas/internal/pmem"
+)
+
+// Media-fault torture mode: instead of crashing at durability events, the
+// harness corrupts the durable image AT them — bit flips, stuck words, stray
+// writes, and whole-block poison landing behind the checksums' back — and
+// then verifies the system heals end to end through BOTH repair paths: the
+// in-process reactor (trap → detector → scrub-then-retry) while the workload
+// keeps running, and the open path (SaveImage → OpenImage scrubs from the
+// image's own checkpoint log) afterwards. Like the crash sweep, everything
+// is deterministic for a given -seed and byte-identical across -workers.
+
+// MediaSpec orders one injected media fault: after the Event'th durability
+// event of the workload, corrupt the word at that event's address plus the
+// Word offset with the named fault kind (docs/MEDIA_FAULTS.md taxonomy).
+type MediaSpec struct {
+	Event int    `json:"event"`
+	Kind  string `json:"kind"`
+	Word  int    `json:"word,omitempty"`
+	Bits  uint64 `json:"bits,omitempty"`
+	Value uint64 `json:"value,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+}
+
+func (s MediaSpec) String() string {
+	return fmt.Sprintf("e%d:%s+%d", s.Event, s.Kind, s.Word)
+}
+
+// mediaKindOf maps the spec's kind name to the pmem fault kind.
+func mediaKindOf(name string) (pmem.MediaFaultKind, error) {
+	switch name {
+	case pmem.MediaBitFlip.String():
+		return pmem.MediaBitFlip, nil
+	case pmem.MediaStuckWord.String():
+		return pmem.MediaStuckWord, nil
+	case pmem.MediaStrayWrite.String():
+		return pmem.MediaStrayWrite, nil
+	case pmem.MediaBlockPoison.String():
+		return pmem.MediaBlockPoison, nil
+	}
+	return 0, fmt.Errorf("torture: unknown media fault kind %q", name)
+}
+
+// MediaTrialResult is the outcome of one media-fault schedule.
+type MediaTrialResult struct {
+	Trial int       `json:"trial"`
+	Spec  MediaSpec `json:"spec"`
+	// Inject describes the fault that actually fired ("stuck-word@0x...+2");
+	// empty when the spec's event index exceeded the run's event stream.
+	Inject     string   `json:"inject,omitempty"`
+	Outcome    string   `json:"outcome"`
+	Violations []string `json:"violations,omitempty"`
+	// ScrubRepairs totals in-process scrub passes the reactor ran; OpenHealed
+	// reports that the final reopen had to scrub the image.
+	ScrubRepairs       int  `json:"scrub_repairs,omitempty"`
+	OpenHealed         bool `json:"open_healed,omitempty"`
+	Quarantined        int  `json:"quarantined,omitempty"`
+	MitigationAttempts int  `json:"mitigation_attempts,omitempty"`
+}
+
+// MediaReport is the full deterministic output of a media sweep.
+type MediaReport struct {
+	Program  string             `json:"program"`
+	Script   string             `json:"script"`
+	Seed     int64              `json:"seed"`
+	Events   int                `json:"events"`
+	Trials   int                `json:"trials"`
+	Clean    int                `json:"clean"`
+	Healed   int                `json:"healed"`
+	Violated int                `json:"violated"`
+	Results  []MediaTrialResult `json:"results"`
+}
+
+// JSON renders the report byte-identically for a given seed.
+func (r *MediaReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RunMedia executes a media-fault sweep: enumerate durability events with a
+// baseline run, derive one fault spec per sampled event (kinds cycled, offsets
+// and patterns from the seeded PRNG), and run each as an independent trial.
+// When imageDir is non-empty, each trial's post-injection (still corrupt)
+// image is saved there as <name>-media-NNN.img for offline tooling
+// (arthas-inspect scrub) and the CI media job.
+func RunMedia(cfg Config, imageDir string) (*MediaReport, error) {
+	cfg = cfg.withDefaults()
+	calls, err := ParseScript(cfg.Script)
+	if err != nil {
+		return nil, err
+	}
+	var probe *Call
+	if cfg.Probe != "" {
+		pc, err := ParseScript(cfg.Probe)
+		if err != nil {
+			return nil, err
+		}
+		if len(pc) != 1 {
+			return nil, fmt.Errorf("torture: probe must be a single call, got %d", len(pc))
+		}
+		probe = &pc[0]
+	}
+	events, err := enumerate(cfg, calls)
+	if err != nil {
+		return nil, fmt.Errorf("torture: baseline run: %w", err)
+	}
+	specs := buildMediaSchedules(cfg, events)
+	if imageDir != "" {
+		if err := os.MkdirAll(imageDir, 0o755); err != nil {
+			return nil, fmt.Errorf("torture: image dir: %w", err)
+		}
+	}
+
+	rep := &MediaReport{
+		Program: cfg.Name,
+		Script:  cfg.Script,
+		Seed:    cfg.Seed,
+		Events:  len(events),
+		Trials:  len(specs),
+		Results: make([]MediaTrialResult, len(specs)),
+	}
+	runOne := func(i int) {
+		res := runMediaTrial(cfg, calls, probe, specs[i], i, imageDir)
+		res.Trial = i
+		rep.Results[i] = res
+	}
+	if cfg.Workers > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Workers)
+		for i := range specs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				runOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range specs {
+			runOne(i)
+		}
+	}
+	for _, res := range rep.Results {
+		switch res.Outcome {
+		case "clean":
+			rep.Clean++
+		case "healed":
+			rep.Healed++
+		default:
+			rep.Violated++
+		}
+	}
+	return rep, nil
+}
+
+// buildMediaSchedules derives one fault spec per event, cycling through the
+// four fault kinds so every kind exercises many distinct targets, with the
+// seeded PRNG choosing word offsets and corruption patterns. The set is then
+// sampled down to cfg.Points (order-preserving).
+func buildMediaSchedules(cfg Config, events []EventInfo) []MediaSpec {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	kinds := []pmem.MediaFaultKind{
+		pmem.MediaBitFlip, pmem.MediaStuckWord,
+		pmem.MediaStrayWrite, pmem.MediaBlockPoison,
+	}
+	specs := make([]MediaSpec, 0, len(events))
+	for i, ev := range events {
+		k := kinds[i%len(kinds)]
+		sp := MediaSpec{Event: i, Kind: k.String()}
+		if ev.Words > 1 {
+			sp.Word = rng.Intn(ev.Words)
+		}
+		switch k {
+		case pmem.MediaBitFlip:
+			sp.Bits = 1 << uint(rng.Intn(64))
+		case pmem.MediaStuckWord:
+			sp.Value = rng.Uint64()
+		case pmem.MediaBlockPoison:
+			sp.Seed = rng.Int63()
+		}
+		specs = append(specs, sp)
+	}
+	if cfg.Points > 0 && len(specs) > cfg.Points {
+		idx := rng.Perm(len(specs))[:cfg.Points]
+		sort.Ints(idx)
+		sampled := make([]MediaSpec, 0, cfg.Points)
+		for _, i := range idx {
+			sampled = append(sampled, specs[i])
+		}
+		specs = sampled
+	}
+	return specs
+}
+
+// runMediaTrial runs one media-fault schedule in a fresh deployment. The
+// fault is injected between workload calls, right after the spec's event
+// fires — modeling media that went bad under a completed write-back. The
+// remaining workload may trap media-corrupt (in-process heal via the
+// reactor's scrub-then-retry); whatever corruption the workload never
+// touched is then healed by the reopen path, and the final state must pass
+// every structural and media invariant.
+func runMediaTrial(cfg Config, calls []Call, probe *Call, spec MediaSpec, trial int, imageDir string) MediaTrialResult {
+	res := MediaTrialResult{Spec: spec, Outcome: "clean"}
+	var violations []string
+	healedAny := false
+
+	kind, err := mediaKindOf(spec.Kind)
+	if err != nil {
+		res.Outcome = "violated"
+		res.Violations = []string{err.Error()}
+		return res
+	}
+	inst, err := arthas.New(cfg.Name, cfg.Source, arthasConfig(cfg))
+	if err != nil {
+		res.Outcome = "violated"
+		res.Violations = []string{"deploy-failed: " + err.Error()}
+		return res
+	}
+
+	// Counting hook: never crashes, only spots the target event and records
+	// where its range landed.
+	var target uint64
+	pending := false
+	count := 0
+	inst.Pool.SetCrashFunc(func(ev pmem.DurEvent) (int, bool) {
+		if count == spec.Event {
+			off := 0
+			if ev.Words > 0 {
+				off = spec.Word % ev.Words
+			}
+			target = ev.Addr + uint64(off)
+			pending = true
+		}
+		count++
+		return ev.Words, false
+	})
+
+	injected := false
+	for ci := 0; ci < len(calls); ci++ {
+		c := calls[ci]
+		_, trap := inst.Call(c.Fn, c.Args...)
+		if trap != nil {
+			ok, mrep, v := heal(inst, trap, &c)
+			if mrep != nil {
+				res.MitigationAttempts += mrep.Attempts
+				res.ScrubRepairs += mrep.ScrubRepairs
+			}
+			if !ok {
+				violations = append(violations, v)
+				return finishMedia(res, violations, healedAny)
+			}
+			healedAny = true
+		}
+		if pending && !injected {
+			f := pmem.MediaFault{
+				Kind: kind, Addr: target,
+				Bits: spec.Bits, Value: spec.Value, Seed: spec.Seed,
+			}
+			r, err := inst.Pool.InjectMediaFault(f)
+			if err != nil {
+				violations = append(violations, "inject-failed: "+err.Error())
+				return finishMedia(res, violations, healedAny)
+			}
+			injected = true
+			res.Inject = fmt.Sprintf("%s@%#x+%d", spec.Kind, r.Addr, r.Words)
+			if imageDir != "" {
+				saveTrialImage(inst, imageDir, cfg.Name, trial, &violations)
+			}
+		}
+	}
+
+	if probe != nil {
+		if _, trap := inst.Call(probe.Fn, probe.Args...); trap != nil {
+			ok, mrep, v := heal(inst, trap, probe)
+			if mrep != nil {
+				res.MitigationAttempts += mrep.Attempts
+				res.ScrubRepairs += mrep.ScrubRepairs
+			}
+			if !ok {
+				violations = append(violations, v)
+				return finishMedia(res, violations, healedAny)
+			}
+			healedAny = true
+		}
+	}
+
+	// The reopen path: whatever corruption the workload never read travels
+	// in the image and must be healed (or fenced) by OpenImage's scrubber.
+	final, vs := reopen(cfg, inst)
+	violations = append(violations, vs...)
+	if final == nil {
+		return finishMedia(res, violations, healedAny)
+	}
+	if final.LastScrub != nil {
+		res.OpenHealed = true
+		res.Quarantined = final.LastScrub.Quarantined
+		if !final.LastScrub.Healthy() {
+			violations = append(violations, "open-scrub-unhealthy: "+final.LastScrub.String())
+		}
+		healedAny = true
+	}
+	if merr := final.Pool.VerifyMedia(); merr != nil {
+		violations = append(violations, "media-unclean: "+merr.Error())
+	}
+	violations = append(violations, checkState(cfg, final)...)
+	if probe != nil && len(violations) == 0 {
+		if _, trap := final.Call(probe.Fn, probe.Args...); trap != nil {
+			// Reads of quarantined (unreconstructible) data may still trap —
+			// that is data loss the log could not prevent, not a violation —
+			// but only when something was actually fenced off.
+			if res.Quarantined == 0 {
+				violations = append(violations, "probe-after-reopen: "+trap.Error())
+			}
+		}
+	}
+	return finishMedia(res, violations, healedAny)
+}
+
+// saveTrialImage writes the still-corrupt image snapshot for offline repair
+// tooling. Write failures are violations: the CI job depends on the corpus.
+func saveTrialImage(inst *arthas.Instance, dir, name string, trial int, violations *[]string) {
+	base := strings.TrimSuffix(filepath.Base(name), filepath.Ext(name))
+	path := filepath.Join(dir, fmt.Sprintf("%s-media-%03d.img", base, trial))
+	f, err := os.Create(path)
+	if err != nil {
+		*violations = append(*violations, "image-save-failed: "+err.Error())
+		return
+	}
+	defer f.Close()
+	if err := inst.SaveImage(f); err != nil {
+		*violations = append(*violations, "image-save-failed: "+err.Error())
+	}
+}
+
+func finishMedia(res MediaTrialResult, violations []string, healed bool) MediaTrialResult {
+	res.Violations = sortedViolations(violations)
+	switch {
+	case len(res.Violations) > 0:
+		res.Outcome = "violated"
+	case healed:
+		res.Outcome = "healed"
+	default:
+		res.Outcome = "clean"
+	}
+	return res
+}

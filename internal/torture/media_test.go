@@ -1,0 +1,140 @@
+package torture
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"arthas"
+)
+
+// TestMediaSweepHeals is the bounded media smoke sweep: every injected
+// media fault over a small counter workload must end clean or healed —
+// never a violation — through the in-process and reopen repair paths.
+func TestMediaSweepHeals(t *testing.T) {
+	rep, err := RunMedia(Config{
+		Name:      "counter",
+		Source:    progSource(t, "counter"),
+		Script:    "init_; bump; bump; bump",
+		RecoverFn: "recover_",
+		Probe:     "value",
+		Seed:      11,
+		Points:    24,
+		Workers:   4,
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events == 0 || rep.Trials == 0 {
+		t.Fatalf("no events enumerated: %+v", rep)
+	}
+	if rep.Violated != 0 {
+		js, _ := rep.JSON()
+		t.Fatalf("media sweep found %d violations:\n%s", rep.Violated, js)
+	}
+	healed := 0
+	for _, res := range rep.Results {
+		if res.ScrubRepairs > 0 || res.OpenHealed {
+			healed++
+		}
+	}
+	if healed == 0 {
+		js, _ := rep.JSON()
+		t.Fatalf("no trial exercised a scrub repair:\n%s", js)
+	}
+}
+
+// TestMediaSweepDeterminism: byte-identical JSON for the same seed across
+// worker counts and repeated runs — the satellite (c) acceptance check.
+func TestMediaSweepDeterminism(t *testing.T) {
+	cfg := Config{
+		Name:   "checksum",
+		Source: progSource(t, "checksum"),
+		Script: "init_; set 1 5; set 2 7; set 3 9",
+		Probe:  "check",
+		Seed:   13,
+		Points: 16,
+	}
+	var outs [][]byte
+	for _, workers := range []int{1, 8} {
+		c := cfg
+		c.Workers = workers
+		rep, err := RunMedia(c, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, js)
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatalf("media report differs across worker counts:\n--- w1:\n%s\n--- w8:\n%s", outs[0], outs[1])
+	}
+	c := cfg
+	c.Workers = 8
+	rep, err := RunMedia(c, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, _ := rep.JSON()
+	if !bytes.Equal(outs[1], js) {
+		t.Fatal("media report differs across runs with the same seed")
+	}
+}
+
+// TestMediaSweepImageDir saves corrupt trial images and verifies they are
+// real Arthas images carrying detectable corruption — the corpus the CI
+// media job feeds to arthas-inspect scrub.
+func TestMediaSweepImageDir(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := RunMedia(Config{
+		Name:      "counter",
+		Source:    progSource(t, "counter"),
+		Script:    "init_; bump; bump",
+		RecoverFn: "recover_",
+		Seed:      17,
+		Points:    6,
+	}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violated != 0 {
+		js, _ := rep.JSON()
+		t.Fatalf("media sweep found violations:\n%s", js)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var images []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".img") {
+			images = append(images, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(images) == 0 {
+		t.Fatal("no trial images saved")
+	}
+	sawCorrupt := false
+	for _, path := range images {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool, _, _, err := arthas.ReadAnyImage(f)
+		f.Close()
+		if err != nil || pool == nil {
+			t.Fatalf("saved image %s unreadable: %v", path, err)
+		}
+		if pool.VerifyMedia() != nil {
+			sawCorrupt = true
+		}
+	}
+	if !sawCorrupt {
+		t.Fatal("no saved image carries detectable corruption")
+	}
+}

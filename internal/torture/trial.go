@@ -53,8 +53,10 @@ func runTrial(cfg Config, calls []Call, probe *Call, sched Schedule) TrialResult
 				// A failure with no crash pending: detector + reactor. The
 				// mitigation's re-execution script restarts, recovers, and
 				// re-issues this very call, so on success we advance past it.
-				ok, attempts, v := heal(inst, trap, &c)
-				res.MitigationAttempts += attempts
+				ok, mrep, v := heal(inst, trap, &c)
+				if mrep != nil {
+					res.MitigationAttempts += mrep.Attempts
+				}
 				if !ok {
 					violations = append(violations, v)
 					return finish(res, violations, healed)
@@ -81,8 +83,10 @@ func runTrial(cfg Config, calls []Call, probe *Call, sched Schedule) TrialResult
 		inst = next
 
 		if trap := inst.Restart(); trap != nil {
-			ok, attempts, v := heal(inst, trap, probe)
-			res.MitigationAttempts += attempts
+			ok, mrep, v := heal(inst, trap, probe)
+			if mrep != nil {
+				res.MitigationAttempts += mrep.Attempts
+			}
 			if !ok {
 				violations = append(violations, v)
 				return finish(res, violations, healed)
@@ -99,8 +103,10 @@ func runTrial(cfg Config, calls []Call, probe *Call, sched Schedule) TrialResult
 	// state must survive one more save/reopen round trip cleanly.
 	if probe != nil {
 		if _, trap := inst.Call(probe.Fn, probe.Args...); trap != nil {
-			ok, attempts, v := heal(inst, trap, probe)
-			res.MitigationAttempts += attempts
+			ok, mrep, v := heal(inst, trap, probe)
+			if mrep != nil {
+				res.MitigationAttempts += mrep.Attempts
+			}
 			if !ok {
 				violations = append(violations, v)
 				return finish(res, violations, healed)
@@ -154,8 +160,9 @@ func reopen(cfg Config, inst *arthas.Instance) (*arthas.Instance, []string) {
 // heal drives the detector → reactor flow for a trap. With a call, the
 // mitigation re-execution script is "restart, recover, re-issue the call";
 // without one it is recovery alone. Returns ok=false with a violation
-// string when the reactor cannot produce a healthy system.
-func heal(inst *arthas.Instance, trap *arthas.Trap, call *Call) (bool, int, string) {
+// string when the reactor cannot produce a healthy system; rep is nil only
+// when the reactor refused to run at all.
+func heal(inst *arthas.Instance, trap *arthas.Trap, call *Call) (bool, *arthas.Report, string) {
 	inst.Observe(trap)
 	var rep *arthas.Report
 	var err error
@@ -165,13 +172,13 @@ func heal(inst *arthas.Instance, trap *arthas.Trap, call *Call) (bool, int, stri
 		rep, err = inst.Mitigate(func() *arthas.Trap { return inst.Restart() })
 	}
 	if err != nil {
-		return false, 0, "mitigation-error: " + err.Error()
+		return false, nil, "mitigation-error: " + err.Error()
 	}
 	if !rep.Recovered {
-		return false, rep.Attempts, fmt.Sprintf("unhealed: %v after %d attempts (mode %v)",
+		return false, rep, fmt.Sprintf("unhealed: %v after %d attempts (mode %v)",
 			trap.Kind, rep.Attempts, rep.ModeUsed)
 	}
-	return true, rep.Attempts, ""
+	return true, rep, ""
 }
 
 // checkState verifies the post-recovery invariants on a live instance.

@@ -83,9 +83,9 @@ fn cycle() {
     persist(p, 1);
     pfree(p);
     var q = pmalloc(6); // reuses p's block
+    setroot(0, q);
     q[0] = 2;
     persist(q, 2);      // NEW (addr,2) entry at the reused address
-    setroot(0, q);
     return q;
 }`)
 	pool := pmem.New(1 << 12)

@@ -26,6 +26,7 @@ const (
 	TrapDeadlock               // every live thread blocked on a lock
 	TrapInjectedCrash          // a scheduled fault injection requested a crash
 	TrapInternal               // VM invariant violation (bug in harness or IR)
+	TrapMediaCorrupt           // PM load hit a media block whose checksum mismatches
 )
 
 var trapNames = [...]string{
@@ -34,6 +35,7 @@ var trapNames = [...]string{
 	TrapPMOutOfSpace: "pm-out-of-space", TrapStackOverflow: "stack-overflow",
 	TrapStepLimit: "hang", TrapDeadlock: "deadlock",
 	TrapInjectedCrash: "injected-crash", TrapInternal: "internal",
+	TrapMediaCorrupt: "media-corrupt",
 }
 
 func (k TrapKind) String() string {

@@ -30,6 +30,7 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 
 	"arthas/internal/ir"
@@ -129,6 +130,11 @@ type Machine struct {
 
 	// Injections are scheduled faults, applied when the clock reaches them.
 	Injections []*Injection
+
+	// loadErr latches the pool error behind the most recent failed loadMem,
+	// letting opcode handlers raise TrapMediaCorrupt instead of TrapSegfault
+	// when the address was fine but the medium lied.
+	loadErr error
 
 	// inRecovery tracks the recover_begin/recover_end window.
 	inRecovery bool
@@ -403,11 +409,15 @@ func (m *Machine) trapAt(th *thread, kind TrapKind, msg string) *Trap {
 	return t
 }
 
-// loadMem reads a word from whichever address space addr names.
+// loadMem reads a word from whichever address space addr names. On failure
+// the underlying pool error (if any) is latched in m.loadErr so the opcode
+// handler can distinguish media corruption from a plain bad address.
 func (m *Machine) loadMem(addr uint64) (int64, bool) {
+	m.loadErr = nil
 	if m.Pool.Contains(addr) {
 		v, err := m.Pool.Load(addr)
 		if err != nil {
+			m.loadErr = err
 			return 0, false
 		}
 		return int64(v), true
@@ -510,7 +520,11 @@ func (m *Machine) execStep(th *thread) *Trap {
 		}
 		v, ok := m.loadMem(addr)
 		if !ok {
-			t := m.trapAt(th, TrapSegfault, fmt.Sprintf("load from invalid address %#x", addr))
+			kind, what := TrapSegfault, "load from invalid address"
+			if errors.Is(m.loadErr, pmem.ErrMediaCorrupt) {
+				kind, what = TrapMediaCorrupt, "load from corrupt media at"
+			}
+			t := m.trapAt(th, kind, fmt.Sprintf("%s %#x", what, addr))
 			t.Addr = addr
 			return t
 		}
@@ -792,7 +806,11 @@ func (m *Machine) execStep(th *thread) *Trap {
 		addr := uint64(fr.regs[in.Args[0]])
 		v, ok := m.loadMem(addr)
 		if !ok {
-			t := m.trapAt(th, TrapSegfault, fmt.Sprintf("lock on invalid address %#x", addr))
+			kind, what := TrapSegfault, "lock on invalid address"
+			if errors.Is(m.loadErr, pmem.ErrMediaCorrupt) {
+				kind, what = TrapMediaCorrupt, "lock on corrupt media at"
+			}
+			t := m.trapAt(th, kind, fmt.Sprintf("%s %#x", what, addr))
 			t.Addr = addr
 			return t
 		}
