@@ -42,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"arthas/internal/analysis"
@@ -50,6 +51,7 @@ import (
 	"arthas/internal/ir"
 	"arthas/internal/obs"
 	"arthas/internal/pmem"
+	"arthas/internal/provenance"
 	"arthas/internal/reactor"
 	"arthas/internal/scrub"
 	"arthas/internal/trace"
@@ -70,6 +72,8 @@ type (
 	Mode = reactor.Mode
 	// ScrubReport summarizes a media-scrub pass (docs/MEDIA_FAULTS.md).
 	ScrubReport = scrub.Report
+	// Incident is an end-to-end incident report (`arthas-incident/v1`).
+	Incident = provenance.Incident
 )
 
 // Reversion modes.
@@ -129,6 +133,12 @@ type Config struct {
 	// already carries a tail continues recording into it. 0 disables (the
 	// zero-cost default for library embedding).
 	FlightEvents int
+	// Provenance attaches the per-word write-lineage index: every
+	// instrumented PM store and every persistence event stamps last-writer
+	// provenance, and a mitigation's Report can be assembled into an
+	// `arthas-incident/v1` report with BuildIncident. Off by default (the
+	// disabled path costs one nil-check per store, as with tracing).
+	Provenance bool
 }
 
 // Instance is a PML system deployed under the full Arthas toolchain:
@@ -150,10 +160,13 @@ type Instance struct {
 	// reactor's scrub-then-retry hook, and by Open/OpenImage auto-healing a
 	// corrupt image. Nil until a scrub has run.
 	LastScrub *ScrubReport
+	// Prov is the write-lineage index (nil unless Config.Provenance).
+	Prov *provenance.Index
 
-	cfg      Config
-	obsSink  obs.Sink // Observer + Flight fan-out, wired into every layer
-	lastTrap *Trap
+	cfg        Config
+	obsSink    obs.Sink // Observer + Flight fan-out, wired into every layer
+	lastTrap   *Trap
+	mitigating atomic.Bool
 }
 
 // New compiles source, runs the static analyzer (instrumenting the module
@@ -242,6 +255,14 @@ func build(name, source string, cfg Config, pool *pmem.Pool) (*Instance, error) 
 		cfg:      cfg,
 	}
 	inst.Pool.SetHooks(inst.Log.Hooks())
+	if cfg.Provenance {
+		inst.Prov = provenance.New()
+		inst.Pool.SetHooks(inst.Prov.WrapHooks(inst.Log.Hooks(), inst.Log))
+		inst.Detector.Lineage = func(addr uint64) (int, bool) {
+			rec, ok := inst.Prov.Lookup(addr)
+			return rec.GUID, ok
+		}
+	}
 	inst.SetObserver(cfg.Observer)
 	inst.boot()
 	return inst, nil
@@ -252,6 +273,10 @@ func (i *Instance) boot() {
 	i.Machine.SetSink(i.obsSink)
 	i.Machine.TraceSink = i.Trace.Record
 	i.Machine.TraceReadSink = i.Trace.RecordRead
+	if i.Prov != nil {
+		i.Machine.WriteSink = i.Prov.NoteWrite
+		i.Prov.SetClock(i.Machine.Steps)
+	}
 }
 
 // SetObserver installs (or clears, with nil) an observability sink on every
@@ -276,6 +301,9 @@ func (i *Instance) SetObserver(s obs.Sink) {
 	i.Log.SetSink(eff)
 	i.Trace.SetSink(eff)
 	i.Detector.SetSink(eff)
+	if i.Prov != nil {
+		i.Prov.SetSink(eff)
+	}
 	if i.Machine != nil {
 		i.Machine.SetSink(eff)
 	}
@@ -287,7 +315,14 @@ func (i *Instance) SetObserver(s obs.Sink) {
 // is also stored in LastScrub. A non-nil error means the pool is structurally
 // unhealthy even after the pass.
 func (i *Instance) Scrub() (*ScrubReport, error) {
-	rep := scrub.Repair(i.Pool, i.Log, i.obsSink)
+	var lineage scrub.LineageFunc
+	if i.Prov != nil {
+		lineage = func(addr uint64) (int, bool) {
+			rec, ok := i.Prov.Lookup(addr)
+			return rec.GUID, ok
+		}
+	}
+	rep := scrub.RepairWithLineage(i.Pool, i.Log, i.obsSink, lineage)
 	i.LastScrub = rep
 	if !rep.Healthy() {
 		return rep, fmt.Errorf("arthas: pool unhealthy after scrub: %s", rep)
@@ -357,7 +392,7 @@ func (i *Instance) Mitigate(reexec func() *Trap) (*Report, error) {
 		MediaSuspect: i.MediaSuspected,
 		Obs:          i.obsSink,
 	}
-	return reactor.Mitigate(i.cfg.Reactor, ctx), nil
+	return i.runMitigation(ctx), nil
 }
 
 // MitigateCall is Mitigate specialized to the common re-execution script
@@ -392,7 +427,40 @@ func (i *Instance) MitigateCall(fn string, args ...int64) (*Report, error) {
 	if i.cfg.Reactor.Workers > 1 {
 		ctx.ForkSession = i.forkSession(fn, args)
 	}
-	return reactor.Mitigate(i.cfg.Reactor, ctx), nil
+	return i.runMitigation(ctx), nil
+}
+
+// runMitigation invokes the reactor with the in-flight flag raised, so
+// health probes (obs.HealthState.Mitigating via Mitigating) see the window.
+func (i *Instance) runMitigation(ctx *reactor.Context) *Report {
+	i.mitigating.Store(true)
+	defer i.mitigating.Store(false)
+	return reactor.Mitigate(i.cfg.Reactor, ctx)
+}
+
+// Mitigating reports whether a mitigation is currently in flight. Safe to
+// call from other goroutines (the debug endpoint's health probe).
+func (i *Instance) Mitigating() bool { return i.mitigating.Load() }
+
+// BuildIncident assembles the `arthas-incident/v1` report for a completed
+// mitigation: the last observed failure's signature, the lineage of the
+// faulting words (Config.Provenance required for non-empty lineage), the
+// reactor's candidate plan with evidence, and the outcome.
+func (i *Instance) BuildIncident(rep *Report) *Incident {
+	var sig detector.Signature
+	if i.lastTrap != nil {
+		sig = detector.SignatureOf(i.lastTrap)
+	}
+	return provenance.BuildIncident(provenance.IncidentInput{
+		Case:      i.Name,
+		Signature: sig,
+		Trap:      i.lastTrap,
+		Report:    rep,
+		Index:     i.Prov,
+		Log:       i.Log,
+		Analysis:  i.Analysis,
+		Scrub:     i.LastScrub,
+	})
 }
 
 // forkSession builds the speculative-session factory for MitigateCall: each
@@ -441,7 +509,7 @@ func (i *Instance) MitigateWithFaults(faults []*ir.Instr, reexec func() *Trap) (
 		MediaSuspect: i.MediaSuspected,
 		Obs:          i.obsSink,
 	}
-	return reactor.Mitigate(i.cfg.Reactor, ctx), nil
+	return i.runMitigation(ctx), nil
 }
 
 // RetInstrs returns the return instructions of a PML function — the default

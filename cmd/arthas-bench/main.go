@@ -21,6 +21,7 @@
 //	        fig12 table8                           (runtime overhead)
 //	        table9                                 (static analysis)
 //	        scrub                                  (media checksum/scrub cost)
+//	        provenance                             (write-lineage cost + persist amplification)
 //	        all                                    (everything)
 //
 // Absolute numbers differ from the paper (the substrate is a simulator on
@@ -141,6 +142,10 @@ func main() {
 		sr, err := experiments.RunScrub(experiments.ScrubConfig{})
 		check(err)
 		fmt.Print(sr.Text())
+	case *exp == "provenance":
+		pr, err := experiments.RunProvenance(experiments.ProvenanceConfig{})
+		check(err)
+		fmt.Print(pr.Text())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

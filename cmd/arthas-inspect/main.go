@@ -11,6 +11,7 @@
 //	arthas-inspect flight [-jsonl] image   crash-surviving flight-recorder tail
 //	arthas-inspect verify [-repair] image  structural + media checks; exit 1 on corruption
 //	arthas-inspect scrub [-json] [-repair] image   media scrub: scan or heal
+//	arthas-inspect incident [-json] report.json    incident-report timeline
 //
 // The image argument accepts both full images (pool + checkpoint log +
 // trace, as saved by -poolfile) and bare pool files. See
@@ -32,6 +33,7 @@ import (
 	"arthas"
 	"arthas/internal/checkpoint"
 	"arthas/internal/pmem"
+	"arthas/internal/provenance"
 	"arthas/internal/scrub"
 	"arthas/internal/trace"
 )
@@ -47,7 +49,9 @@ commands:
                (-repair heals media corruption from the checkpoint log and
                rewrites the image before the structural checks run)
   scrub        media-checksum scrub (-json for the arthas-scrub/v1 report;
-               -repair heals and rewrites the image in place)`)
+               -repair heals and rewrites the image in place)
+  incident     render an arthas-incident/v1 report (from arthas-react
+               -incident) as a human timeline (-json re-emits the JSON)`)
 	os.Exit(2)
 }
 
@@ -99,9 +103,40 @@ func main() {
 		repair := fs.Bool("repair", false, "heal corruption and rewrite the image in place")
 		pool, log, tr, readErr := openArgs(cmd, fs, os.Args[2:])
 		cmdScrub(fs.Arg(0), pool, log, tr, readErr, *jsonOut, *repair)
+	case "incident":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		jsonOut := fs.Bool("json", false, "re-emit the validated arthas-incident/v1 JSON instead of a timeline")
+		fs.Parse(os.Args[2:]) //nolint:errcheck // ExitOnError
+		if fs.NArg() != 1 {
+			fmt.Fprintf(os.Stderr, "usage: arthas-inspect incident [-json] REPORT.json\n")
+			os.Exit(2)
+		}
+		cmdIncident(fs.Arg(0), *jsonOut)
 	default:
 		usage()
 	}
+}
+
+// cmdIncident renders an incident report written by `arthas-react -incident`
+// (or faults.RunArthas with Provenance). Unlike the image subcommands it
+// reads a JSON file, not a pool: incidents are serialized next to the image,
+// not inside it.
+func cmdIncident(path string, jsonOut bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	inc, err := provenance.DecodeIncident(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arthas-inspect: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if jsonOut {
+		os.Stdout.Write(inc.JSON())
+		return
+	}
+	fmt.Print(inc.Text())
 }
 
 func openArgs(cmd string, fs *flag.FlagSet, args []string) (*pmem.Pool, *checkpoint.Log, *trace.Trace, error) {

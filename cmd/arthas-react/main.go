@@ -7,7 +7,7 @@
 //
 //	arthas-react [-solution arthas|pmcriu|arckpt] [-mode purge|rollback]
 //	             [-ops N] [-batch N] [-workers N] [-trace FILE] [-metrics]
-//	             [-flight N] [-debug ADDR] f1..f12
+//	             [-flight N] [-debug ADDR] [-incident FILE] f1..f12
 //
 // -workers N > 1 runs the Arthas reversion search speculatively in
 // parallel on copy-on-write pool forks (docs/PARALLEL_MITIGATION.md); the
@@ -17,7 +17,9 @@
 // re-execute spans plus per-layer metrics) as JSONL; -metrics prints a
 // summary to stderr. -flight N keeps a ring of the last N events and
 // -debug ADDR serves pprof, /metrics, /flight, /healthz over HTTP while
-// the case runs. See docs/OBSERVABILITY.md.
+// the case runs. -incident FILE attaches the provenance index and writes
+// the end-to-end `arthas-incident/v1` report after mitigation; the report
+// is deterministic across -workers settings. See docs/OBSERVABILITY.md.
 //
 // Example:
 //
@@ -44,6 +46,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr on exit")
 	flight := flag.Int("flight", obs.DefaultFlightEvents, "flight-recorder ring size in events (0 disables)")
 	debugAddr := flag.String("debug", "", "serve pprof, /metrics, /flight, /healthz on this address (e.g. localhost:6060)")
+	incidentFile := flag.String("incident", "", "write the arthas-incident/v1 report to this file (arthas solution only; attaches the provenance index)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: arthas-react [-solution S] [-mode M] [-ops N] f1..f12")
@@ -62,6 +65,13 @@ func main() {
 	cfg.Reactor.Workers = *workers
 	if *mode == "rollback" {
 		cfg.Reactor.Mode = reactor.ModeRollback
+	}
+	if *incidentFile != "" {
+		if *solution != "arthas" {
+			fmt.Fprintln(os.Stderr, "-incident requires -solution arthas")
+			os.Exit(2)
+		}
+		cfg.Provenance = true
 	}
 	var rec *obs.Recorder
 	var fl *obs.Flight
@@ -82,7 +92,7 @@ func main() {
 		cfg.Obs = fl
 	}
 	if *debugAddr != "" {
-		srv, addr, derr := obs.ServeDebug(*debugAddr, rec, fl)
+		srv, addr, derr := obs.ServeDebug(*debugAddr, rec, fl, nil)
 		if derr != nil {
 			fmt.Fprintln(os.Stderr, derr)
 			os.Exit(1)
@@ -124,6 +134,17 @@ func main() {
 		if *metrics {
 			fmt.Fprint(os.Stderr, rec.Summary())
 		}
+	}
+	if *incidentFile != "" {
+		if out.Incident == nil {
+			fmt.Fprintln(os.Stderr, "no incident assembled (case never reached mitigation)")
+			os.Exit(1)
+		}
+		if werr := os.WriteFile(*incidentFile, out.Incident.JSON(), 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote incident %s\n", *incidentFile)
 	}
 	fmt.Printf("hard fault confirmed: %v\n", out.HardFault)
 	if out.Recovered {

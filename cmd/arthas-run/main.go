@@ -96,7 +96,14 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		srv, addr, derr := obs.ServeDebug(*debugAddr, rec, inst.Flight)
+		health := func() obs.HealthState {
+			return obs.HealthState{
+				Degraded:          inst.Pool.MediaDegraded(),
+				QuarantinedBlocks: len(inst.Pool.QuarantinedBlocks()),
+				Mitigating:        inst.Mitigating(),
+			}
+		}
+		srv, addr, derr := obs.ServeDebug(*debugAddr, rec, inst.Flight, health)
 		if derr != nil {
 			fmt.Fprintln(os.Stderr, derr)
 			os.Exit(1)

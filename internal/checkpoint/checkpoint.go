@@ -277,6 +277,22 @@ func (l *Log) EntryAt(addr uint64) *Entry {
 // EntryBySeq returns the entry owning a sequence number, or nil.
 func (l *Log) EntryBySeq(seq uint64) *Entry { return l.bySeq[seq] }
 
+// Locate resolves a sequence number to its entry and the index of the
+// version carrying that seq — the entry↔lineage linkage incident reports
+// use to cite "checkpoint entry X, version i" for a reverted write.
+func (l *Log) Locate(seq uint64) (*Entry, int, bool) {
+	e := l.bySeq[seq]
+	if e == nil {
+		return nil, 0, false
+	}
+	for i, v := range e.Versions {
+		if v.Seq == seq {
+			return e, i, true
+		}
+	}
+	return nil, 0, false
+}
+
 // TxOf returns the transaction id of a sequence number (0 if none).
 func (l *Log) TxOf(seq uint64) uint64 {
 	e := l.bySeq[seq]

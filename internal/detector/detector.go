@@ -140,6 +140,12 @@ type Detector struct {
 	// of the pool (default 90; <=0 disables).
 	LeakThresholdPct int
 
+	// Lineage, when set, resolves a faulting PM address to its last-writer
+	// provenance (fed by the provenance index). The detector only records
+	// hit/miss telemetry — classification never depends on lineage, so
+	// attaching the index cannot change what counts as a hard fault.
+	Lineage func(addr uint64) (guid int, ok bool)
+
 	history []Signature
 	checks  []UserCheck
 
@@ -184,6 +190,13 @@ func (d *Detector) Observe(trap *vm.Trap) (Signature, bool) {
 	}
 	d.history = append(d.history, sig)
 	d.noteClassification(sig, hard)
+	if d.Lineage != nil && trap.Addr != 0 {
+		if _, ok := d.Lineage(trap.Addr); ok {
+			d.sink.Count("detector.lineage_hit", 1)
+		} else {
+			d.sink.Count("detector.lineage_miss", 1)
+		}
+	}
 	return sig, hard
 }
 

@@ -181,16 +181,51 @@ func toJSONScrub(r *ScrubResults) *JSONScrub {
 	}
 }
 
+// JSONProvenance is the write-lineage cost + persist-amplification digest
+// (arthas-bench -exp provenance): the flush-elimination baseline metric.
+type JSONProvenance struct {
+	PersistOps          int     `json:"persist_ops"`
+	PersistSpan         int     `json:"persist_span"`
+	BaselineMS          float64 `json:"baseline_ms"`
+	LineageMS           float64 `json:"lineage_ms"`
+	OverheadPct         float64 `json:"overhead_pct"`
+	LineageRecords      uint64  `json:"lineage_records"`
+	DistinctWords       int     `json:"distinct_words"`
+	MeanPersistsPerWord float64 `json:"mean_persists_per_word"`
+	RedundantPersists   uint64  `json:"redundant_persists"`
+	RedundantRatio      float64 `json:"redundant_ratio"`
+	HotSiteGUID         int     `json:"hot_site_guid"`
+	HotSiteWords        uint64  `json:"hot_site_words"`
+}
+
+func toJSONProvenance(r *ProvenanceResults) *JSONProvenance {
+	return &JSONProvenance{
+		PersistOps:          r.PersistOps,
+		PersistSpan:         r.PersistSpan,
+		BaselineMS:          r.BaselineMS,
+		LineageMS:           r.LineageMS,
+		OverheadPct:         r.OverheadPct,
+		LineageRecords:      r.LineageRecords,
+		DistinctWords:       r.DistinctWords,
+		MeanPersistsPerWord: r.MeanPersistsPerWord,
+		RedundantPersists:   r.RedundantPersists,
+		RedundantRatio:      r.RedundantRatio,
+		HotSiteGUID:         r.HotSiteGUID,
+		HotSiteWords:        r.HotSiteWords,
+	}
+}
+
 // JSONReport is the complete machine-readable evaluation.
 type JSONReport struct {
-	Schema    string           `json:"schema"`
-	Study     JSONStudy        `json:"study"`
-	Matrix    []JSONCase       `json:"matrix"`
-	Batch     *JSONBatch       `json:"batch,omitempty"`
-	Detection []JSONDetection  `json:"detection,omitempty"`
-	Overhead  []JSONThroughput `json:"overhead,omitempty"`
-	Static    []JSONStatic     `json:"static,omitempty"`
-	Scrub     *JSONScrub       `json:"scrub,omitempty"`
+	Schema     string           `json:"schema"`
+	Study      JSONStudy        `json:"study"`
+	Matrix     []JSONCase       `json:"matrix"`
+	Batch      *JSONBatch       `json:"batch,omitempty"`
+	Detection  []JSONDetection  `json:"detection,omitempty"`
+	Overhead   []JSONThroughput `json:"overhead,omitempty"`
+	Static     []JSONStatic     `json:"static,omitempty"`
+	Scrub      *JSONScrub       `json:"scrub,omitempty"`
+	Provenance *JSONProvenance  `json:"provenance,omitempty"`
 	// Workers and Parallel appear only when the evaluation ran with
 	// FullConfig.Workers > 1 (cmd/arthas-bench -workers N): the default
 	// sequential report stays byte-identical.
@@ -284,6 +319,12 @@ func FullJSON(cfg FullConfig) (*JSONReport, error) {
 		return nil, err
 	}
 	rep.Scrub = toJSONScrub(sr)
+
+	pr, err := RunProvenance(ProvenanceConfig{})
+	if err != nil {
+		return nil, err
+	}
+	rep.Provenance = toJSONProvenance(pr)
 
 	ts, err := MeasureStatic()
 	if err != nil {

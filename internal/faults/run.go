@@ -6,6 +6,7 @@ import (
 	"arthas/internal/baseline"
 	"arthas/internal/detector"
 	"arthas/internal/obs"
+	"arthas/internal/provenance"
 	"arthas/internal/reactor"
 	"arthas/internal/systems"
 	"arthas/internal/vm"
@@ -38,6 +39,10 @@ type RunConfig struct {
 	// recorder internally (Outcome tallies are derived from it), so this
 	// sink only adds a second consumer.
 	Obs obs.Sink
+	// Provenance attaches the write-lineage index to the deployment and
+	// makes RunArthas assemble an incident report (Outcome.Incident) after
+	// mitigation (Arthas non-leak runs only).
+	Provenance bool
 }
 
 func (cfg RunConfig) withDefaults(m Meta) RunConfig {
@@ -94,6 +99,9 @@ type Outcome struct {
 	// outcome fields are deterministic across worker counts; Attempts
 	// above is telemetry-derived and counts speculative re-executions too.
 	Report *reactor.Report
+	// Incident is the assembled incident report (RunArthas with
+	// cfg.Provenance, non-leak cases that reached mitigation).
+	Incident *provenance.Incident
 }
 
 // runToFailure deploys, applies workload+trigger, confirms the failure and
@@ -110,6 +118,12 @@ func runToFailure(b Builder, cfg RunConfig, opts systems.DeployOpts, tick func()
 	det := detector.New()
 	det.SetSink(sink)
 	det.LeakThresholdPct = cfg.LeakThresholdPct
+	if c.D.Prov != nil {
+		det.Lineage = func(addr uint64) (int, bool) {
+			rec, ok := c.D.Prov.Lookup(addr)
+			return rec.GUID, ok
+		}
+	}
 
 	pre := int(float64(cfg.WorkloadOps) * cfg.TriggerFrac)
 	post := cfg.WorkloadOps - pre
@@ -174,7 +188,8 @@ func RunArthas(b Builder, cfg RunConfig) (*Outcome, error) {
 	rec := obs.NewRecorder()
 	sink := obs.Multi(rec, cfg.Obs)
 	c, trap, hard, err := runToFailure(b, cfg,
-		systems.DeployOpts{Checkpoint: true, Trace: true, MaxVersions: cfg.MaxVersions, Obs: sink}, nil)
+		systems.DeployOpts{Checkpoint: true, Trace: true, MaxVersions: cfg.MaxVersions,
+			Obs: sink, Provenance: cfg.Provenance}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -225,9 +240,36 @@ func RunArthas(b Builder, cfg RunConfig) (*Outcome, error) {
 			}, nil
 		}
 	}
+	// Freeze the provenance evidence at failure time: sequential probe
+	// re-executions persist through the primary pool and log, so building
+	// the incident from the live index would tie the report to the worker
+	// count (docs/PARALLEL_MITIGATION.md, "Determinism").
+	var provAtFailure *provenance.Index
+	var versionsAtFailure uint64
+	if cfg.Provenance && c.D.Prov != nil {
+		provAtFailure = c.D.Prov.Snapshot()
+		versionsAtFailure = c.D.Log.TotalVersions()
+	}
 	rep := reactor.Mitigate(cfg.Reactor, ctx)
 	out.Report = rep
 	out.Recovered = rep.Recovered
+	if provAtFailure != nil {
+		out.Incident = provenance.BuildIncident(provenance.IncidentInput{
+			Case:              c.Meta.ID,
+			System:            c.Meta.System,
+			Fault:             c.Meta.Fault,
+			Consequence:       c.Meta.Consequence,
+			Signature:         detector.SignatureOf(trap),
+			HardFault:         hard,
+			Trap:              trap,
+			Report:            rep,
+			Index:             provAtFailure,
+			Log:               c.D.Log,
+			Analysis:          c.D.Res,
+			VersionsAtFailure: versionsAtFailure,
+		})
+		c.D.Prov.Publish(sink)
+	}
 	// Tallies come from the telemetry, not private bookkeeping: attempts =
 	// recorded re-execution spans, reversion = the checkpoint log's own
 	// reverted/total gauges (trial restores already netted out).

@@ -1,23 +1,45 @@
 package obs
 
 import (
+	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
+
+// HealthState is what the /healthz endpoint reports. The zero value means
+// healthy.
+type HealthState struct {
+	// Degraded mirrors the pool's media-degraded flag (header block
+	// unreconstructible; serving with reduced guarantees).
+	Degraded bool
+	// QuarantinedBlocks counts media blocks fenced off by the scrubber.
+	QuarantinedBlocks int
+	// Mitigating marks a reactor mitigation in flight.
+	Mitigating bool
+}
+
+// HealthFunc supplies the current health state; nil means "no health wiring"
+// and /healthz degenerates to the legacy always-"ok" liveness probe.
+type HealthFunc func() HealthState
 
 // NewDebugMux builds the live debug surface shared by arthas-run and
 // arthas-react's -debug flag:
 //
 //	/debug/pprof/*  net/http/pprof profiles (CPU, heap, goroutines, ...)
-//	/metrics        the Recorder's text summary (spans + counters + hists)
-//	/healthz        liveness probe, always "ok"
+//	/metrics        the Recorder's text summary (spans + counters + hists);
+//	                ?format=prom or "Accept: …openmetrics/prometheus…"
+//	                switches to Prometheus text exposition
+//	/healthz        health probe: 200 "ok" when healthy, 503 with a reason
+//	                while mitigating or degraded/quarantined (nil health
+//	                func restores the legacy always-"ok" liveness probe)
 //	/flight         the flight recorder's current tail as JSONL
 //
 // A nil rec or fl turns the corresponding endpoint into a 404 so callers
 // can wire up whatever subset they run with.
-func NewDebugMux(rec *Recorder, fl *Flight) *http.ServeMux {
+func NewDebugMux(rec *Recorder, fl *Flight, health HealthFunc) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -25,11 +47,29 @@ func NewDebugMux(rec *Recorder, fl *Flight) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		io.WriteString(w, "ok\n")
+		if health == nil {
+			io.WriteString(w, "ok\n")
+			return
+		}
+		st := health()
+		switch {
+		case st.Mitigating:
+			http.Error(w, "mitigating", http.StatusServiceUnavailable)
+		case st.Degraded || st.QuarantinedBlocks > 0:
+			http.Error(w, fmt.Sprintf("degraded (quarantined_blocks=%d)", st.QuarantinedBlocks),
+				http.StatusServiceUnavailable)
+		default:
+			io.WriteString(w, "ok\n")
+		}
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if rec == nil {
 			http.Error(w, "no recorder attached", http.StatusNotFound)
+			return
+		}
+		if wantsProm(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			rec.WritePrometheus(w)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -46,15 +86,30 @@ func NewDebugMux(rec *Recorder, fl *Flight) *http.ServeMux {
 	return mux
 }
 
+// wantsProm selects the Prometheus exposition: explicit ?format=prom wins,
+// otherwise an Accept header naming a prometheus/openmetrics media type.
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "text", "summary":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/openmetrics-text") ||
+		strings.Contains(accept, "text/plain; version=0.0.4") ||
+		strings.Contains(accept, "prometheus")
+}
+
 // ServeDebug binds addr (":0" picks a free port), serves the debug mux in
 // a background goroutine, and returns the server plus the bound address.
 // The caller owns shutdown; for CLI tools process exit is fine.
-func ServeDebug(addr string, rec *Recorder, fl *Flight) (*http.Server, string, error) {
+func ServeDebug(addr string, rec *Recorder, fl *Flight, health HealthFunc) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: NewDebugMux(rec, fl)}
+	srv := &http.Server{Handler: NewDebugMux(rec, fl, health)}
 	go srv.Serve(ln) //nolint:errcheck // always ErrServerClosed at exit
 	return srv, ln.Addr().String(), nil
 }

@@ -21,7 +21,7 @@ func TestDebugMuxEndpoints(t *testing.T) {
 	rec.Start("run.script").End()
 	fl := NewFlight(16)
 	fl.Count("pmem.store.words", 3)
-	mux := NewDebugMux(rec, fl)
+	mux := NewDebugMux(rec, fl, nil)
 
 	if code, body := get(t, mux, "/healthz"); code != 200 || body != "ok\n" {
 		t.Fatalf("/healthz = %d %q", code, body)
@@ -40,7 +40,7 @@ func TestDebugMuxEndpoints(t *testing.T) {
 }
 
 func TestDebugMuxNilComponents(t *testing.T) {
-	mux := NewDebugMux(nil, nil)
+	mux := NewDebugMux(nil, nil, nil)
 	if code, _ := get(t, mux, "/metrics"); code != 404 {
 		t.Fatalf("/metrics with nil recorder = %d, want 404", code)
 	}
@@ -52,10 +52,79 @@ func TestDebugMuxNilComponents(t *testing.T) {
 	}
 }
 
+func TestHealthzStates(t *testing.T) {
+	st := HealthState{}
+	mux := NewDebugMux(nil, nil, func() HealthState { return st })
+
+	if code, body := get(t, mux, "/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthy /healthz = %d %q", code, body)
+	}
+	st = HealthState{Mitigating: true}
+	if code, body := get(t, mux, "/healthz"); code != 503 || !strings.Contains(body, "mitigating") {
+		t.Fatalf("mitigating /healthz = %d %q", code, body)
+	}
+	st = HealthState{Degraded: true}
+	if code, body := get(t, mux, "/healthz"); code != 503 || !strings.Contains(body, "degraded") {
+		t.Fatalf("degraded /healthz = %d %q", code, body)
+	}
+	st = HealthState{QuarantinedBlocks: 3}
+	code, body := get(t, mux, "/healthz")
+	if code != 503 || !strings.Contains(body, "quarantined_blocks=3") {
+		t.Fatalf("quarantined /healthz = %d %q", code, body)
+	}
+	// Mitigating takes precedence over degraded in the message.
+	st = HealthState{Mitigating: true, Degraded: true}
+	if code, body := get(t, mux, "/healthz"); code != 503 || !strings.Contains(body, "mitigating") {
+		t.Fatalf("mitigating+degraded /healthz = %d %q", code, body)
+	}
+}
+
+func TestMetricsPromExposition(t *testing.T) {
+	rec := NewRecorder()
+	rec.Count("vm.instructions", 42)
+	rec.SetGauge("ckpt.total_versions", 7)
+	rec.Observe("prov.site.persisted_words", 8)
+	rec.Observe("prov.site.persisted_words", 16)
+	mux := NewDebugMux(rec, nil, nil)
+
+	// Default stays the human summary.
+	if _, body := get(t, mux, "/metrics"); !strings.Contains(body, "counters:") {
+		t.Fatalf("default /metrics lost the summary: %q", body)
+	}
+	// ?format=prom switches to exposition format.
+	code, body := get(t, mux, "/metrics?format=prom")
+	if code != 200 {
+		t.Fatalf("/metrics?format=prom = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE arthas_vm_instructions counter",
+		"arthas_vm_instructions 42",
+		"# TYPE arthas_ckpt_total_versions gauge",
+		"arthas_ckpt_total_versions 7",
+		"# TYPE arthas_prov_site_persisted_words summary",
+		`arthas_prov_site_persisted_words{quantile="0.5"}`,
+		"arthas_prov_site_persisted_words_sum 24",
+		"arthas_prov_site_persisted_words_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("prom exposition missing %q in:\n%s", want, body)
+		}
+	}
+
+	// Accept-header negotiation also selects the exposition.
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text;version=1.0.0")
+	mux.ServeHTTP(rr, req)
+	if !strings.Contains(rr.Body.String(), "arthas_vm_instructions 42") {
+		t.Fatalf("Accept negotiation did not select prom format: %q", rr.Body.String())
+	}
+}
+
 func TestServeDebugBindsEphemeralPort(t *testing.T) {
 	rec := NewRecorder()
 	rec.Count("c", 1)
-	srv, addr, err := ServeDebug("127.0.0.1:0", rec, NewFlight(16))
+	srv, addr, err := ServeDebug("127.0.0.1:0", rec, NewFlight(16), nil)
 	if err != nil {
 		t.Fatalf("ServeDebug: %v", err)
 	}

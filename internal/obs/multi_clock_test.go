@@ -1,0 +1,67 @@
+package obs
+
+import "testing"
+
+// WireClock must descend through a Multi fan-out and wire every Clockable
+// member, so spans recorded via the composite sink carry logical time on
+// both the recorder and the flight ring.
+func TestWireClockThroughMulti(t *testing.T) {
+	rec := NewRecorder()
+	fl := NewFlight(16)
+	m := Multi(rec, fl)
+	if _, ok := m.(interface{ Enabled() bool }); !ok {
+		t.Fatal("Multi did not return a sink")
+	}
+
+	step := int64(100)
+	WireClock(m, func() int64 { return step })
+
+	sp := m.Start("phase.one")
+	step = 150
+	sp.End()
+
+	var got *SpanRecord
+	for _, s := range rec.Spans() {
+		if s.Name == "phase.one" {
+			got = s
+			break
+		}
+	}
+	if got == nil {
+		t.Fatal("recorder missed the span sent through Multi")
+	}
+	if got.StartStep != 100 || got.EndStep != 150 {
+		t.Fatalf("recorder span steps = %d..%d, want 100..150", got.StartStep, got.EndStep)
+	}
+
+	// The flight member must have been wired too: its events carry steps.
+	found := false
+	for _, ev := range fl.Events() {
+		if ev.Name == "phase.one" && ev.Step >= 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("flight ring missed the clocked span; events: %+v", fl.Events())
+	}
+}
+
+// Multi must drop nil and no-op members: a composite of one live sink is
+// that sink itself, and a composite of none is the no-op.
+func TestMultiDropsDisabledMembers(t *testing.T) {
+	rec := NewRecorder()
+	if got := Multi(nil, Nop(), rec); got != Sink(rec) {
+		t.Fatalf("Multi(nil, nop, rec) = %T, want the recorder itself", got)
+	}
+	if got := Multi(nil, Nop()); got.Enabled() {
+		t.Fatal("Multi of only disabled members should be the no-op")
+	}
+	// Two live members fan out counts to both.
+	rec2 := NewRecorder()
+	m := Multi(rec, rec2)
+	m.Count("x", 3)
+	if rec.CounterValue("x") != 3 || rec2.CounterValue("x") != 3 {
+		t.Fatalf("fan-out counts = %d, %d, want 3, 3",
+			rec.CounterValue("x"), rec2.CounterValue("x"))
+	}
+}

@@ -169,6 +169,9 @@ type Report struct {
 	ScrubRepairs int
 	Duration     time.Duration
 	LastTrap     *vm.Trap
+	// Plan is the final reversion plan tried (candidates in trial order);
+	// incident reports cite it as per-candidate evidence.
+	Plan *Plan
 }
 
 // DataLossPct returns discarded updates as a percentage of all updates the
@@ -311,6 +314,7 @@ func Mitigate(cfg Config, ctx *Context) *Report {
 		planSpan := obs.OrNop(ctx.Obs).Start("reactor.plan", obs.A("replan", replan))
 		plan := ComputePlan(ctx.Analysis, ctx.Trace, ctx.Log, faults, planCfg)
 		rep.CandidateCount = len(plan.Candidates)
+		rep.Plan = plan
 		planSpan.SetAttr("candidates", len(plan.Candidates))
 		planSpan.End()
 

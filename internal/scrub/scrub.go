@@ -35,6 +35,11 @@ const (
 	VerdictDegraded    = "degraded"    // header block unreconstructible
 )
 
+// LineageFunc resolves a durable word to the GUID of the instrumented
+// instruction that last wrote it (the provenance index's Lookup, passed in
+// as a function so this package never imports provenance).
+type LineageFunc func(addr uint64) (guid int, ok bool)
+
 // BlockReport describes one media block the scrubber acted on.
 type BlockReport struct {
 	Block         int    `json:"block"`
@@ -42,6 +47,9 @@ type BlockReport struct {
 	Words         int    `json:"words"`
 	RepairedWords int    `json:"repaired_words,omitempty"`
 	Verdict       string `json:"verdict"`
+	// LastWriterGUID attributes the block's first word with recorded
+	// lineage to its last writer (RepairWithLineage only; 0 = none found).
+	LastWriterGUID int `json:"last_writer_guid,omitempty"`
 }
 
 // Report is the deterministic outcome of one scrub pass. Two runs over the
@@ -140,6 +148,15 @@ func Scan(pool *pmem.Pool, sink obs.Sink) *Report {
 // prove (header constants, chain-derived metadata) and quarantines the rest
 // — the degraded-but-serving path the acceptance criteria require.
 func Repair(pool *pmem.Pool, log *checkpoint.Log, sink obs.Sink) *Report {
+	return RepairWithLineage(pool, log, sink, nil)
+}
+
+// RepairWithLineage is Repair plus provenance annotation: when lineage is
+// non-nil, each acted-on block is attributed to the last writer of its first
+// word with a resident lineage record, so a scrub report names the write
+// site whose data was at stake. The annotation is informational — repair
+// decisions are identical to Repair's.
+func RepairWithLineage(pool *pmem.Pool, log *checkpoint.Log, sink obs.Sink, lineage LineageFunc) *Report {
 	sink = obs.OrNop(sink)
 	span := sink.Start("scrub.repair")
 	defer span.End()
@@ -176,6 +193,14 @@ func Repair(pool *pmem.Pool, log *checkpoint.Log, sink obs.Sink) *Report {
 		case mr.Quarantined:
 			br.Verdict = VerdictQuarantined
 			rep.Quarantined++
+		}
+		if lineage != nil {
+			for w := 0; w < mr.Range.Words; w++ {
+				if guid, ok := lineage(mr.Range.Addr + uint64(w)); ok && guid != 0 {
+					br.LastWriterGUID = guid
+					break
+				}
+			}
 		}
 		rep.RepairedWords += mr.RepairedWords
 		rep.Blocks = append(rep.Blocks, br)

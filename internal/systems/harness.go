@@ -14,6 +14,7 @@ import (
 	"arthas/internal/ir"
 	"arthas/internal/obs"
 	"arthas/internal/pmem"
+	"arthas/internal/provenance"
 	"arthas/internal/trace"
 	"arthas/internal/vm"
 )
@@ -46,6 +47,10 @@ type DeployOpts struct {
 	// layer (pool, checkpoint log, trace, VM). Survives restarts: each
 	// fresh machine is rewired to the same sink.
 	Obs obs.Sink
+	// Provenance attaches the per-word write-lineage index: the VM's
+	// WriteSink feeds last-writer attribution and the pool's persistence
+	// hooks are wrapped to stamp lineage records (incident-report input).
+	Provenance bool
 }
 
 // Deployment is a running instance of a system: compiled module, analysis
@@ -55,8 +60,9 @@ type Deployment struct {
 	Mod  *ir.Module
 	Res  *analysis.Result // nil when SkipAnalysis
 	Pool *pmem.Pool
-	Log  *checkpoint.Log // nil when !Checkpoint
-	Tr   *trace.Trace    // nil when !Trace
+	Log  *checkpoint.Log   // nil when !Checkpoint
+	Tr   *trace.Trace      // nil when !Trace
+	Prov *provenance.Index // nil when !Provenance
 	M    *vm.Machine
 
 	opts     DeployOpts
@@ -82,6 +88,15 @@ func Deploy(sys *System, opts DeployOpts) (*Deployment, error) {
 		d.Log = checkpoint.NewLog(opts.MaxVersions)
 		d.Log.SetSink(opts.Obs)
 		d.Pool.SetHooks(d.Log.Hooks())
+	}
+	if opts.Provenance {
+		d.Prov = provenance.New()
+		d.Prov.SetSink(opts.Obs)
+		var hooks pmem.Hooks
+		if d.Log != nil {
+			hooks = d.Log.Hooks()
+		}
+		d.Pool.SetHooks(d.Prov.WrapHooks(hooks, d.Log))
 	}
 	if opts.Trace {
 		d.Tr = trace.New()
@@ -112,6 +127,10 @@ func (d *Deployment) boot() {
 		d.M.TraceSink = d.Tr.Record
 		d.M.TraceReadSink = d.Tr.RecordRead
 	}
+	if d.Prov != nil {
+		d.M.WriteSink = d.Prov.NoteWrite
+		d.Prov.SetClock(d.M.Steps)
+	}
 }
 
 // SetObs installs (or clears, with nil) the observability sink on every
@@ -124,6 +143,9 @@ func (d *Deployment) SetObs(s obs.Sink) {
 	}
 	if d.Tr != nil {
 		d.Tr.SetSink(s)
+	}
+	if d.Prov != nil {
+		d.Prov.SetSink(s)
 	}
 	if d.M != nil {
 		d.M.SetSink(s)
@@ -190,8 +212,9 @@ func (d *Deployment) RetInstrs(fn string) []*ir.Instr {
 // is copy-on-write forked, the checkpoint log (when attached) is forked and
 // wired to the forked pool's hooks, and a fresh machine boots against the
 // fork. The compiled module and analysis are shared read-only. Forks record
-// no address trace and carry no observability sink — speculative probes
-// must not pollute the shared trace or telemetry (the reactor replays
+// no address trace, no write lineage, and carry no observability sink —
+// speculative probes must not pollute the shared trace, the provenance
+// index, or telemetry (the reactor replays
 // worker telemetry separately; see docs/PARALLEL_MITIGATION.md). The fork's
 // Restart/Call work as usual; a winning fork's pool is promoted by the
 // reactor, never by the fork itself.

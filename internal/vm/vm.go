@@ -127,6 +127,10 @@ type Machine struct {
 	// TraceReadSink, when set, receives <GUID, PM address> events from
 	// instrumented PM loads (recency signal; bounded by the tracer).
 	TraceReadSink func(guid int, addr uint64)
+	// WriteSink, when set, receives the same <GUID, PM address> store events
+	// as TraceSink. It feeds the provenance lineage index; kept separate so
+	// tracing and lineage can be enabled independently.
+	WriteSink func(guid int, addr uint64)
 
 	// Injections are scheduled faults, applied when the clock reaches them.
 	Injections []*Injection
@@ -534,8 +538,13 @@ func (m *Machine) execStep(th *thread) *Trap {
 
 	case ir.OpStore:
 		addr := uint64(fr.regs[in.Args[0]] + in.Off)
-		if in.GUID != 0 && m.TraceSink != nil && m.Pool.Contains(addr) {
-			m.TraceSink(in.GUID, addr)
+		if in.GUID != 0 && (m.TraceSink != nil || m.WriteSink != nil) && m.Pool.Contains(addr) {
+			if m.TraceSink != nil {
+				m.TraceSink(in.GUID, addr)
+			}
+			if m.WriteSink != nil {
+				m.WriteSink(in.GUID, addr)
+			}
 		}
 		if !m.storeMem(th, addr, fr.regs[in.Args[1]]) {
 			t := m.trapAt(th, TrapSegfault, fmt.Sprintf("store to invalid address %#x", addr))
@@ -766,6 +775,9 @@ func (m *Machine) execStep(th *thread) *Trap {
 		}
 		if in.GUID != 0 && m.TraceSink != nil {
 			m.TraceSink(in.GUID, naddr)
+		}
+		if in.GUID != 0 && m.WriteSink != nil {
+			m.WriteSink(in.GUID, naddr)
 		}
 		if err := m.Pool.Persist(naddr, cp); err != nil {
 			return m.trapAt(th, TrapSegfault, "pmrealloc persist: "+err.Error())
