@@ -98,6 +98,27 @@ const (
 // internal packages.
 var ErrMediaCorrupt = pmem.ErrMediaCorrupt
 
+// LifecycleEvent identifies one Instance state transition, delivered to
+// Config.OnLifecycle. Fleet managers (internal/fleet) use these to track
+// per-shard serving state without wrapping every Instance entry point.
+type LifecycleEvent string
+
+// Lifecycle events, in the order a mitigating instance emits them.
+const (
+	// EventBoot fires once when the instance first comes up (New/Open).
+	EventBoot LifecycleEvent = "boot"
+	// EventRestart fires on every Restart — including the restarts a
+	// mitigation's re-execution script performs.
+	EventRestart LifecycleEvent = "restart"
+	// EventMitigateStart/End bracket a reactor mitigation.
+	EventMitigateStart LifecycleEvent = "mitigate-start"
+	EventMitigateEnd   LifecycleEvent = "mitigate-end"
+	// EventScrubStart/End bracket a media-scrub pass (explicit Scrub calls
+	// and the reactor's scrub-then-retry hook alike).
+	EventScrubStart LifecycleEvent = "scrub-start"
+	EventScrubEnd   LifecycleEvent = "scrub-end"
+)
+
 // Config tunes an Instance.
 type Config struct {
 	// PoolWords sizes the simulated PM pool (default 1<<16 words).
@@ -139,6 +160,11 @@ type Config struct {
 	// `arthas-incident/v1` report with BuildIncident. Off by default (the
 	// disabled path costs one nil-check per store, as with tracing).
 	Provenance bool
+	// OnLifecycle, when non-nil, receives instance state transitions
+	// (boot, restart, mitigate, scrub) synchronously from the goroutine
+	// driving the instance. Keep it cheap and non-blocking; it is how a
+	// fleet manager mirrors shard state without touching internals.
+	OnLifecycle func(LifecycleEvent)
 }
 
 // Instance is a PML system deployed under the full Arthas toolchain:
@@ -265,7 +291,26 @@ func build(name, source string, cfg Config, pool *pmem.Pool) (*Instance, error) 
 	}
 	inst.SetObserver(cfg.Observer)
 	inst.boot()
+	inst.lifecycle(EventBoot)
 	return inst, nil
+}
+
+// lifecycle delivers ev to Config.OnLifecycle when wired.
+func (i *Instance) lifecycle(ev LifecycleEvent) {
+	if i.cfg.OnLifecycle != nil {
+		i.cfg.OnLifecycle(ev)
+	}
+}
+
+// Health snapshots the instance's serving health: media degradation and
+// quarantine from the pool, plus whether a mitigation is in flight. Safe to
+// call from other goroutines (debug endpoints, fleet health aggregation).
+func (i *Instance) Health() obs.HealthState {
+	return obs.HealthState{
+		Degraded:          i.Pool.MediaDegraded(),
+		QuarantinedBlocks: len(i.Pool.QuarantinedBlocks()),
+		Mitigating:        i.Mitigating(),
+	}
 }
 
 func (i *Instance) boot() {
@@ -315,6 +360,8 @@ func (i *Instance) SetObserver(s obs.Sink) {
 // is also stored in LastScrub. A non-nil error means the pool is structurally
 // unhealthy even after the pass.
 func (i *Instance) Scrub() (*ScrubReport, error) {
+	i.lifecycle(EventScrubStart)
+	defer i.lifecycle(EventScrubEnd)
 	var lineage scrub.LineageFunc
 	if i.Prov != nil {
 		lineage = func(addr uint64) (int, bool) {
@@ -349,6 +396,7 @@ func (i *Instance) Call(fn string, args ...int64) (int64, *Trap) {
 // Restart simulates process kill + restart: unpersisted stores are lost,
 // volatile state is dropped, and the configured recovery function runs.
 func (i *Instance) Restart() *Trap {
+	i.lifecycle(EventRestart)
 	if i.cfg.RestartLatency > 0 {
 		time.Sleep(i.cfg.RestartLatency)
 	}
@@ -434,7 +482,11 @@ func (i *Instance) MitigateCall(fn string, args ...int64) (*Report, error) {
 // health probes (obs.HealthState.Mitigating via Mitigating) see the window.
 func (i *Instance) runMitigation(ctx *reactor.Context) *Report {
 	i.mitigating.Store(true)
-	defer i.mitigating.Store(false)
+	i.lifecycle(EventMitigateStart)
+	defer func() {
+		i.mitigating.Store(false)
+		i.lifecycle(EventMitigateEnd)
+	}()
 	return reactor.Mitigate(i.cfg.Reactor, ctx)
 }
 

@@ -1,4 +1,8 @@
-package arthas
+// Package arthas_test: external test package so these benchmarks can pull
+// in internal/experiments, which (via the fleet experiment) itself links
+// against the root arthas facade — in-package tests would form an import
+// cycle.
+package arthas_test
 
 // One benchmark per table and figure of the paper's evaluation. Each bench
 // regenerates its experiment and reports the headline quantities through

@@ -22,7 +22,13 @@
 //	        table9                                 (static analysis)
 //	        scrub                                  (media checksum/scrub cost)
 //	        provenance                             (write-lineage cost + persist amplification)
+//	        fleet                                  (sharded serving fleet: scaling + mid-run fault)
 //	        all                                    (everything)
+//
+// -exp fleet honors -workers (per-shard speculative mitigation), -clients,
+// and -ops (per-client op count); combined with -json FILE it writes a
+// fleet-only arthas-bench/v1 document (the CI fleet smoke artifact) instead
+// of text.
 //
 // Absolute numbers differ from the paper (the substrate is a simulator on
 // logical time); the shapes are what reproduce. See EXPERIMENTS.md.
@@ -45,11 +51,30 @@ func main() {
 	seeds := flag.Int("seeds", 10, "seeds for probabilistic pmCRIU cases")
 	jsonOut := flag.String("json", "", "write the full evaluation as structured JSON to this file")
 	workers := flag.Int("workers", 1, "add a sequential-vs-parallel mitigation comparison at this worker count (1 = off; JSON output unchanged)")
+	clients := flag.Int("clients", 0, "closed-loop clients for -exp fleet (0 = default 4)")
 	flag.Parse()
 
 	mcfg := experiments.MatrixConfig{Seeds: *seeds}
 	mcfg.Run.WorkloadOps = *ops
 	ocfg := experiments.OverheadConfig{YCSBOps: *ycsb, InsertOps: *inserts}
+
+	if *exp == "fleet" {
+		fcfg := experiments.FleetConfig{Clients: *clients, OpsPerClient: *ops}
+		if *workers > 1 {
+			fcfg.Workers = *workers
+		}
+		fr, err := experiments.RunFleet(fcfg)
+		check(err)
+		fmt.Print(fr.Text())
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			check(err)
+			check(fr.WriteJSON(f))
+			check(f.Close())
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return
+	}
 
 	if *jsonOut != "" {
 		rep, err := experiments.FullJSON(experiments.FullConfig{

@@ -96,14 +96,7 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		health := func() obs.HealthState {
-			return obs.HealthState{
-				Degraded:          inst.Pool.MediaDegraded(),
-				QuarantinedBlocks: len(inst.Pool.QuarantinedBlocks()),
-				Mitigating:        inst.Mitigating(),
-			}
-		}
-		srv, addr, derr := obs.ServeDebug(*debugAddr, rec, inst.Flight, health)
+		srv, addr, derr := obs.ServeDebug(*debugAddr, rec, inst.Flight, inst.Health)
 		if derr != nil {
 			fmt.Fprintln(os.Stderr, derr)
 			os.Exit(1)

@@ -1,0 +1,75 @@
+// Command arthas-serve runs a sharded serving fleet: N independent Arthas
+// pool shards behind deterministic key routing, each mitigating hard faults
+// online while its siblings keep serving (docs/FLEET.md).
+//
+// Usage:
+//
+//	arthas-serve [-addr :8080] [-shards N] [-workers N] [-pool WORDS]
+//	             [-restart-latency DUR] [-source FILE] [-no-provenance]
+//
+// The default system is the fleet's checksummed KV store; -source swaps in
+// any PML program following the same entry-point conventions (see
+// fleet.Funcs). Drive it:
+//
+//	curl -X PUT  localhost:8080/kv/7 -d 42     # upsert
+//	curl         localhost:8080/kv/7           # read
+//	curl         localhost:8080/healthz        # aggregated shard health
+//	curl -X POST 'localhost:8080/inject?key=7' # hard-fault drill
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"arthas/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
+	shards := flag.Int("shards", 4, "number of pool shards")
+	workers := flag.Int("workers", 1, "per-shard speculative mitigation workers")
+	pool := flag.Int("pool", 1<<16, "pool words per shard")
+	restartLat := flag.Duration("restart-latency", 0, "simulated per-shard restart cost")
+	sourceFile := flag.String("source", "", "PML program override (default: built-in checksummed KV)")
+	noProv := flag.Bool("no-provenance", false, "disable write-lineage tracking (no incident reports)")
+	flag.Parse()
+
+	source := ""
+	if *sourceFile != "" {
+		b, err := os.ReadFile(*sourceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		source = string(b)
+	}
+
+	f, err := fleet.New(fleet.Config{
+		Shards:         *shards,
+		Source:         source,
+		PoolWords:      *pool,
+		Workers:        *workers,
+		RestartLatency: *restartLat,
+		Provenance:     !*noProv,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "arthas-serve: %d shards on http://%s\n", f.Shards(), ln.Addr())
+	srv := &http.Server{Handler: newServer(f), ReadHeaderTimeout: 5 * time.Second}
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"arthas/internal/fleet"
+	"arthas/internal/obs"
+)
+
+// newServer wires a fleet into the serving mux. Split from main so tests
+// drive the exact production handler stack through httptest.
+//
+// KV surface (status codes are the degraded-serving contract):
+//
+//	GET    /kv/{key}       200 value | 404 absent | 503 shard recovering | 500 trap
+//	PUT    /kv/{key}       body or ?v= holds the int64 value
+//	DELETE /kv/{key}
+//
+// Fleet surface:
+//
+//	GET  /healthz          aggregated per-shard health (JSON, worst-of code)
+//	GET  /metrics          merged fleet+shard metrics (?format=prom for
+//	                       Prometheus exposition with health gauges)
+//	GET  /shards           per-shard serving counters
+//	GET  /route?key=K      routing decision for a key
+//	GET  /incident?shard=N last arthas-incident/v1 report of a shard
+//	POST /inject?key=K&bit=B  flip one stored-value bit (fault drill)
+//	POST /scrub?shard=N    fence the shard and run a media scrub
+//	POST /restart?shard=N  operator restart (clears a failed shard)
+//	/debug/pprof/*         live profiles
+func newServer(f *fleet.Fleet) http.Handler {
+	mux := obs.NewFleetMux(f.MergedMetrics, f.Health)
+
+	mux.HandleFunc("GET /kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key, ok := pathKey(w, r)
+		if !ok {
+			return
+		}
+		v, err := f.Get(key)
+		if err != nil {
+			writeFleetErr(w, err)
+			return
+		}
+		if v == -1 {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		fmt.Fprintf(w, "%d\n", v)
+	})
+	mux.HandleFunc("PUT /kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key, ok := pathKey(w, r)
+		if !ok {
+			return
+		}
+		val, err := bodyValue(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := f.Put(key, val); err != nil {
+			writeFleetErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("DELETE /kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key, ok := pathKey(w, r)
+		if !ok {
+			return
+		}
+		n, err := f.Del(key)
+		if err != nil {
+			writeFleetErr(w, err)
+			return
+		}
+		if n == 0 {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /shards", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, f.Stats())
+	})
+	mux.HandleFunc("GET /route", func(w http.ResponseWriter, r *http.Request) {
+		key, ok := queryInt(w, r, "key")
+		if !ok {
+			return
+		}
+		writeJSON(w, map[string]int64{"key": key, "shard": int64(f.ShardFor(key))})
+	})
+	mux.HandleFunc("GET /incident", func(w http.ResponseWriter, r *http.Request) {
+		shard, ok := shardArg(w, r, f)
+		if !ok {
+			return
+		}
+		inc := f.Incident(shard)
+		if inc == nil {
+			http.Error(w, "no incident recorded", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(inc.JSON()) //nolint:errcheck // client went away; nothing to do
+	})
+	mux.HandleFunc("POST /inject", func(w http.ResponseWriter, r *http.Request) {
+		key, ok := queryInt(w, r, "key")
+		if !ok {
+			return
+		}
+		bit := int64(0)
+		if b := r.URL.Query().Get("bit"); b != "" {
+			var err error
+			if bit, err = strconv.ParseInt(b, 10, 8); err != nil || bit < 0 || bit > 63 {
+				http.Error(w, "bad bit (0..63)", http.StatusBadRequest)
+				return
+			}
+		}
+		shard, err := f.InjectFault(key, uint(bit))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, map[string]int64{"key": key, "shard": int64(shard), "bit": bit})
+	})
+	mux.HandleFunc("POST /scrub", func(w http.ResponseWriter, r *http.Request) {
+		shard, ok := shardArg(w, r, f)
+		if !ok {
+			return
+		}
+		rep, err := f.Scrub(shard)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "%v\n", rep)
+	})
+	mux.HandleFunc("POST /restart", func(w http.ResponseWriter, r *http.Request) {
+		shard, ok := shardArg(w, r, f)
+		if !ok {
+			return
+		}
+		if err := f.Restart(shard); err != nil {
+			writeFleetErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+// writeFleetErr maps fleet errors onto the serving contract: refusals while
+// a shard recovers are 503 (retryable, load balancers fail over), execution
+// traps are 500.
+func writeFleetErr(w http.ResponseWriter, err error) {
+	var ue *fleet.UnavailableError
+	if errors.As(err, &ue) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+func pathKey(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	key, err := strconv.ParseInt(r.PathValue("key"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad key: "+err.Error(), http.StatusBadRequest)
+		return 0, false
+	}
+	return key, true
+}
+
+func queryInt(w http.ResponseWriter, r *http.Request, name string) (int64, bool) {
+	v, err := strconv.ParseInt(r.URL.Query().Get(name), 10, 64)
+	if err != nil {
+		http.Error(w, "bad "+name+": "+err.Error(), http.StatusBadRequest)
+		return 0, false
+	}
+	return v, true
+}
+
+func shardArg(w http.ResponseWriter, r *http.Request, f *fleet.Fleet) (int, bool) {
+	v, ok := queryInt(w, r, "shard")
+	if !ok {
+		return 0, false
+	}
+	if v < 0 || int(v) >= f.Shards() {
+		http.Error(w, fmt.Sprintf("shard %d out of range (fleet has %d)", v, f.Shards()),
+			http.StatusBadRequest)
+		return 0, false
+	}
+	return int(v), true
+}
+
+// bodyValue reads the int64 payload of a PUT: the request body, or ?v= as
+// the curl-friendly fallback.
+func bodyValue(r *http.Request) (int64, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64))
+	if err != nil {
+		return 0, err
+	}
+	s := strings.TrimSpace(string(body))
+	if s == "" {
+		s = r.URL.Query().Get("v")
+	}
+	if s == "" {
+		return 0, errors.New("missing value (body or ?v=)")
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}

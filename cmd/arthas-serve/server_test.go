@@ -1,0 +1,207 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"arthas/internal/fleet"
+)
+
+func testServer(t *testing.T, shards int) (*httptest.Server, *fleet.Fleet) {
+	t.Helper()
+	f, err := fleet.New(fleet.Config{Shards: shards, BaseName: "serve-test", Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(f))
+	t.Cleanup(ts.Close)
+	return ts, f
+}
+
+func do(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestServeKVRoundTrip(t *testing.T) {
+	ts, _ := testServer(t, 2)
+	if code, _ := do(t, "PUT", ts.URL+"/kv/7", "42"); code != http.StatusNoContent {
+		t.Fatalf("put: %d", code)
+	}
+	if code, body := do(t, "GET", ts.URL+"/kv/7", ""); code != 200 || strings.TrimSpace(body) != "42" {
+		t.Fatalf("get: %d %q", code, body)
+	}
+	// ?v= fallback for value-less bodies.
+	if code, _ := do(t, "PUT", ts.URL+"/kv/8?v=99", ""); code != http.StatusNoContent {
+		t.Fatalf("put ?v=: %d", code)
+	}
+	if code, _ := do(t, "GET", ts.URL+"/kv/12345", ""); code != http.StatusNotFound {
+		t.Fatalf("get missing: %d", code)
+	}
+	if code, _ := do(t, "DELETE", ts.URL+"/kv/7", ""); code != http.StatusNoContent {
+		t.Fatalf("del: %d", code)
+	}
+	if code, _ := do(t, "DELETE", ts.URL+"/kv/7", ""); code != http.StatusNotFound {
+		t.Fatalf("del again: %d", code)
+	}
+	if code, _ := do(t, "GET", ts.URL+"/kv/notanint", ""); code != http.StatusBadRequest {
+		t.Fatalf("bad key: %d", code)
+	}
+	if code, _ := do(t, "PUT", ts.URL+"/kv/9", ""); code != http.StatusBadRequest {
+		t.Fatalf("valueless put: %d", code)
+	}
+}
+
+func TestServeHealthAndShards(t *testing.T) {
+	ts, _ := testServer(t, 3)
+	code, body := do(t, "GET", ts.URL+"/healthz", "")
+	if code != 200 {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Shards []struct {
+			Shard  int    `json:"shard"`
+			Status string `json:"status"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || len(h.Shards) != 3 {
+		t.Fatalf("healthz payload: %+v", h)
+	}
+	code, body = do(t, "GET", ts.URL+"/shards", "")
+	var stats []fleet.ShardStats
+	if code != 200 {
+		t.Fatalf("shards: %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 || stats[0].State != "serving" {
+		t.Fatalf("shards payload: %+v", stats)
+	}
+}
+
+func TestServeRouteMatchesFleet(t *testing.T) {
+	ts, f := testServer(t, 4)
+	for key := int64(1); key <= 20; key++ {
+		code, body := do(t, "GET", fmt.Sprintf("%s/route?key=%d", ts.URL, key), "")
+		if code != 200 {
+			t.Fatalf("route: %d", code)
+		}
+		var r struct {
+			Shard int `json:"shard"`
+		}
+		if err := json.Unmarshal([]byte(body), &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Shard != f.ShardFor(key) {
+			t.Fatalf("key %d: /route says %d, fleet says %d", key, r.Shard, f.ShardFor(key))
+		}
+	}
+}
+
+// TestServeFaultDrill walks the full HTTP-visible escalation: inject a
+// pre-writeback bit flip, watch the first read 500 (transient, restart), the
+// second read heal online via mitigation, and the incident report publish.
+func TestServeFaultDrill(t *testing.T) {
+	ts, f := testServer(t, 2)
+	if code, _ := do(t, "PUT", ts.URL+"/kv/11", "500"); code != http.StatusNoContent {
+		t.Fatal("seed put failed")
+	}
+	code, body := do(t, "POST", ts.URL+"/inject?key=11&bit=4", "")
+	if code != 200 {
+		t.Fatalf("inject: %d %s", code, body)
+	}
+	var inj struct {
+		Shard int `json:"shard"`
+	}
+	if err := json.Unmarshal([]byte(body), &inj); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strike one: trap → transient → restart → 500 to this client.
+	if code, _ := do(t, "GET", ts.URL+"/kv/11", ""); code != http.StatusInternalServerError {
+		t.Fatalf("first faulted read: %d, want 500", code)
+	}
+	// Strike two: hard fault → online mitigation → served from healed shard.
+	if code, _ := do(t, "GET", ts.URL+"/kv/11", ""); code != 200 {
+		t.Fatalf("post-mitigation read: %d, want 200", code)
+	}
+	if f.Stats()[inj.Shard].Recovered != 1 {
+		t.Fatalf("shard %d stats: %+v", inj.Shard, f.Stats()[inj.Shard])
+	}
+	code, body = do(t, "GET", fmt.Sprintf("%s/incident?shard=%d", ts.URL, inj.Shard), "")
+	if code != 200 || !strings.Contains(body, "arthas-incident/v1") {
+		t.Fatalf("incident: %d %s", code, body)
+	}
+	// Injecting on a missing key reports conflict, not a trap.
+	if code, _ := do(t, "POST", ts.URL+"/inject?key=424242", ""); code != http.StatusConflict {
+		t.Fatalf("inject missing key: %d", code)
+	}
+}
+
+func TestServeMetricsExposition(t *testing.T) {
+	ts, _ := testServer(t, 2)
+	do(t, "PUT", ts.URL+"/kv/1", "10")
+	do(t, "GET", ts.URL+"/kv/1", "")
+	code, body := do(t, "GET", ts.URL+"/metrics?format=prom", "")
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{
+		"arthas_fleet_req",
+		"arthas_fleet_shard_health{shard=\"0\",state=\"ok\"} 0",
+		"arthas_fleet_shard_health{shard=\"1\",state=\"ok\"} 0",
+		"arthas_fleet_health_worst 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("prom exposition missing %q:\n%s", want, body)
+		}
+	}
+	// Per-shard namespaced copies of shard telemetry appear alongside the
+	// cross-shard aggregate.
+	if !strings.Contains(body, "arthas_shard0_") {
+		t.Fatalf("no shard0-prefixed metrics:\n%s", body)
+	}
+}
+
+func TestServeAdminOps(t *testing.T) {
+	ts, f := testServer(t, 2)
+	if code, _ := do(t, "POST", ts.URL+"/scrub?shard=1", ""); code != 200 {
+		t.Fatal("scrub failed")
+	}
+	if code, _ := do(t, "POST", ts.URL+"/restart?shard=0", ""); code != http.StatusNoContent {
+		t.Fatal("restart failed")
+	}
+	if f.Stats()[0].Restarts != 1 {
+		t.Fatalf("restart not counted: %+v", f.Stats()[0])
+	}
+	if code, _ := do(t, "POST", ts.URL+"/restart?shard=9", ""); code != http.StatusBadRequest {
+		t.Fatal("out-of-range shard accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallFleetConfig keeps the experiment fast enough for the unit suite: the
+// near-zero service latency disables the scaling-demonstration sleeps (the
+// default 50µs is for the real bench), and the tiny op counts still cross
+// the mid-run injection point.
+func smallFleetConfig() FleetConfig {
+	return FleetConfig{
+		ShardCounts:    []int{1, 2},
+		Clients:        2,
+		OpsPerClient:   80,
+		Keys:           40,
+		Seed:           7,
+		ServiceLatency: time.Nanosecond,
+	}
+}
+
+func TestRunFleetSmall(t *testing.T) {
+	res, err := RunFleet(smallFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scaling) != 2 {
+		t.Fatalf("scaling points: %d", len(res.Scaling))
+	}
+	for _, p := range res.Scaling {
+		if p.Done != 160 || p.Errors != 0 {
+			t.Fatalf("point %+v", p)
+		}
+		if p.P99US < p.P50US {
+			t.Fatalf("p99 < p50 in %+v", p)
+		}
+	}
+	f := res.Fault
+	if f == nil {
+		t.Fatal("no fault run")
+	}
+	if !f.Healed {
+		t.Fatalf("faulted shard did not heal: %+v", f)
+	}
+	if f.Mitigations < 1 || f.Recovered < 1 {
+		t.Fatalf("no mitigation recorded: %+v", f)
+	}
+	if f.IncidentJSONBytes == 0 {
+		t.Fatal("no incident report from provenance-enabled fault run")
+	}
+	if f.InjectedAtOp < int64(f.Done)/2 {
+		t.Fatalf("injected too early: op %d of %d", f.InjectedAtOp, f.Done)
+	}
+	text := res.Text()
+	for _, want := range []string{"Sharded serving fleet", "healed online", "healthy-shard ratio"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunFleetDeterministic is the bench determinism contract: same seed and
+// shard counts ⇒ identical routing digests and identical end-state digests.
+func TestRunFleetDeterministic(t *testing.T) {
+	a, err := RunFleet(smallFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFleet(smallFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Scaling {
+		if a.Scaling[i].RoutingDigest != b.Scaling[i].RoutingDigest {
+			t.Fatalf("routing digest differs at %d shards", a.Scaling[i].Shards)
+		}
+		if a.Scaling[i].StateDigest != b.Scaling[i].StateDigest {
+			t.Fatalf("state digest differs at %d shards", a.Scaling[i].Shards)
+		}
+	}
+	// Different shard counts route differently (the digest covers the
+	// assignment, not just the stream).
+	if a.Scaling[0].RoutingDigest == a.Scaling[1].RoutingDigest {
+		t.Fatal("routing digest ignores shard count")
+	}
+}
+
+func TestFleetJSONDoc(t *testing.T) {
+	res, err := RunFleet(smallFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema string     `json:"schema"`
+		Fleet  *JSONFleet `json:"fleet"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != JSONSchema {
+		t.Fatalf("schema %q", doc.Schema)
+	}
+	if doc.Fleet == nil || len(doc.Fleet.Scaling) != 2 || doc.Fleet.Fault == nil {
+		t.Fatalf("fleet doc: %+v", doc.Fleet)
+	}
+	if !doc.Fleet.Fault.Healed {
+		t.Fatal("fault run not healed in JSON doc")
+	}
+}

@@ -226,6 +226,9 @@ type JSONReport struct {
 	Static     []JSONStatic     `json:"static,omitempty"`
 	Scrub      *JSONScrub       `json:"scrub,omitempty"`
 	Provenance *JSONProvenance  `json:"provenance,omitempty"`
+	// Fleet appears when the evaluation ran with FullConfig.Fleet set
+	// (the sharded-serving scaling + mid-run fault experiment).
+	Fleet *JSONFleet `json:"fleet,omitempty"`
 	// Workers and Parallel appear only when the evaluation ran with
 	// FullConfig.Workers > 1 (cmd/arthas-bench -workers N): the default
 	// sequential report stays byte-identical.
@@ -325,6 +328,14 @@ func FullJSON(cfg FullConfig) (*JSONReport, error) {
 		return nil, err
 	}
 	rep.Provenance = toJSONProvenance(pr)
+
+	if cfg.Fleet != nil {
+		fr, err := RunFleet(*cfg.Fleet)
+		if err != nil {
+			return nil, err
+		}
+		rep.Fleet = fr.JSON()
+	}
 
 	ts, err := MeasureStatic()
 	if err != nil {

@@ -63,6 +63,9 @@ type FullConfig struct {
 	Workers int
 	// Scrub sizes the media-resilience cost measurement (zero = defaults).
 	Scrub ScrubConfig
+	// Fleet, when non-nil, adds the sharded-serving-fleet experiment
+	// (scaling sweep + mid-run fault) to the JSON report.
+	Fleet *FleetConfig
 }
 
 // FullReport produces the entire paper evaluation as text.

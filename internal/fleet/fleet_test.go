@@ -1,0 +1,382 @@
+package fleet
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"arthas/internal/obs"
+	"arthas/internal/workload"
+)
+
+func newTestFleet(t *testing.T, shards int, mut func(*Config)) *Fleet {
+	t.Helper()
+	cfg := Config{Shards: shards, BaseName: "test"}
+	if mut != nil {
+		mut(&cfg)
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// faultKeyFor finds a key outside the workload keyspace that routes to the
+// given shard — the deterministic fault-injection target.
+func faultKeyFor(shard, shards int) int64 {
+	for k := int64(1) << 40; ; k++ {
+		if RouteFor(k, shards) == shard {
+			return k
+		}
+	}
+}
+
+func TestFleetBasicOps(t *testing.T) {
+	f := newTestFleet(t, 4, nil)
+	for k := int64(1); k <= 64; k++ {
+		if err := f.Put(k, k*10); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+	for k := int64(1); k <= 64; k++ {
+		v, err := f.Get(k)
+		if err != nil || v != k*10 {
+			t.Fatalf("get %d = %d, %v; want %d", k, v, err, k*10)
+		}
+	}
+	if v, err := f.Get(9999); err != nil || v != -1 {
+		t.Fatalf("get missing = %d, %v; want -1", v, err)
+	}
+	if n, err := f.Del(7); err != nil || n != 1 {
+		t.Fatalf("del = %d, %v; want 1", n, err)
+	}
+	if v, err := f.Get(7); err != nil || v != -1 {
+		t.Fatalf("get deleted = %d, %v; want -1", v, err)
+	}
+	// Keys must actually spread: with 64 keys over 4 shards every shard
+	// should have seen traffic.
+	for _, st := range f.Stats() {
+		if st.Ops == 0 {
+			t.Fatalf("shard %d saw no ops: %+v", st.Shard, f.Stats())
+		}
+		if st.State != "serving" {
+			t.Fatalf("shard %d state %q", st.Shard, st.State)
+		}
+	}
+}
+
+func TestRoutingDeterministic(t *testing.T) {
+	f := newTestFleet(t, 3, nil)
+	for k := int64(0); k < 1000; k++ {
+		if f.ShardFor(k) != RouteFor(k, 3) {
+			t.Fatalf("ShardFor(%d) != RouteFor", k)
+		}
+		if r := RouteFor(k, 3); r < 0 || r > 2 {
+			t.Fatalf("RouteFor(%d) = %d out of range", k, r)
+		}
+	}
+	// Pure function: same inputs, same route, across calls.
+	for k := int64(0); k < 100; k++ {
+		if RouteFor(k, 7) != RouteFor(k, 7) {
+			t.Fatalf("RouteFor(%d, 7) unstable", k)
+		}
+	}
+}
+
+// TestFleetStateDeterminism is the fleet determinism contract: two fleets
+// with the same shard count fed the same deterministic client streams end in
+// byte-equivalent logical state (equal checksum digests), and the routing
+// digest derived from the streams alone is stable.
+func TestFleetStateDeterminism(t *testing.T) {
+	run := func() (int64, uint64) {
+		f := newTestFleet(t, 4, nil)
+		d := &workload.Driver{
+			Clients:      1, // single client: deterministic application order
+			OpsPerClient: 400,
+			Shape:        workload.WorkloadA(0, 80, 42),
+			Do: func(_ int, op workload.Op) error {
+				_, err := f.Do(op)
+				return err
+			},
+		}
+		var routing uint64 = 14695981039346656037 // FNV offset basis
+		for _, op := range d.ClientStream(0) {
+			routing ^= uint64(f.ShardFor(op.Key))
+			routing *= 1099511628211
+		}
+		rep := d.Run()
+		if rep.Errors != 0 {
+			t.Fatalf("fault-free run had %d errors: %+v", rep.Errors, rep.ErrCounts)
+		}
+		dig, err := f.StateDigest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dig, routing
+	}
+	d1, r1 := run()
+	d2, r2 := run()
+	if d1 != d2 {
+		t.Fatalf("state digests differ: %d vs %d", d1, d2)
+	}
+	if r1 != r2 {
+		t.Fatalf("routing digests differ: %d vs %d", r1, r2)
+	}
+}
+
+// TestFaultEscalation walks the serving-side protocol step by step: first
+// trap → transient classification → restart (request fails over); second
+// similar trap → hard fault → online mitigation → request served from the
+// healed shard. The sibling shards never leave serving state.
+func TestFaultEscalation(t *testing.T) {
+	f := newTestFleet(t, 2, func(c *Config) { c.Provenance = true })
+	for k := int64(1); k <= 40; k++ {
+		if err := f.Put(k, k+1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := faultKeyFor(0, 2)
+	if err := f.Put(key, 777); err != nil {
+		t.Fatal(err)
+	}
+	shard, err := f.InjectFault(key, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard != 0 {
+		t.Fatalf("fault landed on shard %d, want 0", shard)
+	}
+
+	// Strike one: trap, classified transient, shard restarts.
+	_, err = f.Get(key)
+	var te *TrapError
+	if !errors.As(err, &te) || te.Mitigated {
+		t.Fatalf("first get: %v, want un-mitigated TrapError", err)
+	}
+	if st := f.Stats()[0]; st.Restarts != 1 || st.Mitigations != 0 {
+		t.Fatalf("after strike one: %+v", st)
+	}
+	if f.State(0) != StateServing {
+		t.Fatalf("shard 0 not back to serving: %v", f.State(0))
+	}
+
+	// Strike two: similar signature → hard → mitigation heals online and the
+	// triggering request is served.
+	if _, err := f.Get(key); err != nil {
+		t.Fatalf("second get should be served post-mitigation: %v", err)
+	}
+	st := f.Stats()[0]
+	if st.Mitigations != 1 || st.Recovered != 1 {
+		t.Fatalf("after strike two: %+v", st)
+	}
+	rep := f.LastReport(0)
+	if rep == nil || !rep.Recovered {
+		t.Fatalf("mitigation report: %+v", rep)
+	}
+	if inc := f.Incident(0); inc == nil {
+		t.Fatal("no incident published after provenance-enabled recovery")
+	} else if len(inc.JSON()) == 0 {
+		t.Fatal("incident serializes empty")
+	}
+
+	// The healed shard serves: the store round-trips again and the digest
+	// validates every checksum.
+	if err := f.Put(key, 778); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := f.Get(key); err != nil || v != 778 {
+		t.Fatalf("post-heal roundtrip = %d, %v", v, err)
+	}
+	if _, err := f.StateDigest(); err != nil {
+		t.Fatalf("digest after heal: %v", err)
+	}
+	// Sibling untouched throughout.
+	if st := f.Stats()[1]; st.Traps != 0 || st.State != "serving" {
+		t.Fatalf("sibling disturbed: %+v", st)
+	}
+}
+
+// TestDegradedModeServing pins a shard in each non-serving state and checks
+// the contract: requests to it fail fast with UnavailableError, siblings
+// serve, and /healthz-style aggregation reports the overlay.
+func TestDegradedModeServing(t *testing.T) {
+	f := newTestFleet(t, 2, nil)
+	key0 := faultKeyFor(0, 2)
+	key1 := faultKeyFor(1, 2)
+	if err := f.Put(key1, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		state      State
+		status     string
+		mitigating bool
+	}{
+		{StateRestarting, "mitigating", true},
+		{StateMitigating, "mitigating", true},
+		{StateScrubbing, "mitigating", true},
+		{StateFailed, "degraded", false},
+	} {
+		f.shards[0].setState(tc.state)
+		_, err := f.Get(key0)
+		var ue *UnavailableError
+		if !errors.As(err, &ue) || ue.Shard != 0 || ue.State != tc.state {
+			t.Fatalf("state %v: err = %v", tc.state, err)
+		}
+		if got := ErrClass(err); got != "unavailable" {
+			t.Fatalf("ErrClass = %q", got)
+		}
+		// Sibling serves through it.
+		if v, err := f.Get(key1); err != nil || v != 5 {
+			t.Fatalf("sibling blocked during %v: %d, %v", tc.state, v, err)
+		}
+		h := f.Health()
+		if h[0].Mitigating != tc.mitigating {
+			t.Fatalf("state %v: health overlay %+v", tc.state, h[0])
+		}
+		if agg := obs.WorstOf(h); agg.Status() != tc.status {
+			t.Fatalf("state %v: worst-of %q, want %q", tc.state, agg.Status(), tc.status)
+		}
+	}
+	f.shards[0].setState(StateServing)
+	if agg := obs.WorstOf(f.Health()); !agg.Healthy() {
+		t.Fatalf("fleet not healthy after clearing: %+v", agg)
+	}
+}
+
+func TestScrubLifecycleCounters(t *testing.T) {
+	f := newTestFleet(t, 2, nil)
+	if _, err := f.Scrub(0); err != nil {
+		t.Fatal(err)
+	}
+	if f.State(0) != StateServing {
+		t.Fatalf("shard 0 stuck in %v after scrub", f.State(0))
+	}
+	m := f.MergedMetrics()
+	if n := m.CounterValue("fleet.lifecycle.scrub-start"); n != 1 {
+		t.Fatalf("aggregated scrub-start = %d, want 1", n)
+	}
+	if n := m.CounterValue("shard0.fleet.lifecycle.scrub-start"); n != 1 {
+		t.Fatalf("shard0 scrub-start = %d, want 1", n)
+	}
+	if n := m.CounterValue("shard1.fleet.lifecycle.scrub-start"); n != 0 {
+		t.Fatalf("shard1 scrub-start = %d, want 0", n)
+	}
+	// Boot events from New land in the merged view too (one per shard).
+	if n := m.CounterValue("fleet.lifecycle.boot"); n != 2 {
+		t.Fatalf("aggregated boot = %d, want 2", n)
+	}
+}
+
+// TestFleetMidRunFaultE2E is the flagship concurrency test (run under
+// -race): a closed-loop multi-client workload drives a 4-shard fleet while a
+// hard fault is injected mid-run into one shard. The faulted shard must
+// escalate and heal online; the sibling shards must never trap, and health
+// probes run concurrently throughout.
+func TestFleetMidRunFaultE2E(t *testing.T) {
+	const shards = 4
+	f := newTestFleet(t, shards, func(c *Config) {
+		c.Workers = 2
+		c.RestartLatency = 2 * time.Millisecond
+	})
+	faultKey := faultKeyFor(1, shards)
+	if err := f.Put(faultKey, 4242); err != nil {
+		t.Fatal(err)
+	}
+
+	var done atomic.Int64
+	d := &workload.Driver{
+		Clients:      6,
+		OpsPerClient: 300,
+		Shape:        workload.WorkloadA(0, 100, 99),
+		ErrClass:     ErrClass,
+		Do: func(_ int, op workload.Op) error {
+			_, err := f.Do(op)
+			return err
+		},
+		Tick: func(n int) { done.Store(int64(n)) },
+	}
+
+	// Concurrent health prober: exercises the wait-free Health path against
+	// live mitation/restart transitions (the -race payoff).
+	stop := make(chan struct{})
+	probed := make(chan struct{})
+	go func() {
+		defer close(probed)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				obs.WorstOf(f.Health())
+				f.Stats()
+			}
+		}
+	}()
+
+	// Injector: wait for the run to be mid-flight, corrupt the fault key,
+	// then probe it until the shard heals online.
+	healed := make(chan error, 1)
+	go func() {
+		for done.Load() < 300 {
+			time.Sleep(time.Millisecond)
+		}
+		if _, err := f.InjectFault(faultKey, 5); err != nil {
+			healed <- err
+			return
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			_, err := f.Get(faultKey)
+			if err == nil {
+				healed <- nil
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		healed <- errors.New("shard 1 did not heal within deadline")
+	}()
+
+	rep := d.Run()
+	if err := <-healed; err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-probed
+
+	if rep.Done != 6*300 {
+		t.Fatalf("driver completed %d ops, want %d", rep.Done, 6*300)
+	}
+	stats := f.Stats()
+	if stats[1].Mitigations < 1 || stats[1].Recovered < 1 {
+		t.Fatalf("faulted shard never mitigated: %+v", stats[1])
+	}
+	for i, st := range stats {
+		if i == 1 {
+			continue
+		}
+		if st.Traps != 0 {
+			t.Fatalf("non-faulted shard %d trapped: %+v", i, st)
+		}
+	}
+	// Workload errors, if any, must all be degraded-mode refusals or the
+	// faulted shard's traps — never unclassified.
+	for _, ec := range rep.ErrCounts {
+		if ec.Class != "unavailable" && ec.Class != "trap" {
+			t.Fatalf("unclassified error class %q (%d)", ec.Class, ec.N)
+		}
+	}
+	// Fleet fully healthy at the end; merged metrics reflect the incident.
+	if agg := obs.WorstOf(f.Health()); !agg.Healthy() {
+		t.Fatalf("fleet unhealthy after heal: %+v", agg)
+	}
+	m := f.MergedMetrics()
+	if m.CounterValue("fleet.mitigation.recovered") < 1 {
+		t.Fatal("merged metrics missing mitigation.recovered")
+	}
+	if m.CounterValue("fleet.fault.injected") != 1 {
+		t.Fatal("merged metrics missing fault.injected")
+	}
+}

@@ -1,0 +1,151 @@
+package fleet
+
+// KVSource is the default PML system a fleet shard runs: a chained-hashtable
+// KV store whose items carry a per-item logical checksum (CHK = VAL ^ kvMagic,
+// persisted together with the value). The checksum is what turns a silently
+// corrupted value — a hard fault in the paper's §2.4 hardware model, injected
+// with Fleet.InjectFault — into a trapping failure the detector can observe
+// and the per-shard reactor can mitigate online: `get` asserts the pair
+// matches before returning, so a flipped value word faults every lookup of
+// that key, across restarts, until the checkpoint log reverts it.
+//
+// Layout:
+//
+//	root: 0 TAB  1 NBUCKETS  2 NITEMS
+//	item: 0 KEY  1 VAL  2 CHK  3 NEXT
+//
+// Serving functions follow the fleet's Funcs conventions: get/put/del for
+// routed client requests, locate for fault injection (it reads only KEY and
+// NEXT, so a corrupted value never blocks injection or unlinking), sum as
+// the checksum-validating state digest determinism tests compare, count and
+// recover_ for restart bookkeeping.
+const KVSource = `
+// fleet kv shard: chained hashtable with per-item value checksums.
+//
+// root: 0 TAB  1 NBUCKETS  2 NITEMS
+// item: 0 KEY  1 VAL  2 CHK  3 NEXT   (CHK = VAL ^ 776531419)
+
+fn init_() {
+    var root = pmalloc(4);
+    var tab = pmalloc(64);
+    root[0] = tab;
+    root[1] = 64;
+    root[2] = 0;
+    persist(root, 3);
+    persist(tab, 64);
+    setroot(0, root);
+    return 0;
+}
+
+fn locate(k) {
+    var root = getroot(0);
+    var tab = root[0];
+    var it = tab[k % root[1]];
+    while (it != 0) {
+        if (it[0] == k) {
+            return it;
+        }
+        it = it[3];
+    }
+    return 0;
+}
+
+fn put(k, v) {
+    var root = getroot(0);
+    var it = locate(k);
+    if (it != 0) {
+        it[1] = v;
+        it[2] = v ^ 776531419;
+        persist(it + 1, 2);
+        return 0;
+    }
+    it = pmalloc(4);
+    it[0] = k;
+    it[1] = v;
+    it[2] = v ^ 776531419;
+    var tab = root[0];
+    var b = k % root[1];
+    it[3] = tab[b];
+    persist(it, 4);
+    tab[b] = it;
+    persist(tab + b, 1);
+    root[2] = root[2] + 1;
+    persist(root + 2, 1);
+    return 1;
+}
+
+fn get(k) {
+    var it = locate(k);
+    if (it == 0) {
+        return -1;
+    }
+    assert((it[1] ^ 776531419) == it[2]);
+    return it[1];
+}
+
+fn del(k) {
+    var root = getroot(0);
+    var tab = root[0];
+    var b = k % root[1];
+    var it = tab[b];
+    var prev = 0;
+    while (it != 0) {
+        if (it[0] == k) {
+            if (prev == 0) {
+                tab[b] = it[3];
+                persist(tab + b, 1);
+            } else {
+                prev[3] = it[3];
+                persist(prev + 3, 1);
+            }
+            pfree(it);
+            root[2] = root[2] - 1;
+            persist(root + 2, 1);
+            return 1;
+        }
+        prev = it;
+        it = it[3];
+    }
+    return 0;
+}
+
+fn count() {
+    var root = getroot(0);
+    return root[2];
+}
+
+fn sum() {
+    var root = getroot(0);
+    var tab = root[0];
+    var b = 0;
+    var s = 0;
+    while (b < root[1]) {
+        var it = tab[b];
+        while (it != 0) {
+            assert((it[1] ^ 776531419) == it[2]);
+            s = s + it[1];
+            it = it[3];
+        }
+        b = b + 1;
+    }
+    return s;
+}
+
+fn recover_() {
+    recover_begin();
+    var root = getroot(0);
+    var tab = root[0];
+    var b = 0;
+    var n = 0;
+    while (b < root[1]) {
+        var it = tab[b];
+        while (it != 0) {
+            n = n + 1;
+            it = it[3];
+        }
+        b = b + 1;
+    }
+    recover_end();
+    return n;
+}
+`

@@ -1,0 +1,321 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arthas"
+	"arthas/internal/obs"
+	"arthas/internal/workload"
+)
+
+// State is a shard's serving state. Transitions happen on the goroutine
+// holding the shard lock; reads are atomic so health probes and routing
+// fast-paths never block behind an in-flight mitigation.
+type State int32
+
+// Shard states, ordered roughly by severity.
+const (
+	// StateServing accepts requests.
+	StateServing State = iota
+	// StateRestarting is the transient-failure window: the shard observed a
+	// trap the detector did not classify as hard and is restarting.
+	StateRestarting
+	// StateMitigating means the shard's reactor is reverting checkpoint
+	// versions and re-executing — the online-mitigation window the fleet's
+	// siblings serve through.
+	StateMitigating
+	// StateScrubbing means a media scrub pass is running.
+	StateScrubbing
+	// StateFailed is terminal: mitigation was attempted and did not recover
+	// the shard. Requests bounce until an operator intervenes (Restart).
+	StateFailed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateServing:
+		return "serving"
+	case StateRestarting:
+		return "restarting"
+	case StateMitigating:
+		return "mitigating"
+	case StateScrubbing:
+		return "scrubbing"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// UnavailableError is returned for requests routed to a shard that is not
+// serving (restarting, mitigating, scrubbing, or failed). HTTP front ends
+// map it to 503; closed-loop clients classify it as "unavailable" and keep
+// driving their other keys.
+type UnavailableError struct {
+	Shard int
+	State State
+}
+
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("shard %d unavailable: %s", e.Shard, e.State)
+}
+
+// TrapError is returned when a request's execution trapped. Mitigated marks
+// that the trap escalated to a hard-fault mitigation; Recovered whether that
+// mitigation healed the shard.
+type TrapError struct {
+	Shard     int
+	Trap      *arthas.Trap
+	Mitigated bool
+	Recovered bool
+}
+
+func (e *TrapError) Error() string {
+	s := fmt.Sprintf("shard %d: %v", e.Shard, e.Trap)
+	if e.Mitigated && !e.Recovered {
+		s += " (mitigation failed)"
+	}
+	return s
+}
+
+// Unwrap exposes the trap for errors.As chains.
+func (e *TrapError) Unwrap() error { return e.Trap }
+
+// Shard is one pool-backed arthas.Instance behind the fleet router. All
+// instance access happens under mu; state and the cached health snapshot are
+// published through atomics so the fleet's fast paths (routing rejection,
+// /healthz) never contend with a mitigation in flight.
+type Shard struct {
+	ID int
+
+	fleet *Fleet
+	rec   *obs.Recorder // per-shard Observer, merged by Fleet.MergedMetrics
+
+	mu   sync.Mutex
+	inst *arthas.Instance
+
+	state    atomic.Int32
+	health   atomic.Pointer[obs.HealthState]
+	incident atomic.Pointer[arthas.Incident]
+	report   atomic.Pointer[arthas.Report]
+
+	ops         atomic.Int64
+	errs        atomic.Int64
+	unavail     atomic.Int64
+	traps       atomic.Int64
+	restarts    atomic.Int64
+	mitigations atomic.Int64
+	recovered   atomic.Int64
+}
+
+// State returns the shard's current serving state.
+func (s *Shard) State() State { return State(s.state.Load()) }
+
+func (s *Shard) setState(st State) { s.state.Store(int32(st)) }
+
+// casState transitions from->to atomically, reporting success. Used by
+// lifecycle hooks that must not clobber a state the request path owns.
+func (s *Shard) casState(from, to State) bool {
+	return s.state.CompareAndSwap(int32(from), int32(to))
+}
+
+// onLifecycle mirrors instance transitions into the shard's recorder and —
+// for scrubs initiated outside the request path (the reactor's
+// scrub-then-retry hook runs inside a mitigation, where the Do path already
+// owns the state) — into the serving state. Fired synchronously from the
+// goroutine driving the instance, per arthas.Config.OnLifecycle's contract.
+func (s *Shard) onLifecycle(ev arthas.LifecycleEvent) {
+	s.rec.Count("fleet.lifecycle."+string(ev), 1)
+	switch ev {
+	case arthas.EventScrubStart:
+		s.casState(StateServing, StateScrubbing)
+	case arthas.EventScrubEnd:
+		s.casState(StateScrubbing, StateServing)
+	}
+}
+
+// refreshHealthLocked snapshots pool-derived health while holding mu — the
+// pool's degraded/quarantine accessors are unsynchronized, so the snapshot
+// is taken only at operation boundaries and health probes read the cached
+// copy. The Mitigating flag is cleared here: Fleet.Health overlays it from
+// the atomic shard state instead, which also covers restart/scrub windows.
+func (s *Shard) refreshHealthLocked() {
+	h := s.inst.Health()
+	h.Mitigating = false
+	s.health.Store(&h)
+}
+
+// do executes one routed operation, handling the trap → observe → restart →
+// hard-fault → mitigate escalation inline so the shard heals online while
+// siblings keep serving.
+func (s *Shard) do(fn string, args ...int64) (int64, error) {
+	// Fast path: refuse without touching the lock while the shard is
+	// restarting, mitigating, scrubbing, or failed. Siblings' clients never
+	// queue behind this shard's recovery.
+	if st := s.State(); st != StateServing {
+		s.errs.Add(1)
+		s.unavail.Add(1)
+		return 0, &UnavailableError{Shard: s.ID, State: st}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The state can have moved while we waited on the lock (a failed
+	// mitigation ahead of us); re-check before touching the instance.
+	if st := s.State(); st != StateServing {
+		s.errs.Add(1)
+		s.unavail.Add(1)
+		return 0, &UnavailableError{Shard: s.ID, State: st}
+	}
+	if lat := s.fleet.cfg.ServiceLatency; lat > 0 {
+		// Simulated PM-bound service time, spent inside the shard's serving
+		// lock: one shard serializes it, sibling shards overlap it (see
+		// Config.ServiceLatency).
+		time.Sleep(lat)
+	}
+	v, trap := s.inst.Call(fn, args...)
+	if trap == nil {
+		s.ops.Add(1)
+		return v, nil
+	}
+	return s.handleTrapLocked(fn, args, trap)
+}
+
+// handleTrapLocked runs the paper's serving-side failure protocol: feed the
+// trap to the detector; a first (not-yet-hard) failure gets a plain restart
+// and the request fails over to the client, while a suspected hard fault
+// triggers online mitigation — checkpoint reversion plus re-execution —
+// after which the original request is re-issued against the healed shard.
+func (s *Shard) handleTrapLocked(fn string, args []int64, trap *arthas.Trap) (int64, error) {
+	s.traps.Add(1)
+	s.errs.Add(1)
+	_, hard := s.inst.Observe(trap)
+	if !hard {
+		s.setState(StateRestarting)
+		s.restarts.Add(1)
+		rtrap := s.inst.Restart()
+		s.refreshHealthLocked()
+		if rtrap != nil {
+			// Recovery itself trapped: the fault is in persistent state the
+			// restart path touches. Keep serving state down; the next client
+			// hit would re-observe, but without a working restart there is
+			// nothing to escalate to, so fail the shard.
+			s.setState(StateFailed)
+			return 0, &TrapError{Shard: s.ID, Trap: rtrap}
+		}
+		s.setState(StateServing)
+		return 0, &TrapError{Shard: s.ID, Trap: trap}
+	}
+
+	s.setState(StateMitigating)
+	s.mitigations.Add(1)
+	s.fleet.rec.Count("fleet.mitigation", 1)
+	rep, err := s.inst.MitigateCall(fn, args...)
+	if rep != nil {
+		s.report.Store(rep)
+	}
+	if err != nil || rep == nil || !rep.Recovered {
+		s.refreshHealthLocked()
+		s.setState(StateFailed)
+		s.fleet.rec.Count("fleet.mitigation.failed", 1)
+		return 0, &TrapError{Shard: s.ID, Trap: lastTrapOf(rep, trap), Mitigated: true}
+	}
+	s.recovered.Add(1)
+	s.fleet.rec.Count("fleet.mitigation.recovered", 1)
+	if s.fleet.cfg.Provenance {
+		s.incident.Store(s.inst.BuildIncident(rep))
+	}
+	// The shard is healthy again; serve the request that exposed the fault.
+	v, rtrap := s.inst.Call(fn, args...)
+	s.refreshHealthLocked()
+	if rtrap != nil {
+		s.setState(StateFailed)
+		return 0, &TrapError{Shard: s.ID, Trap: rtrap, Mitigated: true, Recovered: true}
+	}
+	s.setState(StateServing)
+	s.ops.Add(1)
+	return v, nil
+}
+
+func lastTrapOf(rep *arthas.Report, fallback *arthas.Trap) *arthas.Trap {
+	if rep != nil && rep.LastTrap != nil {
+		return rep.LastTrap
+	}
+	return fallback
+}
+
+// scrub runs a media-scrub pass with the shard fenced from traffic.
+func (s *Shard) scrub() (*arthas.ScrubReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, err := s.inst.Scrub() // lifecycle hook flips state around the pass
+	s.refreshHealthLocked()
+	return rep, err
+}
+
+// restart is the operator-initiated restart: it also clears a Failed state,
+// giving a shard whose mitigation did not converge another chance.
+func (s *Shard) restart() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setState(StateRestarting)
+	s.restarts.Add(1)
+	trap := s.inst.Restart()
+	s.refreshHealthLocked()
+	if trap != nil {
+		s.setState(StateFailed)
+		return &TrapError{Shard: s.ID, Trap: trap}
+	}
+	s.setState(StateServing)
+	return nil
+}
+
+// ShardStats is one shard's counters snapshot, served by /shards.
+type ShardStats struct {
+	Shard             int    `json:"shard"`
+	State             string `json:"state"`
+	Ops               int64  `json:"ops"`
+	Errors            int64  `json:"errors"`
+	Unavailable       int64  `json:"unavailable"`
+	Traps             int64  `json:"traps"`
+	Restarts          int64  `json:"restarts"`
+	Mitigations       int64  `json:"mitigations"`
+	Recovered         int64  `json:"recovered"`
+	QuarantinedBlocks int    `json:"quarantined_blocks"`
+}
+
+func (s *Shard) stats() ShardStats {
+	h := s.health.Load()
+	quar := 0
+	if h != nil {
+		quar = h.QuarantinedBlocks
+	}
+	return ShardStats{
+		Shard:             s.ID,
+		State:             s.State().String(),
+		Ops:               s.ops.Load(),
+		Errors:            s.errs.Load(),
+		Unavailable:       s.unavail.Load(),
+		Traps:             s.traps.Load(),
+		Restarts:          s.restarts.Load(),
+		Mitigations:       s.mitigations.Load(),
+		Recovered:         s.recovered.Load(),
+		QuarantinedBlocks: quar,
+	}
+}
+
+// opFor maps a workload op kind onto this fleet's serving functions. Updates
+// and inserts both map to Put: the KV surface upserts.
+func (f *Fleet) opFor(op workload.Op) (fn string, args []int64) {
+	switch op.Kind {
+	case workload.OpRead:
+		return f.cfg.Funcs.Get, []int64{op.Key}
+	case workload.OpDelete:
+		return f.cfg.Funcs.Del, []int64{op.Key}
+	default:
+		return f.cfg.Funcs.Put, []int64{op.Key, op.Value}
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -21,9 +22,60 @@ type HealthState struct {
 	Mitigating bool
 }
 
+// Status renders the state's worst condition. Mitigating outranks degraded:
+// a mitigating shard is actively unavailable, a degraded one still serves
+// (with reduced guarantees) but should shed load.
+func (h HealthState) Status() string {
+	switch {
+	case h.Mitigating:
+		return "mitigating"
+	case h.Degraded || h.QuarantinedBlocks > 0:
+		return "degraded"
+	default:
+		return "ok"
+	}
+}
+
+// Healthy reports whether the state carries no adverse condition.
+func (h HealthState) Healthy() bool { return h.Status() == "ok" }
+
+// severity orders statuses for worst-of aggregation.
+func (h HealthState) severity() int {
+	switch h.Status() {
+	case "mitigating":
+		return 2
+	case "degraded":
+		return 1
+	}
+	return 0
+}
+
 // HealthFunc supplies the current health state; nil means "no health wiring"
 // and /healthz degenerates to the legacy always-"ok" liveness probe.
 type HealthFunc func() HealthState
+
+// ShardHealth is one shard's health snapshot within a serving fleet.
+type ShardHealth struct {
+	Shard int
+	HealthState
+}
+
+// FleetHealthFunc supplies per-shard health for a multi-instance fleet, in
+// shard order. HealthFunc assumes one instance; this is its fleet analogue.
+type FleetHealthFunc func() []ShardHealth
+
+// WorstOf aggregates per-shard health into one fleet-level state: any shard
+// mitigating makes the fleet report mitigating, any degraded/quarantined
+// shard makes it degraded, and quarantined block counts sum.
+func WorstOf(shards []ShardHealth) HealthState {
+	var agg HealthState
+	for _, s := range shards {
+		agg.Mitigating = agg.Mitigating || s.Mitigating
+		agg.Degraded = agg.Degraded || s.Degraded
+		agg.QuarantinedBlocks += s.QuarantinedBlocks
+	}
+	return agg
+}
 
 // NewDebugMux builds the live debug surface shared by arthas-run and
 // arthas-react's -debug flag:
@@ -99,6 +151,101 @@ func wantsProm(r *http.Request) bool {
 	return strings.Contains(accept, "application/openmetrics-text") ||
 		strings.Contains(accept, "text/plain; version=0.0.4") ||
 		strings.Contains(accept, "prometheus")
+}
+
+// FleetHealthHandler serves aggregated multi-shard health as JSON: an
+// overall worst-of status plus one entry per shard. The HTTP code follows
+// the worst-of state (200 healthy, 503 mitigating/degraded), so the probe
+// composes with load balancers the same way the single-instance one does
+// while still naming exactly which shard is unwell:
+//
+//	{"status":"mitigating","shards":[
+//	  {"shard":0,"status":"ok"},
+//	  {"shard":1,"status":"mitigating"}]}
+func FleetHealthHandler(health FleetHealthFunc) http.HandlerFunc {
+	type shardJSON struct {
+		Shard             int    `json:"shard"`
+		Status            string `json:"status"`
+		QuarantinedBlocks int    `json:"quarantined_blocks,omitempty"`
+	}
+	type fleetJSON struct {
+		Status string      `json:"status"`
+		Shards []shardJSON `json:"shards"`
+	}
+	return func(w http.ResponseWriter, _ *http.Request) {
+		shards := health()
+		agg := WorstOf(shards)
+		resp := fleetJSON{Status: agg.Status(), Shards: make([]shardJSON, len(shards))}
+		for i, s := range shards {
+			resp.Shards[i] = shardJSON{Shard: s.Shard, Status: s.Status(), QuarantinedBlocks: s.QuarantinedBlocks}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !agg.Healthy() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.Encode(resp) //nolint:errcheck // client went away; nothing to do
+	}
+}
+
+// WriteFleetHealthProm appends per-shard health to a Prometheus exposition:
+// one labeled gauge per shard carrying its severity (0 ok, 1 degraded, 2
+// mitigating), per-shard quarantined block counts, and the fleet-wide
+// worst-of severity.
+func WriteFleetHealthProm(w io.Writer, shards []ShardHealth) error {
+	if _, err := fmt.Fprintln(w, "# TYPE arthas_fleet_shard_health gauge"); err != nil {
+		return err
+	}
+	for _, s := range shards {
+		if _, err := fmt.Fprintf(w, "arthas_fleet_shard_health{shard=\"%d\",state=\"%s\"} %d\n",
+			s.Shard, s.Status(), s.severity()); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "# TYPE arthas_fleet_shard_quarantined_blocks gauge"); err != nil {
+		return err
+	}
+	for _, s := range shards {
+		if _, err := fmt.Fprintf(w, "arthas_fleet_shard_quarantined_blocks{shard=\"%d\"} %d\n",
+			s.Shard, s.QuarantinedBlocks); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE arthas_fleet_health_worst gauge\narthas_fleet_health_worst %d\n",
+		WorstOf(shards).severity())
+	return err
+}
+
+// NewFleetMux is NewDebugMux for a serving fleet: pprof under /debug/pprof,
+// merged fleet metrics on /metrics (text summary by default, Prometheus
+// exposition — with the per-shard health gauges appended — via ?format=prom
+// or Accept negotiation), and the aggregated JSON health probe on /healthz.
+// metrics is called per request so it can merge per-shard recorders on
+// demand; a nil metrics func turns /metrics into a 404.
+func NewFleetMux(metrics func() *Recorder, health FleetHealthFunc) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", FleetHealthHandler(health))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if metrics == nil {
+			http.Error(w, "no recorder attached", http.StatusNotFound)
+			return
+		}
+		rec := metrics()
+		if wantsProm(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			rec.WritePrometheus(w)            //nolint:errcheck // client went away
+			WriteFleetHealthProm(w, health()) //nolint:errcheck // client went away
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, rec.Summary()) //nolint:errcheck // client went away
+	})
+	return mux
 }
 
 // ServeDebug binds addr (":0" picks a free port), serves the debug mux in

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWorstOf(t *testing.T) {
+	ok := ShardHealth{Shard: 0}
+	deg := ShardHealth{Shard: 1, HealthState: HealthState{Degraded: true}}
+	quar := ShardHealth{Shard: 2, HealthState: HealthState{QuarantinedBlocks: 3}}
+	mit := ShardHealth{Shard: 3, HealthState: HealthState{Mitigating: true}}
+
+	if got := WorstOf([]ShardHealth{ok, ok}).Status(); got != "ok" {
+		t.Fatalf("all-ok worst = %q", got)
+	}
+	if got := WorstOf([]ShardHealth{ok, deg}).Status(); got != "degraded" {
+		t.Fatalf("degraded worst = %q", got)
+	}
+	if got := WorstOf([]ShardHealth{ok, quar}).Status(); got != "degraded" {
+		t.Fatalf("quarantined worst = %q", got)
+	}
+	if got := WorstOf([]ShardHealth{deg, mit}).Status(); got != "mitigating" {
+		t.Fatalf("mitigating worst = %q", got)
+	}
+	if got := WorstOf([]ShardHealth{quar, quar}).QuarantinedBlocks; got != 6 {
+		t.Fatalf("quarantined blocks sum = %d, want 6", got)
+	}
+	if got := WorstOf(nil).Status(); got != "ok" {
+		t.Fatalf("empty fleet worst = %q", got)
+	}
+}
+
+func TestFleetHealthHandlerJSON(t *testing.T) {
+	shards := []ShardHealth{
+		{Shard: 0},
+		{Shard: 1, HealthState: HealthState{Mitigating: true}},
+		{Shard: 2, HealthState: HealthState{QuarantinedBlocks: 2}},
+	}
+	mux := NewFleetMux(nil, func() []ShardHealth { return shards })
+
+	code, body := get(t, mux, "/healthz")
+	if code != 503 {
+		t.Fatalf("/healthz with a mitigating shard = %d, want 503", code)
+	}
+	var resp struct {
+		Status string `json:"status"`
+		Shards []struct {
+			Shard             int    `json:"shard"`
+			Status            string `json:"status"`
+			QuarantinedBlocks int    `json:"quarantined_blocks"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("/healthz body not JSON: %v\n%s", err, body)
+	}
+	if resp.Status != "mitigating" || len(resp.Shards) != 3 {
+		t.Fatalf("aggregated health = %+v", resp)
+	}
+	if resp.Shards[1].Status != "mitigating" || resp.Shards[2].Status != "degraded" ||
+		resp.Shards[2].QuarantinedBlocks != 2 {
+		t.Fatalf("per-shard health = %+v", resp.Shards)
+	}
+
+	// All healthy → 200, status ok.
+	shards = []ShardHealth{{Shard: 0}, {Shard: 1}}
+	code, body = get(t, mux, "/healthz")
+	if code != 200 || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("healthy fleet /healthz = %d %q", code, body)
+	}
+}
+
+func TestFleetMuxPrometheusHealth(t *testing.T) {
+	rec := NewRecorder()
+	rec.Count("fleet.req", 9)
+	rec.Observe("fleet.req.us", 120)
+	shards := []ShardHealth{
+		{Shard: 0},
+		{Shard: 1, HealthState: HealthState{Mitigating: true}},
+	}
+	mux := NewFleetMux(func() *Recorder { return rec }, func() []ShardHealth { return shards })
+
+	code, body := get(t, mux, "/metrics?format=prom")
+	if code != 200 {
+		t.Fatalf("/metrics?format=prom = %d", code)
+	}
+	for _, want := range []string{
+		"arthas_fleet_req 9",
+		`arthas_fleet_shard_health{shard="0",state="ok"} 0`,
+		`arthas_fleet_shard_health{shard="1",state="mitigating"} 2`,
+		"arthas_fleet_health_worst 2",
+		`arthas_fleet_shard_quarantined_blocks{shard="0"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("prom exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	// Text summary path still works and the nil-metrics mux 404s.
+	if code, body := get(t, mux, "/metrics"); code != 200 || !strings.Contains(body, "fleet.req") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	nilMux := NewFleetMux(nil, func() []ShardHealth { return nil })
+	if code, _ := get(t, nilMux, "/metrics"); code != 404 {
+		t.Fatalf("/metrics with nil metrics func = %d, want 404", code)
+	}
+}
+
+func TestFleetHealthHandlerDirect(t *testing.T) {
+	h := FleetHealthHandler(func() []ShardHealth {
+		return []ShardHealth{{Shard: 0, HealthState: HealthState{Degraded: true}}}
+	})
+	rr := httptest.NewRecorder()
+	h(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 503 || !strings.Contains(rr.Body.String(), `"status":"degraded"`) {
+		t.Fatalf("degraded fleet = %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	for _, v := range []float64{1, 2, 4} {
+		a.observe(v)
+	}
+	for _, v := range []float64{8, 16} {
+		b.observe(v)
+	}
+	a.Merge(&b)
+	if a.Count != 5 || a.Sum != 31 || a.Min != 1 || a.Max != 16 {
+		t.Fatalf("merged digest = %+v", a)
+	}
+	// Merging into an empty hist copies the source digest.
+	var c Hist
+	c.Merge(&b)
+	if c.Count != 2 || c.Min != 8 || c.Max != 16 {
+		t.Fatalf("merge into empty = %+v", c)
+	}
+	// Nil and empty merges are no-ops.
+	c.Merge(nil)
+	c.Merge(&Hist{})
+	if c.Count != 2 {
+		t.Fatalf("no-op merges changed count: %+v", c)
+	}
+}
+
+func TestRecorderAbsorb(t *testing.T) {
+	shard0, shard1 := NewRecorder(), NewRecorder()
+	shard0.Count("vm.steps", 10)
+	shard0.SetGauge("pmem.live_words", 4)
+	shard0.Observe("req.us", 100)
+	shard0.Observe("req.us", 200)
+	shard1.Count("vm.steps", 5)
+	shard1.Observe("req.us", 400)
+
+	merged := NewRecorder()
+	merged.Absorb(shard0, "")
+	merged.Absorb(shard1, "")
+	merged.Absorb(shard0, "shard0.")
+	merged.Absorb(shard1, "shard1.")
+
+	if got := merged.CounterValue("vm.steps"); got != 15 {
+		t.Fatalf("aggregate counter = %d, want 15", got)
+	}
+	if got := merged.CounterValue("shard1.vm.steps"); got != 5 {
+		t.Fatalf("prefixed counter = %d, want 5", got)
+	}
+	if got := merged.GaugeValue("shard0.pmem.live_words"); got != 4 {
+		t.Fatalf("prefixed gauge = %d, want 4", got)
+	}
+	h := merged.Histogram("req.us")
+	if h == nil || h.Count != 3 || h.Min != 100 || h.Max != 400 {
+		t.Fatalf("merged hist = %+v", h)
+	}
+	if q := merged.Quantile("req.us", 0.99); q < 200 || q > 400 {
+		t.Fatalf("merged p99 = %g, want within (200, 400]", q)
+	}
+
+	// Absorbing into itself or from nil is a no-op.
+	before := merged.CounterValue("vm.steps")
+	merged.Absorb(merged, "")
+	merged.Absorb(nil, "")
+	if merged.CounterValue("vm.steps") != before {
+		t.Fatalf("self/nil absorb changed state")
+	}
+}

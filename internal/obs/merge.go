@@ -49,6 +49,83 @@ func ReplayInto(dst Sink, src *Recorder, extra ...Attr) {
 	}
 }
 
+// Merge folds o's samples into h bin-wise: counts and sums add, min/max
+// widen, and power-of-two buckets combine exactly (both sides share the
+// same fixed bucket bounds). A nil or empty o is a no-op.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if h.Count == 0 || o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Absorb folds src's counters, gauges, and histograms into r, with every
+// metric name prefixed (e.g. "shard0."). Fleet-wide /metrics merges the
+// per-shard Recorders this way: counters add, gauges overwrite (they are
+// point-in-time values of distinct shards, hence the prefix), and
+// histograms merge bin-wise. Metrics register in src's first-seen order so
+// repeated merges of identical inputs render identically. Spans are not
+// absorbed — use ReplayInto for those. A nil src (or r itself) is a no-op.
+func (r *Recorder) Absorb(src *Recorder, prefix string) {
+	if src == nil || src == r {
+		return
+	}
+	type histSample struct {
+		name string
+		h    Hist
+	}
+	src.mu.Lock()
+	names := make([]string, 0, len(src.order))
+	for n := range src.order {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return src.order[names[i]] < src.order[names[j]] })
+	var counters []CounterSample
+	var gauges []CounterSample
+	var hists []histSample
+	for _, n := range names {
+		if v, ok := src.counters[n]; ok {
+			counters = append(counters, CounterSample{Name: n, Value: v})
+		}
+		if v, ok := src.gauges[n]; ok {
+			gauges = append(gauges, CounterSample{Name: n, Value: v})
+		}
+		if h, ok := src.hists[n]; ok {
+			hists = append(hists, histSample{name: n, h: *h})
+		}
+	}
+	src.mu.Unlock()
+
+	for _, c := range counters {
+		r.Count(prefix+c.Name, c.Value)
+	}
+	for _, g := range gauges {
+		r.SetGauge(prefix+g.Name, g.Value)
+	}
+	r.mu.Lock()
+	for i := range hists {
+		name := prefix + hists[i].name
+		r.noteOrder(name)
+		dst := r.hists[name]
+		if dst == nil {
+			dst = &Hist{}
+			r.hists[name] = dst
+		}
+		dst.Merge(&hists[i].h)
+	}
+	r.mu.Unlock()
+}
+
 // CounterSample is one named counter value (see CountersInOrder).
 type CounterSample struct {
 	Name  string

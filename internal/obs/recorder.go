@@ -77,6 +77,11 @@ func bucketBounds(i int) (lo, hi float64) {
 	return float64(uint64(1) << (i - 1)), float64(uint64(1) << i)
 }
 
+// Add records one sample into a standalone histogram — for callers (the
+// workload driver) that aggregate latency locally before merging digests,
+// rather than through a Recorder.
+func (h *Hist) Add(v float64) { h.observe(v) }
+
 func (h *Hist) observe(v float64) {
 	if h.Count == 0 || v < h.Min {
 		h.Min = v

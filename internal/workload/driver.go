@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arthas/internal/obs"
+)
+
+// Driver promotes the op-list generator into a closed-loop load driver:
+// N concurrent clients each run their own deterministically seeded operation
+// stream against a target, measuring per-op latency and classifying errors
+// without stopping the loop (a shard refusing traffic must not stall its
+// siblings' clients). This is the serving-fleet counterpart of Runner, which
+// remains the single-threaded abort-on-error harness of the overhead
+// experiments (§6.7).
+type Driver struct {
+	// Clients is the number of concurrent closed-loop clients (default 1).
+	Clients int
+	// OpsPerClient is each client's operation count (default Shape.Ops,
+	// then 1000).
+	OpsPerClient int
+	// Shape is the workload shape. Shape.Seed is the base seed: client c
+	// runs the stream generated from deriveSeed(Shape.Seed, c), so the
+	// full set of streams is a pure function of (Shape, Clients,
+	// OpsPerClient).
+	Shape Config
+	// Do executes one operation for one client. Required.
+	Do func(client int, op Op) error
+	// Obs, when non-nil, receives per-op latency ("workload.op.us" plus a
+	// per-kind "workload.<kind>.us" histogram) and op/error counters. Must
+	// be concurrency-safe (obs.Recorder is).
+	Obs obs.Sink
+	// Tick, when non-nil, runs after every completed operation with the
+	// fleet-wide completed count — the hook mid-run fault injection hangs
+	// off (and the pmCRIU-style snapshot cadence before it). Called
+	// concurrently from client goroutines.
+	Tick func(done int)
+	// ErrClass, when non-nil, buckets errors for the report (e.g.
+	// "unavailable" vs "trap"). Unclassified errors bucket as "error".
+	ErrClass func(error) string
+	// StopOnErr aborts a client's loop at its first error (Runner
+	// semantics). The default keeps driving: closed-loop serving clients
+	// retry around failures.
+	StopOnErr bool
+}
+
+// ErrCount is one error class tally (sorted by class in reports).
+type ErrCount struct {
+	Class string `json:"class"`
+	N     int64  `json:"n"`
+}
+
+// DriverReport summarizes one closed-loop run.
+type DriverReport struct {
+	Clients      int           `json:"clients"`
+	OpsPerClient int           `json:"ops_per_client"`
+	Done         int64         `json:"done"`
+	Errors       int64         `json:"errors"`
+	ErrCounts    []ErrCount    `json:"err_counts,omitempty"`
+	Elapsed      time.Duration `json:"-"`
+	ElapsedMS    float64       `json:"elapsed_ms"`
+	OpsPerSec    float64       `json:"ops_per_sec"`
+	P50US        float64       `json:"p50_us"`
+	P99US        float64       `json:"p99_us"`
+
+	// Latency is the merged per-op latency histogram (microseconds).
+	Latency obs.Hist `json:"-"`
+}
+
+// deriveSeed gives client c its private stream seed via a splitmix64 step,
+// so neighboring clients get uncorrelated streams from one base seed.
+func deriveSeed(base uint64, c int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(c+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ClientStream returns the operation stream client c runs — exposed so
+// benchmarks can derive routing digests from the exact streams without
+// executing them.
+func (d *Driver) ClientStream(c int) []Op {
+	shape := d.Shape
+	shape.Ops = d.opsPerClient()
+	shape.Seed = deriveSeed(d.Shape.Seed, c)
+	return Generate(shape)
+}
+
+func (d *Driver) clients() int {
+	if d.Clients < 1 {
+		return 1
+	}
+	return d.Clients
+}
+
+func (d *Driver) opsPerClient() int {
+	if d.OpsPerClient > 0 {
+		return d.OpsPerClient
+	}
+	if d.Shape.Ops > 0 {
+		return d.Shape.Ops
+	}
+	return 1000
+}
+
+// clientResult is one client's private tallies, merged after the run so the
+// hot loop takes no shared locks beyond the sink's own.
+type clientResult struct {
+	done  int64
+	nerrs int64
+	errs  map[string]int64
+	lat   obs.Hist
+	kinds [4]obs.Hist
+}
+
+// Run drives every client to completion and returns the merged report.
+func (d *Driver) Run() *DriverReport {
+	nc := d.clients()
+	sink := obs.OrNop(d.Obs)
+	instrumented := obs.Enabled(sink)
+
+	results := make([]clientResult, nc)
+	var total atomic.Int64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < nc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			res := &results[c]
+			res.errs = map[string]int64{}
+			for _, op := range d.ClientStream(c) {
+				t0 := time.Now()
+				err := d.Do(c, op)
+				us := float64(time.Since(t0).Microseconds())
+				res.lat.Add(us)
+				res.kinds[op.Kind].Add(us)
+				if instrumented {
+					sink.Observe("workload.op.us", us)
+					sink.Observe("workload."+kindName(op.Kind)+".us", us)
+				}
+				res.done++
+				if err != nil {
+					res.nerrs++
+					class := "error"
+					if d.ErrClass != nil {
+						class = d.ErrClass(err)
+					}
+					res.errs[class]++
+					if d.StopOnErr {
+						break
+					}
+				}
+				if d.Tick != nil {
+					d.Tick(int(total.Add(1)))
+				} else {
+					total.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &DriverReport{Clients: nc, OpsPerClient: d.opsPerClient(), Elapsed: elapsed}
+	errs := map[string]int64{}
+	for c := range results {
+		res := &results[c]
+		rep.Done += res.done
+		rep.Errors += res.nerrs
+		rep.Latency.Merge(&res.lat)
+		for class, n := range res.errs {
+			errs[class] += n
+		}
+	}
+	for class, n := range errs {
+		rep.ErrCounts = append(rep.ErrCounts, ErrCount{Class: class, N: n})
+	}
+	sort.Slice(rep.ErrCounts, func(i, j int) bool { return rep.ErrCounts[i].Class < rep.ErrCounts[j].Class })
+	rep.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	if elapsed > 0 {
+		rep.OpsPerSec = float64(rep.Done) / elapsed.Seconds()
+	}
+	rep.P50US = rep.Latency.Quantile(0.5)
+	rep.P99US = rep.Latency.Quantile(0.99)
+
+	if instrumented {
+		sink.Count("workload.op", rep.Done)
+		sink.Count("workload.err", rep.Errors)
+	}
+	return rep
+}
+
+func kindName(k OpKind) string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	default:
+		return "delete"
+	}
+}

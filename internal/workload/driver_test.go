@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"arthas/internal/obs"
+)
+
+func TestDriverStreamsDeterministic(t *testing.T) {
+	d1 := &Driver{Clients: 4, OpsPerClient: 500, Shape: WorkloadA(0, 100, 42)}
+	d2 := &Driver{Clients: 4, OpsPerClient: 500, Shape: WorkloadA(0, 100, 42)}
+	for c := 0; c < 4; c++ {
+		a, b := d1.ClientStream(c), d2.ClientStream(c)
+		if len(a) != 500 || len(b) != 500 {
+			t.Fatalf("client %d stream len = %d/%d, want 500", c, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("client %d op %d differs: %+v vs %+v", c, i, a[i], b[i])
+			}
+		}
+	}
+	// Distinct clients must not replay each other's stream.
+	a, b := d1.ClientStream(0), d1.ClientStream(1)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("clients 0 and 1 generated identical streams")
+	}
+}
+
+func TestDriverClosedLoop(t *testing.T) {
+	var mu sync.Mutex
+	perClient := map[int]int{}
+	rec := obs.NewRecorder()
+	var ticks int
+	var tickMu sync.Mutex
+	d := &Driver{
+		Clients:      3,
+		OpsPerClient: 200,
+		Shape:        WorkloadA(0, 50, 7),
+		Obs:          rec,
+		Do: func(c int, op Op) error {
+			mu.Lock()
+			perClient[c]++
+			mu.Unlock()
+			return nil
+		},
+		Tick: func(done int) {
+			tickMu.Lock()
+			ticks++
+			tickMu.Unlock()
+		},
+	}
+	rep := d.Run()
+	if rep.Done != 600 || rep.Errors != 0 {
+		t.Fatalf("done=%d errors=%d, want 600/0", rep.Done, rep.Errors)
+	}
+	if ticks != 600 {
+		t.Fatalf("ticks = %d, want 600", ticks)
+	}
+	for c := 0; c < 3; c++ {
+		if perClient[c] != 200 {
+			t.Fatalf("client %d ran %d ops, want 200", c, perClient[c])
+		}
+	}
+	if rep.Latency.Count != 600 {
+		t.Fatalf("latency samples = %d, want 600", rep.Latency.Count)
+	}
+	if rep.P99US < rep.P50US {
+		t.Fatalf("p99 %g < p50 %g", rep.P99US, rep.P50US)
+	}
+	if h := rec.Histogram("workload.op.us"); h == nil || h.Count != 600 {
+		t.Fatalf("sink hist = %+v, want 600 samples", h)
+	}
+	if got := rec.CounterValue("workload.op"); got != 600 {
+		t.Fatalf("workload.op counter = %d, want 600", got)
+	}
+	if rep.OpsPerSec <= 0 || rep.ElapsedMS < 0 {
+		t.Fatalf("throughput digest: %+v", rep)
+	}
+}
+
+func TestDriverErrorClassification(t *testing.T) {
+	unavailable := errors.New("shard unavailable")
+	d := &Driver{
+		Clients:      2,
+		OpsPerClient: 100,
+		Shape:        WorkloadA(0, 20, 3),
+		Do: func(c int, op Op) error {
+			if op.Kind == OpRead {
+				return unavailable
+			}
+			if op.Kind == OpDelete {
+				return errors.New("boom")
+			}
+			return nil
+		},
+		ErrClass: func(err error) string {
+			if errors.Is(err, unavailable) {
+				return "unavailable"
+			}
+			return "trap"
+		},
+	}
+	rep := d.Run()
+	if rep.Done != 200 {
+		t.Fatalf("done = %d, want 200 (closed loop must not stop on errors)", rep.Done)
+	}
+	if rep.Errors == 0 {
+		t.Fatal("no errors recorded")
+	}
+	var total int64
+	for _, ec := range rep.ErrCounts {
+		if ec.Class != "unavailable" && ec.Class != "trap" {
+			t.Fatalf("unexpected class %q", ec.Class)
+		}
+		total += ec.N
+	}
+	if total != rep.Errors {
+		t.Fatalf("class tallies %d != errors %d", total, rep.Errors)
+	}
+}
+
+func TestDriverStopOnErr(t *testing.T) {
+	calls := 0
+	d := &Driver{
+		OpsPerClient: 100,
+		Shape:        InsertOnly(0, 1),
+		StopOnErr:    true,
+		Do: func(c int, op Op) error {
+			calls++
+			if calls == 5 {
+				return errors.New("fatal")
+			}
+			return nil
+		},
+	}
+	rep := d.Run()
+	if calls != 5 || rep.Done != 5 || rep.Errors != 1 {
+		t.Fatalf("stop-on-err: calls=%d done=%d errors=%d, want 5/5/1", calls, rep.Done, rep.Errors)
+	}
+}
+
+// TestRunnerErrorPath covers Runner.Run's abort-on-first-error branch: the
+// returned count is the index of the failing op and later ops never run.
+func TestRunnerErrorPath(t *testing.T) {
+	var applied []Op
+	boom := errors.New("boom")
+	r := &Runner{
+		Insert: func(k, v int64) error {
+			if k == 3 {
+				return fmt.Errorf("insert %d: %w", k, boom)
+			}
+			applied = append(applied, Op{Kind: OpInsert, Key: k, Value: v})
+			return nil
+		},
+	}
+	ops := Generate(InsertOnly(10, 1)) // keys 1..10 ascending
+	n, err := r.Run(ops)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if n != 2 {
+		t.Fatalf("count = %d, want index 2 of the failing op", n)
+	}
+	if len(applied) != 2 {
+		t.Fatalf("%d ops applied after error, want 2", len(applied))
+	}
+}
+
+// TestRunnerLatencyCapture covers the new Obs wiring: per-op latency lands
+// in workload.op.us with per-kind splits, and quantiles are readable.
+func TestRunnerLatencyCapture(t *testing.T) {
+	rec := obs.NewRecorder()
+	nop := func(...int64) error { return nil }
+	r := &Runner{
+		Read:   func(k int64) error { return nop(k) },
+		Update: func(k, v int64) error { return nop(k, v) },
+		Insert: func(k, v int64) error { return nop(k, v) },
+		Delete: func(k int64) error { return nop(k) },
+		Obs:    rec,
+	}
+	ops := Generate(WorkloadA(500, 50, 9))
+	if _, err := r.Run(ops); err != nil {
+		t.Fatal(err)
+	}
+	h := rec.Histogram("workload.op.us")
+	if h == nil || h.Count != 500 {
+		t.Fatalf("workload.op.us = %+v, want 500 samples", h)
+	}
+	if got := rec.CounterValue("workload.op"); got != 500 {
+		t.Fatalf("workload.op = %d, want 500", got)
+	}
+	if rec.Histogram("workload.read.us") == nil {
+		t.Fatal("no per-kind read latency histogram")
+	}
+	if p99 := rec.Quantile("workload.op.us", 0.99); p99 < rec.Quantile("workload.op.us", 0.5) {
+		t.Fatal("p99 below p50")
+	}
+}

@@ -7,7 +7,12 @@
 // comparisons between deployments run identical operation streams.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"arthas/internal/obs"
+)
 
 // OpKind is a generated operation type.
 type OpKind int
@@ -206,12 +211,22 @@ type Runner struct {
 	Update func(k, v int64) error
 	Insert func(k, v int64) error
 	Delete func(k int64) error
+	// Obs, when non-nil, receives per-op latency — "workload.op.us" plus a
+	// per-kind "workload.<kind>.us" histogram — and an op counter, so
+	// overhead runs get p50/p99 alongside their aggregate throughput. The
+	// nil default keeps the hot loop free of timing calls.
+	Obs obs.Sink
 }
 
 // Run applies every operation, returning the count executed and the first
 // error (operations after an error are skipped).
 func (r *Runner) Run(ops []Op) (int, error) {
+	instrumented := obs.Enabled(r.Obs)
 	for i, op := range ops {
+		var t0 time.Time
+		if instrumented {
+			t0 = time.Now()
+		}
 		var err error
 		switch op.Kind {
 		case OpRead:
@@ -230,6 +245,12 @@ func (r *Runner) Run(ops []Op) (int, error) {
 			if r.Delete != nil {
 				err = r.Delete(op.Key)
 			}
+		}
+		if instrumented {
+			us := float64(time.Since(t0).Microseconds())
+			r.Obs.Observe("workload.op.us", us)
+			r.Obs.Observe("workload."+kindName(op.Kind)+".us", us)
+			r.Obs.Count("workload.op", 1)
 		}
 		if err != nil {
 			return i, fmt.Errorf("op %d (%v key %d): %w", i, op.Kind, op.Key, err)
