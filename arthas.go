@@ -50,6 +50,7 @@ import (
 	"arthas/internal/detector"
 	"arthas/internal/ir"
 	"arthas/internal/obs"
+	"arthas/internal/opt"
 	"arthas/internal/pmem"
 	"arthas/internal/provenance"
 	"arthas/internal/reactor"
@@ -165,6 +166,12 @@ type Config struct {
 	// driving the instance. Keep it cheap and non-blocking; it is how a
 	// fleet manager mirrors shard state without touching internals.
 	OnLifecycle func(LifecycleEvent)
+	// Optimize runs the flush/fence-elimination pass (internal/opt) on the
+	// compiled module before analysis and instrumentation. The optimized
+	// program reaches every crash-visible durability point with the same
+	// durable state as the original (torture-proven; see docs/OPTIMIZER.md).
+	// Off by default. Instance.OptStats reports what the pass did.
+	Optimize bool
 }
 
 // Instance is a PML system deployed under the full Arthas toolchain:
@@ -188,6 +195,9 @@ type Instance struct {
 	LastScrub *ScrubReport
 	// Prov is the write-lineage index (nil unless Config.Provenance).
 	Prov *provenance.Index
+	// OptStats reports what the optimizer removed (nil unless
+	// Config.Optimize).
+	OptStats *opt.Stats
 
 	cfg        Config
 	obsSink    obs.Sink // Observer + Flight fan-out, wired into every layer
@@ -257,6 +267,12 @@ func build(name, source string, cfg Config, pool *pmem.Pool) (*Instance, error) 
 	if err != nil {
 		return nil, fmt.Errorf("arthas: %w", err)
 	}
+	var optStats *opt.Stats
+	if cfg.Optimize {
+		if optStats, err = opt.Optimize(mod); err != nil {
+			return nil, fmt.Errorf("arthas: %w", err)
+		}
+	}
 	if pool == nil {
 		pool = pmem.New(cfg.PoolWords)
 	}
@@ -278,6 +294,7 @@ func build(name, source string, cfg Config, pool *pmem.Pool) (*Instance, error) 
 		Trace:    trace.New(),
 		Detector: detector.New(),
 		Flight:   fl,
+		OptStats: optStats,
 		cfg:      cfg,
 	}
 	inst.Pool.SetHooks(inst.Log.Hooks())

@@ -23,12 +23,20 @@
 //	        scrub                                  (media checksum/scrub cost)
 //	        provenance                             (write-lineage cost + persist amplification)
 //	        fleet                                  (sharded serving fleet: scaling + mid-run fault)
+//	        optimize                               (flush/fence elimination: before/after persists)
 //	        all                                    (everything)
 //
 // -exp fleet honors -workers (per-shard speculative mitigation), -clients,
 // and -ops (per-client op count); combined with -json FILE it writes a
 // fleet-only arthas-bench/v1 document (the CI fleet smoke artifact) instead
 // of text.
+//
+// -exp optimize runs every fixture and paper system unoptimized and under
+// the internal/opt flush/fence-elimination pass (provenance attached) and
+// reports static rewrites, persist-op counts, redundant-persist ratios,
+// and throughput; with -json FILE it writes an optimize-only
+// arthas-bench/v1 document (the CI optimizer artifact). Honors -ops. Run
+// from the repo root (reads testdata/*.pml).
 //
 // Absolute numbers differ from the paper (the substrate is a simulator on
 // logical time); the shapes are what reproduce. See EXPERIMENTS.md.
@@ -70,6 +78,20 @@ func main() {
 			f, err := os.Create(*jsonOut)
 			check(err)
 			check(fr.WriteJSON(f))
+			check(f.Close())
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return
+	}
+
+	if *exp == "optimize" {
+		or, err := experiments.RunOptimize(experiments.OptimizeConfig{Ops: *ops})
+		check(err)
+		fmt.Print(or.Text())
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			check(err)
+			check(or.WriteJSON(f))
 			check(f.Close())
 			fmt.Printf("wrote %s\n", *jsonOut)
 		}

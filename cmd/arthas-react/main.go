@@ -47,6 +47,7 @@ func main() {
 	flight := flag.Int("flight", obs.DefaultFlightEvents, "flight-recorder ring size in events (0 disables)")
 	debugAddr := flag.String("debug", "", "serve pprof, /metrics, /flight, /healthz on this address (e.g. localhost:6060)")
 	incidentFile := flag.String("incident", "", "write the arthas-incident/v1 report to this file (arthas solution only; attaches the provenance index)")
+	optimize := flag.Bool("opt", false, "run the flush/fence-elimination pass on the system before deployment (all solutions honor it; docs/OPTIMIZER.md)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: arthas-react [-solution S] [-mode M] [-ops N] f1..f12")
@@ -59,7 +60,7 @@ func main() {
 	}
 	fmt.Printf("case %s: %s — %s (%s)\n", b.ID, b.System, b.Fault, b.Consequence)
 
-	cfg := faults.RunConfig{WorkloadOps: *ops}
+	cfg := faults.RunConfig{WorkloadOps: *ops, Optimize: *optimize}
 	cfg.Reactor = reactor.DefaultConfig()
 	cfg.Reactor.Batch = *batch
 	cfg.Reactor.Workers = *workers

@@ -50,9 +50,10 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print a telemetry summary to stderr on exit")
 	flight := flag.Int("flight", obs.DefaultFlightEvents, "flight-recorder ring size in events (0 disables); the tail travels inside -poolfile images")
 	debugAddr := flag.String("debug", "", "serve pprof, /metrics, /flight, /healthz on this address (e.g. localhost:6060)")
+	optimize := flag.Bool("opt", false, "run the flush/fence-elimination pass before execution (docs/OPTIMIZER.md)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, `usage: arthas-run [-recover FN] [-pool WORDS] [-workers N] [-poolfile F] [-trace F] [-metrics] [-flight N] [-debug ADDR] file.pml "init_; put 1 2; get 1"`)
+		fmt.Fprintln(os.Stderr, `usage: arthas-run [-recover FN] [-pool WORDS] [-workers N] [-poolfile F] [-trace F] [-metrics] [-flight N] [-debug ADDR] [-opt] file.pml "init_; put 1 2; get 1"`)
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -60,7 +61,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	cfg := arthas.Config{PoolWords: *pool, RecoverFn: *recoverFn, FlightEvents: *flight}
+	cfg := arthas.Config{PoolWords: *pool, RecoverFn: *recoverFn, FlightEvents: *flight, Optimize: *optimize}
 	cfg.Reactor.Workers = *workers
 	var rec *obs.Recorder
 	var traceF *os.File

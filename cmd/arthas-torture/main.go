@@ -11,7 +11,7 @@
 //
 //	arthas-torture [-seed N] [-points N] [-workers N] [-depth N]
 //	               [-recover FN] [-probe "fn args"] [-torn=false]
-//	               [-replay seed.json] [-o report.json]
+//	               [-replay seed.json] [-o report.json] [-opt]
 //	               file.pml "init_; put 1 2; get 1"
 //
 // Output is a JSON report that is byte-identical for a given -seed, across
@@ -20,6 +20,12 @@
 //
 // -replay runs a single saved seed (the testdata/torture format) instead
 // of a sweep — the regression path for shrunk schedules.
+//
+// -opt first proves durability equivalence — every enumerated crash point
+// of the flush/fence-optimized build must recover to the identical durable
+// image under both the optimized and unoptimized stacks (exit 1 and an
+// arthas-equiv/v1 report on any mismatch) — then runs the sweep on the
+// optimized program.
 //
 // -media switches to the media-fault sweep: instead of crashing at each
 // durability event, the harness corrupts the durable image there (bit
@@ -51,6 +57,7 @@ func main() {
 	media := flag.Bool("media", false, "sweep media faults instead of crash points")
 	imageDir := flag.String("imagedir", "", "with -media: save each trial's corrupt image here")
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	optimize := flag.Bool("opt", false, "run the flush/fence-elimination pass on the program, prove per-crash-point recovery equivalence against the unoptimized build, then sweep the optimized program")
 	flag.Parse()
 
 	if *replay != "" {
@@ -78,7 +85,7 @@ func main() {
 			Workers:   *workers,
 		}, *imageDir, *out))
 	}
-	rep, err := torture.Run(torture.Config{
+	cfg := torture.Config{
 		Name:      flag.Arg(0),
 		Source:    string(src),
 		Script:    flag.Arg(1),
@@ -90,7 +97,26 @@ func main() {
 		Depth:     *depth,
 		Torn:      *torn,
 		Shrink:    true,
-	})
+		Optimize:  *optimize,
+	}
+	if *optimize {
+		eq, err := torture.RunEquivalence(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: equivalence: %d trials, %d matched, %d skipped, final %v; %s\n",
+			flag.Arg(0), eq.Trials, eq.Matched, eq.Skipped, eq.FinalMatch, eq.OptStats)
+		if !eq.OK() {
+			js, jerr := eq.JSON()
+			if jerr != nil {
+				fatal(jerr)
+			}
+			emit(js, *out)
+			fmt.Fprintln(os.Stderr, "durability equivalence VIOLATED; optimized sweep not run")
+			os.Exit(1)
+		}
+	}
+	rep, err := torture.Run(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -165,7 +191,7 @@ func emit(js []byte, out string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: arthas-torture [-seed N] [-points N] [-workers N] [-depth N] [-recover FN] [-probe "fn args"] [-torn=false] [-o report.json] file.pml "init_; put 1 2; get 1"
+	fmt.Fprintln(os.Stderr, `usage: arthas-torture [-seed N] [-points N] [-workers N] [-depth N] [-recover FN] [-probe "fn args"] [-torn=false] [-o report.json] [-opt] file.pml "init_; put 1 2; get 1"
        arthas-torture -media [-imagedir DIR] [common flags] file.pml "script"
        arthas-torture -replay seed.json file.pml`)
 	os.Exit(2)

@@ -1,0 +1,40 @@
+package analysis
+
+import "arthas/internal/ir"
+
+// DefUse is the exported view of the per-function reaching-definitions
+// def-use chains, the proof substrate internal/opt uses to resolve address
+// operands to their defining instructions.
+type DefUse struct{ du *regDefUse }
+
+// ReachDefs computes reaching definitions over f and returns the def-use
+// chains. The result is deterministic for a given function.
+func ReachDefs(f *ir.Function) *DefUse {
+	return &DefUse{du: computeDefUse(f)}
+}
+
+// DefsOf returns the definition instructions that may reach use's read of
+// reg, and whether the incoming function parameter may also reach it. An
+// empty slice with fromParam=false means reg is not read by use (or is
+// read uninitialized, which the compiler does not emit).
+func (d *DefUse) DefsOf(use *ir.Instr, reg int) (defs []*ir.Instr, fromParam bool) {
+	for _, ds := range d.du.useDefs[use] {
+		if ds.reg != reg {
+			continue
+		}
+		if ds.instr == nil {
+			fromParam = true
+			continue
+		}
+		defs = append(defs, ds.instr)
+	}
+	return defs, fromParam
+}
+
+// BuildPointsTo runs the Andersen-style pointer analysis alone, without the
+// instrumentation step that assigns GUIDs (Analyze mutates the module;
+// BuildPointsTo does not). internal/opt uses it for may-alias refutation
+// before the module has been analyzed.
+func BuildPointsTo(mod *ir.Module) *PointsTo {
+	return buildPointsTo(mod)
+}

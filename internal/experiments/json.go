@@ -229,6 +229,9 @@ type JSONReport struct {
 	// Fleet appears when the evaluation ran with FullConfig.Fleet set
 	// (the sharded-serving scaling + mid-run fault experiment).
 	Fleet *JSONFleet `json:"fleet,omitempty"`
+	// Optimize appears when the evaluation ran with FullConfig.Optimize set
+	// (the flush/fence-elimination before/after measurement).
+	Optimize *JSONOptimize `json:"optimize,omitempty"`
 	// Workers and Parallel appear only when the evaluation ran with
 	// FullConfig.Workers > 1 (cmd/arthas-bench -workers N): the default
 	// sequential report stays byte-identical.
@@ -335,6 +338,14 @@ func FullJSON(cfg FullConfig) (*JSONReport, error) {
 			return nil, err
 		}
 		rep.Fleet = fr.JSON()
+	}
+
+	if cfg.Optimize != nil {
+		or, err := RunOptimize(*cfg.Optimize)
+		if err != nil {
+			return nil, err
+		}
+		rep.Optimize = or.JSON()
 	}
 
 	ts, err := MeasureStatic()

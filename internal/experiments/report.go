@@ -66,6 +66,9 @@ type FullConfig struct {
 	// Fleet, when non-nil, adds the sharded-serving-fleet experiment
 	// (scaling sweep + mid-run fault) to the JSON report.
 	Fleet *FleetConfig
+	// Optimize, when non-nil, adds the flush/fence-elimination before/after
+	// measurement (JSONReport.Optimize).
+	Optimize *OptimizeConfig
 }
 
 // FullReport produces the entire paper evaluation as text.

@@ -43,6 +43,9 @@ type RunConfig struct {
 	// makes RunArthas assemble an incident report (Outcome.Incident) after
 	// mitigation (Arthas non-leak runs only).
 	Provenance bool
+	// Optimize runs the flush/fence-elimination pass on the system before
+	// deployment (all three stacks honor it, so baselines stay comparable).
+	Optimize bool
 }
 
 func (cfg RunConfig) withDefaults(m Meta) RunConfig {
@@ -189,7 +192,7 @@ func RunArthas(b Builder, cfg RunConfig) (*Outcome, error) {
 	sink := obs.Multi(rec, cfg.Obs)
 	c, trap, hard, err := runToFailure(b, cfg,
 		systems.DeployOpts{Checkpoint: true, Trace: true, MaxVersions: cfg.MaxVersions,
-			Obs: sink, Provenance: cfg.Provenance}, nil)
+			Obs: sink, Provenance: cfg.Provenance, Optimize: cfg.Optimize}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -316,7 +319,7 @@ func RunPmCRIU(b Builder, cfg RunConfig) (*Outcome, error) {
 		return c, nil
 	}
 	c, trap, hard, err := runToFailure(wrapBuilder(b, deploy), cfg,
-		systems.DeployOpts{SkipAnalysis: true, Obs: cfg.Obs}, tick)
+		systems.DeployOpts{SkipAnalysis: true, Obs: cfg.Obs, Optimize: cfg.Optimize}, tick)
 	if err != nil {
 		return nil, err
 	}
@@ -363,7 +366,7 @@ func RunArCkpt(b Builder, cfg RunConfig) (*Outcome, error) {
 	rec := obs.NewRecorder()
 	sink := obs.Multi(rec, cfg.Obs)
 	c, trap, hard, err := runToFailure(b, cfg,
-		systems.DeployOpts{Checkpoint: true, SkipAnalysis: true, Obs: sink}, nil)
+		systems.DeployOpts{Checkpoint: true, SkipAnalysis: true, Obs: sink, Optimize: cfg.Optimize}, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -227,6 +227,12 @@ func (f *Function) Instrs(visit func(*Instr)) {
 // Entry returns the entry block.
 func (f *Function) Entry() *Block { return f.Blocks[0] }
 
+// Finalize reassigns dense instruction IDs and owning-block indices after a
+// transformation (e.g. internal/opt) mutated the block list. Compile calls
+// it automatically; passes that insert or delete instructions must call it
+// before handing the function back to analysis or the VM.
+func (f *Function) Finalize() { f.finalize() }
+
 // finalize assigns dense IDs and owning-block indices.
 func (f *Function) finalize() {
 	id := 0

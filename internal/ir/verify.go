@@ -95,6 +95,53 @@ func verifyFunc(m *Module, f *Function) error {
 				if in.Imm < 0 || int(in.Imm) >= len(m.Globals) {
 					return fmt.Errorf("block %d: global index %d out of range", bi, in.Imm)
 				}
+			case OpPersist, OpFlush:
+				// persist(addr, nwords) / flush(addr, nwords): exactly two
+				// source registers, no destination. Malformed arities used to
+				// slip through and fault only when the VM indexed Args.
+				if len(in.Args) != 2 {
+					return fmt.Errorf("block %d: %v with %d args, want 2", bi, in.Op, len(in.Args))
+				}
+				if in.HasDst() {
+					return fmt.Errorf("block %d: %v with a destination register", bi, in.Op)
+				}
+			case OpFence:
+				if len(in.Args) != 0 {
+					return fmt.Errorf("block %d: fence with %d args, want 0", bi, len(in.Args))
+				}
+				if in.HasDst() {
+					return fmt.Errorf("block %d: fence with a destination register", bi)
+				}
+			case OpPmalloc, OpGetRoot, OpPmSize, OpValloc:
+				if len(in.Args) != 1 {
+					return fmt.Errorf("block %d: %v with %d args, want 1", bi, in.Op, len(in.Args))
+				}
+				if !in.HasDst() {
+					return fmt.Errorf("block %d: %v without a destination register", bi, in.Op)
+				}
+			case OpPfree, OpVfree:
+				if len(in.Args) != 1 {
+					return fmt.Errorf("block %d: %v with %d args, want 1", bi, in.Op, len(in.Args))
+				}
+			case OpSetRoot:
+				if len(in.Args) != 2 {
+					return fmt.Errorf("block %d: setroot with %d args, want 2", bi, len(in.Args))
+				}
+			case OpPmRealloc:
+				if len(in.Args) != 2 {
+					return fmt.Errorf("block %d: pmrealloc with %d args, want 2", bi, len(in.Args))
+				}
+				if !in.HasDst() {
+					return fmt.Errorf("block %d: pmrealloc without a destination register", bi)
+				}
+			case OpLoad:
+				if len(in.Args) != 1 {
+					return fmt.Errorf("block %d: load with %d args, want 1", bi, len(in.Args))
+				}
+			case OpStore:
+				if len(in.Args) != 2 {
+					return fmt.Errorf("block %d: store with %d args, want 2", bi, len(in.Args))
+				}
 			}
 		}
 	}

@@ -1,0 +1,106 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// findOp returns the first instruction with the given op, failing the test
+// when the program contains none.
+func findOp(t *testing.T, m *Module, op Op) *Instr {
+	t.Helper()
+	var found *Instr
+	for _, f := range m.Funcs {
+		f.Instrs(func(in *Instr) {
+			if found == nil && in.Op == op {
+				found = in
+			}
+		})
+	}
+	if found == nil {
+		t.Fatalf("no %v instruction in module", op)
+	}
+	return found
+}
+
+const persistProg = `fn f() {
+    var p = pmalloc(2);
+    p[0] = 1;
+    persist(p, 2);
+    flush(p, 1);
+    fence();
+    return 0;
+}`
+
+// The persistence ops have fixed shapes the VM indexes blindly; Verify must
+// reject every malformed variant instead of letting it fault at runtime.
+func TestVerifyRejectsMalformedPersistenceOps(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(m *Module)
+		want   string
+	}{
+		{
+			"persist with one arg",
+			func(m *Module) { findOp(t, m, OpPersist).Args = findOp(t, m, OpPersist).Args[:1] },
+			"want 2",
+		},
+		{
+			"persist with three args",
+			func(m *Module) {
+				in := findOp(t, m, OpPersist)
+				in.Args = append(in.Args, in.Args[0])
+			},
+			"want 2",
+		},
+		{
+			"persist with destination",
+			func(m *Module) { findOp(t, m, OpPersist).Dst = 0 },
+			"destination",
+		},
+		{
+			"persist with out-of-range register",
+			func(m *Module) { findOp(t, m, OpPersist).Args[1] = 99 },
+			"out of range",
+		},
+		{
+			"flush with no args",
+			func(m *Module) { findOp(t, m, OpFlush).Args = nil },
+			"want 2",
+		},
+		{
+			"flush with destination",
+			func(m *Module) { findOp(t, m, OpFlush).Dst = 0 },
+			"destination",
+		},
+		{
+			"fence with an arg",
+			func(m *Module) { findOp(t, m, OpFence).Args = []int{0} },
+			"want 0",
+		},
+		{
+			"fence with destination",
+			func(m *Module) { findOp(t, m, OpFence).Dst = 0 },
+			"destination",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := CompileSource("t", persistProg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(m); err != nil {
+				t.Fatalf("well-formed module rejected: %v", err)
+			}
+			tc.mutate(m)
+			err = Verify(m)
+			if err == nil {
+				t.Fatalf("%s passed verification", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

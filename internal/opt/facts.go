@@ -1,0 +1,559 @@
+package opt
+
+import (
+	"sort"
+
+	"arthas/internal/analysis"
+	"arthas/internal/ir"
+)
+
+// Address value numbering, the durably-clean-word dataflow, and the
+// transaction-taint analysis. See docs/OPTIMIZER.md for the soundness
+// argument behind each rule.
+
+// maxOff bounds symbolic offsets so loop-carried pointer arithmetic cannot
+// grow values without bound during the fixpoint.
+const maxOff = 1 << 32
+
+type baseKind int
+
+const (
+	bNone   baseKind = iota
+	bAlloc           // pmalloc result: the persistent object of one alloc site
+	bValloc          // valloc result: a volatile object (never aliases PM)
+	bRoot            // getroot result: whatever the slot held at that getroot
+)
+
+// val is the abstract value of a register use: a constant, or a symbolic
+// address base+offset. The zero value is "unknown" (top).
+type val struct {
+	known   bool
+	isConst bool
+	c       int64 // constant value, or byte^Wword offset from base
+	kind    baseKind
+	base    *ir.Instr // the pmalloc/valloc/getroot instruction
+}
+
+var top = val{}
+
+func constVal(c int64) val { return val{known: true, isConst: true, c: c} }
+
+func sameVal(a, b val) bool {
+	return a.known && b.known && a.isConst == b.isConst &&
+		a.c == b.c && a.kind == b.kind && a.base == b.base
+}
+
+// resolver memoizes reaching-definition value resolution per (use, reg).
+// A use resolves only when every reaching definition yields the same value,
+// so the result is valid on all paths into the use.
+type resolver struct {
+	du       *analysis.DefUse
+	memo     map[rkey]val
+	visiting map[rkey]bool
+}
+
+type rkey struct {
+	in  *ir.Instr
+	reg int
+}
+
+func newResolver(f *ir.Function) *resolver {
+	return &resolver{du: analysis.ReachDefs(f), memo: map[rkey]val{}, visiting: map[rkey]bool{}}
+}
+
+func (r *resolver) valueOf(use *ir.Instr, reg int) val {
+	k := rkey{use, reg}
+	if v, ok := r.memo[k]; ok {
+		return v
+	}
+	if r.visiting[k] {
+		return top // def cycle (loop-carried register): unknown
+	}
+	r.visiting[k] = true
+	defs, fromParam := r.du.DefsOf(use, reg)
+	v := top
+	if !fromParam && len(defs) > 0 {
+		v = r.defValue(defs[0])
+		for _, d := range defs[1:] {
+			if !sameVal(v, r.defValue(d)) {
+				v = top
+				break
+			}
+		}
+	}
+	delete(r.visiting, k)
+	r.memo[k] = v
+	return v
+}
+
+func (r *resolver) defValue(d *ir.Instr) val {
+	switch d.Op {
+	case ir.OpConst:
+		return constVal(d.Imm)
+	case ir.OpMov:
+		return r.valueOf(d, d.Args[0])
+	case ir.OpPmalloc:
+		return val{known: true, kind: bAlloc, base: d}
+	case ir.OpValloc:
+		return val{known: true, kind: bValloc, base: d}
+	case ir.OpGetRoot:
+		// The base identity is this getroot instruction, not the slot: a
+		// later setroot must never let a stale pointer match facts about
+		// the slot's new target.
+		if s := r.valueOf(d, d.Args[0]); s.isConst {
+			return val{known: true, kind: bRoot, base: d}
+		}
+		return top
+	case ir.OpBin:
+		return binVal(ir.BinOp(d.Imm), r.valueOf(d, d.Args[0]), r.valueOf(d, d.Args[1]))
+	case ir.OpUn:
+		x := r.valueOf(d, d.Args[0])
+		if !x.isConst {
+			return top
+		}
+		switch ir.UnOp(d.Imm) {
+		case ir.Neg:
+			return constVal(-x.c)
+		case ir.BitNot:
+			return constVal(^x.c)
+		case ir.LogNot:
+			if x.c == 0 {
+				return constVal(1)
+			}
+			return constVal(0)
+		}
+	}
+	return top
+}
+
+func binVal(op ir.BinOp, x, y val) val {
+	if x.isConst && y.isConst {
+		return foldConst(op, x.c, y.c)
+	}
+	addr, off, ok := addrPlusConst(op, x, y)
+	if ok && abs64(addr.c+off) < maxOff {
+		a := addr
+		a.c += off
+		return a
+	}
+	return top
+}
+
+func addrPlusConst(op ir.BinOp, x, y val) (val, int64, bool) {
+	isAddr := func(v val) bool { return v.known && !v.isConst }
+	switch op {
+	case ir.Add:
+		if isAddr(x) && y.isConst {
+			return x, y.c, true
+		}
+		if isAddr(y) && x.isConst {
+			return y, x.c, true
+		}
+	case ir.Sub:
+		if isAddr(x) && y.isConst {
+			return x, -y.c, true
+		}
+	}
+	return top, 0, false
+}
+
+func foldConst(op ir.BinOp, a, b int64) val {
+	switch op {
+	case ir.Add:
+		return constVal(a + b)
+	case ir.Sub:
+		return constVal(a - b)
+	case ir.Mul:
+		if abs64(a) < maxOff && abs64(b) < maxOff {
+			return constVal(a * b)
+		}
+	case ir.Div:
+		if b != 0 {
+			return constVal(a / b)
+		}
+	case ir.Mod:
+		if b != 0 {
+			return constVal(a % b)
+		}
+	case ir.And:
+		return constVal(a & b)
+	case ir.Or:
+		return constVal(a | b)
+	case ir.Xor:
+		return constVal(a ^ b)
+	case ir.Shl:
+		if b >= 0 && b < 32 {
+			return constVal(a << uint(b))
+		}
+	case ir.Shr:
+		if b >= 0 && b < 64 {
+			return constVal(a >> uint(b))
+		}
+	case ir.Lt:
+		return boolVal(a < b)
+	case ir.Le:
+		return boolVal(a <= b)
+	case ir.Gt:
+		return boolVal(a > b)
+	case ir.Ge:
+		return boolVal(a >= b)
+	case ir.Eq:
+		return boolVal(a == b)
+	case ir.Ne:
+		return boolVal(a != b)
+	}
+	return top
+}
+
+func boolVal(b bool) val {
+	if b {
+		return constVal(1)
+	}
+	return constVal(0)
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ---- durably-clean word spans ----
+
+// span is a half-open word interval [lo, hi) relative to a base.
+type span struct{ lo, hi int64 }
+
+type spanSet []span // sorted, disjoint, non-adjacent-merged
+
+func (s spanSet) clone() spanSet {
+	out := make(spanSet, len(s))
+	copy(out, s)
+	return out
+}
+
+// add merges [lo, hi) into the set.
+func (s spanSet) add(lo, hi int64) spanSet {
+	if lo >= hi {
+		return s
+	}
+	out := make(spanSet, 0, len(s)+1)
+	for _, sp := range s {
+		if sp.hi < lo {
+			out = append(out, sp)
+			continue
+		}
+		if sp.lo > hi {
+			continue
+		}
+		if sp.lo < lo {
+			lo = sp.lo
+		}
+		if sp.hi > hi {
+			hi = sp.hi
+		}
+	}
+	out = append(out, span{lo, hi})
+	for _, sp := range s {
+		if sp.lo > hi {
+			out = append(out, sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].lo < out[j].lo })
+	return out
+}
+
+// remove cuts [lo, hi) out of the set.
+func (s spanSet) remove(lo, hi int64) spanSet {
+	if lo >= hi {
+		return s
+	}
+	var out spanSet
+	for _, sp := range s {
+		if sp.hi <= lo || sp.lo >= hi {
+			out = append(out, sp)
+			continue
+		}
+		if sp.lo < lo {
+			out = append(out, span{sp.lo, lo})
+		}
+		if sp.hi > hi {
+			out = append(out, span{hi, sp.hi})
+		}
+	}
+	return out
+}
+
+// intersect keeps the words present in both sets.
+func (s spanSet) intersect(o spanSet) spanSet {
+	var out spanSet
+	for _, a := range s {
+		for _, b := range o {
+			lo, hi := a.lo, a.hi
+			if b.lo > lo {
+				lo = b.lo
+			}
+			if b.hi < hi {
+				hi = b.hi
+			}
+			if lo < hi {
+				out = append(out, span{lo, hi})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].lo < out[j].lo })
+	return out
+}
+
+// covers reports whether [lo, hi) is fully inside the set.
+func (s spanSet) covers(lo, hi int64) bool {
+	if lo >= hi {
+		return true
+	}
+	for _, sp := range s {
+		if sp.lo <= lo && hi <= sp.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// cleanSuffixFrom returns the smallest d in [lo, hi] such that [d, hi) is
+// fully covered (d == hi when no suffix is clean).
+func (s spanSet) cleanSuffixFrom(lo, hi int64) int64 {
+	for _, sp := range s {
+		if sp.hi >= hi && sp.lo < hi {
+			d := sp.lo
+			if d < lo {
+				d = lo
+			}
+			return d
+		}
+	}
+	return hi
+}
+
+func (s spanSet) equal(o spanSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// state is the must-dataflow fact at a program point: per base, the words
+// proven durably clean (durable value == current value on every path), and
+// the words flushed into the write-pending queue but not yet fenced.
+type state struct {
+	clean   map[*ir.Instr]spanSet
+	pending map[*ir.Instr]spanSet
+}
+
+func newState() *state {
+	return &state{clean: map[*ir.Instr]spanSet{}, pending: map[*ir.Instr]spanSet{}}
+}
+
+func (st *state) clone() *state {
+	n := newState()
+	for k, v := range st.clean {
+		n.clean[k] = v.clone()
+	}
+	for k, v := range st.pending {
+		n.pending[k] = v.clone()
+	}
+	return n
+}
+
+func (st *state) equal(o *state) bool {
+	return mapEqual(st.clean, o.clean) && mapEqual(st.pending, o.pending)
+}
+
+func mapEqual(a, b map[*ir.Instr]spanSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if !v.equal(b[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// meet intersects two states (must-analysis join).
+func meet(a, b *state) *state {
+	n := newState()
+	for k, v := range a.clean {
+		if o, ok := b.clean[k]; ok {
+			if x := v.intersect(o); len(x) > 0 {
+				n.clean[k] = x
+			}
+		}
+	}
+	for k, v := range a.pending {
+		if o, ok := b.pending[k]; ok {
+			if x := v.intersect(o); len(x) > 0 {
+				n.pending[k] = x
+			}
+		}
+	}
+	return n
+}
+
+func (st *state) killAll() {
+	st.clean = map[*ir.Instr]spanSet{}
+	st.pending = map[*ir.Instr]spanSet{}
+}
+
+func (st *state) killBase(b *ir.Instr) {
+	delete(st.clean, b)
+	delete(st.pending, b)
+}
+
+// killRoots drops every fact derived through a getroot base.
+func (st *state) killRoots() {
+	for k := range st.clean {
+		if k.Op == ir.OpGetRoot {
+			delete(st.clean, k)
+		}
+	}
+	for k := range st.pending {
+		if k.Op == ir.OpGetRoot {
+			delete(st.pending, k)
+		}
+	}
+}
+
+func (st *state) killWord(b *ir.Instr, w int64) {
+	if s, ok := st.clean[b]; ok {
+		if s = s.remove(w, w+1); len(s) > 0 {
+			st.clean[b] = s
+		} else {
+			delete(st.clean, b)
+		}
+	}
+	if s, ok := st.pending[b]; ok {
+		if s = s.remove(w, w+1); len(s) > 0 {
+			st.pending[b] = s
+		} else {
+			delete(st.pending, b)
+		}
+	}
+}
+
+// ---- transaction taint ----
+
+// txTaint computes, per instruction, whether it may execute while a
+// transaction is active (its own function's txbegin, or the function being
+// reachable from a call made inside an active transaction). Persists that
+// may be transactional defer to the commit write-set, so the pass must
+// neither trust nor touch them.
+func txTaint(m *ir.Module) map[*ir.Instr]bool {
+	entryTainted := map[*ir.Function]bool{}
+	hasTx := map[*ir.Function]bool{}
+	for _, f := range m.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			if in.Op == ir.OpTxBegin || in.Op == ir.OpTxCommit {
+				hasTx[f] = true
+			}
+		})
+	}
+
+	// Propagate entry taint through calls made at maybe-tx points until
+	// stable. Spawned threads start with a fresh (inactive) tx state, so
+	// OpSpawn does not propagate.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range m.Funcs {
+			if !hasTx[f] && !entryTainted[f] {
+				continue
+			}
+			inTx := instrTxStates(f, entryTainted[f])
+			f.Instrs(func(in *ir.Instr) {
+				if in.Op != ir.OpCall || !inTx[in] {
+					return
+				}
+				if callee := m.Func(in.Callee); callee != nil && !entryTainted[callee] {
+					entryTainted[callee] = true
+					changed = true
+				}
+			})
+		}
+	}
+
+	out := map[*ir.Instr]bool{}
+	for _, f := range m.Funcs {
+		if !hasTx[f] && !entryTainted[f] {
+			continue
+		}
+		inTx := instrTxStates(f, entryTainted[f])
+		for in, v := range inTx {
+			if v {
+				out[in] = true
+			}
+		}
+	}
+	return out
+}
+
+// instrTxStates runs the forward may-be-in-tx dataflow over one function.
+func instrTxStates(f *ir.Function, entry bool) map[*ir.Instr]bool {
+	nb := len(f.Blocks)
+	in := make([]bool, nb)
+	seen := make([]bool, nb)
+	in[0], seen[0] = entry, true
+	preds := ir.Preds(f)
+	out := make([]bool, nb)
+	for changed := true; changed; {
+		changed = false
+		for bi, b := range f.Blocks {
+			if bi != 0 {
+				v, any := false, false
+				for _, p := range preds[bi] {
+					if seen[p] {
+						any = true
+						v = v || out[p]
+					}
+				}
+				if !any {
+					continue
+				}
+				if !seen[bi] || v != in[bi] {
+					in[bi], seen[bi] = v, true
+					changed = true
+				}
+			}
+			cur := in[bi]
+			for _, instr := range b.Instrs {
+				switch instr.Op {
+				case ir.OpTxBegin:
+					cur = true
+				case ir.OpTxCommit:
+					cur = false
+				}
+			}
+			if cur != out[bi] {
+				out[bi] = cur
+				changed = true
+			}
+		}
+	}
+	res := map[*ir.Instr]bool{}
+	for bi, b := range f.Blocks {
+		cur := in[bi]
+		for _, instr := range b.Instrs {
+			res[instr] = cur
+			switch instr.Op {
+			case ir.OpTxBegin:
+				cur = true
+			case ir.OpTxCommit:
+				cur = false
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,159 @@
+package opt
+
+import "arthas/internal/ir"
+
+// Fence elimination and flush coalescing.
+//
+// The write-pending queue (vm flushQueue) is machine-global: at function
+// entry its contents are unknown (the caller may have flushed), and any
+// call, spawn, yield or lock transfer may flush or drain it. A fence is
+// removable only where the queue is provably empty on every path — i.e.
+// a fence (or nothing since one) with no flush, call, or thread switch in
+// between. That is exactly the "each fence epoch drains once" rule: the
+// second of two back-to-back fences drains nothing and goes away, while a
+// fence that could drain even one queued line survives, so no durability
+// point ever moves.
+
+// dropEmptyFences removes fences whose queue is provably empty and returns
+// how many were removed.
+func (o *optFunc) dropEmptyFences() int {
+	f := o.f
+	nb := len(f.Blocks)
+	// Forward must-dataflow: "queue is empty here". Entry: unknown (false).
+	in := make([]bool, nb)
+	out := make([]bool, nb)
+	seen := make([]bool, nb)
+	seen[0] = true
+	preds := ir.Preds(f)
+	transfer := func(b *ir.Block, cur bool) bool {
+		for _, instr := range b.Instrs {
+			switch instr.Op {
+			case ir.OpFence:
+				cur = true
+			case ir.OpFlush:
+				cur = false
+			case ir.OpCall, ir.OpSpawn, ir.OpYield, ir.OpLock, ir.OpUnlock:
+				cur = false // callee or another thread may queue lines
+			}
+		}
+		return cur
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi, b := range f.Blocks {
+			if bi != 0 {
+				v, any := true, false
+				for _, p := range preds[bi] {
+					if seen[p] {
+						any = true
+						v = v && out[p]
+					}
+				}
+				if !any {
+					continue
+				}
+				if !seen[bi] || v != in[bi] {
+					in[bi], seen[bi] = v, true
+					changed = true
+				}
+			}
+			if v := transfer(b, in[bi]); v != out[bi] || !seen[bi] {
+				out[bi] = v
+				changed = true
+			}
+		}
+	}
+
+	del := map[*ir.Instr]bool{}
+	for bi, b := range f.Blocks {
+		if !seen[bi] {
+			continue
+		}
+		cur := in[bi]
+		for _, instr := range b.Instrs {
+			if instr.Op == ir.OpFence && cur {
+				del[instr] = true
+			}
+			switch instr.Op {
+			case ir.OpFence:
+				cur = true
+			case ir.OpFlush:
+				cur = false
+			case ir.OpCall, ir.OpSpawn, ir.OpYield, ir.OpLock, ir.OpUnlock:
+				cur = false
+			}
+		}
+	}
+	if len(del) > 0 {
+		o.rewrite(del, nil, nil)
+	}
+	return len(del)
+}
+
+// coalesceFlushes merges runs of adjacent flush instructions that queue
+// exactly contiguous ascending word ranges off the same base (pmalloc or
+// getroot) into a single flush. The merged flush queues exactly the union
+// word set the originals queued, and the VM's fence coalesces
+// exactly-contiguous queue entries into one drain range anyway — so the
+// optimized program drains the identical range at the identical fence, and
+// crash behavior is bit-for-bit the same. Overlapping or gapped ranges are
+// NOT merged: the VM drains those as separate persists, and merging would
+// change mid-drain crash states.
+func (o *optFunc) coalesceFlushes() {
+	type run struct {
+		first  *ir.Instr // kept instruction (lowest offset: its addr reg is reused)
+		base   *ir.Instr
+		lo, hi int64
+		dead   []*ir.Instr
+	}
+	del := map[*ir.Instr]bool{}
+	newCount := map[*ir.Instr]int64{}
+	var cur *run
+	flush := func() {
+		if cur != nil && len(cur.dead) > 0 {
+			for _, d := range cur.dead {
+				del[d] = true
+			}
+			newCount[cur.first] = cur.hi - cur.lo
+			o.stats.FlushesCoalesced += len(cur.dead)
+		}
+		cur = nil
+	}
+	for _, b := range o.f.Blocks {
+		flush()
+		for _, instr := range b.Instrs {
+			if instr.Op != ir.OpFlush {
+				// Queued ranges are volatile (a crash discards them) and
+				// their values are read only when a fence drains them, so
+				// moving a flush earlier is invisible unless a drain — a
+				// fence, or a call/thread-switch that may fence — happens in
+				// between. Anything else (address arithmetic, stores, even
+				// persists) keeps the run alive.
+				switch instr.Op {
+				case ir.OpFence, ir.OpCall, ir.OpSpawn, ir.OpYield, ir.OpLock, ir.OpUnlock:
+					flush()
+				}
+				continue
+			}
+			base, count := o.addrOf(instr)
+			k := o.factBase(base)
+			if k == nil || !count.isConst || count.c <= 0 {
+				flush()
+				continue
+			}
+			lo, hi := base.c, base.c+count.c
+			if cur != nil && cur.base == k && lo == cur.hi {
+				// Exactly contiguous and ascending: extend the run.
+				cur.hi = hi
+				cur.dead = append(cur.dead, instr)
+				continue
+			}
+			flush()
+			cur = &run{first: instr, base: k, lo: lo, hi: hi}
+		}
+	}
+	flush()
+	if len(del)+len(newCount) > 0 {
+		o.rewrite(del, newCount, nil)
+	}
+}

@@ -1,0 +1,150 @@
+package opt_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"arthas/internal/ir"
+	"arthas/internal/opt"
+	"arthas/internal/systems"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenPrograms is every program the pass is snapshotted against: the
+// repo's PML fixtures plus the five paper systems (hosts of the f1–f12
+// fault cases).
+func goldenPrograms(t *testing.T) map[string]string {
+	t.Helper()
+	progs := map[string]string{}
+	for _, name := range []string{"counter", "checksum", "linkedset", "ringlog", "native"} {
+		src, err := os.ReadFile(filepath.Join("..", "..", "testdata", name+".pml"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs[name] = string(src)
+	}
+	for _, sys := range []*systems.System{
+		systems.Memcached(), systems.Redis(), systems.Pelikan(),
+		systems.PMEMKV(), systems.CCEH(),
+	} {
+		progs[sys.Name] = sys.Source
+	}
+	return progs
+}
+
+// summarize renders the deterministic golden header: op counts before and
+// after plus the pass stats.
+func summarize(before, after map[ir.Op]int, st *opt.Stats) string {
+	var sb strings.Builder
+	for _, op := range []ir.Op{ir.OpPersist, ir.OpFlush, ir.OpFence} {
+		fmt.Fprintf(&sb, "%s: %d -> %d\n", op, before[op], after[op])
+	}
+	fmt.Fprintf(&sb, "stats: %s\n", st)
+	return sb.String()
+}
+
+func opCounts(m *ir.Module) map[ir.Op]int {
+	counts := map[ir.Op]int{}
+	for _, f := range m.Funcs {
+		f.Instrs(func(in *ir.Instr) { counts[in.Op]++ })
+	}
+	return counts
+}
+
+// smallFixtures get a full optimized-IR snapshot appended to their golden;
+// the systems' IR is too large to review as a snapshot, so their goldens
+// carry the summary alone.
+var smallFixtures = map[string]bool{"counter": true, "checksum": true, "linkedset": true, "ringlog": true, "native": true}
+
+func TestGoldenOptimizedIR(t *testing.T) {
+	for name, src := range goldenPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			mod := ir.MustCompile(name, src)
+			before := opCounts(mod)
+			st, err := opt.Optimize(mod)
+			if err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			if err := ir.Verify(mod); err != nil {
+				t.Fatalf("optimized module fails verification: %v", err)
+			}
+			after := opCounts(mod)
+
+			// Persistence ops must never increase, and every removal the
+			// stats claim must show up in the op counts.
+			if after[ir.OpPersist] > before[ir.OpPersist] ||
+				after[ir.OpFlush] > before[ir.OpFlush] ||
+				after[ir.OpFence] > before[ir.OpFence] {
+				t.Fatalf("op counts increased: before %v after %v", before, after)
+			}
+			if got := before[ir.OpPersist] - after[ir.OpPersist]; got != st.PersistsRemoved {
+				t.Fatalf("persist delta %d != stats %d", got, st.PersistsRemoved)
+			}
+			if got := before[ir.OpFlush] - after[ir.OpFlush]; got != st.FlushesRemoved+st.FlushesCoalesced {
+				t.Fatalf("flush delta %d != stats %d+%d", got, st.FlushesRemoved, st.FlushesCoalesced)
+			}
+			if got := before[ir.OpFence] - after[ir.OpFence]; got != st.FencesRemoved {
+				t.Fatalf("fence delta %d != stats %d", got, st.FencesRemoved)
+			}
+
+			golden := summarize(before, after, st)
+			if smallFixtures[name] {
+				golden += "\n" + ir.Print(mod)
+			}
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(golden), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if string(want) != golden {
+				t.Errorf("golden mismatch for %s (re-run with -update and review)\n--- want\n%s--- got\n%s",
+					name, want, golden)
+			}
+		})
+	}
+}
+
+// TestGoldenExpectedWins pins the headline eliminations: programs provenance
+// flags as persist-redundant must actually lose persists to the pass.
+func TestGoldenExpectedWins(t *testing.T) {
+	progs := goldenPrograms(t)
+	for name, minRemoved := range map[string]int{
+		"memcached": 1, // mc_init's persist(tab, 64) of a fresh zeroed table
+		"pelikan":   3, // pk_init's metrics + table persists, pk_stats_reset
+		"redis":     1, // dict table persist after zeroed alloc
+		"pmemkv":    1, // root table persist after zeroed alloc
+		"cceh":      0, // cc_newseg persists get shrunk, not removed
+		"native":    1, // init_'s whole-object persist
+	} {
+		mod := ir.MustCompile(name, progs[name])
+		st, err := opt.Optimize(mod)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.PersistsRemoved < minRemoved {
+			t.Errorf("%s: persists removed = %d, want >= %d (stats %s)",
+				name, st.PersistsRemoved, minRemoved, st)
+		}
+	}
+	// CCEH's segment-init persist covers 2 dirty header words + 16 fresh
+	// bucket words: the shrink path must reclaim those words.
+	mod := ir.MustCompile("cceh", progs["cceh"])
+	st, err := opt.Optimize(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PersistsShrunk == 0 {
+		t.Errorf("cceh: expected at least one persist shrink, stats %s", st)
+	}
+}

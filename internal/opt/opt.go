@@ -1,0 +1,447 @@
+// Package opt is the flush/fence-elimination optimizer: an IR-to-IR pass
+// that removes provably redundant persistence operations from PML programs
+// (the Bentō line of work) while preserving every crash-visible durability
+// point. Three rewrites run in order:
+//
+//  1. Redundant persist/flush elimination — a persist (or flush) whose whole
+//     word range is proven durably clean on every path is deleted; a persist
+//     whose range ends in a clean suffix is shrunk to its dirty prefix.
+//     "Durably clean" facts come from two sources: pmalloc (the pool's
+//     Zalloc persists the zeroed payload at allocation, so a fresh object is
+//     durably zero) and an earlier covering persist, invalidated by any
+//     may-aliasing store (reaching-defs value numbering, refined by the
+//     Andersen points-to analysis) and by every crash-visible barrier.
+//  2. Fence elimination — a fence whose write-pending queue is provably
+//     empty on every path (a fence or function entry with no flush since)
+//     drains nothing and is deleted, so each fence epoch drains exactly once.
+//  3. Flush coalescing — adjacent flushes of contiguous word ranges of the
+//     same object merge into one queue entry, mirroring the VM's own
+//     adjacent-line coalescing at fence time (bit-identical drain behavior).
+//
+// The barrier model: calls, spawns, yields, locks/unlocks, txbegin/txcommit,
+// setroot, pfree and pmrealloc kill all facts — the pass never reasons
+// across a point where another thread, a callee, a transaction commit, or a
+// root update could observe or change durable state. Persists that may
+// execute inside an active transaction are never touched (they defer to the
+// commit write-set). The pass assumes the default cooperative scheduler;
+// vm.Config.PreemptEvery > 0 voids the proofs (documented in
+// docs/OPTIMIZER.md).
+//
+// Run Optimize before analysis.Analyze: the pass mutates the module and
+// re-verifies it; instrumentation GUIDs are assigned afterwards as usual.
+package opt
+
+import (
+	"fmt"
+
+	"arthas/internal/analysis"
+	"arthas/internal/ir"
+)
+
+// Stats reports what the pass did. All counters are deterministic for a
+// given module.
+type Stats struct {
+	PersistsRemoved  int `json:"persists_removed"`
+	PersistsShrunk   int `json:"persists_shrunk"`
+	FlushesRemoved   int `json:"flushes_removed"`
+	FlushesCoalesced int `json:"flushes_coalesced"` // flush instructions merged away
+	FencesRemoved    int `json:"fences_removed"`
+	// WordsRemoved counts statically-known persisted words the optimized
+	// program no longer re-persists (const-size eliminations and shrinks).
+	WordsRemoved int64 `json:"words_removed"`
+}
+
+// Total is the number of persistence instructions removed or rewritten.
+func (s *Stats) Total() int {
+	return s.PersistsRemoved + s.PersistsShrunk + s.FlushesRemoved +
+		s.FlushesCoalesced + s.FencesRemoved
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("persists: %d removed, %d shrunk; flushes: %d removed, %d coalesced; fences: %d removed; %d words saved",
+		s.PersistsRemoved, s.PersistsShrunk, s.FlushesRemoved, s.FlushesCoalesced,
+		s.FencesRemoved, s.WordsRemoved)
+}
+
+// Optimize rewrites m in place and returns what it did. The output module
+// is re-verified; an error means the pass produced malformed IR and must be
+// treated as a compile failure (no partial rewrite is kept on error paths
+// of individual functions — verification covers the whole module).
+func Optimize(m *ir.Module) (*Stats, error) {
+	st := &Stats{}
+	pt := analysis.BuildPointsTo(m)
+	inTx := txTaint(m)
+	for _, f := range m.Funcs {
+		of := &optFunc{m: m, f: f, pt: pt, inTx: inTx, stats: st}
+		of.run()
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("opt: output failed verification: %w", err)
+	}
+	return st, nil
+}
+
+// optFunc carries the per-function pass state.
+type optFunc struct {
+	m     *ir.Module
+	f     *ir.Function
+	pt    *analysis.PointsTo
+	inTx  map[*ir.Instr]bool
+	stats *Stats
+
+	res       *resolver
+	allocSize map[*ir.Instr]int64 // const Zalloc size per acyclic alloc site
+	cyclic    []bool              // block index -> participates in a CFG cycle
+}
+
+func (o *optFunc) run() {
+	o.res = newResolver(o.f)
+	o.cyclic = cyclicBlocks(o.f)
+	o.allocSize = o.collectAllocs()
+
+	// Pass 1: redundant persist/flush elimination + persist shrinking.
+	in := o.cleanFixpoint()
+	del := map[*ir.Instr]bool{}
+	shrink := map[*ir.Instr]int64{}
+	for bi, b := range o.f.Blocks {
+		st := in[bi]
+		if st == nil {
+			continue // unreachable block
+		}
+		st = st.clone()
+		for _, instr := range b.Instrs {
+			o.decide(instr, st, del, shrink)
+			o.transfer(instr, st)
+		}
+	}
+	if len(del)+len(shrink) > 0 {
+		o.rewrite(del, shrink, nil)
+		o.res = newResolver(o.f) // IDs and chains changed
+	}
+
+	// Pass 2: provably-empty fences.
+	if n := o.dropEmptyFences(); n > 0 {
+		o.stats.FencesRemoved += n
+		o.res = newResolver(o.f)
+	}
+
+	// Pass 3: coalesce adjacent contiguous flushes.
+	o.coalesceFlushes()
+}
+
+// collectAllocs records the const allocation size of every pmalloc that
+// executes at most once per call (outside any CFG cycle). Only those sites
+// yield clean facts: a re-executing alloc names a fresh object each
+// iteration, and a stale pointer from an earlier iteration must never match
+// facts about the latest one.
+func (o *optFunc) collectAllocs() map[*ir.Instr]int64 {
+	sizes := map[*ir.Instr]int64{}
+	for bi, b := range o.f.Blocks {
+		if o.cyclic[bi] {
+			continue
+		}
+		for _, instr := range b.Instrs {
+			if instr.Op != ir.OpPmalloc {
+				continue
+			}
+			if n := o.res.valueOf(instr, instr.Args[0]); n.isConst && n.c > 0 && n.c < maxOff {
+				sizes[instr] = n.c
+			}
+		}
+	}
+	return sizes
+}
+
+// cyclicBlocks marks blocks that can reach themselves.
+func cyclicBlocks(f *ir.Function) []bool {
+	nb := len(f.Blocks)
+	reach := make([][]bool, nb)
+	for i, b := range f.Blocks {
+		reach[i] = make([]bool, nb)
+		seen := make([]bool, nb)
+		stack := b.Succs()
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			reach[i][s] = true
+			stack = append(stack, f.Blocks[s].Succs()...)
+		}
+	}
+	out := make([]bool, nb)
+	for i := range out {
+		out[i] = reach[i][i]
+	}
+	return out
+}
+
+// cleanFixpoint runs the forward must-dataflow to a fixpoint and returns
+// the per-block entry states (nil for blocks never reached).
+func (o *optFunc) cleanFixpoint() []*state {
+	nb := len(o.f.Blocks)
+	in := make([]*state, nb)
+	out := make([]*state, nb)
+	in[0] = newState()
+	preds := ir.Preds(o.f)
+	for changed := true; changed; {
+		changed = false
+		for bi, b := range o.f.Blocks {
+			if bi != 0 {
+				var merged *state
+				for _, p := range preds[bi] {
+					if out[p] == nil {
+						continue
+					}
+					if merged == nil {
+						merged = out[p].clone()
+					} else {
+						merged = meet(merged, out[p])
+					}
+				}
+				if merged == nil {
+					continue
+				}
+				if in[bi] == nil || !in[bi].equal(merged) {
+					in[bi] = merged
+					changed = true
+				}
+			}
+			cur := in[bi].clone()
+			for _, instr := range b.Instrs {
+				o.transfer(instr, cur)
+			}
+			if out[bi] == nil || !out[bi].equal(cur) {
+				out[bi] = cur
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// addrOf resolves a persistence instruction's (addr, count) operands.
+func (o *optFunc) addrOf(in *ir.Instr) (base val, count val) {
+	return o.res.valueOf(in, in.Args[0]), o.res.valueOf(in, in.Args[1])
+}
+
+// factBase returns the fact key for an address value, or nil when the pass
+// must not track facts for it.
+func (o *optFunc) factBase(a val) *ir.Instr {
+	if !a.known || a.isConst {
+		return nil
+	}
+	switch a.kind {
+	case bAlloc:
+		if _, ok := o.allocSize[a.base]; ok {
+			return a.base
+		}
+	case bRoot:
+		return a.base
+	}
+	return nil
+}
+
+// transfer applies one instruction's effect to the state.
+func (o *optFunc) transfer(in *ir.Instr, st *state) {
+	switch in.Op {
+	case ir.OpCall, ir.OpSpawn, ir.OpYield, ir.OpLock, ir.OpUnlock,
+		ir.OpTxBegin, ir.OpTxCommit, ir.OpPmRealloc:
+		st.killAll()
+
+	case ir.OpSetRoot:
+		st.killAll()
+
+	case ir.OpPmalloc:
+		st.killBase(in)
+		if s, ok := o.allocSize[in]; ok {
+			st.clean[in] = spanSet{{0, s}}
+		}
+
+	case ir.OpPfree:
+		a := o.res.valueOf(in, in.Args[0])
+		if a.known && a.kind == bAlloc {
+			st.killBase(a.base)
+			st.killRoots()
+		} else if a.known && a.kind == bValloc {
+			// pfree of a volatile address traps; no PM effect to model.
+		} else {
+			st.killAll()
+		}
+
+	case ir.OpStore:
+		a := o.res.valueOf(in, in.Args[0])
+		switch {
+		case a.known && a.kind == bValloc:
+			// Volatile object: provably disjoint from every PM fact.
+		case a.known && a.kind == bAlloc && o.inExtent(a.base, a.c+in.Off):
+			// In-bounds store to a known object: only that word dirties.
+			// (An out-of-bounds store could reach a neighboring object, so
+			// it falls through to the conservative case below.)
+			st.killWord(a.base, a.c+in.Off)
+			st.killRoots()
+		default:
+			// Unknown or root-relative address: keep only alloc facts the
+			// pointer analysis proves the store cannot reach. An empty set
+			// (or one containing the synthetic root object) means the base
+			// was not modeled as a pointer — assume it can reach anything.
+			ptObjs := o.pt.PointsToObjects(o.f, in.Args[0])
+			objs := map[*ir.Instr]bool{}
+			modeled := len(ptObjs) > 0
+			for _, obj := range ptObjs {
+				if obj == nil {
+					modeled = false
+					break
+				}
+				objs[obj] = true
+			}
+			if !modeled {
+				st.killAll()
+				return
+			}
+			for k := range st.clean {
+				if k.Op == ir.OpPmalloc && objs[k] {
+					st.killBase(k)
+				}
+			}
+			for k := range st.pending {
+				if k.Op == ir.OpPmalloc && objs[k] {
+					st.killBase(k)
+				}
+			}
+			st.killRoots()
+		}
+
+	case ir.OpPersist:
+		if o.inTx[in] {
+			return // may defer to the commit write-set: not a durability point here
+		}
+		base, count := o.addrOf(in)
+		if k := o.factBase(base); k != nil && count.isConst {
+			lo, hi := o.clip(k, base.c, base.c+count.c)
+			if lo < hi {
+				st.clean[k] = st.clean[k].add(lo, hi)
+			}
+		}
+
+	case ir.OpFlush:
+		base, count := o.addrOf(in)
+		if k := o.factBase(base); k != nil && count.isConst {
+			lo, hi := o.clip(k, base.c, base.c+count.c)
+			if lo < hi {
+				st.pending[k] = st.pending[k].add(lo, hi)
+			}
+		}
+
+	case ir.OpFence:
+		// The queue drains: every pending line is persisted with its
+		// current value, so pending spans become clean.
+		for k, v := range st.pending {
+			for _, sp := range v {
+				st.clean[k] = st.clean[k].add(sp.lo, sp.hi)
+			}
+		}
+		st.pending = map[*ir.Instr]spanSet{}
+	}
+}
+
+// inExtent reports whether word w is provably inside the allocation.
+func (o *optFunc) inExtent(alloc *ir.Instr, w int64) bool {
+	s, ok := o.allocSize[alloc]
+	return ok && w >= 0 && w < s
+}
+
+// clip bounds a span to the object's extent for alloc bases (facts about
+// words outside the allocation would not be invalidated by stores through
+// neighboring objects' bases). Root bases carry no static extent; their
+// spans come only from successful persists, which proves validity.
+func (o *optFunc) clip(k *ir.Instr, lo, hi int64) (int64, int64) {
+	if k.Op == ir.OpPmalloc {
+		s := o.allocSize[k]
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > s {
+			hi = s
+		}
+	}
+	if hi-lo >= maxOff {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// decide marks a persist/flush for deletion or shrinking given the state
+// before it executes.
+func (o *optFunc) decide(in *ir.Instr, st *state, del map[*ir.Instr]bool, shrink map[*ir.Instr]int64) {
+	if in.Op != ir.OpPersist && in.Op != ir.OpFlush {
+		return
+	}
+	if in.Op == ir.OpPersist && o.inTx[in] {
+		// A transactional persist adds its range to the commit write-set;
+		// removing it would drop words from the atomic commit.
+		return
+	}
+	base, count := o.addrOf(in)
+	k := o.factBase(base)
+	if k == nil || !count.isConst || count.c <= 0 {
+		return
+	}
+	lo, hi := base.c, base.c+count.c
+	if k.Op == ir.OpPmalloc {
+		// Ranges beyond the object's extent persist neighboring words the
+		// facts say nothing about; leave those operations alone.
+		if lo < 0 || hi > o.allocSize[k] {
+			return
+		}
+	}
+	clean := st.clean[k]
+	if clean.covers(lo, hi) {
+		del[in] = true
+		if in.Op == ir.OpPersist {
+			o.stats.PersistsRemoved++
+		} else {
+			o.stats.FlushesRemoved++
+		}
+		o.stats.WordsRemoved += hi - lo
+		return
+	}
+	if in.Op != ir.OpPersist {
+		return
+	}
+	// Shrink: persist only the dirty prefix when a clean suffix is proven.
+	if d := clean.cleanSuffixFrom(lo, hi); d < hi && d > lo {
+		shrink[in] = d - lo
+		o.stats.PersistsShrunk++
+		o.stats.WordsRemoved += hi - d
+	}
+}
+
+// rewrite applies deletions and count replacements, inserting OpConst
+// definitions for new count operands, then re-finalizes the function.
+func (o *optFunc) rewrite(del map[*ir.Instr]bool, newCount map[*ir.Instr]int64, newAddr map[*ir.Instr]int) {
+	for _, b := range o.f.Blocks {
+		out := make([]*ir.Instr, 0, len(b.Instrs))
+		for _, in := range b.Instrs {
+			if del[in] {
+				continue
+			}
+			if c, ok := newCount[in]; ok {
+				reg := o.f.NumRegs
+				o.f.NumRegs++
+				o.f.RegNames = append(o.f.RegNames, fmt.Sprintf("%%opt%d", reg))
+				out = append(out, &ir.Instr{Op: ir.OpConst, Dst: reg, Imm: c, Pos: in.Pos})
+				addr := in.Args[0]
+				if a, ok := newAddr[in]; ok {
+					addr = a
+				}
+				in.Args = []int{addr, reg}
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	o.f.Finalize()
+}

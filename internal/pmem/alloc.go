@@ -63,6 +63,9 @@ func (p *Pool) Zalloc(words int) (uint64, error) {
 	if p.crashLatched {
 		return 0, ErrCrashInjected
 	}
+	if p.hooks.OnZero != nil {
+		p.hooks.OnZero(addr, words)
+	}
 	return addr, nil
 }
 

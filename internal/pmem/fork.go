@@ -179,6 +179,18 @@ func (p *Pool) durView(i, words int) []uint64 {
 	return out
 }
 
+// DurableImage returns a copy of the durable word image — exactly the
+// payload a power failure preserves, with none of the forensic sections
+// (stats counters, flight buffer, media checksums) a serialized pool file
+// carries. Equivalence checks compare this: two runs with identical durable
+// state but different persist traffic must compare equal.
+func (p *Pool) DurableImage() []uint64 {
+	img := p.durImage()
+	out := make([]uint64, len(img))
+	copy(out, img)
+	return out
+}
+
 // durImage returns the full durable image, materializing overlays for forks.
 // Root pools return the backing slice; callers must treat it as read-only.
 func (p *Pool) durImage() []uint64 {

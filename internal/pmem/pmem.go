@@ -99,6 +99,10 @@ type Hooks struct {
 	// OnAlloc/OnFree observe allocator activity (used for leak mitigation).
 	OnAlloc func(addr uint64, words int)
 	OnFree  func(addr uint64, words int)
+	// OnZero fires after Zalloc has zeroed AND persisted a fresh payload:
+	// the range is durably zero at that point (provenance uses this as the
+	// redundant-persist baseline). Raw Alloc does not fire it.
+	OnZero func(addr uint64, words int)
 }
 
 // Pool is a simulated persistent memory pool. A pool is either a root pool

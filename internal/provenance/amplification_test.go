@@ -1,0 +1,154 @@
+package provenance
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"arthas/internal/checkpoint"
+	"arthas/internal/pmem"
+)
+
+// Persist-amplification edge cases around the optimizer: programs whose
+// persists the pass removed entirely, and zero-allocated payloads whose
+// durable baseline makes a follow-up persist redundant.
+
+// TestStatsZeroPersistedWords: an index that saw writes but zero persists
+// (the optimizer can delete every persist a site had) must report clean
+// zeros — never NaN or Inf from a 0/0 ratio.
+func TestStatsZeroPersistedWords(t *testing.T) {
+	x := New()
+	st := x.Stats()
+	if st.RedundantRatio != 0 || st.MeanPersistsPerWord != 0 {
+		t.Fatalf("empty index ratios: redundant=%v mean=%v, want 0", st.RedundantRatio, st.MeanPersistsPerWord)
+	}
+
+	// Writes recorded, nothing persisted.
+	x.NoteWrite(11, 0x100)
+	x.NoteWrite(11, 0x101)
+	x.NoteWrite(12, 0x200)
+	st = x.Stats()
+	if st.PersistedWords != 0 {
+		t.Fatalf("persisted words = %d, want 0", st.PersistedWords)
+	}
+	for _, v := range []float64{st.RedundantRatio, st.MeanPersistsPerWord} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v != 0 {
+			t.Fatalf("zero-persist ratio = %v, want exactly 0", v)
+		}
+	}
+	// Write-only sites must still surface in the hot-write table.
+	if len(st.Sites) != 2 {
+		t.Fatalf("sites = %+v, want the 2 write-only sites", st.Sites)
+	}
+	for _, s := range st.Sites {
+		if s.PersistedWords != 0 || s.Writes == 0 {
+			t.Fatalf("write-only site misreported: %+v", s)
+		}
+	}
+}
+
+// TestSitesStableWhenPersistSitesVanish: when the optimizer removes a
+// site's persists mid-run, the table must stay a total order — persist-free
+// sites rank by GUID after persisting ones, with no dependence on map
+// iteration order.
+func TestSitesStableWhenPersistSitesVanish(t *testing.T) {
+	build := func() Stats {
+		p, log, x, buf := newPersisted(t, 0)
+		// Site 5 writes and persists; sites 9, 3, 7 only write (their
+		// persist instructions were eliminated).
+		x.NoteWrite(5, buf)
+		if err := p.Store(buf, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Persist(buf, 1); err != nil {
+			t.Fatal(err)
+		}
+		_ = log
+		for _, g := range []int{9, 3, 7} {
+			x.NoteWrite(g, buf+uint64(g))
+		}
+		return x.Stats()
+	}
+	st := build()
+	wantGUIDs := []int{5, 3, 7, 9} // persister first, then write-only by GUID
+	if len(st.Sites) != len(wantGUIDs) {
+		t.Fatalf("sites: %+v", st.Sites)
+	}
+	for i, s := range st.Sites {
+		if s.GUID != wantGUIDs[i] {
+			t.Fatalf("site order %+v, want GUIDs %v", st.Sites, wantGUIDs)
+		}
+	}
+	if !sort.SliceIsSorted(st.Sites, func(i, j int) bool {
+		a, b := st.Sites[i], st.Sites[j]
+		if a.PersistedWords != b.PersistedWords {
+			return a.PersistedWords > b.PersistedWords
+		}
+		return a.GUID < b.GUID
+	}) {
+		t.Fatalf("sites not totally ordered: %+v", st.Sites)
+	}
+	// Determinism across rebuilds (map iteration must not show through).
+	for trial := 0; trial < 8; trial++ {
+		again := build()
+		for i, s := range again.Sites {
+			if s != st.Sites[i] {
+				t.Fatalf("trial %d: site table changed: %+v vs %+v", trial, again.Sites, st.Sites)
+			}
+		}
+	}
+}
+
+// TestZeroedAllocPersistRedundant: Zalloc zeroes AND persists the payload
+// behind the hooks, so a program persist of the untouched words is
+// redundant from the very first one — exactly the slop the optimizer's
+// fresh-alloc rule removes, and what makes -opt lower the dynamic ratio.
+func TestZeroedAllocPersistRedundant(t *testing.T) {
+	p := pmem.New(1 << 12)
+	log := checkpoint.NewLog(3)
+	x := New()
+	p.SetHooks(x.WrapHooks(log.Hooks(), log))
+
+	buf, err := p.Zalloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Persist(buf, 8); err != nil {
+		t.Fatal(err)
+	}
+	st := x.Stats()
+	if st.RedundantPersists != 8 {
+		t.Fatalf("persist of zeroed alloc: %d redundant word-persists, want 8", st.RedundantPersists)
+	}
+	if st.RedundantRatio != 1 {
+		t.Fatalf("redundant ratio = %v, want 1", st.RedundantRatio)
+	}
+
+	// A store dirties exactly one word; persisting the whole object again
+	// is redundant for the other 7.
+	x.NoteWrite(4, buf+2)
+	if err := p.Store(buf+2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Persist(buf, 8); err != nil {
+		t.Fatal(err)
+	}
+	st = x.Stats()
+	if st.RedundantPersists != 15 {
+		t.Fatalf("redundant word-persists = %d, want 15", st.RedundantPersists)
+	}
+
+	// Raw Alloc payloads stay dirty (residue) — first persist is NOT
+	// redundant.
+	raw, err := p.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := x.Stats().RedundantPersists
+	if err := p.Persist(raw, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Stats().RedundantPersists; got != before {
+		t.Fatalf("raw-alloc persist counted redundant (%d -> %d)", before, got)
+	}
+}

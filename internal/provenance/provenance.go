@@ -68,6 +68,11 @@ type writer struct {
 	// dirty marks a recorded write since the word's last persist; a persist
 	// finding dirty=false is redundant (flush-elimination candidate).
 	dirty bool
+	// durable marks a word whose current value is already durable with no
+	// program persist recorded yet: the allocator zeroes and persists fresh
+	// payloads behind the hooks, so persisting an untouched fresh word is
+	// redundant even on its first recorded persist.
+	durable bool
 }
 
 // SiteStat is one write site's amplification tally.
@@ -171,12 +176,23 @@ func (x *Index) NoteWrite(guid int, addr uint64) {
 	x.siteWrites[guid]++
 }
 
-// noteAlloc marks a fresh allocation's words as written (the allocator zeroes
-// them); attribution is GUID 0 until an instrumented store lands.
+// noteAlloc marks a raw allocation's words as written (the payload may hold
+// residue the program must overwrite); attribution is GUID 0 until an
+// instrumented store lands.
 func (x *Index) noteAlloc(addr uint64, words int) {
 	step := x.now()
 	for w := 0; w < words; w++ {
 		x.lastWrite[addr+uint64(w)] = writer{step: step, dirty: true}
+	}
+}
+
+// noteZeroed marks a zero-allocated payload durably clean: Zalloc zeroed and
+// persisted it behind the hooks, so until a store lands, persisting any of
+// these words is redundant — the durable and current values already agree.
+func (x *Index) noteZeroed(addr uint64, words int) {
+	step := x.now()
+	for w := 0; w < words; w++ {
+		x.lastWrite[addr+uint64(w)] = writer{step: step, durable: true}
 	}
 }
 
@@ -203,11 +219,12 @@ func (x *Index) notePersist(addr uint64, words int, log *checkpoint.Log) {
 		n := x.persists[a] + 1
 		x.persists[a] = n
 		lw := x.lastWrite[a]
-		if n > 1 && !lw.dirty {
+		if !lw.dirty && (n > 1 || lw.durable) {
 			x.redundant++
 		}
-		if lw.dirty {
+		if lw.dirty || !lw.durable {
 			lw.dirty = false
+			lw.durable = true
 			x.lastWrite[a] = lw
 		}
 		x.sitePersists[lw.guid]++
@@ -259,6 +276,12 @@ func (x *Index) WrapHooks(h pmem.Hooks, log *checkpoint.Log) pmem.Hooks {
 			if h.OnFree != nil {
 				h.OnFree(addr, words)
 			}
+		},
+		OnZero: func(addr uint64, words int) {
+			if h.OnZero != nil {
+				h.OnZero(addr, words)
+			}
+			x.noteZeroed(addr, words)
 		},
 	}
 }

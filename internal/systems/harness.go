@@ -13,6 +13,7 @@ import (
 	"arthas/internal/checkpoint"
 	"arthas/internal/ir"
 	"arthas/internal/obs"
+	"arthas/internal/opt"
 	"arthas/internal/pmem"
 	"arthas/internal/provenance"
 	"arthas/internal/trace"
@@ -51,6 +52,9 @@ type DeployOpts struct {
 	// WriteSink feeds last-writer attribution and the pool's persistence
 	// hooks are wrapped to stamp lineage records (incident-report input).
 	Provenance bool
+	// Optimize runs the flush/fence-elimination pass (internal/opt) on the
+	// compiled module before analysis and instrumentation.
+	Optimize bool
 }
 
 // Deployment is a running instance of a system: compiled module, analysis
@@ -77,6 +81,11 @@ func Deploy(sys *System, opts DeployOpts) (*Deployment, error) {
 	mod, err := ir.CompileSource(sys.Name, sys.Source)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", sys.Name, err)
+	}
+	if opts.Optimize {
+		if _, err := opt.Optimize(mod); err != nil {
+			return nil, fmt.Errorf("%s: %w", sys.Name, err)
+		}
 	}
 	d := &Deployment{Sys: sys, Mod: mod, opts: opts}
 	if !opts.SkipAnalysis {

@@ -1,0 +1,274 @@
+package torture
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"slices"
+
+	"arthas"
+	"arthas/internal/opt"
+	"arthas/internal/pmem"
+)
+
+// Durability-equivalence sweep: the torture-grade proof obligation of the
+// optimizer. For every enumerated crash point of the OPTIMIZED program
+// (including torn variants when enabled), the schedule runs against the
+// optimized build, the power failure latches, and the resulting durable
+// image is recovered twice — once by the optimized stack and once by the
+// unoptimized stack. The two recovered durable images must be
+// word-identical: the optimizer may remove persists, but it must never
+// change what any crash can make durable or how recovery repairs it. A
+// crash-free full run of both builds must likewise end word-identical.
+// Comparison is over pmem.Pool.DurableImage — the crash-preserved payload
+// alone, not the serialized pool file, whose stats section counts persist
+// traffic and would legitimately differ between the two builds.
+
+// EquivSchemaVersion identifies the equivalence report format.
+const EquivSchemaVersion = "arthas-equiv/v1"
+
+// EquivMismatch records one crash point whose recovered states diverged.
+type EquivMismatch struct {
+	Trial  int    `json:"trial"`
+	Event  int    `json:"event"`
+	Keep   int    `json:"keep"`
+	Detail string `json:"detail"`
+}
+
+// EquivReport is the deterministic output of RunEquivalence.
+type EquivReport struct {
+	Schema  string `json:"schema"`
+	Program string `json:"program"`
+	Script  string `json:"script"`
+	Seed    int64  `json:"seed"`
+	// EventsBaseline / EventsOptimized count durability events in one
+	// uninjected run of each build: the dynamic persist-traffic reduction.
+	EventsBaseline  int `json:"events_baseline"`
+	EventsOptimized int `json:"events_optimized"`
+	// Trials is the number of crash points swept (on the optimized build);
+	// Matched of them recovered byte-identically under both stacks.
+	Trials  int `json:"trials"`
+	Matched int `json:"matched"`
+	// Skipped counts schedules whose event never fired (the optimized run
+	// produced fewer events than the schedule indexed).
+	Skipped int `json:"skipped"`
+	// FinalMatch is the crash-free check: both builds run the workload to
+	// completion and the durable pools compare equal.
+	FinalMatch bool            `json:"final_match"`
+	Mismatches []EquivMismatch `json:"mismatches,omitempty"`
+	// OptStats is what the optimizer did to the program under test.
+	OptStats *opt.Stats `json:"opt_stats"`
+}
+
+// OK reports whether every swept crash point (and the crash-free run)
+// recovered identically.
+func (r *EquivReport) OK() bool {
+	return len(r.Mismatches) == 0 && r.FinalMatch
+}
+
+// JSON renders the report byte-identically for a given seed.
+func (r *EquivReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RunEquivalence sweeps every enumerated crash point of the optimized
+// program and proves recovery equivalence against the unoptimized build.
+// cfg.Optimize is ignored (both builds always run); cfg.FlightEvents is
+// forced to zero so pool images carry no telemetry tail and compare by
+// durable content alone.
+func RunEquivalence(cfg Config) (*EquivReport, error) {
+	cfg = cfg.withDefaults()
+	calls, err := ParseScript(cfg.Script)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &EquivReport{
+		Schema:  EquivSchemaVersion,
+		Program: cfg.Name,
+		Script:  cfg.Script,
+		Seed:    cfg.Seed,
+	}
+
+	// Static stats: what the pass does to this module.
+	inst, err := arthas.New(cfg.Name, cfg.Source, eqConfig(cfg, true))
+	if err != nil {
+		return nil, fmt.Errorf("torture: optimized deploy: %w", err)
+	}
+	rep.OptStats = inst.OptStats
+
+	// Dynamic event universes for both builds.
+	optEvents, err := eqEnumerate(cfg, calls, true)
+	if err != nil {
+		return nil, fmt.Errorf("torture: optimized baseline run: %w", err)
+	}
+	baseEvents, err := eqEnumerate(cfg, calls, false)
+	if err != nil {
+		return nil, fmt.Errorf("torture: unoptimized baseline run: %w", err)
+	}
+	rep.EventsOptimized = len(optEvents)
+	rep.EventsBaseline = len(baseEvents)
+
+	// Crash-point schedules over the optimized build's universe. Depth 1:
+	// equivalence is a property of one crash image at a time.
+	schedCfg := cfg
+	schedCfg.Depth = 1
+	schedules := buildSchedules(schedCfg, optEvents)
+	rep.Trials = len(schedules)
+
+	for i, sched := range schedules {
+		spec := sched[0]
+		image, fired, err := crashImage(cfg, calls, spec)
+		if err != nil {
+			rep.Mismatches = append(rep.Mismatches, EquivMismatch{
+				Trial: i, Event: spec.Event, Keep: spec.Keep,
+				Detail: "optimized run: " + err.Error(),
+			})
+			continue
+		}
+		if !fired {
+			rep.Skipped++
+			continue
+		}
+		optPool, optErr := recoverImage(cfg, true, image)
+		basePool, baseErr := recoverImage(cfg, false, image)
+		switch {
+		case optErr != nil || baseErr != nil:
+			rep.Mismatches = append(rep.Mismatches, EquivMismatch{
+				Trial: i, Event: spec.Event, Keep: spec.Keep,
+				Detail: fmt.Sprintf("recovery failed (opt: %v, base: %v)", optErr, baseErr),
+			})
+		case !slices.Equal(optPool, basePool):
+			rep.Mismatches = append(rep.Mismatches, EquivMismatch{
+				Trial: i, Event: spec.Event, Keep: spec.Keep,
+				Detail: fmt.Sprintf("recovered durable images differ at word %d",
+					firstDiff(optPool, basePool)),
+			})
+		default:
+			rep.Matched++
+		}
+	}
+
+	// Crash-free check: both builds run the workload to completion and the
+	// durable images must agree word for word.
+	optFinal, err1 := finalPool(cfg, calls, true)
+	baseFinal, err2 := finalPool(cfg, calls, false)
+	rep.FinalMatch = err1 == nil && err2 == nil && slices.Equal(optFinal, baseFinal)
+
+	return rep, nil
+}
+
+// eqConfig builds the per-stack instance configuration. FlightEvents stays
+// zero: the flight recorder embeds telemetry in saved pools, which would
+// make byte comparison reflect observation history instead of durability.
+func eqConfig(cfg Config, optimize bool) arthas.Config {
+	return arthas.Config{
+		PoolWords:   cfg.PoolWords,
+		MaxVersions: cfg.MaxVersions,
+		StepLimit:   cfg.StepLimit,
+		RecoverFn:   cfg.RecoverFn,
+		Optimize:    optimize,
+	}
+}
+
+// eqEnumerate counts durability events in one uninjected run of one build.
+func eqEnumerate(cfg Config, calls []Call, optimize bool) ([]EventInfo, error) {
+	inst, err := arthas.New(cfg.Name, cfg.Source, eqConfig(cfg, optimize))
+	if err != nil {
+		return nil, err
+	}
+	var events []EventInfo
+	inst.Pool.SetCrashFunc(func(ev pmem.DurEvent) (int, bool) {
+		events = append(events, EventInfo{Kind: ev.Kind.String(), Addr: ev.Addr, Words: ev.Words})
+		return ev.Words, false
+	})
+	for _, c := range calls {
+		if _, trap := inst.Call(c.Fn, c.Args...); trap != nil {
+			return nil, fmt.Errorf("call %q trapped with no injection: %v", c, trap)
+		}
+	}
+	return events, nil
+}
+
+// crashImage runs the optimized build until spec's event fires, latches the
+// power failure, and returns the serialized durable image. fired=false means
+// the workload completed without reaching the event.
+func crashImage(cfg Config, calls []Call, spec CrashSpec) ([]byte, bool, error) {
+	inst, err := arthas.New(cfg.Name, cfg.Source, eqConfig(cfg, true))
+	if err != nil {
+		return nil, false, err
+	}
+	count := 0
+	inst.Pool.SetCrashFunc(func(ev pmem.DurEvent) (int, bool) {
+		i := count
+		count++
+		if i != spec.Event {
+			return ev.Words, false
+		}
+		keep := spec.Keep
+		if keep < 0 || keep > ev.Words {
+			keep = ev.Words
+		}
+		return keep, true
+	})
+	for _, c := range calls {
+		inst.Call(c.Fn, c.Args...)
+		if inst.Pool.CrashLatched() {
+			break
+		}
+	}
+	if !inst.Pool.CrashLatched() {
+		return nil, false, nil
+	}
+	inst.Pool.SetCrashFunc(nil)
+	inst.Pool.Crash()
+	inst.Pool.ResetCrashLatch()
+	var buf bytes.Buffer
+	if err := inst.SaveImage(&buf); err != nil {
+		return nil, true, fmt.Errorf("save: %w", err)
+	}
+	return buf.Bytes(), true, nil
+}
+
+// recoverImage reopens one crash image under one build, runs recovery (with
+// detector → reactor healing if it traps), and returns the recovered
+// durable word image.
+func recoverImage(cfg Config, optimize bool, image []byte) ([]uint64, error) {
+	inst, err := arthas.OpenImage(cfg.Name, cfg.Source, eqConfig(cfg, optimize), bytes.NewReader(image))
+	if err != nil {
+		return nil, fmt.Errorf("reopen: %w", err)
+	}
+	if trap := inst.Restart(); trap != nil {
+		if ok, _, v := heal(inst, trap, nil); !ok {
+			return nil, fmt.Errorf("recovery unhealed: %s", v)
+		}
+	}
+	return inst.Pool.DurableImage(), nil
+}
+
+// finalPool runs the full workload crash-free under one build and returns
+// the final durable word image.
+func finalPool(cfg Config, calls []Call, optimize bool) ([]uint64, error) {
+	inst, err := arthas.New(cfg.Name, cfg.Source, eqConfig(cfg, optimize))
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range calls {
+		if _, trap := inst.Call(c.Fn, c.Args...); trap != nil {
+			return nil, fmt.Errorf("call %q trapped: %v", c, trap)
+		}
+	}
+	return inst.Pool.DurableImage(), nil
+}
+
+// firstDiff returns the first index where a and b disagree (or the shorter
+// length when one is a prefix of the other).
+func firstDiff(a, b []uint64) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -112,6 +112,11 @@ type Config struct {
 	FlightEvents int
 	// Shrink enables minimization of failing schedules (default in Run).
 	Shrink bool
+	// Optimize runs the flush/fence-elimination pass (internal/opt) on the
+	// program under torture, so the invariant sweep exercises the optimized
+	// build. RunEquivalence ignores this flag: it always compares the
+	// optimized and unoptimized builds against each other.
+	Optimize bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -136,6 +141,7 @@ func arthasConfig(cfg Config) arthas.Config {
 		StepLimit:    cfg.StepLimit,
 		RecoverFn:    cfg.RecoverFn,
 		FlightEvents: cfg.FlightEvents,
+		Optimize:     cfg.Optimize,
 	}
 }
 

@@ -1,0 +1,105 @@
+package vm
+
+import (
+	"testing"
+
+	"arthas/internal/ir"
+	"arthas/internal/obs"
+	"arthas/internal/pmem"
+)
+
+// flushQueue lifecycle regressions: queued-but-unfenced lines must never
+// leak durability across Call returns, machine restarts, or crashes. The
+// hazard: a flush with no fence leaves its range in the machine-global
+// queue, and a LATER unrelated fence — in another entry call, or after a
+// restart — would drain it, making a word durable that no crash-consistent
+// execution ever fenced.
+
+const flushLeakProg = `
+fn setup() {
+    var p = pmalloc(2);
+    setroot(0, p);
+    flush(p, 1);
+    fence();
+    return 0;
+}
+fn dirty() {
+    var p = getroot(0);
+    p[0] = 77;
+    flush(p, 1);
+    return 0; // returns with the flush queued, unfenced
+}
+fn fencer() { fence(); return 0; }
+fn read() { var p = getroot(0); return p[0]; }`
+
+// TestFlushQueueEmptyAtCallReturn: the queue must be dropped when an entry
+// call returns with no background threads pending, and a later fence must
+// not resurrect it.
+func TestFlushQueueEmptyAtCallReturn(t *testing.T) {
+	mod := ir.MustCompile("t", flushLeakProg)
+	pool := pmem.New(1 << 12)
+	m := New(mod, pool, Config{})
+	rec := obs.NewRecorder()
+	m.SetSink(rec)
+	for _, fn := range []string{"setup", "dirty"} {
+		if _, trap := m.Call(fn); trap != nil {
+			t.Fatal(trap)
+		}
+		if n := m.FlushQueueLen(); n != 0 {
+			t.Fatalf("after %s: flush queue holds %d ranges at Call return", fn, n)
+		}
+	}
+	if got := rec.CounterValue("vm.flush_dropped"); got != 1 {
+		t.Fatalf("vm.flush_dropped = %d, want 1 (dirty's unfenced flush)", got)
+	}
+
+	// The regression itself: fence on the same machine, then crash. If the
+	// queue leaked across the Call return, the fence would have drained it
+	// and 77 would survive.
+	if _, trap := m.Call("fencer"); trap != nil {
+		t.Fatal(trap)
+	}
+	pool.Crash()
+	v, trap := New(mod, pool, Config{}).Call("read")
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if v == 77 {
+		t.Fatal("queued-but-unfenced store leaked durability through a later fence")
+	}
+}
+
+// TestCrashBetweenFlushAndFence: a power failure after flush but before
+// fence must lose the store — on the machine that crashed AND on a fresh
+// machine reopening the pool (restart starts with an empty queue).
+func TestCrashBetweenFlushAndFence(t *testing.T) {
+	mod := ir.MustCompile("t", flushLeakProg)
+	pool := pmem.New(1 << 12)
+	m := New(mod, pool, Config{})
+	if _, trap := m.Call("setup"); trap != nil {
+		t.Fatal(trap)
+	}
+	if _, trap := m.Call("dirty"); trap != nil {
+		t.Fatal(trap)
+	}
+	// Crash strictly between dirty's flush and any fence.
+	pool.Crash()
+
+	// Restart: a fresh machine models the post-failure process. Its first
+	// action being a fence must not persist anything.
+	m2 := New(mod, pool, Config{})
+	if n := m2.FlushQueueLen(); n != 0 {
+		t.Fatalf("restarted machine starts with %d queued ranges", n)
+	}
+	if _, trap := m2.Call("fencer"); trap != nil {
+		t.Fatal(trap)
+	}
+	pool.Crash()
+	v, trap := New(mod, pool, Config{}).Call("read")
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if v == 77 {
+		t.Fatal("store flushed before the crash became durable after restart")
+	}
+}

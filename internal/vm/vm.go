@@ -243,11 +243,14 @@ func (m *Machine) Call(fnName string, args ...int64) (int64, *Trap) {
 	}
 	main := m.newThread(f, args)
 	if !m.obsOn {
-		return m.run(main)
+		v, trap := m.run(main)
+		m.dropUnfenced()
+		return v, trap
 	}
 	span := m.sink.Start("vm.call", obs.A("fn", fnName))
 	before := m.steps
 	v, trap := m.run(main)
+	m.dropUnfenced()
 	m.flushObs(m.steps-before, trap)
 	if trap != nil {
 		span.SetAttr("trap", trap.Kind.String())
@@ -255,6 +258,26 @@ func (m *Machine) Call(fnName string, args ...int64) (int64, *Trap) {
 	span.End()
 	return v, trap
 }
+
+// dropUnfenced empties the write-pending queue once no thread is left that
+// could still fence it. Queued-but-unfenced lines are volatile: letting them
+// linger across Call boundaries would allow a later call's fence to drain
+// them, making state look durable that a crash between the calls would have
+// lost. Live background threads keep their epoch open (they may still
+// fence), so the queue survives until quiescence.
+func (m *Machine) dropUnfenced() {
+	if len(m.flushQueue) == 0 || m.BackgroundThreads() > 0 {
+		return
+	}
+	if m.obsOn {
+		m.sink.Count("vm.flush_dropped", int64(len(m.flushQueue)))
+	}
+	m.flushQueue = m.flushQueue[:0]
+}
+
+// FlushQueueLen reports how many flushed-but-unfenced ranges are queued
+// (test hook for the queue-lifecycle invariant).
+func (m *Machine) FlushQueueLen() int { return len(m.flushQueue) }
 
 // DrainBackground runs pending background threads until they finish, block,
 // or the budget is consumed. It models the idle time a server has between
@@ -270,6 +293,7 @@ func (m *Machine) DrainBackground(maxSteps int64) (trap *Trap) {
 		th := m.pickRunnable(last)
 		if th == nil {
 			m.gcThreads()
+			m.dropUnfenced()
 			return nil
 		}
 		last = th

@@ -1,0 +1,71 @@
+// native.pml — native-persistence fixture (paper §3.2's second framework
+// class: stores + flush/fence instead of library persist calls), written
+// with the persistence slop real native code accumulates: a redundant
+// whole-object persist right after a zeroed allocation, back-to-back
+// fences, and word-at-a-time flushes of contiguous ranges. The optimizer
+// (-opt / internal/opt) removes the persist, drops the second fence of
+// every pair, and coalesces each contiguous flush run — while every crash
+// point keeps recovering to the identical durable state (the torture
+// equivalence sweep proves it per crash point).
+
+fn init_() {
+    var log = pmalloc(8);   // durably zero already (Zalloc persists zeroes)
+    log[0] = 0;             // head slot: rewrite of a zero word
+    flush(log, 1);
+    fence();
+    persist(log, 8);        // redundant: words 1..7 never left zero, word 0 fenced
+    fence();                // redundant: queue provably empty after the fence above
+    setroot(0, log);
+    return 0;
+}
+
+fn append_(v) {
+    var log = getroot(0);
+    var head = log[0];
+    log[head + 1] = v;
+    flush(log + head + 1, 1);   // dynamic offset: the optimizer must leave this alone
+    fence();
+    log[0] = head + 1;
+    flush(log, 1);
+    fence();
+    return head + 1;
+}
+
+// reset_ clears the first three slots word-at-a-time — three exactly
+// contiguous flushes the optimizer coalesces into one, and a doubled fence
+// it halves.
+fn reset_() {
+    var log = getroot(0);
+    log[0] = 0;
+    log[1] = 0;
+    log[2] = 0;
+    flush(log, 1);
+    flush(log + 1, 1);
+    flush(log + 2, 1);
+    fence();
+    fence();
+    return 0;
+}
+
+fn head() {
+    var log = getroot(0);
+    return log[0];
+}
+
+fn get(i) {
+    var log = getroot(0);
+    return log[i];
+}
+
+// recover_ must tolerate a pool that crashed before init_ finished: the
+// root slot may still be null.
+fn recover_() {
+    recover_begin();
+    var log = getroot(0);
+    var h = 0;
+    if (log != 0) {
+        h = log[0];
+    }
+    recover_end();
+    return h;
+}
