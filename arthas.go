@@ -172,6 +172,19 @@ type Config struct {
 	// durable state as the original (torture-proven; see docs/OPTIMIZER.md).
 	// Off by default. Instance.OptStats reports what the pass did.
 	Optimize bool
+	// WrapHooks, when non-nil, wraps the persistence hooks installed on the
+	// pool — outermost, over the checkpoint log's hooks and any provenance
+	// wrapping. The replication shipper (internal/repl) uses it to observe
+	// every durability event; wrapped hooks MUST invoke the inner ones.
+	// Speculative mitigation forks are never wrapped: fork probes must not
+	// leak into the replication stream.
+	WrapHooks func(pmem.Hooks, *checkpoint.Log) pmem.Hooks
+	// ScrubSource, when non-nil, gives the media scrubber an out-of-pool
+	// repair source (typically a replica's durable image): a corrupt block
+	// the checkpoint log cannot prove locally is fetched from the source
+	// and committed only when the stored seal proves it is the original
+	// contents (docs/REPLICATION.md).
+	ScrubSource scrub.BlockSource
 }
 
 // Instance is a PML system deployed under the full Arthas toolchain:
@@ -297,10 +310,10 @@ func build(name, source string, cfg Config, pool *pmem.Pool) (*Instance, error) 
 		OptStats: optStats,
 		cfg:      cfg,
 	}
-	inst.Pool.SetHooks(inst.Log.Hooks())
+	inst.Pool.SetHooks(inst.wrapHooks(inst.Log.Hooks()))
 	if cfg.Provenance {
 		inst.Prov = provenance.New()
-		inst.Pool.SetHooks(inst.Prov.WrapHooks(inst.Log.Hooks(), inst.Log))
+		inst.Pool.SetHooks(inst.wrapHooks(inst.Prov.WrapHooks(inst.Log.Hooks(), inst.Log)))
 		inst.Detector.Lineage = func(addr uint64) (int, bool) {
 			rec, ok := inst.Prov.Lookup(addr)
 			return rec.GUID, ok
@@ -310,6 +323,15 @@ func build(name, source string, cfg Config, pool *pmem.Pool) (*Instance, error) 
 	inst.boot()
 	inst.lifecycle(EventBoot)
 	return inst, nil
+}
+
+// wrapHooks applies Config.WrapHooks (the replication shipper's tap)
+// outermost over h.
+func (i *Instance) wrapHooks(h pmem.Hooks) pmem.Hooks {
+	if i.cfg.WrapHooks == nil {
+		return h
+	}
+	return i.cfg.WrapHooks(h, i.Log)
 }
 
 // lifecycle delivers ev to Config.OnLifecycle when wired.
@@ -386,7 +408,7 @@ func (i *Instance) Scrub() (*ScrubReport, error) {
 			return rec.GUID, ok
 		}
 	}
-	rep := scrub.RepairWithLineage(i.Pool, i.Log, i.obsSink, lineage)
+	rep := scrub.RepairWithLineageFrom(i.Pool, i.Log, i.obsSink, lineage, i.cfg.ScrubSource)
 	i.LastScrub = rep
 	if !rep.Healthy() {
 		return rep, fmt.Errorf("arthas: pool unhealthy after scrub: %s", rep)

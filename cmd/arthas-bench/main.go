@@ -23,6 +23,7 @@
 //	        scrub                                  (media checksum/scrub cost)
 //	        provenance                             (write-lineage cost + persist amplification)
 //	        fleet                                  (sharded serving fleet: scaling + mid-run fault)
+//	        repl                                   (replicated pools: overhead, lag, failover vs mitigation)
 //	        optimize                               (flush/fence elimination: before/after persists)
 //	        all                                    (everything)
 //
@@ -30,6 +31,9 @@
 // and -ops (per-client op count); combined with -json FILE it writes a
 // fleet-only arthas-bench/v1 document (the CI fleet smoke artifact) instead
 // of text.
+//
+// -exp repl honors -clients and -ops; with -json FILE it writes a repl-only
+// arthas-bench/v1 document (the CI repl job artifact) instead of text.
 //
 // -exp optimize runs every fixture and paper system unoptimized and under
 // the internal/opt flush/fence-elimination pass (provenance attached) and
@@ -78,6 +82,20 @@ func main() {
 			f, err := os.Create(*jsonOut)
 			check(err)
 			check(fr.WriteJSON(f))
+			check(f.Close())
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return
+	}
+
+	if *exp == "repl" {
+		rr, err := experiments.RunRepl(experiments.ReplConfig{Clients: *clients, OpsPerClient: *ops})
+		check(err)
+		fmt.Print(rr.Text())
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			check(err)
+			check(rr.WriteJSON(f))
 			check(f.Close())
 			fmt.Printf("wrote %s\n", *jsonOut)
 		}

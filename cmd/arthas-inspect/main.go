@@ -12,6 +12,7 @@
 //	arthas-inspect verify [-repair] image  structural + media checks; exit 1 on corruption
 //	arthas-inspect scrub [-json] [-repair] image   media scrub: scan or heal
 //	arthas-inspect incident [-json] report.json    incident-report timeline
+//	arthas-inspect repl [-max N] primary replica   replica divergence check; exit 1 on divergence
 //
 // The image argument accepts both full images (pool + checkpoint log +
 // trace, as saved by -poolfile) and bare pool files. See
@@ -28,6 +29,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"arthas"
@@ -51,7 +53,11 @@ commands:
   scrub        media-checksum scrub (-json for the arthas-scrub/v1 report;
                -repair heals and rewrites the image in place)
   incident     render an arthas-incident/v1 report (from arthas-react
-               -incident) as a human timeline (-json re-emits the JSON)`)
+               -incident) as a human timeline (-json re-emits the JSON)
+  repl         compare a primary image against its replica: checkpoint-log
+               lag, then word-by-word durable-image identity (-max N caps
+               the printed diff); exits nonzero on divergence or a replica
+               ahead of its primary`)
 	os.Exit(2)
 }
 
@@ -112,9 +118,87 @@ func main() {
 			os.Exit(2)
 		}
 		cmdIncident(fs.Arg(0), *jsonOut)
+	case "repl":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		maxDiff := fs.Int("max", 16, "max differing words to print")
+		fs.Parse(os.Args[2:]) //nolint:errcheck // ExitOnError
+		if fs.NArg() != 2 {
+			fmt.Fprintf(os.Stderr, "usage: arthas-inspect repl [-max N] PRIMARY_IMAGE REPLICA_IMAGE\n")
+			os.Exit(2)
+		}
+		cmdRepl(fs.Arg(0), fs.Arg(1), *maxDiff)
 	default:
 		usage()
 	}
+}
+
+// cmdRepl is the offline face of the replication identity oracle
+// (docs/REPLICATION.md): after a failover drill or a shipped catch-up, the
+// primary's and the replica's durable images must be word-identical and the
+// replica's checkpoint log may trail but never lead. Divergence here means
+// the stream protocol lost or invented a write — the same check the -repl
+// torture sweep runs in-process, made runnable against downloaded images
+// (arthas-serve GET /image/N).
+func cmdRepl(primaryPath, replicaPath string, maxDiff int) {
+	pri, priLog, _, priErr := open(primaryPath)
+	rep, repLog, _, repErr := open(replicaPath)
+	bad := priErr != nil || repErr != nil
+	if bad {
+		fmt.Println("FAIL: image metadata unreadable (see warnings above)")
+	}
+	if replDiverged(os.Stdout, pri, priLog, rep, repLog, maxDiff) || bad {
+		os.Exit(1)
+	}
+}
+
+// replDiverged runs the comparison and reports true on any failure: a
+// replica log ahead of its primary, mismatched pool sizes, or any differing
+// durable word.
+func replDiverged(w io.Writer, pri *pmem.Pool, priLog *checkpoint.Log, rep *pmem.Pool, repLog *checkpoint.Log, maxDiff int) bool {
+	bad := false
+	var priSeq, repSeq uint64
+	if priLog != nil {
+		priSeq = priLog.Seq()
+	}
+	if repLog != nil {
+		repSeq = repLog.Seq()
+	}
+	switch {
+	case priLog == nil || repLog == nil:
+		fmt.Fprintln(w, "checkpoint lag: unknown (bare pool file without a log section)")
+	case repSeq > priSeq:
+		fmt.Fprintf(w, "FAIL: replica log ahead of primary: seq %d vs %d (wrong image order, or the replica was promoted)\n",
+			repSeq, priSeq)
+		bad = true
+	default:
+		fmt.Fprintf(w, "checkpoint lag: %d records (primary seq=%d, replica seq=%d)\n",
+			priSeq-repSeq, priSeq, repSeq)
+	}
+
+	pimg, rimg := pri.DurableImage(), rep.DurableImage()
+	if len(pimg) != len(rimg) {
+		fmt.Fprintf(w, "FAIL: pool sizes differ: %d vs %d words\n", len(pimg), len(rimg))
+		return true
+	}
+	diff := 0
+	for addr := range pimg {
+		if pimg[addr] == rimg[addr] {
+			continue
+		}
+		if diff < maxDiff {
+			fmt.Fprintf(w, "  word %#x: primary %#x, replica %#x\n", addr, pimg[addr], rimg[addr])
+		}
+		diff++
+	}
+	if diff > 0 {
+		if diff > maxDiff {
+			fmt.Fprintf(w, "  ... and %d more\n", diff-maxDiff)
+		}
+		fmt.Fprintf(w, "FAIL: durable images diverge at %d of %d words\n", diff, len(pimg))
+		return true
+	}
+	fmt.Fprintf(w, "durable images identical: %d words\n", len(pimg))
+	return bad
 }
 
 // cmdIncident renders an incident report written by `arthas-react -incident`

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"arthas"
@@ -111,5 +112,78 @@ func TestRewriteImageFullImageKeepsSections(t *testing.T) {
 	}
 	if log2 == nil || tr2 == nil {
 		t.Fatal("full image lost its log/trace sections on rewrite")
+	}
+}
+
+// replDiverged is the offline replication identity oracle: identical durable
+// images with a trailing (or equal) replica log pass; any differing word, a
+// replica log ahead of its primary, or mismatched pool sizes fail.
+func TestReplDiverged(t *testing.T) {
+	// mk builds a pool+log pair with identical durable contents; extra
+	// re-persists of the same value advance the log seq without changing a
+	// durable word, modelling a primary ahead of its replica.
+	mk := func(extra int) (*pmem.Pool, *checkpoint.Log, uint64) {
+		p := pmem.New(1 << 12)
+		log := checkpoint.NewLog(3)
+		p.SetHooks(log.Hooks())
+		addr, err := p.Alloc(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			p.Store(addr+uint64(i), 0x1000+uint64(i))
+		}
+		if err := p.Persist(addr, 8); err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < extra; e++ {
+			p.Store(addr, 0x1000)
+			if err := p.Persist(addr, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p, log, addr
+	}
+
+	pri, priLog, _ := mk(1)
+	rep, repLog, addr := mk(0)
+	var out bytes.Buffer
+	if replDiverged(&out, pri, priLog, rep, repLog, 16) {
+		t.Fatalf("identical images reported divergent:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "checkpoint lag: 1 records") ||
+		!strings.Contains(out.String(), "durable images identical") {
+		t.Fatalf("unexpected report:\n%s", out.String())
+	}
+
+	// Replica log ahead of the primary: ordering violation even with
+	// identical durable words.
+	out.Reset()
+	_, aheadLog, _ := mk(2)
+	if !replDiverged(&out, pri, priLog, rep, aheadLog, 16) {
+		t.Fatalf("replica-ahead not flagged:\n%s", out.String())
+	}
+
+	// One flipped durable word: divergence, diff listed.
+	out.Reset()
+	v, err := rep.Load(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Store(addr, v^0x40)
+	if err := rep.Persist(addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !replDiverged(&out, pri, priLog, rep, repLog, 16) {
+		t.Fatalf("flipped word not flagged:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "diverge at 1 of") {
+		t.Fatalf("diff not reported:\n%s", out.String())
+	}
+
+	// Mismatched pool sizes fail outright.
+	out.Reset()
+	if !replDiverged(&out, pri, priLog, pmem.New(1<<8), repLog, 16) {
+		t.Fatal("size mismatch not flagged")
 	}
 }

@@ -6,6 +6,7 @@
 //
 //	arthas-serve [-addr :8080] [-shards N] [-workers N] [-pool WORDS]
 //	             [-restart-latency DUR] [-source FILE] [-no-provenance]
+//	             [-replicas] [-repl-max-lag N] [-chaos-fail-mitigation]
 //
 // The default system is the fleet's checksummed KV store; -source swaps in
 // any PML program following the same entry-point conventions (see
@@ -15,6 +16,14 @@
 //	curl         localhost:8080/kv/7           # read
 //	curl         localhost:8080/healthz        # aggregated shard health
 //	curl -X POST 'localhost:8080/inject?key=7' # hard-fault drill
+//
+// -replicas attaches a standby replica to every shard (docs/REPLICATION.md):
+// the shard ships its checkpoint log to the standby and, when a hard fault
+// exhausts mitigation, promotes it instead of refusing traffic. /repl reports
+// per-shard replication status, POST /promote?shard=N runs a failover drill,
+// and GET /image/N downloads a shard's durable image for offline inspection
+// (arthas-inspect verify/repl). -chaos-fail-mitigation forces every online
+// mitigation to fail — the chaos switch CI uses to prove the promotion path.
 package main
 
 import (
@@ -36,6 +45,9 @@ func main() {
 	restartLat := flag.Duration("restart-latency", 0, "simulated per-shard restart cost")
 	sourceFile := flag.String("source", "", "PML program override (default: built-in checksummed KV)")
 	noProv := flag.Bool("no-provenance", false, "disable write-lineage tracking (no incident reports)")
+	replicas := flag.Bool("replicas", false, "attach a standby replica to every shard (promote-on-failure)")
+	replMaxLag := flag.Int("repl-max-lag", 0, "max records a standby may trail its primary (0 = default 64)")
+	chaosFail := flag.Bool("chaos-fail-mitigation", false, "chaos drill: force every online mitigation to fail")
 	flag.Parse()
 
 	source := ""
@@ -55,6 +67,10 @@ func main() {
 		Workers:        *workers,
 		RestartLatency: *restartLat,
 		Provenance:     !*noProv,
+		Replicas:       *replicas,
+		ReplMaxLag:     *replMaxLag,
+
+		ChaosMitigationFail: *chaosFail, // drill switch, not a serving option
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

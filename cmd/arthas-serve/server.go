@@ -34,6 +34,12 @@ import (
 //	POST /scrub?shard=N    fence the shard and run a media scrub
 //	POST /restart?shard=N  operator restart (clears a failed shard)
 //	/debug/pprof/*         live profiles
+//
+// Replication surface (404 unless the fleet runs with -replicas):
+//
+//	GET  /repl             per-shard replication status (lag, acks, seals)
+//	POST /promote?shard=N  failover drill: ship, seal, cut over to the standby
+//	GET  /image/{shard}    shard's durable image (arthas-inspect verify/repl)
 func newServer(f *fleet.Fleet) http.Handler {
 	mux := obs.NewFleetMux(f.MergedMetrics, f.Health)
 
@@ -151,6 +157,41 @@ func newServer(f *fleet.Fleet) http.Handler {
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /repl", func(w http.ResponseWriter, _ *http.Request) {
+		if !f.Replicated() {
+			http.Error(w, "fleet runs without replicas (-replicas)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, f.ReplStatus())
+	})
+	mux.HandleFunc("POST /promote", func(w http.ResponseWriter, r *http.Request) {
+		shard, ok := shardArg(w, r, f)
+		if !ok {
+			return
+		}
+		if !f.Replicated() {
+			http.Error(w, "fleet runs without replicas (-replicas)", http.StatusNotFound)
+			return
+		}
+		if err := f.Promote(shard); err != nil {
+			writeFleetErr(w, err)
+			return
+		}
+		writeJSON(w, f.Stats()[shard])
+	})
+	mux.HandleFunc("GET /image/{shard}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := strconv.ParseInt(r.PathValue("shard"), 10, 64)
+		if err != nil || v < 0 || int(v) >= f.Shards() {
+			http.Error(w, "bad shard", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := f.SaveImage(int(v), w); err != nil {
+			// Headers are out; the truncated body fails the client's decode.
+			fmt.Fprintf(w, "\nimage save failed: %v\n", err)
+		}
 	})
 	return mux
 }

@@ -205,3 +205,126 @@ func TestServeAdminOps(t *testing.T) {
 		t.Fatal("out-of-range shard accepted")
 	}
 }
+
+func testReplServer(t *testing.T, shards int, chaos bool) (*httptest.Server, *fleet.Fleet) {
+	t.Helper()
+	f, err := fleet.New(fleet.Config{
+		Shards: shards, BaseName: "serve-repl", Provenance: true,
+		Replicas: true, ReplMaxLag: 4, ChaosMitigationFail: chaos,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(f))
+	t.Cleanup(ts.Close)
+	return ts, f
+}
+
+// TestServeReplSurface drives the replication endpoints end to end: status,
+// an operator promote drill, and the durable-image download — then checks the
+// drill cost nothing (the promoted primary still serves every key).
+func TestServeReplSurface(t *testing.T) {
+	ts, f := testReplServer(t, 2, false)
+	for k := int64(1); k <= 20; k++ {
+		if code, _ := do(t, "PUT", fmt.Sprintf("%s/kv/%d?v=%d", ts.URL, k, k*7), ""); code != http.StatusNoContent {
+			t.Fatalf("put %d failed", k)
+		}
+	}
+	code, body := do(t, "GET", ts.URL+"/repl", "")
+	if code != 200 {
+		t.Fatalf("/repl: %d %s", code, body)
+	}
+	var sts []struct {
+		Connected bool   `json:"connected"`
+		Seq       uint64 `json:"seq"`
+	}
+	if err := json.Unmarshal([]byte(body), &sts); err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 2 || !sts[0].Connected || sts[0].Seq == 0 {
+		t.Fatalf("/repl payload: %+v", sts)
+	}
+
+	code, body = do(t, "POST", ts.URL+"/promote?shard=0", "")
+	if code != 200 {
+		t.Fatalf("/promote: %d %s", code, body)
+	}
+	var st fleet.ShardStats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "serving" || st.Promotions != 1 {
+		t.Fatalf("promoted shard stats: %+v", st)
+	}
+	for k := int64(1); k <= 20; k++ {
+		code, body := do(t, "GET", fmt.Sprintf("%s/kv/%d", ts.URL, k), "")
+		if code != 200 || strings.TrimSpace(body) != fmt.Sprintf("%d", k*7) {
+			t.Fatalf("get %d after drill: %d %q", k, code, body)
+		}
+	}
+	if code, _ := do(t, "POST", ts.URL+"/promote?shard=9", ""); code != http.StatusBadRequest {
+		t.Fatalf("promote out-of-range shard: %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/image/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 || len(img) == 0 {
+		t.Fatalf("/image/0: %d, %d bytes, %v", resp.StatusCode, len(img), err)
+	}
+	if resp.Header.Get("Content-Type") != "application/octet-stream" {
+		t.Fatalf("/image content type: %q", resp.Header.Get("Content-Type"))
+	}
+	if code, _ := do(t, "GET", ts.URL+"/image/99", ""); code != http.StatusBadRequest {
+		t.Fatal("out-of-range image shard accepted")
+	}
+	_ = f
+}
+
+// TestServeReplDisabled pins the 404 contract on fleets without -replicas.
+func TestServeReplDisabled(t *testing.T) {
+	ts, _ := testServer(t, 2)
+	if code, _ := do(t, "GET", ts.URL+"/repl", ""); code != http.StatusNotFound {
+		t.Fatalf("/repl without replicas: %d", code)
+	}
+	if code, _ := do(t, "POST", ts.URL+"/promote?shard=0", ""); code != http.StatusNotFound {
+		t.Fatalf("/promote without replicas: %d", code)
+	}
+}
+
+// TestServeChaosFailover is the HTTP view of the tentpole: with mitigation
+// chaos-failed, the second faulted read is served by the promoted replica —
+// 200 with the pre-fault value, not a 500 refusal.
+func TestServeChaosFailover(t *testing.T) {
+	ts, f := testReplServer(t, 2, true)
+	if code, _ := do(t, "PUT", ts.URL+"/kv/11?v=500", ""); code != http.StatusNoContent {
+		t.Fatal("seed put failed")
+	}
+	code, body := do(t, "POST", ts.URL+"/inject?key=11&bit=4", "")
+	if code != 200 {
+		t.Fatalf("inject: %d %s", code, body)
+	}
+	// Strike one: transient classification, restart, 500 to this client.
+	if code, _ := do(t, "GET", ts.URL+"/kv/11", ""); code != http.StatusInternalServerError {
+		t.Fatalf("first faulted read: %d, want 500", code)
+	}
+	// Strike two: hard fault, chaos-failed mitigation, replica promotion —
+	// and the answer is the ORIGINAL value (corruption never shipped).
+	code, body = do(t, "GET", ts.URL+"/kv/11", "")
+	if code != 200 || strings.TrimSpace(body) != "500" {
+		t.Fatalf("failover read: %d %q, want 200 \"500\"", code, body)
+	}
+	var inj struct {
+		Shard int `json:"shard"`
+	}
+	_, routeBody := do(t, "GET", ts.URL+"/route?key=11", "")
+	if err := json.Unmarshal([]byte(routeBody), &inj); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats()[inj.Shard]; st.Promotions != 1 || st.State != "serving" {
+		t.Fatalf("shard %d after failover: %+v", inj.Shard, st)
+	}
+}

@@ -34,6 +34,14 @@
 // scrub-then-retry path and the image reopen path. -imagedir additionally
 // saves each trial's still-corrupt image for offline tooling
 // (arthas-inspect scrub) and the CI media job.
+//
+// -repl switches to the replication sweep (docs/REPLICATION.md): the
+// workload runs on a primary streaming its checkpoint log to a standby
+// replica, and the harness kills the primary at every durability event
+// (torn tails included), cuts the stream mid-record at every shipped
+// sequence number, and kills the replica at every applied one — each trial
+// must converge back to word-identical primary and replica durable images
+// with zero residual lag.
 package main
 
 import (
@@ -55,6 +63,7 @@ func main() {
 	probe := flag.String("probe", "", "single call checked (and used as the mitigation re-execution script) after recovery")
 	replay := flag.String("replay", "", "replay one saved seed JSON instead of sweeping")
 	media := flag.Bool("media", false, "sweep media faults instead of crash points")
+	replMode := flag.Bool("repl", false, "sweep replication failures (primary crash, stream cut, replica kill) instead of crash points")
 	imageDir := flag.String("imagedir", "", "with -media: save each trial's corrupt image here")
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	optimize := flag.Bool("opt", false, "run the flush/fence-elimination pass on the program, prove per-crash-point recovery equivalence against the unoptimized build, then sweep the optimized program")
@@ -84,6 +93,19 @@ func main() {
 			Points:    *points,
 			Workers:   *workers,
 		}, *imageDir, *out))
+	}
+	if *replMode {
+		os.Exit(runRepl(torture.Config{
+			Name:      flag.Arg(0),
+			Source:    string(src),
+			Script:    flag.Arg(1),
+			RecoverFn: *recoverFn,
+			Probe:     *probe,
+			Seed:      *seed,
+			Points:    *points,
+			Workers:   *workers,
+			Torn:      *torn,
+		}, *out))
 	}
 	cfg := torture.Config{
 		Name:      flag.Arg(0),
@@ -150,6 +172,24 @@ func runMedia(cfg torture.Config, imageDir, out string) int {
 	return 0
 }
 
+func runRepl(cfg torture.Config, out string) int {
+	rep, err := torture.RunRepl(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	emit(js, out)
+	fmt.Fprintf(os.Stderr, "%s: repl sweep: %d events, %d records, %d trials: %d clean, %d healed, %d violated\n",
+		cfg.Name, rep.Events, rep.Records, rep.Trials, rep.Clean, rep.Healed, rep.Violated)
+	if rep.Violated > 0 {
+		return 1
+	}
+	return 0
+}
+
 func runReplay(pmlPath, seedPath, out string) int {
 	src, err := os.ReadFile(pmlPath)
 	if err != nil {
@@ -193,6 +233,7 @@ func emit(js []byte, out string) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: arthas-torture [-seed N] [-points N] [-workers N] [-depth N] [-recover FN] [-probe "fn args"] [-torn=false] [-o report.json] [-opt] file.pml "init_; put 1 2; get 1"
        arthas-torture -media [-imagedir DIR] [common flags] file.pml "script"
+       arthas-torture -repl [common flags] file.pml "script"
        arthas-torture -replay seed.json file.pml`)
 	os.Exit(2)
 }

@@ -123,7 +123,7 @@ func assembleImage(name, source string, cfg Config, pool *pmem.Pool, log *checkp
 	inst.Log = log
 	inst.Trace = tr
 	inst.LastScrub = scrubRep
-	inst.Pool.SetHooks(inst.Log.Hooks())
+	inst.Pool.SetHooks(inst.wrapHooks(inst.Log.Hooks()))
 	inst.boot() // rebind trace sinks to the restored trace
 	return inst, nil
 }

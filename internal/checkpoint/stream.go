@@ -1,0 +1,178 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Stream shipping codec: the primary→replica replication wire format
+// (internal/repl, docs/REPLICATION.md). A stream is a flat sequence of
+// records, each one durability event observed through pmem.Hooks on the
+// primary, in hook order. The payload of a persist record is literally the
+// checkpoint log's entry/version material — (addr, data words, the
+// primary's log sequence after the version was appended) — so replaying a
+// stream into a standby pool+log reproduces both the durable image and the
+// checkpoint log the reactor needs for mitigation after a promotion.
+//
+// Layout per record, little-endian u64s:
+//
+//	[0] kind     (StreamKind, 1-based; 0 is invalid so torn zero bytes
+//	             never decode as a record)
+//	[1] seq      stream sequence, 1-based, strictly increasing
+//	[2] addr     first affected word (persist/alloc/zero/free), else 0
+//	[3] words    affected word count, else 0
+//	[4] ckptSeq  primary checkpoint-log Seq() after the event (persist
+//	             kinds; 0 otherwise) — the replay divergence check
+//	[5] ndata    payload word count (persist kinds; 0 otherwise)
+//	[6..]        ndata payload words
+//
+// A stream cut mid-record — the torn-tail case a crashed primary or a
+// dropped connection produces — decodes to the complete prefix plus a
+// *StreamTruncatedError carrying the last fully decoded sequence, wrapped
+// in ErrCorruptLog like every other checkpoint parse failure.
+
+// StreamKind tags one replicated durability event.
+type StreamKind uint64
+
+// Stream record kinds. Values are part of the wire format.
+const (
+	// StreamPersist carries one persisted range and its post-append
+	// checkpoint-log sequence (Persist, or one range of a PersistTx).
+	StreamPersist StreamKind = 1 + iota
+	// StreamTxBegin/StreamTxCommit bracket the StreamPersist records of a
+	// transactional commit, exactly as OnTxBegin/OnTxCommit bracket
+	// OnPersist, so the replica's log groups them into one revert unit.
+	StreamTxBegin
+	StreamTxCommit
+	// StreamAlloc replays an allocation; the replica re-executes it and
+	// checks the returned address (the allocator is deterministic).
+	StreamAlloc
+	// StreamZero replays Zalloc's zeroing of a fresh payload.
+	StreamZero
+	// StreamFree replays a deallocation.
+	StreamFree
+)
+
+var streamKindNames = [...]string{
+	StreamPersist: "persist", StreamTxBegin: "txbegin", StreamTxCommit: "txcommit",
+	StreamAlloc: "alloc", StreamZero: "zero", StreamFree: "free",
+}
+
+func (k StreamKind) String() string {
+	if int(k) < len(streamKindNames) && k > 0 {
+		return streamKindNames[k]
+	}
+	return fmt.Sprintf("stream-kind(%d)", uint64(k))
+}
+
+// streamHdrWords is the fixed per-record header size, in u64 words.
+const streamHdrWords = 6
+
+// maxStreamData bounds a record's payload word count to the same
+// plausibility ceiling serialize.go uses for version data.
+const maxStreamData = 1 << 24
+
+// StreamOp is one decoded (or to-be-encoded) stream record.
+type StreamOp struct {
+	Seq     uint64
+	Kind    StreamKind
+	Addr    uint64
+	Words   uint64
+	CkptSeq uint64
+	Data    []uint64
+}
+
+func (op StreamOp) String() string {
+	return fmt.Sprintf("#%d %s@%#x+%d ckpt=%d", op.Seq, op.Kind, op.Addr, op.Words, op.CkptSeq)
+}
+
+// EncodedLen returns the record's encoded size in bytes.
+func (op StreamOp) EncodedLen() int { return 8 * (streamHdrWords + len(op.Data)) }
+
+// AppendStreamOp appends op's encoding to b and returns the extended slice.
+func AppendStreamOp(b []byte, op StreamOp) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(op.Kind))
+	b = binary.LittleEndian.AppendUint64(b, op.Seq)
+	b = binary.LittleEndian.AppendUint64(b, op.Addr)
+	b = binary.LittleEndian.AppendUint64(b, op.Words)
+	b = binary.LittleEndian.AppendUint64(b, op.CkptSeq)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(op.Data)))
+	for _, w := range op.Data {
+		b = binary.LittleEndian.AppendUint64(b, w)
+	}
+	return b
+}
+
+// EncodeStream encodes ops back-to-back.
+func EncodeStream(ops []StreamOp) []byte {
+	n := 0
+	for _, op := range ops {
+		n += op.EncodedLen()
+	}
+	b := make([]byte, 0, n)
+	for _, op := range ops {
+		b = AppendStreamOp(b, op)
+	}
+	return b
+}
+
+// StreamTruncatedError reports a stream batch cut mid-record: everything
+// through LastGoodSeq decoded cleanly; the bytes from Offset on are a
+// partial record. It unwraps to ErrCorruptLog.
+type StreamTruncatedError struct {
+	// LastGoodSeq is the sequence of the last fully decoded record
+	// (0 when the batch was cut inside its first record).
+	LastGoodSeq uint64
+	// Offset is the byte offset of the truncated record's start.
+	Offset int
+}
+
+func (e *StreamTruncatedError) Error() string {
+	return fmt.Sprintf("%v: stream truncated mid-record at byte %d (last good seq %d)",
+		ErrCorruptLog, e.Offset, e.LastGoodSeq)
+}
+
+// Unwrap makes errors.Is(err, ErrCorruptLog) work.
+func (e *StreamTruncatedError) Unwrap() error { return ErrCorruptLog }
+
+// DecodeStream decodes every complete record in b. A batch cut mid-record
+// returns the complete prefix AND a *StreamTruncatedError; structurally
+// invalid bytes (bad kind, implausible payload size) return a plain
+// ErrCorruptLog-wrapped error with whatever prefix decoded before them.
+func DecodeStream(b []byte) ([]StreamOp, error) {
+	var ops []StreamOp
+	lastGood := uint64(0)
+	off := 0
+	for off < len(b) {
+		if len(b)-off < 8*streamHdrWords {
+			return ops, &StreamTruncatedError{LastGoodSeq: lastGood, Offset: off}
+		}
+		hdr := b[off:]
+		kind := StreamKind(binary.LittleEndian.Uint64(hdr[0:]))
+		seq := binary.LittleEndian.Uint64(hdr[8:])
+		addr := binary.LittleEndian.Uint64(hdr[16:])
+		words := binary.LittleEndian.Uint64(hdr[24:])
+		ckptSeq := binary.LittleEndian.Uint64(hdr[32:])
+		ndata := binary.LittleEndian.Uint64(hdr[40:])
+		if kind < StreamPersist || kind > StreamFree {
+			return ops, fmt.Errorf("%w: invalid stream kind %d at byte %d", ErrCorruptLog, uint64(kind), off)
+		}
+		if ndata > maxStreamData {
+			return ops, fmt.Errorf("%w: implausible stream payload %d words at byte %d", ErrCorruptLog, ndata, off)
+		}
+		if len(b)-off < 8*(streamHdrWords+int(ndata)) {
+			return ops, &StreamTruncatedError{LastGoodSeq: lastGood, Offset: off}
+		}
+		op := StreamOp{Seq: seq, Kind: kind, Addr: addr, Words: words, CkptSeq: ckptSeq}
+		if ndata > 0 {
+			op.Data = make([]uint64, ndata)
+			for i := range op.Data {
+				op.Data[i] = binary.LittleEndian.Uint64(b[off+8*(streamHdrWords+i):])
+			}
+		}
+		ops = append(ops, op)
+		lastGood = seq
+		off += op.EncodedLen()
+	}
+	return ops, nil
+}

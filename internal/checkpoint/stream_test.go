@@ -1,0 +1,120 @@
+package checkpoint
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func streamFixture() []StreamOp {
+	return []StreamOp{
+		{Seq: 1, Kind: StreamAlloc, Addr: 0x1000_0040, Words: 4},
+		{Seq: 2, Kind: StreamZero, Addr: 0x1000_0040, Words: 4},
+		{Seq: 3, Kind: StreamTxBegin},
+		{Seq: 4, Kind: StreamPersist, Addr: 0x1000_0040, Words: 2, CkptSeq: 1, Data: []uint64{7, 9}},
+		{Seq: 5, Kind: StreamPersist, Addr: 0x1000_0043, Words: 1, CkptSeq: 2, Data: []uint64{11}},
+		{Seq: 6, Kind: StreamTxCommit},
+		{Seq: 7, Kind: StreamFree, Addr: 0x1000_0040, Words: 4},
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	ops := streamFixture()
+	b := EncodeStream(ops)
+	got, err := DecodeStream(b)
+	if err != nil {
+		t.Fatalf("DecodeStream: %v", err)
+	}
+	if !reflect.DeepEqual(got, ops) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, ops)
+	}
+	if got2, err := DecodeStream(nil); err != nil || len(got2) != 0 {
+		t.Fatalf("empty stream: %v %v", got2, err)
+	}
+}
+
+// TestStreamTruncationEveryBoundary cuts the encoded stream at every byte
+// offset — covering every field boundary of every record and every
+// mid-word cut — and asserts the decoder returns exactly the complete
+// prefix plus a StreamTruncatedError carrying the last good sequence.
+func TestStreamTruncationEveryBoundary(t *testing.T) {
+	ops := streamFixture()
+	b := EncodeStream(ops)
+
+	// recStart[i] = byte offset where record i starts.
+	recStart := make([]int, len(ops)+1)
+	for i, op := range ops {
+		recStart[i+1] = recStart[i] + op.EncodedLen()
+	}
+	if recStart[len(ops)] != len(b) {
+		t.Fatalf("offset bookkeeping: %d != %d", recStart[len(ops)], len(b))
+	}
+
+	for cut := 0; cut < len(b); cut++ {
+		// How many whole records fit in b[:cut]?
+		whole := 0
+		for whole < len(ops) && recStart[whole+1] <= cut {
+			whole++
+		}
+		got, err := DecodeStream(b[:cut])
+		if recStart[whole] == cut {
+			// Cut exactly on a record boundary: clean decode of the prefix.
+			if err != nil {
+				t.Fatalf("cut=%d (boundary): unexpected error %v", cut, err)
+			}
+		} else {
+			var te *StreamTruncatedError
+			if !errors.As(err, &te) {
+				t.Fatalf("cut=%d: want StreamTruncatedError, got %v", cut, err)
+			}
+			if !errors.Is(err, ErrCorruptLog) {
+				t.Fatalf("cut=%d: truncation must wrap ErrCorruptLog", cut)
+			}
+			wantSeq := uint64(0)
+			if whole > 0 {
+				wantSeq = ops[whole-1].Seq
+			}
+			if te.LastGoodSeq != wantSeq {
+				t.Fatalf("cut=%d: LastGoodSeq=%d, want %d", cut, te.LastGoodSeq, wantSeq)
+			}
+			if te.Offset != recStart[whole] {
+				t.Fatalf("cut=%d: Offset=%d, want %d", cut, te.Offset, recStart[whole])
+			}
+		}
+		if len(got) != whole {
+			t.Fatalf("cut=%d: decoded %d records, want %d", cut, len(got), whole)
+		}
+		if !reflect.DeepEqual(got, ops[:whole]) && !(len(got) == 0 && whole == 0) {
+			t.Fatalf("cut=%d: prefix mismatch", cut)
+		}
+	}
+}
+
+func TestStreamBadKind(t *testing.T) {
+	b := EncodeStream([]StreamOp{{Seq: 1, Kind: StreamPersist, Addr: 1, Words: 1, Data: []uint64{1}}})
+	bad := append([]byte(nil), b...)
+	bad = AppendStreamOp(bad, StreamOp{Seq: 2, Kind: 99})
+	got, err := DecodeStream(bad)
+	if err == nil || !errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("bad kind: want ErrCorruptLog, got %v", err)
+	}
+	var te *StreamTruncatedError
+	if errors.As(err, &te) {
+		t.Fatalf("bad kind must not read as truncation: %v", err)
+	}
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("bad kind: prefix %v", got)
+	}
+}
+
+func TestStreamImplausiblePayload(t *testing.T) {
+	op := StreamOp{Seq: 1, Kind: StreamPersist, Addr: 1, Words: 1}
+	b := AppendStreamOp(nil, op)
+	// Overwrite ndata with an implausible count.
+	for i := 0; i < 8; i++ {
+		b[40+i] = 0xff
+	}
+	if _, err := DecodeStream(b); err == nil || !errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("implausible payload: want ErrCorruptLog, got %v", err)
+	}
+}

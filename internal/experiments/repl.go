@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arthas/internal/fleet"
+	"arthas/internal/obs"
+	"arthas/internal/workload"
+)
+
+// The replication experiment (docs/REPLICATION.md): what does attaching a
+// standby replica to every shard cost, how far does the standby trail, and
+// what does failover buy when mitigation cannot heal? Three measurements:
+//
+//   - Overhead: the same closed-loop workload with replicas off and on.
+//     Shipping is the checkpoint log the primary already writes, batched at
+//     the lag bound, so the gap is the serialization + apply cost.
+//   - Lag: the max per-shard record lag sampled across the run — the bound
+//     the promote-time catch-up drain has to cover.
+//   - Failover vs mitigation: the same mid-run hard fault healed two ways —
+//     online mitigation (replica idle), and chaos-failed mitigation forcing
+//     promotion. Both runs report time from injection to the key serving
+//     again, so the failover window is directly comparable to the
+//     mitigation window it replaces.
+
+// ReplConfig sizes the replication experiment.
+type ReplConfig struct {
+	// Shards is the fleet size (default 2).
+	Shards int
+	// Clients is the closed-loop client count (default 4).
+	Clients int
+	// OpsPerClient is each client's op count (default 400).
+	OpsPerClient int
+	// Keys is the workload keyspace (default 100).
+	Keys int
+	// Seed fixes the deterministic client streams (default 42).
+	Seed uint64
+	// MaxLag bounds how many records a standby may trail (default 8).
+	MaxLag int
+	// ServiceLatency is the simulated PM-bound per-request service time
+	// (default 20µs; see FleetConfig.ServiceLatency).
+	ServiceLatency time.Duration
+}
+
+func (c ReplConfig) withDefaults() ReplConfig {
+	if c.Shards == 0 {
+		c.Shards = 2
+	}
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.OpsPerClient == 0 {
+		c.OpsPerClient = 400
+	}
+	if c.Keys == 0 {
+		c.Keys = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.MaxLag == 0 {
+		c.MaxLag = 8
+	}
+	if c.ServiceLatency == 0 {
+		c.ServiceLatency = 20 * time.Microsecond
+	}
+	return c
+}
+
+// ReplOverheadPoint is one closed-loop run, with or without replicas.
+type ReplOverheadPoint struct {
+	Replicas  bool    `json:"replicas"`
+	Done      int64   `json:"ops"`
+	Errors    int64   `json:"errors"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50US     float64 `json:"p50_us"`
+	P99US     float64 `json:"p99_us"`
+	// StateDigest must match between the two points: replication may not
+	// change the served state.
+	StateDigest int64 `json:"state_digest"`
+	// Ships/Records are the stream totals across shards (replicas only).
+	Ships   uint64 `json:"ships,omitempty"`
+	Records uint64 `json:"records,omitempty"`
+}
+
+// ReplLag summarizes the sampled per-shard record lag.
+type ReplLag struct {
+	Bound   int     `json:"bound"`
+	Samples int64   `json:"samples"`
+	P50     float64 `json:"p50"`
+	P99     float64 `json:"p99"`
+	Max     float64 `json:"max"`
+	// FinalLag is the residual lag after the run's last ship — 0 on every
+	// shard once traffic stops.
+	FinalLag uint64 `json:"final_lag"`
+}
+
+// ReplFailover compares the two heal paths for the same injected fault.
+type ReplFailover struct {
+	// MitigationHealMS is injection→served-again with mitigation healing
+	// online (the replica stays a standby).
+	MitigationHealMS float64 `json:"mitigation_heal_ms"`
+	MitigationHealed bool    `json:"mitigation_healed"`
+	// FailoverHealMS is the same window with mitigation chaos-failed, healed
+	// by promoting the standby instead.
+	FailoverHealMS float64 `json:"failover_heal_ms"`
+	FailoverHealed bool    `json:"failover_healed"`
+	Promotions     int64   `json:"promotions"`
+	// OriginalValueServed reports the promoted replica returning the
+	// pre-fault value (the corruption never shipped).
+	OriginalValueServed bool `json:"original_value_served"`
+}
+
+// ReplResults is the full replication experiment output.
+type ReplResults struct {
+	Config   ReplConfig          `json:"-"`
+	Overhead []ReplOverheadPoint `json:"overhead"`
+	Lag      ReplLag             `json:"lag"`
+	Failover *ReplFailover       `json:"failover"`
+}
+
+// JSONRepl is the machine-readable repl section (schema arthas-bench/v1).
+type JSONRepl struct {
+	Shards       int                 `json:"shards"`
+	Clients      int                 `json:"clients"`
+	OpsPerClient int                 `json:"ops_per_client"`
+	Keys         int                 `json:"keys"`
+	Seed         uint64              `json:"seed"`
+	Overhead     []ReplOverheadPoint `json:"overhead"`
+	Lag          ReplLag             `json:"lag"`
+	Failover     *ReplFailover       `json:"failover,omitempty"`
+}
+
+// JSON flattens the results for the bench document.
+func (r *ReplResults) JSON() *JSONRepl {
+	return &JSONRepl{
+		Shards:       r.Config.Shards,
+		Clients:      r.Config.Clients,
+		OpsPerClient: r.Config.OpsPerClient,
+		Keys:         r.Config.Keys,
+		Seed:         r.Config.Seed,
+		Overhead:     r.Overhead,
+		Lag:          r.Lag,
+		Failover:     r.Failover,
+	}
+}
+
+// WriteJSON writes a standalone repl-only bench document (the CI artifact of
+// the repl job).
+func (r *ReplResults) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Schema string    `json:"schema"`
+		Repl   *JSONRepl `json:"repl"`
+	}{Schema: JSONSchema, Repl: r.JSON()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// replFleet builds one experiment fleet; withReplicas is the only knob that
+// differs between the overhead points.
+func replFleet(cfg ReplConfig, name string, withReplicas, chaosFail bool) (*fleet.Fleet, error) {
+	return fleet.New(fleet.Config{
+		Shards: cfg.Shards, BaseName: name,
+		ServiceLatency: cfg.ServiceLatency, Provenance: true,
+		Replicas: withReplicas, ReplMaxLag: cfg.MaxLag,
+		ChaosMitigationFail: chaosFail,
+	})
+}
+
+// replDriver mirrors fleetDriver: identical streams across every run of the
+// experiment, key-derived write values so interleavings commute.
+func replDriver(cfg ReplConfig, f *fleet.Fleet) *workload.Driver {
+	return &workload.Driver{
+		Clients:      cfg.Clients,
+		OpsPerClient: cfg.OpsPerClient,
+		Shape:        workload.WorkloadA(0, cfg.Keys, cfg.Seed),
+		ErrClass:     fleet.ErrClass,
+		Do: func(_ int, op workload.Op) error {
+			if op.Kind != workload.OpRead {
+				op.Value = op.Key*2654435761 + 1
+			}
+			_, err := f.Do(op)
+			return err
+		},
+	}
+}
+
+// healTime injects a hard fault into key and measures until it serves again.
+func healTime(f *fleet.Fleet, key int64) (time.Duration, bool) {
+	if _, err := f.InjectFault(key, 5); err != nil {
+		return 0, false
+	}
+	start := time.Now()
+	deadline := start.Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := f.Get(key); err == nil {
+			return time.Since(start), true
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return time.Since(start), false
+}
+
+// RunRepl executes the replication experiment.
+func RunRepl(cfg ReplConfig) (*ReplResults, error) {
+	cfg = cfg.withDefaults()
+	res := &ReplResults{Config: cfg}
+
+	// Overhead: replicas off, then on, same streams. The lag histogram rides
+	// on the replicated run, sampled from the driver's tick hook.
+	var lag obs.Hist
+	var lagMu sync.Mutex
+	for _, withReplicas := range []bool{false, true} {
+		f, err := replFleet(cfg, fmt.Sprintf("repl-bench-%v", withReplicas), withReplicas, false)
+		if err != nil {
+			return nil, err
+		}
+		d := replDriver(cfg, f)
+		if withReplicas {
+			d.Tick = func(done int) {
+				if done%32 != 0 {
+					return
+				}
+				lagMu.Lock()
+				for _, st := range f.ReplStatus() {
+					lag.Add(float64(st.Lag))
+				}
+				lagMu.Unlock()
+			}
+		}
+		rep := d.Run()
+		if rep.Errors != 0 {
+			return nil, fmt.Errorf("repl: fault-free run (replicas=%v) had %d errors (%+v)",
+				withReplicas, rep.Errors, rep.ErrCounts)
+		}
+		dig, err := f.StateDigest()
+		if err != nil {
+			return nil, err
+		}
+		pt := ReplOverheadPoint{
+			Replicas:    withReplicas,
+			Done:        rep.Done,
+			Errors:      rep.Errors,
+			ElapsedMS:   rep.ElapsedMS,
+			OpsPerSec:   rep.OpsPerSec,
+			P50US:       rep.P50US,
+			P99US:       rep.P99US,
+			StateDigest: dig,
+		}
+		if withReplicas {
+			var final uint64
+			for _, st := range f.ReplStatus() {
+				pt.Ships += st.Ships
+				pt.Records += st.Records
+				if st.Lag > final {
+					final = st.Lag
+				}
+			}
+			res.Lag = ReplLag{
+				Bound:    cfg.MaxLag,
+				Samples:  lag.Count,
+				P50:      lag.Quantile(0.5),
+				P99:      lag.Quantile(0.99),
+				Max:      lag.Max,
+				FinalLag: final,
+			}
+		}
+		res.Overhead = append(res.Overhead, pt)
+	}
+	if res.Overhead[0].StateDigest != res.Overhead[1].StateDigest {
+		return nil, fmt.Errorf("repl: replication changed served state: digest %d vs %d",
+			res.Overhead[0].StateDigest, res.Overhead[1].StateDigest)
+	}
+
+	// Failover vs mitigation: identical fleets, identical fault, the only
+	// difference is whether mitigation is allowed to succeed.
+	fo := &ReplFailover{}
+	faultKey := fleetFaultKey(cfg.Shards)
+	for _, chaos := range []bool{false, true} {
+		f, err := replFleet(cfg, fmt.Sprintf("repl-heal-%v", chaos), true, chaos)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Put(faultKey, 31337); err != nil {
+			return nil, err
+		}
+		// Warm state so promotion replays a real log, not just one record.
+		var warm atomic.Int64
+		d := replDriver(cfg, f)
+		d.OpsPerClient = 50
+		d.Tick = func(int) { warm.Add(1) }
+		if rep := d.Run(); rep.Errors != 0 {
+			return nil, fmt.Errorf("repl: warmup had %d errors", rep.Errors)
+		}
+		heal, ok := healTime(f, faultKey)
+		if chaos {
+			fo.FailoverHealMS = float64(heal.Microseconds()) / 1000
+			fo.FailoverHealed = ok
+			if v, err := f.Get(faultKey); err == nil && v == 31337 {
+				fo.OriginalValueServed = true
+			}
+			for _, st := range f.Stats() {
+				fo.Promotions += st.Promotions
+			}
+		} else {
+			fo.MitigationHealMS = float64(heal.Microseconds()) / 1000
+			fo.MitigationHealed = ok
+		}
+	}
+	res.Failover = fo
+	return res, nil
+}
+
+// Text renders the experiment for the terminal.
+func (r *ReplResults) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "==== Replicated pools (docs/REPLICATION.md) ====\n\n")
+	fmt.Fprintf(&sb, "closed loop: %d shards, %d clients x %d ops, %d keys, seed %d, lag bound %d\n\n",
+		r.Config.Shards, r.Config.Clients, r.Config.OpsPerClient, r.Config.Keys,
+		r.Config.Seed, r.Config.MaxLag)
+	fmt.Fprintf(&sb, "%-10s %10s %12s %10s %10s\n", "replicas", "ops", "ops/sec", "p50 us", "p99 us")
+	var base float64
+	for _, p := range r.Overhead {
+		if !p.Replicas {
+			base = p.OpsPerSec
+		}
+		note := ""
+		if p.Replicas && base > 0 {
+			note = fmt.Sprintf("  (%.1f%% overhead, %d records in %d ships)",
+				(1-p.OpsPerSec/base)*100, p.Records, p.Ships)
+		}
+		fmt.Fprintf(&sb, "%-10v %10d %12.0f %10.1f %10.1f%s\n",
+			p.Replicas, p.Done, p.OpsPerSec, p.P50US, p.P99US, note)
+	}
+	fmt.Fprintf(&sb, "\nstandby lag (records, bound %d): p50 %.0f, p99 %.0f, max %.0f over %d samples; final %d\n",
+		r.Lag.Bound, r.Lag.P50, r.Lag.P99, r.Lag.Max, r.Lag.Samples, r.Lag.FinalLag)
+	if f := r.Failover; f != nil {
+		fmt.Fprintf(&sb, "\nsame hard fault, two heal paths:\n")
+		fmt.Fprintf(&sb, "  online mitigation:    healed=%v in %.2f ms\n", f.MitigationHealed, f.MitigationHealMS)
+		fmt.Fprintf(&sb, "  replica promotion:    healed=%v in %.2f ms (%d promotions, mitigation chaos-failed)\n",
+			f.FailoverHealed, f.FailoverHealMS, f.Promotions)
+		if f.OriginalValueServed {
+			fmt.Fprintf(&sb, "  promoted standby served the pre-fault value (corruption never shipped)\n")
+		}
+	}
+	return sb.String()
+}

@@ -16,10 +16,14 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"arthas"
+	"arthas/internal/checkpoint"
 	"arthas/internal/obs"
+	"arthas/internal/pmem"
+	"arthas/internal/repl"
 	"arthas/internal/workload"
 )
 
@@ -89,15 +93,31 @@ type Config struct {
 	// Provenance enables per-shard write-lineage tracking; recovered
 	// mitigations then publish `arthas-incident/v1` reports (Incident).
 	Provenance bool
+	// Replicas gives every shard a standby replica fed by checkpoint-log
+	// stream shipping (internal/repl, docs/REPLICATION.md). The scrubber
+	// gains a seal-proven replica repair source, and a shard whose
+	// trap→restart→mitigate escalation exhausts promotes its replica and
+	// resumes serving instead of going Failed.
+	Replicas bool
+	// ReplMaxLag bounds how many durability records the replica may trail
+	// the primary before the serving path ships the stream (default 64;
+	// 1 ships after every operation). Only meaningful with Replicas.
+	ReplMaxLag int
+	// ChaosMitigationFail is a drill switch: every hard-fault mitigation is
+	// forced to fail before touching the reactor, so the escalation path
+	// past mitigation — replica promotion, or StateFailed without replicas —
+	// is exercised on demand (the CI repl job's failover drill).
+	ChaosMitigationFail bool
 	// Funcs overrides the served PML entry points.
 	Funcs Funcs
 }
 
 // Fleet is a set of shards behind deterministic key routing.
 type Fleet struct {
-	cfg    Config
-	rec    *obs.Recorder // fleet-level counters (routing, refusals, mitigations)
-	shards []*Shard
+	cfg        Config
+	rec        *obs.Recorder // fleet-level counters (routing, refusals, mitigations)
+	shards     []*Shard
+	replMaxLag int
 }
 
 // New builds, boots, and initializes every shard.
@@ -113,9 +133,13 @@ func New(cfg Config) (*Fleet, error) {
 	}
 	cfg.Funcs = cfg.Funcs.withDefaults()
 
-	f := &Fleet{cfg: cfg, rec: obs.NewRecorder()}
+	f := &Fleet{cfg: cfg, rec: obs.NewRecorder(), replMaxLag: cfg.ReplMaxLag}
+	if f.replMaxLag <= 0 {
+		f.replMaxLag = 64
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &Shard{ID: i, fleet: f, rec: obs.NewRecorder()}
+		s.name = fmt.Sprintf("%s-shard%d", cfg.BaseName, i)
 		acfg := arthas.Config{
 			PoolWords:      cfg.PoolWords,
 			MaxVersions:    cfg.MaxVersions,
@@ -126,7 +150,20 @@ func New(cfg Config) (*Fleet, error) {
 			OnLifecycle:    s.onLifecycle,
 		}
 		acfg.Reactor.Workers = cfg.Workers
-		inst, err := arthas.New(fmt.Sprintf("%s-shard%d", cfg.BaseName, i), cfg.Source, acfg)
+		if cfg.Replicas {
+			// The shipper taps the instance's pmem hooks; the session owns
+			// the standby replica. Both close over s.inst so the wiring
+			// survives promotion (the shipper keeps feeding from whichever
+			// instance currently serves the shard).
+			sh := repl.NewShipper()
+			acfg.WrapHooks = sh.WrapHooks
+			s.repl = repl.NewSession(sh, uint64(i)+1, func() (*pmem.Pool, *checkpoint.Log) {
+				return s.inst.Pool, s.inst.Log
+			})
+			acfg.ScrubSource = s.repl.FetchBlock
+		}
+		s.acfg = acfg
+		inst, err := arthas.New(s.name, cfg.Source, acfg)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
 		}
@@ -134,6 +171,13 @@ func New(cfg Config) (*Fleet, error) {
 			return nil, fmt.Errorf("fleet: shard %d init: %w", i, trap)
 		}
 		s.inst = inst
+		if s.repl != nil {
+			// Bootstrap the standby from a snapshot that includes the init
+			// effects, so it is caught up from the first served request.
+			if err := s.repl.Ship(); err != nil {
+				return nil, fmt.Errorf("fleet: shard %d replica bootstrap: %w", i, err)
+			}
+		}
 		s.setState(StateServing)
 		s.refreshHealthLocked() // single-threaded here; no lock needed yet
 		f.shards = append(f.shards, s)
@@ -223,7 +267,9 @@ func (f *Fleet) Health() []obs.ShardHealth {
 			h = *snap
 		}
 		switch s.State() {
-		case StateRestarting, StateMitigating, StateScrubbing:
+		case StateRestarting, StateMitigating, StateScrubbing, StatePromoting:
+			// Promotion is a bounded cutover window, not a terminal state:
+			// like mitigation, the shard refuses briefly and comes back.
 			h.Mitigating = true
 		case StateFailed:
 			h.Degraded = true
@@ -293,6 +339,66 @@ func (f *Fleet) Scrub(shard int) (*arthas.ScrubReport, error) {
 // given up on it.
 func (f *Fleet) Restart(shard int) error {
 	return f.shards[shard].restart()
+}
+
+// Promote is the operator failover drill: it ships the shard's stream to
+// the standby, seals the session, and cuts the shard over to its promoted
+// replica — the same path a failed mitigation takes, minus the fault. The
+// shard must be serving and replica-backed.
+func (f *Fleet) Promote(shard int) error {
+	if shard < 0 || shard >= len(f.shards) {
+		return fmt.Errorf("fleet: no shard %d", shard)
+	}
+	s := f.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.repl == nil {
+		return fmt.Errorf("fleet: shard %d has no replica", shard)
+	}
+	if st := s.State(); st != StateServing {
+		return fmt.Errorf("fleet: shard %d is %s, not serving", shard, st)
+	}
+	// Catch the standby up before sealing so the drill loses nothing, then
+	// promote and answer a read probe on the new primary.
+	if err := s.repl.Ship(); err != nil {
+		return fmt.Errorf("fleet: shard %d pre-promote ship: %w", shard, err)
+	}
+	s.repl.Seal()
+	if _, err, ok := s.promoteLocked(f.cfg.Funcs.Get, []int64{0}); !ok {
+		s.setState(StateFailed)
+		return fmt.Errorf("fleet: shard %d promotion failed", shard)
+	} else if err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReplStatus snapshots per-shard replication sessions in shard order. With
+// replicas disabled every entry is the zero Status (Connected=false).
+func (f *Fleet) ReplStatus() []repl.Status {
+	out := make([]repl.Status, len(f.shards))
+	for i, s := range f.shards {
+		if s.repl != nil {
+			out[i] = s.repl.Status()
+		}
+	}
+	return out
+}
+
+// Replicated reports whether the fleet runs standby replicas.
+func (f *Fleet) Replicated() bool { return f.cfg.Replicas }
+
+// SaveImage serializes one shard's full image (pool, checkpoint log, trace)
+// under the shard lock — the /image endpoint CI uses to hand a promoted
+// shard's state to `arthas-inspect verify`.
+func (f *Fleet) SaveImage(shard int, w io.Writer) error {
+	if shard < 0 || shard >= len(f.shards) {
+		return fmt.Errorf("fleet: no shard %d", shard)
+	}
+	s := f.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inst.SaveImage(w)
 }
 
 // InjectFault flips one pre-writeback bit in the stored value of key — the

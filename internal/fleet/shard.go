@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"arthas"
 	"arthas/internal/obs"
+	"arthas/internal/repl"
 	"arthas/internal/workload"
 )
 
@@ -29,8 +31,14 @@ const (
 	StateMitigating
 	// StateScrubbing means a media scrub pass is running.
 	StateScrubbing
+	// StatePromoting is the bounded failover window: the shard's replica is
+	// catching up and cutting over after mitigation gave up. Requests are
+	// refused only for the drain + reopen duration, then serving resumes on
+	// the promoted replica.
+	StatePromoting
 	// StateFailed is terminal: mitigation was attempted and did not recover
-	// the shard. Requests bounce until an operator intervenes (Restart).
+	// the shard — and no replica could take over. Requests bounce until an
+	// operator intervenes (Restart).
 	StateFailed
 )
 
@@ -44,6 +52,8 @@ func (s State) String() string {
 		return "mitigating"
 	case StateScrubbing:
 		return "scrubbing"
+	case StatePromoting:
+		return "promoting"
 	case StateFailed:
 		return "failed"
 	default:
@@ -63,6 +73,12 @@ type UnavailableError struct {
 func (e *UnavailableError) Error() string {
 	return fmt.Sprintf("shard %d unavailable: %s", e.Shard, e.State)
 }
+
+// RetryAfter tells retrying clients how long to back off before re-issuing a
+// refused request: restart/mitigation/promotion windows are short, so the
+// hint is one millisecond (HTTP front ends surface it as `Retry-After`,
+// workload drivers honor it via the workload.RetryAfterer contract).
+func (e *UnavailableError) RetryAfter() time.Duration { return time.Millisecond }
 
 // TrapError is returned when a request's execution trapped. Mitigated marks
 // that the trap escalated to a hard-fault mitigation; Recovered whether that
@@ -97,6 +113,15 @@ type Shard struct {
 
 	mu   sync.Mutex
 	inst *arthas.Instance
+	// repl is the shard's standby-replica session (nil unless
+	// Config.Replicas): the shipper taps the instance's pmem hooks, scrub
+	// fetches unprovable blocks from the replica, and a failed mitigation
+	// promotes it instead of refusing traffic. acfg is retained so the
+	// promoted replica's image reopens with identical wiring (observer,
+	// lifecycle hook, shipper, scrub source).
+	repl *repl.Session
+	acfg arthas.Config
+	name string
 
 	state    atomic.Int32
 	health   atomic.Pointer[obs.HealthState]
@@ -110,6 +135,7 @@ type Shard struct {
 	restarts    atomic.Int64
 	mitigations atomic.Int64
 	recovered   atomic.Int64
+	promotions  atomic.Int64
 }
 
 // State returns the shard's current serving state.
@@ -135,6 +161,12 @@ func (s *Shard) onLifecycle(ev arthas.LifecycleEvent) {
 		s.casState(StateServing, StateScrubbing)
 	case arthas.EventScrubEnd:
 		s.casState(StateScrubbing, StateServing)
+	}
+	// Mitigation reverts and scrub repairs mutate durable state through raw
+	// paths the replication hooks never see; the replica must snapshot-resync
+	// on the next ship rather than trust the stream.
+	if s.repl != nil && (ev == arthas.EventMitigateEnd || ev == arthas.EventScrubEnd) {
+		s.repl.MarkDirty()
 	}
 }
 
@@ -179,9 +211,23 @@ func (s *Shard) do(fn string, args ...int64) (int64, error) {
 	v, trap := s.inst.Call(fn, args...)
 	if trap == nil {
 		s.ops.Add(1)
+		s.shipIfDueLocked()
 		return v, nil
 	}
 	return s.handleTrapLocked(fn, args, trap)
+}
+
+// shipIfDueLocked ships the checkpoint-log stream to the standby replica
+// once the lag bound is reached (or a resync is owed). Runs on the serving
+// path under the shard lock, so replication cost is part of the measured
+// service time (arthas-bench -exp repl quantifies it).
+func (s *Shard) shipIfDueLocked() {
+	if s.repl == nil || !s.repl.Due(uint64(s.fleet.replMaxLag)) {
+		return
+	}
+	if err := s.repl.Ship(); err != nil {
+		s.fleet.rec.Count("fleet.repl.ship_error", 1)
+	}
 }
 
 // handleTrapLocked runs the paper's serving-side failure protocol: feed the
@@ -192,6 +238,15 @@ func (s *Shard) do(fn string, args ...int64) (int64, error) {
 func (s *Shard) handleTrapLocked(fn string, args []int64, trap *arthas.Trap) (int64, error) {
 	s.traps.Add(1)
 	s.errs.Add(1)
+	// Seal the replication session at the failure boundary: everything
+	// shipped before this trap is the replica's trusted prefix, and nothing
+	// the recovery machinery writes below (restart replay, mitigation
+	// re-execution) may leak into a later promote drain. A successful
+	// recovery unseals and resyncs; a promotion drains only the sealed
+	// prefix.
+	if s.repl != nil {
+		s.repl.Seal()
+	}
 	_, hard := s.inst.Observe(trap)
 	if !hard {
 		s.setState(StateRestarting)
@@ -200,12 +255,15 @@ func (s *Shard) handleTrapLocked(fn string, args []int64, trap *arthas.Trap) (in
 		s.refreshHealthLocked()
 		if rtrap != nil {
 			// Recovery itself trapped: the fault is in persistent state the
-			// restart path touches. Keep serving state down; the next client
-			// hit would re-observe, but without a working restart there is
-			// nothing to escalate to, so fail the shard.
+			// restart path touches. Without a replica there is nothing to
+			// escalate to; with one, fail over instead of refusing.
+			if v, err, ok := s.promoteLocked(fn, args); ok {
+				return v, err
+			}
 			s.setState(StateFailed)
 			return 0, &TrapError{Shard: s.ID, Trap: rtrap}
 		}
+		s.unsealReplLocked()
 		s.setState(StateServing)
 		return 0, &TrapError{Shard: s.ID, Trap: trap}
 	}
@@ -213,14 +271,27 @@ func (s *Shard) handleTrapLocked(fn string, args []int64, trap *arthas.Trap) (in
 	s.setState(StateMitigating)
 	s.mitigations.Add(1)
 	s.fleet.rec.Count("fleet.mitigation", 1)
-	rep, err := s.inst.MitigateCall(fn, args...)
+	var rep *arthas.Report
+	var err error
+	if s.fleet.cfg.ChaosMitigationFail {
+		// Failover drill: pretend checkpoint reversion could not converge, so
+		// the escalation path past mitigation (promotion) is exercised on
+		// demand (the CI repl job and TestFailoverPastMitigation).
+		s.fleet.rec.Count("fleet.chaos.mitigation_fail", 1)
+		err = errChaosMitigation
+	} else {
+		rep, err = s.inst.MitigateCall(fn, args...)
+	}
 	if rep != nil {
 		s.report.Store(rep)
 	}
 	if err != nil || rep == nil || !rep.Recovered {
 		s.refreshHealthLocked()
-		s.setState(StateFailed)
 		s.fleet.rec.Count("fleet.mitigation.failed", 1)
+		if v, perr, ok := s.promoteLocked(fn, args); ok {
+			return v, perr
+		}
+		s.setState(StateFailed)
 		return 0, &TrapError{Shard: s.ID, Trap: lastTrapOf(rep, trap), Mitigated: true}
 	}
 	s.recovered.Add(1)
@@ -232,12 +303,90 @@ func (s *Shard) handleTrapLocked(fn string, args []int64, trap *arthas.Trap) (in
 	v, rtrap := s.inst.Call(fn, args...)
 	s.refreshHealthLocked()
 	if rtrap != nil {
+		if v, perr, ok := s.promoteLocked(fn, args); ok {
+			return v, perr
+		}
 		s.setState(StateFailed)
 		return 0, &TrapError{Shard: s.ID, Trap: rtrap, Mitigated: true, Recovered: true}
 	}
+	s.unsealReplLocked()
 	s.setState(StateServing)
 	s.ops.Add(1)
 	return v, nil
+}
+
+// errChaosMitigation marks a drill-forced mitigation failure.
+var errChaosMitigation = fmt.Errorf("fleet: chaos drill forced mitigation failure")
+
+// unsealReplLocked reopens the replication session after a recovery that
+// kept the primary: the stream records buffered during the recovery window
+// are untrustworthy (restart replay, mitigation re-execution), so the
+// session is marked dirty and the next ship snapshot-resyncs from the healed
+// primary instead.
+func (s *Shard) unsealReplLocked() {
+	if s.repl == nil {
+		return
+	}
+	s.repl.Unseal()
+	s.repl.MarkDirty()
+}
+
+// promoteLocked fails the shard over to its standby replica: drain the
+// sealed pre-failure stream prefix into the replica, reopen an instance
+// from the replica's image with the shard's original wiring, run recovery,
+// cut over, and re-issue the request that exposed the fault. Returns
+// ok=false when there is no replica or the failover itself failed — the
+// caller then falls back to StateFailed exactly as before replicas existed.
+// Requests routed here during the drain+reopen window are refused with
+// StatePromoting, the bounded unavailability the failover trades against a
+// permanent refusal.
+func (s *Shard) promoteLocked(fn string, args []int64) (int64, error, bool) {
+	if s.repl == nil {
+		return 0, nil, false
+	}
+	s.setState(StatePromoting)
+	s.fleet.rec.Count("fleet.promotion", 1)
+	rep, err := s.repl.Promote()
+	if err != nil {
+		s.fleet.rec.Count("fleet.promotion.failed", 1)
+		return 0, nil, false
+	}
+	var img bytes.Buffer
+	if err := arthas.WriteImage(&img, rep.Pool, rep.Log, nil); err != nil {
+		s.fleet.rec.Count("fleet.promotion.failed", 1)
+		return 0, nil, false
+	}
+	inst, err := arthas.OpenImage(s.name+"-promoted", s.fleet.cfg.Source, s.acfg, &img)
+	if err != nil {
+		s.fleet.rec.Count("fleet.promotion.failed", 1)
+		return 0, nil, false
+	}
+	if trap := inst.Restart(); trap != nil {
+		// The replica's image fails recovery: it is not a viable primary.
+		s.fleet.rec.Count("fleet.promotion.failed", 1)
+		return 0, nil, false
+	}
+	s.inst = inst
+	s.promotions.Add(1)
+	s.fleet.rec.Count("fleet.promotion.completed", 1)
+	// The shipper's hooks now feed from the promoted instance. Discard the
+	// failed primary's residue and bootstrap a fresh standby immediately so
+	// the shard is replica-protected again.
+	s.repl.Unseal()
+	s.repl.MarkDirty()
+	if err := s.repl.Ship(); err != nil {
+		s.fleet.rec.Count("fleet.repl.ship_error", 1)
+	}
+	s.refreshHealthLocked()
+	// Serve the request that exposed the fault on the promoted primary.
+	v, rtrap := s.inst.Call(fn, args...)
+	if rtrap != nil {
+		s.setState(StateFailed)
+		return 0, &TrapError{Shard: s.ID, Trap: rtrap, Mitigated: true}, true
+	}
+	s.setState(StateServing)
+	s.ops.Add(1)
+	return v, nil, true
 }
 
 func lastTrapOf(rep *arthas.Report, fallback *arthas.Trap) *arthas.Trap {
@@ -269,6 +418,9 @@ func (s *Shard) restart() error {
 		s.setState(StateFailed)
 		return &TrapError{Shard: s.ID, Trap: trap}
 	}
+	// An operator restart can resurrect a Failed shard whose session was
+	// sealed at the original failure; reopen it so replication resumes.
+	s.unsealReplLocked()
 	s.setState(StateServing)
 	return nil
 }
@@ -284,7 +436,11 @@ type ShardStats struct {
 	Restarts          int64  `json:"restarts"`
 	Mitigations       int64  `json:"mitigations"`
 	Recovered         int64  `json:"recovered"`
+	Promotions        int64  `json:"promotions,omitempty"`
 	QuarantinedBlocks int    `json:"quarantined_blocks"`
+	// Repl is the shard's replication-session snapshot (nil when replicas
+	// are disabled).
+	Repl *repl.Status `json:"repl,omitempty"`
 }
 
 func (s *Shard) stats() ShardStats {
@@ -293,7 +449,7 @@ func (s *Shard) stats() ShardStats {
 	if h != nil {
 		quar = h.QuarantinedBlocks
 	}
-	return ShardStats{
+	st := ShardStats{
 		Shard:             s.ID,
 		State:             s.State().String(),
 		Ops:               s.ops.Load(),
@@ -303,8 +459,14 @@ func (s *Shard) stats() ShardStats {
 		Restarts:          s.restarts.Load(),
 		Mitigations:       s.mitigations.Load(),
 		Recovered:         s.recovered.Load(),
+		Promotions:        s.promotions.Load(),
 		QuarantinedBlocks: quar,
 	}
+	if s.repl != nil {
+		rs := s.repl.Status()
+		st.Repl = &rs
+	}
+	return st
 }
 
 // opFor maps a workload op kind onto this fleet's serving functions. Updates

@@ -124,6 +124,22 @@ func (p *Pool) computeMediaChecksum(b int) uint64 {
 // MediaChecksum returns the STORED checksum of media block b.
 func (p *Pool) MediaChecksum(b int) uint64 { return p.csums[b] }
 
+// DurableBlock copies media block b's durable words (the replication
+// layer's block-fetch primitive; see BlockFetch). Returns nil when b is
+// out of range.
+func (p *Pool) DurableBlock(b int) []uint64 {
+	if b < 0 || b >= p.mediaBlocks() {
+		return nil
+	}
+	r := p.MediaBlockRange(b)
+	start := int(r.Addr - Base)
+	out := make([]uint64, r.Words)
+	for w := range out {
+		out[w] = p.durAt(start + w)
+	}
+	return out
+}
+
 // MediaBlockOK recomputes block b's checksum and compares it to the stored
 // one, updating the verified cache.
 func (p *Pool) MediaBlockOK(b int) bool {
@@ -450,9 +466,15 @@ type MediaRepair struct {
 	Range         Range
 	RepairedWords int  // words rewritten from ground truth
 	Healed        bool // checksum verifies again: original contents restored
+	Fetched       bool // healed from an external block source (replica)
 	Quarantined   bool // unreconstructible: resealed and fenced off
 	Degraded      bool // header block unreconstructible: resealed, pool degraded
 }
+
+// BlockFetch supplies a media block's words from outside the pool — a
+// replica's durable image (internal/repl). It returns the full block
+// (MediaBlockRange(b).Words words) and true, or false when unavailable.
+type BlockFetch func(b int) ([]uint64, bool)
 
 // RepairMedia is the repair engine behind scrub.Repair. For every corrupt
 // media block it rewrites each word it has ground truth for — header
@@ -466,6 +488,17 @@ type MediaRepair struct {
 // degraded). The caller should run RecoverMeta + CheckIntegrity afterwards
 // to rebuild derived allocator metadata.
 func (p *Pool) RepairMedia(hints []AllocHint, lookup func(addr uint64) (uint64, bool)) []MediaRepair {
+	return p.RepairMediaFrom(hints, lookup, nil)
+}
+
+// RepairMediaFrom is RepairMedia with a last-resort external block source:
+// when the local reconstruction cannot reproduce a block's stored seal,
+// the block is fetched from fetch (a replica's durable image) and
+// committed ONLY when the stored checksum proves the fetched words are the
+// block's original contents — the same proof rule local repair uses, so a
+// stale or diverged replica can never corrupt the pool; its blocks simply
+// fail the seal and the verdict falls through to quarantine as before.
+func (p *Pool) RepairMediaFrom(hints []AllocHint, lookup func(addr uint64) (uint64, bool), fetch BlockFetch) []MediaRepair {
 	corrupt := p.CorruptMediaBlocks()
 	if len(corrupt) == 0 {
 		return nil
@@ -647,11 +680,19 @@ func (p *Pool) RepairMedia(hints []AllocHint, lookup func(addr uint64) (uint64, 
 		}
 	}
 
-	// Verdict per block: a matching checksum proves full recovery; anything
-	// else is fenced off.
+	// Verdict per block: a matching checksum proves full recovery; a block
+	// the local reconstruction cannot prove gets one more chance from the
+	// external source (seal-proven, see RepairMediaFrom); anything else is
+	// fenced off.
 	out := make([]MediaRepair, 0, len(corrupt))
 	for _, b := range corrupt {
 		mr := MediaRepair{Block: b, Range: p.MediaBlockRange(b), RepairedWords: repairedBy[b]}
+		if !p.MediaBlockOK(b) && fetch != nil {
+			if n := p.commitFetchedBlock(b, fetch); n > 0 {
+				mr.RepairedWords += n
+				mr.Fetched = true
+			}
+		}
 		if p.MediaBlockOK(b) {
 			mr.Healed = true
 		} else if b == 0 {
@@ -665,4 +706,40 @@ func (p *Pool) RepairMedia(hints []AllocHint, lookup func(addr uint64) (uint64, 
 		out = append(out, mr)
 	}
 	return out
+}
+
+// commitFetchedBlock tests whether the externally fetched contents of
+// block b reproduce its stored seal, and commits them raw only on proof.
+// Returns the number of words rewritten (0 = no proof, nothing touched).
+func (p *Pool) commitFetchedBlock(b int, fetch BlockFetch) int {
+	words, ok := fetch(b)
+	if !ok {
+		return 0
+	}
+	r := p.MediaBlockRange(b)
+	if len(words) != r.Words {
+		return 0
+	}
+	lo := int(r.Addr - Base)
+	var sum uint64
+	for w := 0; w < r.Words; w++ {
+		sum ^= mediaMix(lo+w, words[w])
+	}
+	if sum != p.csums[b] {
+		return 0
+	}
+	n := 0
+	for w := 0; w < r.Words; w++ {
+		if p.durAt(lo+w) != words[w] {
+			p.rawDurWrite(lo+w, words[w])
+			p.setCurAt(lo+w, words[w])
+			delete(p.dirty, Base+uint64(lo+w))
+			n++
+		}
+	}
+	if p.obsOn {
+		p.sink.Count("pmem.media_fetch_heal", 1)
+		p.sink.Count("pmem.media_fetch_words", int64(n))
+	}
+	return n
 }

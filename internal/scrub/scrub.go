@@ -40,6 +40,13 @@ const (
 // as a function so this package never imports provenance).
 type LineageFunc func(addr uint64) (guid int, ok bool)
 
+// BlockSource supplies a media block's words from outside the pool — a
+// replica's durable image, passed in as a function so this package never
+// imports the replication layer (internal/repl). A block fetched from it
+// is committed only when the pool's stored seal proves it is the original
+// contents; otherwise the verdict falls through to quarantine as before.
+type BlockSource = pmem.BlockFetch
+
 // BlockReport describes one media block the scrubber acted on.
 type BlockReport struct {
 	Block         int    `json:"block"`
@@ -47,6 +54,10 @@ type BlockReport struct {
 	Words         int    `json:"words"`
 	RepairedWords int    `json:"repaired_words,omitempty"`
 	Verdict       string `json:"verdict"`
+	// Source names where a healed block's ground truth came from:
+	// "log" (local reconstruction) or "replica" (seal-proven external
+	// fetch; RepairFrom variants only). Empty for non-healed verdicts.
+	Source string `json:"source,omitempty"`
 	// LastWriterGUID attributes the block's first word with recorded
 	// lineage to its last writer (RepairWithLineage only; 0 = none found).
 	LastWriterGUID int `json:"last_writer_guid,omitempty"`
@@ -151,12 +162,28 @@ func Repair(pool *pmem.Pool, log *checkpoint.Log, sink obs.Sink) *Report {
 	return RepairWithLineage(pool, log, sink, nil)
 }
 
+// RepairFrom is Repair with an external block source: blocks the local
+// log-driven reconstruction cannot seal-prove are fetched from src and
+// committed only when the stored checksum proves them — turning a
+// quarantine into a heal when a caught-up replica is available
+// (docs/REPLICATION.md).
+func RepairFrom(pool *pmem.Pool, log *checkpoint.Log, sink obs.Sink, src BlockSource) *Report {
+	return RepairWithLineageFrom(pool, log, sink, nil, src)
+}
+
 // RepairWithLineage is Repair plus provenance annotation: when lineage is
 // non-nil, each acted-on block is attributed to the last writer of its first
 // word with a resident lineage record, so a scrub report names the write
 // site whose data was at stake. The annotation is informational — repair
 // decisions are identical to Repair's.
 func RepairWithLineage(pool *pmem.Pool, log *checkpoint.Log, sink obs.Sink, lineage LineageFunc) *Report {
+	return RepairWithLineageFrom(pool, log, sink, lineage, nil)
+}
+
+// RepairWithLineageFrom combines RepairWithLineage and RepairFrom: the full
+// scrub pass with provenance annotation and an optional replica-backed
+// repair source.
+func RepairWithLineageFrom(pool *pmem.Pool, log *checkpoint.Log, sink obs.Sink, lineage LineageFunc, src BlockSource) *Report {
 	sink = obs.OrNop(sink)
 	span := sink.Start("scrub.repair")
 	defer span.End()
@@ -176,7 +203,7 @@ func RepairWithLineage(pool *pmem.Pool, log *checkpoint.Log, sink obs.Sink, line
 		}
 		lookup = log.CheckpointedValueAt
 	}
-	repairs := pool.RepairMedia(hints, lookup)
+	repairs := pool.RepairMediaFrom(hints, lookup, src)
 
 	rep.Blocks = rep.Blocks[:0]
 	for _, mr := range repairs {
@@ -187,6 +214,10 @@ func RepairWithLineage(pool *pmem.Pool, log *checkpoint.Log, sink obs.Sink, line
 		switch {
 		case mr.Healed:
 			br.Verdict = VerdictHealed
+			br.Source = "log"
+			if mr.Fetched {
+				br.Source = "replica"
+			}
 			rep.Healed++
 		case mr.Degraded:
 			br.Verdict = VerdictDegraded

@@ -1,0 +1,492 @@
+package torture
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"arthas"
+	"arthas/internal/checkpoint"
+	"arthas/internal/pmem"
+	"arthas/internal/repl"
+)
+
+// Replication torture mode: a primary streams its checkpoint log to a
+// standby replica (internal/repl) while the harness kills one party at a
+// time — the primary at every durability event (torn tails included), the
+// stream mid-record at every shipped sequence number, the replica at every
+// applied sequence number — and after every such failure the sweep demands
+// the protocol converge back to a WORD-IDENTICAL durable image on both
+// sides (pmem.Pool.DurableImage). Like the crash and media sweeps, the
+// report is a pure function of the seed and byte-identical at any -workers.
+
+// Replication victim kinds.
+const (
+	ReplVictimPrimary = "primary" // power-fail the primary at a durability event
+	ReplVictimStream  = "stream"  // cut the shipped batch mid-record at a target seq
+	ReplVictimReplica = "replica" // kill the replica applying a target seq
+)
+
+// ReplSpec orders one replication failure.
+type ReplSpec struct {
+	Victim string `json:"victim"`
+	// Event and Keep drive primary crashes: power-fail at the Event'th
+	// durability event keeping Keep words of it durable (-1 = all, the
+	// untorn variant).
+	Event int `json:"event,omitempty"`
+	Keep  int `json:"keep,omitempty"`
+	// Seq targets stream cuts and replica kills at one stream record.
+	Seq uint64 `json:"seq,omitempty"`
+	// Cut picks where inside the target record the stream tears (bytes,
+	// reduced mod the record length so the tear is always mid-record).
+	Cut int `json:"cut,omitempty"`
+}
+
+func (s ReplSpec) String() string {
+	switch s.Victim {
+	case ReplVictimPrimary:
+		return fmt.Sprintf("primary@e%d keep=%d", s.Event, s.Keep)
+	case ReplVictimStream:
+		return fmt.Sprintf("stream@seq%d cut=%d", s.Seq, s.Cut)
+	default:
+		return fmt.Sprintf("replica@seq%d", s.Seq)
+	}
+}
+
+// ReplTrialResult is the outcome of one replication-failure schedule.
+type ReplTrialResult struct {
+	Trial int      `json:"trial"`
+	Spec  ReplSpec `json:"spec"`
+	// Fired reports whether the ordered failure actually hit (an event or
+	// seq past the run's stream simply never fires).
+	Fired bool `json:"fired"`
+	// Crashes describes primary power failures that fired ("tx@0x...+3
+	// keep=1").
+	Crashes []string `json:"crashes,omitempty"`
+	// Session counters at the end of the trial.
+	Truncations        uint64   `json:"truncations,omitempty"`
+	Drops              uint64   `json:"drops,omitempty"`
+	Resyncs            uint64   `json:"resyncs,omitempty"`
+	Records            uint64   `json:"records,omitempty"`
+	MitigationAttempts int      `json:"mitigation_attempts,omitempty"`
+	Outcome            string   `json:"outcome"`
+	Violations         []string `json:"violations,omitempty"`
+}
+
+// ReplReport is the full deterministic output of a replication sweep.
+type ReplReport struct {
+	Program string `json:"program"`
+	Script  string `json:"script"`
+	Seed    int64  `json:"seed"`
+	// Events is the durability-event count of the fault-free workload;
+	// Records the stream records one fault-free replication run ships.
+	Events   int               `json:"events"`
+	Records  uint64            `json:"records"`
+	Trials   int               `json:"trials"`
+	Clean    int               `json:"clean"`
+	Healed   int               `json:"healed"`
+	Violated int               `json:"violated"`
+	Results  []ReplTrialResult `json:"results"`
+}
+
+// JSON renders the report byte-identically for a given seed.
+func (r *ReplReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RunRepl executes a replication sweep: enumerate the workload's durability
+// events and (via a fault-free baseline replication run) its stream
+// records, derive one failure spec per event for each victim kind, and run
+// each as an independent trial asserting word-identical convergence.
+func RunRepl(cfg Config) (*ReplReport, error) {
+	cfg = cfg.withDefaults()
+	calls, err := ParseScript(cfg.Script)
+	if err != nil {
+		return nil, err
+	}
+	var probe *Call
+	if cfg.Probe != "" {
+		pc, err := ParseScript(cfg.Probe)
+		if err != nil {
+			return nil, err
+		}
+		if len(pc) != 1 {
+			return nil, fmt.Errorf("torture: probe must be a single call, got %d", len(pc))
+		}
+		probe = &pc[0]
+	}
+	events, err := enumerate(cfg, calls)
+	if err != nil {
+		return nil, fmt.Errorf("torture: baseline run: %w", err)
+	}
+	records, err := baselineRecords(cfg, calls)
+	if err != nil {
+		return nil, fmt.Errorf("torture: baseline replication: %w", err)
+	}
+	specs := buildReplSchedules(cfg, events, records)
+
+	rep := &ReplReport{
+		Program: cfg.Name,
+		Script:  cfg.Script,
+		Seed:    cfg.Seed,
+		Events:  len(events),
+		Records: records,
+		Trials:  len(specs),
+		Results: make([]ReplTrialResult, len(specs)),
+	}
+	runOne := func(i int) {
+		res := runReplTrial(cfg, calls, probe, specs[i])
+		res.Trial = i
+		rep.Results[i] = res
+	}
+	if cfg.Workers > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Workers)
+		for i := range specs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				runOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range specs {
+			runOne(i)
+		}
+	}
+	for _, res := range rep.Results {
+		switch res.Outcome {
+		case "clean":
+			rep.Clean++
+		case "healed":
+			rep.Healed++
+		default:
+			rep.Violated++
+		}
+	}
+	return rep, nil
+}
+
+// baselineRecords runs the workload once under a fault-free replication rig
+// and returns the stream record count — the seq universe stream/replica
+// victims enumerate. It also sanity-checks that fault-free replication
+// converges word-identically; a broken protocol fails fast here instead of
+// poisoning every trial.
+func baselineRecords(cfg Config, calls []Call) (uint64, error) {
+	rig, err := newReplRig(cfg)
+	if err != nil {
+		return 0, err
+	}
+	for _, c := range calls {
+		if _, trap := rig.cur.Call(c.Fn, c.Args...); trap != nil {
+			return 0, fmt.Errorf("workload call %q trapped with no injection: %v", c, trap)
+		}
+		if err := rig.sess.Ship(); err != nil {
+			return 0, err
+		}
+	}
+	if v := replIdentityViolation(rig); v != "" {
+		return 0, fmt.Errorf("fault-free replication diverged: %s", v)
+	}
+	return rig.sess.Status().Seq, nil
+}
+
+// buildReplSchedules derives the victim universe: every durability event as
+// a primary crash (torn variants when cfg.Torn and the event spans words),
+// every stream record as a mid-record cut, every stream record as a replica
+// kill — then samples down to cfg.Points (order-preserving).
+func buildReplSchedules(cfg Config, events []EventInfo, records uint64) []ReplSpec {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var specs []ReplSpec
+	for i, ev := range events {
+		specs = append(specs, ReplSpec{Victim: ReplVictimPrimary, Event: i, Keep: -1})
+		if cfg.Torn && ev.Words > 1 {
+			specs = append(specs, ReplSpec{
+				Victim: ReplVictimPrimary, Event: i, Keep: rng.Intn(ev.Words),
+			})
+		}
+	}
+	for seq := uint64(1); seq <= records; seq++ {
+		specs = append(specs, ReplSpec{Victim: ReplVictimStream, Seq: seq, Cut: 1 + rng.Intn(62)})
+	}
+	for seq := uint64(1); seq <= records; seq++ {
+		specs = append(specs, ReplSpec{Victim: ReplVictimReplica, Seq: seq})
+	}
+	if cfg.Points > 0 && len(specs) > cfg.Points {
+		idx := rng.Perm(len(specs))[:cfg.Points]
+		sort.Ints(idx)
+		sampled := make([]ReplSpec, 0, cfg.Points)
+		for _, i := range idx {
+			sampled = append(sampled, specs[i])
+		}
+		specs = sampled
+	}
+	return specs
+}
+
+// replRig is one primary + shipper + session under test. cur tracks the
+// CURRENT primary instance across crash reopens, so the session's snapshot
+// source always reads the live pool and log.
+type replRig struct {
+	cur  *arthas.Instance
+	sh   *repl.Shipper
+	sess *repl.Session
+}
+
+func newReplRig(cfg Config) (*replRig, error) {
+	r := &replRig{sh: repl.NewShipper()}
+	acfg := arthasConfig(cfg)
+	acfg.WrapHooks = r.sh.WrapHooks
+	inst, err := arthas.New(cfg.Name, cfg.Source, acfg)
+	if err != nil {
+		return nil, err
+	}
+	r.cur = inst
+	r.sess = repl.NewSession(r.sh, uint64(cfg.Seed)|1, func() (*pmem.Pool, *checkpoint.Log) {
+		return r.cur.Pool, r.cur.Log
+	})
+	return r, r.sess.Ship()
+}
+
+// replIdentityViolation ships any residue and compares the primary's and
+// replica's durable images word by word — the sweep's convergence oracle.
+func replIdentityViolation(rig *replRig) string {
+	if err := rig.sess.Ship(); err != nil {
+		return "final-ship-failed: " + err.Error()
+	}
+	if lag := rig.sess.Lag(); lag != 0 {
+		return fmt.Sprintf("residual-lag: %d records unacked after final ship", lag)
+	}
+	prim := rig.cur.Pool.DurableImage()
+	rep := rig.sess.ReplicaImage()
+	if rep == nil {
+		return "no-replica: session lost its replica"
+	}
+	if len(prim) != len(rep) {
+		return fmt.Sprintf("image-size-mismatch: %d vs %d words", len(prim), len(rep))
+	}
+	for i := range prim {
+		if prim[i] != rep[i] {
+			return fmt.Sprintf("word-divergence: addr %#x primary=%#x replica=%#x",
+				i, prim[i], rep[i])
+		}
+	}
+	return ""
+}
+
+// runReplTrial runs one replication-failure schedule in a fresh rig. The
+// workload ships after every call (the tightest lag bound), the ordered
+// failure fires once, and the trial ends with the identity oracle: primary
+// and replica durable images word-identical, zero residual lag.
+func runReplTrial(cfg Config, calls []Call, probe *Call, spec ReplSpec) ReplTrialResult {
+	res := ReplTrialResult{Spec: spec, Outcome: "clean"}
+	var violations []string
+	healed := false
+
+	rig, err := newReplRig(cfg)
+	if err != nil {
+		res.Outcome = "violated"
+		res.Violations = []string{"deploy-failed: " + err.Error()}
+		return res
+	}
+
+	switch spec.Victim {
+	case ReplVictimStream:
+		// Tear the wire batch mid-record at the target seq, once. The
+		// session must keep the complete prefix, count a truncation, and
+		// re-ship the tail.
+		rig.sess.LinkFault = func(b []byte) []byte {
+			if res.Fired {
+				return b
+			}
+			ops, err := checkpoint.DecodeStream(b)
+			if err != nil {
+				return b
+			}
+			off := 0
+			for _, op := range ops {
+				l := op.EncodedLen()
+				if op.Seq == spec.Seq {
+					cut := spec.Cut % (l - 1)
+					if cut == 0 {
+						cut = 1
+					}
+					res.Fired = true
+					return b[:off+cut]
+				}
+				off += l
+			}
+			return b
+		}
+	case ReplVictimReplica:
+		// Kill the replica as it applies the target seq, once. The session
+		// must drop it, back off, and resync from a fresh snapshot.
+		rig.sess.ReplicaFault = func(seq uint64) bool {
+			if !res.Fired && seq == spec.Seq {
+				res.Fired = true
+				return true
+			}
+			return false
+		}
+	}
+
+	armed := spec.Victim == ReplVictimPrimary
+	ci := 0
+	for {
+		if armed {
+			count := 0
+			rig.cur.Pool.SetCrashFunc(func(ev pmem.DurEvent) (int, bool) {
+				i := count
+				count++
+				if i != spec.Event {
+					return ev.Words, false
+				}
+				keep := spec.Keep
+				if keep < 0 || keep > ev.Words {
+					keep = ev.Words
+				}
+				res.Crashes = append(res.Crashes,
+					fmt.Sprintf("%s@%#x+%d keep=%d", ev.Kind, ev.Addr, ev.Words, keep))
+				return keep, true
+			})
+		}
+
+		crashed := false
+		for ci < len(calls) {
+			c := calls[ci]
+			_, trap := rig.cur.Call(c.Fn, c.Args...)
+			if rig.cur.Pool.CrashLatched() {
+				crashed = true
+				res.Fired = true
+				break
+			}
+			if trap != nil {
+				ok, mrep, v := heal(rig.cur, trap, &c)
+				if mrep != nil {
+					res.MitigationAttempts += mrep.Attempts
+				}
+				if !ok {
+					violations = append(violations, v)
+					return finishRepl(res, rig, violations, healed)
+				}
+				// Mitigation reverts through raw pool writes the stream never
+				// saw: resync before trusting the stream again.
+				rig.sess.MarkDirty()
+				healed = true
+			}
+			ci++
+			if err := rig.sess.Ship(); err != nil {
+				violations = append(violations, "ship-failed: "+err.Error())
+				return finishRepl(res, rig, violations, healed)
+			}
+		}
+		if !crashed {
+			break
+		}
+
+		// Power failure on the primary: volatile state dies, the (possibly
+		// torn) durable image is what the next process sees. The stream's
+		// recorded tail may describe writes the tear threw away, so the
+		// session is dirty until it resyncs from the recovered primary.
+		armed = false
+		rig.cur.Pool.SetCrashFunc(nil)
+		rig.cur.Pool.Crash()
+		rig.cur.Pool.ResetCrashLatch()
+
+		acfg := arthasConfig(cfg)
+		acfg.WrapHooks = rig.sh.WrapHooks
+		next, vs := reopenWith(cfg, acfg, rig.cur)
+		violations = append(violations, vs...)
+		if next == nil {
+			return finishRepl(res, rig, violations, healed)
+		}
+		rig.cur = next
+		rig.sess.MarkDirty()
+
+		if trap := rig.cur.Restart(); trap != nil {
+			ok, mrep, v := heal(rig.cur, trap, probe)
+			if mrep != nil {
+				res.MitigationAttempts += mrep.Attempts
+			}
+			if !ok {
+				violations = append(violations, v)
+				return finishRepl(res, rig, violations, healed)
+			}
+			healed = true
+		}
+		violations = append(violations, checkState(cfg, rig.cur)...)
+		if len(violations) > 0 {
+			return finishRepl(res, rig, violations, healed)
+		}
+	}
+
+	if probe != nil {
+		if _, trap := rig.cur.Call(probe.Fn, probe.Args...); trap != nil {
+			ok, mrep, v := heal(rig.cur, trap, probe)
+			if mrep != nil {
+				res.MitigationAttempts += mrep.Attempts
+			}
+			if !ok {
+				violations = append(violations, v)
+				return finishRepl(res, rig, violations, healed)
+			}
+			rig.sess.MarkDirty()
+			healed = true
+		}
+	}
+
+	if v := replIdentityViolation(rig); v != "" {
+		violations = append(violations, v)
+	}
+	st := rig.sess.Status()
+	switch spec.Victim {
+	case ReplVictimStream:
+		if res.Fired && st.Truncations == 0 {
+			violations = append(violations, "cut-unnoticed: stream tear produced no truncation")
+		}
+	case ReplVictimReplica:
+		if res.Fired && st.Drops == 0 {
+			violations = append(violations, "kill-unnoticed: replica death produced no drop")
+		}
+	}
+	violations = append(violations, checkState(cfg, rig.cur)...)
+	return finishRepl(res, rig, violations, healed)
+}
+
+// reopenWith is reopen with an explicit instance config, so crash reopens
+// keep the replication hooks wired into the same shipper.
+func reopenWith(cfg Config, acfg arthas.Config, inst *arthas.Instance) (*arthas.Instance, []string) {
+	var buf bytes.Buffer
+	if err := inst.SaveImage(&buf); err != nil {
+		return nil, []string{"save-failed: " + err.Error()}
+	}
+	next, err := arthas.OpenImage(inst.Name, cfg.Source, acfg, &buf)
+	if err != nil {
+		return nil, []string{"reopen-failed: " + err.Error()}
+	}
+	return next, nil
+}
+
+func finishRepl(res ReplTrialResult, rig *replRig, violations []string, healed bool) ReplTrialResult {
+	st := rig.sess.Status()
+	res.Truncations = st.Truncations
+	res.Drops = st.Drops
+	res.Resyncs = st.Resyncs
+	res.Records = st.Records
+	res.Violations = sortedViolations(violations)
+	switch {
+	case len(res.Violations) > 0:
+		res.Outcome = "violated"
+	case healed:
+		res.Outcome = "healed"
+	default:
+		res.Outcome = "clean"
+	}
+	return res
+}

@@ -1,0 +1,139 @@
+package torture
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReplSweepConverges: every replication failure — primary power loss at
+// each durability event (torn included), stream cut at each record, replica
+// kill at each record — must converge back to word-identical durable images
+// with zero residual lag. Violations are protocol bugs by definition.
+func TestReplSweepConverges(t *testing.T) {
+	rep, err := RunRepl(Config{
+		Name:      "linkedset",
+		Source:    progSource(t, "linkedset"),
+		Script:    "init_; insert 1; insert 2; insert 3; insert 4",
+		RecoverFn: "recover_",
+		Probe:     "contains 1",
+		Seed:      19,
+		Points:    48,
+		Torn:      true,
+		Workers:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events == 0 || rep.Records == 0 || rep.Trials == 0 {
+		t.Fatalf("empty sweep: %+v", rep)
+	}
+	if rep.Violated != 0 {
+		js, _ := rep.JSON()
+		t.Fatalf("repl sweep found %d violations:\n%s", rep.Violated, js)
+	}
+	// The sampled universe must actually exercise all three victim kinds,
+	// and the ordered failures must fire and be noticed by the session.
+	var crashes, truncations, drops int
+	for _, res := range rep.Results {
+		switch res.Spec.Victim {
+		case ReplVictimPrimary:
+			if res.Fired {
+				crashes++
+			}
+		case ReplVictimStream:
+			if res.Fired {
+				if res.Truncations == 0 {
+					t.Fatalf("stream cut fired without truncation: %+v", res)
+				}
+				truncations++
+			}
+		case ReplVictimReplica:
+			if res.Fired {
+				if res.Drops == 0 {
+					t.Fatalf("replica kill fired without drop: %+v", res)
+				}
+				drops++
+			}
+		}
+	}
+	if crashes == 0 || truncations == 0 || drops == 0 {
+		js, _ := rep.JSON()
+		t.Fatalf("victim coverage: crashes=%d truncations=%d drops=%d\n%s",
+			crashes, truncations, drops, js)
+	}
+}
+
+// TestReplSweepTornTailIdentity pins the hardest case unsampled: torn
+// primary crashes (partial multi-word flushes) — the stream recorded the
+// full write, the durable truth kept a prefix, and the dirty-resync
+// protocol must still converge to identity at every such point.
+func TestReplSweepTornTailIdentity(t *testing.T) {
+	rep, err := RunRepl(Config{
+		Name:      "counter",
+		Source:    progSource(t, "counter"),
+		Script:    "init_; bump; bump; bump",
+		RecoverFn: "recover_",
+		Probe:     "value",
+		Seed:      23,
+		Torn:      true,
+		Workers:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violated != 0 {
+		js, _ := rep.JSON()
+		t.Fatalf("torn repl sweep violations:\n%s", js)
+	}
+	torn := 0
+	for _, res := range rep.Results {
+		if res.Spec.Victim == ReplVictimPrimary && res.Spec.Keep >= 0 && res.Fired {
+			torn++
+		}
+	}
+	if torn == 0 {
+		t.Fatal("no torn primary crash fired")
+	}
+}
+
+// TestReplSweepDeterminism: byte-identical JSON for the same seed across
+// worker counts and repeated runs — the same contract the crash and media
+// sweeps carry, extended to the replication mode (CI diffs these).
+func TestReplSweepDeterminism(t *testing.T) {
+	cfg := Config{
+		Name:   "checksum",
+		Source: progSource(t, "checksum"),
+		Script: "init_; set 1 5; set 2 7",
+		Probe:  "check",
+		Seed:   29,
+		Points: 20,
+		Torn:   true,
+	}
+	var outs [][]byte
+	for _, workers := range []int{1, 4} {
+		c := cfg
+		c.Workers = workers
+		rep, err := RunRepl(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, js)
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatalf("repl report differs across worker counts:\n--- w1:\n%s\n--- w4:\n%s", outs[0], outs[1])
+	}
+	c := cfg
+	c.Workers = 4
+	rep, err := RunRepl(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, _ := rep.JSON()
+	if !bytes.Equal(outs[1], js) {
+		t.Fatal("repl report differs across runs with the same seed")
+	}
+}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,43 @@ type Driver struct {
 	// semantics). The default keeps driving: closed-loop serving clients
 	// retry around failures.
 	StopOnErr bool
+	// MaxRetries re-issues an operation whose error is retryable — one
+	// carrying a RetryAfter hint (fleet.UnavailableError, HTTP 503 +
+	// Retry-After) — up to this many times before counting the error.
+	// Each retry sleeps the hinted duration scaled by deterministic
+	// seeded jitter ([0.5, 1.5), derived from the client and op index) and
+	// doubled per attempt, so a recovering shard is not hammered in
+	// lockstep by every client at once. 0 (the default) disables retries,
+	// keeping reports byte-identical with pre-retry drivers.
+	MaxRetries int
+}
+
+// RetryAfterer is the error contract retries key off: an error that knows
+// how long the caller should back off. fleet.UnavailableError implements it;
+// HTTP clients can adapt a 503's Retry-After header to it.
+type RetryAfterer interface {
+	RetryAfter() time.Duration
+}
+
+// retryDelay computes the backoff before retry attempt (1-based): the hint
+// doubled per attempt, scaled by jitter in [0.5, 1.5) from the given
+// deterministic seed.
+func retryDelay(hint time.Duration, attempt int, seed uint64) time.Duration {
+	if hint <= 0 {
+		hint = time.Millisecond
+	}
+	shift := attempt - 1
+	if shift > 6 {
+		shift = 6
+	}
+	base := hint << uint(shift)
+	// splitmix64 finalizer over (seed, attempt) → jitter in [0.5, 1.5).
+	z := seed + 0x9e3779b97f4a7c15*uint64(attempt)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	frac := float64(z>>11) / float64(1<<53) // [0, 1)
+	return time.Duration(float64(base) * (0.5 + frac))
 }
 
 // ErrCount is one error class tally (sorted by class in reports).
@@ -55,16 +93,19 @@ type ErrCount struct {
 
 // DriverReport summarizes one closed-loop run.
 type DriverReport struct {
-	Clients      int           `json:"clients"`
-	OpsPerClient int           `json:"ops_per_client"`
-	Done         int64         `json:"done"`
-	Errors       int64         `json:"errors"`
-	ErrCounts    []ErrCount    `json:"err_counts,omitempty"`
-	Elapsed      time.Duration `json:"-"`
-	ElapsedMS    float64       `json:"elapsed_ms"`
-	OpsPerSec    float64       `json:"ops_per_sec"`
-	P50US        float64       `json:"p50_us"`
-	P99US        float64       `json:"p99_us"`
+	Clients      int   `json:"clients"`
+	OpsPerClient int   `json:"ops_per_client"`
+	Done         int64 `json:"done"`
+	Errors       int64 `json:"errors"`
+	// Retries counts re-issues of retryable (Retry-After-hinted) failures;
+	// an op that eventually succeeds after retries is NOT an error.
+	Retries   int64         `json:"retries,omitempty"`
+	ErrCounts []ErrCount    `json:"err_counts,omitempty"`
+	Elapsed   time.Duration `json:"-"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	OpsPerSec float64       `json:"ops_per_sec"`
+	P50US     float64       `json:"p50_us"`
+	P99US     float64       `json:"p99_us"`
 
 	// Latency is the merged per-op latency histogram (microseconds).
 	Latency obs.Hist `json:"-"`
@@ -109,11 +150,12 @@ func (d *Driver) opsPerClient() int {
 // clientResult is one client's private tallies, merged after the run so the
 // hot loop takes no shared locks beyond the sink's own.
 type clientResult struct {
-	done  int64
-	nerrs int64
-	errs  map[string]int64
-	lat   obs.Hist
-	kinds [4]obs.Hist
+	done    int64
+	nerrs   int64
+	retries int64
+	errs    map[string]int64
+	lat     obs.Hist
+	kinds   [4]obs.Hist
 }
 
 // Run drives every client to completion and returns the merged report.
@@ -133,9 +175,22 @@ func (d *Driver) Run() *DriverReport {
 			defer wg.Done()
 			res := &results[c]
 			res.errs = map[string]int64{}
+			seed := deriveSeed(d.Shape.Seed, c)
 			for _, op := range d.ClientStream(c) {
 				t0 := time.Now()
 				err := d.Do(c, op)
+				// Refusals carrying a Retry-After hint are re-driven with
+				// jittered exponential backoff; the op's latency then spans
+				// all attempts (the client-observed service time).
+				for attempt := 1; err != nil && attempt <= d.MaxRetries; attempt++ {
+					var ra RetryAfterer
+					if !errors.As(err, &ra) {
+						break
+					}
+					time.Sleep(retryDelay(ra.RetryAfter(), attempt, seed^uint64(res.done)))
+					res.retries++
+					err = d.Do(c, op)
+				}
 				us := float64(time.Since(t0).Microseconds())
 				res.lat.Add(us)
 				res.kinds[op.Kind].Add(us)
@@ -172,6 +227,7 @@ func (d *Driver) Run() *DriverReport {
 		res := &results[c]
 		rep.Done += res.done
 		rep.Errors += res.nerrs
+		rep.Retries += res.retries
 		rep.Latency.Merge(&res.lat)
 		for class, n := range res.errs {
 			errs[class] += n
@@ -191,6 +247,9 @@ func (d *Driver) Run() *DriverReport {
 	if instrumented {
 		sink.Count("workload.op", rep.Done)
 		sink.Count("workload.err", rep.Errors)
+		if rep.Retries > 0 {
+			sink.Count("workload.retry", rep.Retries)
+		}
 	}
 	return rep
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"arthas/internal/obs"
 )
@@ -205,5 +206,116 @@ func TestRunnerLatencyCapture(t *testing.T) {
 	}
 	if p99 := rec.Quantile("workload.op.us", 0.99); p99 < rec.Quantile("workload.op.us", 0.5) {
 		t.Fatal("p99 below p50")
+	}
+}
+
+// retryableErr implements the RetryAfterer contract the fleet's
+// UnavailableError carries.
+type retryableErr struct{ after time.Duration }
+
+func (e *retryableErr) Error() string             { return "unavailable, retry later" }
+func (e *retryableErr) RetryAfter() time.Duration { return e.after }
+
+// TestDriverRetriesRetryAfter: a refusal carrying a Retry-After hint is
+// re-driven with backoff up to MaxRetries; an op that eventually succeeds
+// counts as done with retries, not as an error.
+func TestDriverRetriesRetryAfter(t *testing.T) {
+	var mu sync.Mutex
+	fails := map[int64]int{}
+	d := &Driver{
+		Clients:      2,
+		OpsPerClient: 50,
+		Shape:        WorkloadA(0, 20, 7),
+		MaxRetries:   3,
+		Do: func(c int, op Op) error {
+			mu.Lock()
+			defer mu.Unlock()
+			// Every op routed to an "unavailable window" key fails twice with
+			// a retry hint, then succeeds.
+			if op.Key%5 == 0 && fails[op.Key] < 2 {
+				fails[op.Key]++
+				return &retryableErr{after: 50 * time.Microsecond}
+			}
+			return nil
+		},
+	}
+	rep := d.Run()
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 (all refusals retried through)", rep.Errors)
+	}
+	if rep.Retries == 0 {
+		t.Fatal("no retries recorded")
+	}
+	if rep.Done != 100 {
+		t.Fatalf("done = %d, want 100", rep.Done)
+	}
+}
+
+// TestDriverRetryBudgetExhausted: a permanently refusing target still
+// surfaces the error after MaxRetries attempts.
+func TestDriverRetryBudgetExhausted(t *testing.T) {
+	attempts := 0
+	d := &Driver{
+		OpsPerClient: 1,
+		Shape:        InsertOnly(0, 11),
+		MaxRetries:   4,
+		Do: func(c int, op Op) error {
+			attempts++
+			return &retryableErr{after: 10 * time.Microsecond}
+		},
+		ErrClass: func(error) string { return "unavailable" },
+	}
+	rep := d.Run()
+	if attempts != 5 {
+		t.Fatalf("attempts = %d, want 5 (1 + 4 retries)", attempts)
+	}
+	if rep.Errors != 1 || rep.Retries != 4 {
+		t.Fatalf("errors=%d retries=%d, want 1/4", rep.Errors, rep.Retries)
+	}
+}
+
+// TestDriverNoRetryWithoutHint: MaxRetries only re-drives errors that carry
+// the Retry-After contract; plain errors surface immediately.
+func TestDriverNoRetryWithoutHint(t *testing.T) {
+	attempts := 0
+	d := &Driver{
+		OpsPerClient: 1,
+		Shape:        InsertOnly(0, 13),
+		MaxRetries:   4,
+		Do: func(c int, op Op) error {
+			attempts++
+			return errors.New("hard failure")
+		},
+	}
+	rep := d.Run()
+	if attempts != 1 || rep.Retries != 0 || rep.Errors != 1 {
+		t.Fatalf("attempts=%d retries=%d errors=%d, want 1/0/1", attempts, rep.Retries, rep.Errors)
+	}
+}
+
+// TestRetryDelayDeterministicJitter: the backoff schedule is a pure
+// function of (hint, attempt, seed) and stays within the jittered
+// exponential envelope.
+func TestRetryDelayDeterministicJitter(t *testing.T) {
+	for attempt := 1; attempt <= 8; attempt++ {
+		a := retryDelay(time.Millisecond, attempt, 99)
+		b := retryDelay(time.Millisecond, attempt, 99)
+		if a != b {
+			t.Fatalf("attempt %d: retryDelay not deterministic: %v vs %v", attempt, a, b)
+		}
+		shift := attempt - 1
+		if shift > 6 {
+			shift = 6
+		}
+		base := time.Millisecond << uint(shift)
+		if a < base/2 || a >= base+base/2 {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, a, base/2, base+base/2)
+		}
+	}
+	if a, b := retryDelay(time.Millisecond, 1, 1), retryDelay(time.Millisecond, 1, 2); a == b {
+		t.Fatal("different seeds produced identical jitter")
+	}
+	if d := retryDelay(0, 1, 5); d < 500*time.Microsecond {
+		t.Fatalf("zero hint floor: %v", d)
 	}
 }
